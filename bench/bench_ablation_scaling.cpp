@@ -1,0 +1,116 @@
+// Ablation: codebook size scaling (the Sec. 7 argument).
+//
+// "With our approach we could significantly increase the number of
+// available sectors while keeping the number of probes as low as in the
+// current sweep. As a result, more precise beam patterns could be
+// efficiently selected without adding additional training time overhead."
+//
+// This bench grows a dense codebook from 16 to 62 directional sectors.
+// The stock sweep must probe all N (training time grows linearly); CSS
+// keeps probing 14. Reported: mutual training time and the true SNR loss
+// of each algorithm's selection against the best sector in the codebook.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/antenna/synthesis.hpp"
+#include "src/core/css.hpp"
+#include "src/core/ssw.hpp"
+#include "src/mac/timing.hpp"
+#include "src/phy/measurement.hpp"
+
+using namespace talon;
+
+namespace {
+
+/// Idealized chamber campaign: sample the realized gains onto the grid and
+/// convert to the firmware reporting scale (offset + clamp), without the
+/// sweep-by-sweep noise (the paper averages it out anyway).
+PatternTable quick_table(const ArrayGainSource& source, double offset_db) {
+  const AngularGrid grid{make_axis(-90.0, 90.0, 3.0), make_axis(0.0, 32.0, 8.0)};
+  PatternTable table;
+  for (int id : source.codebook().ids()) {
+    if (id == kRxQuasiOmniSectorId) continue;
+    Grid2D pattern = synthesize_pattern_grid(source, id, grid);
+    for (double& v : pattern.values()) {
+      v = std::clamp(v + offset_db, -7.0, 12.0);
+    }
+    table.add(id, std::move(pattern));
+  }
+  return table;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  bench::print_header("Ablation: codebook size scaling, CSS(14) vs full sweep",
+                      "Sec. 7 'keeping the number of probes as low ...'",
+                      fidelity);
+
+  const PlanarArrayGeometry geometry = talon_array_geometry();
+  const ElementModelConfig element_config;
+  const CalibrationErrorConfig cal_config;
+  const TimingModel timing;
+  // Map true gains onto the firmware scale like the conference scenario:
+  // the ~18 dBi peak sectors report ~9 dB, safely below the 12 dB clamp.
+  const double report_offset = -15.0;
+  const double link_offset = -9.0;  // reported reading ~= gain + link_offset
+
+  MeasurementModelConfig meas_config;
+  Rng rng(15001);
+  MeasurementModel measurement(meas_config, rng.fork());
+
+  std::printf("N sect | SSW time | CSS time | SSW loss | CSS loss | CSS probes\n");
+  std::printf("-------+----------+----------+----------+----------+-----------\n");
+  const int sweeps = fidelity == bench::Fidelity::kFull ? 400 : 120;
+  for (int n : {16, 24, 34, 48, 62}) {
+    const ArrayGainSource source(
+        geometry, ElementModel(element_config),
+        make_dense_codebook(geometry, n),
+        CalibrationErrors(geometry.element_count(), cal_config),
+        MutualCoupling(geometry, MutualCouplingConfig{}));
+    const PatternTable table = quick_table(source, report_offset);
+    const CompressiveSectorSelector css(table);
+    const auto ids = table.ids();
+
+    RunningStats ssw_loss;
+    RunningStats css_loss;
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      // A random direction in the covered space per sweep.
+      const Direction truth{rng.uniform(-55.0, 55.0), rng.uniform(0.0, 12.0)};
+      double optimal = -1e9;
+      for (int id : ids) {
+        optimal = std::max(optimal, source.gain_dbi(id, truth));
+      }
+      // Full sweep: noisy reading of every sector.
+      std::vector<SectorReading> all;
+      for (int id : ids) {
+        const double snr = source.gain_dbi(id, truth) + link_offset - report_offset;
+        if (auto r = measurement.measure(id, snr)) all.push_back(*r);
+      }
+      const SswSelection ssw = sweep_select(all);
+      if (ssw.valid) {
+        ssw_loss.add(optimal - source.gain_dbi(ssw.sector_id, truth));
+      }
+      // CSS: 14 random probes out of the same readings.
+      const auto picks = rng.sample_without_replacement(static_cast<int>(all.size()),
+                                                        std::min<int>(14, all.size()));
+      std::vector<SectorReading> probes;
+      for (int p : picks) probes.push_back(all[static_cast<std::size_t>(p)]);
+      const CssResult result = css.select(probes, ids);
+      if (result.valid) {
+        css_loss.add(optimal - source.gain_dbi(result.sector_id, truth));
+      }
+    }
+    std::printf("%6d | %5.2f ms | %5.2f ms | %5.2f dB | %5.2f dB | %9d\n", n,
+                timing.mutual_training_time_ms(n), timing.mutual_training_time_ms(14),
+                ssw_loss.mean(), css_loss.mean(), 14);
+  }
+  std::printf(
+      "\nexpected: SSW training time grows linearly with N (2.28 ms at 62\n"
+      "sectors) while CSS stays at 0.55 ms, and CSS's selection loss stays\n"
+      "within a fraction of a dB of the full sweep's at every codebook size\n"
+      "-- the paper's scaling claim, at fixed probing cost.\n");
+  return 0;
+}

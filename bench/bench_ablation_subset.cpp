@@ -1,0 +1,68 @@
+// Ablation: probing-subset policies.
+//
+// The paper probes a random subset and discusses smarter preselection as
+// future work (Sec. 7: "instead of applying a random selection, predefined
+// probing sectors might provide further benefits"). This bench compares
+// random, prefix (first M IDs) and diversity-greedy (max peak separation)
+// policies on estimation error and SNR loss.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/core/subset_policy.hpp"
+
+using namespace talon;
+
+int main(int argc, char** argv) {
+  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  bench::print_header("Ablation: probing-subset policies",
+                      "Sec. 2.2 / Sec. 7 discussion", fidelity);
+
+  const PatternTable table = bench::standard_pattern_table(fidelity);
+  const CompressiveSectorSelector css(table);
+
+  RecordingConfig rec;
+  const double az_step = fidelity == bench::Fidelity::kFull ? 2.5 : 7.5;
+  for (double az = -60.0; az <= 60.0 + 1e-9; az += az_step) {
+    rec.head_azimuths_deg.push_back(az);
+  }
+  rec.head_tilts_deg = {0.0};
+  rec.sweeps_per_pose = fidelity == bench::Fidelity::kFull ? 30 : 15;
+  rec.seed = 6001;
+  Scenario conference = make_conference_scenario(bench::kDutSeed);
+  const auto records = record_sweeps(conference, rec);
+
+  const RandomSubsetPolicy random_policy;
+  const PrefixSubsetPolicy prefix_policy;
+  const DiversitySubsetPolicy diversity_policy(table);
+  struct Entry {
+    const char* name;
+    const ProbeSubsetPolicy* policy;
+  };
+  const Entry entries[] = {
+      {"random (paper)", &random_policy},
+      {"prefix", &prefix_policy},
+      {"diversity", &diversity_policy},
+  };
+
+  const std::vector<std::size_t> probe_counts{6, 10, 14, 20};
+  for (const Entry& e : entries) {
+    std::printf("\n--- policy: %s ---\n", e.name);
+    std::printf("probes | az med / p99.5 [deg] | CSS loss [dB] | stability\n");
+    std::printf("-------+----------------------+---------------+----------\n");
+    const auto err_rows =
+        estimation_error_analysis(records, css, probe_counts, *e.policy, 6100);
+    const auto qual_rows =
+        selection_quality_analysis(records, css, probe_counts, *e.policy, 6200);
+    for (std::size_t i = 0; i < probe_counts.size(); ++i) {
+      std::printf("%6zu |   %5.2f / %6.2f     |     %5.2f     |   %.3f\n",
+                  probe_counts[i], err_rows[i].azimuth_error.median,
+                  err_rows[i].azimuth_error.whisker_high,
+                  qual_rows[i].css_snr_loss_db, qual_rows[i].css_stability);
+    }
+  }
+  std::printf(
+      "\nexpected: prefix probing (spatially clustered IDs need not cover the\n"
+      "space) trails random; diversity preselection matches or beats random\n"
+      "at small M -- the Sec. 7 intuition.\n");
+  return 0;
+}

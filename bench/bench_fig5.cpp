@@ -1,0 +1,105 @@
+// Reproduces Fig. 5: measured SNR antenna patterns in the azimuth plane for
+// all 35 sectors (rotation -180..180 deg at 0.9 deg, elevation 0).
+//
+// Prints a per-sector summary (peak direction/value, 3 dB lobe width,
+// multi-lobe detection) plus a low-resolution ASCII polar strip, and dumps
+// the full series to bench_fig5_patterns.csv for plotting.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/antenna/codebook.hpp"
+#include "src/measure/campaign.hpp"
+#include "src/sim/scenario.hpp"
+
+using namespace talon;
+
+namespace {
+
+struct LobeSummary {
+  double peak_az{0.0};
+  double peak_db{-7.0};
+  double width3db_deg{0.0};
+  int lobes{0};
+};
+
+LobeSummary summarize(const Grid2D& pattern) {
+  const Axis& az = pattern.grid().azimuth;
+  LobeSummary out;
+  for (std::size_t ia = 0; ia < az.count; ++ia) {
+    const double v = pattern.at(ia, 0);
+    if (v > out.peak_db) {
+      out.peak_db = v;
+      out.peak_az = az.value(ia);
+    }
+  }
+  // 3 dB width around the peak and count of distinct lobes above
+  // peak - 3 dB.
+  const double threshold = out.peak_db - 3.0;
+  bool in_lobe = false;
+  for (std::size_t ia = 0; ia < az.count; ++ia) {
+    const bool above = pattern.at(ia, 0) >= threshold;
+    if (above) out.width3db_deg += az.step;
+    if (above && !in_lobe) ++out.lobes;
+    in_lobe = above;
+  }
+  return out;
+}
+
+/// 36-character strip: gain by azimuth bucket, '.' = floor, '#' = peak.
+void print_strip(const Grid2D& pattern) {
+  static const char kRamp[] = " .:-=+*#";
+  const Axis& az = pattern.grid().azimuth;
+  for (int bucket = 0; bucket < 36; ++bucket) {
+    const double center = -180.0 + 10.0 * bucket + 5.0;
+    const std::size_t ia = az.nearest_index(center);
+    const double v = pattern.at(ia, 0);
+    const int level =
+        std::clamp(static_cast<int>((v + 7.0) / 19.0 * 7.0 + 0.5), 0, 7);
+    std::putchar(kRamp[level]);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  bench::print_header("Azimuth-plane sector patterns", "Fig. 5", fidelity);
+
+  Scenario chamber = make_anechoic_scenario(bench::kDutSeed);
+  CampaignConfig config;
+  // Sec. 4.3: -180..180 at 0.9 deg, elevation 0.
+  config.azimuth = fidelity == bench::Fidelity::kFull
+                       ? make_axis(-180.0, 180.0, 0.9)
+                       : make_axis(-180.0, 180.0, 3.6);
+  config.elevation = make_axis(0.0, 0.0, 3.6);
+  config.repetitions = fidelity == bench::Fidelity::kFull ? 4 : 2;
+  const CampaignResult result = measure_sector_patterns(chamber, config);
+
+  std::printf("poses %zu, decoded frames %zu, gap-interpolated cells %zu\n\n",
+              result.poses_visited, result.frames_decoded, result.interpolated_cells);
+  std::printf("sector | peak az | peak SNR | 3dB width | lobes |  -180deg %26s 180deg\n",
+              "");
+  std::printf("-------+---------+----------+-----------+-------+------\n");
+  for (int id : result.table.ids()) {
+    const LobeSummary s = summarize(result.table.pattern(id));
+    if (id == kRxQuasiOmniSectorId) {
+      std::printf("  RX   |");
+    } else {
+      std::printf("%6d |", id);
+    }
+    std::printf(" %6.1f  |  %5.2f   |  %6.1f   | %5d | ", s.peak_az, s.peak_db,
+                s.width3db_deg, s.lobes);
+    print_strip(result.table.pattern(id));
+    std::printf("\n");
+  }
+
+  const std::string csv_path = "bench_fig5_patterns.csv";
+  write_csv_file(csv_path, result.table.to_csv());
+  std::printf("\nfull series written to %s\n", csv_path.c_str());
+  std::printf(
+      "paper shape: strong single-lobe sectors (e.g. 2, 8, 12, 20, 24, 63),\n"
+      "multi-lobe sectors (13, 22, 27), weak sectors (25, 62, and 5 in-plane),\n"
+      "distorted gains behind +-120 deg, wide quasi-omni RX pattern.\n");
+  return 0;
+}

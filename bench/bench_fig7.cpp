@@ -1,0 +1,99 @@
+// Reproduces Fig. 7: angular estimation error (azimuth and elevation,
+// treated independently) versus the number of probing sectors, in the lab
+// environment (a) and the conference room (b).
+//
+// Methodology follows Sec. 6.1/6.2: record full sweeps at every rotation
+// pose, then replay them offline with random M-subsets; error is the
+// difference between the estimated and the physical orientation. Boxes are
+// the 50% bounds, whiskers the 99% bounds, the dash the median.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/core/subset_policy.hpp"
+
+using namespace talon;
+
+namespace {
+
+RecordingConfig lab_recording(bench::Fidelity fidelity) {
+  RecordingConfig config;
+  // Sec. 6.1: lab, +-60 deg azimuth at 2.25 deg, tilt 0..30 deg in 2 deg steps.
+  const double az_step = fidelity == bench::Fidelity::kFull ? 2.25 : 7.5;
+  const double tilt_step = fidelity == bench::Fidelity::kFull ? 2.0 : 7.5;
+  for (double az = -60.0; az <= 60.0 + 1e-9; az += az_step) {
+    config.head_azimuths_deg.push_back(az);
+  }
+  for (double tilt = 0.0; tilt <= 30.0 + 1e-9; tilt += tilt_step) {
+    config.head_tilts_deg.push_back(tilt);
+  }
+  config.sweeps_per_pose = fidelity == bench::Fidelity::kFull ? 6 : 4;
+  config.seed = 1001;
+  return config;
+}
+
+RecordingConfig conference_recording(bench::Fidelity fidelity) {
+  RecordingConfig config;
+  // Sec. 6.1: conference room, azimuth resolution 1.3 deg, elevation fixed.
+  const double az_step = fidelity == bench::Fidelity::kFull ? 1.3 : 5.0;
+  for (double az = -60.0; az <= 60.0 + 1e-9; az += az_step) {
+    config.head_azimuths_deg.push_back(az);
+  }
+  config.head_tilts_deg = {0.0};
+  config.sweeps_per_pose = fidelity == bench::Fidelity::kFull ? 10 : 8;
+  config.seed = 1002;
+  return config;
+}
+
+void run_venue(const char* name, Scenario scenario, const RecordingConfig& rec,
+               const CompressiveSectorSelector& css, const std::string& csv_path) {
+  const auto records = record_sweeps(scenario, rec);
+  const std::vector<std::size_t> probe_counts{4,  6,  8,  10, 12, 14, 16, 18,
+                                              20, 22, 24, 26, 28, 30, 32, 34};
+  RandomSubsetPolicy policy;
+  const auto rows =
+      estimation_error_analysis(records, css, probe_counts, policy, 4242);
+
+  std::printf("\n--- %s (%zu poses x %zu sweeps) ---\n", name,
+              records.size() / rec.sweeps_per_pose, rec.sweeps_per_pose);
+  std::printf("probes |      azimuth error [deg]      |     elevation error [deg]     | samples\n");
+  std::printf("       | median    q25    q75    p99.5 | median    q25    q75    p99.5 |\n");
+  std::printf("-------+-------------------------------+-------------------------------+--------\n");
+  CsvTable csv;
+  csv.header = {"probes", "az_median", "az_q25", "az_q75", "az_p995",
+                "el_median", "el_q25", "el_q75", "el_p995", "samples"};
+  for (const auto& row : rows) {
+    bench::print_box_row(row.probes, row.azimuth_error, row.elevation_error,
+                         row.samples);
+    csv.rows.push_back({static_cast<double>(row.probes), row.azimuth_error.median,
+                        row.azimuth_error.q25, row.azimuth_error.q75,
+                        row.azimuth_error.whisker_high, row.elevation_error.median,
+                        row.elevation_error.q25, row.elevation_error.q75,
+                        row.elevation_error.whisker_high,
+                        static_cast<double>(row.samples)});
+  }
+  write_csv_file(csv_path, csv);
+  std::printf("series written to %s\n", csv_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  bench::print_header("Angular estimation error vs probing sectors", "Fig. 7",
+                      fidelity);
+
+  const PatternTable table = bench::standard_pattern_table(fidelity);
+  const CompressiveSectorSelector css(table);
+
+  run_venue("lab environment (3 m)", make_lab_scenario(bench::kDutSeed),
+            lab_recording(fidelity), css, "bench_fig7_lab.csv");
+  run_venue("conference room (6 m)", make_conference_scenario(bench::kDutSeed),
+            conference_recording(fidelity), css, "bench_fig7_conference.csv");
+
+  std::printf(
+      "\npaper shape: azimuth medians of ~1-2 deg from ~10 probes on, 99%%\n"
+      "bounds shrinking with M; conference-room azimuth slightly worse than\n"
+      "lab; elevation errors larger (coarser elevation sampling), below\n"
+      "~15 deg at 10 probes and ~8 deg at 20 probes.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared infrastructure for the reproduction benches: the measured pattern
+// table every experiment consumes, and small printing helpers. Every bench
+// binary regenerates one table or figure of the paper; see DESIGN.md for
+// the experiment index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/antenna/pattern.hpp"
+#include "src/common/stats.hpp"
+#include "src/sim/experiment.hpp"
+
+namespace talon::bench {
+
+/// The device seed used for the DUT across all benches, so the pattern
+/// table matches the device under test in every venue.
+inline constexpr std::uint64_t kDutSeed = 42;
+
+/// Resolution of the pattern campaign / analyses.
+enum class Fidelity {
+  kQuick,  ///< default: coarser grids, minutes -> seconds
+  kFull,   ///< the paper's resolutions (0.9/1.8 deg steps); slower
+};
+
+/// Parse --full from argv.
+Fidelity fidelity_from_args(int argc, char** argv);
+
+/// Run the Sec. 4.5 anechoic campaign for the standard DUT and return the
+/// measured 3-D pattern table (az +-90, el 0..32.4).
+PatternTable standard_pattern_table(Fidelity fidelity);
+
+/// Banner printed by every bench.
+void print_header(const std::string& experiment, const std::string& paper_ref,
+                  Fidelity fidelity);
+
+/// One row of a Fig. 7 style box-stat table.
+void print_box_row(std::size_t probes, const BoxStats& azimuth,
+                   const BoxStats& elevation, std::size_t samples);
+
+}  // namespace talon::bench

@@ -1,0 +1,77 @@
+// Example: replacing the codebook -- the deepest level of beam control the
+// platform exposes (Sec. 7: "future generations are likely to demand
+// higher directivities and more fine-grained beam control. Such
+// requirements could be addressed by increasing the number of implemented
+// and predefined sectors").
+//
+// The workflow mirrors what talon-tools enables on real hardware:
+//  1. read the stock board-file codebook out of the chip,
+//  2. build a denser one (48 directional sectors instead of 34),
+//  3. serialize it back into the firmware's board-file region,
+//  4. verify the round trip and compare the coverage of the two books.
+
+#include <cstdio>
+
+#include "src/antenna/codebook_io.hpp"
+#include "src/antenna/synthesis.hpp"
+#include "src/driver/wil6210.hpp"
+#include "src/mac/timing.hpp"
+
+int main() {
+  using namespace talon;
+
+  const PlanarArrayGeometry geometry = talon_array_geometry();
+  FullMacFirmware firmware;
+  Wil6210Driver driver(firmware);
+
+  // 1. Stock codebook into the board-file region, then read back.
+  const Codebook stock = make_talon_codebook(geometry);
+  driver.write_codebook(stock, geometry, 16, 4);
+  const ParsedCodebook before = driver.read_codebook();
+  std::printf("stock board file: %zu sectors, %dx%d array, %d phase states\n",
+              before.codebook.size(), static_cast<int>(before.cols),
+              static_cast<int>(before.rows), before.phase_states);
+
+  // 2./3. Flash a denser codebook.
+  const Codebook dense = make_dense_codebook(geometry, 48);
+  driver.write_codebook(dense, geometry, 4, 1);
+  const ParsedCodebook after = driver.read_codebook();
+  std::printf("custom board file: %zu sectors\n", after.codebook.size());
+
+  // 4. Coverage comparison: the best-sector gain across the service area
+  // (azimuth +-55 deg at elevations 0 and 14 deg -- the dense book adds an
+  // elevated layer the stock book mostly lacks).
+  const ElementModel element{ElementModelConfig{}};
+  const auto coverage = [&](const Codebook& book, double el) {
+    double worst = 1e9;
+    double sum = 0.0;
+    int count = 0;
+    for (double az = -55.0; az <= 55.0; az += 1.0) {
+      double best = -1e9;
+      for (const Sector& s : book.sectors()) {
+        if (s.id == kRxQuasiOmniSectorId) continue;
+        best = std::max(best, array_gain_dbi(geometry, element, s.weights, {az, el}));
+      }
+      worst = std::min(worst, best);
+      sum += best;
+      ++count;
+    }
+    return std::pair{sum / count, worst};
+  };
+  std::printf("\nbest-sector gain, mean / worst case over az +-55 deg:\n");
+  for (double el : {0.0, 14.0}) {
+    const auto [stock_mean, stock_floor] = coverage(before.codebook, el);
+    const auto [dense_mean, dense_floor] = coverage(after.codebook, el);
+    std::printf("  el %4.1f: stock %.2f / %.2f dBi, dense %.2f / %.2f dBi (%+.2f dB)\n",
+                el, stock_mean, stock_floor, dense_mean, dense_floor,
+                dense_mean - stock_mean);
+  }
+
+  const TimingModel timing;
+  std::printf(
+      "\nthe stock sweep over 48 sectors would cost %.2f ms per training;\n"
+      "compressive selection keeps probing 14 (%.2f ms) regardless of the\n"
+      "codebook size -- the Sec. 7 scaling argument this example enables.\n",
+      timing.mutual_training_time_ms(48), timing.mutual_training_time_ms(14));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Example: turning the stock QCA9500 firmware into a research platform
+// (the Sec. 3 workflow, step by step).
+//
+//  1. The stock firmware is a black box: the research WMI commands report
+//     "unsupported", and the ARC600 code partitions reject writes at their
+//     low addresses.
+//  2. The high-address mirror is writable -- the discovery enabling
+//     Nexmon-style patching on this chip -- so the two research patches
+//     (sweep-info ring buffer, sector override) apply there.
+//  3. With the patches live, a sweep's per-sector SNR/RSSI can be read from
+//     user space and the feedback sector can be forced, which is then
+//     visible in the SSW feedback of the next training round.
+
+#include <cstdio>
+
+#include "src/common/error.hpp"
+#include "src/core/ssw.hpp"
+#include "src/sim/scenario.hpp"
+
+int main() {
+  using namespace talon;
+
+  Scenario lab = make_lab_scenario(/*seed=*/42);
+  lab.set_head(-25.0, 0.0);
+  LinkSimulator link = lab.make_link(Rng(9));
+  FullMacFirmware& fw = lab.peer->firmware();
+
+  std::printf("== 1. stock firmware is a black box ==\n");
+  const WmiResponse version = fw.handle_wmi({.type = WmiCommandType::kGetFirmwareVersion});
+  std::printf("firmware version: %s\n", version.firmware_version.c_str());
+  std::printf("ReadSweepInfo  -> %s\n",
+              to_string(fw.handle_wmi({.type = WmiCommandType::kReadSweepInfo}).status)
+                  .c_str());
+  std::printf("SetSectorOverride -> %s\n",
+              to_string(fw.handle_wmi({.type = WmiCommandType::kSetSectorOverride,
+                                       .sector_id = 7})
+                            .status)
+                  .c_str());
+
+  std::printf("\n== 2. ARC600 memory protection and the high mirror ==\n");
+  try {
+    fw.memory().write(ChipProcessor::kUcode, 0x1000, 0x42);
+  } catch (const StateError& e) {
+    std::printf("low-address code write rejected: %s\n", e.what());
+  }
+  fw.memory().host_write(kUcCodeHostBase + 0x1000, 0x42);
+  std::printf("same byte via the writable high mirror: ok, ucode now reads 0x%02x\n",
+              fw.memory().read(ChipProcessor::kUcode, 0x1000));
+
+  std::printf("\napplying research patches...\n");
+  fw.apply_research_patches();
+  for (const std::string& name : fw.patcher().applied_patches()) {
+    std::printf("  applied: %s\n", name.c_str());
+  }
+
+  std::printf("\n== 3. sweep info from user space ==\n");
+  link.transmit_sweep(*lab.dut, *lab.peer, sweep_burst_schedule());
+  WmiResponse info = fw.handle_wmi({.type = WmiCommandType::kReadSweepInfo});
+  std::printf("ring buffer returned %zu readings:\n", info.entries.size());
+  for (std::size_t i = 0; i < info.entries.size(); i += 6) {
+    const SweepInfoEntry& e = info.entries[i];
+    std::printf("  sector %2d: snr %6.2f dB, rssi %7.2f\n", e.sector_id, e.snr_db,
+                e.rssi_dbm);
+  }
+
+  std::printf("\n== 4. forcing a custom sector ==\n");
+  const SweepOutcome stock = link.transmit_sweep(*lab.dut, *lab.peer,
+                                                 sweep_burst_schedule());
+  std::printf("stock feedback selects sector %d\n", stock.feedback.selected_sector_id);
+  fw.handle_wmi({.type = WmiCommandType::kSetSectorOverride, .sector_id = 27});
+  const SweepOutcome forced = link.transmit_sweep(*lab.dut, *lab.peer,
+                                                  sweep_burst_schedule());
+  std::printf("with override, feedback selects sector %d\n",
+              forced.feedback.selected_sector_id);
+  fw.handle_wmi({.type = WmiCommandType::kClearSectorOverride});
+  const SweepOutcome restored = link.transmit_sweep(*lab.dut, *lab.peer,
+                                                    sweep_burst_schedule());
+  std::printf("override cleared, feedback selects sector %d again\n",
+              restored.feedback.selected_sector_id);
+  return 0;
+}

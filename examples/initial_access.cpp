@@ -1,0 +1,88 @@
+// Example: 802.11ad initial access at scale -- beacons + A-BFT contention.
+//
+// An AP serves a growing crowd of stations; each beacon interval (102.4 ms)
+// it beacons over the Table-1 schedule, and unassociated stations contend
+// for the 8 A-BFT slots with their responder sweeps. The report shows how
+// slot collisions stretch association latency as the room fills up, the
+// operational background of Sec. 4.1.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/sim/access.hpp"
+
+namespace {
+
+using namespace talon;
+
+struct World {
+  std::unique_ptr<Environment> env = make_anechoic_chamber();
+  RadioConfig radio;
+  MeasurementModelConfig measurement;
+  std::unique_ptr<Node> ap;
+  std::vector<std::unique_ptr<Node>> stations;
+};
+
+World make_world(std::size_t n) {
+  World world;
+  NodeConfig ap_config;
+  ap_config.id = 0;
+  ap_config.device_seed = 1;
+  ap_config.pose = EndpointPose{{0.0, 0.0, 2.0}, DeviceOrientation(0.0, 0.0)};
+  world.ap = std::make_unique<Node>(ap_config);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double az = -50.0 + 100.0 * static_cast<double>(i) /
+                                  std::max<std::size_t>(n - 1, 1);
+    const double dist = 2.5 + 0.15 * static_cast<double>(i % 5);
+    NodeConfig config;
+    config.id = static_cast<int>(i) + 1;
+    config.device_seed = 100 + i;
+    config.pose = EndpointPose{
+        {dist * std::cos(deg_to_rad(az)), dist * std::sin(deg_to_rad(az)), 1.2},
+        DeviceOrientation(wrap_azimuth_deg(az + 180.0), 0.0),
+    };
+    world.stations.push_back(std::make_unique<Node>(config));
+  }
+  return world;
+}
+
+}  // namespace
+
+int main() {
+  using namespace talon;
+
+  std::printf("stations | assoc'd | max intervals | collisions | mean latency [ms]\n");
+  std::printf("---------+---------+---------------+------------+------------------\n");
+  for (std::size_t n : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    World world = make_world(n);
+    std::vector<Node*> stations;
+    for (auto& s : world.stations) stations.push_back(s.get());
+    LinkSimulator link(*world.env, world.radio, world.measurement, Rng(5));
+    InitialAccessSimulator access(link, *world.ap, stations, InitialAccessConfig{},
+                                  Rng(7 + n));
+    const auto outcomes = access.run();
+
+    int associated = 0;
+    int max_intervals = 0;
+    int collisions = 0;
+    double latency_sum = 0.0;
+    for (const auto& o : outcomes) {
+      if (o.associated) {
+        ++associated;
+        latency_sum += o.time_ms;
+      }
+      max_intervals = std::max(max_intervals, o.beacon_intervals);
+      collisions += o.collisions;
+    }
+    std::printf("  %4zu   |  %4d   |     %4d      |    %4d    |      %7.1f\n", n,
+                associated, max_intervals, collisions,
+                associated > 0 ? latency_sum / associated : 0.0);
+  }
+  std::printf(
+      "\nwith 8 A-BFT slots, small crowds associate in one beacon interval;\n"
+      "as contention grows, collisions push stragglers into later intervals\n"
+      "(each costing another 102.4 ms).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Quickstart: the full compressive-sector-selection pipeline in one file.
+//
+//  1. Measure the device's sector patterns in a simulated anechoic chamber
+//     (a coarse, fast version of the Sec. 4 campaign).
+//  2. Build a CompressiveSectorSelector from the measured table.
+//  3. In the lab scenario, probe a random 14-sector subset, estimate the
+//     path direction, and pick the best of all 34 sectors (Eqs. 2-5).
+//  4. Compare against the stock full sector sweep and print the training
+//     time both need.
+//
+// Run: ./quickstart [pattern_output.csv]
+
+#include <cstdio>
+
+#include "src/core/css.hpp"
+#include "src/core/ssw.hpp"
+#include "src/core/subset_policy.hpp"
+#include "src/mac/timing.hpp"
+#include "src/measure/campaign.hpp"
+#include "src/sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace talon;
+
+  // --- 1. Pattern campaign (coarse grid for speed) -------------------------
+  std::printf("== measuring sector patterns in the anechoic chamber ==\n");
+  Scenario chamber = make_anechoic_scenario(/*seed=*/42);
+  CampaignConfig campaign;
+  campaign.azimuth = make_axis(-90.0, 90.0, 3.6);
+  campaign.elevation = make_axis(0.0, 32.4, 3.6);
+  campaign.repetitions = 2;
+  const CampaignResult measured = measure_sector_patterns(chamber, campaign);
+  std::printf("  poses: %zu, decoded frames: %zu, interpolated cells: %zu\n",
+              measured.poses_visited, measured.frames_decoded,
+              measured.interpolated_cells);
+  std::printf("  sectors in table: %zu\n", measured.table.size());
+  if (argc > 1) {
+    write_csv_file(argv[1], measured.table.to_csv());
+    std::printf("  pattern table written to %s\n", argv[1]);
+  }
+
+  // --- 2. The selector ------------------------------------------------------
+  CompressiveSectorSelector css(measured.table);
+
+  // --- 3. One compressive selection in the lab ------------------------------
+  std::printf("\n== compressive selection in the lab (head at 20 deg) ==\n");
+  Scenario lab = make_lab_scenario(/*seed=*/42);  // same DUT seed: same device
+  lab.set_head(20.0, 0.0);
+  Rng rng(7);
+  LinkSimulator link = lab.make_link(rng.fork());
+
+  RandomSubsetPolicy policy;
+  const std::vector<int> subset = policy.choose(talon_tx_sector_ids(), 14, rng);
+  const auto schedule = probing_burst_schedule(subset);
+  const SweepOutcome probe_sweep =
+      link.transmit_sweep(*lab.dut, *lab.peer, schedule);
+  std::printf("  probed %d sectors, %zu frames decoded\n",
+              probe_sweep.transmitted_frames, probe_sweep.measurement.readings.size());
+
+  const CssResult result = css.select(probe_sweep.measurement.readings);
+  const Direction truth = lab.nominal_peer_direction();
+  if (result.valid && result.estimated_direction) {
+    std::printf("  estimated path: az %.1f deg, el %.1f deg (truth: %.1f, %.1f)\n",
+                result.estimated_direction->azimuth_deg,
+                result.estimated_direction->elevation_deg, truth.azimuth_deg,
+                truth.elevation_deg);
+  }
+  std::printf("  CSS selects sector %d (correlation peak %.3f)\n", result.sector_id,
+              result.correlation_peak);
+
+  // --- 4. Baseline: the stock full sweep ------------------------------------
+  const SweepOutcome full_sweep =
+      link.transmit_sweep(*lab.dut, *lab.peer, sweep_burst_schedule());
+  const SswSelection ssw = sweep_select(full_sweep.measurement.readings);
+  std::printf("  full sweep (SSW) selects sector %d at %.2f dB\n", ssw.sector_id,
+              ssw.snr_db);
+
+  const double css_true = link.true_snr_db(*lab.dut, result.sector_id, *lab.peer,
+                                           kRxQuasiOmniSectorId);
+  const double ssw_true =
+      link.true_snr_db(*lab.dut, ssw.sector_id, *lab.peer, kRxQuasiOmniSectorId);
+  std::printf("  true link SNR: CSS %.2f dB vs SSW %.2f dB\n", css_true, ssw_true);
+
+  const TimingModel timing;
+  std::printf("\n== training time ==\n");
+  std::printf("  CSS (14 probes): %.2f ms, SSW (34 probes): %.2f ms -> %.1fx faster\n",
+              timing.mutual_training_time_ms(14),
+              timing.mutual_training_time_ms(kFullSweepProbes),
+              timing.speedup_vs_full_sweep(14));
+  return 0;
+}

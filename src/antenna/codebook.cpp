@@ -1,0 +1,252 @@
+#include "src/antenna/codebook.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace talon {
+
+Codebook::Codebook(std::vector<Sector> sectors) : sectors_(std::move(sectors)) {
+  TALON_EXPECTS(!sectors_.empty());
+  std::sort(sectors_.begin(), sectors_.end(),
+            [](const Sector& a, const Sector& b) { return a.id < b.id; });
+  for (std::size_t i = 0; i + 1 < sectors_.size(); ++i) {
+    TALON_EXPECTS(sectors_[i].id != sectors_[i + 1].id);
+  }
+  for (const Sector& s : sectors_) {
+    TALON_EXPECTS(s.id >= 0 && s.id <= kMaxSectorId);
+    TALON_EXPECTS(!s.weights.empty());
+  }
+}
+
+bool Codebook::contains(int id) const {
+  return std::any_of(sectors_.begin(), sectors_.end(),
+                     [id](const Sector& s) { return s.id == id; });
+}
+
+const Sector& Codebook::sector(int id) const {
+  const auto it = std::find_if(sectors_.begin(), sectors_.end(),
+                               [id](const Sector& s) { return s.id == id; });
+  TALON_EXPECTS(it != sectors_.end());
+  return *it;
+}
+
+std::vector<int> Codebook::ids() const {
+  std::vector<int> out;
+  out.reserve(sectors_.size());
+  for (const Sector& s : sectors_) out.push_back(s.id);
+  return out;
+}
+
+const std::vector<int>& talon_tx_sector_ids() {
+  static const std::vector<int> ids = [] {
+    std::vector<int> v;
+    for (int i = 1; i <= 31; ++i) v.push_back(i);
+    v.push_back(61);
+    v.push_back(62);
+    v.push_back(63);
+    return v;
+  }();
+  return ids;
+}
+
+const std::vector<int>& talon_beacon_sector_ids() {
+  static const std::vector<int> ids = [] {
+    std::vector<int> v;
+    v.push_back(63);
+    for (int i = 1; i <= 31; ++i) v.push_back(i);
+    return v;
+  }();
+  return ids;
+}
+
+namespace {
+
+/// Normalize a weight vector to unit per-element amplitude cap before
+/// quantization (the quantizer snaps amplitudes in (0, 1]).
+WeightVector normalize_amplitudes(WeightVector w) {
+  double peak = 0.0;
+  for (const Complex& c : w) peak = std::max(peak, std::abs(c));
+  if (peak > 0.0) {
+    for (Complex& c : w) c /= peak;
+  }
+  return w;
+}
+
+/// Superpose two steering vectors -> a deliberately multi-lobed sector.
+WeightVector dual_lobe_weights(const std::vector<Vec3>& positions,
+                               const Direction& a, const Direction& b) {
+  const WeightVector wa = steering_weights(positions, a);
+  const WeightVector wb = steering_weights(positions, b);
+  WeightVector out;
+  out.reserve(wa.size());
+  for (std::size_t i = 0; i < wa.size(); ++i) out.push_back(wa[i] + wb[i]);
+  return normalize_amplitudes(std::move(out));
+}
+
+/// Pseudo-random phases on a subset of elements -> weak, scattered sector
+/// (like the Talon's sectors 61/62 that show low gain in most directions).
+WeightVector scattered_weights(std::size_t element_count, double active_fraction,
+                               Rng& rng) {
+  WeightVector out;
+  out.reserve(element_count);
+  for (std::size_t i = 0; i < element_count; ++i) {
+    if (!rng.bernoulli(active_fraction)) {
+      out.emplace_back(0.0, 0.0);
+      continue;
+    }
+    const double phase = rng.uniform(0.0, 2.0 * kPi);
+    out.emplace_back(std::cos(phase), std::sin(phase));
+  }
+  return out;
+}
+
+}  // namespace
+
+Codebook make_talon_codebook(const PlanarArrayGeometry& geometry,
+                             const TalonCodebookConfig& config) {
+  const auto& positions = geometry.element_positions();
+  Rng rng(config.seed);
+  std::vector<Sector> sectors;
+  sectors.reserve(36);
+
+  // --- Directional TX sectors 1..31 -------------------------------------
+  // Azimuths cover +-56 deg. The ID -> azimuth mapping is a fixed
+  // pseudo-random permutation: on the real device, neighbouring IDs do not
+  // point at neighbouring angles (Fig. 5).
+  std::vector<int> az_slot(31);
+  for (int i = 0; i < 31; ++i) az_slot[static_cast<std::size_t>(i)] = i;
+  std::shuffle(az_slot.begin(), az_slot.end(), rng.engine());
+
+  // A few sectors behave specially, mirroring the paper's measurements:
+  // sector 5 is weak in-plane with "stronger lobes at higher elevation
+  // angles" (modeled as a top-half-array excitation steered upward: lower
+  // peak gain, wide elevation lobe), sector 25 has low gain everywhere
+  // (scattered phases, like 62), and 13/22/27 are multi-lobed.
+  const auto elevation_for = [](int id) -> double {
+    switch (id) {
+      case 3:
+      case 9:
+      case 16:
+      case 23:
+      case 29:
+        return 12.0;  // mildly tilted
+      default:
+        return 0.0;
+    }
+  };
+  const auto is_dual_lobe = [](int id) { return id == 13 || id == 22 || id == 27; };
+
+  for (int id = 1; id <= 31; ++id) {
+    const double az =
+        -56.0 + 112.0 * static_cast<double>(az_slot[static_cast<std::size_t>(id - 1)]) / 30.0;
+    Direction nominal{az, elevation_for(id)};
+    WeightVector ideal;
+    if (id == 5) {
+      // Elevated sector: only the top two element rows active, steered up.
+      nominal = Direction{az, 24.0};
+      ideal = steering_weights(positions, nominal);
+      const std::size_t cols = geometry.cols();
+      const std::size_t rows = geometry.rows();
+      for (std::size_t r = 0; r < rows / 2; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) ideal[r * cols + c] = Complex(0.0, 0.0);
+      }
+    } else if (id == 25) {
+      ideal = scattered_weights(positions.size(), 0.5, rng);
+    } else if (is_dual_lobe(id)) {
+      // Second lobe mirrored across boresight at a slight elevation.
+      const Direction second{-az * 0.6, 8.0};
+      ideal = dual_lobe_weights(positions, nominal, second);
+    } else {
+      ideal = steering_weights(positions, nominal);
+    }
+    sectors.push_back(Sector{
+        .id = id,
+        .weights = config.quantizer.quantize(ideal),
+        .nominal = nominal,
+    });
+  }
+
+  // --- Irregular sectors 61 and 62 ---------------------------------------
+  // 61: a moderately wide beam (only the central 2x2 block active).
+  {
+    WeightVector w(positions.size(), Complex(0.0, 0.0));
+    const std::size_t cols = geometry.cols();
+    const std::size_t rows = geometry.rows();
+    for (std::size_t r = rows / 2 - 1; r <= rows / 2; ++r) {
+      for (std::size_t c = cols / 2 - 1; c <= cols / 2; ++c) {
+        w[r * cols + c] = Complex(1.0, 0.0);
+      }
+    }
+    sectors.push_back(Sector{.id = 61, .weights = w, .nominal = {0.0, 0.0}});
+  }
+  // 62: scattered pseudo-random phases, low gain in all directions.
+  sectors.push_back(Sector{
+      .id = 62,
+      .weights = config.quantizer.quantize(scattered_weights(positions.size(), 0.5, rng)),
+      .nominal = {0.0, 0.0},
+  });
+
+  // --- Sector 63: strong unidirectional boresight beam --------------------
+  // Used for beaconing and as the fixed TX sector when measuring the RX
+  // pattern (Sec. 4.3). Modeled with fine phase resolution: vendors
+  // hand-tune this one.
+  {
+    WeightQuantizer fine{.phase_states = 16, .amplitude_states = 4};
+    sectors.push_back(Sector{
+        .id = 63,
+        .weights = fine.quantize(steering_weights(positions, {0.0, 0.0})),
+        .nominal = {0.0, 0.0},
+    });
+  }
+
+  // --- RX quasi-omni sector ------------------------------------------------
+  // "the same (quasi omni-directional) sector is always used for reception"
+  // (Sec. 4.1). A single active element gives the widest pattern the array
+  // can produce.
+  {
+    WeightVector w(positions.size(), Complex(0.0, 0.0));
+    w[(geometry.rows() / 2) * geometry.cols() + geometry.cols() / 2] = Complex(1.0, 0.0);
+    sectors.push_back(
+        Sector{.id = kRxQuasiOmniSectorId, .weights = w, .nominal = {0.0, 0.0}});
+  }
+
+  return Codebook(std::move(sectors));
+}
+
+Codebook make_dense_codebook(const PlanarArrayGeometry& geometry,
+                             int directional_sectors,
+                             const TalonCodebookConfig& config) {
+  TALON_EXPECTS(directional_sectors >= 2 && directional_sectors <= kMaxSectorId);
+  const auto& positions = geometry.element_positions();
+  std::vector<Sector> sectors;
+  sectors.reserve(static_cast<std::size_t>(directional_sectors) + 1);
+
+  // Two elevation layers (0 and 14 deg) with azimuths interleaved so
+  // consecutive IDs alternate layers, covering +-56 deg.
+  const int per_layer = (directional_sectors + 1) / 2;
+  for (int id = 1; id <= directional_sectors; ++id) {
+    const int layer = (id - 1) % 2;
+    const int slot = (id - 1) / 2;
+    const int layer_count = layer == 0 ? per_layer : directional_sectors - per_layer;
+    const double frac = layer_count <= 1
+                            ? 0.5
+                            : static_cast<double>(slot) / (layer_count - 1);
+    const Direction nominal{-56.0 + 112.0 * frac, layer == 0 ? 0.0 : 14.0};
+    sectors.push_back(Sector{
+        .id = id,
+        .weights = config.quantizer.quantize(steering_weights(positions, nominal)),
+        .nominal = nominal,
+    });
+  }
+
+  WeightVector rx(positions.size(), Complex(0.0, 0.0));
+  rx[(geometry.rows() / 2) * geometry.cols() + geometry.cols() / 2] = Complex(1.0, 0.0);
+  sectors.push_back(
+      Sector{.id = kRxQuasiOmniSectorId, .weights = rx, .nominal = {0.0, 0.0}});
+  return Codebook(std::move(sectors));
+}
+
+}  // namespace talon

@@ -1,0 +1,81 @@
+// Sector codebooks.
+//
+// A sector is a predefined weight vector with a 6-bit ID, exactly as probed
+// by the 802.11ad sector sweep. make_talon_codebook() generates the 35
+// patterns of the Talon AD7200 as reverse-engineered in Sec. 4: transmit
+// sectors 1..31 plus 61/62/63, and the quasi-omnidirectional receive sector
+// (ID 0 here). The generated family replicates the paper's qualitative
+// findings: most sectors have one dominant lobe, some are multi-lobed
+// (13/22/27), some have their maximum above the azimuth plane (5/25),
+// sector 62 is weak everywhere, and sector 63 is a strong clean boresight
+// beam used for beaconing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/antenna/geometry.hpp"
+#include "src/antenna/weights.hpp"
+
+namespace talon {
+
+/// The quasi-omni receive sector's ID in this library.
+inline constexpr int kRxQuasiOmniSectorId = 0;
+
+/// Largest valid sector ID (6-bit field in SSW frames).
+inline constexpr int kMaxSectorId = 63;
+
+struct Sector {
+  int id{0};
+  WeightVector weights;
+  /// Nominal steering direction the weights were designed for (indicative
+  /// only; quantization and calibration move the realized peak).
+  Direction nominal;
+};
+
+class Codebook {
+ public:
+  explicit Codebook(std::vector<Sector> sectors);
+
+  std::size_t size() const { return sectors_.size(); }
+  bool contains(int id) const;
+  const Sector& sector(int id) const;  ///< Throws PreconditionError if absent.
+
+  /// All sector IDs in ascending order.
+  std::vector<int> ids() const;
+
+  const std::vector<Sector>& sectors() const { return sectors_; }
+
+ private:
+  std::vector<Sector> sectors_;  // sorted by id
+};
+
+struct TalonCodebookConfig {
+  /// Hardware phase/amplitude resolution.
+  WeightQuantizer quantizer{.phase_states = 4, .amplitude_states = 1};
+  /// Seed for the pseudo-random aspects (sector-to-direction permutation,
+  /// the irregular sectors 61/62). Fixed per firmware image.
+  std::uint64_t seed{0xAD7200};
+};
+
+/// The 34 transmit sector IDs the Talon probes in a sweep (Table 1).
+const std::vector<int>& talon_tx_sector_ids();
+
+/// Sector IDs used in beacon bursts (Table 1): 63 then 1..31.
+const std::vector<int>& talon_beacon_sector_ids();
+
+/// Generate the Talon-like codebook (34 TX sectors + RX quasi-omni).
+Codebook make_talon_codebook(const PlanarArrayGeometry& geometry,
+                             const TalonCodebookConfig& config = {});
+
+/// A denser codebook for the Sec. 7 scaling discussion ("future
+/// generations are likely to demand ... more fine-grained beam control
+/// ... increasing the number of implemented and predefined sectors"):
+/// `directional_sectors` steered beams covering azimuth +-56 deg at two
+/// elevation layers, plus the quasi-omni RX sector (ID 0). IDs are 1..N
+/// (requires directional_sectors <= 63).
+Codebook make_dense_codebook(const PlanarArrayGeometry& geometry,
+                             int directional_sectors,
+                             const TalonCodebookConfig& config = {});
+
+}  // namespace talon

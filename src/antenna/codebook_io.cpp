@@ -1,0 +1,154 @@
+#include "src/antenna/codebook_io.hpp"
+
+#include <cmath>
+
+#include "src/common/angles.hpp"
+#include "src/common/error.hpp"
+
+namespace talon {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'L', 'N', 'C'};
+constexpr std::uint16_t kVersion = 1;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_i16(std::vector<std::uint8_t>& out, std::int16_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> blob) : blob_(blob) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return blob_[pos_++];
+  }
+  std::uint16_t u16() {
+    require(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        blob_[pos_] | (static_cast<std::uint16_t>(blob_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+  bool exhausted() const { return pos_ == blob_.size(); }
+
+ private:
+  void require(std::size_t n) {
+    if (pos_ + n > blob_.size()) throw ParseError("codebook blob truncated");
+  }
+  std::span<const std::uint8_t> blob_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_codebook(const Codebook& codebook,
+                                             const PlanarArrayGeometry& geometry,
+                                             int phase_states, int amplitude_states) {
+  TALON_EXPECTS(phase_states >= 2 && phase_states <= 256);
+  TALON_EXPECTS(amplitude_states >= 1 && amplitude_states <= 255);
+  TALON_EXPECTS(geometry.cols() <= 255 && geometry.rows() <= 255);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(12 + codebook.size() * (5 + 2 * geometry.element_count()));
+  for (char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put_u16(out, kVersion);
+  put_u16(out, static_cast<std::uint16_t>(codebook.size()));
+  out.push_back(static_cast<std::uint8_t>(geometry.cols()));
+  out.push_back(static_cast<std::uint8_t>(geometry.rows()));
+  out.push_back(static_cast<std::uint8_t>(phase_states == 256 ? 0 : phase_states));
+  out.push_back(static_cast<std::uint8_t>(amplitude_states));
+
+  const double phase_step = 2.0 * kPi / phase_states;
+  const double amp_step = 1.0 / amplitude_states;
+  for (const Sector& s : codebook.sectors()) {
+    TALON_EXPECTS(s.weights.size() == geometry.element_count());
+    out.push_back(static_cast<std::uint8_t>(s.id));
+    put_i16(out, static_cast<std::int16_t>(
+                     std::lround(wrap_azimuth_deg(s.nominal.azimuth_deg) * 10.0)));
+    put_i16(out, static_cast<std::int16_t>(std::lround(s.nominal.elevation_deg * 10.0)));
+    for (const Complex& w : s.weights) {
+      const double amp = std::abs(w);
+      const auto amp_code =
+          static_cast<long>(std::lround(std::min(amp, 1.0) / amp_step));
+      if (amp_code <= 0) {
+        out.push_back(0);  // element off
+        out.push_back(0);
+        continue;
+      }
+      long phase_code = std::lround(std::arg(w) / phase_step);
+      phase_code = ((phase_code % phase_states) + phase_states) % phase_states;
+      out.push_back(static_cast<std::uint8_t>(amp_code));
+      out.push_back(static_cast<std::uint8_t>(phase_code));
+    }
+  }
+  return out;
+}
+
+ParsedCodebook parse_codebook(std::span<const std::uint8_t> blob) {
+  Reader r(blob);
+  for (char c : kMagic) {
+    if (r.u8() != static_cast<std::uint8_t>(c)) {
+      throw ParseError("codebook blob: bad magic");
+    }
+  }
+  if (r.u16() != kVersion) throw ParseError("codebook blob: unsupported version");
+  const std::uint16_t sector_count = r.u16();
+  if (sector_count == 0) throw ParseError("codebook blob: no sectors");
+  const std::size_t cols = r.u8();
+  const std::size_t rows = r.u8();
+  if (cols == 0 || rows == 0) throw ParseError("codebook blob: bad geometry");
+  const std::uint8_t phase_raw = r.u8();
+  const int phase_states = phase_raw == 0 ? 256 : phase_raw;
+  if (phase_states < 2) throw ParseError("codebook blob: bad phase states");
+  const int amplitude_states = r.u8();
+  if (amplitude_states < 1) throw ParseError("codebook blob: bad amplitude states");
+
+  const double phase_step = 2.0 * kPi / phase_states;
+  const double amp_step = 1.0 / amplitude_states;
+  std::vector<Sector> sectors;
+  sectors.reserve(sector_count);
+  for (std::uint16_t i = 0; i < sector_count; ++i) {
+    Sector s;
+    s.id = r.u8();
+    s.nominal.azimuth_deg = r.i16() / 10.0;
+    s.nominal.elevation_deg = r.i16() / 10.0;
+    s.weights.reserve(cols * rows);
+    for (std::size_t e = 0; e < cols * rows; ++e) {
+      const std::uint8_t amp_code = r.u8();
+      const std::uint8_t phase_code = r.u8();
+      if (amp_code == 0) {
+        s.weights.emplace_back(0.0, 0.0);
+        continue;
+      }
+      if (amp_code > amplitude_states) {
+        throw ParseError("codebook blob: amplitude code out of range");
+      }
+      if (phase_code >= phase_states) {
+        throw ParseError("codebook blob: phase code out of range");
+      }
+      const double amp = amp_code * amp_step;
+      const double phase = phase_code * phase_step;
+      s.weights.emplace_back(amp * std::cos(phase), amp * std::sin(phase));
+    }
+    sectors.push_back(std::move(s));
+  }
+  if (!r.exhausted()) throw ParseError("codebook blob: trailing bytes");
+
+  return ParsedCodebook{
+      .codebook = Codebook(std::move(sectors)),
+      .cols = cols,
+      .rows = rows,
+      .phase_states = phase_states,
+      .amplitude_states = amplitude_states,
+  };
+}
+
+}  // namespace talon

@@ -1,0 +1,54 @@
+// Binary codebook marshalling.
+//
+// On the real QCA9500 the sector definitions live in a packed binary blob
+// inside the firmware image (the wil6210 "board file"); talon-tools reads
+// and rewrites it to experiment with custom sectors. This codec is that
+// format's equivalent: a compact, versioned layout holding per-element
+// amplitude/phase *codes* at the hardware's register resolution, exactly
+// what a phase-shifter bank consumes.
+//
+// Layout (little-endian):
+//   magic   "TLNC"            4 bytes
+//   version u16               (currently 1)
+//   sector_count u16
+//   cols u8, rows u8          array geometry
+//   phase_states u8           phases per turn (e.g. 4 or 16)
+//   amplitude_states u8       non-zero amplitude levels (e.g. 1 or 4)
+//   per sector:
+//     id u8
+//     nominal_azimuth_decideg  i16 (tenths of a degree)
+//     nominal_elevation_decideg i16
+//     per element (cols*rows):
+//       amplitude_code u8     0 = element off, k = k/amplitude_states
+//       phase_code u8         k = k * 2*pi/phase_states
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/antenna/codebook.hpp"
+#include "src/antenna/geometry.hpp"
+
+namespace talon {
+
+struct ParsedCodebook {
+  Codebook codebook;
+  std::size_t cols{0};
+  std::size_t rows{0};
+  int phase_states{0};
+  int amplitude_states{0};
+};
+
+/// Pack a codebook. Weights are snapped to the nearest register codes, so
+/// a codebook generated with matching quantization round-trips exactly.
+/// `phase_states` in [2, 256], `amplitude_states` in [1, 255].
+std::vector<std::uint8_t> serialize_codebook(const Codebook& codebook,
+                                             const PlanarArrayGeometry& geometry,
+                                             int phase_states, int amplitude_states);
+
+/// Parse a blob; throws ParseError on bad magic/version/size or invalid
+/// field values.
+ParsedCodebook parse_codebook(std::span<const std::uint8_t> blob);
+
+}  // namespace talon

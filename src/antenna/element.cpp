@@ -1,0 +1,64 @@
+#include "src/antenna/element.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+#include "src/common/vec3.hpp"
+
+namespace talon {
+
+namespace {
+/// Number of harmonics in the chassis ripple model.
+constexpr std::size_t kRippleHarmonics = 5;
+/// Peak gain of the bare element [dBi]; a wide 60 GHz patch is ~5 dBi.
+constexpr double kElementPeakDbi = 5.0;
+}  // namespace
+
+ElementModel::ElementModel(const ElementModelConfig& config) : config_(config) {
+  Rng rng(config_.device_seed);
+  ripple_amp_.reserve(kRippleHarmonics);
+  ripple_phase_.reserve(kRippleHarmonics);
+  for (std::size_t h = 0; h < kRippleHarmonics; ++h) {
+    ripple_amp_.push_back(rng.uniform(0.3, 1.0));
+    ripple_phase_.push_back(rng.uniform(0.0, 2.0 * kPi));
+  }
+  // Normalize so the summed ripple stays within +-chassis_ripple_db/2.
+  double total = 0.0;
+  for (double a : ripple_amp_) total += a;
+  for (double& a : ripple_amp_) a *= (config_.chassis_ripple_db / 2.0) / total;
+}
+
+double ElementModel::gain_dbi(const Direction& dir) const {
+  // Angle from boresight (+x) via the dot product with the unit vector.
+  const Vec3 u = unit_vector(dir);
+  const double cos_off = std::clamp(u.x, -1.0, 1.0);
+  // Broad cos^q forward pattern with a diffuse back-lobe floor.
+  const double forward =
+      cos_off > 0.0 ? std::pow(cos_off, config_.pattern_exponent) : 0.0;
+  const double floor_lin = db_to_linear(config_.backlobe_floor_db);
+  const double gain_db =
+      kElementPeakDbi + linear_to_db(std::max(forward, floor_lin));
+  return gain_db - chassis_attenuation_db(dir);
+}
+
+double ElementModel::chassis_attenuation_db(const Direction& dir) const {
+  const double abs_az = std::fabs(wrap_azimuth_deg(dir.azimuth_deg));
+  if (abs_az <= config_.chassis_shadow_start_deg) return 0.0;
+  // Smoothly ramp to full depth over the shadowed arc, plus device-specific
+  // ripple ("distorted patterns").
+  const double span = 180.0 - config_.chassis_shadow_start_deg;
+  const double depth_frac = (abs_az - config_.chassis_shadow_start_deg) / span;
+  double ripple = 0.0;
+  const double az_rad = deg_to_rad(dir.azimuth_deg);
+  for (std::size_t h = 0; h < ripple_amp_.size(); ++h) {
+    ripple += ripple_amp_[h] *
+              std::sin(static_cast<double>(h + 2) * az_rad + ripple_phase_[h]);
+  }
+  const double atten =
+      config_.chassis_shadow_depth_db * depth_frac + ripple * depth_frac;
+  return std::max(atten, 0.0);
+}
+
+}  // namespace talon

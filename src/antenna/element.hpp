@@ -1,0 +1,56 @@
+// Single-element radiation model plus chassis effects.
+//
+// Sec. 4.2/4.4: "the packaging and placement of the antenna inside a device
+// influences the radiation characteristics" and "in the direction behind
+// the antenna -- for angles higher than +-120 deg -- we observe distorted
+// patterns ... the antenna array is partially blocked by a chip and
+// shielded in this direction". ElementModel captures both: a broad
+// patch-like element pattern and a deterministic per-device chassis
+// shadowing with ripple behind the array.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/angles.hpp"
+
+namespace talon {
+
+struct ElementModelConfig {
+  /// Exponent of the cos^q element pattern (q ~ 1.2 for a wide patch).
+  double pattern_exponent{1.2};
+  /// Residual back-lobe level relative to element peak [dB].
+  double backlobe_floor_db{-18.0};
+  /// Azimuth beyond which chassis shadowing sets in [deg] (paper: ~120).
+  double chassis_shadow_start_deg{120.0};
+  /// Mean extra attenuation deep inside the shadow region [dB].
+  double chassis_shadow_depth_db{14.0};
+  /// Peak-to-peak amplitude of the pseudo-random shadow ripple [dB]
+  /// ("distorted patterns" behind the device).
+  double chassis_ripple_db{6.0};
+  /// Per-device seed for the ripple; two devices with different seeds have
+  /// slightly different chassis distortion ("other Talon AD7200 devices
+  /// might behave differently", Sec. 4.5).
+  std::uint64_t device_seed{1};
+};
+
+class ElementModel {
+ public:
+  explicit ElementModel(const ElementModelConfig& config);
+
+  /// Element gain [dBi] toward a direction in the device frame.
+  /// Includes the chassis shadowing/ripple.
+  double gain_dbi(const Direction& dir) const;
+
+  const ElementModelConfig& config() const { return config_; }
+
+ private:
+  double chassis_attenuation_db(const Direction& dir) const;
+
+  ElementModelConfig config_;
+  /// Fixed Fourier coefficients of the ripple, derived from device_seed.
+  std::vector<double> ripple_amp_;
+  std::vector<double> ripple_phase_;
+};
+
+}  // namespace talon

@@ -1,0 +1,28 @@
+// Abstraction over "the gain of sector n toward direction d".
+//
+// Two implementations exist on purpose:
+//  - ArrayGainSource (synthesis.hpp): the physical ground truth computed
+//    from the array model; the channel simulator uses this.
+//  - PatternTableGainSource (pattern.hpp): the *measured* pattern table
+//    from the anechoic-chamber campaign; the CSS algorithm uses this.
+// Keeping them behind one interface lets experiments quantify how much the
+// measured table deviates from the truth (an ablation the paper motivates:
+// theoretical patterns are not good enough on real hardware).
+#pragma once
+
+#include "src/common/angles.hpp"
+
+namespace talon {
+
+class GainSource {
+ public:
+  virtual ~GainSource() = default;
+
+  /// Gain of `sector_id` toward `dir` in the device frame.
+  /// Unit is dB relative to an implementation-defined reference (dBi for
+  /// the array model, measured SNR dB for a pattern table); correlation
+  /// based consumers only rely on relative shape.
+  virtual double gain_dbi(int sector_id, const Direction& dir) const = 0;
+};
+
+}  // namespace talon

@@ -1,0 +1,35 @@
+#include "src/antenna/geometry.hpp"
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+PlanarArrayGeometry::PlanarArrayGeometry(std::size_t cols, std::size_t rows,
+                                         double col_spacing_wavelengths,
+                                         double row_spacing_wavelengths)
+    : cols_(cols),
+      rows_(rows),
+      col_spacing_(col_spacing_wavelengths),
+      row_spacing_(row_spacing_wavelengths > 0.0 ? row_spacing_wavelengths
+                                                 : col_spacing_wavelengths) {
+  TALON_EXPECTS(cols_ >= 1 && rows_ >= 1);
+  TALON_EXPECTS(col_spacing_ > 0.0);
+  positions_.reserve(element_count());
+  const double cy = static_cast<double>(cols_ - 1) / 2.0;
+  const double cz = static_cast<double>(rows_ - 1) / 2.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      positions_.push_back(Vec3{
+          0.0,
+          (static_cast<double>(c) - cy) * col_spacing_,
+          (static_cast<double>(r) - cz) * row_spacing_,
+      });
+    }
+  }
+}
+
+PlanarArrayGeometry talon_array_geometry() {
+  return PlanarArrayGeometry(8, 4, 0.5, 0.35);
+}
+
+}  // namespace talon

@@ -1,0 +1,47 @@
+// Planar phased-array geometry.
+//
+// The Talon AD7200's QCA9500 module drives a 32-element planar array. We
+// model it as an 8 (horizontal, y axis) x 4 (vertical, z axis) lattice,
+// boresight along +x. Horizontal spacing is half a wavelength; vertical
+// spacing is tighter (0.35 lambda), giving the wide elevation beams the
+// paper measures in Fig. 6 -- sectors keep useful gain up to ~30 deg
+// elevation, while azimuth beams stay narrow.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/vec3.hpp"
+
+namespace talon {
+
+class PlanarArrayGeometry {
+ public:
+  /// cols elements along y (spacing col_spacing_wavelengths), rows along z
+  /// (spacing row_spacing_wavelengths; defaults to the column spacing).
+  PlanarArrayGeometry(std::size_t cols, std::size_t rows,
+                      double col_spacing_wavelengths,
+                      double row_spacing_wavelengths = 0.0);
+
+  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t element_count() const { return cols_ * rows_; }
+  double col_spacing_wavelengths() const { return col_spacing_; }
+  double row_spacing_wavelengths() const { return row_spacing_; }
+
+  /// Element positions in wavelengths, centered on the array origin.
+  /// Index order: element (c, r) at index r * cols + c.
+  const std::vector<Vec3>& element_positions() const { return positions_; }
+
+ private:
+  std::size_t cols_;
+  std::size_t rows_;
+  double col_spacing_;
+  double row_spacing_;
+  std::vector<Vec3> positions_;
+};
+
+/// The Talon AD7200 array: 8x4 elements, 0.5 x 0.35 lambda spacing.
+PlanarArrayGeometry talon_array_geometry();
+
+}  // namespace talon

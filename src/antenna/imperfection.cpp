@@ -1,0 +1,67 @@
+#include "src/antenna/imperfection.hpp"
+
+#include <cmath>
+
+#include "src/common/angles.hpp"
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+
+namespace talon {
+
+CalibrationErrors::CalibrationErrors(std::size_t element_count,
+                                     const CalibrationErrorConfig& config) {
+  TALON_EXPECTS(element_count > 0);
+  Rng rng(config.device_seed);
+  errors_.reserve(element_count);
+  for (std::size_t i = 0; i < element_count; ++i) {
+    if (rng.bernoulli(config.dead_element_probability)) {
+      errors_.emplace_back(0.0, 0.0);
+      continue;
+    }
+    const double amp = std::sqrt(db_to_linear(rng.normal(config.amplitude_stddev_db)));
+    const double phase = deg_to_rad(rng.normal(config.phase_stddev_deg));
+    errors_.push_back(amp * Complex(std::cos(phase), std::sin(phase)));
+  }
+}
+
+WeightVector CalibrationErrors::apply(const WeightVector& weights) const {
+  TALON_EXPECTS(weights.size() == errors_.size());
+  WeightVector out;
+  out.reserve(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) out.push_back(weights[i] * errors_[i]);
+  return out;
+}
+
+MutualCoupling::MutualCoupling(const PlanarArrayGeometry& geometry,
+                               const MutualCouplingConfig& config) {
+  const double mag = std::sqrt(db_to_linear(config.adjacent_coupling_db));
+  const double phase = deg_to_rad(config.coupling_phase_deg);
+  coupling_ = mag * Complex(std::cos(phase), std::sin(phase));
+
+  const std::size_t cols = geometry.cols();
+  const std::size_t rows = geometry.rows();
+  neighbours_.resize(geometry.element_count());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      auto& n = neighbours_[r * cols + c];
+      if (c > 0) n.push_back(r * cols + (c - 1));
+      if (c + 1 < cols) n.push_back(r * cols + (c + 1));
+      if (r > 0) n.push_back((r - 1) * cols + c);
+      if (r + 1 < rows) n.push_back((r + 1) * cols + c);
+    }
+  }
+}
+
+WeightVector MutualCoupling::apply(const WeightVector& weights) const {
+  TALON_EXPECTS(weights.size() == neighbours_.size());
+  WeightVector out(weights);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    Complex leak(0.0, 0.0);
+    for (std::size_t n : neighbours_[i]) leak += weights[n];
+    out[i] += coupling_ * leak;
+  }
+  return out;
+}
+
+}  // namespace talon

@@ -1,0 +1,77 @@
+// Per-element calibration errors of low-cost hardware.
+//
+// "The low-cost components integrated in [off-the-shelf devices] cause
+// imperfections and do not achieve the precision of laboratory equipment"
+// (Sec. 1). We model this as a fixed, per-device complex gain error on each
+// element (amplitude ripple + phase offset) plus optionally dead elements.
+// The errors are drawn once per device and then stay fixed, like a real
+// miscalibrated front-end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/antenna/geometry.hpp"
+#include "src/antenna/weights.hpp"
+
+namespace talon {
+
+struct CalibrationErrorConfig {
+  /// Std-dev of the per-element amplitude error [dB].
+  double amplitude_stddev_db{0.7};
+  /// Std-dev of the per-element phase error [deg].
+  double phase_stddev_deg{12.0};
+  /// Probability that an element is dead (open/short in the RF chain).
+  double dead_element_probability{0.0};
+  /// Per-device seed.
+  std::uint64_t device_seed{1};
+};
+
+class CalibrationErrors {
+ public:
+  CalibrationErrors(std::size_t element_count, const CalibrationErrorConfig& config);
+
+  std::size_t element_count() const { return errors_.size(); }
+
+  /// Multiplicative complex error per element (0 for dead elements).
+  const WeightVector& errors() const { return errors_; }
+
+  /// Element-wise product of `weights` with the device's errors:
+  /// the excitation the hardware actually realizes.
+  WeightVector apply(const WeightVector& weights) const;
+
+ private:
+  WeightVector errors_;
+};
+
+/// Electromagnetic mutual coupling between neighbouring patch elements:
+/// part of each element's excitation leaks into its lattice neighbours
+/// (w' = (I + c A) w with A the 4-neighbour adjacency). Densely packed
+/// consumer arrays couple strongly, another reason measured patterns
+/// deviate from geometry-only theory.
+struct MutualCouplingConfig {
+  /// Coupling magnitude to each adjacent element [dB] (typ. -15 to -25).
+  double adjacent_coupling_db{-20.0};
+  /// Phase of the coupled leakage [deg] (near-field coupling is roughly
+  /// quadrature for lambda/2 spacing).
+  double coupling_phase_deg{90.0};
+};
+
+class MutualCoupling {
+ public:
+  MutualCoupling(const PlanarArrayGeometry& geometry,
+                 const MutualCouplingConfig& config);
+
+  std::size_t element_count() const { return neighbours_.size(); }
+
+  /// w' = w + c * sum(neighbour weights): the excitation the array
+  /// actually radiates.
+  WeightVector apply(const WeightVector& weights) const;
+
+ private:
+  Complex coupling_;
+  /// Per element, the indices of its lattice neighbours.
+  std::vector<std::vector<std::size_t>> neighbours_;
+};
+
+}  // namespace talon

@@ -1,0 +1,147 @@
+#include "src/antenna/pattern.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+void PatternTable::add(int sector_id, Grid2D pattern_db) {
+  TALON_EXPECTS(!contains(sector_id));
+  if (!patterns_.empty()) {
+    TALON_EXPECTS(pattern_db.grid() == grid());
+  }
+  const auto insert_at = std::find_if(
+      patterns_.begin(), patterns_.end(),
+      [sector_id](const Entry& e) { return e.id > sector_id; });
+  patterns_.insert(insert_at, Entry{sector_id, std::move(pattern_db)});
+}
+
+bool PatternTable::contains(int sector_id) const {
+  return std::any_of(patterns_.begin(), patterns_.end(),
+                     [sector_id](const Entry& e) { return e.id == sector_id; });
+}
+
+std::vector<int> PatternTable::ids() const {
+  std::vector<int> out;
+  out.reserve(patterns_.size());
+  for (const Entry& e : patterns_) out.push_back(e.id);
+  return out;
+}
+
+const AngularGrid& PatternTable::grid() const {
+  TALON_EXPECTS(!patterns_.empty());
+  return patterns_.front().pattern.grid();
+}
+
+const Grid2D& PatternTable::pattern(int sector_id) const {
+  const auto it = std::find_if(patterns_.begin(), patterns_.end(),
+                               [sector_id](const Entry& e) { return e.id == sector_id; });
+  TALON_EXPECTS(it != patterns_.end());
+  return it->pattern;
+}
+
+double PatternTable::sample_db(int sector_id, const Direction& dir) const {
+  return pattern(sector_id).sample(dir);
+}
+
+int PatternTable::best_sector_at(const Direction& dir,
+                                 std::span<const int> candidates) const {
+  TALON_EXPECTS(!candidates.empty());
+  int best_id = -1;
+  double best_gain = -std::numeric_limits<double>::infinity();
+  for (int id : candidates) {
+    const double g = sample_db(id, dir);
+    if (g > best_gain) {
+      best_gain = g;
+      best_id = id;
+    }
+  }
+  return best_id;
+}
+
+int PatternTable::best_sector_at(const Direction& dir) const {
+  const auto all = ids();
+  return best_sector_at(dir, all);
+}
+
+CsvTable PatternTable::to_csv() const {
+  CsvTable out;
+  out.header = {"sector_id", "azimuth_deg", "elevation_deg", "value_db"};
+  for (const Entry& e : patterns_) {
+    const AngularGrid& g = e.pattern.grid();
+    for (std::size_t ie = 0; ie < g.elevation.count; ++ie) {
+      for (std::size_t ia = 0; ia < g.azimuth.count; ++ia) {
+        const Direction d = g.direction(ia, ie);
+        out.rows.push_back({static_cast<double>(e.id), d.azimuth_deg,
+                            d.elevation_deg, e.pattern.at(ia, ie)});
+      }
+    }
+  }
+  return out;
+}
+
+PatternTable PatternTable::from_csv(const CsvTable& table) {
+  const std::size_t col_id = table.column("sector_id");
+  const std::size_t col_az = table.column("azimuth_deg");
+  const std::size_t col_el = table.column("elevation_deg");
+  const std::size_t col_val = table.column("value_db");
+  if (table.rows.empty()) throw ParseError("pattern csv: no data rows");
+
+  // Reconstruct the grid from the distinct sorted azimuth/elevation values.
+  std::vector<double> azs;
+  std::vector<double> els;
+  for (const auto& row : table.rows) {
+    azs.push_back(row[col_az]);
+    els.push_back(row[col_el]);
+  }
+  const auto unique_sorted = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end(),
+                        [](double a, double b) { return std::fabs(a - b) < 1e-9; }),
+            v.end());
+  };
+  unique_sorted(azs);
+  unique_sorted(els);
+  const auto axis_of = [](const std::vector<double>& v) {
+    if (v.size() == 1) return Axis{.first = v.front(), .step = 1.0, .count = 1};
+    const double step = (v.back() - v.front()) / static_cast<double>(v.size() - 1);
+    for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+      if (std::fabs((v[i + 1] - v[i]) - step) > 1e-6) {
+        throw ParseError("pattern csv: irregular grid");
+      }
+    }
+    return Axis{.first = v.front(), .step = step, .count = v.size()};
+  };
+  const AngularGrid grid{.azimuth = axis_of(azs), .elevation = axis_of(els)};
+
+  // Group rows by sector and fill grids.
+  std::vector<int> sector_ids;
+  for (const auto& row : table.rows) {
+    const int id = static_cast<int>(std::lround(row[col_id]));
+    if (std::find(sector_ids.begin(), sector_ids.end(), id) == sector_ids.end()) {
+      sector_ids.push_back(id);
+    }
+  }
+  PatternTable out;
+  for (int id : sector_ids) {
+    Grid2D pattern(grid, std::numeric_limits<double>::quiet_NaN());
+    for (const auto& row : table.rows) {
+      if (static_cast<int>(std::lround(row[col_id])) != id) continue;
+      const std::size_t ia = grid.azimuth.nearest_index(row[col_az]);
+      const std::size_t ie = grid.elevation.nearest_index(row[col_el]);
+      pattern.set(ia, ie, row[col_val]);
+    }
+    for (double v : pattern.values()) {
+      if (std::isnan(v)) {
+        throw ParseError("pattern csv: incomplete grid for sector " + std::to_string(id));
+      }
+    }
+    out.add(id, std::move(pattern));
+  }
+  return out;
+}
+
+}  // namespace talon

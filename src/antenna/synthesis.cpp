@@ -1,0 +1,94 @@
+#include "src/antenna/synthesis.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/units.hpp"
+#include "src/common/vec3.hpp"
+
+namespace talon {
+
+double array_gain_dbi(const PlanarArrayGeometry& geometry, const ElementModel& element,
+                      const WeightVector& weights, const Direction& dir) {
+  TALON_EXPECTS(weights.size() == geometry.element_count());
+  const double power = total_weight_power(weights);
+  if (power <= 0.0) return -120.0;  // all elements off
+  const Vec3 u = unit_vector(dir);
+  const double elem_gain_lin = db_to_linear(element.gain_dbi(dir));
+  Complex field(0.0, 0.0);
+  const auto& positions = geometry.element_positions();
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double phase = 2.0 * kPi * dot(u, positions[i]);
+    field += weights[i] * Complex(std::cos(phase), std::sin(phase));
+  }
+  // Matched unquantized steering yields |field|^2 = N^2 * power/N, so the
+  // normalized array factor peaks at N; the element gain multiplies on top.
+  return linear_to_db(std::norm(field) / power * elem_gain_lin);
+}
+
+ArrayGainSource::ArrayGainSource(PlanarArrayGeometry geometry, ElementModel element,
+                                 Codebook codebook, CalibrationErrors calibration,
+                                 std::optional<MutualCoupling> coupling)
+    : geometry_(std::move(geometry)),
+      element_(std::move(element)),
+      codebook_(std::move(codebook)),
+      calibration_(std::move(calibration)),
+      coupling_(std::move(coupling)) {
+  TALON_EXPECTS(calibration_.element_count() == geometry_.element_count());
+  if (coupling_) {
+    TALON_EXPECTS(coupling_->element_count() == geometry_.element_count());
+  }
+  realized_.reserve(codebook_.size());
+  for (const Sector& s : codebook_.sectors()) {
+    TALON_EXPECTS(s.weights.size() == geometry_.element_count());
+    realized_.push_back(realize(s.weights));
+  }
+}
+
+WeightVector ArrayGainSource::realize(const WeightVector& weights) const {
+  // The drive passes the miscalibrated RF chains first, then couples in
+  // the aperture.
+  WeightVector out = calibration_.apply(weights);
+  if (coupling_) out = coupling_->apply(out);
+  return out;
+}
+
+double ArrayGainSource::gain_with_weights(const WeightVector& weights,
+                                          const Direction& dir) const {
+  return array_gain_dbi(geometry_, element_, realize(weights), dir);
+}
+
+double ArrayGainSource::gain_dbi(int sector_id, const Direction& dir) const {
+  const auto& sectors = codebook_.sectors();
+  for (std::size_t i = 0; i < sectors.size(); ++i) {
+    if (sectors[i].id == sector_id) {
+      return array_gain_dbi(geometry_, element_, realized_[i], dir);
+    }
+  }
+  throw PreconditionError("unknown sector id " + std::to_string(sector_id));
+}
+
+Grid2D synthesize_pattern_grid(const GainSource& source, int sector_id,
+                               const AngularGrid& grid) {
+  Grid2D out(grid);
+  for (std::size_t ie = 0; ie < grid.elevation.count; ++ie) {
+    for (std::size_t ia = 0; ia < grid.azimuth.count; ++ia) {
+      out.set(ia, ie, source.gain_dbi(sector_id, grid.direction(ia, ie)));
+    }
+  }
+  return out;
+}
+
+ArrayGainSource make_talon_front_end(std::uint64_t device_seed) {
+  PlanarArrayGeometry geometry = talon_array_geometry();
+  ElementModelConfig element_config;
+  element_config.device_seed = device_seed;
+  CalibrationErrorConfig cal_config;
+  cal_config.device_seed = device_seed ^ 0x5EEDF00DULL;
+  return ArrayGainSource(geometry, ElementModel(element_config),
+                         make_talon_codebook(geometry),
+                         CalibrationErrors(geometry.element_count(), cal_config),
+                         MutualCoupling(geometry, MutualCouplingConfig{}));
+}
+
+}  // namespace talon

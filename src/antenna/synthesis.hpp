@@ -1,0 +1,69 @@
+// Far-field synthesis: from weights to realized gain.
+//
+// This is the physical ground truth of the simulation. The channel model
+// queries it for the gain each sector actually provides toward each ray;
+// the measurement campaign (src/measure) observes it only through noisy
+// sweeps, mirroring how the paper can only measure its hardware.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "src/antenna/codebook.hpp"
+#include "src/antenna/element.hpp"
+#include "src/antenna/gain_source.hpp"
+#include "src/antenna/geometry.hpp"
+#include "src/antenna/imperfection.hpp"
+#include "src/common/grid.hpp"
+
+namespace talon {
+
+/// Realized far-field gain [dBi] of an excitation toward `dir`.
+/// Gain = |sum_i w_i * sqrt(g_elem(dir)) * e^{j 2 pi u.p_i}|^2 / sum_i |w_i|^2,
+/// i.e. normalized so that a perfectly matched unquantized steering vector
+/// attains N * g_elem (array gain times element gain).
+double array_gain_dbi(const PlanarArrayGeometry& geometry, const ElementModel& element,
+                      const WeightVector& weights, const Direction& dir);
+
+/// Ground-truth gain of every sector of one physical device
+/// (geometry + element/chassis model + codebook + calibration errors +
+/// optional mutual coupling).
+class ArrayGainSource final : public GainSource {
+ public:
+  ArrayGainSource(PlanarArrayGeometry geometry, ElementModel element, Codebook codebook,
+                  CalibrationErrors calibration,
+                  std::optional<MutualCoupling> coupling = std::nullopt);
+
+  double gain_dbi(int sector_id, const Direction& dir) const override;
+
+  /// Realized gain of an *arbitrary* excitation on this device (the
+  /// device's calibration errors apply, exactly as for codebook sectors).
+  /// This is the path beam refinement uses to try custom AWVs.
+  double gain_with_weights(const WeightVector& weights, const Direction& dir) const;
+
+  const Codebook& codebook() const { return codebook_; }
+  const PlanarArrayGeometry& geometry() const { return geometry_; }
+  const CalibrationErrors& calibration() const { return calibration_; }
+
+ private:
+  WeightVector realize(const WeightVector& weights) const;
+
+  PlanarArrayGeometry geometry_;
+  ElementModel element_;
+  Codebook codebook_;
+  CalibrationErrors calibration_;
+  std::optional<MutualCoupling> coupling_;
+  // Realized (calibration- and coupling-distorted) weights per codebook
+  // entry, index aligned with codebook_.sectors().
+  std::vector<WeightVector> realized_;
+};
+
+/// Sample a sector's ground-truth pattern onto a grid (values in dBi).
+Grid2D synthesize_pattern_grid(const GainSource& source, int sector_id,
+                               const AngularGrid& grid);
+
+/// Convenience: a complete simulated Talon AD7200 front-end.
+/// `device_seed` individualizes chassis ripple and calibration errors.
+ArrayGainSource make_talon_front_end(std::uint64_t device_seed);
+
+}  // namespace talon

@@ -1,0 +1,52 @@
+#include "src/antenna/weights.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/angles.hpp"
+#include "src/common/error.hpp"
+
+namespace talon {
+
+WeightVector WeightQuantizer::quantize(const WeightVector& weights) const {
+  TALON_EXPECTS(phase_states >= 2);
+  TALON_EXPECTS(amplitude_states >= 1);
+  WeightVector out;
+  out.reserve(weights.size());
+  const double phase_step = 2.0 * kPi / phase_states;
+  const double amp_step = 1.0 / amplitude_states;
+  for (const Complex& w : weights) {
+    const double amp = std::abs(w);
+    // Snap amplitude to the nearest level in {0, amp_step, ..., 1}.
+    const double level = std::round(std::min(amp, 1.0) / amp_step) * amp_step;
+    if (level <= 0.0) {
+      out.emplace_back(0.0, 0.0);
+      continue;
+    }
+    const double phase = std::round(std::arg(w) / phase_step) * phase_step;
+    out.push_back(level * Complex(std::cos(phase), std::sin(phase)));
+  }
+  return out;
+}
+
+WeightVector steering_weights(const std::vector<Vec3>& element_positions,
+                              const Direction& dir) {
+  const Vec3 u = unit_vector(dir);
+  WeightVector weights;
+  weights.reserve(element_positions.size());
+  for (const Vec3& p : element_positions) {
+    // Positions are in wavelengths, so the element phase toward `dir` is
+    // 2*pi*(u . p); the steering weight conjugates it.
+    const double phase = -2.0 * kPi * dot(u, p);
+    weights.emplace_back(std::cos(phase), std::sin(phase));
+  }
+  return weights;
+}
+
+double total_weight_power(const WeightVector& weights) {
+  double sum = 0.0;
+  for (const Complex& w : weights) sum += std::norm(w);
+  return sum;
+}
+
+}  // namespace talon

@@ -1,0 +1,47 @@
+// Per-element excitation weights and the coarse quantization of low-cost
+// RFICs.
+//
+// The QCA9500 changes "phase shifts and amplitudes ... in discrete steps
+// per antenna element" (Sec. 1). Consumer-grade 60 GHz front-ends use very
+// coarse controls (2-bit phase shifters are typical); this coarseness is
+// exactly why real sector patterns have the irregular side lobes seen in
+// Fig. 5 and why the paper refuses to rely on idealized geometric patterns.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/vec3.hpp"
+
+namespace talon {
+
+using Complex = std::complex<double>;
+
+/// One complex excitation per array element. Elements with weight 0 are off.
+using WeightVector = std::vector<Complex>;
+
+/// Hardware quantization of a weight vector.
+struct WeightQuantizer {
+  /// Number of phase states (2-bit shifter -> 4). Must be >= 2.
+  int phase_states{4};
+  /// Number of non-zero amplitude states (1 -> on/off only). Must be >= 1.
+  int amplitude_states{1};
+
+  /// Quantize each weight: phase snaps to the nearest of `phase_states`
+  /// equally spaced phases; amplitude snaps to the nearest of
+  /// `amplitude_states` levels in (0, 1] (weights below half the smallest
+  /// level turn the element off).
+  WeightVector quantize(const WeightVector& weights) const;
+};
+
+/// Ideal (pre-quantization) steering vector for a planar array: conjugate
+/// phase alignment toward `dir` with unit amplitudes.
+/// `element_positions` are in wavelengths.
+WeightVector steering_weights(const std::vector<Vec3>& element_positions,
+                              const Direction& dir);
+
+/// Sum of element powers sum(|w_i|^2); used to normalize array gain.
+double total_weight_power(const WeightVector& weights);
+
+}  // namespace talon

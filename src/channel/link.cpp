@@ -1,0 +1,28 @@
+#include "src/channel/link.hpp"
+
+namespace talon {
+
+double received_power_dbm(const GainSource& tx_gain, int tx_sector,
+                          const EndpointPose& tx, const GainSource& rx_gain,
+                          int rx_sector, const EndpointPose& rx,
+                          const Environment& env, const RadioConfig& radio) {
+  double total_mw = 0.0;
+  for (const Ray& ray : env.rays(tx.position, rx.position)) {
+    const Direction dep_dev = tx.orientation.to_device_frame(ray.departure_world);
+    const Direction arr_dev = rx.orientation.to_device_frame(ray.arrival_world);
+    const double rx_dbm = radio.tx_power_dbm + tx_gain.gain_dbi(tx_sector, dep_dev) +
+                          rx_gain.gain_dbi(rx_sector, arr_dev) + ray.gain_db;
+    total_mw += dbm_to_mw(rx_dbm);
+  }
+  return mw_to_dbm(total_mw);
+}
+
+double link_snr_db(const GainSource& tx_gain, int tx_sector, const EndpointPose& tx,
+                   const GainSource& rx_gain, int rx_sector, const EndpointPose& rx,
+                   const Environment& env, const RadioConfig& radio) {
+  return received_power_dbm(tx_gain, tx_sector, tx, rx_gain, rx_sector, rx, env,
+                            radio) -
+         radio.noise_floor_dbm();
+}
+
+}  // namespace talon

@@ -1,0 +1,50 @@
+// Link budget: per-sector received power and true SNR.
+//
+// Combines environment rays with the TX sector's and RX sector's realized
+// gains (evaluated in each device's frame) and sums ray powers
+// noncoherently. This "true" SNR is what the PHY measurement model
+// (src/phy) then distorts into the firmware-reported SNR/RSSI.
+#pragma once
+
+#include "src/antenna/gain_source.hpp"
+#include "src/channel/environment.hpp"
+#include "src/channel/orientation.hpp"
+#include "src/common/units.hpp"
+#include "src/common/vec3.hpp"
+
+namespace talon {
+
+struct RadioConfig {
+  /// Conducted transmit power [dBm]. The default is calibrated so that the
+  /// strongest sector at 3 m (anechoic) reports ~11 dB on the firmware
+  /// scale -- just below the 12 dB clamp, like the paper's Fig. 5 peaks.
+  double tx_power_dbm{8.0};
+  /// Receiver noise figure [dB].
+  double noise_figure_db{10.0};
+  /// Receiver bandwidth [Hz].
+  double bandwidth_hz{kChannelBandwidthHz};
+
+  double noise_floor_dbm() const {
+    return thermal_noise_dbm(bandwidth_hz, noise_figure_db);
+  }
+};
+
+/// Full pose of one end of a link.
+struct EndpointPose {
+  Vec3 position;
+  DeviceOrientation orientation;
+};
+
+/// Received power [dBm] at `rx` for a transmission from `tx` using the
+/// given sector IDs; sums all environment rays noncoherently.
+double received_power_dbm(const GainSource& tx_gain, int tx_sector,
+                          const EndpointPose& tx, const GainSource& rx_gain,
+                          int rx_sector, const EndpointPose& rx,
+                          const Environment& env, const RadioConfig& radio);
+
+/// True link SNR [dB]: received power minus the RX noise floor.
+double link_snr_db(const GainSource& tx_gain, int tx_sector, const EndpointPose& tx,
+                   const GainSource& rx_gain, int rx_sector, const EndpointPose& rx,
+                   const Environment& env, const RadioConfig& radio);
+
+}  // namespace talon

@@ -1,0 +1,40 @@
+#include "src/channel/orientation.hpp"
+
+#include <cmath>
+
+namespace talon {
+
+namespace {
+
+Vec3 rotate_z(const Vec3& v, double deg) {
+  const double a = deg_to_rad(deg);
+  const double c = std::cos(a);
+  const double s = std::sin(a);
+  return {c * v.x - s * v.y, s * v.x + c * v.y, v.z};
+}
+
+/// Rotation about y such that positive `deg` tilts +x toward +z.
+Vec3 rotate_y_up(const Vec3& v, double deg) {
+  const double a = deg_to_rad(deg);
+  const double c = std::cos(a);
+  const double s = std::sin(a);
+  return {c * v.x - s * v.z, v.y, s * v.x + c * v.z};
+}
+
+}  // namespace
+
+Direction DeviceOrientation::to_device_frame(const Direction& world) const {
+  Vec3 v = unit_vector(world);
+  v = rotate_y_up(v, -tilt_deg_);   // undo the mount tilt (about world y)
+  v = rotate_z(v, -azimuth_deg_);   // undo azimuth
+  return direction_of(v);
+}
+
+Direction DeviceOrientation::to_world_frame(const Direction& device) const {
+  Vec3 v = unit_vector(device);
+  v = rotate_z(v, azimuth_deg_);
+  v = rotate_y_up(v, tilt_deg_);
+  return direction_of(v);
+}
+
+}  // namespace talon

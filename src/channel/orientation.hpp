@@ -1,0 +1,44 @@
+// Device pose: where the antenna boresight points in the world frame.
+//
+// The measurement campaign rotates a device in azimuth with a step-motor
+// head and manually tilts it in elevation (Sec. 4.2/4.5); this class is
+// that pose. Antenna patterns are defined in the device frame, the channel
+// produces ray directions in the world frame; to_device_frame() connects
+// the two.
+#pragma once
+
+#include "src/common/angles.hpp"
+#include "src/common/vec3.hpp"
+
+namespace talon {
+
+// Composition models the paper's rig: the azimuth rotation happens on the
+// (possibly tilted) head, i.e. device-to-world = Tilt(about world y) o
+// Yaw(about the head axis). With this order a head pose (alpha, tau) puts
+// a boresight-facing peer at exactly (-alpha, -tau) in the device frame.
+class DeviceOrientation {
+ public:
+  DeviceOrientation() = default;
+  /// Head azimuth [deg] and upward tilt of the whole mount [deg].
+  DeviceOrientation(double azimuth_deg, double tilt_deg)
+      : azimuth_deg_(azimuth_deg), tilt_deg_(tilt_deg) {}
+
+  double azimuth_deg() const { return azimuth_deg_; }
+  double tilt_deg() const { return tilt_deg_; }
+
+  /// Map a world-frame direction into the device frame (the frame antenna
+  /// patterns are expressed in).
+  Direction to_device_frame(const Direction& world) const;
+
+  /// Map a device-frame direction back to the world frame.
+  Direction to_world_frame(const Direction& device) const;
+
+  /// The device boresight expressed in the world frame.
+  Direction boresight_world() const { return to_world_frame({0.0, 0.0}); }
+
+ private:
+  double azimuth_deg_{0.0};
+  double tilt_deg_{0.0};
+};
+
+}  // namespace talon

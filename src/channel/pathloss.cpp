@@ -1,0 +1,26 @@
+#include "src/channel/pathloss.hpp"
+
+#include <cmath>
+
+#include "src/common/angles.hpp"
+#include "src/common/error.hpp"
+#include "src/common/units.hpp"
+
+namespace talon {
+
+double free_space_path_loss_db(double distance_m) {
+  TALON_EXPECTS(distance_m > 0.0);
+  return 20.0 * std::log10(4.0 * kPi * distance_m / kWavelengthM);
+}
+
+double oxygen_absorption_db(double distance_m) {
+  TALON_EXPECTS(distance_m >= 0.0);
+  constexpr double kOxygenDbPerMeter = 0.015;
+  return kOxygenDbPerMeter * distance_m;
+}
+
+double line_of_sight_gain_db(double distance_m) {
+  return -(free_space_path_loss_db(distance_m) + oxygen_absorption_db(distance_m));
+}
+
+}  // namespace talon

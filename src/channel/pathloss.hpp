@@ -1,0 +1,20 @@
+// 60 GHz propagation losses.
+//
+// Free-space path loss dominates indoors at 60 GHz; oxygen absorption
+// (~15 dB/km around 60 GHz) is included for completeness, and reflections
+// suffer a material-dependent loss that makes NLOS paths distinctly weaker
+// than LOS -- the sparsity compressive tracking exploits.
+#pragma once
+
+namespace talon {
+
+/// Free-space path loss [dB] at `distance_m` for the 60.48 GHz carrier.
+double free_space_path_loss_db(double distance_m);
+
+/// Oxygen absorption [dB] over `distance_m` (15 dB/km at 60 GHz).
+double oxygen_absorption_db(double distance_m);
+
+/// Total LOS path gain [dB] (negative): -(FSPL + absorption).
+double line_of_sight_gain_db(double distance_m);
+
+}  // namespace talon

@@ -1,0 +1,37 @@
+#include "src/common/angles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace talon {
+
+double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+
+double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+double wrap_azimuth_deg(double deg) {
+  double wrapped = std::fmod(deg, 360.0);
+  if (wrapped <= -180.0) wrapped += 360.0;
+  if (wrapped > 180.0) wrapped -= 360.0;
+  return wrapped;
+}
+
+double azimuth_distance_deg(double a, double b) {
+  const double d = std::fabs(wrap_azimuth_deg(a - b));
+  return d > 180.0 ? 360.0 - d : d;
+}
+
+double clamp_elevation_deg(double deg) { return std::clamp(deg, -90.0, 90.0); }
+
+double angular_separation_deg(const Direction& a, const Direction& b) {
+  const double az1 = deg_to_rad(a.azimuth_deg);
+  const double el1 = deg_to_rad(a.elevation_deg);
+  const double az2 = deg_to_rad(b.azimuth_deg);
+  const double el2 = deg_to_rad(b.elevation_deg);
+  // Spherical law of cosines; clamp for numerical safety.
+  const double c = std::sin(el1) * std::sin(el2) +
+                   std::cos(el1) * std::cos(el2) * std::cos(az1 - az2);
+  return rad_to_deg(std::acos(std::clamp(c, -1.0, 1.0)));
+}
+
+}  // namespace talon

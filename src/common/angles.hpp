@@ -1,0 +1,40 @@
+// Angle arithmetic on the azimuth/elevation convention used by the paper.
+//
+// Azimuth phi in degrees, wrapped to (-180, 180]; 0 deg is the antenna
+// boresight, positive toward the device's left when viewed from the front.
+// Elevation theta in degrees in [-90, 90]; 0 deg is the horizontal plane,
+// positive upward (the paper only tilts upward, 0..32.4 deg).
+#pragma once
+
+namespace talon {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Degrees to radians.
+double deg_to_rad(double deg);
+
+/// Radians to degrees.
+double rad_to_deg(double rad);
+
+/// Wrap an azimuth angle in degrees into (-180, 180].
+double wrap_azimuth_deg(double deg);
+
+/// Shortest angular distance |a - b| on the circle, in degrees, in [0, 180].
+double azimuth_distance_deg(double a, double b);
+
+/// Clamp an elevation angle to [-90, 90].
+double clamp_elevation_deg(double deg);
+
+/// A steering / arrival direction in the azimuth-elevation convention above.
+struct Direction {
+  double azimuth_deg{0.0};
+  double elevation_deg{0.0};
+
+  friend bool operator==(const Direction&, const Direction&) = default;
+};
+
+/// Great-circle angle between two directions, in degrees.
+/// This is the physically meaningful "pointing error" between directions.
+double angular_separation_deg(const Direction& a, const Direction& b);
+
+}  // namespace talon

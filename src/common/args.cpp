@@ -1,0 +1,88 @@
+#include "src/common/args.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+void ArgParser::add_flag(const std::string& name) {
+  TALON_EXPECTS(!name.empty() && name.rfind("--", 0) == 0);
+  declared_[name] = Kind::kFlag;
+}
+
+void ArgParser::add_option(const std::string& name) {
+  TALON_EXPECTS(!name.empty() && name.rfind("--", 0) == 0);
+  declared_[name] = Kind::kOption;
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    // --name=value form.
+    const auto eq = arg.find('=');
+    const std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const auto it = declared_.find(name);
+    if (it == declared_.end()) throw ParseError("unknown option: " + name);
+    if (it->second == Kind::kFlag) {
+      if (eq != std::string::npos) {
+        throw ParseError("flag does not take a value: " + name);
+      }
+      flags_.push_back(name);
+      continue;
+    }
+    if (eq != std::string::npos) {
+      values_[name] = arg.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 >= argc) throw ParseError("missing value for option: " + name);
+    values_[name] = argv[++i];
+  }
+}
+
+bool ArgParser::has_flag(const std::string& name) const {
+  return std::find(flags_.begin(), flags_.end(), name) != flags_.end();
+}
+
+std::optional<std::string> ArgParser::option(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::option_or(const std::string& name,
+                                 const std::string& fallback) const {
+  return option(name).value_or(fallback);
+}
+
+double ArgParser::number_or(const std::string& name, double fallback) const {
+  const auto v = option(name);
+  if (!v) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(*v, &consumed);
+    if (consumed != v->size()) throw std::invalid_argument(*v);
+    return out;
+  } catch (const std::exception&) {
+    throw ParseError("option " + name + " expects a number, got '" + *v + "'");
+  }
+}
+
+long ArgParser::integer_or(const std::string& name, long fallback) const {
+  const auto v = option(name);
+  if (!v) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const long out = std::stol(*v, &consumed);
+    if (consumed != v->size()) throw std::invalid_argument(*v);
+    return out;
+  } catch (const std::exception&) {
+    throw ParseError("option " + name + " expects an integer, got '" + *v + "'");
+  }
+}
+
+}  // namespace talon

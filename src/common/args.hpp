@@ -1,0 +1,47 @@
+// Minimal command-line argument parsing for the CLI tools.
+//
+// Supports `--flag`, `--option value`, `--option=value` and positional
+// arguments. Unknown options are errors (typos must not be ignored by a
+// measurement tool). No external dependencies; the parsed view is cheap to
+// query and validates numeric conversions.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace talon {
+
+class ArgParser {
+ public:
+  /// Declare the options the program accepts before parsing.
+  /// `takes_value` distinguishes `--output file` from `--full`.
+  void add_flag(const std::string& name);
+  void add_option(const std::string& name);
+
+  /// Parse argv (excluding argv[0]). Throws ParseError on unknown options
+  /// or a missing value for a value-taking option.
+  void parse(int argc, const char* const* argv);
+
+  bool has_flag(const std::string& name) const;
+  std::optional<std::string> option(const std::string& name) const;
+
+  /// Option with fallback.
+  std::string option_or(const std::string& name, const std::string& fallback) const;
+
+  /// Numeric option; throws ParseError when present but not numeric.
+  double number_or(const std::string& name, double fallback) const;
+  long integer_or(const std::string& name, long fallback) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  enum class Kind { kFlag, kOption };
+  std::map<std::string, Kind> declared_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> flags_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace talon

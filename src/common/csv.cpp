@@ -1,0 +1,87 @@
+#include "src/common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+namespace {
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream stream(line);
+  while (std::getline(stream, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+}  // namespace
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw ParseError("csv column not found: " + name);
+}
+
+void write_csv(std::ostream& out, const CsvTable& table) {
+  for (std::size_t i = 0; i < table.header.size(); ++i) {
+    if (i > 0) out << ',';
+    out << table.header[i];
+  }
+  out << '\n';
+  for (const auto& row : table.rows) {
+    TALON_EXPECTS(row.size() == table.header.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+}
+
+CsvTable read_csv(std::istream& in) {
+  CsvTable table;
+  std::string line;
+  if (!std::getline(in, line)) throw ParseError("csv: empty input");
+  table.header = split_line(line);
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto cells = split_line(line);
+    if (cells.size() != table.header.size()) {
+      throw ParseError("csv: ragged row at line " + std::to_string(line_no));
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& cell : cells) {
+      try {
+        std::size_t consumed = 0;
+        const double v = std::stod(cell, &consumed);
+        if (consumed != cell.size()) throw std::invalid_argument(cell);
+        row.push_back(v);
+      } catch (const std::exception&) {
+        throw ParseError("csv: non-numeric cell '" + cell + "' at line " +
+                         std::to_string(line_no));
+      }
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open for writing: " + path);
+  write_csv(out, table);
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open for reading: " + path);
+  return read_csv(in);
+}
+
+}  // namespace talon

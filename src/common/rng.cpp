@@ -1,0 +1,53 @@
+#include "src/common/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+Rng Rng::fork() {
+  std::uniform_int_distribution<std::uint64_t> dist;
+  return Rng(dist(engine_));
+}
+
+double Rng::uniform(double lo, double hi) {
+  TALON_EXPECTS(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  TALON_EXPECTS(lo <= hi);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double stddev) {
+  TALON_EXPECTS(stddev >= 0.0);
+  if (stddev == 0.0) return 0.0;
+  std::normal_distribution<double> dist(0.0, stddev);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(clamped);
+  return dist(engine_);
+}
+
+std::vector<int> Rng::sample_without_replacement(int n, int k) {
+  TALON_EXPECTS(n >= 0 && k >= 0 && k <= n);
+  // Partial Fisher-Yates: O(n) setup, O(k) draws.
+  std::vector<int> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    const int j = uniform_int(i, n - 1);
+    std::swap(pool[static_cast<std::size_t>(i)], pool[static_cast<std::size_t>(j)]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+}  // namespace talon

@@ -1,0 +1,48 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (channel noise, firmware measurement artifacts,
+// probe-subset choice, calibration errors) draws from an explicitly seeded
+// Rng so experiments are reproducible run-to-run. Components receive their
+// own Rng (or a fork of one) instead of sharing a global generator.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace talon {
+
+class Rng {
+ public:
+  /// Seeded construction; identical seeds produce identical streams.
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive an independent generator; advancing the child does not perturb
+  /// the parent beyond this single draw. Useful to give each subsystem its
+  /// own stream while keeping one top-level seed.
+  Rng fork();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi);
+
+  /// Zero-mean Gaussian with the given standard deviation.
+  double normal(double stddev);
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// k distinct values sampled uniformly from {0, 1, ..., n-1}.
+  /// Order is random. Requires 0 <= k <= n.
+  std::vector<int> sample_without_replacement(int n, int k);
+
+  /// Access to the underlying engine for std:: distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace talon

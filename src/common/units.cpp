@@ -1,0 +1,22 @@
+#include "src/common/units.hpp"
+
+#include <algorithm>
+
+namespace talon {
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double linear) {
+  constexpr double kFloor = 1e-30;  // avoid -inf for zero power
+  return 10.0 * std::log10(std::max(linear, kFloor));
+}
+
+double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+double mw_to_dbm(double mw) { return linear_to_db(mw); }
+
+double thermal_noise_dbm(double bandwidth_hz, double noise_figure_db) {
+  return -174.0 + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+}
+
+}  // namespace talon

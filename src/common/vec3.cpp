@@ -1,0 +1,28 @@
+#include "src/common/vec3.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+double dot(const Vec3& a, const Vec3& b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+double norm(const Vec3& v) { return std::sqrt(dot(v, v)); }
+
+Vec3 unit_vector(const Direction& d) {
+  const double az = deg_to_rad(d.azimuth_deg);
+  const double el = deg_to_rad(d.elevation_deg);
+  return {std::cos(el) * std::cos(az), std::cos(el) * std::sin(az), std::sin(el)};
+}
+
+Direction direction_of(const Vec3& v) {
+  const double n = norm(v);
+  TALON_EXPECTS(n > 0.0);
+  return {
+      .azimuth_deg = rad_to_deg(std::atan2(v.y, v.x)),
+      .elevation_deg = rad_to_deg(std::asin(v.z / n)),
+  };
+}
+
+}  // namespace talon

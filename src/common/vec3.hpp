@@ -1,0 +1,37 @@
+// Minimal 3-D vector used for array-element positions, node placement and
+// direction vectors. Boresight convention: +x out of the antenna, +y to the
+// left, +z up (so azimuth rotates about z, elevation tilts toward +z).
+#pragma once
+
+#include "src/common/angles.hpp"
+
+namespace talon {
+
+struct Vec3 {
+  double x{0.0};
+  double y{0.0};
+  double z{0.0};
+
+  friend Vec3 operator+(const Vec3& a, const Vec3& b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Vec3 operator-(const Vec3& a, const Vec3& b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend Vec3 operator*(double s, const Vec3& v) { return {s * v.x, s * v.y, s * v.z}; }
+  friend bool operator==(const Vec3&, const Vec3&) = default;
+};
+
+/// Dot product.
+double dot(const Vec3& a, const Vec3& b);
+
+/// Euclidean norm.
+double norm(const Vec3& v);
+
+/// Unit vector pointing in `d` (boresight +x convention, see header comment).
+Vec3 unit_vector(const Direction& d);
+
+/// Inverse of unit_vector: the direction a (non-zero) vector points in.
+Direction direction_of(const Vec3& v);
+
+}  // namespace talon

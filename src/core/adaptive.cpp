@@ -1,0 +1,48 @@
+#include "src/core/adaptive.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+AdaptiveProbeController::AdaptiveProbeController(const AdaptiveProbeConfig& config)
+    : config_(config), probes_(config.initial_probes) {
+  TALON_EXPECTS(config_.min_probes >= 2);
+  TALON_EXPECTS(config_.min_probes <= config_.initial_probes);
+  TALON_EXPECTS(config_.initial_probes <= config_.max_probes);
+  TALON_EXPECTS(config_.window >= 2);
+  TALON_EXPECTS(config_.grow_new_ids >= 1);
+  window_.reserve(config_.window);
+}
+
+void AdaptiveProbeController::report_selection(int sector_id) {
+  window_.push_back(sector_id);
+  if (window_.size() < config_.window) return;
+
+  std::vector<int> ids = window_;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  if (has_previous_) {
+    std::size_t new_ids = 0;
+    for (int id : ids) {
+      if (!std::binary_search(previous_window_ids_.begin(),
+                              previous_window_ids_.end(), id)) {
+        ++new_ids;
+      }
+    }
+    if (new_ids >= config_.grow_new_ids) {
+      probes_ = std::min(config_.max_probes, probes_ + config_.increase_step);
+    } else if (new_ids == 0) {
+      probes_ = std::max(config_.min_probes,
+                         probes_ - std::min(probes_, config_.decrease_step));
+    }
+    // Exactly one new ID: inconclusive (a single noisy selection), hold.
+  }
+  previous_window_ids_ = std::move(ids);
+  has_previous_ = true;
+  window_.clear();
+}
+
+}  // namespace talon

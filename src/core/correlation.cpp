@@ -1,0 +1,205 @@
+#include "src/core/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/units.hpp"
+
+namespace talon {
+
+namespace {
+double to_domain(double db_value, CorrelationDomain domain) {
+  return domain == CorrelationDomain::kLinear ? db_to_linear(db_value) : db_value;
+}
+}  // namespace
+
+CorrelationEngine::CorrelationEngine(const PatternTable& patterns,
+                                     AngularGrid search_grid,
+                                     CorrelationDomain domain)
+    : grid_(search_grid), domain_(domain) {
+  TALON_EXPECTS(!patterns.empty());
+  sector_ids_ = patterns.ids();
+  sector_values_.reserve(sector_ids_.size());
+  for (int id : sector_ids_) {
+    std::vector<double> values;
+    values.reserve(grid_.size());
+    for (std::size_t ie = 0; ie < grid_.elevation.count; ++ie) {
+      for (std::size_t ia = 0; ia < grid_.azimuth.count; ++ia) {
+        values.push_back(
+            to_domain(patterns.sample_db(id, grid_.direction(ia, ie)), domain_));
+      }
+    }
+    sector_values_.push_back(std::move(values));
+  }
+}
+
+int CorrelationEngine::sector_slot(int sector_id) const {
+  const auto it = std::lower_bound(sector_ids_.begin(), sector_ids_.end(), sector_id);
+  if (it == sector_ids_.end() || *it != sector_id) return -1;
+  return static_cast<int>(it - sector_ids_.begin());
+}
+
+std::size_t CorrelationEngine::usable_probe_count(
+    std::span<const SectorReading> readings) const {
+  std::size_t n = 0;
+  for (const SectorReading& r : readings) {
+    if (sector_slot(r.sector_id) >= 0) ++n;
+  }
+  return n;
+}
+
+Grid2D CorrelationEngine::surface(std::span<const SectorReading> readings,
+                                  SignalValue value) const {
+  // Collect usable probes: (pattern slot, probe value in domain).
+  std::vector<int> slots;
+  std::vector<double> p;
+  slots.reserve(readings.size());
+  p.reserve(readings.size());
+  for (const SectorReading& r : readings) {
+    const int slot = sector_slot(r.sector_id);
+    if (slot < 0) continue;
+    const double raw = value == SignalValue::kSnr ? r.snr_db : r.rssi_dbm;
+    slots.push_back(slot);
+    p.push_back(to_domain(raw, domain_));
+  }
+  TALON_EXPECTS(p.size() >= 2);
+
+  double p_norm_sq = 0.0;
+  for (double v : p) p_norm_sq += v * v;
+  TALON_EXPECTS(p_norm_sq > 0.0);
+  const double p_norm = std::sqrt(p_norm_sq);
+
+  Grid2D out(grid_);
+  const std::size_t points = grid_.size();
+  std::vector<double>& w = out.values();
+  for (std::size_t g = 0; g < points; ++g) {
+    double dot = 0.0;
+    double x_norm_sq = 0.0;
+    for (std::size_t m = 0; m < slots.size(); ++m) {
+      const double x = sector_values_[static_cast<std::size_t>(slots[m])][g];
+      dot += p[m] * x;
+      x_norm_sq += x * x;
+    }
+    if (x_norm_sq <= 0.0) {
+      w[g] = 0.0;
+      continue;
+    }
+    const double c = dot / (p_norm * std::sqrt(x_norm_sq));
+    w[g] = c * c;
+  }
+  return out;
+}
+
+std::vector<CorrelationEngine::Path> CorrelationEngine::matching_pursuit(
+    std::span<const SectorReading> readings, int max_paths, double min_score,
+    double min_separation_deg, bool separate_in_azimuth) const {
+  TALON_EXPECTS(domain_ == CorrelationDomain::kLinear);
+  TALON_EXPECTS(max_paths >= 1);
+  TALON_EXPECTS(min_score > 0.0 && min_score <= 1.0);
+  TALON_EXPECTS(min_separation_deg > 0.0);
+
+  // Linear-power probe vector over the usable sectors, with the firmware
+  // reporting floor subtracted: clamped-at-floor readings otherwise add a
+  // DC component that correlates with all-floor (unmeasurable) directions.
+  const double floor_lin = db_to_linear(-7.0);
+  std::vector<int> slots;
+  std::vector<double> residual;
+  for (const SectorReading& r : readings) {
+    const int slot = sector_slot(r.sector_id);
+    if (slot < 0) continue;
+    slots.push_back(slot);
+    residual.push_back(std::max(0.0, db_to_linear(r.snr_db) - floor_lin));
+  }
+  TALON_EXPECTS(residual.size() >= 2);
+  double initial_power = 0.0;
+  for (double v : residual) initial_power += v;
+  TALON_EXPECTS(initial_power > 0.0);
+
+  std::vector<Path> paths;
+  const std::size_t points = grid_.size();
+  for (int k = 0; k < max_paths; ++k) {
+    // Correlate the residual against every grid direction, skipping
+    // directions too close to already extracted paths.
+    double residual_norm_sq = 0.0;
+    for (double v : residual) residual_norm_sq += v * v;
+    if (residual_norm_sq <= 0.0) break;
+    const double residual_norm = std::sqrt(residual_norm_sq);
+
+    double best_corr = -1.0;
+    std::size_t best_g = 0;
+    for (std::size_t g = 0; g < points; ++g) {
+      const std::size_t ie = g / grid_.azimuth.count;
+      const std::size_t ia = g % grid_.azimuth.count;
+      const Direction dir = grid_.direction(ia, ie);
+      bool masked = false;
+      for (const Path& p : paths) {
+        const double separation =
+            separate_in_azimuth
+                ? azimuth_distance_deg(dir.azimuth_deg, p.direction.azimuth_deg)
+                : angular_separation_deg(dir, p.direction);
+        if (separation < min_separation_deg) {
+          masked = true;
+          break;
+        }
+      }
+      if (masked) continue;
+      double dot = 0.0;
+      double x_norm_sq = 0.0;
+      for (std::size_t m = 0; m < slots.size(); ++m) {
+        const double x = std::max(
+            0.0, sector_values_[static_cast<std::size_t>(slots[m])][g] - floor_lin);
+        dot += residual[m] * x;
+        x_norm_sq += x * x;
+      }
+      if (x_norm_sq <= 0.0) continue;
+      const double c = dot / (residual_norm * std::sqrt(x_norm_sq));
+      if (c > best_corr) {
+        best_corr = c;
+        best_g = g;
+      }
+    }
+    if (best_corr < min_score) break;
+
+    // Subtract the explained component: residual -= alpha * x, with alpha
+    // the least-squares projection (powers are additive, so this is the
+    // path's contribution).
+    double dot = 0.0;
+    double x_norm_sq = 0.0;
+    for (std::size_t m = 0; m < slots.size(); ++m) {
+      const double x = std::max(
+          0.0, sector_values_[static_cast<std::size_t>(slots[m])][best_g] - floor_lin);
+      dot += residual[m] * x;
+      x_norm_sq += x * x;
+    }
+    const double alpha = dot / x_norm_sq;
+    double explained = 0.0;
+    for (std::size_t m = 0; m < slots.size(); ++m) {
+      const double x = std::max(
+          0.0, sector_values_[static_cast<std::size_t>(slots[m])][best_g] - floor_lin);
+      const double removed = std::min(residual[m], alpha * x);
+      explained += removed;
+      residual[m] -= removed;
+    }
+    const std::size_t ie = best_g / grid_.azimuth.count;
+    const std::size_t ia = best_g % grid_.azimuth.count;
+    paths.push_back(Path{
+        .direction = grid_.direction(ia, ie),
+        .score = best_corr * best_corr,  // report Eq. 2 style squared corr
+        .explained_power = explained / initial_power,
+    });
+  }
+  return paths;
+}
+
+Grid2D CorrelationEngine::combined_surface(
+    std::span<const SectorReading> readings) const {
+  Grid2D snr = surface(readings, SignalValue::kSnr);
+  const Grid2D rssi = surface(readings, SignalValue::kRssi);
+  std::vector<double>& out = snr.values();
+  const std::vector<double>& other = rssi.values();
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= other[i];
+  return snr;
+}
+
+}  // namespace talon

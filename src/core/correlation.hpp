@@ -1,0 +1,95 @@
+// The compressive correlation of Eqs. 2/3/5.
+//
+// W(phi, theta) = < p/||p|| , x(phi,theta)/||x(phi,theta)|| >^2
+// where p is the vector of received signal strengths over the probed
+// sectors and x(phi,theta) the vector of the same sectors' *measured*
+// pattern responses toward (phi,theta). Sectors whose probe frame was
+// missed are excluded from both vectors -- probing a subset anyway is what
+// makes CSS "naturally compensate missing measurements" (Sec. 5).
+//
+// CorrelationEngine precomputes the pattern matrix over the search grid
+// once per table so that per-sweep evaluation is a dense dot product.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/antenna/pattern.hpp"
+#include "src/common/grid.hpp"
+#include "src/phy/measurement.hpp"
+
+namespace talon {
+
+/// Domain the correlation vectors live in. The paper correlates received
+/// signal strengths; kLinear converts dB readings/patterns to linear power
+/// first (the physically meaningful choice), kDb correlates raw dB values
+/// (kept as an ablation).
+enum class CorrelationDomain : std::uint8_t { kLinear, kDb };
+
+/// Which reading feeds the probe vector.
+enum class SignalValue : std::uint8_t { kSnr, kRssi };
+
+class CorrelationEngine {
+ public:
+  /// `patterns` must contain every sector that may ever be probed.
+  /// `search_grid` is the discrete (phi, theta) grid of Eq. 3.
+  CorrelationEngine(const PatternTable& patterns, AngularGrid search_grid,
+                    CorrelationDomain domain = CorrelationDomain::kLinear);
+
+  const AngularGrid& search_grid() const { return grid_; }
+  CorrelationDomain domain() const { return domain_; }
+
+  /// Eq. 2 evaluated on the whole grid for one value type.
+  /// Readings of sectors absent from the table are ignored. Requires at
+  /// least 2 usable readings.
+  Grid2D surface(std::span<const SectorReading> readings, SignalValue value) const;
+
+  /// Eq. 5: element-wise product of the SNR and RSSI surfaces.
+  Grid2D combined_surface(std::span<const SectorReading> readings) const;
+
+  /// Number of readings that map onto table sectors.
+  std::size_t usable_probe_count(std::span<const SectorReading> readings) const;
+
+  /// One extracted propagation path (see matching_pursuit).
+  struct Path {
+    Direction direction;
+    /// Correlation of the (residual) probe vector with this path, [0, 1].
+    double score{0.0};
+    /// Fraction of the original probe power this path explains, [0, 1].
+    double explained_power{0.0};
+  };
+
+  /// Noncoherent matching pursuit (the Rasekh et al. style estimator the
+  /// paper adapts): ray powers add linearly at the receiver, so after the
+  /// strongest path is found its explained component can be subtracted
+  /// from the linear probe vector and the correlation re-run on the
+  /// residual -- which exposes reflections an order of magnitude weaker
+  /// than the LOS, invisible in the plain Eq. 2 surface. Extraction stops
+  /// after `max_paths`, when a residual peak falls below
+  /// `min_score`, or when the residual power is exhausted. Only the SNR
+  /// values feed the pursuit (power subtraction needs one consistent
+  /// scale). Requires kLinear domain and >= 2 usable probes.
+  /// `min_separation_deg` masks by great-circle angle; when
+  /// `separate_in_azimuth` is true it masks by azimuth distance instead,
+  /// which suppresses the elevation-ambiguity twin of an extracted path
+  /// (in-plane sector responses are weakly elevation-selective, so the
+  /// subtraction residue correlates at the same azimuth and higher
+  /// elevation -- not a distinct propagation path).
+  std::vector<Path> matching_pursuit(std::span<const SectorReading> readings,
+                                     int max_paths = 2, double min_score = 0.35,
+                                     double min_separation_deg = 10.0,
+                                     bool separate_in_azimuth = false) const;
+
+ private:
+  /// Index into sector_values_ for a sector ID, or -1.
+  int sector_slot(int sector_id) const;
+
+  AngularGrid grid_;
+  CorrelationDomain domain_;
+  std::vector<int> sector_ids_;
+  /// sector_values_[slot][grid_index]: pattern response in the chosen
+  /// domain, grid-major within one sector.
+  std::vector<std::vector<double>> sector_values_;
+};
+
+}  // namespace talon

@@ -1,0 +1,67 @@
+#include "src/core/css.hpp"
+
+#include <algorithm>
+
+#include "src/antenna/codebook.hpp"
+#include "src/common/error.hpp"
+
+namespace talon {
+
+CompressiveSectorSelector::CompressiveSectorSelector(PatternTable patterns,
+                                                     CssConfig config)
+    : patterns_(std::move(patterns)),
+      config_(config),
+      engine_(patterns_, config.search_grid, config.domain) {
+  TALON_EXPECTS(config_.min_probes >= 2);
+}
+
+std::optional<Direction> CompressiveSectorSelector::estimate_direction(
+    std::span<const SectorReading> probes) const {
+  if (engine_.usable_probe_count(probes) < config_.min_probes) return std::nullopt;
+  return correlation_surface(probes).peak().direction;
+}
+
+Grid2D CompressiveSectorSelector::correlation_surface(
+    std::span<const SectorReading> probes) const {
+  TALON_EXPECTS(engine_.usable_probe_count(probes) >= config_.min_probes);
+  return config_.use_rssi ? engine_.combined_surface(probes)
+                          : engine_.surface(probes, SignalValue::kSnr);
+}
+
+CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probes,
+                                            std::span<const int> candidates) const {
+  TALON_EXPECTS(!candidates.empty());
+  CssResult result;
+  if (probes.empty()) return result;  // invalid: keep previous selection
+
+  if (engine_.usable_probe_count(probes) < config_.min_probes) {
+    // Too few decoded probes for a trustworthy correlation: fall back to
+    // the plain argmax over what was received (Eq. 1 on the subset).
+    const auto best = std::max_element(
+        probes.begin(), probes.end(),
+        [](const SectorReading& a, const SectorReading& b) { return a.snr_db < b.snr_db; });
+    result.valid = true;
+    result.sector_id = best->sector_id;
+    result.fallback_used = true;
+    return result;
+  }
+
+  const Grid2D surface = config_.use_rssi ? engine_.combined_surface(probes)
+                                          : engine_.surface(probes, SignalValue::kSnr);
+  const Grid2D::Peak peak = surface.peak();
+  result.valid = true;
+  result.estimated_direction = peak.direction;
+  result.correlation_peak = peak.value;
+  result.sector_id = patterns_.best_sector_at(peak.direction, candidates);
+  return result;
+}
+
+CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probes) const {
+  // All table sectors except the quasi-omni receive pattern: feedback must
+  // name one of the peer's *transmit* sectors.
+  std::vector<int> ids = patterns_.ids();
+  std::erase(ids, kRxQuasiOmniSectorId);
+  return select(probes, ids);
+}
+
+}  // namespace talon

@@ -1,0 +1,84 @@
+// Compressive sector selection (Sec. 2.2) -- the paper's core contribution.
+//
+// Two steps on top of the CorrelationEngine:
+//   1. estimate the dominant path direction (phi^, theta^) by maximizing
+//      the (SNR x RSSI) correlation surface over the search grid
+//      (Eqs. 3 and 5), then
+//   2. pick, among ALL N sectors, the one whose *measured* pattern has the
+//      strongest gain toward that direction (Eq. 4) -- so the number of
+//      available sectors can far exceed the number of probes.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "src/antenna/pattern.hpp"
+#include "src/core/correlation.hpp"
+
+namespace talon {
+
+struct CssConfig {
+  /// Discrete (phi, theta) grid of Eq. 3. Default spans the frontal
+  /// hemisphere at 1.5 deg azimuth / 2 deg elevation resolution, covering
+  /// the elevations the pattern campaign measured.
+  AngularGrid search_grid{
+      .azimuth = {.first = -90.0, .step = 1.5, .count = 121},
+      .elevation = {.first = 0.0, .step = 2.0, .count = 17},
+  };
+  /// Use the Eq. 5 SNR x RSSI product (true) or SNR-only Eq. 2 (ablation).
+  bool use_rssi{true};
+  CorrelationDomain domain{CorrelationDomain::kLinear};
+  /// Below this many decoded probes the estimate is not trustworthy and
+  /// select() falls back to the plain argmax over what was received.
+  std::size_t min_probes{3};
+};
+
+struct CssResult {
+  /// False when not a single probe frame was decoded; sector_id is then
+  /// meaningless and callers should keep their previous selection.
+  bool valid{false};
+  int sector_id{0};
+  /// Estimated angle of arrival (Eq. 3); only set when the compressive
+  /// path (not the fallback argmax) produced the selection.
+  std::optional<Direction> estimated_direction;
+  /// Peak of the correlation surface, in [0, 1].
+  double correlation_peak{0.0};
+  /// True when too few probes decoded and the argmax fallback was used.
+  bool fallback_used{false};
+};
+
+class CompressiveSectorSelector {
+ public:
+  /// `patterns` is the measured pattern table of the local device
+  /// (Sec. 4); it defines both the expected probe responses and the Eq. 4
+  /// candidate gains.
+  CompressiveSectorSelector(PatternTable patterns, CssConfig config = {});
+
+  /// Full CSS: estimate the path from `probes`, then select the best of
+  /// `candidates` (Eq. 4).
+  CssResult select(std::span<const SectorReading> probes,
+                   std::span<const int> candidates) const;
+
+  /// select() with all pattern-table sectors as candidates.
+  CssResult select(std::span<const SectorReading> probes) const;
+
+  /// Step 1 only (Eq. 3/5): the estimated angle of arrival, or nullopt
+  /// when fewer than min_probes probes decoded.
+  std::optional<Direction> estimate_direction(
+      std::span<const SectorReading> probes) const;
+
+  /// The raw Eq. 5 (or Eq. 2) correlation surface -- the input for
+  /// multipath extraction (core/multipath.hpp) and diagnostics.
+  /// Requires at least min_probes usable probes.
+  Grid2D correlation_surface(std::span<const SectorReading> probes) const;
+
+  const PatternTable& patterns() const { return patterns_; }
+  const CssConfig& config() const { return config_; }
+
+ private:
+  PatternTable patterns_;
+  CssConfig config_;
+  CorrelationEngine engine_;
+};
+
+}  // namespace talon

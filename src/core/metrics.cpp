@@ -1,0 +1,61 @@
+#include "src/core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/stats.hpp"
+
+namespace talon {
+
+AngleError estimation_error(const Direction& estimated, const Direction& physical) {
+  return AngleError{
+      .azimuth_deg = azimuth_distance_deg(estimated.azimuth_deg, physical.azimuth_deg),
+      .elevation_deg = std::fabs(estimated.elevation_deg - physical.elevation_deg),
+  };
+}
+
+double selection_stability(std::span<const int> selections) {
+  return mode_fraction(selections);
+}
+
+SnrLossTracker::SnrLossTracker(std::size_t window) : window_(window) {
+  TALON_EXPECTS(window_ >= 1);
+}
+
+double SnrLossTracker::record(const SweepMeasurement& sweep, int selected_sector) {
+  recent_.push_back(sweep);
+  if (recent_.size() > window_) recent_.erase(recent_.begin());
+
+  // Optimum: best reported SNR of any sector within the window.
+  // Selected value: the selected sector's best reading within the window
+  // (covering the case where this sweep's frame was missed).
+  bool any = false;
+  double optimal = 0.0;
+  bool selected_seen = false;
+  double selected_value = 0.0;
+  for (const SweepMeasurement& m : recent_) {
+    for (const SectorReading& r : m.readings) {
+      optimal = any ? std::max(optimal, r.snr_db) : r.snr_db;
+      any = true;
+      if (r.sector_id == selected_sector) {
+        selected_value = selected_seen ? std::max(selected_value, r.snr_db) : r.snr_db;
+        selected_seen = true;
+      }
+    }
+  }
+  TALON_EXPECTS(any);
+  // Nothing known about the selected sector in the window: no measurable
+  // loss to attribute.
+  const double loss =
+      selected_seen ? std::max(0.0, optimal - selected_value) : 0.0;
+  losses_.push_back(loss);
+  return loss;
+}
+
+double SnrLossTracker::mean_loss_db() const {
+  TALON_EXPECTS(!losses_.empty());
+  return mean(losses_);
+}
+
+}  // namespace talon

@@ -1,0 +1,53 @@
+// Evaluation metrics of Sec. 6: angular estimation error (Fig. 7),
+// selection stability (Fig. 8) and SNR-loss vs the best observed sector
+// (Fig. 9).
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "src/common/angles.hpp"
+#include "src/phy/measurement.hpp"
+
+namespace talon {
+
+/// Azimuth and elevation estimation errors, "handled independently, since
+/// we measured them with different resolution and accuracy" (Sec. 6.2).
+struct AngleError {
+  double azimuth_deg{0.0};
+  double elevation_deg{0.0};
+};
+
+/// Absolute per-axis error between the estimated and physical direction.
+AngleError estimation_error(const Direction& estimated, const Direction& physical);
+
+/// Selection stability (Sec. 6.3): the fraction of sweeps spent in the most
+/// prominent sector. `selections` holds one selected sector ID per sweep.
+double selection_stability(std::span<const int> selections);
+
+/// Fig. 9's SNR-loss: per sweep, the difference between the selected
+/// sector's reported SNR and the best SNR "as reported in the current and
+/// previous measurements" (Sec. 6.3) -- a sliding window over the last
+/// `window` sweeps, so a single outlier reading does not inflate the
+/// optimum forever.
+class SnrLossTracker {
+ public:
+  explicit SnrLossTracker(std::size_t window = 2);
+
+  /// Feed one sweep's full measurement plus the sector the algorithm chose.
+  /// Returns this sweep's loss [dB].
+  double record(const SweepMeasurement& sweep, int selected_sector);
+
+  std::size_t sweep_count() const { return losses_.size(); }
+  double mean_loss_db() const;
+  const std::vector<double>& losses() const { return losses_; }
+
+ private:
+  std::size_t window_;
+  /// Most recent sweeps, newest last; bounded by window_.
+  std::vector<SweepMeasurement> recent_;
+  std::vector<double> losses_;
+};
+
+}  // namespace talon

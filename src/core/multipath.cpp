@@ -1,0 +1,39 @@
+#include "src/core/multipath.hpp"
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+std::vector<PathEstimate> estimate_paths(const Grid2D& surface,
+                                         const MultipathConfig& config) {
+  TALON_EXPECTS(config.max_paths >= 1);
+  TALON_EXPECTS(config.min_separation_deg > 0.0);
+  TALON_EXPECTS(config.relative_threshold > 0.0 && config.relative_threshold <= 1.0);
+
+  const AngularGrid& grid = surface.grid();
+  std::vector<PathEstimate> paths;
+  // Copy we can mask peak neighbourhoods out of.
+  Grid2D working = surface;
+
+  for (int k = 0; k < config.max_paths; ++k) {
+    const Grid2D::Peak peak = working.peak();
+    if (!paths.empty()) {
+      if (peak.value < paths.front().score * config.relative_threshold) break;
+      if (peak.value <= 0.0) break;
+    }
+    paths.push_back(PathEstimate{peak.direction, peak.value});
+
+    // Mask everything within min_separation of the found path.
+    for (std::size_t ie = 0; ie < grid.elevation.count; ++ie) {
+      for (std::size_t ia = 0; ia < grid.azimuth.count; ++ia) {
+        if (angular_separation_deg(grid.direction(ia, ie), peak.direction) <
+            config.min_separation_deg) {
+          working.set(ia, ie, 0.0);
+        }
+      }
+    }
+  }
+  return paths;
+}
+
+}  // namespace talon

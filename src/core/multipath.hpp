@@ -1,0 +1,40 @@
+// Multi-path estimation from the correlation surface.
+//
+// The compressive literature the paper builds on notes that "additional
+// phase information even enables multi-path estimation" (Sec. 2.1, citing
+// Marzi et al.). Magnitude-only probes cannot separate coherent paths, but
+// the Eq. 5 correlation surface still exposes strong secondary maxima --
+// the conference-room whiteboard reflection shows up as a distinct lobe.
+// estimate_paths() extracts up to k well-separated peaks by sequential
+// masking, which enables BeamSpy-style proactive fallback: know the backup
+// beam *before* the person steps into the LOS.
+#pragma once
+
+#include <vector>
+
+#include "src/common/grid.hpp"
+
+namespace talon {
+
+struct PathEstimate {
+  Direction direction;
+  /// Correlation score at the peak, in [0, 1].
+  double score{0.0};
+};
+
+struct MultipathConfig {
+  /// Maximum number of paths to extract.
+  int max_paths{2};
+  /// Minimum angular separation between extracted paths [deg].
+  double min_separation_deg{15.0};
+  /// Secondary peaks below `relative_threshold * strongest` are noise,
+  /// not paths.
+  double relative_threshold{0.5};
+};
+
+/// Extract up to max_paths peaks from a correlation surface, strongest
+/// first. Always returns at least one entry (the global peak).
+std::vector<PathEstimate> estimate_paths(const Grid2D& surface,
+                                         const MultipathConfig& config = {});
+
+}  // namespace talon

@@ -1,0 +1,58 @@
+#include "src/core/refinement.hpp"
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+std::vector<RefinementCandidate> make_refinement_candidates(
+    const PlanarArrayGeometry& geometry, const Direction& center,
+    const RefinementConfig& config) {
+  TALON_EXPECTS(config.azimuth_candidates >= 1);
+  TALON_EXPECTS(config.elevation_candidates >= 1);
+  TALON_EXPECTS(config.azimuth_step_deg > 0.0);
+  TALON_EXPECTS(config.elevation_step_deg > 0.0);
+
+  std::vector<RefinementCandidate> out;
+  out.reserve(static_cast<std::size_t>(config.azimuth_candidates) *
+              static_cast<std::size_t>(config.elevation_candidates));
+  const double az0 =
+      center.azimuth_deg - config.azimuth_step_deg * (config.azimuth_candidates - 1) / 2.0;
+  const double el0 = center.elevation_deg -
+                     config.elevation_step_deg * (config.elevation_candidates - 1) / 2.0;
+  for (int ie = 0; ie < config.elevation_candidates; ++ie) {
+    for (int ia = 0; ia < config.azimuth_candidates; ++ia) {
+      const Direction steering{
+          wrap_azimuth_deg(az0 + ia * config.azimuth_step_deg),
+          clamp_elevation_deg(el0 + ie * config.elevation_step_deg),
+      };
+      out.push_back(RefinementCandidate{
+          .steering = steering,
+          .weights = config.fine.quantize(
+              steering_weights(geometry.element_positions(), steering)),
+      });
+    }
+  }
+  return out;
+}
+
+RefinementResult refine_beam(
+    const std::vector<RefinementCandidate>& candidates,
+    const std::function<std::optional<double>(const RefinementCandidate&)>& measure) {
+  TALON_EXPECTS(!candidates.empty());
+  TALON_EXPECTS(static_cast<bool>(measure));
+  RefinementResult best;
+  for (const RefinementCandidate& candidate : candidates) {
+    ++best.probes;
+    const std::optional<double> value = measure(candidate);
+    if (!value) continue;
+    if (!best.valid || *value > best.measured) {
+      best.valid = true;
+      best.steering = candidate.steering;
+      best.weights = candidate.weights;
+      best.measured = *value;
+    }
+  }
+  return best;
+}
+
+}  // namespace talon

@@ -1,0 +1,64 @@
+// Beam refinement (BRP-style), the stage after sector selection.
+//
+// Sec. 7 anticipates finer beam control: "increasing the number of sectors
+// adds additional overhead ... with our approach we could significantly
+// increase the number of available sectors while keeping the number of
+// probes as low as in the current sweep." Refinement realizes that idea
+// without enlarging the codebook: around the direction CSS estimated,
+// generate a small set of candidate AWVs (antenna weight vectors) with the
+// hardware's finer phase resolution, probe them, keep the best -- the
+// 802.11ad BRP exchange in miniature.
+//
+// Probing goes through a caller-supplied measurement callback so the same
+// routine runs over the simulated channel or a scripted unit test.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/antenna/geometry.hpp"
+#include "src/antenna/weights.hpp"
+
+namespace talon {
+
+struct RefinementConfig {
+  /// Candidate steering offsets in azimuth: count x spacing.
+  int azimuth_candidates{5};
+  double azimuth_step_deg{2.0};
+  /// Candidate steering offsets in elevation.
+  int elevation_candidates{3};
+  double elevation_step_deg{2.0};
+  /// Register resolution used for the refined AWVs (finer than the 2-bit
+  /// sector codebook).
+  WeightQuantizer fine{.phase_states = 16, .amplitude_states = 1};
+};
+
+struct RefinementCandidate {
+  Direction steering;
+  WeightVector weights;
+};
+
+/// The candidate grid around `center`: azimuth_candidates x
+/// elevation_candidates steering vectors quantized at the fine resolution.
+std::vector<RefinementCandidate> make_refinement_candidates(
+    const PlanarArrayGeometry& geometry, const Direction& center,
+    const RefinementConfig& config);
+
+struct RefinementResult {
+  bool valid{false};
+  Direction steering;
+  WeightVector weights;
+  /// Measured quality of the winning candidate (whatever unit the
+  /// callback returns, typically reported SNR dB).
+  double measured{0.0};
+  int probes{0};
+};
+
+/// Probe every candidate through `measure` (nullopt = probe frame lost)
+/// and return the best. Invalid when every probe was lost.
+RefinementResult refine_beam(
+    const std::vector<RefinementCandidate>& candidates,
+    const std::function<std::optional<double>(const RefinementCandidate&)>& measure);
+
+}  // namespace talon

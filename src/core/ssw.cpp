@@ -1,0 +1,19 @@
+#include "src/core/ssw.hpp"
+
+#include <algorithm>
+
+namespace talon {
+
+SswSelection sweep_select(std::span<const SectorReading> readings) {
+  SswSelection out;
+  if (readings.empty()) return out;
+  const auto best = std::max_element(
+      readings.begin(), readings.end(),
+      [](const SectorReading& a, const SectorReading& b) { return a.snr_db < b.snr_db; });
+  out.valid = true;
+  out.sector_id = best->sector_id;
+  out.snr_db = best->snr_db;
+  return out;
+}
+
+}  // namespace talon

@@ -1,0 +1,23 @@
+// The baseline: the stock IEEE 802.11ad sector sweep selection (Eq. 1),
+// n^ = argmax_n p_n over all probed sectors' reported SNR. This is what the
+// unmodified firmware does and what Figs. 8/9/11 compare CSS against.
+#pragma once
+
+#include <span>
+
+#include "src/phy/measurement.hpp"
+
+namespace talon {
+
+struct SswSelection {
+  /// False when no probe frame was decoded at all (the firmware then keeps
+  /// its previous selection).
+  bool valid{false};
+  int sector_id{0};
+  double snr_db{0.0};
+};
+
+/// Eq. 1 over the decoded readings.
+SswSelection sweep_select(std::span<const SectorReading> readings);
+
+}  // namespace talon

@@ -1,0 +1,79 @@
+#include "src/core/subset_policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+std::vector<int> RandomSubsetPolicy::choose(std::span<const int> all, std::size_t m,
+                                            Rng& rng) const {
+  TALON_EXPECTS(m >= 1 && m <= all.size());
+  const auto picks =
+      rng.sample_without_replacement(static_cast<int>(all.size()), static_cast<int>(m));
+  std::vector<int> out;
+  out.reserve(m);
+  for (int idx : picks) out.push_back(all[static_cast<std::size_t>(idx)]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> PrefixSubsetPolicy::choose(std::span<const int> all, std::size_t m,
+                                            Rng& /*rng*/) const {
+  TALON_EXPECTS(m >= 1 && m <= all.size());
+  return {all.begin(), all.begin() + static_cast<std::ptrdiff_t>(m)};
+}
+
+DiversitySubsetPolicy::DiversitySubsetPolicy(const PatternTable& patterns) {
+  for (int id : patterns.ids()) {
+    const Grid2D::Peak p = patterns.pattern(id).peak();
+    peaks_.push_back(SectorPeak{id, p.direction, p.value});
+  }
+  TALON_EXPECTS(!peaks_.empty());
+}
+
+std::vector<int> DiversitySubsetPolicy::choose(std::span<const int> all, std::size_t m,
+                                               Rng& /*rng*/) const {
+  TALON_EXPECTS(m >= 1 && m <= all.size());
+  // Restrict the peak set to the allowed candidates.
+  std::vector<const SectorPeak*> pool;
+  for (const SectorPeak& p : peaks_) {
+    if (std::find(all.begin(), all.end(), p.id) != all.end()) pool.push_back(&p);
+  }
+  TALON_EXPECTS(pool.size() >= m);
+
+  // Seed with the strongest sector, then greedily add the sector whose
+  // peak is farthest (in angle) from everything already chosen.
+  std::vector<const SectorPeak*> chosen;
+  const auto strongest = std::max_element(
+      pool.begin(), pool.end(),
+      [](const SectorPeak* a, const SectorPeak* b) { return a->gain_db < b->gain_db; });
+  chosen.push_back(*strongest);
+  pool.erase(strongest);
+  while (chosen.size() < m) {
+    double best_score = -std::numeric_limits<double>::infinity();
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      double min_sep = std::numeric_limits<double>::infinity();
+      for (const SectorPeak* c : chosen) {
+        min_sep = std::min(min_sep,
+                           angular_separation_deg(pool[i]->direction, c->direction));
+      }
+      if (min_sep > best_score) {
+        best_score = min_sep;
+        best_idx = i;
+      }
+    }
+    chosen.push_back(pool[best_idx]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_idx));
+  }
+
+  std::vector<int> out;
+  out.reserve(m);
+  for (const SectorPeak* c : chosen) out.push_back(c->id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace talon

@@ -1,0 +1,62 @@
+// Probing-sector subset selection.
+//
+// The paper probes "a random subset of M out of N sectors" (Sec. 2.2) and
+// discusses smarter, context-specific preselection as future work (Sec. 7).
+// Policies:
+//  - RandomSubsetPolicy: the paper's choice; a fresh random subset per sweep.
+//  - PrefixSubsetPolicy: the first M IDs; an ablation showing why spatial
+//    diversity matters.
+//  - DiversitySubsetPolicy: greedy farthest-point preselection on the
+//    measured pattern peak directions (the Sec. 7 extension).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/antenna/pattern.hpp"
+#include "src/common/rng.hpp"
+
+namespace talon {
+
+class ProbeSubsetPolicy {
+ public:
+  virtual ~ProbeSubsetPolicy() = default;
+
+  /// Choose `m` sector IDs out of `all` (1 <= m <= all.size()).
+  virtual std::vector<int> choose(std::span<const int> all, std::size_t m,
+                                  Rng& rng) const = 0;
+};
+
+class RandomSubsetPolicy final : public ProbeSubsetPolicy {
+ public:
+  std::vector<int> choose(std::span<const int> all, std::size_t m,
+                          Rng& rng) const override;
+};
+
+class PrefixSubsetPolicy final : public ProbeSubsetPolicy {
+ public:
+  std::vector<int> choose(std::span<const int> all, std::size_t m,
+                          Rng& rng) const override;
+};
+
+class DiversitySubsetPolicy final : public ProbeSubsetPolicy {
+ public:
+  /// Peak directions are derived from the measured table once.
+  explicit DiversitySubsetPolicy(const PatternTable& patterns);
+
+  /// Deterministic greedy farthest-point selection (rng unused beyond the
+  /// seed element, which is the strongest sector).
+  std::vector<int> choose(std::span<const int> all, std::size_t m,
+                          Rng& rng) const override;
+
+ private:
+  struct SectorPeak {
+    int id;
+    Direction direction;
+    double gain_db;
+  };
+  std::vector<SectorPeak> peaks_;
+};
+
+}  // namespace talon

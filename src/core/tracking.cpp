@@ -1,0 +1,56 @@
+#include "src/core/tracking.hpp"
+
+#include "src/common/error.hpp"
+#include "src/common/vec3.hpp"
+
+namespace talon {
+
+namespace {
+/// Blend two directions on the sphere: weight w toward `b`. Blending unit
+/// vectors avoids every azimuth-wrap pitfall.
+Direction blend(const Direction& a, const Direction& b, double w) {
+  const Vec3 v = (1.0 - w) * unit_vector(a) + w * unit_vector(b);
+  // Antipodal inputs could cancel; fall back to the newer direction.
+  if (norm(v) < 1e-9) return b;
+  return direction_of(v);
+}
+}  // namespace
+
+PathTracker::PathTracker(const PathTrackerConfig& config) : config_(config) {
+  TALON_EXPECTS(config_.smoothing > 0.0 && config_.smoothing <= 1.0);
+  TALON_EXPECTS(config_.gate_deg > 0.0);
+  TALON_EXPECTS(config_.confirm_jumps >= 1);
+}
+
+Direction PathTracker::update(const Direction& estimate) {
+  if (!track_) {
+    track_ = estimate;
+    return *track_;
+  }
+  if (angular_separation_deg(estimate, *track_) <= config_.gate_deg) {
+    // In-gate: smooth and clear any pending jump.
+    track_ = blend(*track_, estimate, config_.smoothing);
+    jump_run_ = 0;
+    jump_candidate_.reset();
+    return *track_;
+  }
+  // Out-of-gate: hold the track, accumulate evidence for a path change.
+  ++jump_run_;
+  jump_candidate_ = jump_candidate_
+                        ? blend(*jump_candidate_, estimate, config_.smoothing)
+                        : estimate;
+  if (jump_run_ >= config_.confirm_jumps) {
+    track_ = *jump_candidate_;
+    jump_run_ = 0;
+    jump_candidate_.reset();
+  }
+  return *track_;
+}
+
+void PathTracker::reset() {
+  track_.reset();
+  jump_candidate_.reset();
+  jump_run_ = 0;
+}
+
+}  // namespace talon

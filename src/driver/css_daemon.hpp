@@ -1,0 +1,67 @@
+// The user-space selection loop: what the paper's evaluation scripts do
+// after every probing sweep (Sec. 6.1), packaged as a long-running
+// component. After each training round it drains the sweep info through
+// the driver, runs compressive selection, installs the result via the
+// sector override, and optionally lets the adaptive controller pick the
+// next round's probe count.
+#pragma once
+
+#include <optional>
+
+#include "src/core/adaptive.hpp"
+#include "src/core/tracking.hpp"
+#include "src/core/css.hpp"
+#include "src/core/subset_policy.hpp"
+#include "src/driver/wil6210.hpp"
+
+namespace talon {
+
+struct CssDaemonConfig {
+  /// Fixed probe count when no adaptive controller is enabled.
+  std::size_t probes{14};
+  bool adaptive{false};
+  AdaptiveProbeConfig adaptive_config{};
+  /// Smooth the per-sweep direction estimates with a PathTracker and run
+  /// Eq. 4 on the *tracked* direction (rejects one-off estimate jumps,
+  /// re-locks on persistent path changes such as blockage).
+  bool track_path{false};
+  PathTrackerConfig tracker_config{};
+};
+
+class CssDaemon {
+ public:
+  /// The daemon loads the research patches on construction when missing.
+  CssDaemon(Wil6210Driver& driver, const PatternTable& patterns,
+            const CssDaemonConfig& config, Rng rng);
+
+  /// Probe subset to use for the next training round.
+  std::vector<int> next_probe_subset();
+
+  /// Consume the just-finished round: read the ring buffer, select, and
+  /// force the sector. Returns the selection, or nullopt when nothing was
+  /// decoded (the previous override stays in place).
+  std::optional<CssResult> process_sweep();
+
+  /// Number of sweeps processed.
+  std::size_t rounds() const { return rounds_; }
+
+  std::size_t current_probes() const;
+
+  /// The smoothed path direction (empty unless track_path is on and at
+  /// least one valid estimate arrived).
+  const std::optional<Direction>& tracked_direction() const {
+    return tracker_.current();
+  }
+
+ private:
+  Wil6210Driver* driver_;
+  CompressiveSectorSelector selector_;
+  CssDaemonConfig config_;
+  RandomSubsetPolicy policy_;
+  AdaptiveProbeController controller_;
+  PathTracker tracker_;
+  Rng rng_;
+  std::size_t rounds_{0};
+};
+
+}  // namespace talon

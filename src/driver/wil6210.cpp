@@ -1,0 +1,99 @@
+#include "src/driver/wil6210.hpp"
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+std::string to_string(InterfaceMode mode) {
+  switch (mode) {
+    case InterfaceMode::kAccessPoint:
+      return "ap";
+    case InterfaceMode::kStation:
+      return "station";
+    case InterfaceMode::kMonitor:
+      return "monitor";
+  }
+  return "unknown";
+}
+
+Wil6210Driver::Wil6210Driver(FullMacFirmware& firmware) : firmware_(&firmware) {}
+
+void Wil6210Driver::set_mode(InterfaceMode mode) { mode_ = mode; }
+
+std::string Wil6210Driver::firmware_version() {
+  return must_ok({.type = WmiCommandType::kGetFirmwareVersion}, "version query")
+      .firmware_version;
+}
+
+void Wil6210Driver::load_research_patches() {
+  if (research_patches_loaded()) {
+    throw StateError("research patches already loaded");
+  }
+  firmware_->apply_research_patches();
+}
+
+bool Wil6210Driver::research_patches_loaded() const {
+  return firmware_->patcher().is_applied("sweep-info") &&
+         firmware_->patcher().is_applied("sector-override");
+}
+
+WmiResponse Wil6210Driver::must_ok(const WmiCommand& command, const char* what) {
+  WmiResponse response = firmware_->handle_wmi(command);
+  if (response.status != WmiStatus::kOk) {
+    throw StateError(std::string(what) + " failed: " + to_string(response.status));
+  }
+  return response;
+}
+
+std::vector<SectorReading> Wil6210Driver::read_sweep_readings() {
+  const WmiResponse response =
+      must_ok({.type = WmiCommandType::kReadSweepInfo}, "sweep-info read");
+  std::vector<SectorReading> readings;
+  readings.reserve(response.entries.size());
+  for (const SweepInfoEntry& e : response.entries) {
+    readings.push_back(SectorReading{
+        .sector_id = e.sector_id, .snr_db = e.snr_db, .rssi_dbm = e.rssi_dbm});
+  }
+  return readings;
+}
+
+std::string Wil6210Driver::dump_sweep_info() {
+  const WmiResponse response =
+      must_ok({.type = WmiCommandType::kReadSweepInfo}, "sweep-info read");
+  std::ostringstream out;
+  for (const SweepInfoEntry& e : response.entries) {
+    out << "sweep=" << e.sweep_index << " sector=" << e.sector_id
+        << " snr=" << e.snr_db << " rssi=" << e.rssi_dbm << '\n';
+  }
+  return out.str();
+}
+
+ParsedCodebook Wil6210Driver::read_codebook() {
+  const std::vector<std::uint8_t> blob = firmware_->read_codebook_blob();
+  if (blob.empty()) throw StateError("no codebook stored in the board-file region");
+  return parse_codebook(blob);
+}
+
+void Wil6210Driver::write_codebook(const Codebook& codebook,
+                                   const PlanarArrayGeometry& geometry,
+                                   int phase_states, int amplitude_states) {
+  firmware_->load_codebook_blob(
+      serialize_codebook(codebook, geometry, phase_states, amplitude_states));
+}
+
+void Wil6210Driver::force_sector(int sector_id) {
+  must_ok({.type = WmiCommandType::kSetSectorOverride, .sector_id = sector_id},
+          "sector override");
+}
+
+void Wil6210Driver::clear_forced_sector() {
+  must_ok({.type = WmiCommandType::kClearSectorOverride}, "override clear");
+}
+
+bool Wil6210Driver::sector_forced() const {
+  return firmware_->sector_override().has_value();
+}
+
+}  // namespace talon

@@ -1,0 +1,70 @@
+// Host-side driver facade (Sec. 3.1): the paper ports LEDE to the router
+// and extends the wil6210 driver so user space can reach the patched
+// firmware. This class is that boundary: interface-mode control, the
+// Nexmon patch loading flow, a debugfs-style sweep-info dump, and the
+// sector override -- everything the talon-tools scripts touch, as a typed
+// API. WMI status codes surface as exceptions so user-space tools fail
+// loudly when the firmware lacks the research patches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/antenna/codebook_io.hpp"
+#include "src/firmware/device.hpp"
+#include "src/phy/measurement.hpp"
+
+namespace talon {
+
+enum class InterfaceMode : std::uint8_t { kAccessPoint, kStation, kMonitor };
+
+std::string to_string(InterfaceMode mode);
+
+class Wil6210Driver {
+ public:
+  /// Binds to one chip. The driver does not own the firmware (on the real
+  /// system it lives on the PCIe device).
+  explicit Wil6210Driver(FullMacFirmware& firmware);
+
+  // --- interface management -------------------------------------------------
+  InterfaceMode mode() const { return mode_; }
+  void set_mode(InterfaceMode mode);
+
+  std::string firmware_version();
+
+  // --- Nexmon patch flow ------------------------------------------------------
+  /// Load both research patches; throws StateError when already loaded.
+  void load_research_patches();
+  bool research_patches_loaded() const;
+
+  // --- sweep info (requires the sweep-info patch) -----------------------------
+  /// Drain the firmware ring buffer into typed readings.
+  /// Throws StateError when the patch is missing.
+  std::vector<SectorReading> read_sweep_readings();
+
+  /// Same data as a debugfs-style text dump (one line per reading):
+  /// "sweep=<n> sector=<id> snr=<db> rssi=<dbm>".
+  std::string dump_sweep_info();
+
+  // --- codebook / board file ----------------------------------------------------
+  /// Parse the codebook blob stored in the firmware's board-file region.
+  /// Throws StateError when no codebook is present.
+  ParsedCodebook read_codebook();
+
+  /// Replace the stored codebook blob (research use: custom sectors).
+  void write_codebook(const Codebook& codebook, const PlanarArrayGeometry& geometry,
+                      int phase_states, int amplitude_states);
+
+  // --- sector override (requires the sector-override patch) -------------------
+  void force_sector(int sector_id);
+  void clear_forced_sector();
+  bool sector_forced() const;
+
+ private:
+  WmiResponse must_ok(const WmiCommand& command, const char* what);
+
+  FullMacFirmware* firmware_;
+  InterfaceMode mode_{InterfaceMode::kStation};
+};
+
+}  // namespace talon

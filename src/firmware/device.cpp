@@ -1,0 +1,140 @@
+#include "src/firmware/device.hpp"
+
+#include "src/antenna/codebook.hpp"
+#include "src/common/error.hpp"
+
+namespace talon {
+
+FullMacFirmware::FullMacFirmware(FirmwareConfig config)
+    : config_(std::move(config)),
+      patcher_(memory_),
+      ring_(config_.ring_capacity),
+      selected_sector_(config_.initial_selected_sector) {
+  TALON_EXPECTS(config_.initial_selected_sector >= 0 &&
+                config_.initial_selected_sector <= kMaxSectorId);
+}
+
+void FullMacFirmware::apply_research_patches() {
+  patcher_.apply(make_sweep_info_patch());
+  patcher_.apply(make_sector_override_patch());
+}
+
+void FullMacFirmware::load_codebook_blob(std::span<const std::uint8_t> blob) {
+  TALON_EXPECTS(!blob.empty());
+  const std::uint32_t base = kFwDataHostBase + kCodebookOffset;
+  if (!memory_.host_range_valid(base, static_cast<std::uint32_t>(blob.size()) + 4)) {
+    throw StateError("codebook blob does not fit the board-file region");
+  }
+  const auto size = static_cast<std::uint32_t>(blob.size());
+  for (int i = 0; i < 4; ++i) {
+    memory_.host_write(base + static_cast<std::uint32_t>(i),
+                       static_cast<std::uint8_t>((size >> (8 * i)) & 0xFF));
+  }
+  memory_.host_write_block(base + 4, std::vector<std::uint8_t>(blob.begin(), blob.end()));
+}
+
+std::vector<std::uint8_t> FullMacFirmware::read_codebook_blob() const {
+  const std::uint32_t base = kFwDataHostBase + kCodebookOffset;
+  std::uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<std::uint32_t>(memory_.host_read(base + static_cast<std::uint32_t>(i)))
+            << (8 * i);
+  }
+  if (size == 0 || !memory_.host_range_valid(base + 4, size)) return {};
+  std::vector<std::uint8_t> blob(size);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    blob[i] = memory_.host_read(base + 4 + i);
+  }
+  return blob;
+}
+
+void FullMacFirmware::begin_peer_sweep() {
+  ++sweep_index_;
+  sweep_active_ = true;
+  best_reading_.reset();
+}
+
+void FullMacFirmware::on_ssw_frame(const SswField& field, const SectorReading& reading) {
+  if (!sweep_active_) {
+    throw StateError("SSW frame outside an active sweep");
+  }
+  TALON_EXPECTS(field.sector_id == reading.sector_id);
+  if (!best_reading_ || reading.snr_db > best_reading_->snr_db) {
+    best_reading_ = reading;
+  }
+  if (patcher_.hook_enabled(FirmwareHook::kSweepInfoRingBuffer)) {
+    ring_.push(SweepInfoEntry{
+        .sweep_index = sweep_index_,
+        .sector_id = reading.sector_id,
+        .snr_db = reading.snr_db,
+        .rssi_dbm = reading.rssi_dbm,
+    });
+  }
+}
+
+SswFeedbackField FullMacFirmware::end_peer_sweep() {
+  if (!sweep_active_) {
+    throw StateError("end_peer_sweep without begin_peer_sweep");
+  }
+  sweep_active_ = false;
+  // Stock behaviour: argmax over this sweep's readings; keep the previous
+  // selection when the firmware reported nothing at all.
+  if (best_reading_) selected_sector_ = best_reading_->sector_id;
+
+  SswFeedbackField feedback;
+  if (sector_override_ && patcher_.hook_enabled(FirmwareHook::kSectorOverride)) {
+    feedback.selected_sector_id = *sector_override_;
+  } else {
+    feedback.selected_sector_id = selected_sector_;
+  }
+  if (best_reading_) feedback.snr_report_db = best_reading_->snr_db;
+  return feedback;
+}
+
+void FullMacFirmware::apply_peer_feedback(const SswFeedbackField& feedback) {
+  TALON_EXPECTS(feedback.selected_sector_id >= 0 &&
+                feedback.selected_sector_id <= kMaxSectorId);
+  own_tx_sector_ = feedback.selected_sector_id;
+}
+
+WmiResponse FullMacFirmware::handle_wmi(const WmiCommand& command) {
+  WmiResponse response;
+  switch (command.type) {
+    case WmiCommandType::kGetFirmwareVersion:
+      response.firmware_version = config_.version;
+      return response;
+
+    case WmiCommandType::kSetSectorOverride:
+      if (!patcher_.hook_enabled(FirmwareHook::kSectorOverride)) {
+        response.status = WmiStatus::kUnsupported;
+        return response;
+      }
+      if (!command.sector_id || *command.sector_id < 0 ||
+          *command.sector_id > kMaxSectorId) {
+        response.status = WmiStatus::kInvalidArgument;
+        return response;
+      }
+      sector_override_ = *command.sector_id;
+      return response;
+
+    case WmiCommandType::kClearSectorOverride:
+      if (!patcher_.hook_enabled(FirmwareHook::kSectorOverride)) {
+        response.status = WmiStatus::kUnsupported;
+        return response;
+      }
+      sector_override_.reset();
+      return response;
+
+    case WmiCommandType::kReadSweepInfo:
+      if (!patcher_.hook_enabled(FirmwareHook::kSweepInfoRingBuffer)) {
+        response.status = WmiStatus::kUnsupported;
+        return response;
+      }
+      response.entries = ring_.drain();
+      return response;
+  }
+  response.status = WmiStatus::kInvalidArgument;
+  return response;
+}
+
+}  // namespace talon

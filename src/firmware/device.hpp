@@ -1,0 +1,107 @@
+// The simulated QCA9500 FullMAC firmware.
+//
+// Encapsulates what runs "inside the chip": receiving SSW frames of a
+// peer's sweep, the stock sector selection (argmax over reported SNR,
+// Eq. 1), and -- once the corresponding patches are applied through the
+// PatchFramework -- the two research extensions of Sec. 3:
+//   * every decoded SSW frame's SNR/RSSI is exported to a ring buffer
+//     readable from user space (Sec. 3.3), and
+//   * a WMI-settable override replaces the sector ID written into SSW
+//     feedback fields (Sec. 3.4), which is how compressive selection
+//     steers the peer without reimplementing the MAC.
+// Without the patches, the WMI surface reports kUnsupported, matching the
+// stock firmware's black-box behaviour.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/firmware/memory.hpp"
+#include "src/firmware/patch.hpp"
+#include "src/firmware/ringbuffer.hpp"
+#include "src/firmware/wmi.hpp"
+#include "src/mac/frames.hpp"
+#include "src/phy/measurement.hpp"
+
+namespace talon {
+
+struct FirmwareConfig {
+  /// The image the paper analyzed (extracted from Acer TravelMate laptops).
+  std::string version{"3.3.3.7759"};
+  std::size_t ring_capacity{256};
+  /// Sector reported before any sweep completed.
+  int initial_selected_sector{1};
+};
+
+class FullMacFirmware {
+ public:
+  explicit FullMacFirmware(FirmwareConfig config = {});
+
+  const std::string& version() const { return config_.version; }
+  ChipMemory& memory() { return memory_; }
+  PatchFramework& patcher() { return patcher_; }
+  const PatchFramework& patcher() const { return patcher_; }
+
+  /// Apply both research patches (sweep info + sector override).
+  void apply_research_patches();
+
+  // --- Codebook storage (the "board file" region) ---------------------------
+
+  /// Offset of the packed codebook within the fw-data partition.
+  static constexpr std::uint32_t kCodebookOffset = 0x10000;
+
+  /// Store a packed codebook blob (antenna/codebook_io.hpp format) in the
+  /// fw-data partition, length-prefixed. Throws StateError when it does
+  /// not fit the region.
+  void load_codebook_blob(std::span<const std::uint8_t> blob);
+
+  /// Read back the stored blob; empty when none was loaded.
+  std::vector<std::uint8_t> read_codebook_blob() const;
+
+  // --- Responder-side sweep handling (chip internal) -----------------------
+
+  /// A peer starts a transmit sector sweep toward us.
+  void begin_peer_sweep();
+
+  /// One decoded SSW frame of the ongoing sweep; missed frames never reach
+  /// the firmware. Requires begin_peer_sweep() first.
+  void on_ssw_frame(const SswField& field, const SectorReading& reading);
+
+  /// Close the sweep and produce the feedback field: the stock argmax
+  /// selection, or the override when set (and patched).
+  SswFeedbackField end_peer_sweep();
+
+  /// The sector the firmware currently asks the peer to use.
+  int selected_sector() const { return selected_sector_; }
+
+  /// The sector this device transmits with, as instructed by the peer's
+  /// feedback (updated when a received frame carries a feedback field).
+  /// Defaults to the strong boresight sector 63 before any training.
+  int own_tx_sector() const { return own_tx_sector_; }
+  void apply_peer_feedback(const SswFeedbackField& feedback);
+
+  std::uint32_t sweep_index() const { return sweep_index_; }
+
+  // --- User-space surface (through the wil6210 driver) ---------------------
+
+  WmiResponse handle_wmi(const WmiCommand& command);
+
+  std::optional<int> sector_override() const { return sector_override_; }
+
+ private:
+  FirmwareConfig config_;
+  ChipMemory memory_;
+  PatchFramework patcher_;
+  SweepInfoRingBuffer ring_;
+
+  std::uint32_t sweep_index_{0};
+  bool sweep_active_{false};
+  std::optional<SectorReading> best_reading_;  // current sweep's argmax
+  int selected_sector_;
+  int own_tx_sector_{63};
+  std::optional<int> sector_override_;
+};
+
+}  // namespace talon

@@ -1,0 +1,100 @@
+#include "src/firmware/memory.hpp"
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+std::string to_string(ChipProcessor p) {
+  return p == ChipProcessor::kFirmware ? "firmware" : "ucode";
+}
+
+ChipMemory::ChipMemory() {
+  regions_ = {
+      MemoryRegion{"fw-code", ChipProcessor::kFirmware, 0x00000000, kFwCodeHostBase,
+                   0x00040000, /*low_writable=*/false},
+      MemoryRegion{"fw-data", ChipProcessor::kFirmware, 0x00080000, kFwDataHostBase,
+                   0x00020000, /*low_writable=*/true},
+      MemoryRegion{"uc-code", ChipProcessor::kUcode, 0x00000000, kUcCodeHostBase,
+                   0x00020000, /*low_writable=*/false},
+      MemoryRegion{"uc-data", ChipProcessor::kUcode, 0x00080000, kUcDataHostBase,
+                   0x00020000, /*low_writable=*/true},
+  };
+  storage_.reserve(regions_.size());
+  for (const MemoryRegion& r : regions_) {
+    storage_.emplace_back(r.size, std::uint8_t{0});
+  }
+}
+
+const MemoryRegion& ChipMemory::region_by_low(ChipProcessor p,
+                                              std::uint32_t low_addr) const {
+  for (const MemoryRegion& r : regions_) {
+    if (r.processor == p && low_addr >= r.low_base && low_addr < r.low_base + r.size) {
+      return r;
+    }
+  }
+  throw StateError("unmapped " + to_string(p) + " low address " +
+                   std::to_string(low_addr));
+}
+
+const MemoryRegion& ChipMemory::region_by_host(std::uint32_t host_addr) const {
+  for (const MemoryRegion& r : regions_) {
+    if (host_addr >= r.host_base && host_addr < r.host_base + r.size) return r;
+  }
+  throw StateError("unmapped host address " + std::to_string(host_addr));
+}
+
+std::vector<std::uint8_t>& ChipMemory::backing(const MemoryRegion& r) {
+  return storage_[static_cast<std::size_t>(&r - regions_.data())];
+}
+
+const std::vector<std::uint8_t>& ChipMemory::backing(const MemoryRegion& r) const {
+  return storage_[static_cast<std::size_t>(&r - regions_.data())];
+}
+
+std::uint8_t ChipMemory::read(ChipProcessor p, std::uint32_t low_addr) const {
+  const MemoryRegion& r = region_by_low(p, low_addr);
+  return backing(r)[low_addr - r.low_base];
+}
+
+void ChipMemory::write(ChipProcessor p, std::uint32_t low_addr, std::uint8_t value) {
+  const MemoryRegion& r = region_by_low(p, low_addr);
+  if (!r.low_writable) {
+    throw StateError("write to write-protected region " + r.name +
+                     " at low address " + std::to_string(low_addr));
+  }
+  backing(r)[low_addr - r.low_base] = value;
+}
+
+std::uint8_t ChipMemory::host_read(std::uint32_t host_addr) const {
+  const MemoryRegion& r = region_by_host(host_addr);
+  return backing(r)[host_addr - r.host_base];
+}
+
+void ChipMemory::host_write(std::uint32_t host_addr, std::uint8_t value) {
+  const MemoryRegion& r = region_by_host(host_addr);
+  backing(r)[host_addr - r.host_base] = value;
+}
+
+void ChipMemory::host_write_block(std::uint32_t host_addr,
+                                  const std::vector<std::uint8_t>& bytes) {
+  TALON_EXPECTS(!bytes.empty());
+  if (!host_range_valid(host_addr, static_cast<std::uint32_t>(bytes.size()))) {
+    throw StateError("patch block crosses partition boundary at host address " +
+                     std::to_string(host_addr));
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    host_write(host_addr + static_cast<std::uint32_t>(i), bytes[i]);
+  }
+}
+
+bool ChipMemory::host_range_valid(std::uint32_t host_addr, std::uint32_t size) const {
+  if (size == 0) return false;
+  for (const MemoryRegion& r : regions_) {
+    if (host_addr >= r.host_base && host_addr + size <= r.host_base + r.size) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace talon

@@ -1,0 +1,77 @@
+// The QCA9500's dual-ARC600 memory layout (Fig. 1 of the paper).
+//
+// Each processor (the real-time "ucode" core and the MAC "firmware" core)
+// sees a write-protected code partition and a writable data partition at
+// low addresses. All four partitions are *also* mapped into high host
+// addresses, where they are writable -- the discovery that makes Nexmon
+// patching possible on this chip ("code memory is also accessible at high
+// memory addresses, where it is writable so that it can contain patches").
+//
+// Layout modeled (host view):
+//   0x008c0000..0x00900000  firmware code  (mirror of fw  low 0x000000..0x040000)
+//   0x00900000..0x00920000  firmware data  (mirror of fw  low 0x080000..0x0a0000)
+//   0x00920000..0x00940000  ucode    code  (mirror of uc  low 0x000000..0x020000)
+//   0x00940000..0x00960000  ucode    data  (mirror of uc  low 0x080000..0x0a0000)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace talon {
+
+enum class ChipProcessor : std::uint8_t { kFirmware, kUcode };
+
+std::string to_string(ChipProcessor p);
+
+/// One mapped partition.
+struct MemoryRegion {
+  std::string name;
+  ChipProcessor processor;
+  std::uint32_t low_base;   ///< processor-view base
+  std::uint32_t host_base;  ///< host-view (high) base, always writable
+  std::uint32_t size;
+  bool low_writable;  ///< false for code partitions
+};
+
+/// Host-view addresses of the four partitions.
+inline constexpr std::uint32_t kFwCodeHostBase = 0x008c0000;
+inline constexpr std::uint32_t kFwDataHostBase = 0x00900000;
+inline constexpr std::uint32_t kUcCodeHostBase = 0x00920000;
+inline constexpr std::uint32_t kUcDataHostBase = 0x00940000;
+
+class ChipMemory {
+ public:
+  /// Builds the four-partition Talon layout with zeroed contents.
+  ChipMemory();
+
+  const std::vector<MemoryRegion>& regions() const { return regions_; }
+
+  /// Processor-view access. Reads anywhere in the processor's mapped low
+  /// ranges; writes to a code partition throw StateError (write-protected),
+  /// mirroring the ARC600 behaviour that defeated stock Nexmon.
+  std::uint8_t read(ChipProcessor p, std::uint32_t low_addr) const;
+  void write(ChipProcessor p, std::uint32_t low_addr, std::uint8_t value);
+
+  /// Host-view access through the high mirror; always writable.
+  std::uint8_t host_read(std::uint32_t host_addr) const;
+  void host_write(std::uint32_t host_addr, std::uint8_t value);
+
+  /// Bulk host write (patch application).
+  void host_write_block(std::uint32_t host_addr, const std::vector<std::uint8_t>& bytes);
+
+  /// True when [host_addr, host_addr + size) lies inside one mapped
+  /// host-view partition.
+  bool host_range_valid(std::uint32_t host_addr, std::uint32_t size) const;
+
+ private:
+  const MemoryRegion& region_by_low(ChipProcessor p, std::uint32_t low_addr) const;
+  const MemoryRegion& region_by_host(std::uint32_t host_addr) const;
+  std::vector<std::uint8_t>& backing(const MemoryRegion& r);
+  const std::vector<std::uint8_t>& backing(const MemoryRegion& r) const;
+
+  std::vector<MemoryRegion> regions_;
+  std::vector<std::vector<std::uint8_t>> storage_;  // parallel to regions_
+};
+
+}  // namespace talon

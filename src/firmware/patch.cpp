@@ -1,0 +1,108 @@
+#include "src/firmware/patch.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+std::string to_string(FirmwareHook hook) {
+  switch (hook) {
+    case FirmwareHook::kSweepInfoRingBuffer:
+      return "sweep-info-ring-buffer";
+    case FirmwareHook::kSectorOverride:
+      return "sector-override";
+  }
+  return "unknown";
+}
+
+void PatchFramework::apply(const FirmwarePatch& patch) {
+  TALON_EXPECTS(!patch.name.empty());
+  TALON_EXPECTS(!patch.sections.empty());
+  if (is_applied(patch.name)) {
+    throw StateError("patch already applied: " + patch.name);
+  }
+  // Validate all sections before touching memory (atomic apply).
+  for (const PatchSection& s : patch.sections) {
+    if (s.bytes.empty()) throw StateError("empty patch section in " + patch.name);
+    const auto size = static_cast<std::uint32_t>(s.bytes.size());
+    if (!memory_->host_range_valid(s.host_addr, size)) {
+      throw StateError("patch section outside mapped memory in " + patch.name);
+    }
+    for (const AppliedSection& a : occupied_) {
+      const bool disjoint =
+          s.host_addr + size <= a.host_addr || a.host_addr + a.size <= s.host_addr;
+      if (!disjoint) {
+        throw StateError("patch section overlaps an applied patch in " + patch.name);
+      }
+    }
+  }
+  for (const PatchSection& s : patch.sections) {
+    memory_->host_write_block(s.host_addr, s.bytes);
+    occupied_.push_back(
+        {s.host_addr, static_cast<std::uint32_t>(s.bytes.size())});
+  }
+  applied_.push_back(patch);
+}
+
+bool PatchFramework::is_applied(const std::string& name) const {
+  return std::any_of(applied_.begin(), applied_.end(),
+                     [&name](const FirmwarePatch& p) { return p.name == name; });
+}
+
+bool PatchFramework::hook_enabled(FirmwareHook hook) const {
+  for (const FirmwarePatch& p : applied_) {
+    if (std::find(p.hooks.begin(), p.hooks.end(), hook) != p.hooks.end()) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> PatchFramework::applied_patches() const {
+  std::vector<std::string> names;
+  names.reserve(applied_.size());
+  for (const FirmwarePatch& p : applied_) names.push_back(p.name);
+  return names;
+}
+
+namespace {
+/// Deterministic stand-in for compiled patch code.
+std::vector<std::uint8_t> blob(std::size_t size, std::uint8_t seed) {
+  std::vector<std::uint8_t> bytes(size);
+  std::uint8_t v = seed;
+  for (std::uint8_t& b : bytes) {
+    v = static_cast<std::uint8_t>(v * 73u + 41u);
+    b = v;
+  }
+  return bytes;
+}
+}  // namespace
+
+FirmwarePatch make_sweep_info_patch() {
+  // Sector sweeps are handled in the ucode (Sec. 3.3); the hook lives in
+  // the ucode patch area near the top of the ucode code mirror, with its
+  // ring-buffer bookkeeping in ucode data.
+  return FirmwarePatch{
+      .name = "sweep-info",
+      .sections =
+          {
+              PatchSection{kUcCodeHostBase + 0x16000, blob(512, 0x11)},
+              PatchSection{kUcDataHostBase + 0x04000, blob(64, 0x22)},
+          },
+      .hooks = {FirmwareHook::kSweepInfoRingBuffer},
+  };
+}
+
+FirmwarePatch make_sector_override_patch() {
+  // The feedback-field switch sits in the MAC firmware core (Sec. 3.4).
+  return FirmwarePatch{
+      .name = "sector-override",
+      .sections =
+          {
+              PatchSection{kFwCodeHostBase + 0x35000, blob(384, 0x33)},
+              PatchSection{kFwDataHostBase + 0x08000, blob(16, 0x44)},
+          },
+      .hooks = {FirmwareHook::kSectorOverride},
+  };
+}
+
+}  // namespace talon

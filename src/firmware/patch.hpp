@@ -1,0 +1,69 @@
+// Nexmon-style firmware patch framework (Sec. 3.2).
+//
+// A patch is a named set of byte sections written into the chip's memory
+// through the writable high mirror. The framework validates that every
+// section lands inside a mapped partition, rejects overlaps with already
+// applied patches, and tracks which named capabilities ("hooks") a patch
+// enables -- the simulated firmware consults those hooks to decide whether
+// the sweep-info ring buffer and the sector-override switch exist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/firmware/memory.hpp"
+
+namespace talon {
+
+/// One contiguous block of patched bytes (code + data merged, as the
+/// modified Nexmon emits for the ARC600's high addresses).
+struct PatchSection {
+  std::uint32_t host_addr{0};
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Capabilities a patch can enable in the firmware.
+enum class FirmwareHook : std::uint8_t {
+  kSweepInfoRingBuffer,  ///< export per-sector SNR/RSSI (Sec. 3.3)
+  kSectorOverride,       ///< overwrite SSW feedback sector (Sec. 3.4)
+};
+
+std::string to_string(FirmwareHook hook);
+
+struct FirmwarePatch {
+  std::string name;
+  std::vector<PatchSection> sections;
+  std::vector<FirmwareHook> hooks;
+};
+
+class PatchFramework {
+ public:
+  explicit PatchFramework(ChipMemory& memory) : memory_(&memory) {}
+
+  /// Apply a patch. Throws StateError when a section misses the mapped
+  /// high ranges, overlaps an applied patch, or the name is already used.
+  void apply(const FirmwarePatch& patch);
+
+  bool is_applied(const std::string& name) const;
+  bool hook_enabled(FirmwareHook hook) const;
+  std::vector<std::string> applied_patches() const;
+
+ private:
+  struct AppliedSection {
+    std::uint32_t host_addr;
+    std::uint32_t size;
+  };
+
+  ChipMemory* memory_;
+  std::vector<FirmwarePatch> applied_;
+  std::vector<AppliedSection> occupied_;
+};
+
+/// The paper's two patches. The byte payloads are representative blobs
+/// placed in the patch areas of Fig. 1 (firmware patch near the end of the
+/// fw code mirror, ucode patch near the end of the ucode code mirror).
+FirmwarePatch make_sweep_info_patch();
+FirmwarePatch make_sector_override_patch();
+
+}  // namespace talon

@@ -1,0 +1,32 @@
+#include "src/firmware/ringbuffer.hpp"
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+SweepInfoRingBuffer::SweepInfoRingBuffer(std::size_t capacity) : buffer_(capacity) {
+  TALON_EXPECTS(capacity > 0);
+}
+
+void SweepInfoRingBuffer::push(const SweepInfoEntry& entry) {
+  buffer_[head_] = entry;
+  head_ = (head_ + 1) % buffer_.size();
+  if (count_ == buffer_.size()) {
+    ++dropped_;  // overwrote the oldest unread entry
+  } else {
+    ++count_;
+  }
+}
+
+std::vector<SweepInfoEntry> SweepInfoRingBuffer::drain() {
+  std::vector<SweepInfoEntry> out;
+  out.reserve(count_);
+  const std::size_t start = (head_ + buffer_.size() - count_) % buffer_.size();
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  count_ = 0;
+  return out;
+}
+
+}  // namespace talon

@@ -1,0 +1,44 @@
+// The sweep-info ring buffer the patched ucode fills (Sec. 3.3): one entry
+// per decoded SSW frame, read out from user space through the driver.
+// Fixed capacity; when user space reads too slowly the oldest entries are
+// overwritten, which the driver can detect via dropped().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace talon {
+
+struct SweepInfoEntry {
+  std::uint32_t sweep_index{0};  ///< which sweep this reading belongs to
+  int sector_id{0};
+  double snr_db{0.0};
+  double rssi_dbm{0.0};
+};
+
+class SweepInfoRingBuffer {
+ public:
+  explicit SweepInfoRingBuffer(std::size_t capacity);
+
+  std::size_t capacity() const { return buffer_.size(); }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Total entries overwritten before being read.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Append; overwrites the oldest unread entry when full.
+  void push(const SweepInfoEntry& entry);
+
+  /// Remove and return all entries, oldest first.
+  std::vector<SweepInfoEntry> drain();
+
+ private:
+  std::vector<SweepInfoEntry> buffer_;
+  std::size_t head_{0};  // next write slot
+  std::size_t count_{0};
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace talon

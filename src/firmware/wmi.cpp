@@ -1,0 +1,17 @@
+#include "src/firmware/wmi.hpp"
+
+namespace talon {
+
+std::string to_string(WmiStatus status) {
+  switch (status) {
+    case WmiStatus::kOk:
+      return "ok";
+    case WmiStatus::kUnsupported:
+      return "unsupported";
+    case WmiStatus::kInvalidArgument:
+      return "invalid-argument";
+  }
+  return "unknown";
+}
+
+}  // namespace talon

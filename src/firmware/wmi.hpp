@@ -1,0 +1,45 @@
+// Wireless Module Interface (WMI) commands.
+//
+// The host driver talks to the QCA9500 through WMI mailbox commands; the
+// paper adds "a custom Wireless Module Interface (WMI) command" to switch
+// the feedback sector from user space (Sec. 3.4). We model the command
+// surface the patched firmware exposes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/firmware/ringbuffer.hpp"
+
+namespace talon {
+
+enum class WmiCommandType : std::uint8_t {
+  kGetFirmwareVersion,
+  kSetSectorOverride,    ///< force a sector ID into all SSW feedback fields
+  kClearSectorOverride,  ///< return to the stock argmax selection
+  kReadSweepInfo,        ///< drain the sweep-info ring buffer
+};
+
+struct WmiCommand {
+  WmiCommandType type{WmiCommandType::kGetFirmwareVersion};
+  /// Sector ID for kSetSectorOverride.
+  std::optional<int> sector_id;
+};
+
+enum class WmiStatus : std::uint8_t {
+  kOk,
+  kUnsupported,      ///< required firmware patch not applied
+  kInvalidArgument,  ///< e.g. sector ID out of the 6-bit range
+};
+
+std::string to_string(WmiStatus status);
+
+struct WmiResponse {
+  WmiStatus status{WmiStatus::kOk};
+  std::string firmware_version;          ///< kGetFirmwareVersion
+  std::vector<SweepInfoEntry> entries;   ///< kReadSweepInfo
+};
+
+}  // namespace talon

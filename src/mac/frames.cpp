@@ -1,0 +1,19 @@
+#include "src/mac/frames.hpp"
+
+namespace talon {
+
+std::string to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kBeacon:
+      return "beacon";
+    case FrameType::kSectorSweep:
+      return "ssw";
+    case FrameType::kSswFeedback:
+      return "ssw-feedback";
+    case FrameType::kSswAck:
+      return "ssw-ack";
+  }
+  return "unknown";
+}
+
+}  // namespace talon

@@ -1,0 +1,55 @@
+// IEEE 802.11ad management frames relevant to beam training.
+//
+// Only the fields the paper's firmware patches touch are modeled: the
+// sector sweep (SSW) field carried in beacon and SSW frames (sector ID +
+// CDOWN countdown, Sec. 4.1) and the sweep feedback field carried in SSW /
+// SSW-Feedback / SSW-ACK frames whose "selected sector" the patch
+// overwrites (Sec. 3.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace talon {
+
+enum class FrameType : std::uint8_t {
+  kBeacon,        // DMG beacon, swept over beacon sectors
+  kSectorSweep,   // SSW frame within a TXSS burst
+  kSswFeedback,   // initiator -> responder after responder sweep
+  kSswAck,        // responder -> initiator, completes training
+};
+
+std::string to_string(FrameType type);
+
+/// The SSW field present in beacon and SSW frames (IEEE 802.11ad 8.4a.1).
+struct SswField {
+  /// Remaining frames in this burst ("decreasing counter CDOWN").
+  int cdown{0};
+  /// Sector used to transmit this frame (6 bits on the air).
+  int sector_id{0};
+  /// True when sent by the link initiator.
+  bool is_initiator{true};
+};
+
+/// The sweep feedback field (the "sector select" the firmware patch
+/// overwrites).
+struct SswFeedbackField {
+  /// The sector the sender asks its peer to transmit with.
+  int selected_sector_id{0};
+  /// SNR report accompanying the selection (optional in the standard).
+  std::optional<double> snr_report_db;
+};
+
+/// One over-the-air management frame.
+struct Frame {
+  FrameType type{FrameType::kBeacon};
+  /// Transmitting node's identifier (library-level, not a MAC address).
+  int source_node{0};
+  /// Time the frame starts on air, relative to the burst start [us].
+  double tx_time_us{0.0};
+  std::optional<SswField> ssw;
+  std::optional<SswFeedbackField> feedback;
+};
+
+}  // namespace talon

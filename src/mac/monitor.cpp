@@ -1,0 +1,23 @@
+#include "src/mac/monitor.hpp"
+
+namespace talon {
+
+void MonitorCapture::capture(const Frame& frame) { frames_.push_back(frame); }
+
+std::map<int, std::set<int>> MonitorCapture::cdown_to_sectors(FrameType type) const {
+  std::map<int, std::set<int>> out;
+  for (const Frame& f : frames_) {
+    if (f.type != type || !f.ssw) continue;
+    out[f.ssw->cdown].insert(f.ssw->sector_id);
+  }
+  return out;
+}
+
+bool MonitorCapture::schedule_is_constant(FrameType type) const {
+  for (const auto& [cdown, sectors] : cdown_to_sectors(type)) {
+    if (sectors.size() > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace talon

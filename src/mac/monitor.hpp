@@ -1,0 +1,40 @@
+// Monitor-mode frame capture (the paper's third Talon running tcpdump,
+// Sec. 4.1): records beacon/SSW frames and summarizes which sector ID was
+// observed at each CDOWN value -- exactly the analysis that produced
+// Table 1.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/mac/frames.hpp"
+
+namespace talon {
+
+class MonitorCapture {
+ public:
+  /// Record one overheard frame.
+  void capture(const Frame& frame);
+
+  std::size_t frame_count() const { return frames_.size(); }
+  const std::vector<Frame>& frames() const { return frames_; }
+
+  /// Table-1-style summary for one frame type: CDOWN -> sector IDs seen.
+  /// CDOWN values at which no frame was ever captured are absent
+  /// (the "-" slots of Table 1).
+  std::map<int, std::set<int>> cdown_to_sectors(FrameType type) const;
+
+  /// True when, for this frame type, each observed CDOWN value always
+  /// carried the same sector ID ("sector sweeping settings stay constant
+  /// over time").
+  bool schedule_is_constant(FrameType type) const;
+
+  void clear() { frames_.clear(); }
+
+ private:
+  std::vector<Frame> frames_;
+};
+
+}  // namespace talon

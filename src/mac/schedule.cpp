@@ -1,0 +1,66 @@
+#include "src/mac/schedule.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace talon {
+
+namespace {
+
+constexpr int kBurstSlots = 35;  // CDOWN 34..0
+
+std::array<BurstSlot, kBurstSlots> build_beacon_schedule() {
+  std::array<BurstSlot, kBurstSlots> slots{};
+  for (int i = 0; i < kBurstSlots; ++i) {
+    const int cdown = 34 - i;
+    slots[static_cast<std::size_t>(i)] = BurstSlot{cdown, std::nullopt};
+    if (cdown == 33) {
+      slots[static_cast<std::size_t>(i)].sector_id = 63;
+    } else if (cdown >= 1 && cdown <= 31) {
+      // CDOWN 31 -> sector 1, ..., CDOWN 1 -> sector 31.
+      slots[static_cast<std::size_t>(i)].sector_id = 32 - cdown;
+    }
+  }
+  return slots;
+}
+
+std::array<BurstSlot, kBurstSlots> build_sweep_schedule() {
+  std::array<BurstSlot, kBurstSlots> slots{};
+  for (int i = 0; i < kBurstSlots; ++i) {
+    const int cdown = 34 - i;
+    slots[static_cast<std::size_t>(i)] = BurstSlot{cdown, std::nullopt};
+    if (cdown >= 4) {
+      // CDOWN 34 -> sector 1, ..., CDOWN 4 -> sector 31.
+      slots[static_cast<std::size_t>(i)].sector_id = 35 - cdown;
+    } else if (cdown == 2) {
+      slots[static_cast<std::size_t>(i)].sector_id = 61;
+    } else if (cdown == 1) {
+      slots[static_cast<std::size_t>(i)].sector_id = 62;
+    } else if (cdown == 0) {
+      slots[static_cast<std::size_t>(i)].sector_id = 63;
+    }
+  }
+  return slots;
+}
+
+const std::array<BurstSlot, kBurstSlots> kBeaconSchedule = build_beacon_schedule();
+const std::array<BurstSlot, kBurstSlots> kSweepSchedule = build_sweep_schedule();
+
+}  // namespace
+
+std::span<const BurstSlot> beacon_burst_schedule() { return kBeaconSchedule; }
+
+std::span<const BurstSlot> sweep_burst_schedule() { return kSweepSchedule; }
+
+std::vector<BurstSlot> probing_burst_schedule(std::span<const int> probe_sectors) {
+  std::vector<BurstSlot> out(kSweepSchedule.begin(), kSweepSchedule.end());
+  for (BurstSlot& slot : out) {
+    if (!slot.sector_id) continue;
+    const bool keep = std::find(probe_sectors.begin(), probe_sectors.end(),
+                                *slot.sector_id) != probe_sectors.end();
+    if (!keep) slot.sector_id = std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace talon

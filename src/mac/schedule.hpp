@@ -1,0 +1,34 @@
+// Burst schedules: which sector is used at which CDOWN value.
+//
+// Table 1 of the paper, verbatim: beacon bursts transmit sector 63 at
+// CDOWN 33 and sectors 1..31 at CDOWN 31..1 (slots 34, 32 and 0 unused);
+// sweep bursts transmit sectors 1..31 at CDOWN 34..4, then 61/62/63 at
+// CDOWN 2/1/0 (slot 3 unused).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace talon {
+
+/// One slot of a burst: a CDOWN value and the sector transmitted there
+/// (nullopt = the device stays silent in this slot).
+struct BurstSlot {
+  int cdown{0};
+  std::optional<int> sector_id;
+};
+
+/// Table 1, "Beacon" row, CDOWN 34 down to 0.
+std::span<const BurstSlot> beacon_burst_schedule();
+
+/// Table 1, "Sweep" row, CDOWN 34 down to 0.
+std::span<const BurstSlot> sweep_burst_schedule();
+
+/// A sweep-style schedule restricted to `probe_sectors` (compressive
+/// probing): only slots whose sector is in the set keep their sector;
+/// all other slots become silent. Preserves CDOWN numbering so frames
+/// remain standard-compliant.
+std::vector<BurstSlot> probing_burst_schedule(std::span<const int> probe_sectors);
+
+}  // namespace talon

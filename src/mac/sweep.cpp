@@ -1,0 +1,132 @@
+#include "src/mac/sweep.hpp"
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+std::string to_string(SweepPhase phase) {
+  switch (phase) {
+    case SweepPhase::kIdle:
+      return "idle";
+    case SweepPhase::kInitiatorSweep:
+      return "initiator-sweep";
+    case SweepPhase::kResponderSweep:
+      return "responder-sweep";
+    case SweepPhase::kFeedback:
+      return "feedback";
+    case SweepPhase::kAck:
+      return "ack";
+    case SweepPhase::kDone:
+      return "done";
+    case SweepPhase::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+MutualTrainingSession::MutualTrainingSession(std::vector<BurstSlot> initiator_schedule,
+                                             std::vector<BurstSlot> responder_schedule,
+                                             TimingModel timing, Callbacks callbacks)
+    : initiator_schedule_(std::move(initiator_schedule)),
+      responder_schedule_(std::move(responder_schedule)),
+      timing_(timing),
+      callbacks_(std::move(callbacks)) {
+  TALON_EXPECTS(static_cast<bool>(callbacks_.deliver_to_responder));
+  TALON_EXPECTS(static_cast<bool>(callbacks_.deliver_to_initiator));
+  TALON_EXPECTS(static_cast<bool>(callbacks_.responder_select));
+  TALON_EXPECTS(static_cast<bool>(callbacks_.initiator_select));
+}
+
+int MutualTrainingSession::run_sweep(
+    const std::vector<BurstSlot>& schedule, bool initiator,
+    const std::optional<SswFeedbackField>& feedback, double start_us,
+    const std::function<bool(const Frame&)>& deliver) {
+  int delivered = 0;
+  int slot_index = 0;
+  for (const BurstSlot& slot : schedule) {
+    ++slot_index;
+    if (!slot.sector_id) continue;
+    Frame frame{
+        .type = FrameType::kSectorSweep,
+        .source_node = initiator ? 0 : 1,
+        .tx_time_us = start_us + timing_.ssw_frame_us * (slot_index - 1),
+        .ssw = SswField{.cdown = slot.cdown,
+                        .sector_id = *slot.sector_id,
+                        .is_initiator = initiator},
+        .feedback = feedback,
+    };
+    if (deliver(frame)) ++delivered;
+  }
+  return delivered;
+}
+
+MutualTrainingResult MutualTrainingSession::run() {
+  TALON_EXPECTS(phase_ == SweepPhase::kIdle);
+  MutualTrainingResult result;
+
+  // --- Initiator TXSS -------------------------------------------------------
+  phase_ = SweepPhase::kInitiatorSweep;
+  const double i_sweep_us =
+      timing_.burst_time_us(static_cast<int>(initiator_schedule_.size()));
+  result.initiator_frames = run_sweep(initiator_schedule_, /*initiator=*/true,
+                                      std::nullopt, 0.0,
+                                      callbacks_.deliver_to_responder);
+  if (result.initiator_frames == 0) {
+    phase_ = SweepPhase::kFailed;
+    return result;
+  }
+
+  // --- Responder TXSS (its SSW frames carry the initiator's feedback) -------
+  phase_ = SweepPhase::kResponderSweep;
+  const SswFeedbackField initiator_feedback = callbacks_.responder_select();
+  result.responder_frames = run_sweep(responder_schedule_, /*initiator=*/false,
+                                      initiator_feedback, i_sweep_us,
+                                      callbacks_.deliver_to_initiator);
+  if (result.responder_frames == 0) {
+    phase_ = SweepPhase::kFailed;
+    return result;
+  }
+  result.initiator_sector = initiator_feedback.selected_sector_id;
+
+  // --- SSW-Feedback (initiator -> responder) --------------------------------
+  phase_ = SweepPhase::kFeedback;
+  const SswFeedbackField responder_feedback = callbacks_.initiator_select();
+  const Frame feedback_frame{
+      .type = FrameType::kSswFeedback,
+      .source_node = 0,
+      .tx_time_us = i_sweep_us +
+                    timing_.burst_time_us(static_cast<int>(responder_schedule_.size())),
+      .feedback = responder_feedback,
+  };
+  if (!callbacks_.deliver_to_responder(feedback_frame)) {
+    phase_ = SweepPhase::kFailed;
+    return result;
+  }
+  result.responder_sector = responder_feedback.selected_sector_id;
+
+  // --- SSW-ACK (responder -> initiator) --------------------------------------
+  phase_ = SweepPhase::kAck;
+  const Frame ack_frame{
+      .type = FrameType::kSswAck,
+      .source_node = 1,
+      .tx_time_us = feedback_frame.tx_time_us + timing_.training_overhead_us / 2.0,
+      .feedback = initiator_feedback,
+  };
+  if (!callbacks_.deliver_to_initiator(ack_frame)) {
+    phase_ = SweepPhase::kFailed;
+    return result;
+  }
+
+  phase_ = SweepPhase::kDone;
+  result.success = true;
+  // Airtime per the Fig. 10 model: both sweeps' probe frames plus the
+  // constant initialization/feedback overhead.
+  int probes = 0;
+  for (const BurstSlot& s : initiator_schedule_) {
+    if (s.sector_id) ++probes;
+  }
+  result.airtime_us = 2.0 * timing_.burst_time_us(probes) + timing_.training_overhead_us;
+  return result;
+}
+
+}  // namespace talon

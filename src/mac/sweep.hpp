@@ -1,0 +1,94 @@
+// The full bidirectional transmit sector sweep (TXSS) of IEEE 802.11ad
+// (Sec. 2.1/4.1): initiator sweep -> responder sweep (carrying feedback for
+// the initiator) -> SSW-Feedback (carrying feedback for the responder) ->
+// SSW-ACK. This header models the frame-level state machine and the
+// timeline; the physical delivery of each frame is delegated to a
+// transport callback so the same machine runs over the simulated channel
+// (sim/linksim) or in unit tests with scripted losses.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/mac/frames.hpp"
+#include "src/mac/schedule.hpp"
+#include "src/mac/timing.hpp"
+
+namespace talon {
+
+/// Phases of a mutual TXSS, in protocol order.
+enum class SweepPhase : std::uint8_t {
+  kIdle,
+  kInitiatorSweep,
+  kResponderSweep,
+  kFeedback,
+  kAck,
+  kDone,
+  kFailed,
+};
+
+std::string to_string(SweepPhase phase);
+
+/// Outcome of one completed mutual training.
+struct MutualTrainingResult {
+  bool success{false};
+  /// The initiator's TX sector (selected by the responder, sent in the
+  /// responder's SSW frames' feedback field).
+  std::optional<int> initiator_sector;
+  /// The responder's TX sector (selected by the initiator, sent in the
+  /// SSW-Feedback frame).
+  std::optional<int> responder_sector;
+  /// Total protocol airtime [us], from the timing model.
+  double airtime_us{0.0};
+  /// Frames generated per phase (diagnostics).
+  int initiator_frames{0};
+  int responder_frames{0};
+};
+
+/// Drives the four TXSS phases over an abstract transport.
+///
+/// The transport delivers one management frame from one side to the other
+/// and returns false when the frame is lost. Sector-level measurement and
+/// selection stay with the caller: the session asks the `*_select`
+/// callbacks for the feedback content after each sweep, mirroring how the
+/// firmware computes (or, patched, overrides) the selection.
+class MutualTrainingSession {
+ public:
+  struct Callbacks {
+    /// Deliver one SSW frame of the initiator's sweep; false = lost.
+    std::function<bool(const Frame&)> deliver_to_responder;
+    /// Deliver one frame of the responder's sweep / ACK; false = lost.
+    std::function<bool(const Frame&)> deliver_to_initiator;
+    /// Responder's selection for the initiator after the initiator sweep.
+    std::function<SswFeedbackField()> responder_select;
+    /// Initiator's selection for the responder after the responder sweep.
+    std::function<SswFeedbackField()> initiator_select;
+  };
+
+  MutualTrainingSession(std::vector<BurstSlot> initiator_schedule,
+                        std::vector<BurstSlot> responder_schedule,
+                        TimingModel timing, Callbacks callbacks);
+
+  /// Run the whole exchange. The protocol fails when an entire sweep is
+  /// lost or when the feedback/ACK frames are lost (802.11ad then retries
+  /// in a later beacon interval; the session reports kFailed).
+  MutualTrainingResult run();
+
+  SweepPhase phase() const { return phase_; }
+
+ private:
+  /// Transmit one schedule; returns delivered-frame count.
+  int run_sweep(const std::vector<BurstSlot>& schedule, bool initiator,
+                const std::optional<SswFeedbackField>& feedback,
+                double start_us,
+                const std::function<bool(const Frame&)>& deliver);
+
+  std::vector<BurstSlot> initiator_schedule_;
+  std::vector<BurstSlot> responder_schedule_;
+  TimingModel timing_;
+  Callbacks callbacks_;
+  SweepPhase phase_{SweepPhase::kIdle};
+};
+
+}  // namespace talon

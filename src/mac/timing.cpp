@@ -1,0 +1,22 @@
+#include "src/mac/timing.hpp"
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+double TimingModel::burst_time_us(int probes) const {
+  TALON_EXPECTS(probes >= 0);
+  return ssw_frame_us * probes;
+}
+
+double TimingModel::mutual_training_time_ms(int probes_per_side) const {
+  TALON_EXPECTS(probes_per_side >= 1);
+  return (2.0 * burst_time_us(probes_per_side) + training_overhead_us) / 1000.0;
+}
+
+double TimingModel::speedup_vs_full_sweep(int probes_per_side) const {
+  return mutual_training_time_ms(kFullSweepProbes) /
+         mutual_training_time_ms(probes_per_side);
+}
+
+}  // namespace talon

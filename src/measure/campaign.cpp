@@ -1,0 +1,94 @@
+#include "src/measure/campaign.hpp"
+
+#include <map>
+
+#include "src/common/error.hpp"
+#include "src/measure/postprocess.hpp"
+
+namespace talon {
+
+CampaignResult measure_sector_patterns(Scenario& scenario,
+                                       const CampaignConfig& config) {
+  TALON_EXPECTS(config.repetitions >= 1);
+  // Pattern grid in the device frame: a head azimuth alpha places the peer
+  // at device azimuth -alpha, so the device-frame axis mirrors the
+  // commanded axis (symmetric ranges map onto themselves).
+  const AngularGrid grid{
+      .azimuth = config.azimuth,
+      .elevation = config.elevation,
+  };
+
+  Rng rng(config.seed);
+  LinkSimulator link = scenario.make_link(rng.fork());
+  RotationHead head(config.head);
+
+  // Per-sector, per-cell raw SNR samples.
+  std::map<int, std::vector<std::vector<double>>> samples;
+  for (int id : talon_tx_sector_ids()) {
+    samples.emplace(id, std::vector<std::vector<double>>(grid.size()));
+  }
+  if (config.measure_rx_pattern) {
+    samples.emplace(kRxQuasiOmniSectorId,
+                    std::vector<std::vector<double>>(grid.size()));
+  }
+
+  // The peer transmits only its strong boresight sector when the DUT's RX
+  // pattern is being measured (Sec. 4.3: "we only considered frames
+  // transmitted on sector 63, as it has a strong unidirectional gain").
+  const std::vector<BurstSlot> rx_probe_schedule{BurstSlot{0, 63}};
+
+  CampaignResult result;
+  for (std::size_t ie = 0; ie < config.elevation.count; ++ie) {
+    const double tilt = config.elevation.value(ie);
+    for (std::size_t ia_cmd = 0; ia_cmd < config.azimuth.count; ++ia_cmd) {
+      const double head_az = config.azimuth.value(ia_cmd);
+      const RotationHead::Pose pose = head.move_to(head_az, tilt);
+      scenario.set_head(pose.realized_azimuth_deg, pose.realized_tilt_deg);
+      ++result.poses_visited;
+
+      // Samples are binned at the *commanded* device-frame cell.
+      const std::size_t ia = grid.azimuth.nearest_index(-head_az);
+      const std::size_t cell = grid.index(ia, ie);
+
+      for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+        // TX patterns: DUT sweeps, peer reports SNR per sector.
+        const SweepOutcome sweep = link.transmit_sweep(
+            *scenario.dut, *scenario.peer, sweep_burst_schedule());
+        for (const SectorReading& r : sweep.measurement.readings) {
+          samples.at(r.sector_id)[cell].push_back(r.snr_db);
+          ++result.frames_decoded;
+        }
+        // RX pattern: peer transmits sector 63, DUT receives quasi-omni.
+        if (config.measure_rx_pattern) {
+          const SweepOutcome rx_sweep = link.transmit_sweep(
+              *scenario.peer, *scenario.dut, rx_probe_schedule);
+          for (const SectorReading& r : rx_sweep.measurement.readings) {
+            samples.at(kRxQuasiOmniSectorId)[cell].push_back(r.snr_db);
+            ++result.frames_decoded;
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& [sector_id, cells] : samples) {
+    // Count the cells interpolation will have to fill: empty cells in rows
+    // that contain at least some data.
+    for (std::size_t ie = 0; ie < grid.elevation.count; ++ie) {
+      bool row_has_data = false;
+      std::size_t row_empty = 0;
+      for (std::size_t ia = 0; ia < grid.azimuth.count; ++ia) {
+        if (cells[grid.index(ia, ie)].empty()) {
+          ++row_empty;
+        } else {
+          row_has_data = true;
+        }
+      }
+      if (row_has_data) result.interpolated_cells += row_empty;
+    }
+    result.table.add(sector_id, reduce_and_interpolate(grid, cells, config.floor_db));
+  }
+  return result;
+}
+
+}  // namespace talon

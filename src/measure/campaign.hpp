@@ -1,0 +1,52 @@
+// The anechoic-chamber pattern measurement campaign (Sec. 4).
+//
+// The device under test sits on the rotation head; the fixed peer extracts
+// SNR readings from the DUT's sweep frames via the firmware patch. For
+// every commanded (azimuth, tilt) pose the campaign runs several full
+// sweeps, bins the readings into the *commanded* grid cell (the realized
+// pose carries the head's mechanical errors -- that imprecision ends up in
+// the table, as it did in the paper), then reduces and gap-interpolates
+// each sector's samples into a pattern grid.
+//
+// The receive pattern ("Sector RX" in Figs. 5/6) is measured by swapping
+// roles: the peer transmits on its strong sector 63 only, and the DUT's
+// quasi-omni reception is what varies with rotation (Sec. 4.3).
+#pragma once
+
+#include <cstdint>
+
+#include "src/antenna/pattern.hpp"
+#include "src/measure/rotation.hpp"
+#include "src/sim/scenario.hpp"
+
+namespace talon {
+
+struct CampaignConfig {
+  /// Commanded pose grid. Defaults match the paper's 3-D campaign:
+  /// azimuth +-90 deg at 1.8 deg, tilt 0..32.4 deg at 3.6 deg.
+  Axis azimuth{.first = -90.0, .step = 1.8, .count = 101};
+  Axis elevation{.first = 0.0, .step = 3.6, .count = 10};
+  /// Full sweeps per pose ("averaged over multiple measurements").
+  std::size_t repetitions{3};
+  /// Whether to also measure the DUT's receive pattern (Sector RX).
+  bool measure_rx_pattern{true};
+  /// Value assigned to cells that never decoded a frame and have no
+  /// neighbours to interpolate from (the firmware's report floor).
+  double floor_db{-7.0};
+  RotationHeadConfig head;
+  std::uint64_t seed{0xC4A9};
+};
+
+struct CampaignResult {
+  /// One pattern per TX sector, plus kRxQuasiOmniSectorId when requested.
+  PatternTable table;
+  std::size_t poses_visited{0};
+  std::size_t frames_decoded{0};
+  /// Grid cells that required gap interpolation (per sector, summed).
+  std::size_t interpolated_cells{0};
+};
+
+/// Run the campaign in (normally) the anechoic scenario.
+CampaignResult measure_sector_patterns(Scenario& scenario, const CampaignConfig& config);
+
+}  // namespace talon

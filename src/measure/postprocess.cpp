@@ -1,0 +1,84 @@
+#include "src/measure/postprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "src/common/error.hpp"
+#include "src/common/stats.hpp"
+
+namespace talon {
+
+double robust_average(std::span<const double> samples, double k) {
+  TALON_EXPECTS(!samples.empty());
+  TALON_EXPECTS(k > 0.0);
+  if (samples.size() < 4) return mean(samples);
+  const double med = median(samples);
+  // Floor the MAD so perfectly quantized (identical) samples do not turn
+  // every tiny deviation into an "outlier".
+  const double mad = std::max(median_abs_deviation(samples), 0.25);
+  std::vector<double> kept;
+  kept.reserve(samples.size());
+  for (double v : samples) {
+    if (std::fabs(v - med) <= k * mad) kept.push_back(v);
+  }
+  if (kept.empty()) return med;
+  return mean(kept);
+}
+
+Grid2D reduce_and_interpolate(const AngularGrid& grid,
+                              const std::vector<std::vector<double>>& cell_samples,
+                              double floor_db) {
+  TALON_EXPECTS(cell_samples.size() == grid.size());
+  Grid2D out(grid, floor_db);
+
+  for (std::size_t ie = 0; ie < grid.elevation.count; ++ie) {
+    // First pass: robust averages where data exists.
+    std::vector<std::optional<double>> row(grid.azimuth.count);
+    bool any = false;
+    for (std::size_t ia = 0; ia < grid.azimuth.count; ++ia) {
+      const auto& samples = cell_samples[grid.index(ia, ie)];
+      if (!samples.empty()) {
+        row[ia] = robust_average(samples);
+        any = true;
+      }
+    }
+    if (!any) continue;  // whole row missing: stays at floor_db
+
+    // Second pass: linear interpolation across gaps, nearest-valid at the
+    // row edges.
+    std::size_t ia = 0;
+    while (ia < row.size()) {
+      if (row[ia]) {
+        out.set(ia, ie, *row[ia]);
+        ++ia;
+        continue;
+      }
+      // Find the gap [gap_begin, gap_end).
+      const std::size_t gap_begin = ia;
+      std::size_t gap_end = ia;
+      while (gap_end < row.size() && !row[gap_end]) ++gap_end;
+      const bool has_left = gap_begin > 0;
+      const bool has_right = gap_end < row.size();
+      for (std::size_t g = gap_begin; g < gap_end; ++g) {
+        double v;
+        if (has_left && has_right) {
+          const double left = *row[gap_begin - 1];
+          const double right = *row[gap_end];
+          const double frac = static_cast<double>(g - gap_begin + 1) /
+                              static_cast<double>(gap_end - gap_begin + 1);
+          v = left + frac * (right - left);
+        } else if (has_left) {
+          v = *row[gap_begin - 1];
+        } else {
+          v = *row[gap_end];
+        }
+        out.set(g, ie, v);
+      }
+      ia = gap_end;
+    }
+  }
+  return out;
+}
+
+}  // namespace talon

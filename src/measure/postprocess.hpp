@@ -1,0 +1,29 @@
+// Post-processing of raw campaign samples into a pattern grid, following
+// Sec. 4.3: "we omitted obvious outliers, averaged over multiple
+// measurements, and interpolated over gaps where we could not capture any
+// frames due to misses in directions with low gains and decoding errors."
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/grid.hpp"
+
+namespace talon {
+
+/// MAD-based robust mean: samples farther than `k` median-absolute-
+/// deviations from the median are dropped before averaging. With fewer
+/// than 4 samples a plain mean is used (too little data to judge
+/// outliers). Requires a non-empty input.
+double robust_average(std::span<const double> samples, double k = 3.0);
+
+/// Reduce per-cell sample lists into a grid:
+///  - cells with samples get robust_average(),
+///  - empty cells are linearly interpolated along the azimuth row,
+///  - rows with no samples at all fall to `floor_db`.
+/// `cell_samples` is indexed by AngularGrid::index().
+Grid2D reduce_and_interpolate(const AngularGrid& grid,
+                              const std::vector<std::vector<double>>& cell_samples,
+                              double floor_db);
+
+}  // namespace talon

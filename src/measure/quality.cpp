@@ -1,0 +1,69 @@
+#include "src/measure/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+PatternQuality pattern_quality(const PatternTable& measured, int sector_id,
+                               const GainSource& truth,
+                               const PatternQualityConfig& config) {
+  const Grid2D& pattern = measured.pattern(sector_id);
+  const AngularGrid& grid = pattern.grid();
+
+  PatternQuality out;
+  out.sector_id = sector_id;
+  double sum_sq = 0.0;
+  std::size_t observable = 0;
+  std::size_t unobservable = 0;
+  double best_true = -1e9;
+  Direction best_true_dir{};
+  for (std::size_t ie = 0; ie < grid.elevation.count; ++ie) {
+    for (std::size_t ia = 0; ia < grid.azimuth.count; ++ia) {
+      const Direction d = grid.direction(ia, ie);
+      const double true_reported =
+          std::clamp(truth.gain_dbi(sector_id, d) + config.report_offset_db,
+                     config.report_min_db, config.report_max_db);
+      if (true_reported > best_true) {
+        best_true = true_reported;
+        best_true_dir = d;
+      }
+      if (true_reported <= config.report_min_db) {
+        ++unobservable;
+        continue;
+      }
+      const double diff = pattern.at(ia, ie) - true_reported;
+      sum_sq += diff * diff;
+      out.max_error_db = std::max(out.max_error_db, std::fabs(diff));
+      ++observable;
+    }
+  }
+  if (observable > 0) {
+    out.rms_error_db = std::sqrt(sum_sq / static_cast<double>(observable));
+  }
+  out.unobservable_fraction =
+      static_cast<double>(unobservable) / static_cast<double>(grid.size());
+  out.peak_offset_deg =
+      angular_separation_deg(pattern.peak().direction, best_true_dir);
+  return out;
+}
+
+double mean_table_rms_error_db(const PatternTable& measured, const GainSource& truth,
+                               const PatternQualityConfig& config) {
+  const auto ids = measured.ids();
+  TALON_EXPECTS(!ids.empty());
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (int id : ids) {
+    const PatternQuality q = pattern_quality(measured, id, truth, config);
+    if (q.unobservable_fraction >= 1.0) continue;  // nothing to compare
+    sum += q.rms_error_db;
+    ++counted;
+  }
+  TALON_EXPECTS(counted > 0);
+  return sum / static_cast<double>(counted);
+}
+
+}  // namespace talon

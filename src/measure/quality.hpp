@@ -1,0 +1,50 @@
+// Pattern-table quality metrics: how faithfully did the campaign capture
+// the device's real patterns?
+//
+// Sec. 4.5 can only eyeball this ("we have confirmed that different
+// devices exhibit similar patterns with slight variations"); with the
+// simulator we can compare the measured table against the realized gains
+// directly. The comparison respects the firmware reporting pipeline: the
+// truth is mapped onto the reporting scale (offset + clamp) before
+// differencing, because values outside [-7, 12] were never observable.
+#pragma once
+
+#include "src/antenna/gain_source.hpp"
+#include "src/antenna/pattern.hpp"
+
+namespace talon {
+
+struct PatternQuality {
+  int sector_id{0};
+  /// RMS difference over observable grid cells [dB].
+  double rms_error_db{0.0};
+  /// Largest absolute difference over observable cells [dB].
+  double max_error_db{0.0};
+  /// Angle between the measured and the true (reporting-scale) peak [deg].
+  double peak_offset_deg{0.0};
+  /// Grid cells where the truth is at/below the reporting floor (nothing
+  /// to compare there), as a fraction of the grid. 1.0 means the sector is
+  /// entirely unmeasurable; the error fields are then 0 by definition.
+  double unobservable_fraction{0.0};
+};
+
+struct PatternQualityConfig {
+  /// Gain-to-reporting-scale offset: the standard anechoic campaign's link
+  /// budget (8 dBm TX + ~5 dBi quasi-omni RX - 77.7 dB path + 71.5 dB
+  /// noise floor) minus the firmware's -15 dB readout offset maps a gain
+  /// of g dBi onto a reading of about g - 8.15 dB.
+  double report_offset_db{-8.15};
+  double report_min_db{-7.0};
+  double report_max_db{12.0};
+};
+
+/// Quality of one sector's measured pattern against the ground truth.
+PatternQuality pattern_quality(const PatternTable& measured, int sector_id,
+                               const GainSource& truth,
+                               const PatternQualityConfig& config = {});
+
+/// Mean RMS error over every sector in the table.
+double mean_table_rms_error_db(const PatternTable& measured, const GainSource& truth,
+                               const PatternQualityConfig& config = {});
+
+}  // namespace talon

@@ -1,0 +1,31 @@
+#include "src/measure/rotation.hpp"
+
+#include <cmath>
+
+namespace talon {
+
+RotationHead::RotationHead(const RotationHeadConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+double RotationHead::tilt_offset_for(double tilt_deg) {
+  const long key = std::lround(tilt_deg * 10.0);
+  const auto it = tilt_offsets_.find(key);
+  if (it != tilt_offsets_.end()) return it->second;
+  const double offset =
+      tilt_deg == 0.0 ? 0.0 : rng_.normal(config_.tilt_error_stddev_deg);
+  tilt_offsets_.emplace(key, offset);
+  return offset;
+}
+
+RotationHead::Pose RotationHead::move_to(double azimuth_deg, double tilt_deg) {
+  current_ = Pose{
+      .commanded_azimuth_deg = azimuth_deg,
+      .realized_azimuth_deg =
+          azimuth_deg + rng_.normal(config_.azimuth_error_stddev_deg),
+      .commanded_tilt_deg = tilt_deg,
+      .realized_tilt_deg = tilt_deg + tilt_offset_for(tilt_deg),
+  };
+  return current_;
+}
+
+}  // namespace talon

@@ -1,0 +1,54 @@
+// The custom rotation head of Sec. 4.2.
+//
+// Azimuth is driven by a step motor with microstepping ("high rotation
+// precision in the azimuth plane") -- modeled as a tiny zero-mean error per
+// move. Elevation is tilted *manually* in Sec. 4.5 ("despite of using a
+// digital mechanic's level, we did not achieve a sub-degree precision"),
+// modeled as a persistent offset drawn once per distinct tilt level: every
+// pose measured at that tilt shares the same bias, exactly like a
+// mis-levelled fixture. The paper names this as a source of the elevated
+// elevation errors in Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/common/rng.hpp"
+
+namespace talon {
+
+struct RotationHeadConfig {
+  /// Std-dev of the per-move azimuth error [deg] (microstepping).
+  double azimuth_error_stddev_deg{0.05};
+  /// Std-dev of the per-tilt-level offset [deg] (manual tilting).
+  double tilt_error_stddev_deg{0.8};
+  std::uint64_t seed{0x907A7E};
+};
+
+class RotationHead {
+ public:
+  explicit RotationHead(const RotationHeadConfig& config);
+
+  struct Pose {
+    double commanded_azimuth_deg{0.0};
+    double realized_azimuth_deg{0.0};
+    double commanded_tilt_deg{0.0};
+    double realized_tilt_deg{0.0};
+  };
+
+  /// Command a pose; returns what the fixture physically realized.
+  Pose move_to(double azimuth_deg, double tilt_deg);
+
+  const Pose& current() const { return current_; }
+
+ private:
+  double tilt_offset_for(double tilt_deg);
+
+  RotationHeadConfig config_;
+  Rng rng_;
+  /// Persistent manual-tilt offsets, keyed by tilt in tenths of a degree.
+  std::map<long, double> tilt_offsets_;
+  Pose current_{};
+};
+
+}  // namespace talon

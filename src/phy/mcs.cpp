@@ -1,0 +1,45 @@
+#include "src/phy/mcs.hpp"
+
+#include <array>
+
+namespace talon {
+
+namespace {
+constexpr McsEntry kControlPhy{0, 27.5, -12.0};
+
+// IEEE 802.11ad SC PHY rates; SNR thresholds are typical receiver
+// requirements (pi/2-BPSK through pi/2-16QAM, rates 1/2..3/4).
+constexpr std::array<McsEntry, 12> kScMcs{{
+    {1, 385.0, 1.0},
+    {2, 770.0, 2.5},
+    {3, 962.5, 3.5},
+    {4, 1155.0, 4.5},
+    {5, 1251.25, 5.0},
+    {6, 1540.0, 5.5},
+    {7, 1925.0, 7.0},
+    {8, 2310.0, 8.5},
+    {9, 2502.5, 9.5},
+    {10, 3080.0, 11.5},
+    {11, 3850.0, 13.5},
+    {12, 4620.0, 15.5},
+}};
+}  // namespace
+
+const McsEntry& control_phy_mcs() { return kControlPhy; }
+
+std::span<const McsEntry> sc_mcs_table() { return kScMcs; }
+
+const McsEntry* select_mcs(double snr_db) {
+  const McsEntry* best = nullptr;
+  for (const McsEntry& e : kScMcs) {
+    if (snr_db >= e.min_snr_db) best = &e;
+  }
+  return best;
+}
+
+double phy_rate_mbps(double snr_db) {
+  const McsEntry* e = select_mcs(snr_db);
+  return e != nullptr ? e->phy_rate_mbps : 0.0;
+}
+
+}  // namespace talon

@@ -1,0 +1,32 @@
+// IEEE 802.11ad modulation and coding schemes (single-carrier PHY).
+//
+// Used by the throughput model of Fig. 11: the selected sector fixes the
+// link SNR, the SNR fixes the highest decodable MCS, and the MCS fixes the
+// PHY rate. Rates follow IEEE 802.11ad-2012 Table 21-18 (SC PHY, MCS 1-12);
+// the control PHY (MCS 0) carries beacon/SSW frames.
+#pragma once
+
+#include <span>
+
+namespace talon {
+
+struct McsEntry {
+  int index;
+  double phy_rate_mbps;
+  /// Minimum true SNR for reliable reception [dB] (receiver-typical values).
+  double min_snr_db;
+};
+
+/// Control PHY (MCS 0): DBPSK with 32x spreading; carries SSW frames.
+const McsEntry& control_phy_mcs();
+
+/// SC PHY MCS 1..12 in ascending rate order.
+std::span<const McsEntry> sc_mcs_table();
+
+/// Highest SC MCS decodable at `snr_db`; nullptr if below MCS 1.
+const McsEntry* select_mcs(double snr_db);
+
+/// PHY rate at `snr_db` [Mbps]; 0 when no SC MCS is decodable.
+double phy_rate_mbps(double snr_db);
+
+}  // namespace talon

@@ -1,0 +1,81 @@
+#include "src/phy/measurement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+bool SweepMeasurement::has(int sector_id) const { return find(sector_id) != nullptr; }
+
+const SectorReading* SweepMeasurement::find(int sector_id) const {
+  for (const SectorReading& r : readings) {
+    if (r.sector_id == sector_id) return &r;
+  }
+  return nullptr;
+}
+
+MeasurementModel::MeasurementModel(const MeasurementModelConfig& config, Rng rng)
+    : config_(config), rng_(rng) {
+  TALON_EXPECTS(config_.report_min_db < config_.report_max_db);
+  TALON_EXPECTS(config_.snr_quantization_db > 0.0);
+  TALON_EXPECTS(config_.rssi_quantization_db > 0.0);
+  TALON_EXPECTS(config_.decode_ramp_db >= 0.0);
+}
+
+double MeasurementModel::quantize_clamp_snr(double snr_db) const {
+  const double q = config_.snr_quantization_db;
+  const double quantized = std::round(snr_db / q) * q;
+  return std::clamp(quantized, config_.report_min_db, config_.report_max_db);
+}
+
+std::optional<SectorReading> MeasurementModel::measure(int sector_id,
+                                                       double true_snr_db) {
+  // Frame decoding.
+  double miss_prob = config_.base_miss_probability;
+  if (true_snr_db < config_.decode_threshold_db) {
+    miss_prob = 1.0;
+  } else if (true_snr_db < config_.decode_threshold_db + config_.decode_ramp_db) {
+    const double frac =
+        (true_snr_db - config_.decode_threshold_db) / std::max(config_.decode_ramp_db, 1e-9);
+    miss_prob = std::max(miss_prob, 1.0 - frac);
+  }
+  if (rng_.bernoulli(miss_prob)) return std::nullopt;
+
+  // SNR path: low-gain channels fluctuate more.
+  const double snr_stddev =
+      config_.snr_noise_base_stddev_db +
+      config_.snr_noise_low_gain_slope *
+          std::max(0.0, config_.snr_noise_ref_db - true_snr_db);
+  double snr = true_snr_db + config_.report_offset_db + rng_.normal(snr_stddev);
+  if (rng_.bernoulli(config_.snr_outlier_probability)) {
+    snr += rng_.uniform(-config_.outlier_magnitude_db, config_.outlier_magnitude_db);
+  }
+
+  // RSSI path: independent noise and outliers, coarser quantization.
+  double rssi = true_snr_db + config_.report_offset_db +
+                rng_.normal(config_.rssi_noise_stddev_db);
+  if (rng_.bernoulli(config_.rssi_outlier_probability)) {
+    rssi += rng_.uniform(-config_.outlier_magnitude_db, config_.outlier_magnitude_db);
+  }
+  const double rssi_q = config_.rssi_quantization_db;
+
+  return SectorReading{
+      .sector_id = sector_id,
+      .snr_db = quantize_clamp_snr(snr),
+      .rssi_dbm = std::round(rssi / rssi_q) * rssi_q,
+  };
+}
+
+SweepMeasurement MeasurementModel::measure_sweep(
+    const std::vector<std::pair<int, double>>& true_snrs) {
+  SweepMeasurement out;
+  out.readings.reserve(true_snrs.size());
+  for (const auto& [sector_id, snr] : true_snrs) {
+    if (auto reading = measure(sector_id, snr)) out.readings.push_back(*reading);
+  }
+  return out;
+}
+
+}  // namespace talon

@@ -1,0 +1,96 @@
+// The firmware's imperfect view of the channel (Sec. 3.3 and Sec. 5).
+//
+// The QCA9500 reports per-SSW-frame SNR and RSSI. The paper observes:
+//  - SNR quantized to quarter dB, clamped to [-7, 12] dB,
+//  - severe outliers, especially on low-gain channels,
+//  - sweeps where the firmware reports no measurement at all,
+//  - RSSI acquired independently, so both values rarely glitch together
+//    (this is what makes the Eq. 5 product correlation effective).
+// MeasurementModel converts a true link SNR into exactly this kind of
+// reading, or into a miss.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace talon {
+
+/// One decoded SSW frame's reported signal strength.
+struct SectorReading {
+  int sector_id{0};
+  double snr_db{0.0};    ///< firmware scale, quantized and clamped
+  double rssi_dbm{0.0};  ///< independently noisy, coarser quantization
+};
+
+/// All readings obtained during one sector sweep; sectors whose frames were
+/// missed are simply absent.
+struct SweepMeasurement {
+  std::vector<SectorReading> readings;
+
+  bool has(int sector_id) const;
+  /// nullptr when the sector's frame was missed.
+  const SectorReading* find(int sector_id) const;
+};
+
+struct MeasurementModelConfig {
+  /// Maps true SNR onto the firmware reporting scale (the chip's readout
+  /// is an uncalibrated internal metric, not true SNR).
+  double report_offset_db{-15.0};
+  /// Firmware report clamp range [dB] (paper: -7 to 12).
+  double report_min_db{-7.0};
+  double report_max_db{12.0};
+  /// SNR readout quantization [dB] (paper: quarter dB).
+  double snr_quantization_db{0.25};
+  /// RSSI readout quantization [dB].
+  double rssi_quantization_db{1.0};
+
+  /// True SNR below which an SSW frame cannot be decoded. The control PHY
+  /// has ~32x spreading gain (sensitivity around -78 dBm), so SSW frames
+  /// decode well below the SC MCS range -- and below the reporting floor,
+  /// where the reading clamps at report_min_db.
+  double decode_threshold_db{-8.0};
+  /// Miss probability ramps linearly from 1 to 0 over
+  /// [decode_threshold_db, decode_threshold_db + decode_ramp_db].
+  double decode_ramp_db{3.0};
+  /// Residual miss probability even on strong channels ("sometimes the
+  /// firmware does not report any measurements at all").
+  double base_miss_probability{0.02};
+
+  /// Gaussian SNR fluctuation: stddev = base + slope * max(0, ref - snr),
+  /// i.e. low-gain channels fluctuate more (Sec. 5).
+  double snr_noise_base_stddev_db{0.4};
+  double snr_noise_low_gain_slope{0.15};
+  double snr_noise_ref_db{20.0};
+  /// Independent Gaussian RSSI fluctuation.
+  double rssi_noise_stddev_db{0.8};
+
+  /// Probability of a severe outlier on the SNR reading and (independently)
+  /// on the RSSI reading; outliers add uniform +-magnitude dB.
+  double snr_outlier_probability{0.04};
+  double rssi_outlier_probability{0.04};
+  double outlier_magnitude_db{6.0};
+};
+
+class MeasurementModel {
+ public:
+  MeasurementModel(const MeasurementModelConfig& config, Rng rng);
+
+  /// One frame reception at the given true SNR; nullopt = frame missed.
+  std::optional<SectorReading> measure(int sector_id, double true_snr_db);
+
+  /// Convenience: run measure() over (sector, true SNR) pairs.
+  SweepMeasurement measure_sweep(
+      const std::vector<std::pair<int, double>>& true_snrs);
+
+  const MeasurementModelConfig& config() const { return config_; }
+
+ private:
+  double quantize_clamp_snr(double snr_db) const;
+
+  MeasurementModelConfig config_;
+  Rng rng_;
+};
+
+}  // namespace talon

@@ -1,0 +1,64 @@
+#include "src/phy/rate_control.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+double frame_success_probability(const McsEntry& mcs, double snr_db) {
+  // Logistic centered 0.5 dB above the decode threshold with ~1 dB width:
+  // ~12% at the threshold, >99% 2 dB above it.
+  const double x = (snr_db - mcs.min_snr_db - 0.5) / 0.5;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+RateController::RateController(const RateControllerConfig& config)
+    : config_(config), mcs_index_(config.initial_mcs_index) {
+  TALON_EXPECTS(config_.raise_after_successes >= 1);
+  TALON_EXPECTS(config_.drop_after_failures >= 1);
+  TALON_EXPECTS(config_.initial_mcs_index >= 1 &&
+                config_.initial_mcs_index <= static_cast<int>(sc_mcs_table().size()));
+}
+
+const McsEntry& RateController::current() const {
+  return sc_mcs_table()[static_cast<std::size_t>(mcs_index_ - 1)];
+}
+
+void RateController::report(bool success) {
+  if (success) {
+    failure_run_ = 0;
+    ++success_run_;
+    if (success_run_ >= config_.raise_after_successes &&
+        mcs_index_ < static_cast<int>(sc_mcs_table().size())) {
+      ++mcs_index_;
+      success_run_ = 0;
+    }
+  } else {
+    success_run_ = 0;
+    ++failure_run_;
+    if (failure_run_ >= config_.drop_after_failures && mcs_index_ > 1) {
+      --mcs_index_;
+      failure_run_ = 0;
+    }
+  }
+}
+
+void RateController::reset() {
+  mcs_index_ = config_.initial_mcs_index;
+  success_run_ = 0;
+  failure_run_ = 0;
+}
+
+int RateController::drive(double snr_db, int frames, Rng& rng) {
+  TALON_EXPECTS(frames >= 0);
+  int successes = 0;
+  for (int i = 0; i < frames; ++i) {
+    const bool ok = rng.bernoulli(frame_success_probability(current(), snr_db));
+    if (ok) ++successes;
+    report(ok);
+  }
+  return successes;
+}
+
+}  // namespace talon

@@ -1,0 +1,56 @@
+// Link rate adaptation.
+//
+// The MCS table says which rate an SNR *can* sustain; a real FullMAC
+// converges there by trial and error (probe up after sustained success,
+// back off on failures), and pays a transient after every sector switch
+// when the channel changes under it. This Minstrel-flavoured controller
+// models that convergence; frame_success_probability() provides the
+// logistic PER curve around each MCS's SNR threshold that drives it.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/phy/mcs.hpp"
+
+namespace talon {
+
+/// Probability that one frame at `mcs` succeeds at the given true SNR:
+/// a logistic ramp centered on the MCS's threshold (width ~1 dB), matching
+/// the sharp waterfall of coded mm-wave links.
+double frame_success_probability(const McsEntry& mcs, double snr_db);
+
+struct RateControllerConfig {
+  /// Consecutive successes at the current MCS before probing one up.
+  int raise_after_successes{10};
+  /// Consecutive failures before stepping one down.
+  int drop_after_failures{2};
+  /// MCS index after reset (a conservative restart, like the driver).
+  int initial_mcs_index{1};
+};
+
+class RateController {
+ public:
+  explicit RateController(const RateControllerConfig& config = {});
+
+  /// Currently used SC MCS entry.
+  const McsEntry& current() const;
+  int current_index() const { return mcs_index_; }
+
+  /// Report one transmission attempt's outcome.
+  void report(bool success);
+
+  /// Sector switch / association: fall back to the conservative start.
+  void reset();
+
+  /// Convenience: simulate `frames` transmissions at the given true SNR,
+  /// driving the controller with stochastic outcomes. Returns the number
+  /// of successful frames.
+  int drive(double snr_db, int frames, Rng& rng);
+
+ private:
+  RateControllerConfig config_;
+  int mcs_index_;
+  int success_run_{0};
+  int failure_run_{0};
+};
+
+}  // namespace talon

@@ -1,0 +1,31 @@
+#include "src/phy/throughput.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/phy/mcs.hpp"
+
+namespace talon {
+
+ThroughputModel::ThroughputModel(const ThroughputModelConfig& config)
+    : config_(config) {
+  TALON_EXPECTS(config_.mac_efficiency > 0.0 && config_.mac_efficiency <= 1.0);
+  TALON_EXPECTS(config_.tcp_efficiency > 0.0 && config_.tcp_efficiency <= 1.0);
+  TALON_EXPECTS(config_.host_cap_mbps > 0.0);
+  TALON_EXPECTS(config_.training_interval_s > 0.0);
+}
+
+double ThroughputModel::app_throughput_mbps(double true_snr_db,
+                                            double training_time_s,
+                                            bool sector_switched) const {
+  const double phy = phy_rate_mbps(true_snr_db);
+  const double goodput =
+      std::min(phy * config_.mac_efficiency * config_.tcp_efficiency,
+               config_.host_cap_mbps);
+  const double training_share =
+      std::clamp(training_time_s / config_.training_interval_s, 0.0, 1.0);
+  const double switch_share = sector_switched ? config_.sector_switch_penalty : 0.0;
+  return goodput * (1.0 - training_share) * (1.0 - switch_share);
+}
+
+}  // namespace talon

@@ -1,0 +1,48 @@
+// Application-layer throughput model (the iperf3 measurements of Fig. 11).
+//
+// Real Talon links saturate well below the PHY rate: MAC framing/ACK
+// overhead, TCP overhead, and the router's CPU cap the measured iperf3
+// rate around 1.5 Gbps. The model is
+//   app = min(phy_rate * mac_eff * tcp_eff, host_cap) * (1 - training_share)
+// where training_share credits time spent beam-training instead of
+// transmitting data (the paper's Sec. 6.4 notes shorter sweeps leave more
+// airtime; we expose that as an optional term).
+#pragma once
+
+namespace talon {
+
+struct ThroughputModelConfig {
+  /// MAC efficiency (aggregation, SIFS/ACKs, block-ack overhead).
+  double mac_efficiency{0.62};
+  /// TCP/IP header and congestion-control efficiency.
+  double tcp_efficiency{0.94};
+  /// Router host/CPU cap on application throughput [Mbps].
+  double host_cap_mbps{1520.0};
+  /// How often beam training runs [s] (paper: ~once per second).
+  double training_interval_s{1.0};
+  /// Fractional throughput lost in an interval whose training *changed*
+  /// the sector (rate adaptation resettles, block-ack/TCP hiccup). This is
+  /// what turns Fig. 8's selection stability into Fig. 11's throughput
+  /// edge ("the additional performance gain we achieve from higher
+  /// stability", Sec. 6.4).
+  double sector_switch_penalty{0.04};
+};
+
+class ThroughputModel {
+ public:
+  explicit ThroughputModel(const ThroughputModelConfig& config = {});
+
+  /// Expected application throughput [Mbps] at the given true link SNR.
+  /// `training_time_s` is the time spent per training interval on sector
+  /// sweeps (0 reproduces the paper's equal-sweep-duration comparison);
+  /// `sector_switched` applies the switch penalty for this interval.
+  double app_throughput_mbps(double true_snr_db, double training_time_s = 0.0,
+                             bool sector_switched = false) const;
+
+  const ThroughputModelConfig& config() const { return config_; }
+
+ private:
+  ThroughputModelConfig config_;
+};
+
+}  // namespace talon

@@ -1,0 +1,91 @@
+#include "src/sim/access.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/core/ssw.hpp"
+
+namespace talon {
+
+InitialAccessSimulator::InitialAccessSimulator(LinkSimulator& link, Node& ap,
+                                               std::vector<Node*> stations,
+                                               const InitialAccessConfig& config,
+                                               Rng rng)
+    : link_(&link), ap_(&ap), stations_(std::move(stations)), config_(config), rng_(rng) {
+  TALON_EXPECTS(config_.a_bft_slots >= 1);
+  TALON_EXPECTS(config_.max_beacon_intervals >= 1);
+  TALON_EXPECTS(!stations_.empty());
+  for (Node* s : stations_) TALON_EXPECTS(s != nullptr);
+}
+
+std::vector<std::optional<int>> InitialAccessSimulator::beacon_interval() {
+  std::vector<std::optional<int>> best(stations_.size());
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    // The station listens quasi-omni to the AP's beacon burst; the
+    // strongest decoded beacon identifies the AP's sector toward it.
+    const SweepOutcome outcome =
+        link_->transmit_sweep(*ap_, *stations_[i], beacon_burst_schedule());
+    const SswSelection sel = sweep_select(outcome.measurement.readings);
+    if (sel.valid) best[i] = sel.sector_id;
+  }
+  return best;
+}
+
+std::optional<int> InitialAccessSimulator::a_bft_training(Node& station) {
+  // Responder sector sweep: the station probes all its TX sectors toward
+  // the AP, which answers with the argmax in the SSW feedback.
+  const SweepOutcome outcome =
+      link_->transmit_sweep(station, *ap_, sweep_burst_schedule());
+  if (outcome.measurement.readings.empty()) return std::nullopt;
+  return outcome.feedback.selected_sector_id;
+}
+
+std::vector<AssociationOutcome> InitialAccessSimulator::run() {
+  const TimingModel timing;
+  std::vector<AssociationOutcome> outcomes(stations_.size());
+
+  for (int interval = 1; interval <= config_.max_beacon_intervals; ++interval) {
+    const bool all_done = std::all_of(outcomes.begin(), outcomes.end(),
+                                      [](const AssociationOutcome& o) {
+                                        return o.associated;
+                                      });
+    if (all_done) break;
+
+    const std::vector<std::optional<int>> best = beacon_interval();
+
+    // Contending stations pick an A-BFT slot uniformly at random.
+    std::map<int, std::vector<std::size_t>> slots;
+    for (std::size_t i = 0; i < stations_.size(); ++i) {
+      if (outcomes[i].associated || !best[i]) continue;
+      slots[rng_.uniform_int(0, config_.a_bft_slots - 1)].push_back(i);
+    }
+
+    for (const auto& [slot, contenders] : slots) {
+      if (contenders.size() > 1) {
+        // SSW frames of multiple stations overlap: nobody trains.
+        for (std::size_t i : contenders) ++outcomes[i].collisions;
+        continue;
+      }
+      const std::size_t i = contenders.front();
+      if (const auto sta_sector = a_bft_training(*stations_[i])) {
+        outcomes[i].associated = true;
+        outcomes[i].beacon_intervals = interval;
+        outcomes[i].ap_tx_sector = best[i];
+        outcomes[i].sta_tx_sector = sta_sector;
+        outcomes[i].time_ms = interval * timing.beacon_interval_ms;
+        stations_[i]->firmware().apply_peer_feedback(
+            SswFeedbackField{.selected_sector_id = *sta_sector});
+      }
+    }
+  }
+
+  for (AssociationOutcome& o : outcomes) {
+    if (!o.associated) {
+      o.beacon_intervals = config_.max_beacon_intervals;
+      o.time_ms = config_.max_beacon_intervals * timing.beacon_interval_ms;
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace talon

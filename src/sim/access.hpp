@@ -1,0 +1,71 @@
+// IEEE 802.11ad initial access: BTI + A-BFT (Sec. 4.1 background).
+//
+// "As Access points (APs) do not know the best sectors to advertise their
+// existence to potential clients, they periodically transmit beacon frames
+// successively over multiple sectors" -- the Beacon Transmission Interval
+// (BTI), using the Table-1 beacon schedule. Stations listen quasi-omni,
+// pick the strongest beacon (learning the AP's TX sector toward them) and
+// then contend in the Association BeamForming Training (A-BFT): a slotted
+// window where each station performs its responder sector sweep toward the
+// AP. Two stations in the same slot collide and retry in the next beacon
+// interval. Beacons repeat every 102.4 ms, so the slot contention directly
+// determines association delay.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/sim/linksim.hpp"
+
+namespace talon {
+
+struct InitialAccessConfig {
+  /// A-BFT slots per beacon interval (standard default: 8).
+  int a_bft_slots{8};
+  /// Give up after this many beacon intervals without association.
+  int max_beacon_intervals{50};
+};
+
+/// Per-station outcome of the access procedure.
+struct AssociationOutcome {
+  bool associated{false};
+  /// Beacon intervals consumed until association (1 = first interval).
+  int beacon_intervals{0};
+  /// A-BFT slot collisions suffered along the way.
+  int collisions{0};
+  /// The AP's TX sector toward this station (learned from beacons).
+  std::optional<int> ap_tx_sector;
+  /// The station's TX sector toward the AP (from the A-BFT feedback).
+  std::optional<int> sta_tx_sector;
+  /// Wall-clock time to association [ms] (beacon interval granularity).
+  double time_ms{0.0};
+};
+
+/// Runs BTI + A-BFT for one AP and a set of stations over the simulated
+/// channel. Stations are identified by their index in `stations`.
+class InitialAccessSimulator {
+ public:
+  InitialAccessSimulator(LinkSimulator& link, Node& ap,
+                         std::vector<Node*> stations,
+                         const InitialAccessConfig& config, Rng rng);
+
+  /// Run until every station associated or gave up.
+  std::vector<AssociationOutcome> run();
+
+ private:
+  /// One BTI: beacon burst; returns per-station best AP sector (stations
+  /// that decode no beacon at all get nullopt and skip this A-BFT).
+  std::vector<std::optional<int>> beacon_interval();
+
+  /// One station's A-BFT responder sweep; returns its TX sector on success.
+  std::optional<int> a_bft_training(Node& station);
+
+  LinkSimulator* link_;
+  Node* ap_;
+  std::vector<Node*> stations_;
+  InitialAccessConfig config_;
+  Rng rng_;
+};
+
+}  // namespace talon

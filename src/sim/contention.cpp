@@ -1,0 +1,62 @@
+#include "src/sim/contention.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace talon {
+
+ContentionResult simulate_channel_contention(const ContentionConfig& config,
+                                             const ThroughputModel& throughput) {
+  TALON_EXPECTS(config.pairs >= 1);
+  TALON_EXPECTS(config.trainings_per_second > 0.0);
+  TALON_EXPECTS(config.probes_per_training >= 1);
+  TALON_EXPECTS(config.simulated_seconds > 0.0);
+
+  const TimingModel timing;
+  const double training_s =
+      timing.mutual_training_time_ms(config.probes_per_training) / 1000.0;
+  const double period_s = 1.0 / config.trainings_per_second;
+
+  // Generate every training request (pair, desired start time).
+  Rng rng(config.seed);
+  std::vector<double> requests;
+  for (int pair = 0; pair < config.pairs; ++pair) {
+    // Jitter each pair's schedule within its period.
+    const double phase = rng.uniform(0.0, period_s);
+    for (double t = phase; t < config.simulated_seconds; t += period_s) {
+      requests.push_back(t);
+    }
+  }
+  std::sort(requests.begin(), requests.end());
+
+  // Serialize on the single channel: a training starts at
+  // max(request, channel_free) and occupies training_s.
+  ContentionResult result;
+  result.total_trainings = static_cast<int>(requests.size());
+  double channel_free = 0.0;
+  double busy_time = 0.0;
+  for (double request : requests) {
+    const double start = std::max(request, channel_free);
+    if (start > request) {
+      ++result.deferred_trainings;
+      result.worst_defer_ms =
+          std::max(result.worst_defer_ms, (start - request) * 1000.0);
+    }
+    channel_free = start + training_s;
+    busy_time += training_s;
+  }
+  // Trainings pushed past the horizon still count as busy time up to it.
+  busy_time = std::min(busy_time, config.simulated_seconds);
+  result.training_airtime_share = busy_time / config.simulated_seconds;
+
+  // Whatever airtime remains is data time, shared round-robin by the pairs.
+  const double single_pair_mbps = throughput.app_throughput_mbps(config.link_snr_db);
+  result.goodput_per_pair_mbps = single_pair_mbps *
+                                 (1.0 - result.training_airtime_share) /
+                                 config.pairs;
+  return result;
+}
+
+}  // namespace talon

@@ -1,0 +1,50 @@
+// Shared-channel training contention (the Sec. 7 discussion, simulated).
+//
+// "Each sector sweep performed by a pair of nodes pollutes the whole
+// mm-wave channel in all directions" -- quasi-omni reception means a sweep
+// occupies the channel exclusively for everyone. This event-driven model
+// schedules periodic trainings for N co-channel pairs, serializes them on
+// the one channel (later arrivals defer), and accounts the remaining
+// airtime as data capacity shared by the pairs. Comparing the stock
+// 34-probe sweep against CSS probing quantifies how much of the room's
+// capacity beam training consumes as density and mobility grow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mac/timing.hpp"
+#include "src/phy/throughput.hpp"
+
+namespace talon {
+
+struct ContentionConfig {
+  int pairs{10};
+  /// Trainings per second each pair schedules (mobility -> higher).
+  double trainings_per_second{1.0};
+  /// TX-sector probes per training (34 = stock sweep, 14 = paper's CSS).
+  int probes_per_training{34};
+  double simulated_seconds{10.0};
+  /// True link SNR assumed for every pair's data phase.
+  double link_snr_db{21.0};
+  std::uint64_t seed{1};
+};
+
+struct ContentionResult {
+  /// Fraction of channel time spent on beam training.
+  double training_airtime_share{0.0};
+  /// Trainings that found the channel busy and had to defer.
+  int deferred_trainings{0};
+  int total_trainings{0};
+  /// Mean data goodput available per pair [Mbps], after training airtime.
+  double goodput_per_pair_mbps{0.0};
+  /// Largest observed training start delay due to contention [ms].
+  double worst_defer_ms{0.0};
+};
+
+/// Run the contention model. Trainings are jittered uniformly within each
+/// pair's period so phases do not align artificially.
+ContentionResult simulate_channel_contention(const ContentionConfig& config,
+                                             const ThroughputModel& throughput);
+
+}  // namespace talon

@@ -1,0 +1,260 @@
+#include "src/sim/experiment.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/error.hpp"
+#include "src/core/metrics.hpp"
+#include "src/core/ssw.hpp"
+
+namespace talon {
+
+namespace {
+
+/// Keep only the readings whose sector is in `subset`.
+std::vector<SectorReading> filter_readings(const SweepMeasurement& sweep,
+                                           std::span<const int> subset) {
+  std::vector<SectorReading> out;
+  out.reserve(subset.size());
+  for (const SectorReading& r : sweep.readings) {
+    if (std::find(subset.begin(), subset.end(), r.sector_id) != subset.end()) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+/// Convert drained ring-buffer entries of one sweep into readings.
+std::vector<SectorReading> readings_from_ring(
+    const std::vector<SweepInfoEntry>& entries, std::uint32_t sweep_index) {
+  std::vector<SectorReading> out;
+  for (const SweepInfoEntry& e : entries) {
+    if (e.sweep_index != sweep_index) continue;
+    out.push_back(SectorReading{
+        .sector_id = e.sector_id, .snr_db = e.snr_db, .rssi_dbm = e.rssi_dbm});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SweepRecord> record_sweeps(Scenario& scenario,
+                                       const RecordingConfig& config) {
+  TALON_EXPECTS(!config.head_azimuths_deg.empty());
+  TALON_EXPECTS(!config.head_tilts_deg.empty());
+  TALON_EXPECTS(config.sweeps_per_pose >= 1);
+  Rng rng(config.seed);
+  LinkSimulator link = scenario.make_link(rng.fork());
+
+  std::vector<SweepRecord> records;
+  records.reserve(config.head_azimuths_deg.size() * config.head_tilts_deg.size() *
+                  config.sweeps_per_pose);
+  int pose_index = 0;
+  for (double tilt : config.head_tilts_deg) {
+    for (double az : config.head_azimuths_deg) {
+      scenario.set_head(az, tilt);
+      for (std::size_t s = 0; s < config.sweeps_per_pose; ++s) {
+        SweepOutcome outcome = link.transmit_sweep(*scenario.dut, *scenario.peer,
+                                                   sweep_burst_schedule());
+        records.push_back(SweepRecord{
+            .pose_index = pose_index,
+            .physical = scenario.nominal_peer_direction(),
+            .measurement = std::move(outcome.measurement),
+        });
+      }
+      ++pose_index;
+    }
+  }
+  return records;
+}
+
+std::vector<EstimationErrorRow> estimation_error_analysis(
+    std::span<const SweepRecord> records, const CompressiveSectorSelector& css,
+    std::span<const std::size_t> probe_counts, const ProbeSubsetPolicy& policy,
+    std::uint64_t seed) {
+  TALON_EXPECTS(!records.empty());
+  const std::vector<int>& all_tx = talon_tx_sector_ids();
+  Rng rng(seed);
+
+  std::vector<EstimationErrorRow> rows;
+  rows.reserve(probe_counts.size());
+  for (std::size_t m : probe_counts) {
+    TALON_EXPECTS(m >= 2 && m <= all_tx.size());
+    std::vector<double> az_errors;
+    std::vector<double> el_errors;
+    for (const SweepRecord& rec : records) {
+      const std::vector<int> subset = policy.choose(all_tx, m, rng);
+      const std::vector<SectorReading> probes = filter_readings(rec.measurement, subset);
+      const auto estimated = css.estimate_direction(probes);
+      if (!estimated) continue;  // too few decoded probes this sweep
+      const AngleError err = estimation_error(*estimated, rec.physical);
+      az_errors.push_back(err.azimuth_deg);
+      el_errors.push_back(err.elevation_deg);
+    }
+    EstimationErrorRow row;
+    row.probes = m;
+    row.samples = az_errors.size();
+    if (!az_errors.empty()) {
+      row.azimuth_error = box_stats(az_errors);
+      row.elevation_error = box_stats(el_errors);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<SelectionQualityRow> selection_quality_analysis(
+    std::span<const SweepRecord> records, const CompressiveSectorSelector& css,
+    std::span<const std::size_t> probe_counts, const ProbeSubsetPolicy& policy,
+    std::uint64_t seed) {
+  TALON_EXPECTS(!records.empty());
+  const std::vector<int>& all_tx = talon_tx_sector_ids();
+  Rng rng(seed);
+
+  // Group record indices by pose; stability is a per-pose quantity.
+  std::map<int, std::vector<std::size_t>> poses;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    poses[records[i].pose_index].push_back(i);
+  }
+
+  // --- SSW baseline: probes everything, independent of m -------------------
+  // Losses are tracked per pose: "the sector with the highest SNR as
+  // reported in the current and previous measurements" only makes sense
+  // while the geometry stays fixed.
+  double ssw_stability_sum = 0.0;
+  std::vector<double> ssw_losses;
+  for (const auto& [pose, indices] : poses) {
+    std::vector<int> selections;
+    SnrLossTracker loss;
+    int previous = -1;
+    for (std::size_t i : indices) {
+      const SswSelection sel = sweep_select(records[i].measurement.readings);
+      const int chosen = sel.valid ? sel.sector_id : previous;
+      if (chosen < 0) continue;  // nothing decoded yet at this pose
+      previous = chosen;
+      selections.push_back(chosen);
+      loss.record(records[i].measurement, chosen);
+    }
+    if (!selections.empty()) ssw_stability_sum += selection_stability(selections);
+    ssw_losses.insert(ssw_losses.end(), loss.losses().begin(), loss.losses().end());
+  }
+  const double ssw_stability = ssw_stability_sum / static_cast<double>(poses.size());
+  const double ssw_loss_db = mean(ssw_losses);
+
+  // --- CSS for each probe count --------------------------------------------
+  std::vector<SelectionQualityRow> rows;
+  rows.reserve(probe_counts.size());
+  for (std::size_t m : probe_counts) {
+    TALON_EXPECTS(m >= 2 && m <= all_tx.size());
+    double css_stability_sum = 0.0;
+    std::vector<double> css_losses;
+    for (const auto& [pose, indices] : poses) {
+      std::vector<int> selections;
+      SnrLossTracker loss;
+      int previous = -1;
+      for (std::size_t i : indices) {
+        const std::vector<int> subset = policy.choose(all_tx, m, rng);
+        const std::vector<SectorReading> probes =
+            filter_readings(records[i].measurement, subset);
+        const CssResult result = css.select(probes, all_tx);
+        const int chosen = result.valid ? result.sector_id : previous;
+        if (chosen < 0) continue;
+        previous = chosen;
+        selections.push_back(chosen);
+        loss.record(records[i].measurement, chosen);
+      }
+      if (!selections.empty()) css_stability_sum += selection_stability(selections);
+      css_losses.insert(css_losses.end(), loss.losses().begin(), loss.losses().end());
+    }
+    rows.push_back(SelectionQualityRow{
+        .probes = m,
+        .css_stability = css_stability_sum / static_cast<double>(poses.size()),
+        .ssw_stability = ssw_stability,
+        .css_snr_loss_db = mean(css_losses),
+        .ssw_snr_loss_db = ssw_loss_db,
+    });
+  }
+  return rows;
+}
+
+std::vector<ThroughputPoint> throughput_analysis(Scenario& scenario,
+                                                 const CompressiveSectorSelector& css,
+                                                 const ThroughputModel& model,
+                                                 const ThroughputConfig& config) {
+  TALON_EXPECTS(config.probes >= 2);
+  const std::vector<int>& all_tx = talon_tx_sector_ids();
+  Rng rng(config.seed);
+  RandomSubsetPolicy subset_policy;
+
+  // The peer produces the feedback that steers the DUT; it needs the
+  // research patches for the ring buffer and the override switch.
+  FullMacFirmware& peer_fw = scenario.peer->firmware();
+  if (!peer_fw.patcher().is_applied("sweep-info")) peer_fw.apply_research_patches();
+
+  const TimingModel timing;
+  const double css_training_s =
+      config.account_training_time
+          ? timing.mutual_training_time_ms(static_cast<int>(config.probes)) / 1000.0
+          : 0.0;
+  const double ssw_training_s =
+      config.account_training_time
+          ? timing.mutual_training_time_ms(kFullSweepProbes) / 1000.0
+          : 0.0;
+
+  std::vector<ThroughputPoint> points;
+  points.reserve(config.head_azimuths_deg.size());
+  for (double az : config.head_azimuths_deg) {
+    scenario.set_head(az, 0.0);
+    LinkSimulator link = scenario.make_link(rng.fork());
+
+    RunningStats css_tput;
+    RunningStats ssw_tput;
+    int css_previous = -1;
+    int ssw_previous = -1;
+    for (std::size_t s = 0; s < config.sweeps_per_pose; ++s) {
+      // --- CSS sweep: probing subset, user-space selection, WMI override ---
+      const std::vector<int> subset = subset_policy.choose(all_tx, config.probes, rng);
+      const auto schedule = probing_burst_schedule(subset);
+      link.transmit_sweep(*scenario.dut, *scenario.peer, schedule);
+      // User space drains the ring buffer and runs CSS on this sweep.
+      WmiResponse info = peer_fw.handle_wmi({.type = WmiCommandType::kReadSweepInfo});
+      TALON_EXPECTS(info.status == WmiStatus::kOk);
+      const auto probes = readings_from_ring(info.entries, peer_fw.sweep_index());
+      const CssResult result = css.select(probes, all_tx);
+      const int css_sector = result.valid ? result.sector_id
+                             : css_previous >= 0 ? css_previous
+                                                 : all_tx.front();
+      const bool css_switched = css_previous >= 0 && css_sector != css_previous;
+      css_previous = css_sector;
+      const WmiResponse set = peer_fw.handle_wmi(
+          {.type = WmiCommandType::kSetSectorOverride, .sector_id = css_sector});
+      TALON_EXPECTS(set.status == WmiStatus::kOk);
+      css_tput.add(model.app_throughput_mbps(
+          link.true_snr_db(*scenario.dut, css_sector, *scenario.peer,
+                           kRxQuasiOmniSectorId),
+          css_training_s, css_switched));
+
+      // --- SSW sweep: full schedule, stock argmax feedback ------------------
+      peer_fw.handle_wmi({.type = WmiCommandType::kClearSectorOverride});
+      const SweepOutcome full =
+          link.transmit_sweep(*scenario.dut, *scenario.peer, sweep_burst_schedule());
+      const int ssw_sector = full.feedback.selected_sector_id;
+      const bool ssw_switched = ssw_previous >= 0 && ssw_sector != ssw_previous;
+      ssw_previous = ssw_sector;
+      ssw_tput.add(model.app_throughput_mbps(
+          link.true_snr_db(*scenario.dut, ssw_sector, *scenario.peer,
+                           kRxQuasiOmniSectorId),
+          ssw_training_s, ssw_switched));
+      // Drain the ring so the next CSS pass only sees its own sweep.
+      peer_fw.handle_wmi({.type = WmiCommandType::kReadSweepInfo});
+    }
+    points.push_back(ThroughputPoint{
+        .head_azimuth_deg = az,
+        .css_mbps = css_tput.mean(),
+        .ssw_mbps = ssw_tput.mean(),
+    });
+  }
+  return points;
+}
+
+}  // namespace talon

@@ -1,0 +1,11 @@
+#include "src/sim/node.hpp"
+
+namespace talon {
+
+Node::Node(const NodeConfig& config)
+    : id_(config.id),
+      pose_(config.pose),
+      front_end_(make_talon_front_end(config.device_seed)),
+      firmware_(config.firmware) {}
+
+}  // namespace talon

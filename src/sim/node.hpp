@@ -1,0 +1,46 @@
+// A simulated Talon AD7200: a pose in the world, a physical front-end
+// (array + codebook + imperfections) and the FullMAC firmware instance.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/antenna/synthesis.hpp"
+#include "src/channel/link.hpp"
+#include "src/firmware/device.hpp"
+
+namespace talon {
+
+struct NodeConfig {
+  int id{0};
+  /// Individualizes chassis ripple and calibration errors.
+  std::uint64_t device_seed{1};
+  EndpointPose pose;
+  FirmwareConfig firmware;
+};
+
+class Node {
+ public:
+  explicit Node(const NodeConfig& config);
+
+  int id() const { return id_; }
+
+  EndpointPose& pose() { return pose_; }
+  const EndpointPose& pose() const { return pose_; }
+
+  /// Ground-truth realized gains of this device's sectors.
+  const ArrayGainSource& front_end() const { return front_end_; }
+
+  const Codebook& codebook() const { return front_end_.codebook(); }
+
+  FullMacFirmware& firmware() { return firmware_; }
+  const FullMacFirmware& firmware() const { return firmware_; }
+
+ private:
+  int id_;
+  EndpointPose pose_;
+  ArrayGainSource front_end_;
+  FullMacFirmware firmware_;
+};
+
+}  // namespace talon

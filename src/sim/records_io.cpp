@@ -1,0 +1,65 @@
+#include "src/sim/records_io.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+CsvTable records_to_csv(const std::vector<SweepRecord>& records) {
+  CsvTable out;
+  out.header = {"record_index", "pose_index", "physical_azimuth_deg",
+                "physical_elevation_deg", "sector_id", "snr_db", "rssi_dbm"};
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SweepRecord& rec = records[i];
+    const auto base = [&](double sector, double snr, double rssi) {
+      out.rows.push_back({static_cast<double>(i), static_cast<double>(rec.pose_index),
+                          rec.physical.azimuth_deg, rec.physical.elevation_deg,
+                          sector, snr, rssi});
+    };
+    if (rec.measurement.readings.empty()) {
+      base(-1.0, 0.0, 0.0);  // sentinel: the sweep happened, nothing decoded
+      continue;
+    }
+    for (const SectorReading& r : rec.measurement.readings) {
+      base(static_cast<double>(r.sector_id), r.snr_db, r.rssi_dbm);
+    }
+  }
+  return out;
+}
+
+std::vector<SweepRecord> records_from_csv(const CsvTable& table) {
+  const std::size_t col_rec = table.column("record_index");
+  const std::size_t col_pose = table.column("pose_index");
+  const std::size_t col_az = table.column("physical_azimuth_deg");
+  const std::size_t col_el = table.column("physical_elevation_deg");
+  const std::size_t col_sector = table.column("sector_id");
+  const std::size_t col_snr = table.column("snr_db");
+  const std::size_t col_rssi = table.column("rssi_dbm");
+
+  std::vector<SweepRecord> records;
+  long current = -1;
+  for (const auto& row : table.rows) {
+    const long rec_index = std::lround(row[col_rec]);
+    if (rec_index < 0) throw ParseError("records csv: negative record index");
+    if (rec_index != current) {
+      if (rec_index != current + 1) {
+        throw ParseError("records csv: record indices must be consecutive");
+      }
+      current = rec_index;
+      records.push_back(SweepRecord{
+          .pose_index = static_cast<int>(std::lround(row[col_pose])),
+          .physical = {row[col_az], row[col_el]},
+          .measurement = {},
+      });
+    }
+    const int sector = static_cast<int>(std::lround(row[col_sector]));
+    if (sector < 0) continue;  // sentinel row: empty sweep
+    records.back().measurement.readings.push_back(SectorReading{
+        .sector_id = sector, .snr_db = row[col_snr], .rssi_dbm = row[col_rssi]});
+  }
+  if (records.empty()) throw ParseError("records csv: no records");
+  return records;
+}
+
+}  // namespace talon

@@ -1,0 +1,26 @@
+// Persistence for recorded sweeps.
+//
+// The paper's workflow separates data collection on the routers from
+// offline analysis ("we then perform offline analyses in MATLAB",
+// Sec. 6.1). records_to_csv/records_from_csv are that boundary: dump the
+// recording pass to a file, re-run any analysis later without re-running
+// the testbed. One row per reading:
+//   record_index, pose_index, physical_azimuth_deg, physical_elevation_deg,
+//   sector_id, snr_db, rssi_dbm
+// Sweeps where nothing decoded still appear (one sentinel row with
+// sector_id = -1) so record counts survive the round trip.
+#pragma once
+
+#include <vector>
+
+#include "src/common/csv.hpp"
+#include "src/sim/experiment.hpp"
+
+namespace talon {
+
+CsvTable records_to_csv(const std::vector<SweepRecord>& records);
+
+/// Inverse of records_to_csv; throws ParseError on malformed input.
+std::vector<SweepRecord> records_from_csv(const CsvTable& table);
+
+}  // namespace talon

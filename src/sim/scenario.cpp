@@ -1,0 +1,57 @@
+#include "src/sim/scenario.hpp"
+
+namespace talon {
+
+namespace {
+
+Scenario make_two_node_scenario(std::string name, std::unique_ptr<Environment> env,
+                                double distance_m, std::uint64_t seed) {
+  Scenario s;
+  s.name = std::move(name);
+  s.environment = std::move(env);
+  s.distance_m = distance_m;
+
+  NodeConfig dut_config;
+  dut_config.id = 1;
+  dut_config.device_seed = seed;
+  dut_config.pose = EndpointPose{
+      .position = {0.0, 0.0, 1.0},
+      .orientation = DeviceOrientation(0.0, 0.0),
+  };
+  s.dut = std::make_unique<Node>(dut_config);
+
+  NodeConfig peer_config;
+  peer_config.id = 2;
+  peer_config.device_seed = seed + 1;
+  peer_config.pose = EndpointPose{
+      .position = {distance_m, 0.0, 1.0},
+      .orientation = DeviceOrientation(180.0, 0.0),  // facing back at the DUT
+  };
+  s.peer = std::make_unique<Node>(peer_config);
+  return s;
+}
+
+}  // namespace
+
+void Scenario::set_head(double azimuth_deg, double tilt_deg) {
+  dut->pose().orientation = DeviceOrientation(azimuth_deg, -tilt_deg);
+}
+
+Direction Scenario::nominal_peer_direction() const {
+  const DeviceOrientation& o = dut->pose().orientation;
+  return Direction{-o.azimuth_deg(), -o.tilt_deg()};
+}
+
+Scenario make_anechoic_scenario(std::uint64_t seed) {
+  return make_two_node_scenario("anechoic", make_anechoic_chamber(), 3.0, seed);
+}
+
+Scenario make_lab_scenario(std::uint64_t seed) {
+  return make_two_node_scenario("lab", make_lab_environment(), 3.0, seed);
+}
+
+Scenario make_conference_scenario(std::uint64_t seed) {
+  return make_two_node_scenario("conference", make_conference_room(), 6.0, seed);
+}
+
+}  // namespace talon

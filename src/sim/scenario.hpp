@@ -1,0 +1,49 @@
+// Canned experimental setups matching the paper's venues (Sec. 4.2 / 6.1).
+//
+// All scenarios place the device under test (DUT) at the origin on a
+// rotation head and the fixed peer on the +x axis facing back:
+//   - anechoic: 3 m, no reflections (pattern campaign),
+//   - lab: 3 m, weak reflectors,
+//   - conference room: 6 m, stronger multipath.
+// The rotation-head convention: head azimuth alpha and upward-mapped tilt
+// tau put the peer at device-frame direction (-alpha, +tau) -- these
+// nominal coordinates are also what the experiments treat as the physical
+// ground truth, like the paper does.
+#pragma once
+
+#include <memory>
+
+#include "src/channel/environment.hpp"
+#include "src/sim/linksim.hpp"
+#include "src/sim/node.hpp"
+
+namespace talon {
+
+struct Scenario {
+  std::string name;
+  std::unique_ptr<Environment> environment;
+  std::unique_ptr<Node> dut;   ///< device under test, on the rotation head
+  std::unique_ptr<Node> peer;  ///< fixed node
+  RadioConfig radio;
+  MeasurementModelConfig measurement;
+  double distance_m{3.0};
+
+  /// Point the DUT's rotation head: azimuth alpha, tilt tau (both deg).
+  /// Internally the device tilts by -tau so the peer appears at +tau
+  /// elevation in the device frame.
+  void set_head(double azimuth_deg, double tilt_deg);
+
+  /// The device-frame direction the peer nominally sits at for the current
+  /// head position (the experiments' ground truth).
+  Direction nominal_peer_direction() const;
+
+  LinkSimulator make_link(Rng rng) const {
+    return LinkSimulator(*environment, radio, measurement, rng);
+  }
+};
+
+Scenario make_anechoic_scenario(std::uint64_t seed);
+Scenario make_lab_scenario(std::uint64_t seed);
+Scenario make_conference_scenario(std::uint64_t seed);
+
+}  // namespace talon

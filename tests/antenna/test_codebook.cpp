@@ -1,0 +1,198 @@
+#include "src/antenna/codebook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+Codebook talon_codebook() { return make_talon_codebook(talon_array_geometry()); }
+
+TEST(Codebook, TxSectorIdsMatchTable1) {
+  const auto& ids = talon_tx_sector_ids();
+  ASSERT_EQ(ids.size(), 34u);
+  for (int i = 1; i <= 31; ++i) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), i), ids.end()) << "sector " << i;
+  }
+  EXPECT_NE(std::find(ids.begin(), ids.end(), 61), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), 62), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), 63), ids.end());
+  // 32..60 are undefined on the device.
+  EXPECT_EQ(std::find(ids.begin(), ids.end(), 40), ids.end());
+}
+
+TEST(Codebook, BeaconSectorIdsMatchTable1) {
+  const auto& ids = talon_beacon_sector_ids();
+  ASSERT_EQ(ids.size(), 32u);
+  EXPECT_EQ(ids.front(), 63);
+  for (int i = 1; i <= 31; ++i) EXPECT_EQ(ids[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Codebook, TalonCodebookHas35Sectors) {
+  const Codebook cb = talon_codebook();
+  EXPECT_EQ(cb.size(), 35u);  // 34 TX + RX quasi-omni
+  for (int id : talon_tx_sector_ids()) EXPECT_TRUE(cb.contains(id));
+  EXPECT_TRUE(cb.contains(kRxQuasiOmniSectorId));
+  EXPECT_FALSE(cb.contains(32));
+}
+
+TEST(Codebook, AllWeightVectorsMatchArraySize) {
+  const Codebook cb = talon_codebook();
+  for (const Sector& s : cb.sectors()) {
+    EXPECT_EQ(s.weights.size(), 32u) << "sector " << s.id;
+  }
+}
+
+TEST(Codebook, SectorLookupThrowsOnUnknownId) {
+  const Codebook cb = talon_codebook();
+  EXPECT_THROW(cb.sector(42), PreconditionError);
+  EXPECT_EQ(cb.sector(63).id, 63);
+}
+
+TEST(Codebook, IdsAreSortedAscending) {
+  const Codebook cb = talon_codebook();
+  const auto ids = cb.ids();
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(Codebook, RxSectorHasSingleActiveElement) {
+  const Codebook cb = talon_codebook();
+  const Sector& rx = cb.sector(kRxQuasiOmniSectorId);
+  int active = 0;
+  for (const Complex& w : rx.weights) {
+    if (std::abs(w) > 0.0) ++active;
+  }
+  EXPECT_EQ(active, 1);
+}
+
+TEST(Codebook, Sector62IsSparseScattered) {
+  const Codebook cb = talon_codebook();
+  const Sector& s62 = cb.sector(62);
+  int active = 0;
+  for (const Complex& w : s62.weights) {
+    if (std::abs(w) > 0.0) ++active;
+  }
+  EXPECT_GT(active, 4);
+  EXPECT_LT(active, 32);
+}
+
+TEST(Codebook, DirectionalSectorsSpreadOverAzimuth) {
+  const Codebook cb = talon_codebook();
+  double min_az = 180.0;
+  double max_az = -180.0;
+  for (int id = 1; id <= 31; ++id) {
+    const double az = cb.sector(id).nominal.azimuth_deg;
+    min_az = std::min(min_az, az);
+    max_az = std::max(max_az, az);
+  }
+  EXPECT_LE(min_az, -50.0);
+  EXPECT_GE(max_az, 50.0);
+}
+
+TEST(Codebook, Sector5IsElevatedWithPartialArray) {
+  const Codebook cb = talon_codebook();
+  EXPECT_GT(cb.sector(5).nominal.elevation_deg, 20.0);
+  EXPECT_DOUBLE_EQ(cb.sector(1).nominal.elevation_deg, 0.0);
+  // Only the upper half of the array radiates for sector 5.
+  int active = 0;
+  for (const Complex& w : cb.sector(5).weights) {
+    if (std::abs(w) > 0.0) ++active;
+  }
+  EXPECT_LE(active, 16);
+  EXPECT_GE(active, 8);
+}
+
+TEST(Codebook, Sector25IsScatteredLowGain) {
+  // "Sectors 25 and 62, however, still have low gain in the measured
+  // space" (Sec. 4.5): 25 carries scattered pseudo-random phases.
+  const Codebook cb = talon_codebook();
+  int active = 0;
+  for (const Complex& w : cb.sector(25).weights) {
+    if (std::abs(w) > 0.0) ++active;
+  }
+  EXPECT_GT(active, 4);
+  EXPECT_LT(active, 32);
+}
+
+TEST(Codebook, GenerationIsDeterministic) {
+  const Codebook a = talon_codebook();
+  const Codebook b = talon_codebook();
+  for (int id : a.ids()) {
+    const auto& wa = a.sector(id).weights;
+    const auto& wb = b.sector(id).weights;
+    for (std::size_t i = 0; i < wa.size(); ++i) EXPECT_EQ(wa[i], wb[i]);
+  }
+}
+
+TEST(Codebook, RejectsDuplicateIds) {
+  std::vector<Sector> sectors{
+      Sector{.id = 1, .weights = {Complex(1, 0)}},
+      Sector{.id = 1, .weights = {Complex(1, 0)}},
+  };
+  EXPECT_THROW(Codebook(std::move(sectors)), PreconditionError);
+}
+
+TEST(Codebook, RejectsOutOfRangeId) {
+  std::vector<Sector> sectors{Sector{.id = 64, .weights = {Complex(1, 0)}}};
+  EXPECT_THROW(Codebook(std::move(sectors)), PreconditionError);
+}
+
+
+TEST(DenseCodebook, SizeAndIds) {
+  const PlanarArrayGeometry g = talon_array_geometry();
+  const Codebook cb = make_dense_codebook(g, 48);
+  EXPECT_EQ(cb.size(), 49u);  // 48 directional + RX
+  for (int id = 1; id <= 48; ++id) EXPECT_TRUE(cb.contains(id));
+  EXPECT_TRUE(cb.contains(kRxQuasiOmniSectorId));
+}
+
+TEST(DenseCodebook, CoversAzimuthSpanAtTwoElevations) {
+  const PlanarArrayGeometry g = talon_array_geometry();
+  const Codebook cb = make_dense_codebook(g, 32);
+  double min_az = 1e9;
+  double max_az = -1e9;
+  bool has_elevated = false;
+  for (int id = 1; id <= 32; ++id) {
+    const Direction n = cb.sector(id).nominal;
+    min_az = std::min(min_az, n.azimuth_deg);
+    max_az = std::max(max_az, n.azimuth_deg);
+    if (n.elevation_deg > 5.0) has_elevated = true;
+  }
+  EXPECT_LE(min_az, -55.0);
+  EXPECT_GE(max_az, 55.0);
+  EXPECT_TRUE(has_elevated);
+}
+
+TEST(DenseCodebook, DenserCodebookHasFinerCoverage) {
+  // More sectors -> the worst gap between adjacent in-layer azimuths
+  // shrinks.
+  const PlanarArrayGeometry g = talon_array_geometry();
+  const auto worst_gap = [&g](int n) {
+    const Codebook cb = make_dense_codebook(g, n);
+    std::vector<double> azs;
+    for (int id = 1; id <= n; ++id) {
+      if (cb.sector(id).nominal.elevation_deg < 5.0) {
+        azs.push_back(cb.sector(id).nominal.azimuth_deg);
+      }
+    }
+    std::sort(azs.begin(), azs.end());
+    double gap = 0.0;
+    for (std::size_t i = 0; i + 1 < azs.size(); ++i) {
+      gap = std::max(gap, azs[i + 1] - azs[i]);
+    }
+    return gap;
+  };
+  EXPECT_LT(worst_gap(62), worst_gap(24));
+}
+
+TEST(DenseCodebook, RejectsBadSizes) {
+  const PlanarArrayGeometry g = talon_array_geometry();
+  EXPECT_THROW(make_dense_codebook(g, 1), PreconditionError);
+  EXPECT_THROW(make_dense_codebook(g, 64), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,130 @@
+#include "src/antenna/codebook_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+Codebook small_codebook() {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  std::vector<Sector> sectors;
+  WeightQuantizer q{.phase_states = 4, .amplitude_states = 4};
+  sectors.push_back(Sector{
+      .id = 1,
+      .weights = q.quantize(steering_weights(g.element_positions(), {20.0, 0.0})),
+      .nominal = {20.0, 0.0},
+  });
+  sectors.push_back(Sector{
+      .id = 5,
+      .weights = q.quantize(steering_weights(g.element_positions(), {-35.5, 12.0})),
+      .nominal = {-35.5, 12.0},
+  });
+  // One sector with disabled elements.
+  WeightVector sparse(8, Complex(0.0, 0.0));
+  sparse[2] = Complex(1.0, 0.0);
+  sparse[5] = Complex(0.0, -1.0);
+  sectors.push_back(Sector{.id = 63, .weights = sparse, .nominal = {0.0, 0.0}});
+  return Codebook(std::move(sectors));
+}
+
+TEST(CodebookIo, RoundTripExactOnLattice) {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  const Codebook original = small_codebook();
+  const auto blob = serialize_codebook(original, g, 4, 4);
+  const ParsedCodebook parsed = parse_codebook(blob);
+
+  EXPECT_EQ(parsed.cols, 4u);
+  EXPECT_EQ(parsed.rows, 2u);
+  EXPECT_EQ(parsed.phase_states, 4);
+  EXPECT_EQ(parsed.amplitude_states, 4);
+  EXPECT_EQ(parsed.codebook.ids(), original.ids());
+  for (int id : original.ids()) {
+    const auto& a = original.sector(id).weights;
+    const auto& b = parsed.codebook.sector(id).weights;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-9) << "sector " << id << " elem " << i;
+    }
+    EXPECT_NEAR(parsed.codebook.sector(id).nominal.azimuth_deg,
+                original.sector(id).nominal.azimuth_deg, 0.05);
+    EXPECT_NEAR(parsed.codebook.sector(id).nominal.elevation_deg,
+                original.sector(id).nominal.elevation_deg, 0.05);
+  }
+}
+
+TEST(CodebookIo, TalonCodebookRoundTrips) {
+  // The generated Talon codebook mixes 4-state and 16-state sectors;
+  // serializing at 16/4 resolution must reproduce every weight exactly
+  // (coarser lattices embed into finer ones).
+  const PlanarArrayGeometry g = talon_array_geometry();
+  const Codebook original = make_talon_codebook(g);
+  const ParsedCodebook parsed = parse_codebook(serialize_codebook(original, g, 16, 4));
+  for (int id : original.ids()) {
+    const auto& a = original.sector(id).weights;
+    const auto& b = parsed.codebook.sector(id).weights;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-9) << "sector " << id;
+    }
+  }
+}
+
+TEST(CodebookIo, BlobSizeIsDeterministic) {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  const auto blob = serialize_codebook(small_codebook(), g, 4, 4);
+  // header 12 + per sector (1 + 2 + 2 + 8 elements * 2) = 12 + 3*21.
+  EXPECT_EQ(blob.size(), 12u + 3u * 21u);
+}
+
+TEST(CodebookIo, BadMagicRejected) {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  auto blob = serialize_codebook(small_codebook(), g, 4, 4);
+  blob[0] = 'X';
+  EXPECT_THROW(parse_codebook(blob), ParseError);
+}
+
+TEST(CodebookIo, BadVersionRejected) {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  auto blob = serialize_codebook(small_codebook(), g, 4, 4);
+  blob[4] = 0x7F;
+  EXPECT_THROW(parse_codebook(blob), ParseError);
+}
+
+TEST(CodebookIo, TruncatedBlobRejected) {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  const auto blob = serialize_codebook(small_codebook(), g, 4, 4);
+  for (const std::size_t cut : std::vector<std::size_t>{3, 11, 20, blob.size() - 1}) {
+    const std::vector<std::uint8_t> truncated(blob.begin(),
+                                              blob.begin() + static_cast<long>(cut));
+    EXPECT_THROW(parse_codebook(truncated), ParseError) << "cut " << cut;
+  }
+}
+
+TEST(CodebookIo, TrailingBytesRejected) {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  auto blob = serialize_codebook(small_codebook(), g, 4, 4);
+  blob.push_back(0xAB);
+  EXPECT_THROW(parse_codebook(blob), ParseError);
+}
+
+TEST(CodebookIo, OutOfRangeCodesRejected) {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  auto blob = serialize_codebook(small_codebook(), g, 4, 4);
+  // First sector's first element codes sit right after the 12-byte header
+  // plus id (1) + nominal (4).
+  blob[12 + 5] = 200;  // amplitude code way above amplitude_states
+  EXPECT_THROW(parse_codebook(blob), ParseError);
+}
+
+TEST(CodebookIo, SerializeValidatesArguments) {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  EXPECT_THROW(serialize_codebook(small_codebook(), g, 1, 4), PreconditionError);
+  EXPECT_THROW(serialize_codebook(small_codebook(), g, 4, 0), PreconditionError);
+  // Geometry mismatch: codebook weights have 8 elements, geometry 32.
+  EXPECT_THROW(serialize_codebook(small_codebook(), talon_array_geometry(), 4, 4),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

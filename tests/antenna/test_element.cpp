@@ -1,0 +1,92 @@
+#include "src/antenna/element.hpp"
+
+#include <gtest/gtest.h>
+
+namespace talon {
+namespace {
+
+ElementModel default_model() { return ElementModel(ElementModelConfig{}); }
+
+TEST(Element, PeakAtBoresight) {
+  const ElementModel m = default_model();
+  const double boresight = m.gain_dbi({0.0, 0.0});
+  EXPECT_GT(boresight, m.gain_dbi({45.0, 0.0}));
+  EXPECT_GT(boresight, m.gain_dbi({0.0, 45.0}));
+  EXPECT_NEAR(boresight, 5.0, 0.1);  // ~5 dBi patch element
+}
+
+TEST(Element, MonotoneFalloffInFrontHemisphere) {
+  const ElementModel m = default_model();
+  double prev = m.gain_dbi({0.0, 0.0});
+  for (double az = 10.0; az <= 90.0; az += 10.0) {
+    const double g = m.gain_dbi({az, 0.0});
+    EXPECT_LT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(Element, BacklobeFloorApplies) {
+  const ElementModelConfig config;
+  const ElementModel m(config);
+  // Just behind the side (no chassis shadow yet at 110 deg): the floor.
+  const double side_back = m.gain_dbi({110.0, 0.0});
+  EXPECT_NEAR(side_back, 5.0 + config.backlobe_floor_db, 0.5);
+}
+
+TEST(Element, ChassisShadowAttenuatesBehindDevice) {
+  const ElementModel m = default_model();
+  // Directly behind: shadow depth on top of the back-lobe floor.
+  const double back = m.gain_dbi({180.0, 0.0});
+  const double just_outside_shadow = m.gain_dbi({119.0, 0.0});
+  EXPECT_LT(back, just_outside_shadow - 5.0);
+}
+
+TEST(Element, ShadowRippleVariesWithinShadowRegion) {
+  const ElementModel m = default_model();
+  // The "distorted patterns" behind the device: gains at nearby angles in
+  // the shadow differ measurably.
+  double min_g = 0.0;
+  double max_g = -100.0;
+  for (double az = 130.0; az <= 175.0; az += 5.0) {
+    const double g = m.gain_dbi({az, 0.0});
+    min_g = std::min(min_g, g);
+    max_g = std::max(max_g, g);
+  }
+  EXPECT_GT(max_g - min_g, 0.5);
+}
+
+TEST(Element, DifferentDeviceSeedsDifferentRipple) {
+  ElementModelConfig a;
+  a.device_seed = 1;
+  ElementModelConfig b;
+  b.device_seed = 2;
+  const ElementModel ma(a);
+  const ElementModel mb(b);
+  // In front: identical (no ripple applies).
+  EXPECT_DOUBLE_EQ(ma.gain_dbi({30.0, 0.0}), mb.gain_dbi({30.0, 0.0}));
+  // Behind: device-specific distortion.
+  bool differs = false;
+  for (double az = 130.0; az <= 175.0; az += 5.0) {
+    if (std::abs(ma.gain_dbi({az, 0.0}) - mb.gain_dbi({az, 0.0})) > 0.1) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Element, SameSeedIsDeterministic) {
+  const ElementModel a = default_model();
+  const ElementModel b = default_model();
+  for (double az = -170.0; az <= 170.0; az += 23.0) {
+    EXPECT_DOUBLE_EQ(a.gain_dbi({az, 12.0}), b.gain_dbi({az, 12.0}));
+  }
+}
+
+TEST(Element, SymmetricInElevationAtBoresight) {
+  const ElementModel m = default_model();
+  EXPECT_NEAR(m.gain_dbi({0.0, 30.0}), m.gain_dbi({0.0, -30.0}), 1e-9);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,64 @@
+#include "src/antenna/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(Geometry, TalonArrayHas32Elements) {
+  const PlanarArrayGeometry g = talon_array_geometry();
+  EXPECT_EQ(g.cols(), 8u);
+  EXPECT_EQ(g.rows(), 4u);
+  EXPECT_EQ(g.element_count(), 32u);
+  EXPECT_DOUBLE_EQ(g.col_spacing_wavelengths(), 0.5);
+  EXPECT_DOUBLE_EQ(g.row_spacing_wavelengths(), 0.35);
+  EXPECT_EQ(g.element_positions().size(), 32u);
+}
+
+TEST(Geometry, PositionsAreCentered) {
+  const PlanarArrayGeometry g = talon_array_geometry();
+  Vec3 sum{};
+  for (const Vec3& p : g.element_positions()) sum = sum + p;
+  EXPECT_NEAR(sum.x, 0.0, 1e-12);
+  EXPECT_NEAR(sum.y, 0.0, 1e-12);
+  EXPECT_NEAR(sum.z, 0.0, 1e-12);
+}
+
+TEST(Geometry, PositionsLieInYZPlane) {
+  const PlanarArrayGeometry g = talon_array_geometry();
+  for (const Vec3& p : g.element_positions()) {
+    EXPECT_DOUBLE_EQ(p.x, 0.0);
+  }
+}
+
+TEST(Geometry, AdjacentSpacingIsHalfWavelength) {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  const auto& pos = g.element_positions();
+  // Element (c, r) at index r * cols + c; neighbours along y.
+  EXPECT_NEAR(pos[1].y - pos[0].y, 0.5, 1e-12);
+  // Neighbours along z between rows (row spacing defaults to col spacing).
+  EXPECT_NEAR(pos[4].z - pos[0].z, 0.5, 1e-12);
+}
+
+
+TEST(Geometry, AnisotropicSpacing) {
+  const PlanarArrayGeometry g(4, 2, 0.5, 0.35);
+  const auto& pos = g.element_positions();
+  EXPECT_NEAR(pos[1].y - pos[0].y, 0.5, 1e-12);
+  EXPECT_NEAR(pos[4].z - pos[0].z, 0.35, 1e-12);
+}
+TEST(Geometry, SingleElementArrayAtOrigin) {
+  const PlanarArrayGeometry g(1, 1, 0.5);
+  EXPECT_EQ(g.element_count(), 1u);
+  EXPECT_EQ(g.element_positions()[0], (Vec3{0.0, 0.0, 0.0}));
+}
+
+TEST(Geometry, RejectsZeroDimensions) {
+  EXPECT_THROW(PlanarArrayGeometry(0, 4, 0.5), PreconditionError);
+  EXPECT_THROW(PlanarArrayGeometry(4, 4, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

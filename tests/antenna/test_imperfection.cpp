@@ -1,0 +1,180 @@
+#include "src/antenna/imperfection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/antenna/synthesis.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(Imperfection, ErrorCountMatchesElements) {
+  const CalibrationErrors errors(32, CalibrationErrorConfig{});
+  EXPECT_EQ(errors.element_count(), 32u);
+}
+
+TEST(Imperfection, SameSeedSameErrors) {
+  CalibrationErrorConfig config;
+  config.device_seed = 5;
+  const CalibrationErrors a(16, config);
+  const CalibrationErrors b(16, config);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.errors()[i], b.errors()[i]);
+  }
+}
+
+TEST(Imperfection, DifferentSeedsDifferentErrors) {
+  CalibrationErrorConfig a_cfg;
+  a_cfg.device_seed = 1;
+  CalibrationErrorConfig b_cfg;
+  b_cfg.device_seed = 2;
+  const CalibrationErrors a(16, a_cfg);
+  const CalibrationErrors b(16, b_cfg);
+  int equal = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (a.errors()[i] == b.errors()[i]) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Imperfection, ErrorsNearUnityForSmallStddev) {
+  CalibrationErrorConfig config;
+  config.amplitude_stddev_db = 0.1;
+  config.phase_stddev_deg = 2.0;
+  const CalibrationErrors errors(1000, config);
+  double amp_sum = 0.0;
+  for (const Complex& e : errors.errors()) amp_sum += std::abs(e);
+  EXPECT_NEAR(amp_sum / 1000.0, 1.0, 0.05);
+}
+
+TEST(Imperfection, ZeroErrorConfigIsIdentity) {
+  CalibrationErrorConfig config;
+  config.amplitude_stddev_db = 0.0;
+  config.phase_stddev_deg = 0.0;
+  config.dead_element_probability = 0.0;
+  const CalibrationErrors errors(8, config);
+  const WeightVector w(8, Complex(0.5, 0.5));
+  const WeightVector out = errors.apply(w);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(out[i] - w[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Imperfection, DeadElementsAreZero) {
+  CalibrationErrorConfig config;
+  config.dead_element_probability = 1.0;
+  const CalibrationErrors errors(8, config);
+  for (const Complex& e : errors.errors()) EXPECT_EQ(e, Complex(0.0, 0.0));
+}
+
+TEST(Imperfection, ApplyIsElementwiseProduct) {
+  CalibrationErrorConfig config;
+  const CalibrationErrors errors(4, config);
+  const WeightVector w{Complex(1, 0), Complex(0, 1), Complex(2, 0), Complex(0, 0)};
+  const WeightVector out = errors.apply(w);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(out[i] - w[i] * errors.errors()[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Imperfection, ApplyRejectsSizeMismatch) {
+  const CalibrationErrors errors(4, CalibrationErrorConfig{});
+  EXPECT_THROW(errors.apply(WeightVector(3, Complex(1, 0))), PreconditionError);
+}
+
+TEST(Imperfection, ZeroElementCountRejected) {
+  EXPECT_THROW(CalibrationErrors(0, CalibrationErrorConfig{}), PreconditionError);
+}
+
+
+TEST(MutualCoupling, NeighbourCounts) {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  const MutualCoupling mc(g, MutualCouplingConfig{});
+  EXPECT_EQ(mc.element_count(), 8u);
+}
+
+TEST(MutualCoupling, NegligibleCouplingIsIdentity) {
+  const PlanarArrayGeometry g = talon_array_geometry();
+  MutualCouplingConfig config;
+  config.adjacent_coupling_db = -200.0;
+  const MutualCoupling mc(g, config);
+  const WeightVector w(32, Complex(0.7, -0.2));
+  const WeightVector out = mc.apply(w);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(std::abs(out[i] - w[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(MutualCoupling, SingleExcitedElementLeaksToNeighboursOnly) {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  MutualCouplingConfig config;
+  config.adjacent_coupling_db = -20.0;
+  config.coupling_phase_deg = 0.0;
+  const MutualCoupling mc(g, config);
+  WeightVector w(8, Complex(0.0, 0.0));
+  w[1] = Complex(1.0, 0.0);  // element (c=1, r=0): neighbours 0, 2, 5
+  const WeightVector out = mc.apply(w);
+  const double c = std::sqrt(db_to_linear(-20.0));
+  EXPECT_NEAR(std::abs(out[0]), c, 1e-9);
+  EXPECT_NEAR(std::abs(out[2]), c, 1e-9);
+  EXPECT_NEAR(std::abs(out[5]), c, 1e-9);
+  EXPECT_NEAR(std::abs(out[3]), 0.0, 1e-9);  // not adjacent
+  EXPECT_NEAR(std::abs(out[1]), 1.0, 1e-9);  // the source keeps its drive
+}
+
+TEST(MutualCoupling, ApplyIsLinear) {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  const MutualCoupling mc(g, MutualCouplingConfig{});
+  Rng rng(3);
+  WeightVector a;
+  WeightVector b;
+  for (int i = 0; i < 8; ++i) {
+    a.emplace_back(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    b.emplace_back(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  WeightVector sum;
+  for (int i = 0; i < 8; ++i) sum.push_back(a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)]);
+  const WeightVector out_sum = mc.apply(sum);
+  const WeightVector out_a = mc.apply(a);
+  const WeightVector out_b = mc.apply(b);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(out_sum[i] - (out_a[i] + out_b[i])), 0.0, 1e-12);
+  }
+}
+
+TEST(MutualCoupling, PerturbsRealizedPattern) {
+  // Coupling visibly shifts a steered beam's realized gain: part of why
+  // measured patterns beat theoretical ones.
+  const PlanarArrayGeometry g = talon_array_geometry();
+  const ElementModel element{ElementModelConfig{}};
+  const WeightVector w = steering_weights(g.element_positions(), {30.0, 0.0});
+  const MutualCoupling mc(g, MutualCouplingConfig{});
+  const WeightVector coupled = mc.apply(w);
+  // At the steered peak the coupled leakage adds nearly coherently, so the
+  // visible distortion lives in the skirts and side lobes: scan the plane.
+  // (Nulls are excluded: a filled-in null is an arbitrarily large dB
+  // difference without being a meaningful beam change.)
+  double max_diff = 0.0;
+  for (double az = -80.0; az <= 80.0; az += 2.0) {
+    const double clean = array_gain_dbi(g, element, w, {az, 0.0});
+    if (clean < -20.0) continue;
+    const double with_coupling = array_gain_dbi(g, element, coupled, {az, 0.0});
+    max_diff = std::max(max_diff, std::abs(clean - with_coupling));
+  }
+  EXPECT_GT(max_diff, 0.3);
+  EXPECT_LT(max_diff, 12.0);  // a -20 dB coupling does not reshape the beam
+}
+
+TEST(MutualCoupling, SizeMismatchRejected) {
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  const MutualCoupling mc(g, MutualCouplingConfig{});
+  EXPECT_THROW(mc.apply(WeightVector(5, Complex(1, 0))), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,126 @@
+#include "src/antenna/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+AngularGrid small_grid() {
+  return AngularGrid{make_axis(-10.0, 10.0, 10.0), make_axis(0.0, 10.0, 10.0)};
+}
+
+Grid2D constant_pattern(const AngularGrid& grid, double value) {
+  Grid2D g(grid, value);
+  return g;
+}
+
+TEST(PatternTable, AddAndLookup) {
+  PatternTable table;
+  EXPECT_TRUE(table.empty());
+  table.add(3, constant_pattern(small_grid(), 1.0));
+  table.add(1, constant_pattern(small_grid(), 2.0));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.contains(3));
+  EXPECT_FALSE(table.contains(2));
+  EXPECT_EQ(table.ids(), (std::vector<int>{1, 3}));
+  EXPECT_DOUBLE_EQ(table.sample_db(1, {0.0, 0.0}), 2.0);
+}
+
+TEST(PatternTable, RejectsDuplicateAdd) {
+  PatternTable table;
+  table.add(1, constant_pattern(small_grid(), 0.0));
+  EXPECT_THROW(table.add(1, constant_pattern(small_grid(), 0.0)), PreconditionError);
+}
+
+TEST(PatternTable, RejectsMismatchedGrid) {
+  PatternTable table;
+  table.add(1, constant_pattern(small_grid(), 0.0));
+  const AngularGrid other{make_axis(-20.0, 20.0, 10.0), make_axis(0.0, 10.0, 10.0)};
+  EXPECT_THROW(table.add(2, constant_pattern(other, 0.0)), PreconditionError);
+}
+
+TEST(PatternTable, UnknownSectorThrows) {
+  PatternTable table;
+  table.add(1, constant_pattern(small_grid(), 0.0));
+  EXPECT_THROW(table.pattern(9), PreconditionError);
+}
+
+TEST(PatternTable, BestSectorAtPicksStrongest) {
+  PatternTable table;
+  Grid2D left(small_grid(), -5.0);
+  left.set(0, 0, 10.0);  // strong at az -10
+  Grid2D right(small_grid(), -5.0);
+  right.set(2, 0, 12.0);  // strong at az +10
+  table.add(7, left);
+  table.add(9, right);
+  EXPECT_EQ(table.best_sector_at({-10.0, 0.0}), 7);
+  EXPECT_EQ(table.best_sector_at({10.0, 0.0}), 9);
+}
+
+TEST(PatternTable, BestSectorRestrictedToCandidates) {
+  PatternTable table;
+  Grid2D strong(small_grid(), 10.0);
+  Grid2D weak(small_grid(), 0.0);
+  table.add(1, strong);
+  table.add(2, weak);
+  const std::vector<int> only_weak{2};
+  EXPECT_EQ(table.best_sector_at({0.0, 0.0}, only_weak), 2);
+}
+
+TEST(PatternTable, BestSectorEmptyCandidatesThrows) {
+  PatternTable table;
+  table.add(1, constant_pattern(small_grid(), 0.0));
+  const std::vector<int> none;
+  EXPECT_THROW(table.best_sector_at({0.0, 0.0}, none), PreconditionError);
+}
+
+TEST(PatternTable, CsvRoundTrip) {
+  PatternTable table;
+  Grid2D a(small_grid(), 0.0);
+  a.set(1, 1, 4.25);
+  Grid2D b(small_grid(), -7.0);
+  b.set(2, 0, 11.75);
+  table.add(5, a);
+  table.add(63, b);
+
+  const CsvTable csv = table.to_csv();
+  EXPECT_EQ(csv.header.size(), 4u);
+  EXPECT_EQ(csv.rows.size(), 2u * small_grid().size());
+
+  const PatternTable back = PatternTable::from_csv(csv);
+  EXPECT_EQ(back.ids(), table.ids());
+  EXPECT_EQ(back.grid(), table.grid());
+  EXPECT_DOUBLE_EQ(back.sample_db(5, {0.0, 10.0}), 4.25);
+  EXPECT_DOUBLE_EQ(back.sample_db(63, {10.0, 0.0}), 11.75);
+}
+
+TEST(PatternTable, FromCsvRejectsIncompleteGrid) {
+  PatternTable table;
+  table.add(1, constant_pattern(small_grid(), 1.0));
+  CsvTable csv = table.to_csv();
+  csv.rows.pop_back();  // drop one grid cell
+  EXPECT_THROW(PatternTable::from_csv(csv), ParseError);
+}
+
+TEST(PatternTable, FromCsvRejectsEmpty) {
+  CsvTable csv;
+  csv.header = {"sector_id", "azimuth_deg", "elevation_deg", "value_db"};
+  EXPECT_THROW(PatternTable::from_csv(csv), ParseError);
+}
+
+TEST(PatternTableGainSource, AdaptsSampleDb) {
+  PatternTable table;
+  Grid2D g(small_grid(), 1.0);
+  g.set(1, 0, 6.0);
+  table.add(4, g);
+  const PatternTableGainSource source(table);
+  EXPECT_DOUBLE_EQ(source.gain_dbi(4, {0.0, 0.0}), 6.0);
+  EXPECT_DOUBLE_EQ(source.gain_dbi(4, {-10.0, 10.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,122 @@
+#include "src/antenna/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/units.hpp"
+
+namespace talon {
+namespace {
+
+PlanarArrayGeometry geometry() { return talon_array_geometry(); }
+ElementModel element() { return ElementModel(ElementModelConfig{}); }
+
+TEST(Synthesis, MatchedSteeringAchievesArrayGain) {
+  // Unquantized steering toward boresight: gain = N * element gain
+  // = 10log10(32) + 5 ~ 20 dBi.
+  const auto g = geometry();
+  const WeightVector w = steering_weights(g.element_positions(), {0.0, 0.0});
+  const double gain = array_gain_dbi(g, element(), w, {0.0, 0.0});
+  EXPECT_NEAR(gain, 10.0 * std::log10(32.0) + 5.0, 0.2);
+}
+
+TEST(Synthesis, SteeredBeamPeaksNearSteeringDirection) {
+  const auto g = geometry();
+  for (double target : {-40.0, -15.0, 25.0, 50.0}) {
+    const WeightVector w = steering_weights(g.element_positions(), {target, 0.0});
+    double best_az = -999.0;
+    double best_gain = -999.0;
+    for (double az = -80.0; az <= 80.0; az += 1.0) {
+      const double gain = array_gain_dbi(g, element(), w, {az, 0.0});
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_az = az;
+      }
+    }
+    EXPECT_NEAR(best_az, target, 5.0) << "steering to " << target;
+  }
+}
+
+TEST(Synthesis, QuantizedBeamLosesSomeGain) {
+  const auto g = geometry();
+  const WeightVector ideal = steering_weights(g.element_positions(), {30.0, 0.0});
+  const WeightQuantizer q{.phase_states = 4, .amplitude_states = 1};
+  const WeightVector coarse = q.quantize(ideal);
+  const double ideal_gain = array_gain_dbi(g, element(), ideal, {30.0, 0.0});
+  const double coarse_gain = array_gain_dbi(g, element(), coarse, {30.0, 0.0});
+  EXPECT_LT(coarse_gain, ideal_gain + 0.01);
+  EXPECT_GT(coarse_gain, ideal_gain - 4.0);  // 2-bit loss is bounded (~1 dB typ.)
+}
+
+TEST(Synthesis, AllElementsOffIsSilent) {
+  const auto g = geometry();
+  const WeightVector w(32, Complex(0.0, 0.0));
+  EXPECT_LE(array_gain_dbi(g, element(), w, {0.0, 0.0}), -100.0);
+}
+
+TEST(Synthesis, SingleElementEqualsElementPattern) {
+  const auto g = geometry();
+  WeightVector w(32, Complex(0.0, 0.0));
+  w[0] = Complex(1.0, 0.0);
+  const ElementModel em = element();
+  // One active element: array factor is flat, gain == element gain.
+  for (double az : {-60.0, 0.0, 45.0}) {
+    EXPECT_NEAR(array_gain_dbi(g, em, w, {az, 0.0}), em.gain_dbi({az, 0.0}), 1e-9);
+  }
+}
+
+TEST(Synthesis, WeightSizeMismatchThrows) {
+  const auto g = geometry();
+  EXPECT_THROW(array_gain_dbi(g, element(), WeightVector(5, Complex(1, 0)), {0, 0}),
+               PreconditionError);
+}
+
+TEST(ArrayGainSource, KnownSectorsQueryable) {
+  const ArrayGainSource source = make_talon_front_end(1);
+  for (int id : talon_tx_sector_ids()) {
+    const double gain = source.gain_dbi(id, {0.0, 0.0});
+    EXPECT_TRUE(std::isfinite(gain));
+  }
+}
+
+TEST(ArrayGainSource, UnknownSectorThrows) {
+  const ArrayGainSource source = make_talon_front_end(1);
+  EXPECT_THROW(source.gain_dbi(42, {0.0, 0.0}), PreconditionError);
+}
+
+TEST(ArrayGainSource, Sector63IsStrongAtBoresight) {
+  const ArrayGainSource source = make_talon_front_end(1);
+  const double g63 = source.gain_dbi(63, {0.0, 0.0});
+  EXPECT_GT(g63, 15.0);
+  // And stronger there than the scattered sector 62 anywhere nearby.
+  EXPECT_GT(g63, source.gain_dbi(62, {0.0, 0.0}) + 5.0);
+}
+
+TEST(ArrayGainSource, DifferentDeviceSeedsProduceDifferentPatterns) {
+  const ArrayGainSource a = make_talon_front_end(1);
+  const ArrayGainSource b = make_talon_front_end(2);
+  // Same codebook but different calibration: gains differ slightly.
+  bool differs = false;
+  for (double az = -60.0; az <= 60.0; az += 15.0) {
+    if (std::abs(a.gain_dbi(8, {az, 0.0}) - b.gain_dbi(8, {az, 0.0})) > 0.2) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Synthesis, PatternGridMatchesDirectEvaluation) {
+  const ArrayGainSource source = make_talon_front_end(1);
+  const AngularGrid grid{make_axis(-30.0, 30.0, 15.0), make_axis(0.0, 10.0, 10.0)};
+  const Grid2D pattern = synthesize_pattern_grid(source, 8, grid);
+  for (std::size_t ie = 0; ie < grid.elevation.count; ++ie) {
+    for (std::size_t ia = 0; ia < grid.azimuth.count; ++ia) {
+      EXPECT_DOUBLE_EQ(pattern.at(ia, ie),
+                       source.gain_dbi(8, grid.direction(ia, ie)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace talon

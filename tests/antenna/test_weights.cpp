@@ -1,0 +1,84 @@
+#include "src/antenna/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/antenna/geometry.hpp"
+#include "src/common/angles.hpp"
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(Weights, SteeringWeightsUnitAmplitude) {
+  const auto g = talon_array_geometry();
+  const WeightVector w = steering_weights(g.element_positions(), {30.0, 10.0});
+  ASSERT_EQ(w.size(), 32u);
+  for (const Complex& c : w) EXPECT_NEAR(std::abs(c), 1.0, 1e-12);
+}
+
+TEST(Weights, BoresightSteeringIsAllOnes) {
+  // Toward boresight every element phase is zero (positions are in the
+  // y-z plane, boresight along +x).
+  const auto g = talon_array_geometry();
+  const WeightVector w = steering_weights(g.element_positions(), {0.0, 0.0});
+  for (const Complex& c : w) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Weights, QuantizePhaseSnapsToFourStates) {
+  const WeightQuantizer q{.phase_states = 4, .amplitude_states = 1};
+  const WeightVector in{Complex(std::cos(0.1), std::sin(0.1)),
+                        Complex(std::cos(1.5), std::sin(1.5)),
+                        Complex(std::cos(3.0), std::sin(3.0))};
+  const WeightVector out = q.quantize(in);
+  const double step = kPi / 2.0;
+  for (const Complex& c : out) {
+    const double phase = std::arg(c);
+    const double snapped = std::round(phase / step) * step;
+    EXPECT_NEAR(phase, snapped, 1e-9);
+    EXPECT_NEAR(std::abs(c), 1.0, 1e-12);
+  }
+}
+
+TEST(Weights, QuantizeTurnsTinyWeightsOff) {
+  const WeightQuantizer q{.phase_states = 4, .amplitude_states = 1};
+  const WeightVector out = q.quantize({Complex(0.2, 0.0), Complex(0.9, 0.0)});
+  EXPECT_EQ(out[0], Complex(0.0, 0.0));
+  EXPECT_NEAR(std::abs(out[1]), 1.0, 1e-12);
+}
+
+TEST(Weights, QuantizeMultipleAmplitudeLevels) {
+  const WeightQuantizer q{.phase_states = 4, .amplitude_states = 4};
+  const WeightVector out =
+      q.quantize({Complex(0.3, 0.0), Complex(0.6, 0.0), Complex(1.0, 0.0)});
+  EXPECT_NEAR(std::abs(out[0]), 0.25, 1e-12);
+  EXPECT_NEAR(std::abs(out[1]), 0.5, 1e-12);
+  EXPECT_NEAR(std::abs(out[2]), 1.0, 1e-12);
+}
+
+TEST(Weights, QuantizeIsIdempotent) {
+  const WeightQuantizer q{.phase_states = 4, .amplitude_states = 2};
+  const auto g = talon_array_geometry();
+  const WeightVector once =
+      q.quantize(steering_weights(g.element_positions(), {-40.0, 5.0}));
+  const WeightVector twice = q.quantize(once);
+  ASSERT_EQ(once.size(), twice.size());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(std::abs(once[i] - twice[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Weights, QuantizerRejectsBadConfig) {
+  const WeightQuantizer q{.phase_states = 1, .amplitude_states = 1};
+  EXPECT_THROW(q.quantize({Complex(1.0, 0.0)}), PreconditionError);
+}
+
+TEST(Weights, TotalWeightPower) {
+  EXPECT_DOUBLE_EQ(total_weight_power({Complex(1.0, 0.0), Complex(0.0, 2.0)}), 5.0);
+  EXPECT_DOUBLE_EQ(total_weight_power({}), 0.0);
+}
+
+}  // namespace
+}  // namespace talon

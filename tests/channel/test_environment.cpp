@@ -1,0 +1,130 @@
+#include "src/channel/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/channel/pathloss.hpp"
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+const Vec3 kTx{0.0, 0.0, 1.0};
+const Vec3 kRx{3.0, 0.0, 1.0};
+
+TEST(Environment, AnechoicHasOnlyLineOfSight) {
+  const auto env = make_anechoic_chamber();
+  const auto rays = env->rays(kTx, kRx);
+  ASSERT_EQ(rays.size(), 1u);
+  EXPECT_NEAR(rays[0].departure_world.azimuth_deg, 0.0, 1e-9);
+  EXPECT_NEAR(rays[0].arrival_world.azimuth_deg, 180.0, 1e-9);
+  EXPECT_NEAR(rays[0].gain_db, line_of_sight_gain_db(3.0), 1e-9);
+}
+
+TEST(Environment, LabHasMultipath) {
+  const auto env = make_lab_environment();
+  const auto rays = env->rays(kTx, kRx);
+  EXPECT_GT(rays.size(), 1u);
+}
+
+TEST(Environment, ConferenceRoomHasMoreAndStrongerReflections) {
+  const auto lab = make_lab_environment();
+  const auto conf = make_conference_room();
+  const Vec3 rx6{6.0, 0.0, 1.0};
+  const auto lab_rays = lab->rays(kTx, rx6);
+  const auto conf_rays = conf->rays(kTx, rx6);
+  EXPECT_GE(conf_rays.size(), lab_rays.size());
+
+  // Strongest NLOS ray relative to LOS: conference room reflections are
+  // closer to the LOS power than the lab's.
+  const auto nlos_margin = [](const std::vector<Ray>& rays) {
+    double los = rays[0].gain_db;
+    double best_nlos = -1e9;
+    for (std::size_t i = 1; i < rays.size(); ++i) {
+      best_nlos = std::max(best_nlos, rays[i].gain_db);
+    }
+    return los - best_nlos;
+  };
+  EXPECT_LT(nlos_margin(conf_rays), nlos_margin(lab_rays));
+}
+
+TEST(Environment, ReflectedRayIsWeakerThanLos) {
+  const auto env = make_conference_room();
+  const auto rays = env->rays(kTx, kRx);
+  for (std::size_t i = 1; i < rays.size(); ++i) {
+    EXPECT_LT(rays[i].gain_db, rays[0].gain_db);
+  }
+}
+
+TEST(Environment, WallReflectionGeometry) {
+  // Single wall at y = 2: TX and RX on the x axis, the bounce departs
+  // upward in y and arrives from the +y side.
+  RayTracedEnvironment env("test", {Reflector{Reflector::Plane::Y, 2.0, 10.0, "w"}});
+  const auto rays = env.rays(kTx, kRx);
+  ASSERT_EQ(rays.size(), 2u);
+  const Ray& bounce = rays[1];
+  EXPECT_GT(bounce.departure_world.azimuth_deg, 0.0);
+  // Arrival direction points back toward the wall side (+y): azimuth in
+  // (90, 180).
+  EXPECT_GT(bounce.arrival_world.azimuth_deg, 90.0);
+  // Path length via image source: |(0,0)-(3,4)| = 5 m, plus the 10 dB loss.
+  EXPECT_NEAR(bounce.gain_db, line_of_sight_gain_db(5.0) - 10.0, 1e-9);
+}
+
+TEST(Environment, ReflectorSkippedWhenEndpointsStraddlePlane) {
+  // Wall between the endpoints: no valid single-bounce path.
+  RayTracedEnvironment env("test", {Reflector{Reflector::Plane::X, 1.5, 5.0, "w"}});
+  const auto rays = env.rays(kTx, kRx);
+  EXPECT_EQ(rays.size(), 1u);  // LOS only
+}
+
+TEST(Environment, CeilingBounceUsesElevation) {
+  RayTracedEnvironment env("test", {Reflector{Reflector::Plane::Z, 3.0, 10.0, "c"}});
+  const auto rays = env.rays(kTx, kRx);
+  ASSERT_EQ(rays.size(), 2u);
+  EXPECT_GT(rays[1].departure_world.elevation_deg, 10.0);
+  EXPECT_GT(rays[1].arrival_world.elevation_deg, 10.0);
+}
+
+TEST(Environment, CoincidentPositionsThrow) {
+  const auto env = make_anechoic_chamber();
+  EXPECT_THROW(env->rays(kTx, kTx), PreconditionError);
+}
+
+TEST(Environment, NoLosNoReflectorsThrows) {
+  RayTracedEnvironment env("void", {}, /*line_of_sight=*/false);
+  EXPECT_THROW(env.rays(kTx, kRx), PreconditionError);
+}
+
+
+TEST(Environment, LosBlockageAttenuatesOnlyDirectPath) {
+  RayTracedEnvironment env("test", {Reflector{Reflector::Plane::Y, 2.0, 10.0, "w"}});
+  const auto clear = env.rays(kTx, kRx);
+  env.set_los_blockage_db(25.0);
+  const auto blocked = env.rays(kTx, kRx);
+  ASSERT_EQ(clear.size(), 2u);
+  ASSERT_EQ(blocked.size(), 2u);
+  EXPECT_NEAR(blocked[0].gain_db, clear[0].gain_db - 25.0, 1e-9);
+  EXPECT_DOUBLE_EQ(blocked[1].gain_db, clear[1].gain_db);
+}
+
+TEST(Environment, BlockageMakesReflectionDominant) {
+  RayTracedEnvironment env("test", {Reflector{Reflector::Plane::Y, 2.0, 10.0, "w"}});
+  env.set_los_blockage_db(30.0);
+  const auto rays = env.rays(kTx, kRx);
+  EXPECT_GT(rays[1].gain_db, rays[0].gain_db);
+}
+
+TEST(Environment, BlockageClearsBackToZero) {
+  RayTracedEnvironment env("test", {});
+  env.set_los_blockage_db(20.0);
+  env.set_los_blockage_db(0.0);
+  EXPECT_NEAR(env.rays(kTx, kRx)[0].gain_db, line_of_sight_gain_db(3.0), 1e-9);
+}
+
+TEST(Environment, NegativeBlockageRejected) {
+  RayTracedEnvironment env("test", {});
+  EXPECT_THROW(env.set_los_blockage_db(-1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

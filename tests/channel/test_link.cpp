@@ -1,0 +1,111 @@
+#include "src/channel/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/antenna/synthesis.hpp"
+#include "src/channel/pathloss.hpp"
+
+namespace talon {
+namespace {
+
+class LinkTest : public ::testing::Test {
+ protected:
+  LinkTest()
+      : tx_gain_(make_talon_front_end(1)),
+        rx_gain_(make_talon_front_end(2)),
+        env_(make_anechoic_chamber()) {
+    tx_.position = {0.0, 0.0, 1.0};
+    tx_.orientation = DeviceOrientation(0.0, 0.0);
+    rx_.position = {3.0, 0.0, 1.0};
+    rx_.orientation = DeviceOrientation(180.0, 0.0);
+  }
+
+  ArrayGainSource tx_gain_;
+  ArrayGainSource rx_gain_;
+  std::unique_ptr<Environment> env_;
+  EndpointPose tx_;
+  EndpointPose rx_;
+  RadioConfig radio_;
+};
+
+TEST_F(LinkTest, BudgetMatchesManualComputation) {
+  const double p = received_power_dbm(tx_gain_, 63, tx_, rx_gain_,
+                                      kRxQuasiOmniSectorId, rx_, *env_, radio_);
+  const double expected = radio_.tx_power_dbm + tx_gain_.gain_dbi(63, {0.0, 0.0}) +
+                          rx_gain_.gain_dbi(kRxQuasiOmniSectorId, {0.0, 0.0}) +
+                          line_of_sight_gain_db(3.0);
+  EXPECT_NEAR(p, expected, 1e-9);
+}
+
+TEST_F(LinkTest, SnrIsPowerMinusNoiseFloor) {
+  const double p = received_power_dbm(tx_gain_, 63, tx_, rx_gain_,
+                                      kRxQuasiOmniSectorId, rx_, *env_, radio_);
+  const double snr = link_snr_db(tx_gain_, 63, tx_, rx_gain_, kRxQuasiOmniSectorId,
+                                 rx_, *env_, radio_);
+  EXPECT_NEAR(snr, p - radio_.noise_floor_dbm(), 1e-9);
+}
+
+TEST_F(LinkTest, NoiseFloorAround71dBm) {
+  EXPECT_NEAR(radio_.noise_floor_dbm(), -71.5, 0.2);
+}
+
+TEST_F(LinkTest, BoresightSectorBeatsMissteeredSector) {
+  // Sector 63 points at the peer; any strongly off-axis sector must be
+  // weaker toward it.
+  const double aligned = link_snr_db(tx_gain_, 63, tx_, rx_gain_,
+                                     kRxQuasiOmniSectorId, rx_, *env_, radio_);
+  double worst = aligned;
+  for (int id : talon_tx_sector_ids()) {
+    worst = std::min(worst, link_snr_db(tx_gain_, id, tx_, rx_gain_,
+                                        kRxQuasiOmniSectorId, rx_, *env_, radio_));
+  }
+  EXPECT_GT(aligned, worst + 10.0);
+}
+
+TEST_F(LinkTest, RotatingTxChangesBestSector) {
+  // With the DUT rotated by -40 deg, the peer sits at +40 deg in the
+  // device frame, so boresight sector 63 is no longer the best choice.
+  tx_.orientation = DeviceOrientation(-40.0, 0.0);
+  const double boresight = link_snr_db(tx_gain_, 63, tx_, rx_gain_,
+                                       kRxQuasiOmniSectorId, rx_, *env_, radio_);
+  double best = -1e9;
+  for (int id : talon_tx_sector_ids()) {
+    best = std::max(best, link_snr_db(tx_gain_, id, tx_, rx_gain_,
+                                      kRxQuasiOmniSectorId, rx_, *env_, radio_));
+  }
+  EXPECT_GT(best, boresight + 3.0);
+}
+
+TEST_F(LinkTest, MultipathAddsPower) {
+  const auto conf = make_conference_room();
+  const double los_only = received_power_dbm(tx_gain_, 63, tx_, rx_gain_,
+                                             kRxQuasiOmniSectorId, rx_, *env_, radio_);
+  const double with_mp = received_power_dbm(tx_gain_, 63, tx_, rx_gain_,
+                                            kRxQuasiOmniSectorId, rx_, *conf, radio_);
+  EXPECT_GT(with_mp, los_only);
+  EXPECT_LT(with_mp, los_only + 3.0);  // reflections are weaker than LOS
+}
+
+TEST_F(LinkTest, DistanceReducesSnr) {
+  const double at3 = link_snr_db(tx_gain_, 63, tx_, rx_gain_, kRxQuasiOmniSectorId,
+                                 rx_, *env_, radio_);
+  rx_.position = {6.0, 0.0, 1.0};
+  const double at6 = link_snr_db(tx_gain_, 63, tx_, rx_gain_, kRxQuasiOmniSectorId,
+                                 rx_, *env_, radio_);
+  EXPECT_NEAR(at3 - at6, 6.0, 0.3);  // +6 dB per distance doubling
+}
+
+TEST_F(LinkTest, CalibratedPeakReportsJustBelowClamp) {
+  // Design goal: strongest sector at 3 m reports ~11 dB on the firmware
+  // scale (offset -15), i.e. true SNR ~26 dB.
+  double best = -1e9;
+  for (int id : talon_tx_sector_ids()) {
+    best = std::max(best, link_snr_db(tx_gain_, id, tx_, rx_gain_,
+                                      kRxQuasiOmniSectorId, rx_, *env_, radio_));
+  }
+  EXPECT_GT(best, 23.0);
+  EXPECT_LT(best, 28.5);
+}
+
+}  // namespace
+}  // namespace talon

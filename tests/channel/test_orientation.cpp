@@ -1,0 +1,92 @@
+#include "src/channel/orientation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace talon {
+namespace {
+
+TEST(Orientation, IdentityPoseIsNoop) {
+  const DeviceOrientation o(0.0, 0.0);
+  const Direction d{25.0, -10.0};
+  const Direction dev = o.to_device_frame(d);
+  EXPECT_NEAR(dev.azimuth_deg, 25.0, 1e-9);
+  EXPECT_NEAR(dev.elevation_deg, -10.0, 1e-9);
+}
+
+TEST(Orientation, AzimuthRotationShiftsAzimuth) {
+  // Device rotated +30 deg: a world-boresight target appears at -30 deg in
+  // the device frame.
+  const DeviceOrientation o(30.0, 0.0);
+  const Direction dev = o.to_device_frame({0.0, 0.0});
+  EXPECT_NEAR(dev.azimuth_deg, -30.0, 1e-9);
+  EXPECT_NEAR(dev.elevation_deg, 0.0, 1e-9);
+}
+
+TEST(Orientation, TiltShiftsElevation) {
+  // Device tilted up 20 deg: a horizontal target appears 20 deg *below*
+  // the device boresight.
+  const DeviceOrientation o(0.0, 20.0);
+  const Direction dev = o.to_device_frame({0.0, 0.0});
+  EXPECT_NEAR(dev.elevation_deg, -20.0, 1e-9);
+}
+
+TEST(Orientation, RoundTripWorldDeviceWorld) {
+  const DeviceOrientation o(47.0, 13.0);
+  for (double az = -150.0; az <= 150.0; az += 37.0) {
+    for (double el = -60.0; el <= 60.0; el += 21.0) {
+      const Direction d{az, el};
+      const Direction back = o.to_world_frame(o.to_device_frame(d));
+      EXPECT_NEAR(back.azimuth_deg, az, 1e-9);
+      EXPECT_NEAR(back.elevation_deg, el, 1e-9);
+    }
+  }
+}
+
+TEST(Orientation, BoresightWorldAtZeroAzimuth) {
+  // With no head rotation the mount tilt fully becomes boresight elevation.
+  const DeviceOrientation o(0.0, 11.0);
+  const Direction b = o.boresight_world();
+  EXPECT_NEAR(b.azimuth_deg, 0.0, 1e-9);
+  EXPECT_NEAR(b.elevation_deg, 11.0, 1e-9);
+}
+
+TEST(Orientation, TiltedHeadComposition) {
+  // Tilt is applied to the whole mount (about world y), so the boresight
+  // elevation of a rotated head is asin(cos(az) * sin(tilt)) -- the
+  // geometry of the paper's manually tilted rotation head.
+  for (double az : {-90.0, 0.0, 45.0, 135.0}) {
+    const DeviceOrientation o(az, 25.0);
+    const double expected =
+        rad_to_deg(std::asin(std::cos(deg_to_rad(az)) * std::sin(deg_to_rad(25.0))));
+    EXPECT_NEAR(o.boresight_world().elevation_deg, expected, 1e-9) << "az " << az;
+  }
+}
+
+TEST(Orientation, HeadPosePutsBoresightPeerAtExactNominalCoordinates) {
+  // The property the rig relies on: head (alpha, -tau) sees a world-
+  // boresight target at exactly (-alpha, +tau) in the device frame.
+  for (double alpha : {-60.0, -20.0, 0.0, 35.0}) {
+    for (double tau : {0.0, 10.8, 28.8}) {
+      const DeviceOrientation o(alpha, -tau);
+      const Direction dev = o.to_device_frame({0.0, 0.0});
+      EXPECT_NEAR(dev.azimuth_deg, -alpha, 1e-9);
+      EXPECT_NEAR(dev.elevation_deg, tau, 1e-9);
+    }
+  }
+}
+
+TEST(Orientation, AngularSeparationPreserved) {
+  // Rigid rotations preserve angles between directions.
+  const DeviceOrientation o(33.0, 17.0);
+  const Direction a{10.0, 5.0};
+  const Direction b{-20.0, 25.0};
+  const double before = angular_separation_deg(a, b);
+  const double after =
+      angular_separation_deg(o.to_device_frame(a), o.to_device_frame(b));
+  EXPECT_NEAR(before, after, 1e-9);
+}
+
+}  // namespace
+}  // namespace talon

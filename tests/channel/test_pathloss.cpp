@@ -1,0 +1,49 @@
+#include "src/channel/pathloss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(PathLoss, FreeSpaceAt60GHzKnownValues) {
+  // FSPL at 1 m / 60.48 GHz ~ 68.1 dB.
+  EXPECT_NEAR(free_space_path_loss_db(1.0), 68.1, 0.2);
+  // +20 dB per decade of distance.
+  EXPECT_NEAR(free_space_path_loss_db(10.0) - free_space_path_loss_db(1.0), 20.0,
+              1e-9);
+}
+
+TEST(PathLoss, ThreeMeterChamberDistance) {
+  EXPECT_NEAR(free_space_path_loss_db(3.0), 77.6, 0.2);
+}
+
+TEST(PathLoss, MonotoneInDistance) {
+  double prev = 0.0;
+  for (double d = 0.5; d <= 20.0; d += 0.7) {
+    const double loss = free_space_path_loss_db(d);
+    EXPECT_GT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(PathLoss, OxygenAbsorptionSmallIndoors) {
+  EXPECT_NEAR(oxygen_absorption_db(6.0), 0.09, 1e-9);
+  EXPECT_NEAR(oxygen_absorption_db(1000.0), 15.0, 1e-9);
+  EXPECT_DOUBLE_EQ(oxygen_absorption_db(0.0), 0.0);
+}
+
+TEST(PathLoss, LineOfSightGainIsNegativeTotal) {
+  const double g = line_of_sight_gain_db(3.0);
+  EXPECT_NEAR(g, -(77.6 + 0.045), 0.2);
+}
+
+TEST(PathLoss, RejectsNonPositiveDistance) {
+  EXPECT_THROW(free_space_path_loss_db(0.0), PreconditionError);
+  EXPECT_THROW(free_space_path_loss_db(-1.0), PreconditionError);
+  EXPECT_THROW(oxygen_absorption_db(-1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,68 @@
+#include "src/common/angles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace talon {
+namespace {
+
+TEST(Angles, DegRadRoundTrip) {
+  for (double d = -180.0; d <= 180.0; d += 13.7) {
+    EXPECT_NEAR(rad_to_deg(deg_to_rad(d)), d, 1e-9);
+  }
+}
+
+TEST(Angles, WrapAzimuthIntoHalfOpenRange) {
+  EXPECT_DOUBLE_EQ(wrap_azimuth_deg(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_azimuth_deg(180.0), 180.0);
+  EXPECT_DOUBLE_EQ(wrap_azimuth_deg(-180.0), 180.0);
+  EXPECT_DOUBLE_EQ(wrap_azimuth_deg(190.0), -170.0);
+  EXPECT_DOUBLE_EQ(wrap_azimuth_deg(-190.0), 170.0);
+  EXPECT_DOUBLE_EQ(wrap_azimuth_deg(360.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_azimuth_deg(725.0), 5.0);
+}
+
+TEST(Angles, AzimuthDistanceShortestArc) {
+  EXPECT_DOUBLE_EQ(azimuth_distance_deg(10.0, 350.0), 20.0);
+  EXPECT_DOUBLE_EQ(azimuth_distance_deg(-170.0, 170.0), 20.0);
+  EXPECT_DOUBLE_EQ(azimuth_distance_deg(0.0, 180.0), 180.0);
+  EXPECT_DOUBLE_EQ(azimuth_distance_deg(45.0, 45.0), 0.0);
+}
+
+TEST(Angles, AzimuthDistanceIsSymmetric) {
+  for (double a = -180.0; a < 180.0; a += 37.0) {
+    for (double b = -180.0; b < 180.0; b += 41.0) {
+      EXPECT_DOUBLE_EQ(azimuth_distance_deg(a, b), azimuth_distance_deg(b, a));
+    }
+  }
+}
+
+TEST(Angles, ClampElevation) {
+  EXPECT_DOUBLE_EQ(clamp_elevation_deg(100.0), 90.0);
+  EXPECT_DOUBLE_EQ(clamp_elevation_deg(-100.0), -90.0);
+  EXPECT_DOUBLE_EQ(clamp_elevation_deg(15.0), 15.0);
+}
+
+TEST(Angles, AngularSeparationIdentity) {
+  // acos() loses precision near 1, so identity is only accurate to ~1e-6.
+  EXPECT_NEAR(angular_separation_deg({30.0, 10.0}, {30.0, 10.0}), 0.0, 1e-5);
+}
+
+TEST(Angles, AngularSeparationInPlaneEqualsAzimuthDistance) {
+  EXPECT_NEAR(angular_separation_deg({20.0, 0.0}, {-25.0, 0.0}), 45.0, 1e-9);
+}
+
+TEST(Angles, AngularSeparationPoles) {
+  // From horizontal to zenith is 90 degrees regardless of azimuth.
+  EXPECT_NEAR(angular_separation_deg({0.0, 0.0}, {123.0, 90.0}), 90.0, 1e-9);
+}
+
+TEST(Angles, AngularSeparationTriangleInequality) {
+  const Direction a{10.0, 5.0};
+  const Direction b{-40.0, 20.0};
+  const Direction c{70.0, -10.0};
+  EXPECT_LE(angular_separation_deg(a, c),
+            angular_separation_deg(a, b) + angular_separation_deg(b, c) + 1e-9);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,89 @@
+#include "src/common/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p;
+  p.add_flag("--full");
+  p.add_option("--output");
+  p.add_option("--seed");
+  return p;
+}
+
+void parse(ArgParser& p, std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  p.parse(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, FlagsAndOptions) {
+  ArgParser p = make_parser();
+  parse(p, {"measure", "--full", "--output", "out.csv"});
+  EXPECT_TRUE(p.has_flag("--full"));
+  EXPECT_EQ(p.option_or("--output", "x"), "out.csv");
+  ASSERT_EQ(p.positionals().size(), 1u);
+  EXPECT_EQ(p.positionals()[0], "measure");
+}
+
+TEST(Args, EqualsSyntax) {
+  ArgParser p = make_parser();
+  parse(p, {"--output=a.csv", "--seed=7"});
+  EXPECT_EQ(p.option_or("--output", ""), "a.csv");
+  EXPECT_EQ(p.integer_or("--seed", 0), 7);
+}
+
+TEST(Args, MissingOptionUsesFallback) {
+  ArgParser p = make_parser();
+  parse(p, {"cmd"});
+  EXPECT_FALSE(p.has_flag("--full"));
+  EXPECT_FALSE(p.option("--output").has_value());
+  EXPECT_EQ(p.option_or("--output", "default.csv"), "default.csv");
+  EXPECT_DOUBLE_EQ(p.number_or("--seed", 3.5), 3.5);
+}
+
+TEST(Args, UnknownOptionThrows) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(parse(p, {"--nope"}), ParseError);
+}
+
+TEST(Args, MissingValueThrows) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(parse(p, {"--output"}), ParseError);
+}
+
+TEST(Args, FlagWithValueThrows) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(parse(p, {"--full=yes"}), ParseError);
+}
+
+TEST(Args, NonNumericValueThrows) {
+  ArgParser p = make_parser();
+  parse(p, {"--seed", "abc"});
+  EXPECT_THROW(p.integer_or("--seed", 0), ParseError);
+  EXPECT_THROW(p.number_or("--seed", 0.0), ParseError);
+}
+
+TEST(Args, NumberParsing) {
+  ArgParser p = make_parser();
+  parse(p, {"--seed", "-12.5"});
+  EXPECT_DOUBLE_EQ(p.number_or("--seed", 0.0), -12.5);
+}
+
+TEST(Args, PositionalsKeepOrder) {
+  ArgParser p = make_parser();
+  parse(p, {"a", "--full", "b", "c"});
+  EXPECT_EQ(p.positionals(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Args, DeclarationValidatesDashes) {
+  ArgParser p;
+  EXPECT_THROW(p.add_flag("full"), PreconditionError);
+  EXPECT_THROW(p.add_option(""), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,83 @@
+#include "src/common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(Csv, WriteThenReadRoundTrip) {
+  CsvTable table;
+  table.header = {"a", "b", "c"};
+  table.rows = {{1.0, 2.5, -3.0}, {4.0, 0.0, 1e-3}};
+  std::stringstream s;
+  write_csv(s, table);
+  const CsvTable back = read_csv(s);
+  EXPECT_EQ(back.header, table.header);
+  ASSERT_EQ(back.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.rows[0][1], 2.5);
+  EXPECT_DOUBLE_EQ(back.rows[1][2], 1e-3);
+}
+
+TEST(Csv, ColumnLookup) {
+  CsvTable table;
+  table.header = {"x", "y"};
+  EXPECT_EQ(table.column("x"), 0u);
+  EXPECT_EQ(table.column("y"), 1u);
+  EXPECT_THROW(table.column("z"), ParseError);
+}
+
+TEST(Csv, EmptyInputThrows) {
+  std::stringstream s("");
+  EXPECT_THROW(read_csv(s), ParseError);
+}
+
+TEST(Csv, RaggedRowThrows) {
+  std::stringstream s("a,b\n1,2\n3\n");
+  EXPECT_THROW(read_csv(s), ParseError);
+}
+
+TEST(Csv, NonNumericCellThrows) {
+  std::stringstream s("a,b\n1,oops\n");
+  EXPECT_THROW(read_csv(s), ParseError);
+}
+
+TEST(Csv, TrailingPartialNumberThrows) {
+  std::stringstream s("a\n1.5x\n");
+  EXPECT_THROW(read_csv(s), ParseError);
+}
+
+TEST(Csv, SkipsBlankLines) {
+  std::stringstream s("a,b\n1,2\n\n3,4\n");
+  const CsvTable t = read_csv(s);
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(Csv, WriteRejectsRaggedRows) {
+  CsvTable table;
+  table.header = {"a", "b"};
+  table.rows = {{1.0}};
+  std::stringstream s;
+  EXPECT_THROW(write_csv(s, table), PreconditionError);
+}
+
+TEST(Csv, FileRoundTrip) {
+  CsvTable table;
+  table.header = {"v"};
+  table.rows = {{42.0}};
+  const std::string path = testing::TempDir() + "/talon_csv_test.csv";
+  write_csv_file(path, table);
+  const CsvTable back = read_csv_file(path);
+  ASSERT_EQ(back.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.rows[0][0], 42.0);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/nope.csv"), ParseError);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,103 @@
+#include "src/common/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(Axis, MakeAxisCountsInclusive) {
+  const Axis a = make_axis(-90.0, 90.0, 1.8);
+  EXPECT_EQ(a.count, 101u);
+  EXPECT_DOUBLE_EQ(a.first, -90.0);
+  EXPECT_NEAR(a.last(), 90.0, 1e-9);
+}
+
+TEST(Axis, SinglePoint) {
+  const Axis a = make_axis(5.0, 5.0, 1.0);
+  EXPECT_EQ(a.count, 1u);
+  EXPECT_DOUBLE_EQ(a.value(0), 5.0);
+  EXPECT_DOUBLE_EQ(a.fractional_index(99.0), 0.0);
+}
+
+TEST(Axis, FractionalIndexClamps) {
+  const Axis a = make_axis(0.0, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(a.fractional_index(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(a.fractional_index(15.0), 10.0);
+  EXPECT_DOUBLE_EQ(a.fractional_index(2.5), 2.5);
+}
+
+TEST(Axis, NearestIndexRounds) {
+  const Axis a = make_axis(0.0, 10.0, 2.0);
+  EXPECT_EQ(a.nearest_index(3.2), 2u);   // 3.2 / 2 = 1.6 -> 2
+  EXPECT_EQ(a.nearest_index(2.9), 1u);   // 1.45 -> 1
+}
+
+TEST(Axis, MakeAxisRejectsBadStep) {
+  EXPECT_THROW(make_axis(0.0, 1.0, 0.0), PreconditionError);
+  EXPECT_THROW(make_axis(1.0, 0.0, 1.0), PreconditionError);
+}
+
+TEST(Grid2D, IndexLayoutAzimuthFastest) {
+  const AngularGrid g{make_axis(0.0, 2.0, 1.0), make_axis(0.0, 1.0, 1.0)};
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_EQ(g.index(0, 0), 0u);
+  EXPECT_EQ(g.index(2, 0), 2u);
+  EXPECT_EQ(g.index(0, 1), 3u);
+}
+
+TEST(Grid2D, SetAtRoundTrip) {
+  Grid2D grid({make_axis(-10.0, 10.0, 5.0), make_axis(0.0, 10.0, 5.0)});
+  grid.set(1, 2, 7.5);
+  EXPECT_DOUBLE_EQ(grid.at(1, 2), 7.5);
+  EXPECT_DOUBLE_EQ(grid.at(0, 0), 0.0);
+}
+
+TEST(Grid2D, OutOfBoundsThrows) {
+  Grid2D grid({make_axis(0.0, 1.0, 1.0), make_axis(0.0, 1.0, 1.0)});
+  EXPECT_THROW(grid.at(2, 0), PreconditionError);
+  EXPECT_THROW(grid.set(0, 2, 1.0), PreconditionError);
+}
+
+TEST(Grid2D, SampleAtGridPointsIsExact) {
+  Grid2D grid({make_axis(0.0, 4.0, 2.0), make_axis(0.0, 4.0, 2.0)});
+  grid.set(1, 1, 3.0);
+  EXPECT_DOUBLE_EQ(grid.sample({2.0, 2.0}), 3.0);
+  EXPECT_DOUBLE_EQ(grid.sample({0.0, 0.0}), 0.0);
+}
+
+TEST(Grid2D, SampleBilinearMidpoint) {
+  Grid2D grid({make_axis(0.0, 1.0, 1.0), make_axis(0.0, 1.0, 1.0)});
+  grid.set(0, 0, 0.0);
+  grid.set(1, 0, 2.0);
+  grid.set(0, 1, 4.0);
+  grid.set(1, 1, 6.0);
+  EXPECT_DOUBLE_EQ(grid.sample({0.5, 0.5}), 3.0);
+  EXPECT_DOUBLE_EQ(grid.sample({0.5, 0.0}), 1.0);
+}
+
+TEST(Grid2D, SampleClampsOutside) {
+  Grid2D grid({make_axis(0.0, 1.0, 1.0), make_axis(0.0, 1.0, 1.0)});
+  grid.set(1, 1, 9.0);
+  EXPECT_DOUBLE_EQ(grid.sample({100.0, 100.0}), 9.0);
+}
+
+TEST(Grid2D, PeakFindsMaximumAndDirection) {
+  Grid2D grid({make_axis(-10.0, 10.0, 10.0), make_axis(0.0, 10.0, 10.0)});
+  grid.set(2, 1, 42.0);
+  const auto peak = grid.peak();
+  EXPECT_DOUBLE_EQ(peak.value, 42.0);
+  EXPECT_DOUBLE_EQ(peak.direction.azimuth_deg, 10.0);
+  EXPECT_DOUBLE_EQ(peak.direction.elevation_deg, 10.0);
+}
+
+TEST(Grid2D, PeakFirstOccurrenceOnTies) {
+  Grid2D grid({make_axis(0.0, 2.0, 1.0), make_axis(0.0, 0.0, 1.0)});
+  grid.set(1, 0, 5.0);
+  grid.set(2, 0, 5.0);
+  EXPECT_DOUBLE_EQ(grid.peak().direction.azimuth_deg, 1.0);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,139 @@
+#include "src/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen, (std::set<int>{3, 4, 5, 6, 7}));
+}
+
+TEST(Rng, NormalZeroStddevIsZero) {
+  Rng rng(11);
+  EXPECT_DOUBLE_EQ(rng.normal(0.0), 0.0);
+}
+
+TEST(Rng, NormalRoughMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(2.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  EXPECT_NEAR(sumsq / n, 4.0, 0.3);
+}
+
+TEST(Rng, BernoulliEdgeProbabilities) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  // Out-of-range p is clamped, not UB.
+  EXPECT_TRUE(rng.bernoulli(2.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto picks = rng.sample_without_replacement(34, 14);
+    ASSERT_EQ(picks.size(), 14u);
+    std::set<int> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 14u);
+    for (int p : picks) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, 34);
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng rng(21);
+  const auto picks = rng.sample_without_replacement(5, 5);
+  std::set<int> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique, (std::set<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SampleWithoutReplacementIsUnbiased) {
+  // Every element should appear with probability k/n.
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    for (int p : rng.sample_without_replacement(10, 3)) ++counts[static_cast<std::size_t>(p)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.05);
+  }
+}
+
+TEST(Rng, SampleRejectsBadArguments) {
+  Rng rng(25);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), PreconditionError);
+  EXPECT_THROW(rng.sample_without_replacement(-1, 0), PreconditionError);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // Child sequence differs from parent's continued sequence.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.uniform(0.0, 1.0) == child.uniform(0.0, 1.0)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(33);
+  Rng b(33);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(fa.uniform(0.0, 1.0), fb.uniform(0.0, 1.0));
+  }
+}
+
+}  // namespace
+}  // namespace talon

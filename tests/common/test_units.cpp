@@ -1,0 +1,50 @@
+#include "src/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace talon {
+namespace {
+
+TEST(Units, DbToLinearKnownValues) {
+  EXPECT_DOUBLE_EQ(db_to_linear(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(db_to_linear(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(db_to_linear(20.0), 100.0);
+  EXPECT_NEAR(db_to_linear(3.0), 2.0, 0.01);
+  EXPECT_NEAR(db_to_linear(-10.0), 0.1, 1e-12);
+}
+
+TEST(Units, LinearToDbKnownValues) {
+  EXPECT_DOUBLE_EQ(linear_to_db(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(linear_to_db(10.0), 10.0);
+  EXPECT_NEAR(linear_to_db(0.5), -3.0103, 1e-3);
+}
+
+TEST(Units, LinearToDbClampsZeroInsteadOfInf) {
+  const double v = linear_to_db(0.0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_LT(v, -200.0);
+}
+
+TEST(Units, DbmMwRoundTrip) {
+  for (double dbm = -90.0; dbm <= 30.0; dbm += 7.3) {
+    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Units, RoundTripDbLinear) {
+  for (double db = -60.0; db <= 60.0; db += 3.7) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-9);
+  }
+}
+
+TEST(Units, ThermalNoiseAt80211adBandwidth) {
+  // -174 + 10log10(1.76e9) + 10 ~ -71.5 dBm, the standard 802.11ad figure.
+  EXPECT_NEAR(thermal_noise_dbm(kChannelBandwidthHz, 10.0), -71.5, 0.1);
+}
+
+TEST(Units, WavelengthAt60GHz) {
+  EXPECT_NEAR(kWavelengthM, 4.957e-3, 1e-5);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,59 @@
+#include "src/common/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-1.0, 0.5, 2.0};
+  EXPECT_EQ(a + b, (Vec3{0.0, 2.5, 5.0}));
+  EXPECT_EQ(a - b, (Vec3{2.0, 1.5, 1.0}));
+  EXPECT_EQ(2.0 * a, (Vec3{2.0, 4.0, 6.0}));
+}
+
+TEST(Vec3, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm({3, 4, 0}), 5.0);
+}
+
+TEST(Vec3, UnitVectorBoresight) {
+  const Vec3 u = unit_vector({0.0, 0.0});
+  EXPECT_NEAR(u.x, 1.0, 1e-12);
+  EXPECT_NEAR(u.y, 0.0, 1e-12);
+  EXPECT_NEAR(u.z, 0.0, 1e-12);
+}
+
+TEST(Vec3, UnitVectorLeftAndUp) {
+  const Vec3 left = unit_vector({90.0, 0.0});
+  EXPECT_NEAR(left.y, 1.0, 1e-12);
+  const Vec3 up = unit_vector({0.0, 90.0});
+  EXPECT_NEAR(up.z, 1.0, 1e-12);
+}
+
+TEST(Vec3, DirectionOfRoundTrip) {
+  for (double az = -150.0; az <= 150.0; az += 31.0) {
+    for (double el = -80.0; el <= 80.0; el += 27.0) {
+      const Direction d{az, el};
+      const Direction back = direction_of(unit_vector(d));
+      EXPECT_NEAR(back.azimuth_deg, az, 1e-9);
+      EXPECT_NEAR(back.elevation_deg, el, 1e-9);
+    }
+  }
+}
+
+TEST(Vec3, DirectionOfScaleInvariant) {
+  const Direction d = direction_of(Vec3{10.0, 10.0, 0.0});
+  EXPECT_NEAR(d.azimuth_deg, 45.0, 1e-9);
+  EXPECT_NEAR(d.elevation_deg, 0.0, 1e-9);
+}
+
+TEST(Vec3, DirectionOfZeroVectorThrows) {
+  EXPECT_THROW(direction_of(Vec3{0, 0, 0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,121 @@
+#include "src/core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(Adaptive, StartsAtInitialProbes) {
+  const AdaptiveProbeController c;
+  EXPECT_EQ(c.current_probes(), 14u);
+}
+
+TEST(Adaptive, NoAdaptationBeforeWindowFills) {
+  AdaptiveProbeController c;  // default window 6
+  for (int i = 0; i < 5; ++i) {
+    c.report_selection(i);
+    EXPECT_EQ(c.current_probes(), 14u);
+  }
+  EXPECT_EQ(c.pending(), 5u);
+}
+
+TEST(Adaptive, FirstWindowOnlyEstablishesBaseline) {
+  AdaptiveProbeController c;
+  for (int i = 0; i < 6; ++i) c.report_selection(i);  // wild, but no baseline yet
+  EXPECT_EQ(c.current_probes(), 14u);
+  EXPECT_EQ(c.pending(), 0u);
+}
+
+TEST(Adaptive, NewSectorsAcrossWindowsGrowProbes) {
+  AdaptiveProbeController c;
+  for (int i = 0; i < 6; ++i) c.report_selection(1);   // baseline window {1}
+  for (int i = 0; i < 6; ++i) c.report_selection(i + 10);  // all new -> movement
+  EXPECT_EQ(c.current_probes(), 20u);
+}
+
+TEST(Adaptive, RepeatedSingleSectorShrinks) {
+  AdaptiveProbeController c;
+  for (int i = 0; i < 12; ++i) c.report_selection(7);  // baseline + one decision
+  EXPECT_EQ(c.current_probes(), 12u);
+}
+
+TEST(Adaptive, TieFlipBetweenTwoSectorsCountsAsStatic) {
+  // A static link alternating between two near-equal sectors must decay,
+  // not grow: the same ID set recurs window after window.
+  AdaptiveProbeController c;
+  for (int i = 0; i < 36; ++i) c.report_selection(i % 2 == 0 ? 2 : 18);
+  EXPECT_LT(c.current_probes(), 14u);
+}
+
+TEST(Adaptive, ThreeWayTieAlsoCountsAsStatic) {
+  AdaptiveProbeController c;
+  const int ties[3] = {2, 6, 31};
+  for (int i = 0; i < 36; ++i) c.report_selection(ties[i % 3]);
+  EXPECT_LT(c.current_probes(), 14u);
+}
+
+TEST(Adaptive, OneNoisySelectionHoldsSteady) {
+  AdaptiveProbeConfig config;
+  config.window = 4;
+  AdaptiveProbeController c(config);
+  for (int i = 0; i < 4; ++i) c.report_selection(7);  // baseline {7}
+  // One outlier in an otherwise stable window: inconclusive, hold.
+  c.report_selection(7);
+  c.report_selection(25);
+  c.report_selection(7);
+  c.report_selection(7);
+  EXPECT_EQ(c.current_probes(), 14u);
+}
+
+TEST(Adaptive, CapsAtMaxProbes) {
+  AdaptiveProbeController c;
+  for (int i = 0; i < 120; ++i) c.report_selection(i);
+  EXPECT_EQ(c.current_probes(), 34u);
+}
+
+TEST(Adaptive, FloorsAtMinProbes) {
+  AdaptiveProbeController c;
+  for (int i = 0; i < 120; ++i) c.report_selection(7);
+  EXPECT_EQ(c.current_probes(), 8u);
+}
+
+TEST(Adaptive, MobilityThenStaticCycle) {
+  AdaptiveProbeController c;
+  for (int i = 0; i < 24; ++i) c.report_selection(i);  // sustained movement
+  const std::size_t during_motion = c.current_probes();
+  EXPECT_GT(during_motion, 14u);
+  for (int i = 0; i < 120; ++i) c.report_selection(3);  // comes to rest
+  EXPECT_LT(c.current_probes(), 14u);
+}
+
+TEST(Adaptive, CustomWindowRespected) {
+  AdaptiveProbeConfig config;
+  config.window = 3;
+  AdaptiveProbeController c(config);
+  c.report_selection(1);
+  c.report_selection(1);
+  c.report_selection(1);  // baseline {1}
+  c.report_selection(4);
+  c.report_selection(5);
+  EXPECT_EQ(c.current_probes(), 14u);  // window not full
+  c.report_selection(6);               // {4,5,6}: three new IDs -> grow
+  EXPECT_EQ(c.current_probes(), 20u);
+}
+
+TEST(Adaptive, InvalidConfigRejected) {
+  AdaptiveProbeConfig bad;
+  bad.min_probes = 20;
+  bad.initial_probes = 14;
+  EXPECT_THROW(AdaptiveProbeController{bad}, PreconditionError);
+  AdaptiveProbeConfig bad2;
+  bad2.window = 1;
+  EXPECT_THROW(AdaptiveProbeController{bad2}, PreconditionError);
+  AdaptiveProbeConfig bad3;
+  bad3.grow_new_ids = 0;
+  EXPECT_THROW(AdaptiveProbeController{bad3}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,137 @@
+#include "src/core/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "tests/core/synthetic_table.hpp"
+
+namespace talon {
+namespace {
+
+using testutil::ideal_probes;
+using testutil::synthetic_grid;
+using testutil::synthetic_table;
+
+CorrelationEngine make_engine(CorrelationDomain domain = CorrelationDomain::kLinear) {
+  return CorrelationEngine(synthetic_table(), synthetic_grid(), domain);
+}
+
+TEST(Correlation, SurfaceValuesAreNormalized) {
+  const CorrelationEngine engine = make_engine();
+  const auto probes = ideal_probes(synthetic_table(), {1, 3, 5, 7}, {-20.0, 0.0});
+  const Grid2D w = engine.surface(probes, SignalValue::kSnr);
+  for (double v : w.values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+TEST(Correlation, PeakNearTruthWithIdealProbes) {
+  const CorrelationEngine engine = make_engine();
+  const PatternTable table = synthetic_table();
+  for (const Direction truth : {Direction{-20.0, 0.0}, Direction{12.0, 0.0},
+                                Direction{0.0, 20.0}}) {
+    const auto probes = ideal_probes(table, {1, 2, 3, 4, 5, 6, 7, 8, 9}, truth);
+    const Grid2D w = engine.surface(probes, SignalValue::kSnr);
+    const auto peak = w.peak();
+    EXPECT_LE(angular_separation_deg(peak.direction, truth), 6.0)
+        << "truth az " << truth.azimuth_deg;
+    EXPECT_GT(peak.value, 0.95);
+  }
+}
+
+TEST(Correlation, PerfectMatchScoresNearOne) {
+  const CorrelationEngine engine = make_engine();
+  // -6 deg lies exactly on the 3-deg search grid, so the probe vector is
+  // exactly proportional to the stored pattern vector there.
+  const auto probes =
+      ideal_probes(synthetic_table(), {1, 2, 3, 4, 5, 6, 7}, {-6.0, 0.0});
+  const Grid2D w = engine.surface(probes, SignalValue::kSnr);
+  const std::size_t ia = synthetic_grid().azimuth.nearest_index(-6.0);
+  EXPECT_NEAR(w.at(ia, 0), 1.0, 1e-9);
+}
+
+TEST(Correlation, MissingSectorsAreSkipped) {
+  const CorrelationEngine engine = make_engine();
+  std::vector<SectorReading> probes =
+      ideal_probes(synthetic_table(), {2, 4, 6}, {-5.0, 0.0});
+  probes.push_back(SectorReading{.sector_id = 99, .snr_db = 12.0, .rssi_dbm = 12.0});
+  EXPECT_EQ(engine.usable_probe_count(probes), 3u);
+  // Unknown sector must not perturb the result.
+  const Grid2D with = engine.surface(probes, SignalValue::kSnr);
+  probes.pop_back();
+  const Grid2D without = engine.surface(probes, SignalValue::kSnr);
+  for (std::size_t i = 0; i < with.values().size(); ++i) {
+    EXPECT_DOUBLE_EQ(with.values()[i], without.values()[i]);
+  }
+}
+
+TEST(Correlation, FewerThanTwoProbesThrows) {
+  const CorrelationEngine engine = make_engine();
+  const auto one = ideal_probes(synthetic_table(), {1}, {0.0, 0.0});
+  EXPECT_THROW(engine.surface(one, SignalValue::kSnr), PreconditionError);
+}
+
+TEST(Correlation, RssiSurfaceUsesRssiValues) {
+  const CorrelationEngine engine = make_engine();
+  auto probes = ideal_probes(synthetic_table(), {2, 4, 6}, {-5.0, 0.0});
+  // Corrupt the SNR channel completely; RSSI stays ideal.
+  for (SectorReading& r : probes) r.snr_db = 0.0;
+  const Grid2D snr_surface = engine.surface(probes, SignalValue::kSnr);
+  const Grid2D rssi_surface = engine.surface(probes, SignalValue::kRssi);
+  const std::size_t ia = synthetic_grid().azimuth.nearest_index(-5.0);
+  EXPECT_GT(rssi_surface.at(ia, 0), snr_surface.at(ia, 0));
+}
+
+TEST(Correlation, CombinedSurfaceIsProduct) {
+  const CorrelationEngine engine = make_engine();
+  auto probes = ideal_probes(synthetic_table(), {1, 3, 5, 7}, {10.0, 0.0});
+  probes[1].rssi_dbm += 3.0;  // make SNR and RSSI differ
+  const Grid2D snr = engine.surface(probes, SignalValue::kSnr);
+  const Grid2D rssi = engine.surface(probes, SignalValue::kRssi);
+  const Grid2D combined = engine.combined_surface(probes);
+  for (std::size_t i = 0; i < combined.values().size(); ++i) {
+    EXPECT_NEAR(combined.values()[i], snr.values()[i] * rssi.values()[i], 1e-12);
+  }
+}
+
+TEST(Correlation, CombinedToleratesOutlierInOneChannel) {
+  // Eq. 5's purpose: a severe outlier in the SNR channel must not drag the
+  // peak away when RSSI is clean.
+  const CorrelationEngine engine = make_engine();
+  const Direction truth{-35.0, 0.0};
+  auto probes =
+      ideal_probes(synthetic_table(), {1, 2, 3, 4, 5, 6, 7}, truth);
+  probes[5].snr_db = 12.0;  // sector 6 (peak at +25) reports a bogus maximum
+  const Grid2D combined = engine.combined_surface(probes);
+  // Azimuth (the well-constrained axis in this table) must stay accurate;
+  // elevation is ambiguous with so few elevation-distinct sectors, as in
+  // the paper's independent per-axis evaluation (Sec. 6.2).
+  EXPECT_LE(azimuth_distance_deg(combined.peak().direction.azimuth_deg,
+                                 truth.azimuth_deg),
+            6.0);
+}
+
+TEST(Correlation, DbDomainDiffersFromLinear) {
+  const auto probes = ideal_probes(synthetic_table(), {1, 3, 5}, {0.0, 0.0});
+  const CorrelationEngine lin = make_engine(CorrelationDomain::kLinear);
+  const CorrelationEngine db = make_engine(CorrelationDomain::kDb);
+  const Grid2D wl = lin.surface(probes, SignalValue::kSnr);
+  const Grid2D wd = db.surface(probes, SignalValue::kSnr);
+  bool differs = false;
+  for (std::size_t i = 0; i < wl.values().size(); ++i) {
+    if (std::abs(wl.values()[i] - wd.values()[i]) > 1e-6) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Correlation, EmptyTableRejected) {
+  PatternTable empty;
+  EXPECT_THROW(CorrelationEngine(empty, synthetic_grid()), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

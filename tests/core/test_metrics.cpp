@@ -1,0 +1,84 @@
+#include "src/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace talon {
+namespace {
+
+SweepMeasurement sweep(std::initializer_list<std::pair<int, double>> readings) {
+  SweepMeasurement out;
+  for (const auto& [id, snr] : readings) {
+    out.readings.push_back(SectorReading{.sector_id = id, .snr_db = snr});
+  }
+  return out;
+}
+
+TEST(Metrics, EstimationErrorPerAxis) {
+  const AngleError e = estimation_error({10.0, 5.0}, {12.5, 2.0});
+  EXPECT_DOUBLE_EQ(e.azimuth_deg, 2.5);
+  EXPECT_DOUBLE_EQ(e.elevation_deg, 3.0);
+}
+
+TEST(Metrics, EstimationErrorWrapsAzimuth) {
+  const AngleError e = estimation_error({179.0, 0.0}, {-179.0, 0.0});
+  EXPECT_DOUBLE_EQ(e.azimuth_deg, 2.0);
+}
+
+TEST(Metrics, SelectionStabilityMatchesModeFraction) {
+  const std::vector<int> selections{4, 4, 4, 7, 4};
+  EXPECT_DOUBLE_EQ(selection_stability(selections), 0.8);
+}
+
+TEST(Metrics, SnrLossZeroWhenOptimalSelected) {
+  SnrLossTracker tracker;
+  const double loss = tracker.record(sweep({{1, 5.0}, {2, 9.0}}), 2);
+  EXPECT_DOUBLE_EQ(loss, 4.0 - 4.0);  // selected the best: zero loss
+  EXPECT_DOUBLE_EQ(tracker.mean_loss_db(), 0.0);
+}
+
+TEST(Metrics, SnrLossMeasuresGapToBest) {
+  SnrLossTracker tracker;
+  const double loss = tracker.record(sweep({{1, 5.0}, {2, 9.0}}), 1);
+  EXPECT_DOUBLE_EQ(loss, 4.0);
+}
+
+TEST(Metrics, SnrLossUsesBestOfCurrentAndPrevious) {
+  SnrLossTracker tracker;
+  tracker.record(sweep({{2, 11.0}}), 2);
+  // Sector 2 fades this sweep; optimum remembers the earlier 11 dB.
+  const double loss = tracker.record(sweep({{1, 6.0}, {2, 8.0}}), 1);
+  EXPECT_DOUBLE_EQ(loss, 11.0 - 6.0);
+}
+
+TEST(Metrics, SnrLossSelectedMissingFallsBackToHistory) {
+  SnrLossTracker tracker;
+  tracker.record(sweep({{3, 10.0}, {4, 7.0}}), 3);
+  // Sweep where the selected sector's frame was missed entirely.
+  const double loss = tracker.record(sweep({{4, 7.0}}), 3);
+  EXPECT_DOUBLE_EQ(loss, 0.0);  // best seen for sector 3 is also the optimum
+}
+
+TEST(Metrics, SnrLossUnknownSelectionCountsNoLoss) {
+  SnrLossTracker tracker;
+  const double loss = tracker.record(sweep({{1, 5.0}}), 42);
+  EXPECT_DOUBLE_EQ(loss, 0.0);
+}
+
+TEST(Metrics, SnrLossNeverNegative) {
+  SnrLossTracker tracker;
+  tracker.record(sweep({{1, 5.0}}), 1);
+  // Selected sector reports *better* than any historical optimum.
+  const double loss = tracker.record(sweep({{1, 9.0}}), 1);
+  EXPECT_GE(loss, 0.0);
+}
+
+TEST(Metrics, MeanLossAggregates) {
+  SnrLossTracker tracker;
+  tracker.record(sweep({{1, 4.0}, {2, 8.0}}), 2);  // loss 0
+  tracker.record(sweep({{1, 4.0}, {2, 8.0}}), 1);  // loss 4
+  EXPECT_EQ(tracker.sweep_count(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.mean_loss_db(), 2.0);
+}
+
+}  // namespace
+}  // namespace talon

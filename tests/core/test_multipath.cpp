@@ -1,0 +1,105 @@
+#include "src/core/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+AngularGrid grid() {
+  return AngularGrid{make_axis(-60.0, 60.0, 2.0), make_axis(0.0, 20.0, 5.0)};
+}
+
+/// Surface with Gaussian bumps at the given (direction, height) pairs.
+Grid2D surface_with_bumps(
+    const std::vector<std::pair<Direction, double>>& bumps) {
+  Grid2D out(grid(), 0.0);
+  const AngularGrid& g = out.grid();
+  for (std::size_t ie = 0; ie < g.elevation.count; ++ie) {
+    for (std::size_t ia = 0; ia < g.azimuth.count; ++ia) {
+      const Direction d = g.direction(ia, ie);
+      double v = 0.0;
+      for (const auto& [center, height] : bumps) {
+        const double sep = angular_separation_deg(d, center);
+        v = std::max(v, height * std::exp(-(sep * sep) / (2.0 * 6.0 * 6.0)));
+      }
+      out.set(ia, ie, v);
+    }
+  }
+  return out;
+}
+
+TEST(Multipath, SinglePathSurfaceReturnsOnePath) {
+  const Grid2D s = surface_with_bumps({{{-20.0, 0.0}, 0.9}});
+  const auto paths = estimate_paths(s);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_NEAR(paths[0].direction.azimuth_deg, -20.0, 2.1);
+  EXPECT_NEAR(paths[0].score, 0.9, 0.01);
+}
+
+TEST(Multipath, TwoPathsExtractedStrongestFirst) {
+  const Grid2D s =
+      surface_with_bumps({{{-20.0, 0.0}, 0.9}, {{35.0, 5.0}, 0.6}});
+  const auto paths = estimate_paths(s);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_NEAR(paths[0].direction.azimuth_deg, -20.0, 2.1);
+  EXPECT_NEAR(paths[1].direction.azimuth_deg, 35.0, 2.1);
+  EXPECT_GT(paths[0].score, paths[1].score);
+}
+
+TEST(Multipath, SeparationMaskSuppressesShoulders) {
+  // One wide bump: the second "peak" would be its own shoulder; with a
+  // separation mask wider than the lobe it must be rejected by the
+  // relative threshold.
+  const Grid2D s = surface_with_bumps({{{0.0, 10.0}, 1.0}});
+  MultipathConfig config;
+  config.min_separation_deg = 20.0;
+  config.relative_threshold = 0.5;
+  const auto paths = estimate_paths(s, config);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(Multipath, WeakSecondaryBelowThresholdIgnored) {
+  const Grid2D s =
+      surface_with_bumps({{{-20.0, 0.0}, 0.9}, {{40.0, 0.0}, 0.2}});
+  MultipathConfig config;
+  config.relative_threshold = 0.5;  // 0.2 < 0.45
+  const auto paths = estimate_paths(s, config);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(Multipath, MaxPathsRespected) {
+  const Grid2D s = surface_with_bumps(
+      {{{-40.0, 0.0}, 0.9}, {{0.0, 0.0}, 0.8}, {{40.0, 0.0}, 0.7}});
+  MultipathConfig config;
+  config.max_paths = 2;
+  config.relative_threshold = 0.3;
+  EXPECT_EQ(estimate_paths(s, config).size(), 2u);
+  config.max_paths = 3;
+  EXPECT_EQ(estimate_paths(s, config).size(), 3u);
+}
+
+TEST(Multipath, ClosePathsMergeUnderSeparation) {
+  const Grid2D s =
+      surface_with_bumps({{{-5.0, 0.0}, 0.9}, {{5.0, 0.0}, 0.85}});
+  MultipathConfig config;
+  config.min_separation_deg = 25.0;
+  const auto paths = estimate_paths(s, config);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(Multipath, InvalidConfigRejected) {
+  const Grid2D s = surface_with_bumps({{{0.0, 0.0}, 1.0}});
+  MultipathConfig bad;
+  bad.max_paths = 0;
+  EXPECT_THROW(estimate_paths(s, bad), PreconditionError);
+  MultipathConfig bad2;
+  bad2.relative_threshold = 1.5;
+  EXPECT_THROW(estimate_paths(s, bad2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

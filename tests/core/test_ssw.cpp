@@ -1,0 +1,46 @@
+#include "src/core/ssw.hpp"
+
+#include <gtest/gtest.h>
+
+namespace talon {
+namespace {
+
+SectorReading reading(int sector, double snr) {
+  return SectorReading{.sector_id = sector, .snr_db = snr, .rssi_dbm = snr};
+}
+
+TEST(Ssw, SelectsArgmax) {
+  const std::vector<SectorReading> readings{
+      reading(1, 3.0), reading(9, 11.5), reading(22, 7.0)};
+  const SswSelection s = sweep_select(readings);
+  EXPECT_TRUE(s.valid);
+  EXPECT_EQ(s.sector_id, 9);
+  EXPECT_DOUBLE_EQ(s.snr_db, 11.5);
+}
+
+TEST(Ssw, EmptyReadingsInvalid) {
+  const std::vector<SectorReading> none;
+  EXPECT_FALSE(sweep_select(none).valid);
+}
+
+TEST(Ssw, SingleReadingSelected) {
+  const std::vector<SectorReading> one{reading(62, -6.75)};
+  const SswSelection s = sweep_select(one);
+  EXPECT_TRUE(s.valid);
+  EXPECT_EQ(s.sector_id, 62);
+}
+
+TEST(Ssw, FirstOfEqualMaxWins) {
+  const std::vector<SectorReading> readings{
+      reading(5, 10.0), reading(6, 10.0), reading(7, 9.0)};
+  EXPECT_EQ(sweep_select(readings).sector_id, 5);
+}
+
+TEST(Ssw, IgnoresRssi) {
+  std::vector<SectorReading> readings{reading(1, 5.0), reading(2, 4.0)};
+  readings[1].rssi_dbm = 50.0;  // huge RSSI must not matter
+  EXPECT_EQ(sweep_select(readings).sector_id, 1);
+}
+
+}  // namespace
+}  // namespace talon

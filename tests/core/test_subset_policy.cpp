@@ -1,0 +1,114 @@
+#include "src/core/subset_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/antenna/codebook.hpp"
+#include "src/common/error.hpp"
+#include "tests/core/synthetic_table.hpp"
+
+namespace talon {
+namespace {
+
+TEST(SubsetPolicy, RandomSubsetSizeAndMembership) {
+  RandomSubsetPolicy policy;
+  Rng rng(1);
+  const auto& all = talon_tx_sector_ids();
+  for (std::size_t m : {2u, 14u, 34u}) {
+    const auto subset = policy.choose(all, m, rng);
+    EXPECT_EQ(subset.size(), m);
+    std::set<int> unique(subset.begin(), subset.end());
+    EXPECT_EQ(unique.size(), m);
+    for (int id : subset) {
+      EXPECT_NE(std::find(all.begin(), all.end(), id), all.end());
+    }
+  }
+}
+
+TEST(SubsetPolicy, RandomSubsetVariesAcrossDraws) {
+  RandomSubsetPolicy policy;
+  Rng rng(2);
+  const auto& all = talon_tx_sector_ids();
+  const auto a = policy.choose(all, 14, rng);
+  const auto b = policy.choose(all, 14, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(SubsetPolicy, RandomSubsetIsSorted) {
+  RandomSubsetPolicy policy;
+  Rng rng(3);
+  const auto subset = policy.choose(talon_tx_sector_ids(), 10, rng);
+  EXPECT_TRUE(std::is_sorted(subset.begin(), subset.end()));
+}
+
+TEST(SubsetPolicy, PrefixTakesFirstM) {
+  PrefixSubsetPolicy policy;
+  Rng rng(4);
+  const std::vector<int> all{5, 9, 2, 7};
+  EXPECT_EQ(policy.choose(all, 2, rng), (std::vector<int>{5, 9}));
+}
+
+TEST(SubsetPolicy, SizeBoundsEnforced) {
+  RandomSubsetPolicy policy;
+  Rng rng(5);
+  const std::vector<int> all{1, 2, 3};
+  EXPECT_THROW(policy.choose(all, 0, rng), PreconditionError);
+  EXPECT_THROW(policy.choose(all, 4, rng), PreconditionError);
+}
+
+TEST(SubsetPolicy, DiversityDeterministic) {
+  const PatternTable table = testutil::synthetic_table();
+  DiversitySubsetPolicy policy(table);
+  Rng rng(6);
+  const auto a = policy.choose(table.ids(), 5, rng);
+  const auto b = policy.choose(table.ids(), 5, rng);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SubsetPolicy, DiversitySpreadsPeaks) {
+  // The greedy policy's minimum pairwise peak separation should beat a
+  // prefix selection's.
+  const PatternTable table = testutil::synthetic_table();
+  DiversitySubsetPolicy diversity(table);
+  PrefixSubsetPolicy prefix;
+  Rng rng(7);
+  const auto min_separation = [&table](const std::vector<int>& ids) {
+    double min_sep = 1e9;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      for (std::size_t j = i + 1; j < ids.size(); ++j) {
+        min_sep = std::min(
+            min_sep, angular_separation_deg(table.pattern(ids[i]).peak().direction,
+                                            table.pattern(ids[j]).peak().direction));
+      }
+    }
+    return min_sep;
+  };
+  const auto d = diversity.choose(table.ids(), 4, rng);
+  const auto p = prefix.choose(table.ids(), 4, rng);
+  EXPECT_GE(min_separation(d), min_separation(p));
+}
+
+TEST(SubsetPolicy, DiversityIncludesStrongestSector) {
+  const PatternTable table = testutil::synthetic_table();
+  DiversitySubsetPolicy policy(table);
+  Rng rng(8);
+  const auto subset = policy.choose(table.ids(), 3, rng);
+  // Sector 4 has the strongest synthetic peak (11.5 dB).
+  EXPECT_NE(std::find(subset.begin(), subset.end(), 4), subset.end());
+}
+
+TEST(SubsetPolicy, DiversityRestrictedToCandidates) {
+  const PatternTable table = testutil::synthetic_table();
+  DiversitySubsetPolicy policy(table);
+  Rng rng(9);
+  const std::vector<int> allowed{1, 2, 3};
+  const auto subset = policy.choose(allowed, 2, rng);
+  for (int id : subset) {
+    EXPECT_NE(std::find(allowed.begin(), allowed.end(), id), allowed.end());
+  }
+}
+
+}  // namespace
+}  // namespace talon

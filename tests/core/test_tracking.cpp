@@ -1,0 +1,111 @@
+#include "src/core/tracking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+
+namespace talon {
+namespace {
+
+TEST(Tracking, LocksToFirstEstimate) {
+  PathTracker tracker;
+  EXPECT_FALSE(tracker.current().has_value());
+  const Direction out = tracker.update({12.0, 4.0});
+  EXPECT_DOUBLE_EQ(out.azimuth_deg, 12.0);
+  EXPECT_DOUBLE_EQ(out.elevation_deg, 4.0);
+  ASSERT_TRUE(tracker.current().has_value());
+}
+
+TEST(Tracking, SmoothsInGateJitter) {
+  PathTracker tracker;
+  tracker.update({20.0, 0.0});
+  // Alternating +-4 deg jitter around 20: the track must stay within the
+  // jitter band and end closer to 20 than the raw estimates' extremes.
+  Direction out{0.0, 0.0};
+  for (int i = 0; i < 40; ++i) {
+    out = tracker.update({20.0 + (i % 2 == 0 ? 4.0 : -4.0), 0.0});
+  }
+  EXPECT_LE(azimuth_distance_deg(out.azimuth_deg, 20.0), 2.5);
+}
+
+TEST(Tracking, VarianceReductionOnNoisyStream) {
+  PathTracker tracker;
+  Rng rng(5);
+  std::vector<double> raw_err;
+  std::vector<double> tracked_err;
+  tracker.update({-30.0, 5.0});
+  for (int i = 0; i < 300; ++i) {
+    const Direction noisy{-30.0 + rng.normal(4.0), 5.0 + rng.normal(3.0)};
+    const Direction tracked = tracker.update(noisy);
+    raw_err.push_back(angular_separation_deg(noisy, {-30.0, 5.0}));
+    tracked_err.push_back(angular_separation_deg(tracked, {-30.0, 5.0}));
+  }
+  EXPECT_LT(mean(tracked_err), mean(raw_err) * 0.75);
+}
+
+TEST(Tracking, SingleOutlierIsRejected) {
+  PathTracker tracker;
+  tracker.update({10.0, 0.0});
+  tracker.update({11.0, 0.0});
+  const Direction during = tracker.update({-60.0, 20.0});  // bogus jump
+  EXPECT_LE(azimuth_distance_deg(during.azimuth_deg, 10.5), 3.0);
+  EXPECT_EQ(tracker.pending_jumps(), 1);
+  // The next in-gate estimate clears the pending jump.
+  tracker.update({10.0, 0.0});
+  EXPECT_EQ(tracker.pending_jumps(), 0);
+}
+
+TEST(Tracking, PersistentJumpRelocks) {
+  PathTrackerConfig config;
+  config.confirm_jumps = 3;
+  PathTracker tracker(config);
+  tracker.update({0.0, 0.0});
+  tracker.update({36.0, 2.0});
+  tracker.update({36.5, 2.0});
+  const Direction relocked = tracker.update({35.5, 2.0});  // third in a row
+  EXPECT_LE(azimuth_distance_deg(relocked.azimuth_deg, 36.0), 2.0);
+  EXPECT_EQ(tracker.pending_jumps(), 0);
+}
+
+TEST(Tracking, BlendsAcrossAzimuthWrap) {
+  PathTrackerConfig config;
+  config.gate_deg = 30.0;
+  config.smoothing = 0.5;
+  PathTracker tracker(config);
+  tracker.update({175.0, 0.0});
+  const Direction out = tracker.update({-175.0, 0.0});
+  // The blend of 175 and -175 must land near the wrap (+-180), never 0.
+  EXPECT_GE(azimuth_distance_deg(out.azimuth_deg, 0.0), 170.0);
+}
+
+TEST(Tracking, ResetForgetsEverything) {
+  PathTracker tracker;
+  tracker.update({10.0, 0.0});
+  tracker.reset();
+  EXPECT_FALSE(tracker.current().has_value());
+  const Direction out = tracker.update({-50.0, 10.0});
+  EXPECT_DOUBLE_EQ(out.azimuth_deg, -50.0);
+}
+
+TEST(Tracking, SmoothingOneFollowsImmediately) {
+  PathTrackerConfig config;
+  config.smoothing = 1.0;
+  PathTracker tracker(config);
+  tracker.update({0.0, 0.0});
+  const Direction out = tracker.update({10.0, 0.0});
+  EXPECT_NEAR(out.azimuth_deg, 10.0, 1e-9);
+}
+
+TEST(Tracking, InvalidConfigRejected) {
+  PathTrackerConfig bad;
+  bad.smoothing = 0.0;
+  EXPECT_THROW(PathTracker{bad}, PreconditionError);
+  PathTrackerConfig bad2;
+  bad2.confirm_jumps = 0;
+  EXPECT_THROW(PathTracker{bad2}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

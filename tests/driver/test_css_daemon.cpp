@@ -1,0 +1,124 @@
+#include "src/driver/css_daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/metrics.hpp"
+#include "src/sim/scenario.hpp"
+#include "tests/sim/experiment_fixture.hpp"
+
+namespace talon {
+namespace {
+
+using testutil::ExperimentWorld;
+
+class CssDaemonTest : public ::testing::Test {
+ protected:
+  CssDaemonTest()
+      : lab_(make_lab_scenario(42)),
+        link_(lab_.make_link(Rng(51))),
+        driver_(lab_.peer->firmware()) {
+    lab_.set_head(25.0, 0.0);
+  }
+
+  Scenario lab_;
+  LinkSimulator link_;
+  Wil6210Driver driver_;
+};
+
+TEST_F(CssDaemonTest, LoadsPatchesOnConstruction) {
+  EXPECT_FALSE(driver_.research_patches_loaded());
+  CssDaemon daemon(driver_, ExperimentWorld::instance().table, CssDaemonConfig{},
+                   Rng(1));
+  EXPECT_TRUE(driver_.research_patches_loaded());
+  EXPECT_EQ(daemon.current_probes(), 14u);
+}
+
+TEST_F(CssDaemonTest, SubsetsAreValidAndVary) {
+  CssDaemon daemon(driver_, ExperimentWorld::instance().table, CssDaemonConfig{},
+                   Rng(2));
+  const auto a = daemon.next_probe_subset();
+  const auto b = daemon.next_probe_subset();
+  EXPECT_EQ(a.size(), 14u);
+  EXPECT_NE(a, b);
+  for (int id : a) {
+    EXPECT_TRUE(std::find(talon_tx_sector_ids().begin(), talon_tx_sector_ids().end(),
+                          id) != talon_tx_sector_ids().end());
+  }
+}
+
+TEST_F(CssDaemonTest, ProcessSweepSelectsAndForcesSector) {
+  CssDaemon daemon(driver_, ExperimentWorld::instance().table, CssDaemonConfig{},
+                   Rng(3));
+  const auto subset = daemon.next_probe_subset();
+  link_.transmit_sweep(*lab_.dut, *lab_.peer, probing_burst_schedule(subset));
+  const auto result = daemon.process_sweep();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->valid);
+  EXPECT_TRUE(driver_.sector_forced());
+  EXPECT_EQ(lab_.peer->firmware().sector_override(), result->sector_id);
+  EXPECT_EQ(daemon.rounds(), 1u);
+
+  // The forced sector is near-optimal toward the DUT.
+  double best = -1e9;
+  for (int id : talon_tx_sector_ids()) {
+    best = std::max(best, link_.true_snr_db(*lab_.dut, id, *lab_.peer,
+                                            kRxQuasiOmniSectorId));
+  }
+  EXPECT_GE(link_.true_snr_db(*lab_.dut, result->sector_id, *lab_.peer,
+                              kRxQuasiOmniSectorId),
+            best - 3.0);
+}
+
+TEST_F(CssDaemonTest, EmptySweepKeepsPreviousOverride) {
+  CssDaemon daemon(driver_, ExperimentWorld::instance().table, CssDaemonConfig{},
+                   Rng(4));
+  // No sweep happened: the ring buffer is empty.
+  const auto result = daemon.process_sweep();
+  EXPECT_FALSE(result.has_value());
+  EXPECT_FALSE(driver_.sector_forced());
+}
+
+TEST_F(CssDaemonTest, AdaptiveModeAdjustsProbeCount) {
+  CssDaemonConfig config;
+  config.adaptive = true;
+  CssDaemon daemon(driver_, ExperimentWorld::instance().table, config, Rng(5));
+  const std::size_t initial = daemon.current_probes();
+  for (int round = 0; round < 30; ++round) {
+    const auto subset = daemon.next_probe_subset();
+    link_.transmit_sweep(*lab_.dut, *lab_.peer, probing_burst_schedule(subset));
+    daemon.process_sweep();
+  }
+  // Static scene at a dominant-sector pose: probes decay below the start.
+  EXPECT_LT(daemon.current_probes(), initial);
+}
+
+TEST_F(CssDaemonTest, RunsWithPrePatchedFirmware) {
+  driver_.load_research_patches();
+  CssDaemon daemon(driver_, ExperimentWorld::instance().table, CssDaemonConfig{},
+                   Rng(6));
+  EXPECT_TRUE(driver_.research_patches_loaded());
+}
+
+
+TEST_F(CssDaemonTest, PathTrackingStabilizesSelections) {
+  CssDaemonConfig tracked_config;
+  tracked_config.track_path = true;
+  CssDaemon tracked(driver_, ExperimentWorld::instance().table, tracked_config,
+                    Rng(7));
+  std::vector<int> selections;
+  for (int round = 0; round < 25; ++round) {
+    const auto subset = tracked.next_probe_subset();
+    link_.transmit_sweep(*lab_.dut, *lab_.peer, probing_burst_schedule(subset));
+    if (const auto r = tracked.process_sweep()) selections.push_back(r->sector_id);
+  }
+  ASSERT_GE(selections.size(), 20u);
+  // The tracked daemon locks onto one sector on a static link.
+  EXPECT_GE(selection_stability(selections), 0.85);
+  ASSERT_TRUE(tracked.tracked_direction().has_value());
+  // Head at +25 deg puts the peer at -25 deg in the device frame.
+  EXPECT_LE(azimuth_distance_deg(tracked.tracked_direction()->azimuth_deg, -25.0),
+            6.0);
+}
+
+}  // namespace
+}  // namespace talon

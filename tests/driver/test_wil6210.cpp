@@ -1,0 +1,119 @@
+#include "src/driver/wil6210.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+SswField field(int sector) { return SswField{.cdown = 0, .sector_id = sector}; }
+
+SectorReading reading(int sector, double snr, double rssi = -55.0) {
+  return SectorReading{.sector_id = sector, .snr_db = snr, .rssi_dbm = rssi};
+}
+
+TEST(Wil6210, DefaultModeIsStation) {
+  FullMacFirmware fw;
+  Wil6210Driver driver(fw);
+  EXPECT_EQ(driver.mode(), InterfaceMode::kStation);
+  driver.set_mode(InterfaceMode::kMonitor);
+  EXPECT_EQ(driver.mode(), InterfaceMode::kMonitor);
+}
+
+TEST(Wil6210, FirmwareVersionPassthrough) {
+  FullMacFirmware fw;
+  Wil6210Driver driver(fw);
+  EXPECT_EQ(driver.firmware_version(), "3.3.3.7759");
+}
+
+TEST(Wil6210, ResearchApisThrowWithoutPatches) {
+  FullMacFirmware fw;
+  Wil6210Driver driver(fw);
+  EXPECT_FALSE(driver.research_patches_loaded());
+  EXPECT_THROW(driver.read_sweep_readings(), StateError);
+  EXPECT_THROW(driver.dump_sweep_info(), StateError);
+  EXPECT_THROW(driver.force_sector(5), StateError);
+  EXPECT_THROW(driver.clear_forced_sector(), StateError);
+}
+
+TEST(Wil6210, LoadPatchesOnceOnly) {
+  FullMacFirmware fw;
+  Wil6210Driver driver(fw);
+  driver.load_research_patches();
+  EXPECT_TRUE(driver.research_patches_loaded());
+  EXPECT_THROW(driver.load_research_patches(), StateError);
+}
+
+TEST(Wil6210, ReadSweepReadingsDrainsRing) {
+  FullMacFirmware fw;
+  Wil6210Driver driver(fw);
+  driver.load_research_patches();
+  fw.begin_peer_sweep();
+  fw.on_ssw_frame(field(3), reading(3, 4.25, -60.0));
+  fw.on_ssw_frame(field(9), reading(9, 8.0, -50.0));
+  fw.end_peer_sweep();
+
+  const auto readings = driver.read_sweep_readings();
+  ASSERT_EQ(readings.size(), 2u);
+  EXPECT_EQ(readings[0].sector_id, 3);
+  EXPECT_DOUBLE_EQ(readings[0].snr_db, 4.25);
+  EXPECT_DOUBLE_EQ(readings[1].rssi_dbm, -50.0);
+  // Drained: a second read returns nothing.
+  EXPECT_TRUE(driver.read_sweep_readings().empty());
+}
+
+TEST(Wil6210, DumpFormat) {
+  FullMacFirmware fw;
+  Wil6210Driver driver(fw);
+  driver.load_research_patches();
+  fw.begin_peer_sweep();
+  fw.on_ssw_frame(field(7), reading(7, 2.5, -48.0));
+  fw.end_peer_sweep();
+  const std::string dump = driver.dump_sweep_info();
+  EXPECT_NE(dump.find("sector=7"), std::string::npos);
+  EXPECT_NE(dump.find("snr=2.5"), std::string::npos);
+  EXPECT_NE(dump.find("rssi=-48"), std::string::npos);
+}
+
+TEST(Wil6210, ForceAndClearSector) {
+  FullMacFirmware fw;
+  Wil6210Driver driver(fw);
+  driver.load_research_patches();
+  EXPECT_FALSE(driver.sector_forced());
+  driver.force_sector(27);
+  EXPECT_TRUE(driver.sector_forced());
+  EXPECT_EQ(fw.sector_override(), 27);
+  driver.clear_forced_sector();
+  EXPECT_FALSE(driver.sector_forced());
+}
+
+TEST(Wil6210, ForceSectorValidatesId) {
+  FullMacFirmware fw;
+  Wil6210Driver driver(fw);
+  driver.load_research_patches();
+  EXPECT_THROW(driver.force_sector(64), StateError);
+  EXPECT_THROW(driver.force_sector(-1), StateError);
+}
+
+
+TEST(Wil6210, CodebookReadWrite) {
+  FullMacFirmware fw;
+  Wil6210Driver driver(fw);
+  EXPECT_THROW(driver.read_codebook(), StateError);  // none stored
+  const PlanarArrayGeometry g = talon_array_geometry();
+  driver.write_codebook(make_talon_codebook(g), g, 16, 4);
+  const ParsedCodebook parsed = driver.read_codebook();
+  EXPECT_EQ(parsed.codebook.size(), 35u);
+  EXPECT_EQ(parsed.cols, 8u);
+  EXPECT_EQ(parsed.rows, 4u);
+}
+
+TEST(Wil6210, ModeNames) {
+  EXPECT_EQ(to_string(InterfaceMode::kAccessPoint), "ap");
+  EXPECT_EQ(to_string(InterfaceMode::kStation), "station");
+  EXPECT_EQ(to_string(InterfaceMode::kMonitor), "monitor");
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,197 @@
+#include "src/firmware/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+SswField field(int sector) {
+  return SswField{.cdown = 0, .sector_id = sector, .is_initiator = true};
+}
+
+SectorReading reading(int sector, double snr, double rssi = -50.0) {
+  return SectorReading{.sector_id = sector, .snr_db = snr, .rssi_dbm = rssi};
+}
+
+TEST(Firmware, ReportsVersion) {
+  FullMacFirmware fw;
+  const WmiResponse r = fw.handle_wmi({.type = WmiCommandType::kGetFirmwareVersion});
+  EXPECT_EQ(r.status, WmiStatus::kOk);
+  EXPECT_EQ(r.firmware_version, "3.3.3.7759");
+}
+
+TEST(Firmware, StockSelectionIsArgmax) {
+  FullMacFirmware fw;
+  fw.begin_peer_sweep();
+  fw.on_ssw_frame(field(3), reading(3, 5.0));
+  fw.on_ssw_frame(field(9), reading(9, 11.0));
+  fw.on_ssw_frame(field(12), reading(12, 7.5));
+  const SswFeedbackField fb = fw.end_peer_sweep();
+  EXPECT_EQ(fb.selected_sector_id, 9);
+  ASSERT_TRUE(fb.snr_report_db.has_value());
+  EXPECT_DOUBLE_EQ(*fb.snr_report_db, 11.0);
+  EXPECT_EQ(fw.selected_sector(), 9);
+}
+
+TEST(Firmware, EmptySweepKeepsPreviousSelection) {
+  FullMacFirmware fw;
+  fw.begin_peer_sweep();
+  fw.on_ssw_frame(field(5), reading(5, 9.0));
+  fw.end_peer_sweep();
+  fw.begin_peer_sweep();  // all frames missed
+  const SswFeedbackField fb = fw.end_peer_sweep();
+  EXPECT_EQ(fb.selected_sector_id, 5);
+  EXPECT_FALSE(fb.snr_report_db.has_value());
+}
+
+TEST(Firmware, SweepLifecycleEnforced) {
+  FullMacFirmware fw;
+  EXPECT_THROW(fw.on_ssw_frame(field(1), reading(1, 1.0)), StateError);
+  EXPECT_THROW(fw.end_peer_sweep(), StateError);
+  fw.begin_peer_sweep();
+  fw.end_peer_sweep();
+  EXPECT_THROW(fw.end_peer_sweep(), StateError);
+}
+
+TEST(Firmware, MismatchedFieldAndReadingRejected) {
+  FullMacFirmware fw;
+  fw.begin_peer_sweep();
+  EXPECT_THROW(fw.on_ssw_frame(field(1), reading(2, 1.0)), PreconditionError);
+}
+
+TEST(Firmware, SweepInfoUnsupportedWithoutPatch) {
+  FullMacFirmware fw;
+  const WmiResponse r = fw.handle_wmi({.type = WmiCommandType::kReadSweepInfo});
+  EXPECT_EQ(r.status, WmiStatus::kUnsupported);
+}
+
+TEST(Firmware, OverrideUnsupportedWithoutPatch) {
+  FullMacFirmware fw;
+  const WmiResponse r = fw.handle_wmi(
+      {.type = WmiCommandType::kSetSectorOverride, .sector_id = 5});
+  EXPECT_EQ(r.status, WmiStatus::kUnsupported);
+  EXPECT_EQ(fw.handle_wmi({.type = WmiCommandType::kClearSectorOverride}).status,
+            WmiStatus::kUnsupported);
+}
+
+TEST(Firmware, RingBufferExportsReadingsAfterPatch) {
+  FullMacFirmware fw;
+  fw.apply_research_patches();
+  fw.begin_peer_sweep();
+  fw.on_ssw_frame(field(3), reading(3, 5.0, -60.0));
+  fw.on_ssw_frame(field(9), reading(9, 11.0, -48.0));
+  fw.end_peer_sweep();
+
+  const WmiResponse r = fw.handle_wmi({.type = WmiCommandType::kReadSweepInfo});
+  EXPECT_EQ(r.status, WmiStatus::kOk);
+  ASSERT_EQ(r.entries.size(), 2u);
+  EXPECT_EQ(r.entries[0].sector_id, 3);
+  EXPECT_DOUBLE_EQ(r.entries[0].snr_db, 5.0);
+  EXPECT_DOUBLE_EQ(r.entries[0].rssi_dbm, -60.0);
+  EXPECT_EQ(r.entries[1].sector_id, 9);
+  EXPECT_EQ(r.entries[0].sweep_index, fw.sweep_index());
+}
+
+TEST(Firmware, FramesBeforePatchNotExported) {
+  FullMacFirmware fw;
+  fw.begin_peer_sweep();
+  fw.on_ssw_frame(field(3), reading(3, 5.0));
+  fw.end_peer_sweep();
+  fw.apply_research_patches();
+  const WmiResponse r = fw.handle_wmi({.type = WmiCommandType::kReadSweepInfo});
+  EXPECT_EQ(r.status, WmiStatus::kOk);
+  EXPECT_TRUE(r.entries.empty());
+}
+
+TEST(Firmware, OverrideReplacesFeedbackSector) {
+  FullMacFirmware fw;
+  fw.apply_research_patches();
+  EXPECT_EQ(fw.handle_wmi({.type = WmiCommandType::kSetSectorOverride, .sector_id = 27})
+                .status,
+            WmiStatus::kOk);
+  fw.begin_peer_sweep();
+  fw.on_ssw_frame(field(9), reading(9, 11.0));
+  const SswFeedbackField fb = fw.end_peer_sweep();
+  EXPECT_EQ(fb.selected_sector_id, 27);  // override wins over argmax (9)
+  // Stock tracking continues underneath.
+  EXPECT_EQ(fw.selected_sector(), 9);
+}
+
+TEST(Firmware, ClearOverrideRestoresStockBehaviour) {
+  FullMacFirmware fw;
+  fw.apply_research_patches();
+  fw.handle_wmi({.type = WmiCommandType::kSetSectorOverride, .sector_id = 27});
+  fw.handle_wmi({.type = WmiCommandType::kClearSectorOverride});
+  fw.begin_peer_sweep();
+  fw.on_ssw_frame(field(9), reading(9, 11.0));
+  EXPECT_EQ(fw.end_peer_sweep().selected_sector_id, 9);
+}
+
+TEST(Firmware, OverrideValidatesSectorId) {
+  FullMacFirmware fw;
+  fw.apply_research_patches();
+  EXPECT_EQ(fw.handle_wmi({.type = WmiCommandType::kSetSectorOverride, .sector_id = 64})
+                .status,
+            WmiStatus::kInvalidArgument);
+  EXPECT_EQ(fw.handle_wmi({.type = WmiCommandType::kSetSectorOverride, .sector_id = -1})
+                .status,
+            WmiStatus::kInvalidArgument);
+  EXPECT_EQ(fw.handle_wmi({.type = WmiCommandType::kSetSectorOverride}).status,
+            WmiStatus::kInvalidArgument);
+}
+
+TEST(Firmware, SweepIndexIncrements) {
+  FullMacFirmware fw;
+  const std::uint32_t start = fw.sweep_index();
+  fw.begin_peer_sweep();
+  fw.end_peer_sweep();
+  fw.begin_peer_sweep();
+  fw.end_peer_sweep();
+  EXPECT_EQ(fw.sweep_index(), start + 2);
+}
+
+TEST(Firmware, ResearchPatchesLandInChipMemory) {
+  FullMacFirmware fw;
+  fw.apply_research_patches();
+  EXPECT_TRUE(fw.patcher().is_applied("sweep-info"));
+  EXPECT_TRUE(fw.patcher().is_applied("sector-override"));
+  // Patch bytes are actually resident in the mapped regions.
+  const auto patch = make_sweep_info_patch();
+  EXPECT_EQ(fw.memory().host_read(patch.sections[0].host_addr),
+            patch.sections[0].bytes[0]);
+}
+
+
+TEST(Firmware, CodebookBlobRoundTripThroughChipMemory) {
+  FullMacFirmware fw;
+  EXPECT_TRUE(fw.read_codebook_blob().empty());  // nothing loaded yet
+  const std::vector<std::uint8_t> blob{1, 2, 3, 4, 5, 6, 7};
+  fw.load_codebook_blob(blob);
+  EXPECT_EQ(fw.read_codebook_blob(), blob);
+}
+
+TEST(Firmware, CodebookBlobOverwrite) {
+  FullMacFirmware fw;
+  fw.load_codebook_blob(std::vector<std::uint8_t>{9, 9, 9, 9});
+  const std::vector<std::uint8_t> shorter{1, 2};
+  fw.load_codebook_blob(shorter);
+  EXPECT_EQ(fw.read_codebook_blob(), shorter);
+}
+
+TEST(Firmware, OversizedCodebookBlobRejected) {
+  FullMacFirmware fw;
+  // fw-data is 0x20000 bytes; the codebook region starts at 0x10000.
+  const std::vector<std::uint8_t> too_big(0x10000, 0xAA);
+  EXPECT_THROW(fw.load_codebook_blob(too_big), StateError);
+}
+
+TEST(Firmware, WmiStatusNames) {
+  EXPECT_EQ(to_string(WmiStatus::kOk), "ok");
+  EXPECT_EQ(to_string(WmiStatus::kUnsupported), "unsupported");
+  EXPECT_EQ(to_string(WmiStatus::kInvalidArgument), "invalid-argument");
+}
+
+}  // namespace
+}  // namespace talon

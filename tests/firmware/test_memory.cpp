@@ -1,0 +1,102 @@
+#include "src/firmware/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(ChipMemory, FourPartitionsMapped) {
+  ChipMemory mem;
+  ASSERT_EQ(mem.regions().size(), 4u);
+  int code = 0;
+  int data = 0;
+  for (const MemoryRegion& r : mem.regions()) {
+    if (r.low_writable) {
+      ++data;
+    } else {
+      ++code;
+    }
+  }
+  EXPECT_EQ(code, 2);
+  EXPECT_EQ(data, 2);
+}
+
+TEST(ChipMemory, CodePartitionWriteProtectedAtLowAddresses) {
+  ChipMemory mem;
+  // Fig. 1: the ARC600 cannot write its own code at low addresses.
+  EXPECT_THROW(mem.write(ChipProcessor::kFirmware, 0x1000, 0xAB), StateError);
+  EXPECT_THROW(mem.write(ChipProcessor::kUcode, 0x1000, 0xAB), StateError);
+}
+
+TEST(ChipMemory, DataPartitionWritableAtLowAddresses) {
+  ChipMemory mem;
+  mem.write(ChipProcessor::kFirmware, 0x80010, 0x5A);
+  EXPECT_EQ(mem.read(ChipProcessor::kFirmware, 0x80010), 0x5A);
+}
+
+TEST(ChipMemory, HighMirrorWritesCodeVisibleAtLowAddresses) {
+  // The Nexmon-enabling discovery: write code through the high mirror,
+  // the processor reads it at its low address.
+  ChipMemory mem;
+  mem.host_write(kFwCodeHostBase + 0x1234, 0xC3);
+  EXPECT_EQ(mem.read(ChipProcessor::kFirmware, 0x1234), 0xC3);
+
+  mem.host_write(kUcCodeHostBase + 0x0042, 0x77);
+  EXPECT_EQ(mem.read(ChipProcessor::kUcode, 0x0042), 0x77);
+}
+
+TEST(ChipMemory, LowDataWritesVisibleThroughHighMirror) {
+  ChipMemory mem;
+  mem.write(ChipProcessor::kUcode, 0x80100, 0x99);
+  EXPECT_EQ(mem.host_read(kUcDataHostBase + 0x100), 0x99);
+}
+
+TEST(ChipMemory, ProcessorsHaveSeparateAddressSpaces) {
+  ChipMemory mem;
+  mem.host_write(kFwCodeHostBase + 0x10, 0x11);
+  mem.host_write(kUcCodeHostBase + 0x10, 0x22);
+  EXPECT_EQ(mem.read(ChipProcessor::kFirmware, 0x10), 0x11);
+  EXPECT_EQ(mem.read(ChipProcessor::kUcode, 0x10), 0x22);
+}
+
+TEST(ChipMemory, UnmappedAddressesThrow) {
+  ChipMemory mem;
+  EXPECT_THROW(mem.read(ChipProcessor::kFirmware, 0x70000), StateError);
+  EXPECT_THROW(mem.host_read(0x00100000), StateError);
+  EXPECT_THROW(mem.host_write(0x00100000, 1), StateError);
+}
+
+TEST(ChipMemory, HostRangeValidation) {
+  ChipMemory mem;
+  EXPECT_TRUE(mem.host_range_valid(kFwCodeHostBase, 0x40000));
+  EXPECT_FALSE(mem.host_range_valid(kFwCodeHostBase, 0x40001));  // overruns
+  EXPECT_FALSE(mem.host_range_valid(kFwCodeHostBase + 0x3FFFF, 2));
+  EXPECT_FALSE(mem.host_range_valid(0x0, 1));
+  EXPECT_FALSE(mem.host_range_valid(kFwCodeHostBase, 0));
+}
+
+TEST(ChipMemory, BlockWriteRoundTrip) {
+  ChipMemory mem;
+  const std::vector<std::uint8_t> bytes{1, 2, 3, 4, 5};
+  mem.host_write_block(kUcDataHostBase + 0x20, bytes);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    EXPECT_EQ(mem.host_read(kUcDataHostBase + 0x20 + static_cast<std::uint32_t>(i)),
+              bytes[i]);
+  }
+}
+
+TEST(ChipMemory, BlockWriteAcrossBoundaryThrows) {
+  ChipMemory mem;
+  const std::vector<std::uint8_t> bytes(16, 0xFF);
+  EXPECT_THROW(mem.host_write_block(kFwCodeHostBase + 0x3FFF8, bytes), StateError);
+}
+
+TEST(ChipMemory, ProcessorNames) {
+  EXPECT_EQ(to_string(ChipProcessor::kFirmware), "firmware");
+  EXPECT_EQ(to_string(ChipProcessor::kUcode), "ucode");
+}
+
+}  // namespace
+}  // namespace talon

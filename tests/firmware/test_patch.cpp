@@ -1,0 +1,110 @@
+#include "src/firmware/patch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+FirmwarePatch tiny_patch(std::string name, std::uint32_t addr,
+                         std::vector<FirmwareHook> hooks = {}) {
+  return FirmwarePatch{
+      .name = std::move(name),
+      .sections = {PatchSection{addr, {0xDE, 0xAD, 0xBE, 0xEF}}},
+      .hooks = std::move(hooks),
+  };
+}
+
+TEST(Patch, ApplyWritesBytes) {
+  ChipMemory mem;
+  PatchFramework fw(mem);
+  fw.apply(tiny_patch("p1", kFwCodeHostBase + 0x100));
+  EXPECT_EQ(mem.host_read(kFwCodeHostBase + 0x100), 0xDE);
+  EXPECT_EQ(mem.host_read(kFwCodeHostBase + 0x103), 0xEF);
+  EXPECT_TRUE(fw.is_applied("p1"));
+  EXPECT_FALSE(fw.is_applied("p2"));
+}
+
+TEST(Patch, PatchedCodeVisibleToProcessor) {
+  ChipMemory mem;
+  PatchFramework fw(mem);
+  fw.apply(tiny_patch("p1", kUcCodeHostBase + 0x200));
+  EXPECT_EQ(mem.read(ChipProcessor::kUcode, 0x200), 0xDE);
+}
+
+TEST(Patch, DuplicateNameRejected) {
+  ChipMemory mem;
+  PatchFramework fw(mem);
+  fw.apply(tiny_patch("p1", kFwCodeHostBase + 0x100));
+  EXPECT_THROW(fw.apply(tiny_patch("p1", kFwCodeHostBase + 0x200)), StateError);
+}
+
+TEST(Patch, OverlapRejected) {
+  ChipMemory mem;
+  PatchFramework fw(mem);
+  fw.apply(tiny_patch("p1", kFwCodeHostBase + 0x100));
+  EXPECT_THROW(fw.apply(tiny_patch("p2", kFwCodeHostBase + 0x102)), StateError);
+  // Adjacent (non-overlapping) is fine.
+  fw.apply(tiny_patch("p3", kFwCodeHostBase + 0x104));
+}
+
+TEST(Patch, OutOfRangeSectionRejected) {
+  ChipMemory mem;
+  PatchFramework fw(mem);
+  EXPECT_THROW(fw.apply(tiny_patch("p1", 0x00000100)), StateError);  // low addr
+}
+
+TEST(Patch, AtomicApplyOnValidationFailure) {
+  ChipMemory mem;
+  PatchFramework fw(mem);
+  FirmwarePatch patch{
+      .name = "multi",
+      .sections =
+          {
+              PatchSection{kFwCodeHostBase + 0x100, {0xAA}},
+              PatchSection{0x00000000, {0xBB}},  // invalid
+          },
+  };
+  EXPECT_THROW(fw.apply(patch), StateError);
+  // First section must not have been written.
+  EXPECT_EQ(mem.host_read(kFwCodeHostBase + 0x100), 0x00);
+  EXPECT_FALSE(fw.is_applied("multi"));
+}
+
+TEST(Patch, EmptySectionRejected) {
+  ChipMemory mem;
+  PatchFramework fw(mem);
+  FirmwarePatch patch{.name = "empty", .sections = {PatchSection{kFwCodeHostBase, {}}}};
+  EXPECT_THROW(fw.apply(patch), StateError);
+}
+
+TEST(Patch, HooksAggregateAcrossPatches) {
+  ChipMemory mem;
+  PatchFramework fw(mem);
+  EXPECT_FALSE(fw.hook_enabled(FirmwareHook::kSweepInfoRingBuffer));
+  fw.apply(tiny_patch("a", kUcCodeHostBase + 0x10,
+                      {FirmwareHook::kSweepInfoRingBuffer}));
+  EXPECT_TRUE(fw.hook_enabled(FirmwareHook::kSweepInfoRingBuffer));
+  EXPECT_FALSE(fw.hook_enabled(FirmwareHook::kSectorOverride));
+  fw.apply(tiny_patch("b", kFwCodeHostBase + 0x10, {FirmwareHook::kSectorOverride}));
+  EXPECT_TRUE(fw.hook_enabled(FirmwareHook::kSectorOverride));
+  EXPECT_EQ(fw.applied_patches(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Patch, BundledResearchPatchesApplyCleanly) {
+  ChipMemory mem;
+  PatchFramework fw(mem);
+  fw.apply(make_sweep_info_patch());
+  fw.apply(make_sector_override_patch());
+  EXPECT_TRUE(fw.hook_enabled(FirmwareHook::kSweepInfoRingBuffer));
+  EXPECT_TRUE(fw.hook_enabled(FirmwareHook::kSectorOverride));
+}
+
+TEST(Patch, HookNames) {
+  EXPECT_EQ(to_string(FirmwareHook::kSweepInfoRingBuffer), "sweep-info-ring-buffer");
+  EXPECT_EQ(to_string(FirmwareHook::kSectorOverride), "sector-override");
+}
+
+}  // namespace
+}  // namespace talon

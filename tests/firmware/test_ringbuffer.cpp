@@ -1,0 +1,89 @@
+#include "src/firmware/ringbuffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+SweepInfoEntry entry(int sector, double snr = 5.0) {
+  return SweepInfoEntry{.sweep_index = 1, .sector_id = sector, .snr_db = snr};
+}
+
+TEST(RingBuffer, StartsEmpty) {
+  SweepInfoRingBuffer ring(8);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(RingBuffer, PushDrainFifoOrder) {
+  SweepInfoRingBuffer ring(8);
+  for (int i = 1; i <= 5; ++i) ring.push(entry(i));
+  EXPECT_EQ(ring.size(), 5u);
+  const auto out = ring.drain();
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)].sector_id, i + 1);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, DrainTwiceSecondEmpty) {
+  SweepInfoRingBuffer ring(4);
+  ring.push(entry(1));
+  EXPECT_EQ(ring.drain().size(), 1u);
+  EXPECT_EQ(ring.drain().size(), 0u);
+}
+
+TEST(RingBuffer, OverwritesOldestWhenFull) {
+  SweepInfoRingBuffer ring(3);
+  for (int i = 1; i <= 5; ++i) ring.push(entry(i));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  const auto out = ring.drain();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].sector_id, 3);
+  EXPECT_EQ(out[1].sector_id, 4);
+  EXPECT_EQ(out[2].sector_id, 5);
+}
+
+TEST(RingBuffer, FillDrainFillAgain) {
+  SweepInfoRingBuffer ring(4);
+  for (int i = 0; i < 4; ++i) ring.push(entry(i));
+  ring.drain();
+  for (int i = 10; i < 13; ++i) ring.push(entry(i));
+  const auto out = ring.drain();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].sector_id, 10);
+  EXPECT_EQ(out[2].sector_id, 12);
+}
+
+TEST(RingBuffer, PreservesPayload) {
+  SweepInfoRingBuffer ring(2);
+  ring.push(SweepInfoEntry{.sweep_index = 42, .sector_id = 7, .snr_db = 11.25,
+                           .rssi_dbm = -54.0});
+  const auto out = ring.drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].sweep_index, 42u);
+  EXPECT_EQ(out[0].sector_id, 7);
+  EXPECT_DOUBLE_EQ(out[0].snr_db, 11.25);
+  EXPECT_DOUBLE_EQ(out[0].rssi_dbm, -54.0);
+}
+
+TEST(RingBuffer, CapacityOneAlwaysKeepsNewest) {
+  SweepInfoRingBuffer ring(1);
+  ring.push(entry(1));
+  ring.push(entry(2));
+  const auto out = ring.drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].sector_id, 2);
+  EXPECT_EQ(ring.dropped(), 1u);
+}
+
+TEST(RingBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(SweepInfoRingBuffer(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

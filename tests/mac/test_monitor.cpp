@@ -1,0 +1,75 @@
+#include "src/mac/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace talon {
+namespace {
+
+Frame ssw_frame(int cdown, int sector, FrameType type = FrameType::kSectorSweep) {
+  return Frame{
+      .type = type,
+      .source_node = 1,
+      .ssw = SswField{.cdown = cdown, .sector_id = sector},
+  };
+}
+
+TEST(Monitor, CapturesAndCounts) {
+  MonitorCapture mon;
+  EXPECT_EQ(mon.frame_count(), 0u);
+  mon.capture(ssw_frame(5, 30));
+  mon.capture(ssw_frame(4, 31));
+  EXPECT_EQ(mon.frame_count(), 2u);
+}
+
+TEST(Monitor, CdownToSectorsGroupsByType) {
+  MonitorCapture mon;
+  mon.capture(ssw_frame(33, 63, FrameType::kBeacon));
+  mon.capture(ssw_frame(34, 1, FrameType::kSectorSweep));
+  const auto beacon = mon.cdown_to_sectors(FrameType::kBeacon);
+  const auto sweep = mon.cdown_to_sectors(FrameType::kSectorSweep);
+  ASSERT_EQ(beacon.size(), 1u);
+  EXPECT_EQ(*beacon.at(33).begin(), 63);
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_EQ(*sweep.at(34).begin(), 1);
+}
+
+TEST(Monitor, UnusedSlotsAreAbsent) {
+  MonitorCapture mon;
+  mon.capture(ssw_frame(10, 25));
+  const auto m = mon.cdown_to_sectors(FrameType::kSectorSweep);
+  EXPECT_EQ(m.count(9), 0u);
+  EXPECT_EQ(m.count(10), 1u);
+}
+
+TEST(Monitor, FramesWithoutSswFieldIgnored) {
+  MonitorCapture mon;
+  mon.capture(Frame{.type = FrameType::kSswFeedback, .source_node = 2});
+  EXPECT_TRUE(mon.cdown_to_sectors(FrameType::kSswFeedback).empty());
+}
+
+TEST(Monitor, ScheduleConstantDetection) {
+  MonitorCapture mon;
+  mon.capture(ssw_frame(5, 30));
+  mon.capture(ssw_frame(5, 30));
+  EXPECT_TRUE(mon.schedule_is_constant(FrameType::kSectorSweep));
+  mon.capture(ssw_frame(5, 29));  // same slot, different sector
+  EXPECT_FALSE(mon.schedule_is_constant(FrameType::kSectorSweep));
+}
+
+TEST(Monitor, ClearResets) {
+  MonitorCapture mon;
+  mon.capture(ssw_frame(5, 30));
+  mon.clear();
+  EXPECT_EQ(mon.frame_count(), 0u);
+  EXPECT_TRUE(mon.cdown_to_sectors(FrameType::kSectorSweep).empty());
+}
+
+TEST(Frames, ToStringNames) {
+  EXPECT_EQ(to_string(FrameType::kBeacon), "beacon");
+  EXPECT_EQ(to_string(FrameType::kSectorSweep), "ssw");
+  EXPECT_EQ(to_string(FrameType::kSswFeedback), "ssw-feedback");
+  EXPECT_EQ(to_string(FrameType::kSswAck), "ssw-ack");
+}
+
+}  // namespace
+}  // namespace talon

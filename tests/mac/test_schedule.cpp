@@ -1,0 +1,106 @@
+#include "src/mac/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace talon {
+namespace {
+
+std::map<int, std::optional<int>> by_cdown(std::span<const BurstSlot> slots) {
+  std::map<int, std::optional<int>> out;
+  for (const BurstSlot& s : slots) out[s.cdown] = s.sector_id;
+  return out;
+}
+
+TEST(Schedule, BeaconMatchesTable1) {
+  const auto slots = beacon_burst_schedule();
+  ASSERT_EQ(slots.size(), 35u);
+  const auto m = by_cdown(slots);
+  EXPECT_FALSE(m.at(34).has_value());
+  EXPECT_EQ(m.at(33), 63);
+  EXPECT_FALSE(m.at(32).has_value());
+  // CDOWN 31..1 -> sectors 1..31.
+  for (int cdown = 31; cdown >= 1; --cdown) {
+    EXPECT_EQ(m.at(cdown), 32 - cdown) << "cdown " << cdown;
+  }
+  EXPECT_FALSE(m.at(0).has_value());
+}
+
+TEST(Schedule, SweepMatchesTable1) {
+  const auto slots = sweep_burst_schedule();
+  ASSERT_EQ(slots.size(), 35u);
+  const auto m = by_cdown(slots);
+  // CDOWN 34..4 -> sectors 1..31.
+  for (int cdown = 34; cdown >= 4; --cdown) {
+    EXPECT_EQ(m.at(cdown), 35 - cdown) << "cdown " << cdown;
+  }
+  EXPECT_FALSE(m.at(3).has_value());
+  EXPECT_EQ(m.at(2), 61);
+  EXPECT_EQ(m.at(1), 62);
+  EXPECT_EQ(m.at(0), 63);
+}
+
+TEST(Schedule, CdownStrictlyDecreasing) {
+  for (const auto slots : {beacon_burst_schedule(), sweep_burst_schedule()}) {
+    for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
+      EXPECT_EQ(slots[i].cdown, slots[i + 1].cdown + 1);
+    }
+    EXPECT_EQ(slots.back().cdown, 0);
+  }
+}
+
+TEST(Schedule, SweepCovers34Sectors) {
+  int active = 0;
+  for (const BurstSlot& s : sweep_burst_schedule()) {
+    if (s.sector_id) ++active;
+  }
+  EXPECT_EQ(active, 34);
+}
+
+TEST(Schedule, BeaconCovers32Sectors) {
+  int active = 0;
+  for (const BurstSlot& s : beacon_burst_schedule()) {
+    if (s.sector_id) ++active;
+  }
+  EXPECT_EQ(active, 32);
+}
+
+TEST(Schedule, ProbingScheduleSilencesUnselected) {
+  const std::vector<int> subset{1, 15, 63};
+  const auto slots = probing_burst_schedule(subset);
+  ASSERT_EQ(slots.size(), 35u);
+  int active = 0;
+  for (const BurstSlot& s : slots) {
+    if (!s.sector_id) continue;
+    ++active;
+    EXPECT_TRUE(*s.sector_id == 1 || *s.sector_id == 15 || *s.sector_id == 63);
+  }
+  EXPECT_EQ(active, 3);
+}
+
+TEST(Schedule, ProbingPreservesCdownNumbering) {
+  const std::vector<int> subset{31};
+  const auto slots = probing_burst_schedule(subset);
+  // Sector 31 lives at CDOWN 4 in the stock sweep and must stay there.
+  for (const BurstSlot& s : slots) {
+    if (s.sector_id) {
+      EXPECT_EQ(s.cdown, 4);
+    }
+  }
+}
+
+TEST(Schedule, ProbingWithAllSectorsEqualsSweep) {
+  std::vector<int> all;
+  for (const BurstSlot& s : sweep_burst_schedule()) {
+    if (s.sector_id) all.push_back(*s.sector_id);
+  }
+  const auto slots = probing_burst_schedule(all);
+  const auto stock = sweep_burst_schedule();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i].sector_id, stock[i].sector_id);
+  }
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,178 @@
+#include "src/mac/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+/// Scripted transport: records frames and drops those whose index is in
+/// the drop set.
+struct FakeTransport {
+  std::vector<Frame> to_responder;
+  std::vector<Frame> to_initiator;
+  bool drop_all_initiator_sweep{false};
+  bool drop_all_responder_sweep{false};
+  bool drop_feedback{false};
+  bool drop_ack{false};
+
+  MutualTrainingSession::Callbacks callbacks() {
+    return MutualTrainingSession::Callbacks{
+        .deliver_to_responder =
+            [this](const Frame& f) {
+              to_responder.push_back(f);
+              if (f.type == FrameType::kSectorSweep) return !drop_all_initiator_sweep;
+              return !drop_feedback;
+            },
+        .deliver_to_initiator =
+            [this](const Frame& f) {
+              to_initiator.push_back(f);
+              if (f.type == FrameType::kSectorSweep) return !drop_all_responder_sweep;
+              return !drop_ack;
+            },
+        .responder_select = [] { return SswFeedbackField{.selected_sector_id = 9}; },
+        .initiator_select = [] { return SswFeedbackField{.selected_sector_id = 22}; },
+    };
+  }
+};
+
+std::vector<BurstSlot> full_schedule() {
+  const auto s = sweep_burst_schedule();
+  return {s.begin(), s.end()};
+}
+
+TEST(MutualTraining, HappyPathSelectsBothSectors) {
+  FakeTransport transport;
+  MutualTrainingSession session(full_schedule(), full_schedule(), TimingModel{},
+                                transport.callbacks());
+  const MutualTrainingResult result = session.run();
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(session.phase(), SweepPhase::kDone);
+  ASSERT_TRUE(result.initiator_sector.has_value());
+  ASSERT_TRUE(result.responder_sector.has_value());
+  EXPECT_EQ(*result.initiator_sector, 9);
+  EXPECT_EQ(*result.responder_sector, 22);
+  EXPECT_EQ(result.initiator_frames, 34);
+  EXPECT_EQ(result.responder_frames, 34);
+}
+
+TEST(MutualTraining, AirtimeMatchesFig10Model) {
+  FakeTransport transport;
+  MutualTrainingSession session(full_schedule(), full_schedule(), TimingModel{},
+                                transport.callbacks());
+  const MutualTrainingResult result = session.run();
+  // 2 * 34 * 18.0 + 49.1 us = 1273.1 us.
+  EXPECT_NEAR(result.airtime_us, 1273.1, 0.1);
+}
+
+TEST(MutualTraining, ResponderSweepCarriesInitiatorFeedback) {
+  FakeTransport transport;
+  MutualTrainingSession session(full_schedule(), full_schedule(), TimingModel{},
+                                transport.callbacks());
+  session.run();
+  // Every responder SSW frame carries the feedback for the initiator.
+  int sweep_frames = 0;
+  for (const Frame& f : transport.to_initiator) {
+    if (f.type != FrameType::kSectorSweep) continue;
+    ++sweep_frames;
+    ASSERT_TRUE(f.feedback.has_value());
+    EXPECT_EQ(f.feedback->selected_sector_id, 9);
+    EXPECT_FALSE(f.ssw->is_initiator);
+  }
+  EXPECT_EQ(sweep_frames, 34);
+}
+
+TEST(MutualTraining, FeedbackAndAckFramesPresent) {
+  FakeTransport transport;
+  MutualTrainingSession session(full_schedule(), full_schedule(), TimingModel{},
+                                transport.callbacks());
+  session.run();
+  const Frame& feedback = transport.to_responder.back();
+  EXPECT_EQ(feedback.type, FrameType::kSswFeedback);
+  EXPECT_EQ(feedback.feedback->selected_sector_id, 22);
+  const Frame& ack = transport.to_initiator.back();
+  EXPECT_EQ(ack.type, FrameType::kSswAck);
+  EXPECT_EQ(ack.feedback->selected_sector_id, 9);
+  // Timestamps are monotone through the protocol.
+  EXPECT_GT(ack.tx_time_us, feedback.tx_time_us);
+}
+
+TEST(MutualTraining, LostInitiatorSweepFails) {
+  FakeTransport transport;
+  transport.drop_all_initiator_sweep = true;
+  MutualTrainingSession session(full_schedule(), full_schedule(), TimingModel{},
+                                transport.callbacks());
+  const MutualTrainingResult result = session.run();
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(session.phase(), SweepPhase::kFailed);
+  EXPECT_FALSE(result.initiator_sector.has_value());
+  // The responder never swept.
+  EXPECT_TRUE(transport.to_initiator.empty());
+}
+
+TEST(MutualTraining, LostResponderSweepFails) {
+  FakeTransport transport;
+  transport.drop_all_responder_sweep = true;
+  MutualTrainingSession session(full_schedule(), full_schedule(), TimingModel{},
+                                transport.callbacks());
+  const MutualTrainingResult result = session.run();
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.responder_sector.has_value());
+}
+
+TEST(MutualTraining, LostFeedbackFails) {
+  FakeTransport transport;
+  transport.drop_feedback = true;
+  MutualTrainingSession session(full_schedule(), full_schedule(), TimingModel{},
+                                transport.callbacks());
+  const MutualTrainingResult result = session.run();
+  EXPECT_FALSE(result.success);
+  // The initiator's sector was already conveyed by the responder sweep.
+  EXPECT_TRUE(result.initiator_sector.has_value());
+  EXPECT_FALSE(result.responder_sector.has_value());
+}
+
+TEST(MutualTraining, LostAckFails) {
+  FakeTransport transport;
+  transport.drop_ack = true;
+  MutualTrainingSession session(full_schedule(), full_schedule(), TimingModel{},
+                                transport.callbacks());
+  const MutualTrainingResult result = session.run();
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(session.phase(), SweepPhase::kFailed);
+}
+
+TEST(MutualTraining, ProbingScheduleReducesAirtime) {
+  FakeTransport transport;
+  const auto probing = probing_burst_schedule(std::vector<int>{1, 5, 9, 13, 17, 21,
+                                                               25, 29, 61, 62, 63,
+                                                               2, 6, 10});
+  MutualTrainingSession session(probing, probing, TimingModel{},
+                                transport.callbacks());
+  const MutualTrainingResult result = session.run();
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.initiator_frames, 14);
+  EXPECT_NEAR(result.airtime_us, 2.0 * 14 * 18.0 + 49.1, 0.1);
+}
+
+TEST(MutualTraining, CannotRunTwice) {
+  FakeTransport transport;
+  MutualTrainingSession session(full_schedule(), full_schedule(), TimingModel{},
+                                transport.callbacks());
+  session.run();
+  EXPECT_THROW(session.run(), PreconditionError);
+}
+
+TEST(MutualTraining, PhaseNames) {
+  EXPECT_EQ(to_string(SweepPhase::kIdle), "idle");
+  EXPECT_EQ(to_string(SweepPhase::kInitiatorSweep), "initiator-sweep");
+  EXPECT_EQ(to_string(SweepPhase::kResponderSweep), "responder-sweep");
+  EXPECT_EQ(to_string(SweepPhase::kFeedback), "feedback");
+  EXPECT_EQ(to_string(SweepPhase::kAck), "ack");
+  EXPECT_EQ(to_string(SweepPhase::kDone), "done");
+  EXPECT_EQ(to_string(SweepPhase::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,55 @@
+#include "src/mac/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(Timing, PaperConstants) {
+  const TimingModel t;
+  EXPECT_DOUBLE_EQ(t.ssw_frame_us, 18.0);
+  EXPECT_DOUBLE_EQ(t.training_overhead_us, 49.1);
+  EXPECT_DOUBLE_EQ(t.beacon_interval_ms, 102.4);
+}
+
+TEST(Timing, FullSweepTakes1_27ms) {
+  const TimingModel t;
+  // 2 * 34 * 18.0 us + 49.1 us = 1.2731 ms (paper: 1.27 ms).
+  EXPECT_NEAR(t.mutual_training_time_ms(kFullSweepProbes), 1.27, 0.01);
+}
+
+TEST(Timing, FourteenProbesTake0_55ms) {
+  const TimingModel t;
+  // 2 * 14 * 18.0 us + 49.1 us = 0.5531 ms (paper: 0.55 ms).
+  EXPECT_NEAR(t.mutual_training_time_ms(14), 0.55, 0.01);
+}
+
+TEST(Timing, HeadlineSpeedupIs2_3x) {
+  const TimingModel t;
+  EXPECT_NEAR(t.speedup_vs_full_sweep(14), 2.3, 0.05);
+}
+
+TEST(Timing, TrainingTimeLinearInProbes) {
+  const TimingModel t;
+  const double d1 = t.mutual_training_time_ms(11) - t.mutual_training_time_ms(10);
+  const double d2 = t.mutual_training_time_ms(31) - t.mutual_training_time_ms(30);
+  EXPECT_NEAR(d1, d2, 1e-12);
+  EXPECT_NEAR(d1, 2.0 * 18.0 / 1000.0, 1e-12);
+}
+
+TEST(Timing, BurstTime) {
+  const TimingModel t;
+  EXPECT_DOUBLE_EQ(t.burst_time_us(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.burst_time_us(34), 612.0);
+}
+
+TEST(Timing, RejectsNonPositiveProbes) {
+  const TimingModel t;
+  EXPECT_THROW(t.mutual_training_time_ms(0), PreconditionError);
+  EXPECT_THROW(t.burst_time_us(-1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

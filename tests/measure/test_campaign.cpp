@@ -1,0 +1,126 @@
+#include "src/measure/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/antenna/codebook.hpp"
+
+namespace talon {
+namespace {
+
+// A coarse, fast campaign shared by several tests.
+class CampaignTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new Scenario(make_anechoic_scenario(11));
+    CampaignConfig config;
+    config.azimuth = make_axis(-63.0, 63.0, 9.0);
+    config.elevation = make_axis(0.0, 28.8, 14.4);
+    config.repetitions = 2;
+    result_ = new CampaignResult(measure_sector_patterns(*scenario_, config));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  static Scenario* scenario_;
+  static CampaignResult* result_;
+};
+
+Scenario* CampaignTest::scenario_ = nullptr;
+CampaignResult* CampaignTest::result_ = nullptr;
+
+TEST_F(CampaignTest, TableContainsAllTxSectorsPlusRx) {
+  EXPECT_EQ(result_->table.size(), 35u);
+  for (int id : talon_tx_sector_ids()) EXPECT_TRUE(result_->table.contains(id));
+  EXPECT_TRUE(result_->table.contains(kRxQuasiOmniSectorId));
+}
+
+TEST_F(CampaignTest, GridMatchesConfig) {
+  const AngularGrid& grid = result_->table.grid();
+  EXPECT_EQ(grid.azimuth.count, 15u);
+  EXPECT_EQ(grid.elevation.count, 3u);
+  EXPECT_DOUBLE_EQ(grid.azimuth.first, -63.0);
+}
+
+TEST_F(CampaignTest, VisitsEveryPose) {
+  EXPECT_EQ(result_->poses_visited, 15u * 3u);
+  EXPECT_GT(result_->frames_decoded, 100u);
+}
+
+TEST_F(CampaignTest, ValuesWithinFirmwareReportRange) {
+  for (int id : result_->table.ids()) {
+    for (double v : result_->table.pattern(id).values()) {
+      EXPECT_GE(v, -7.0 - 1e-9);
+      EXPECT_LE(v, 12.0 + 1e-9);
+    }
+  }
+}
+
+TEST_F(CampaignTest, StrongSector63PeaksNearItsNominalDirection) {
+  const Grid2D::Peak peak = result_->table.pattern(63).peak();
+  EXPECT_LE(std::abs(peak.direction.azimuth_deg), 12.0);
+  EXPECT_GT(peak.value, 8.0);
+}
+
+TEST_F(CampaignTest, WeakSector62HasLowGainEverywhere) {
+  // The paper: sector 62 "still [has] low gain in the measured space".
+  const Grid2D& p62 = result_->table.pattern(62);
+  const Grid2D& p63 = result_->table.pattern(63);
+  double max62 = -100.0;
+  for (double v : p62.values()) max62 = std::max(max62, v);
+  EXPECT_LT(max62, p63.peak().value);
+}
+
+TEST_F(CampaignTest, MeasuredPeaksTrackNominalSteering) {
+  // For a handful of well-behaved in-plane sectors the measured peak
+  // azimuth should be near the codebook's nominal steering azimuth.
+  const Codebook cb = make_talon_codebook(talon_array_geometry());
+  int close = 0;
+  int checked = 0;
+  for (int id : {2, 8, 12, 20, 24}) {
+    const double nominal = cb.sector(id).nominal.azimuth_deg;
+    if (std::abs(nominal) > 55.0) continue;  // outside measured range
+    ++checked;
+    const auto peak = result_->table.pattern(id).peak();
+    if (azimuth_distance_deg(peak.direction.azimuth_deg, nominal) <= 15.0) ++close;
+  }
+  EXPECT_GE(close, checked - 1);  // allow one quantization-distorted sector
+}
+
+TEST_F(CampaignTest, InterpolatedCellsReported) {
+  // Low-gain directions miss frames, so some interpolation must happen.
+  EXPECT_GT(result_->interpolated_cells, 0u);
+}
+
+TEST(Campaign, RxPatternCanBeDisabled) {
+  Scenario scenario = make_anechoic_scenario(12);
+  CampaignConfig config;
+  config.azimuth = make_axis(-18.0, 18.0, 18.0);
+  config.elevation = make_axis(0.0, 0.0, 3.6);
+  config.repetitions = 1;
+  config.measure_rx_pattern = false;
+  const CampaignResult r = measure_sector_patterns(scenario, config);
+  EXPECT_EQ(r.table.size(), 34u);
+  EXPECT_FALSE(r.table.contains(kRxQuasiOmniSectorId));
+}
+
+TEST(Campaign, DeterministicForFixedSeeds) {
+  CampaignConfig config;
+  config.azimuth = make_axis(-18.0, 18.0, 18.0);
+  config.elevation = make_axis(0.0, 0.0, 3.6);
+  config.repetitions = 1;
+  Scenario s1 = make_anechoic_scenario(13);
+  Scenario s2 = make_anechoic_scenario(13);
+  const CampaignResult a = measure_sector_patterns(s1, config);
+  const CampaignResult b = measure_sector_patterns(s2, config);
+  EXPECT_EQ(a.frames_decoded, b.frames_decoded);
+  for (int id : a.table.ids()) {
+    EXPECT_EQ(a.table.pattern(id).values(), b.table.pattern(id).values());
+  }
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,96 @@
+#include "src/measure/postprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(Postprocess, RobustAverageSmallSampleIsMean) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(robust_average(v), 2.0);
+}
+
+TEST(Postprocess, RobustAverageDropsOutlier) {
+  const std::vector<double> v{5.0, 5.25, 4.75, 5.0, 5.0, -7.0};
+  EXPECT_NEAR(robust_average(v), 5.0, 0.2);
+}
+
+TEST(Postprocess, RobustAverageAllIdenticalSamples) {
+  const std::vector<double> v{4.0, 4.0, 4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(robust_average(v), 4.0);
+}
+
+TEST(Postprocess, RobustAverageEmptyThrows) {
+  const std::vector<double> none;
+  EXPECT_THROW(robust_average(none), PreconditionError);
+}
+
+AngularGrid row_grid(std::size_t n) {
+  return AngularGrid{Axis{0.0, 1.0, n}, Axis{0.0, 1.0, 1}};
+}
+
+TEST(Postprocess, ReduceFillsCellsWithData) {
+  const AngularGrid grid = row_grid(3);
+  std::vector<std::vector<double>> cells(3);
+  cells[0] = {1.0};
+  cells[1] = {2.0, 2.5};
+  cells[2] = {3.0};
+  const Grid2D out = reduce_and_interpolate(grid, cells, -7.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 0), 2.25);
+  EXPECT_DOUBLE_EQ(out.at(2, 0), 3.0);
+}
+
+TEST(Postprocess, GapInterpolatedLinearly) {
+  const AngularGrid grid = row_grid(5);
+  std::vector<std::vector<double>> cells(5);
+  cells[0] = {0.0};
+  cells[4] = {8.0};
+  const Grid2D out = reduce_and_interpolate(grid, cells, -7.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(out.at(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(out.at(3, 0), 6.0);
+}
+
+TEST(Postprocess, EdgeGapsUseNearestValid) {
+  const AngularGrid grid = row_grid(4);
+  std::vector<std::vector<double>> cells(4);
+  cells[1] = {5.0};
+  cells[2] = {7.0};
+  const Grid2D out = reduce_and_interpolate(grid, cells, -7.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 5.0);  // leading edge
+  EXPECT_DOUBLE_EQ(out.at(3, 0), 7.0);  // trailing edge
+}
+
+TEST(Postprocess, EmptyRowFallsToFloor) {
+  const AngularGrid grid{Axis{0.0, 1.0, 3}, Axis{0.0, 1.0, 2}};
+  std::vector<std::vector<double>> cells(grid.size());
+  cells[grid.index(0, 0)] = {3.0};  // row 0 has data, row 1 does not
+  const Grid2D out = reduce_and_interpolate(grid, cells, -7.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 1), -7.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), -7.0);
+  EXPECT_DOUBLE_EQ(out.at(2, 0), 3.0);  // interpolated within row 0
+}
+
+TEST(Postprocess, RowsProcessedIndependently) {
+  const AngularGrid grid{Axis{0.0, 1.0, 2}, Axis{0.0, 1.0, 2}};
+  std::vector<std::vector<double>> cells(grid.size());
+  cells[grid.index(0, 0)] = {1.0};
+  cells[grid.index(1, 0)] = {2.0};
+  cells[grid.index(0, 1)] = {10.0};
+  cells[grid.index(1, 1)] = {20.0};
+  const Grid2D out = reduce_and_interpolate(grid, cells, -7.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 1), 20.0);
+}
+
+TEST(Postprocess, CellCountMismatchThrows) {
+  const AngularGrid grid = row_grid(3);
+  std::vector<std::vector<double>> cells(2);
+  EXPECT_THROW(reduce_and_interpolate(grid, cells, -7.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,77 @@
+#include "src/measure/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/antenna/synthesis.hpp"
+#include "src/common/error.hpp"
+#include "tests/sim/experiment_fixture.hpp"
+
+namespace talon {
+namespace {
+
+using testutil::ExperimentWorld;
+
+class QualityTest : public ::testing::Test {
+ protected:
+  QualityTest()
+      : table_(ExperimentWorld::instance().table),
+        truth_(make_talon_front_end(42)) {}
+
+  const PatternTable& table_;
+  ArrayGainSource truth_;
+};
+
+TEST_F(QualityTest, CampaignTableTracksTruthClosely) {
+  // The campaign's measured patterns should sit within ~1-2 dB RMS of the
+  // realized gains over the observable region.
+  for (int id : {2, 8, 12, 18, 63}) {
+    const PatternQuality q = pattern_quality(table_, id, truth_);
+    EXPECT_LT(q.rms_error_db, 2.0) << "sector " << id;
+    EXPECT_LT(q.peak_offset_deg, 10.0) << "sector " << id;
+  }
+  EXPECT_LT(mean_table_rms_error_db(table_, truth_), 2.0);
+}
+
+TEST_F(QualityTest, WeakSectorsAreMostlyUnobservable) {
+  // Sector 62 is weak everywhere: most of its grid sits below the
+  // reporting floor, and that is reported as such rather than as error.
+  const PatternQuality q = pattern_quality(table_, 62, truth_);
+  EXPECT_GT(q.unobservable_fraction, 0.4);
+}
+
+TEST_F(QualityTest, PerfectTableScoresZero) {
+  // A table synthesized directly from the truth (on the reporting scale)
+  // has zero error by construction.
+  PatternQualityConfig config;
+  PatternTable perfect;
+  const AngularGrid grid = table_.grid();
+  for (int id : {2, 12}) {
+    Grid2D pattern = synthesize_pattern_grid(truth_, id, grid);
+    for (double& v : pattern.values()) {
+      v = std::clamp(v + config.report_offset_db, config.report_min_db,
+                     config.report_max_db);
+    }
+    perfect.add(id, std::move(pattern));
+  }
+  for (int id : {2, 12}) {
+    const PatternQuality q = pattern_quality(perfect, id, truth_, config);
+    EXPECT_NEAR(q.rms_error_db, 0.0, 1e-9);
+    EXPECT_NEAR(q.max_error_db, 0.0, 1e-9);
+    EXPECT_LE(q.peak_offset_deg, 1e-9);
+  }
+}
+
+TEST_F(QualityTest, WrongDeviceTruthScoresWorse) {
+  // Comparing device 42's table against device 43's truth must look worse
+  // than against its own truth -- the quantified Sec. 4.5 caveat.
+  const ArrayGainSource other = make_talon_front_end(43);
+  EXPECT_GT(mean_table_rms_error_db(table_, other),
+            mean_table_rms_error_db(table_, truth_));
+}
+
+TEST_F(QualityTest, UnknownSectorThrows) {
+  EXPECT_THROW(pattern_quality(table_, 42, truth_), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

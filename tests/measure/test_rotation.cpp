@@ -1,0 +1,66 @@
+#include "src/measure/rotation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace talon {
+namespace {
+
+TEST(RotationHead, AzimuthPrecisionIsHigh) {
+  RotationHead head(RotationHeadConfig{});
+  for (double az = -180.0; az <= 180.0; az += 17.3) {
+    const auto pose = head.move_to(az, 0.0);
+    EXPECT_NEAR(pose.realized_azimuth_deg, az, 0.3);  // microstepping
+    EXPECT_DOUBLE_EQ(pose.commanded_azimuth_deg, az);
+  }
+}
+
+TEST(RotationHead, ZeroTiltHasNoOffset) {
+  RotationHead head(RotationHeadConfig{});
+  const auto pose = head.move_to(10.0, 0.0);
+  EXPECT_DOUBLE_EQ(pose.realized_tilt_deg, 0.0);
+}
+
+TEST(RotationHead, ManualTiltHasPersistentOffset) {
+  RotationHead head(RotationHeadConfig{});
+  const auto first = head.move_to(0.0, 10.8);
+  const double offset = first.realized_tilt_deg - 10.8;
+  EXPECT_NE(offset, 0.0);
+  EXPECT_LT(std::fabs(offset), 3.0);
+  // Every later visit to the same tilt level sees the same mis-level.
+  for (double az = -50.0; az <= 50.0; az += 10.0) {
+    const auto pose = head.move_to(az, 10.8);
+    EXPECT_DOUBLE_EQ(pose.realized_tilt_deg - 10.8, offset);
+  }
+}
+
+TEST(RotationHead, DifferentTiltLevelsDifferentOffsets) {
+  RotationHead head(RotationHeadConfig{});
+  const double o1 = head.move_to(0.0, 7.2).realized_tilt_deg - 7.2;
+  const double o2 = head.move_to(0.0, 14.4).realized_tilt_deg - 14.4;
+  EXPECT_NE(o1, o2);
+}
+
+TEST(RotationHead, SameSeedReproducesErrors) {
+  RotationHeadConfig config;
+  config.seed = 77;
+  RotationHead a(config);
+  RotationHead b(config);
+  for (double az : {-30.0, 0.0, 30.0}) {
+    const auto pa = a.move_to(az, 18.0);
+    const auto pb = b.move_to(az, 18.0);
+    EXPECT_DOUBLE_EQ(pa.realized_azimuth_deg, pb.realized_azimuth_deg);
+    EXPECT_DOUBLE_EQ(pa.realized_tilt_deg, pb.realized_tilt_deg);
+  }
+}
+
+TEST(RotationHead, CurrentTracksLastMove) {
+  RotationHead head(RotationHeadConfig{});
+  head.move_to(12.0, 3.6);
+  EXPECT_DOUBLE_EQ(head.current().commanded_azimuth_deg, 12.0);
+  EXPECT_DOUBLE_EQ(head.current().commanded_tilt_deg, 3.6);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,58 @@
+#include "src/phy/mcs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace talon {
+namespace {
+
+TEST(Mcs, TableHasTwelveSCEntriesAscending) {
+  const auto table = sc_mcs_table();
+  ASSERT_EQ(table.size(), 12u);
+  for (std::size_t i = 0; i + 1 < table.size(); ++i) {
+    EXPECT_LT(table[i].phy_rate_mbps, table[i + 1].phy_rate_mbps);
+    EXPECT_LE(table[i].min_snr_db, table[i + 1].min_snr_db);
+    EXPECT_EQ(table[i].index, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(Mcs, KnownStandardRates) {
+  const auto table = sc_mcs_table();
+  EXPECT_DOUBLE_EQ(table[0].phy_rate_mbps, 385.0);    // MCS 1
+  EXPECT_DOUBLE_EQ(table[6].phy_rate_mbps, 1925.0);   // MCS 7
+  EXPECT_DOUBLE_EQ(table[11].phy_rate_mbps, 4620.0);  // MCS 12
+}
+
+TEST(Mcs, ControlPhyRate) {
+  EXPECT_DOUBLE_EQ(control_phy_mcs().phy_rate_mbps, 27.5);
+  EXPECT_EQ(control_phy_mcs().index, 0);
+  // The control PHY decodes well below any SC MCS (spreading gain).
+  EXPECT_LT(control_phy_mcs().min_snr_db, sc_mcs_table().front().min_snr_db);
+}
+
+TEST(Mcs, SelectHighestDecodable) {
+  EXPECT_EQ(select_mcs(100.0)->index, 12);
+  EXPECT_EQ(select_mcs(15.5)->index, 12);
+  EXPECT_EQ(select_mcs(15.4)->index, 11);
+  EXPECT_EQ(select_mcs(1.0)->index, 1);
+}
+
+TEST(Mcs, SelectReturnsNullBelowMcs1) {
+  EXPECT_EQ(select_mcs(0.5), nullptr);
+  EXPECT_EQ(select_mcs(-10.0), nullptr);
+}
+
+TEST(Mcs, PhyRateMonotoneInSnr) {
+  double prev = -1.0;
+  for (double snr = -5.0; snr <= 30.0; snr += 0.5) {
+    const double rate = phy_rate_mbps(snr);
+    EXPECT_GE(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(Mcs, PhyRateZeroWhenUndecodable) {
+  EXPECT_DOUBLE_EQ(phy_rate_mbps(-3.0), 0.0);
+}
+
+}  // namespace
+}  // namespace talon

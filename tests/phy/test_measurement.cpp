@@ -1,0 +1,193 @@
+#include "src/phy/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+MeasurementModelConfig noiseless_config() {
+  MeasurementModelConfig c;
+  c.base_miss_probability = 0.0;
+  c.snr_noise_base_stddev_db = 0.0;
+  c.snr_noise_low_gain_slope = 0.0;
+  c.rssi_noise_stddev_db = 0.0;
+  c.snr_outlier_probability = 0.0;
+  c.rssi_outlier_probability = 0.0;
+  return c;
+}
+
+TEST(Measurement, StrongFrameAlwaysDecodesWithoutBaseMiss) {
+  MeasurementModel m(noiseless_config(), Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(m.measure(5, 25.0).has_value());
+  }
+}
+
+TEST(Measurement, BelowThresholdNeverDecodes) {
+  const MeasurementModelConfig c = noiseless_config();
+  MeasurementModel m(c, Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(m.measure(5, c.decode_threshold_db - 1.0).has_value());
+  }
+}
+
+TEST(Measurement, RampRegionDecodesSometimes) {
+  const MeasurementModelConfig c = noiseless_config();
+  MeasurementModel m(c, Rng(1));
+  int decoded = 0;
+  const int trials = 2000;
+  const double midpoint = c.decode_threshold_db + c.decode_ramp_db / 2.0;
+  for (int i = 0; i < trials; ++i) {
+    if (m.measure(5, midpoint).has_value()) ++decoded;
+  }
+  const double rate = static_cast<double>(decoded) / trials;
+  EXPECT_GT(rate, 0.35);
+  EXPECT_LT(rate, 0.65);
+}
+
+TEST(Measurement, ReportedSnrIsOffsetAndQuantized) {
+  MeasurementModel m(noiseless_config(), Rng(1));
+  const auto r = m.measure(7, 25.1);
+  ASSERT_TRUE(r.has_value());
+  // 25.1 - 15 = 10.1 -> nearest quarter dB = 10.0.
+  EXPECT_DOUBLE_EQ(r->snr_db, 10.0);
+  EXPECT_EQ(r->sector_id, 7);
+}
+
+TEST(Measurement, SnrQuantizedToQuarterDb) {
+  MeasurementModelConfig c = noiseless_config();
+  MeasurementModel m(c, Rng(2));
+  for (double snr = 10.0; snr < 27.0; snr += 0.37) {
+    const auto r = m.measure(1, snr);
+    if (!r) continue;
+    const double q = r->snr_db / c.snr_quantization_db;
+    EXPECT_NEAR(q, std::round(q), 1e-9) << "snr " << snr;
+  }
+}
+
+TEST(Measurement, SnrClampedToFirmwareRange) {
+  MeasurementModel m(noiseless_config(), Rng(3));
+  const auto high = m.measure(1, 60.0);
+  ASSERT_TRUE(high.has_value());
+  EXPECT_DOUBLE_EQ(high->snr_db, 12.0);
+  const auto low = m.measure(1, 8.05);  // reports 8.05-15 = -6.95 -> in range
+  ASSERT_TRUE(low.has_value());
+  EXPECT_GE(low->snr_db, -7.0);
+  EXPECT_LE(low->snr_db, 12.0);
+}
+
+TEST(Measurement, BaseMissProbabilityApplies) {
+  MeasurementModelConfig c = noiseless_config();
+  c.base_miss_probability = 0.3;
+  MeasurementModel m(c, Rng(4));
+  int missed = 0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    if (!m.measure(1, 30.0)) ++missed;
+  }
+  EXPECT_NEAR(static_cast<double>(missed) / trials, 0.3, 0.05);
+}
+
+TEST(Measurement, LowGainChannelsFluctuateMore) {
+  MeasurementModelConfig c = noiseless_config();
+  c.snr_noise_base_stddev_db = 0.4;
+  c.snr_noise_low_gain_slope = 0.15;
+  MeasurementModel m(c, Rng(5));
+  const auto spread = [&m](double true_snr) {
+    double min_v = 1e9;
+    double max_v = -1e9;
+    for (int i = 0; i < 400; ++i) {
+      const auto r = m.measure(1, true_snr);
+      if (!r) continue;
+      min_v = std::min(min_v, r->snr_db);
+      max_v = std::max(max_v, r->snr_db);
+    }
+    return max_v - min_v;
+  };
+  EXPECT_GT(spread(10.0), spread(25.0));
+}
+
+TEST(Measurement, SnrAndRssiNoiseAreIndependent) {
+  MeasurementModelConfig c = noiseless_config();
+  c.snr_noise_base_stddev_db = 1.0;
+  c.rssi_noise_stddev_db = 1.0;
+  MeasurementModel m(c, Rng(6));
+  // Correlation of (snr - mean) and (rssi - mean) should be near zero.
+  std::vector<double> snrs;
+  std::vector<double> rssis;
+  for (int i = 0; i < 2000; ++i) {
+    const auto r = m.measure(1, 20.0);
+    ASSERT_TRUE(r.has_value());
+    snrs.push_back(r->snr_db);
+    rssis.push_back(r->rssi_dbm);
+  }
+  double ms = 0.0;
+  double mr = 0.0;
+  for (std::size_t i = 0; i < snrs.size(); ++i) {
+    ms += snrs[i];
+    mr += rssis[i];
+  }
+  ms /= static_cast<double>(snrs.size());
+  mr /= static_cast<double>(rssis.size());
+  double cov = 0.0;
+  double vs = 0.0;
+  double vr = 0.0;
+  for (std::size_t i = 0; i < snrs.size(); ++i) {
+    cov += (snrs[i] - ms) * (rssis[i] - mr);
+    vs += (snrs[i] - ms) * (snrs[i] - ms);
+    vr += (rssis[i] - mr) * (rssis[i] - mr);
+  }
+  const double corr = cov / std::sqrt(vs * vr);
+  EXPECT_LT(std::fabs(corr), 0.1);
+}
+
+TEST(Measurement, OutliersOccurAtConfiguredRate) {
+  MeasurementModelConfig c = noiseless_config();
+  c.snr_outlier_probability = 0.2;
+  c.outlier_magnitude_db = 6.0;
+  MeasurementModel m(c, Rng(7));
+  int outliers = 0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    const auto r = m.measure(1, 20.0);
+    ASSERT_TRUE(r.has_value());
+    // Without noise, a non-outlier reports exactly 5.0 (20 - 15).
+    if (std::fabs(r->snr_db - 5.0) > 0.26) ++outliers;
+  }
+  // Half the outlier draws land within the quantization bin anyway, so the
+  // observed rate is below 0.2 but clearly nonzero.
+  EXPECT_GT(outliers, trials / 25);
+  EXPECT_LT(outliers, trials / 3);
+}
+
+TEST(Measurement, SweepSkipsMissedSectors) {
+  MeasurementModel m(noiseless_config(), Rng(8));
+  const SweepMeasurement sweep = m.measure_sweep({
+      {1, 25.0},   // decodes
+      {2, -10.0},  // below threshold
+      {3, 30.0},   // decodes
+  });
+  EXPECT_EQ(sweep.readings.size(), 2u);
+  EXPECT_TRUE(sweep.has(1));
+  EXPECT_FALSE(sweep.has(2));
+  ASSERT_NE(sweep.find(3), nullptr);
+  EXPECT_EQ(sweep.find(3)->sector_id, 3);
+  EXPECT_EQ(sweep.find(99), nullptr);
+}
+
+TEST(Measurement, InvalidConfigRejected) {
+  MeasurementModelConfig c;
+  c.report_min_db = 5.0;
+  c.report_max_db = -5.0;
+  EXPECT_THROW(MeasurementModel(c, Rng(1)), PreconditionError);
+  MeasurementModelConfig c2;
+  c2.snr_quantization_db = 0.0;
+  EXPECT_THROW(MeasurementModel(c2, Rng(1)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,96 @@
+#include "src/phy/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/phy/mcs.hpp"
+
+namespace talon {
+namespace {
+
+TEST(Throughput, ZeroWhenLinkDown) {
+  const ThroughputModel model;
+  EXPECT_DOUBLE_EQ(model.app_throughput_mbps(-5.0), 0.0);
+}
+
+TEST(Throughput, HostCapLimitsHighSnr) {
+  const ThroughputModel model;
+  const double at_high = model.app_throughput_mbps(30.0);
+  EXPECT_DOUBLE_EQ(at_high, model.config().host_cap_mbps);
+}
+
+TEST(Throughput, Around1500MbpsAtTypicalLinkSnr) {
+  // The Fig. 11 regime: ~1.4-1.55 Gbps at healthy link SNR.
+  const ThroughputModel model;
+  const double t = model.app_throughput_mbps(21.0);
+  EXPECT_GT(t, 1350.0);
+  EXPECT_LT(t, 1600.0);
+}
+
+TEST(Throughput, MonotoneInSnr) {
+  const ThroughputModel model;
+  double prev = -1.0;
+  for (double snr = -5.0; snr <= 30.0; snr += 0.5) {
+    const double t = model.app_throughput_mbps(snr);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Throughput, BelowCapFollowsPhyRate) {
+  ThroughputModelConfig c;
+  c.host_cap_mbps = 100000.0;  // effectively uncapped
+  const ThroughputModel model(c);
+  const double snr = 9.0;  // MCS 8
+  EXPECT_NEAR(model.app_throughput_mbps(snr),
+              phy_rate_mbps(snr) * c.mac_efficiency * c.tcp_efficiency, 1e-9);
+}
+
+TEST(Throughput, TrainingTimeReducesThroughputProportionally) {
+  const ThroughputModel model;
+  const double base = model.app_throughput_mbps(30.0, 0.0);
+  const double with_training = model.app_throughput_mbps(30.0, 0.1);
+  EXPECT_NEAR(with_training, base * 0.9, 1e-9);
+}
+
+TEST(Throughput, TrainingTimeClampedToInterval) {
+  const ThroughputModel model;
+  EXPECT_DOUBLE_EQ(model.app_throughput_mbps(30.0, 5.0), 0.0);
+}
+
+TEST(Throughput, ShorterTrainingYieldsMoreThroughput) {
+  // The Sec. 6.4 argument: CSS's 0.55 ms training beats SSW's 1.27 ms when
+  // airtime is credited.
+  const ThroughputModel model;
+  const double css = model.app_throughput_mbps(30.0, 0.55e-3);
+  const double ssw = model.app_throughput_mbps(30.0, 1.27e-3);
+  EXPECT_GT(css, ssw);
+}
+
+TEST(Throughput, SectorSwitchPenaltyApplies) {
+  const ThroughputModel model;
+  const double stable = model.app_throughput_mbps(30.0, 0.0, false);
+  const double switched = model.app_throughput_mbps(30.0, 0.0, true);
+  EXPECT_NEAR(switched, stable * (1.0 - model.config().sector_switch_penalty),
+              1e-9);
+}
+
+TEST(Throughput, StabilityAdvantageCompounds) {
+  // An algorithm that switches sectors every interval loses the penalty
+  // every interval; a stable one never does (the Fig. 8 -> Fig. 11 link).
+  const ThroughputModel model;
+  EXPECT_GT(model.app_throughput_mbps(25.0, 0.0, false),
+            model.app_throughput_mbps(25.0, 0.0, true));
+}
+
+TEST(Throughput, InvalidConfigRejected) {
+  ThroughputModelConfig c;
+  c.mac_efficiency = 0.0;
+  EXPECT_THROW(ThroughputModel{c}, PreconditionError);
+  ThroughputModelConfig c2;
+  c2.host_cap_mbps = -1.0;
+  EXPECT_THROW(ThroughputModel{c2}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,139 @@
+// Property-style sweeps (TEST_P) over the math substrate: grid
+// interpolation, orientation transforms and angle arithmetic.
+#include <gtest/gtest.h>
+
+#include "src/channel/orientation.hpp"
+#include "src/common/grid.hpp"
+#include "src/common/rng.hpp"
+
+namespace talon {
+namespace {
+
+// --- Bilinear interpolation properties over random fields -----------------
+
+class GridInterpolationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridInterpolationProperty, SampleIsBoundedByCellCorners) {
+  Rng rng(GetParam());
+  Grid2D grid({make_axis(-30.0, 30.0, 5.0), make_axis(0.0, 20.0, 5.0)});
+  for (std::size_t ie = 0; ie < grid.grid().elevation.count; ++ie) {
+    for (std::size_t ia = 0; ia < grid.grid().azimuth.count; ++ia) {
+      grid.set(ia, ie, rng.uniform(-10.0, 10.0));
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    const Direction d{rng.uniform(-30.0, 30.0), rng.uniform(0.0, 20.0)};
+    const double v = grid.sample(d);
+    // The bilinear interpolant never exceeds the surrounding cell corners.
+    const double fa = grid.grid().azimuth.fractional_index(d.azimuth_deg);
+    const double fe = grid.grid().elevation.fractional_index(d.elevation_deg);
+    const auto a0 = static_cast<std::size_t>(fa);
+    const auto e0 = static_cast<std::size_t>(fe);
+    const std::size_t a1 = std::min(a0 + 1, grid.grid().azimuth.count - 1);
+    const std::size_t e1 = std::min(e0 + 1, grid.grid().elevation.count - 1);
+    const double corners[4] = {grid.at(a0, e0), grid.at(a1, e0), grid.at(a0, e1),
+                               grid.at(a1, e1)};
+    const double lo = *std::min_element(corners, corners + 4);
+    const double hi = *std::max_element(corners, corners + 4);
+    EXPECT_GE(v, lo - 1e-9);
+    EXPECT_LE(v, hi + 1e-9);
+  }
+}
+
+TEST_P(GridInterpolationProperty, SampleAtNodesIsExact) {
+  Rng rng(GetParam() + 1000);
+  Grid2D grid({make_axis(-12.0, 12.0, 3.0), make_axis(0.0, 12.0, 4.0)});
+  for (std::size_t ie = 0; ie < grid.grid().elevation.count; ++ie) {
+    for (std::size_t ia = 0; ia < grid.grid().azimuth.count; ++ia) {
+      grid.set(ia, ie, rng.uniform(-5.0, 5.0));
+      EXPECT_DOUBLE_EQ(grid.sample(grid.grid().direction(ia, ie)), grid.at(ia, ie));
+    }
+  }
+}
+
+TEST_P(GridInterpolationProperty, PeakIsGlobalMaximum) {
+  Rng rng(GetParam() + 2000);
+  Grid2D grid({make_axis(-20.0, 20.0, 2.0), make_axis(0.0, 16.0, 4.0)});
+  for (double& v : grid.values()) v = rng.uniform(-10.0, 10.0);
+  const auto peak = grid.peak();
+  for (double v : grid.values()) EXPECT_LE(v, peak.value);
+  EXPECT_DOUBLE_EQ(grid.sample(peak.direction), peak.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridInterpolationProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// --- Orientation transform properties over a pose sweep --------------------
+
+struct Pose {
+  double azimuth;
+  double tilt;
+};
+
+class OrientationProperty : public ::testing::TestWithParam<Pose> {};
+
+TEST_P(OrientationProperty, RoundTripIsIdentity) {
+  const DeviceOrientation o(GetParam().azimuth, GetParam().tilt);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Direction d{rng.uniform(-179.0, 179.0), rng.uniform(-85.0, 85.0)};
+    const Direction back = o.to_world_frame(o.to_device_frame(d));
+    EXPECT_NEAR(azimuth_distance_deg(back.azimuth_deg, d.azimuth_deg), 0.0, 1e-9);
+    EXPECT_NEAR(back.elevation_deg, d.elevation_deg, 1e-9);
+  }
+}
+
+TEST_P(OrientationProperty, PreservesAngularSeparation) {
+  const DeviceOrientation o(GetParam().azimuth, GetParam().tilt);
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const Direction a{rng.uniform(-170.0, 170.0), rng.uniform(-80.0, 80.0)};
+    const Direction b{rng.uniform(-170.0, 170.0), rng.uniform(-80.0, 80.0)};
+    EXPECT_NEAR(angular_separation_deg(a, b),
+                angular_separation_deg(o.to_device_frame(a), o.to_device_frame(b)),
+                1e-8);
+  }
+}
+
+TEST_P(OrientationProperty, HeadPoseNominalCoordinatesExact) {
+  // The rotation-head identity: orientation (alpha, -tau) puts a
+  // world-boresight target at exactly (-alpha, +tau).
+  const double alpha = GetParam().azimuth;
+  const double tau = -GetParam().tilt;
+  const DeviceOrientation o(alpha, -tau);
+  const Direction dev = o.to_device_frame({0.0, 0.0});
+  EXPECT_NEAR(azimuth_distance_deg(dev.azimuth_deg, -alpha), 0.0, 1e-9);
+  EXPECT_NEAR(dev.elevation_deg, tau, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Poses, OrientationProperty,
+                         ::testing::Values(Pose{0.0, 0.0}, Pose{30.0, 0.0},
+                                           Pose{-45.0, -10.0}, Pose{120.0, 25.0},
+                                           Pose{-150.0, -30.0}, Pose{179.0, 5.0}));
+
+// --- Azimuth wrap properties over a large offset sweep ---------------------
+
+class AzimuthWrapProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(AzimuthWrapProperty, WrapIsPeriodic) {
+  const double offset = GetParam();
+  for (double az = -170.0; az <= 170.0; az += 17.0) {
+    EXPECT_NEAR(wrap_azimuth_deg(az + 360.0 * offset), wrap_azimuth_deg(az), 1e-7);
+  }
+}
+
+TEST_P(AzimuthWrapProperty, DistanceInvariantUnderCommonRotation) {
+  const double rot = GetParam() * 37.0;
+  for (double a = -150.0; a <= 150.0; a += 50.0) {
+    for (double b = -150.0; b <= 150.0; b += 50.0) {
+      EXPECT_NEAR(azimuth_distance_deg(a + rot, b + rot), azimuth_distance_deg(a, b),
+                  1e-7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, AzimuthWrapProperty,
+                         ::testing::Values(-3.0, -1.0, 1.0, 2.0, 7.0));
+
+}  // namespace
+}  // namespace talon

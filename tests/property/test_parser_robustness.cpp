@@ -1,0 +1,142 @@
+// Robustness sweeps over the external-input parsers: whatever corruption a
+// data file suffers, the parsers must either produce a valid object or
+// throw ParseError -- never crash, hang, or return a half-built table.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/antenna/codebook_io.hpp"
+#include "src/antenna/pattern.hpp"
+#include "src/common/error.hpp"
+#include "src/antenna/pattern.hpp"
+#include "src/common/rng.hpp"
+
+namespace talon {
+namespace {
+
+PatternTable tiny_table() {
+  const AngularGrid grid{make_axis(-10.0, 10.0, 10.0), make_axis(0.0, 10.0, 10.0)};
+  PatternTable table;
+  Grid2D a(grid, 1.0);
+  a.set(1, 1, 5.0);
+  table.add(3, a);
+  table.add(7, Grid2D(grid, -2.0));
+  return table;
+}
+
+std::string table_csv_text() {
+  std::ostringstream out;
+  write_csv(out, tiny_table().to_csv());
+  return out.str();
+}
+
+/// Parse arbitrary text as a pattern table; success or ParseError only.
+void must_parse_or_throw(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    const PatternTable table = PatternTable::from_csv(read_csv(in));
+    // If it parsed, it must be internally consistent.
+    EXPECT_FALSE(table.empty());
+    for (int id : table.ids()) {
+      EXPECT_NO_THROW(table.sample_db(id, {0.0, 0.0}));
+    }
+  } catch (const ParseError&) {
+    // Acceptable: the corruption was detected.
+  }
+}
+
+class CsvCorruptionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsvCorruptionProperty, RandomByteFlipsNeverCrash) {
+  Rng rng(GetParam());
+  const std::string base = table_csv_text();
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string corrupted = base;
+    const int flips = rng.uniform_int(1, 5);
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(corrupted.size()) - 1));
+      corrupted[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    }
+    must_parse_or_throw(corrupted);
+  }
+}
+
+TEST_P(CsvCorruptionProperty, RandomTruncationsNeverCrash) {
+  Rng rng(GetParam() + 77);
+  const std::string base = table_csv_text();
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(base.size())));
+    must_parse_or_throw(base.substr(0, cut));
+  }
+}
+
+TEST_P(CsvCorruptionProperty, RandomLineDeletionsNeverCrash) {
+  Rng rng(GetParam() + 178);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::istringstream in(table_csv_text());
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (rng.bernoulli(0.2)) continue;  // drop ~20% of lines
+      out << line << '\n';
+    }
+    must_parse_or_throw(out.str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvCorruptionProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+class BlobCorruptionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlobCorruptionProperty, RandomByteFlipsNeverCrash) {
+  Rng rng(GetParam());
+  const PlanarArrayGeometry g(4, 2, 0.5);
+  WeightQuantizer q{.phase_states = 4, .amplitude_states = 2};
+  std::vector<Sector> sectors;
+  for (int id : {1, 2, 9}) {
+    sectors.push_back(Sector{
+        .id = id,
+        .weights = q.quantize(
+            steering_weights(g.element_positions(), {id * 7.0 - 20.0, 0.0})),
+        .nominal = {id * 7.0 - 20.0, 0.0},
+    });
+  }
+  const auto base = serialize_codebook(Codebook(std::move(sectors)), g, 4, 2);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = base;
+    const int flips = rng.uniform_int(1, 4);
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(corrupted.size()) - 1));
+      corrupted[pos] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    try {
+      const ParsedCodebook parsed = parse_codebook(corrupted);
+      EXPECT_GE(parsed.codebook.size(), 1u);
+    } catch (const ParseError&) {
+      // detected
+    } catch (const PreconditionError&) {
+      // corrupted IDs can violate Codebook invariants (duplicate/out of
+      // range); surfacing that as a typed error is acceptable too.
+    }
+  }
+}
+
+TEST_P(BlobCorruptionProperty, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam() + 991);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> garbage(
+        static_cast<std::size_t>(rng.uniform_int(0, 128)));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    EXPECT_THROW(parse_codebook(garbage), ParseError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlobCorruptionProperty,
+                         ::testing::Values(11u, 12u, 13u));
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,102 @@
+// Property sweeps over the physical layer: link-budget monotonicity,
+// ray-sum behaviour, and beam-steering fidelity across the steering range.
+#include <gtest/gtest.h>
+
+#include "src/antenna/synthesis.hpp"
+#include "src/channel/link.hpp"
+#include "src/channel/pathloss.hpp"
+
+namespace talon {
+namespace {
+
+// --- Steering fidelity across the whole azimuth range ----------------------
+
+class SteeringProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SteeringProperty, UnquantizedBeamPeaksAtSteeringAzimuth) {
+  const double target = GetParam();
+  const PlanarArrayGeometry g = talon_array_geometry();
+  const ElementModel element{ElementModelConfig{}};
+  const WeightVector w = steering_weights(g.element_positions(), {target, 0.0});
+  double best_az = -999.0;
+  double best_gain = -999.0;
+  for (double az = -80.0; az <= 80.0; az += 0.5) {
+    const double gain = array_gain_dbi(g, element, w, {az, 0.0});
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_az = az;
+    }
+  }
+  EXPECT_NEAR(best_az, target, 3.0);
+  // Peak gain within a few dB of the broadside ideal (scan loss grows
+  // toward the edge of the range).
+  EXPECT_GT(best_gain, 10.0 * std::log10(32.0) + 5.0 - 5.0);
+}
+
+TEST_P(SteeringProperty, QuantizationCostsBoundedGain) {
+  const double target = GetParam();
+  const PlanarArrayGeometry g = talon_array_geometry();
+  const ElementModel element{ElementModelConfig{}};
+  const WeightVector ideal = steering_weights(g.element_positions(), {target, 0.0});
+  const WeightQuantizer q{.phase_states = 4, .amplitude_states = 1};
+  const WeightVector coarse = q.quantize(ideal);
+  const double ideal_gain = array_gain_dbi(g, element, ideal, {target, 0.0});
+  const double coarse_gain = array_gain_dbi(g, element, coarse, {target, 0.0});
+  EXPECT_LE(coarse_gain, ideal_gain + 1e-9) << "target " << target;
+  EXPECT_GE(coarse_gain, ideal_gain - 4.0) << "target " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Azimuths, SteeringProperty,
+                         ::testing::Values(-55.0, -35.0, -15.0, 0.0, 15.0, 35.0,
+                                           55.0));
+
+// --- Link budget properties over distances ----------------------------------
+
+class LinkBudgetProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinkBudgetProperty, TxPowerShiftsSnrOneToOne) {
+  const double distance = GetParam();
+  const ArrayGainSource tx = make_talon_front_end(1);
+  const ArrayGainSource rx = make_talon_front_end(2);
+  const auto env = make_anechoic_chamber();
+  EndpointPose tx_pose{{0, 0, 1}, DeviceOrientation(0, 0)};
+  EndpointPose rx_pose{{distance, 0, 1}, DeviceOrientation(180, 0)};
+  RadioConfig lo;
+  lo.tx_power_dbm = 0.0;
+  RadioConfig hi;
+  hi.tx_power_dbm = 7.0;
+  const double snr_lo =
+      link_snr_db(tx, 63, tx_pose, rx, kRxQuasiOmniSectorId, rx_pose, *env, lo);
+  const double snr_hi =
+      link_snr_db(tx, 63, tx_pose, rx, kRxQuasiOmniSectorId, rx_pose, *env, hi);
+  EXPECT_NEAR(snr_hi - snr_lo, 7.0, 1e-9);
+}
+
+TEST_P(LinkBudgetProperty, AddingAReflectorNeverReducesPower) {
+  const double distance = GetParam();
+  const ArrayGainSource tx = make_talon_front_end(1);
+  const ArrayGainSource rx = make_talon_front_end(2);
+  EndpointPose tx_pose{{0, 0, 1}, DeviceOrientation(0, 0)};
+  EndpointPose rx_pose{{distance, 0, 1}, DeviceOrientation(180, 0)};
+  const RadioConfig radio;
+  RayTracedEnvironment los_only("a", {});
+  RayTracedEnvironment with_wall(
+      "b", {Reflector{Reflector::Plane::Y, 2.0, 10.0, "wall"}});
+  const double p_los = received_power_dbm(tx, 63, tx_pose, rx, kRxQuasiOmniSectorId,
+                                          rx_pose, los_only, radio);
+  const double p_wall = received_power_dbm(tx, 63, tx_pose, rx, kRxQuasiOmniSectorId,
+                                           rx_pose, with_wall, radio);
+  EXPECT_GE(p_wall, p_los);
+}
+
+TEST_P(LinkBudgetProperty, FsplFollowsInverseSquareLaw) {
+  const double d = GetParam();
+  EXPECT_NEAR(free_space_path_loss_db(2.0 * d) - free_space_path_loss_db(d),
+              20.0 * std::log10(2.0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, LinkBudgetProperty,
+                         ::testing::Values(1.0, 3.0, 6.0, 12.0, 30.0));
+
+}  // namespace
+}  // namespace talon

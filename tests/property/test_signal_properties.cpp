@@ -1,0 +1,158 @@
+// Property-style sweeps (TEST_P) over the signal chain: weight
+// quantization, the measurement model's reporting lattice, and the
+// correlation engine's invariances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/antenna/weights.hpp"
+#include "src/core/correlation.hpp"
+#include "src/phy/measurement.hpp"
+#include "tests/core/synthetic_table.hpp"
+
+namespace talon {
+namespace {
+
+// --- Quantizer properties over hardware resolutions ------------------------
+
+struct QuantizerParams {
+  int phase_states;
+  int amplitude_states;
+};
+
+class QuantizerProperty : public ::testing::TestWithParam<QuantizerParams> {};
+
+TEST_P(QuantizerProperty, OutputsLieOnTheHardwareLattice) {
+  const WeightQuantizer q{.phase_states = GetParam().phase_states,
+                          .amplitude_states = GetParam().amplitude_states};
+  Rng rng(3);
+  WeightVector in;
+  for (int i = 0; i < 64; ++i) {
+    const double amp = rng.uniform(0.0, 1.0);
+    const double phase = rng.uniform(-kPi, kPi);
+    in.emplace_back(amp * std::cos(phase), amp * std::sin(phase));
+  }
+  const double phase_step = 2.0 * kPi / q.phase_states;
+  const double amp_step = 1.0 / q.amplitude_states;
+  for (const Complex& w : q.quantize(in)) {
+    if (std::abs(w) == 0.0) continue;
+    const double amp_ratio = std::abs(w) / amp_step;
+    EXPECT_NEAR(amp_ratio, std::round(amp_ratio), 1e-9);
+    EXPECT_LE(std::abs(w), 1.0 + 1e-9);
+    const double phase_ratio = std::arg(w) / phase_step;
+    EXPECT_NEAR(phase_ratio, std::round(phase_ratio), 1e-6);
+  }
+}
+
+TEST_P(QuantizerProperty, Idempotent) {
+  const WeightQuantizer q{.phase_states = GetParam().phase_states,
+                          .amplitude_states = GetParam().amplitude_states};
+  Rng rng(5);
+  WeightVector in;
+  for (int i = 0; i < 32; ++i) {
+    in.emplace_back(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  }
+  const WeightVector once = q.quantize(in);
+  const WeightVector twice = q.quantize(once);
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(std::abs(once[i] - twice[i]), 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, QuantizerProperty,
+                         ::testing::Values(QuantizerParams{2, 1},
+                                           QuantizerParams{4, 1},
+                                           QuantizerParams{4, 2},
+                                           QuantizerParams{8, 4},
+                                           QuantizerParams{16, 8}));
+
+// --- Measurement reporting lattice over config sweeps ----------------------
+
+class MeasurementLatticeProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(MeasurementLatticeProperty, ReportsQuantizedAndClamped) {
+  MeasurementModelConfig config;
+  config.snr_quantization_db = GetParam();
+  config.base_miss_probability = 0.0;
+  MeasurementModel model(config, Rng(7));
+  for (double snr = 0.0; snr <= 40.0; snr += 0.771) {
+    const auto r = model.measure(1, snr);
+    if (!r) continue;
+    EXPECT_GE(r->snr_db, config.report_min_db - 1e-9);
+    EXPECT_LE(r->snr_db, config.report_max_db + 1e-9);
+    // On the quantization lattice, unless pinned at a clamp bound (the
+    // bounds themselves need not be lattice multiples).
+    const bool at_bound = r->snr_db == config.report_min_db ||
+                          r->snr_db == config.report_max_db;
+    const double ratio = r->snr_db / config.snr_quantization_db;
+    if (!at_bound) {
+      EXPECT_NEAR(ratio, std::round(ratio), 1e-6) << "snr " << snr;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, MeasurementLatticeProperty,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0));
+
+// --- Correlation invariances over probe-set sizes ---------------------------
+
+class CorrelationInvarianceProperty
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CorrelationInvarianceProperty, LinearDomainIsOffsetInvariant) {
+  // Adding a constant dB offset to every probe scales the linear vector,
+  // which the normalized correlation cancels exactly -- the property that
+  // makes a table measured at 3 m usable at any distance.
+  const PatternTable table = testutil::synthetic_table();
+  const CorrelationEngine engine(table, testutil::synthetic_grid());
+  std::vector<int> sectors;
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    sectors.push_back(static_cast<int>(i) + 1);
+  }
+  auto probes = testutil::ideal_probes(table, sectors, {-20.0, 0.0});
+  const Grid2D base = engine.surface(probes, SignalValue::kSnr);
+  for (SectorReading& r : probes) r.snr_db += 9.0;  // constant offset
+  const Grid2D shifted = engine.surface(probes, SignalValue::kSnr);
+  for (std::size_t i = 0; i < base.values().size(); ++i) {
+    EXPECT_NEAR(base.values()[i], shifted.values()[i], 1e-9);
+  }
+}
+
+TEST_P(CorrelationInvarianceProperty, PermutationInvariant) {
+  const PatternTable table = testutil::synthetic_table();
+  const CorrelationEngine engine(table, testutil::synthetic_grid());
+  std::vector<int> sectors;
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    sectors.push_back(static_cast<int>(i) + 1);
+  }
+  auto probes = testutil::ideal_probes(table, sectors, {10.0, 0.0});
+  const Grid2D base = engine.combined_surface(probes);
+  std::reverse(probes.begin(), probes.end());
+  const Grid2D reversed = engine.combined_surface(probes);
+  for (std::size_t i = 0; i < base.values().size(); ++i) {
+    EXPECT_NEAR(base.values()[i], reversed.values()[i], 1e-12);
+  }
+}
+
+TEST_P(CorrelationInvarianceProperty, SurfaceBoundedByOne) {
+  const PatternTable table = testutil::synthetic_table();
+  const CorrelationEngine engine(table, testutil::synthetic_grid());
+  Rng rng(GetParam());
+  std::vector<SectorReading> probes;
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    probes.push_back(SectorReading{.sector_id = static_cast<int>(i) + 1,
+                                   .snr_db = rng.uniform(-7.0, 12.0),
+                                   .rssi_dbm = rng.uniform(-7.0, 12.0)});
+  }
+  const Grid2D surface = engine.combined_surface(probes);
+  for (double v : surface.values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProbeCounts, CorrelationInvarianceProperty,
+                         ::testing::Values(3u, 4u, 5u, 7u, 9u));
+
+}  // namespace
+}  // namespace talon

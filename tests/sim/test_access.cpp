@@ -1,0 +1,162 @@
+#include "src/sim/access.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+/// An AP at the origin facing +x and `n` stations on an arc in front.
+struct AccessWorld {
+  std::unique_ptr<Environment> env = make_anechoic_chamber();
+  RadioConfig radio;
+  MeasurementModelConfig measurement;
+  std::unique_ptr<Node> ap;
+  std::vector<std::unique_ptr<Node>> stations;
+
+  explicit AccessWorld(std::size_t n, double distance_m = 3.0) {
+    NodeConfig ap_config;
+    ap_config.id = 0;
+    ap_config.device_seed = 100;
+    ap_config.pose = EndpointPose{{0.0, 0.0, 1.0}, DeviceOrientation(0.0, 0.0)};
+    ap = std::make_unique<Node>(ap_config);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Spread stations over +-40 deg in front of the AP.
+      const double az = n == 1 ? 0.0
+                               : -40.0 + 80.0 * static_cast<double>(i) /
+                                             static_cast<double>(n - 1);
+      const double rad = deg_to_rad(az);
+      NodeConfig config;
+      config.id = static_cast<int>(i) + 1;
+      config.device_seed = 200 + i;
+      config.pose = EndpointPose{
+          {distance_m * std::cos(rad), distance_m * std::sin(rad), 1.0},
+          DeviceOrientation(wrap_azimuth_deg(az + 180.0), 0.0),  // facing the AP
+      };
+      stations.push_back(std::make_unique<Node>(config));
+    }
+  }
+
+  std::vector<Node*> station_ptrs() {
+    std::vector<Node*> out;
+    for (auto& s : stations) out.push_back(s.get());
+    return out;
+  }
+
+  LinkSimulator link(std::uint64_t seed) {
+    return LinkSimulator(*env, radio, measurement, Rng(seed));
+  }
+};
+
+TEST(InitialAccess, SingleStationAssociatesImmediately) {
+  AccessWorld world(1);
+  LinkSimulator link = world.link(1);
+  InitialAccessSimulator access(link, *world.ap, world.station_ptrs(),
+                                InitialAccessConfig{}, Rng(2));
+  const auto outcomes = access.run();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].associated);
+  EXPECT_EQ(outcomes[0].beacon_intervals, 1);
+  EXPECT_EQ(outcomes[0].collisions, 0);
+  EXPECT_NEAR(outcomes[0].time_ms, 102.4, 1e-9);
+}
+
+TEST(InitialAccess, LearnedSectorsAreDirectional) {
+  AccessWorld world(1);
+  LinkSimulator link = world.link(3);
+  InitialAccessSimulator access(link, *world.ap, world.station_ptrs(),
+                                InitialAccessConfig{}, Rng(4));
+  const auto outcomes = access.run();
+  ASSERT_TRUE(outcomes[0].associated);
+  ASSERT_TRUE(outcomes[0].ap_tx_sector.has_value());
+  ASSERT_TRUE(outcomes[0].sta_tx_sector.has_value());
+  // The station is on the AP's boresight: the learned AP sector must be
+  // near-optimal toward it.
+  double best = -1e9;
+  for (int id : talon_tx_sector_ids()) {
+    best = std::max(best, link.true_snr_db(*world.ap, id, *world.stations[0],
+                                           kRxQuasiOmniSectorId));
+  }
+  EXPECT_GE(link.true_snr_db(*world.ap, *outcomes[0].ap_tx_sector,
+                             *world.stations[0], kRxQuasiOmniSectorId),
+            best - 3.0);
+  // The station now transmits with its trained sector.
+  EXPECT_EQ(world.stations[0]->firmware().own_tx_sector(),
+            *outcomes[0].sta_tx_sector);
+}
+
+TEST(InitialAccess, ManyStationsEventuallyAllAssociate) {
+  AccessWorld world(6);
+  LinkSimulator link = world.link(5);
+  InitialAccessSimulator access(link, *world.ap, world.station_ptrs(),
+                                InitialAccessConfig{}, Rng(6));
+  const auto outcomes = access.run();
+  int total_collisions = 0;
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.associated);
+    total_collisions += o.collisions;
+  }
+  // With 6 stations over 8 slots, some first-interval collisions are
+  // essentially certain.
+  EXPECT_GT(total_collisions, 0);
+}
+
+TEST(InitialAccess, FewerSlotsMoreCollisions) {
+  const auto run_with_slots = [](int slots) {
+    AccessWorld world(6);
+    LinkSimulator link = world.link(7);
+    InitialAccessConfig config;
+    config.a_bft_slots = slots;
+    InitialAccessSimulator access(link, *world.ap, world.station_ptrs(), config,
+                                  Rng(8));
+    int collisions = 0;
+    int intervals = 0;
+    for (const auto& o : access.run()) {
+      collisions += o.collisions;
+      intervals = std::max(intervals, o.beacon_intervals);
+    }
+    return std::pair{collisions, intervals};
+  };
+  const auto [c2, i2] = run_with_slots(2);
+  const auto [c16, i16] = run_with_slots(16);
+  EXPECT_GT(c2, c16);
+  EXPECT_GE(i2, i16);
+}
+
+TEST(InitialAccess, OutOfRangeStationNeverAssociates) {
+  AccessWorld world(1, /*distance_m=*/500.0);  // far outside decode range
+  LinkSimulator link = world.link(9);
+  InitialAccessConfig config;
+  config.max_beacon_intervals = 5;
+  InitialAccessSimulator access(link, *world.ap, world.station_ptrs(), config,
+                                Rng(10));
+  const auto outcomes = access.run();
+  EXPECT_FALSE(outcomes[0].associated);
+  EXPECT_EQ(outcomes[0].beacon_intervals, 5);
+  EXPECT_FALSE(outcomes[0].ap_tx_sector.has_value());
+}
+
+TEST(InitialAccess, DeterministicWithSeeds) {
+  const auto run_once = [] {
+    AccessWorld world(4);
+    LinkSimulator link = world.link(11);
+    InitialAccessSimulator access(link, *world.ap, world.station_ptrs(),
+                                  InitialAccessConfig{}, Rng(12));
+    std::vector<int> intervals;
+    for (const auto& o : access.run()) intervals.push_back(o.beacon_intervals);
+    return intervals;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(InitialAccess, RejectsEmptyStationList) {
+  AccessWorld world(1);
+  LinkSimulator link = world.link(13);
+  EXPECT_THROW(InitialAccessSimulator(link, *world.ap, {}, InitialAccessConfig{},
+                                      Rng(14)),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

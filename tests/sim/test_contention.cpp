@@ -1,0 +1,107 @@
+#include "src/sim/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+ContentionConfig base_config() {
+  ContentionConfig config;
+  config.pairs = 10;
+  config.trainings_per_second = 1.0;
+  config.probes_per_training = 34;
+  config.simulated_seconds = 20.0;
+  config.link_snr_db = 21.0;
+  return config;
+}
+
+TEST(Contention, AirtimeShareMatchesAnalyticLoad) {
+  const ThroughputModel model;
+  const ContentionConfig config = base_config();
+  const ContentionResult r = simulate_channel_contention(config, model);
+  // 10 pairs x 1/s x 1.2731 ms = 1.27% of the channel.
+  EXPECT_NEAR(r.training_airtime_share, 10 * 1.2731e-3, 2e-4);
+  EXPECT_EQ(r.total_trainings, 10 * 20);
+}
+
+TEST(Contention, CssReducesAirtimeByFactor2_3) {
+  const ThroughputModel model;
+  ContentionConfig ssw = base_config();
+  ContentionConfig css = base_config();
+  css.probes_per_training = 14;
+  const double ssw_share = simulate_channel_contention(ssw, model).training_airtime_share;
+  const double css_share = simulate_channel_contention(css, model).training_airtime_share;
+  EXPECT_NEAR(ssw_share / css_share, 2.3, 0.05);
+}
+
+TEST(Contention, GoodputReflectsRemainingAirtime) {
+  const ThroughputModel model;
+  const ContentionConfig config = base_config();
+  const ContentionResult r = simulate_channel_contention(config, model);
+  const double single = model.app_throughput_mbps(config.link_snr_db);
+  EXPECT_NEAR(r.goodput_per_pair_mbps,
+              single * (1.0 - r.training_airtime_share) / config.pairs, 1e-9);
+}
+
+TEST(Contention, DeferralsGrowWithLoad) {
+  const ThroughputModel model;
+  ContentionConfig light = base_config();
+  light.pairs = 2;
+  ContentionConfig heavy = base_config();
+  heavy.pairs = 50;
+  heavy.trainings_per_second = 10.0;
+  const ContentionResult l = simulate_channel_contention(light, model);
+  const ContentionResult h = simulate_channel_contention(heavy, model);
+  EXPECT_GE(h.deferred_trainings, l.deferred_trainings);
+  EXPECT_GT(h.training_airtime_share, l.training_airtime_share);
+  EXPECT_GT(h.worst_defer_ms, 0.0);
+}
+
+TEST(Contention, SaturationCapsAirtimeAtOne) {
+  const ThroughputModel model;
+  ContentionConfig overload = base_config();
+  overload.pairs = 200;
+  overload.trainings_per_second = 20.0;  // 200*20*1.27ms >> 1 s
+  const ContentionResult r = simulate_channel_contention(overload, model);
+  EXPECT_LE(r.training_airtime_share, 1.0 + 1e-9);
+  EXPECT_GE(r.training_airtime_share, 0.99);
+  EXPECT_NEAR(r.goodput_per_pair_mbps, 0.0, 1.0);
+}
+
+TEST(Contention, CssSupportsHigherTrackingRateAtSameBudget) {
+  // The paper's mobility argument: at a fixed airtime budget, CSS allows
+  // ~2.3x more frequent re-training.
+  const ThroughputModel model;
+  ContentionConfig ssw = base_config();
+  ssw.trainings_per_second = 10.0;
+  ContentionConfig css = base_config();
+  css.probes_per_training = 14;
+  css.trainings_per_second = 23.0;
+  const double ssw_share = simulate_channel_contention(ssw, model).training_airtime_share;
+  const double css_share = simulate_channel_contention(css, model).training_airtime_share;
+  EXPECT_NEAR(css_share, ssw_share, 0.01);
+}
+
+TEST(Contention, DeterministicForFixedSeed) {
+  const ThroughputModel model;
+  const ContentionConfig config = base_config();
+  const ContentionResult a = simulate_channel_contention(config, model);
+  const ContentionResult b = simulate_channel_contention(config, model);
+  EXPECT_DOUBLE_EQ(a.training_airtime_share, b.training_airtime_share);
+  EXPECT_EQ(a.deferred_trainings, b.deferred_trainings);
+}
+
+TEST(Contention, InvalidConfigRejected) {
+  const ThroughputModel model;
+  ContentionConfig bad = base_config();
+  bad.pairs = 0;
+  EXPECT_THROW(simulate_channel_contention(bad, model), PreconditionError);
+  ContentionConfig bad2 = base_config();
+  bad2.trainings_per_second = 0.0;
+  EXPECT_THROW(simulate_channel_contention(bad2, model), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

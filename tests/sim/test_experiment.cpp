@@ -1,0 +1,182 @@
+#include "src/sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/phy/throughput.hpp"
+#include "tests/sim/experiment_fixture.hpp"
+
+namespace talon {
+namespace {
+
+using testutil::ExperimentWorld;
+
+TEST(Recording, ProducesOneRecordPerPoseAndSweep) {
+  Scenario lab = make_lab_scenario(3);
+  RecordingConfig config;
+  config.head_azimuths_deg = {-20.0, 0.0, 20.0};
+  config.head_tilts_deg = {0.0, 10.0};
+  config.sweeps_per_pose = 4;
+  config.seed = 9;
+  const auto records = record_sweeps(lab, config);
+  EXPECT_EQ(records.size(), 3u * 2u * 4u);
+  // Pose indices group consecutive sweeps.
+  EXPECT_EQ(records[0].pose_index, records[3].pose_index);
+  EXPECT_NE(records[0].pose_index, records[4].pose_index);
+  // Physical direction mirrors the head.
+  EXPECT_DOUBLE_EQ(records[0].physical.azimuth_deg, 20.0);  // head at -20
+  EXPECT_DOUBLE_EQ(records[0].physical.elevation_deg, 0.0);
+}
+
+TEST(Recording, RejectsEmptyConfig) {
+  Scenario lab = make_lab_scenario(3);
+  RecordingConfig config;
+  EXPECT_THROW(record_sweeps(lab, config), PreconditionError);
+}
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  AnalysisTest()
+      : world_(ExperimentWorld::instance()),
+        css_(world_.table) {}
+
+  const ExperimentWorld& world_;
+  CompressiveSectorSelector css_;
+  RandomSubsetPolicy policy_;
+};
+
+TEST_F(AnalysisTest, EstimationErrorShrinksWithMoreProbes) {
+  const std::vector<std::size_t> probes{6, 14, 28};
+  const auto rows = estimation_error_analysis(world_.lab_records, css_, probes,
+                                              policy_, 1234);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.samples, 0u);
+  }
+  // Median azimuth error improves (or at least does not degrade much)
+  // as M grows, and is small in absolute terms at M=28.
+  EXPECT_LE(rows[2].azimuth_error.median, rows[0].azimuth_error.median + 0.5);
+  EXPECT_LE(rows[2].azimuth_error.median, 6.0);
+  // Box stats are internally ordered.
+  for (const auto& row : rows) {
+    EXPECT_LE(row.azimuth_error.q25, row.azimuth_error.median);
+    EXPECT_LE(row.azimuth_error.median, row.azimuth_error.q75);
+    EXPECT_LE(row.azimuth_error.q75, row.azimuth_error.whisker_high);
+  }
+}
+
+TEST_F(AnalysisTest, ElevationErrorsLargerThanAzimuth) {
+  // The paper measures elevation with half the resolution and reports
+  // clearly larger elevation errors (Fig. 7).
+  const std::vector<std::size_t> probes{14};
+  const auto rows = estimation_error_analysis(world_.lab_records, css_, probes,
+                                              policy_, 99);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GE(rows[0].elevation_error.median, rows[0].azimuth_error.median);
+}
+
+TEST_F(AnalysisTest, SelectionQualityReproducesFig8And9Shape) {
+  const std::vector<std::size_t> probes{6, 14, 26, 34};
+  const auto rows = selection_quality_analysis(world_.conference_records, css_,
+                                               probes, policy_, 77);
+  ASSERT_EQ(rows.size(), 4u);
+  // SSW stability is constant across rows and below 1.
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(row.ssw_stability, rows[0].ssw_stability);
+    EXPECT_LT(row.ssw_stability, 1.0);
+    EXPECT_GT(row.ssw_stability, 0.3);
+  }
+  // CSS stability grows with M and eventually beats SSW (Fig. 8).
+  EXPECT_GT(rows[3].css_stability, rows[0].css_stability - 0.05);
+  EXPECT_GT(rows[3].css_stability, rows[3].ssw_stability);
+  // CSS loss decreases with M; SSW loss is small and constant (Fig. 9).
+  EXPECT_GT(rows[0].css_snr_loss_db, rows[3].css_snr_loss_db - 0.2);
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(row.ssw_snr_loss_db, rows[0].ssw_snr_loss_db);
+    EXPECT_LT(row.ssw_snr_loss_db, 2.0);
+  }
+}
+
+TEST_F(AnalysisTest, ThroughputComparableBetweenAlgorithms) {
+  Scenario conf = make_conference_scenario(42);
+  ThroughputConfig config;
+  config.head_azimuths_deg = {-45.0, 0.0, 45.0};
+  config.sweeps_per_pose = 10;
+  config.seed = 5;
+  const ThroughputModel model;
+  const auto points = throughput_analysis(conf, css_, model, config);
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& p : points) {
+    // Fig. 11 regime: both around 1.3-1.55 Gbps, CSS not worse by much.
+    EXPECT_GT(p.css_mbps, 1000.0);
+    EXPECT_LT(p.css_mbps, 1600.0);
+    EXPECT_GT(p.ssw_mbps, 1000.0);
+    EXPECT_GE(p.css_mbps, p.ssw_mbps - 150.0);
+  }
+}
+
+TEST_F(AnalysisTest, TrainingTimeAccountingFavoursCss) {
+  Scenario conf = make_conference_scenario(42);
+  ThroughputConfig config;
+  config.head_azimuths_deg = {0.0};
+  config.sweeps_per_pose = 8;
+  config.account_training_time = true;
+  config.seed = 6;
+  // Isolate the training-airtime effect from the (stochastic) switch
+  // penalty: CSS trains 2.3x faster, so with airtime credited its
+  // throughput edge must be visible.
+  ThroughputModelConfig model_config;
+  model_config.sector_switch_penalty = 0.0;
+  const ThroughputModel model(model_config);
+  const auto points = throughput_analysis(conf, css_, model, config);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_GT(points[0].css_mbps, points[0].ssw_mbps);
+}
+
+
+TEST_F(AnalysisTest, EstimationErrorValidatesProbeCounts) {
+  RandomSubsetPolicy policy;
+  const std::vector<std::size_t> too_small{1};
+  EXPECT_THROW(estimation_error_analysis(world_.lab_records, css_, too_small,
+                                         policy, 1),
+               PreconditionError);
+  const std::vector<std::size_t> too_big{35};
+  EXPECT_THROW(estimation_error_analysis(world_.lab_records, css_, too_big,
+                                         policy, 1),
+               PreconditionError);
+}
+
+TEST_F(AnalysisTest, AnalysesRejectEmptyRecords) {
+  RandomSubsetPolicy policy;
+  const std::vector<SweepRecord> none;
+  const std::vector<std::size_t> probes{14};
+  EXPECT_THROW(estimation_error_analysis(none, css_, probes, policy, 1),
+               PreconditionError);
+  EXPECT_THROW(selection_quality_analysis(none, css_, probes, policy, 1),
+               PreconditionError);
+}
+
+TEST_F(AnalysisTest, AnalysesAreDeterministicForFixedSeed) {
+  RandomSubsetPolicy policy;
+  const std::vector<std::size_t> probes{10, 20};
+  const auto a = estimation_error_analysis(world_.lab_records, css_, probes,
+                                           policy, 424);
+  const auto b = estimation_error_analysis(world_.lab_records, css_, probes,
+                                           policy, 424);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].azimuth_error.median, b[i].azimuth_error.median);
+    EXPECT_EQ(a[i].samples, b[i].samples);
+  }
+}
+
+TEST_F(AnalysisTest, ThroughputValidatesConfig) {
+  Scenario conf = make_conference_scenario(42);
+  ThroughputConfig config;
+  config.probes = 1;
+  const ThroughputModel model;
+  EXPECT_THROW(throughput_analysis(conf, css_, model, config), PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

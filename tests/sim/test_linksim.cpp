@@ -1,0 +1,281 @@
+#include "src/sim/linksim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/ssw.hpp"
+#include "src/sim/scenario.hpp"
+
+namespace talon {
+namespace {
+
+TEST(LinkSim, FullSweepTransmits34Frames) {
+  Scenario s = make_anechoic_scenario(1);
+  LinkSimulator link = s.make_link(Rng(5));
+  const SweepOutcome out =
+      link.transmit_sweep(*s.dut, *s.peer, sweep_burst_schedule());
+  EXPECT_EQ(out.transmitted_frames, 34);
+  EXPECT_LE(out.measurement.readings.size(), 34u);
+  EXPECT_GT(out.measurement.readings.size(), 5u);  // strong sectors decode
+}
+
+TEST(LinkSim, ProbingScheduleTransmitsSubsetOnly) {
+  Scenario s = make_anechoic_scenario(1);
+  LinkSimulator link = s.make_link(Rng(5));
+  const std::vector<int> subset{1, 8, 63};
+  const SweepOutcome out =
+      link.transmit_sweep(*s.dut, *s.peer, probing_burst_schedule(subset));
+  EXPECT_EQ(out.transmitted_frames, 3);
+  for (const SectorReading& r : out.measurement.readings) {
+    EXPECT_TRUE(r.sector_id == 1 || r.sector_id == 8 || r.sector_id == 63);
+  }
+}
+
+TEST(LinkSim, FeedbackMatchesStrongestReading) {
+  Scenario s = make_anechoic_scenario(1);
+  LinkSimulator link = s.make_link(Rng(5));
+  const SweepOutcome out =
+      link.transmit_sweep(*s.dut, *s.peer, sweep_burst_schedule());
+  ASSERT_FALSE(out.measurement.readings.empty());
+  double best = -100.0;
+  for (const SectorReading& r : out.measurement.readings) {
+    best = std::max(best, r.snr_db);
+  }
+  const SectorReading* chosen = out.measurement.find(out.feedback.selected_sector_id);
+  ASSERT_NE(chosen, nullptr);
+  EXPECT_DOUBLE_EQ(chosen->snr_db, best);
+}
+
+TEST(LinkSim, TrueSnrMatchesBoresightGeometry) {
+  Scenario s = make_anechoic_scenario(1);
+  LinkSimulator link = s.make_link(Rng(5));
+  // Head at 0: sector 63 (boresight) should be at or near the maximum.
+  double best_snr = -1e9;
+  int best_id = -1;
+  for (int id : talon_tx_sector_ids()) {
+    const double snr = link.true_snr_db(*s.dut, id, *s.peer, kRxQuasiOmniSectorId);
+    if (snr > best_snr) {
+      best_snr = snr;
+      best_id = id;
+    }
+  }
+  const double snr63 = link.true_snr_db(*s.dut, 63, *s.peer, kRxQuasiOmniSectorId);
+  EXPECT_NEAR(snr63, best_snr, 3.0);
+  EXPECT_GT(best_snr, 20.0);
+  (void)best_id;
+}
+
+TEST(LinkSim, RotatingHeadShiftsBestSector) {
+  Scenario s = make_anechoic_scenario(1);
+  LinkSimulator link = s.make_link(Rng(5));
+  const auto best_at = [&](double az) {
+    s.set_head(az, 0.0);
+    double best_snr = -1e9;
+    int best_id = -1;
+    for (int id : talon_tx_sector_ids()) {
+      const double snr = link.true_snr_db(*s.dut, id, *s.peer, kRxQuasiOmniSectorId);
+      if (snr > best_snr) {
+        best_snr = snr;
+        best_id = id;
+      }
+    }
+    return best_id;
+  };
+  EXPECT_NE(best_at(-40.0), best_at(40.0));
+}
+
+TEST(LinkSim, MonitorSeesEveryTransmittedFrame) {
+  Scenario s = make_anechoic_scenario(1);
+  LinkSimulator link = s.make_link(Rng(5));
+  MonitorCapture mon;
+  link.transmit_sweep(*s.dut, *s.peer, sweep_burst_schedule(), &mon);
+  EXPECT_EQ(mon.frame_count(), 34u);
+  EXPECT_TRUE(mon.schedule_is_constant(FrameType::kSectorSweep));
+}
+
+TEST(LinkSim, BeaconBurstUses32Sectors) {
+  Scenario s = make_anechoic_scenario(1);
+  LinkSimulator link = s.make_link(Rng(5));
+  MonitorCapture mon;
+  const int transmitted = link.transmit_beacons(*s.dut, &mon);
+  EXPECT_EQ(transmitted, 32);
+  EXPECT_EQ(mon.frame_count(), 32u);
+  const auto m = mon.cdown_to_sectors(FrameType::kBeacon);
+  EXPECT_EQ(*m.at(33).begin(), 63);
+}
+
+TEST(LinkSim, FirmwareSweepIndexAdvancesPerSweep) {
+  Scenario s = make_anechoic_scenario(1);
+  LinkSimulator link = s.make_link(Rng(5));
+  const std::uint32_t before = s.peer->firmware().sweep_index();
+  link.transmit_sweep(*s.dut, *s.peer, sweep_burst_schedule());
+  link.transmit_sweep(*s.dut, *s.peer, sweep_burst_schedule());
+  EXPECT_EQ(s.peer->firmware().sweep_index(), before + 2);
+}
+
+
+TEST(LinkSim, MutualTrainingBothDirections) {
+  Scenario s = make_lab_scenario(1);
+  s.set_head(15.0, 0.0);
+  LinkSimulator link = s.make_link(Rng(5));
+  const MutualTrainingResult result =
+      link.mutual_training(*s.dut, *s.peer, sweep_burst_schedule());
+  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.initiator_sector.has_value());
+  ASSERT_TRUE(result.responder_sector.has_value());
+  // Both selections must be close in true SNR to each direction's optimum.
+  double best_fwd = -1e9;
+  double best_rev = -1e9;
+  for (int id : talon_tx_sector_ids()) {
+    best_fwd = std::max(best_fwd,
+                        link.true_snr_db(*s.dut, id, *s.peer, kRxQuasiOmniSectorId));
+    best_rev = std::max(best_rev,
+                        link.true_snr_db(*s.peer, id, *s.dut, kRxQuasiOmniSectorId));
+  }
+  EXPECT_GE(link.true_snr_db(*s.dut, *result.initiator_sector, *s.peer,
+                             kRxQuasiOmniSectorId),
+            best_fwd - 3.0);
+  EXPECT_GE(link.true_snr_db(*s.peer, *result.responder_sector, *s.dut,
+                             kRxQuasiOmniSectorId),
+            best_rev - 3.0);
+  EXPECT_NEAR(result.airtime_us, 1273.1, 0.1);
+}
+
+TEST(LinkSim, MutualTrainingInstallsOwnTxSectors) {
+  Scenario s = make_lab_scenario(1);
+  s.set_head(-30.0, 0.0);
+  LinkSimulator link = s.make_link(Rng(7));
+  // Trainings occasionally fail (lost feedback/ACK frames); retry like a
+  // real station does in the next beacon interval.
+  MutualTrainingResult result;
+  for (int attempt = 0; attempt < 5 && !result.success; ++attempt) {
+    result = link.mutual_training(*s.dut, *s.peer, sweep_burst_schedule());
+  }
+  ASSERT_TRUE(result.success);
+  // Each side now transmits with the sector its peer selected for it.
+  EXPECT_EQ(s.dut->firmware().own_tx_sector(), *result.initiator_sector);
+  EXPECT_EQ(s.peer->firmware().own_tx_sector(), *result.responder_sector);
+}
+
+TEST(LinkSim, MutualTrainingWithOverrideSteersInitiator) {
+  Scenario s = make_lab_scenario(1);
+  s.set_head(10.0, 0.0);
+  LinkSimulator link = s.make_link(Rng(9));
+  s.peer->firmware().apply_research_patches();
+  // Force the *second best* sector toward the peer: not what argmax would
+  // pick, but still strong enough to carry the feedback/ACK frames (a
+  // forced dead sector would rightfully break the exchange).
+  std::vector<std::pair<double, int>> ranked;
+  for (int id : talon_tx_sector_ids()) {
+    ranked.emplace_back(link.true_snr_db(*s.dut, id, *s.peer, kRxQuasiOmniSectorId),
+                        id);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  const int forced = ranked[1].second;
+  s.peer->firmware().handle_wmi(
+      {.type = WmiCommandType::kSetSectorOverride, .sector_id = forced});
+  MutualTrainingResult result;
+  for (int attempt = 0; attempt < 5 && !result.success; ++attempt) {
+    result = link.mutual_training(*s.dut, *s.peer, sweep_burst_schedule());
+  }
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(*result.initiator_sector, forced);
+  EXPECT_EQ(s.dut->firmware().own_tx_sector(), forced);
+}
+
+TEST(LinkSim, MutualTrainingMonitorSeesAllPhases) {
+  Scenario s = make_anechoic_scenario(1);
+  LinkSimulator link = s.make_link(Rng(11));
+  MonitorCapture mon;
+  const MutualTrainingResult result =
+      link.mutual_training(*s.dut, *s.peer, sweep_burst_schedule(), &mon);
+  ASSERT_TRUE(result.success);
+  int sweeps = 0;
+  int feedback = 0;
+  int ack = 0;
+  for (const Frame& f : mon.frames()) {
+    if (f.type == FrameType::kSectorSweep) ++sweeps;
+    if (f.type == FrameType::kSswFeedback) ++feedback;
+    if (f.type == FrameType::kSswAck) ++ack;
+  }
+  EXPECT_EQ(sweeps, 68);  // 34 each direction
+  EXPECT_EQ(feedback, 1);
+  EXPECT_EQ(ack, 1);
+}
+
+
+TEST(LinkSim, RefinementImprovesOnSectorSelection) {
+  Scenario lab = make_lab_scenario(1);
+  lab.set_head(13.0, 0.0);  // off-peak: truth falls between sector beams
+  LinkSimulator link = lab.make_link(Rng(19));
+  // Best codebook sector toward the peer.
+  double best_sector_snr = -1e9;
+  for (int id : talon_tx_sector_ids()) {
+    best_sector_snr = std::max(
+        best_sector_snr, link.true_snr_db(*lab.dut, id, *lab.peer, kRxQuasiOmniSectorId));
+  }
+  // Refine around the (known) device-frame direction of the peer.
+  const RefinementResult refined =
+      link.refine_tx_beam(*lab.dut, *lab.peer, lab.nominal_peer_direction());
+  ASSERT_TRUE(refined.valid);
+  const double refined_snr = link.true_snr_with_weights(
+      *lab.dut, refined.weights, *lab.peer, kRxQuasiOmniSectorId);
+  EXPECT_GT(refined_snr, best_sector_snr + 0.3);
+  EXPECT_EQ(refined.probes, 15);  // 5 x 3 default grid
+}
+
+TEST(LinkSim, RefinementStaysNearRequestedDirection) {
+  Scenario lab = make_lab_scenario(1);
+  lab.set_head(-35.0, 0.0);
+  LinkSimulator link = lab.make_link(Rng(23));
+  const RefinementResult refined =
+      link.refine_tx_beam(*lab.dut, *lab.peer, lab.nominal_peer_direction());
+  ASSERT_TRUE(refined.valid);
+  EXPECT_LE(azimuth_distance_deg(refined.steering.azimuth_deg, 35.0), 5.0);
+}
+
+
+TEST(LinkSim, ReceiveSectorSweepFindsDirectionalGain) {
+  // RXSS extension: after TX training, sweeping the receive sectors finds
+  // a directional RX beam far stronger than the stock quasi-omni pattern.
+  Scenario s = make_lab_scenario(1);
+  s.set_head(0.0, 0.0);
+  // Back the TX power off so readings stay below the 12 dB report clamp;
+  // at full power every decent RX sector saturates the readout and the
+  // argmax cannot tell them apart (a real short-range RXSS artifact).
+  s.radio.tx_power_dbm = -10.0;
+  LinkSimulator link = s.make_link(Rng(29));
+  // Train TX first so own_tx_sector() points at the peer.
+  MutualTrainingResult training;
+  for (int attempt = 0; attempt < 5 && !training.success; ++attempt) {
+    training = link.mutual_training(*s.dut, *s.peer, sweep_burst_schedule());
+  }
+  ASSERT_TRUE(training.success);
+
+  // The peer sweeps its RX sectors (reusing the TX codebook as RX AWVs).
+  const SweepMeasurement rxss =
+      link.receive_sector_sweep(*s.dut, *s.peer, talon_tx_sector_ids());
+  ASSERT_GE(rxss.readings.size(), 5u);
+  const SswSelection best_rx = sweep_select(rxss.readings);
+  ASSERT_TRUE(best_rx.valid);
+
+  const double omni_snr = link.true_snr_db(*s.dut, s.dut->firmware().own_tx_sector(),
+                                           *s.peer, kRxQuasiOmniSectorId);
+  const double directional_snr = link.true_snr_db(
+      *s.dut, s.dut->firmware().own_tx_sector(), *s.peer, best_rx.sector_id);
+  EXPECT_GT(directional_snr, omni_snr + 8.0);  // ~array gain over one element
+}
+
+TEST(LinkSim, ReceiveSweepRespectsSectorList) {
+  Scenario s = make_lab_scenario(1);
+  LinkSimulator link = s.make_link(Rng(31));
+  const std::vector<int> sectors{12, 63};
+  const SweepMeasurement rxss = link.receive_sector_sweep(*s.dut, *s.peer, sectors);
+  for (const SectorReading& r : rxss.readings) {
+    EXPECT_TRUE(r.sector_id == 12 || r.sector_id == 63);
+  }
+}
+
+}  // namespace
+}  // namespace talon

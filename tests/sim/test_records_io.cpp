@@ -1,0 +1,98 @@
+#include "src/sim/records_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/core/subset_policy.hpp"
+#include "src/sim/scenario.hpp"
+#include "tests/sim/experiment_fixture.hpp"
+
+namespace talon {
+namespace {
+
+std::vector<SweepRecord> sample_records() {
+  Scenario lab = make_lab_scenario(3);
+  RecordingConfig config;
+  config.head_azimuths_deg = {-20.0, 10.0};
+  config.head_tilts_deg = {0.0, 12.0};
+  config.sweeps_per_pose = 3;
+  config.seed = 17;
+  return record_sweeps(lab, config);
+}
+
+TEST(RecordsIo, RoundTripPreservesEverything) {
+  const auto records = sample_records();
+  const auto back = records_from_csv(records_to_csv(records));
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i].pose_index, records[i].pose_index);
+    EXPECT_DOUBLE_EQ(back[i].physical.azimuth_deg, records[i].physical.azimuth_deg);
+    EXPECT_DOUBLE_EQ(back[i].physical.elevation_deg,
+                     records[i].physical.elevation_deg);
+    ASSERT_EQ(back[i].measurement.readings.size(),
+              records[i].measurement.readings.size());
+    for (std::size_t r = 0; r < records[i].measurement.readings.size(); ++r) {
+      EXPECT_EQ(back[i].measurement.readings[r].sector_id,
+                records[i].measurement.readings[r].sector_id);
+      EXPECT_DOUBLE_EQ(back[i].measurement.readings[r].snr_db,
+                       records[i].measurement.readings[r].snr_db);
+      EXPECT_DOUBLE_EQ(back[i].measurement.readings[r].rssi_dbm,
+                       records[i].measurement.readings[r].rssi_dbm);
+    }
+  }
+}
+
+TEST(RecordsIo, EmptySweepSurvivesRoundTrip) {
+  std::vector<SweepRecord> records(2);
+  records[0].pose_index = 0;
+  records[0].physical = {5.0, 0.0};
+  // record 0 decoded nothing at all.
+  records[1].pose_index = 1;
+  records[1].physical = {-5.0, 3.0};
+  records[1].measurement.readings.push_back(
+      SectorReading{.sector_id = 9, .snr_db = 4.25, .rssi_dbm = -60.0});
+
+  const auto back = records_from_csv(records_to_csv(records));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back[0].measurement.readings.empty());
+  EXPECT_EQ(back[1].measurement.readings.size(), 1u);
+}
+
+TEST(RecordsIo, AnalysisOnReloadedRecordsMatches) {
+  // The paper's offline-analysis property: running the analysis on the
+  // persisted file gives identical results to running it in-process.
+  const auto records = sample_records();
+  const auto reloaded = records_from_csv(records_to_csv(records));
+  const CompressiveSectorSelector css(testutil::ExperimentWorld::instance().table);
+  RandomSubsetPolicy policy;
+  const std::vector<std::size_t> probes{10};
+  const auto a = estimation_error_analysis(records, css, probes, policy, 88);
+  const auto b = estimation_error_analysis(reloaded, css, probes, policy, 88);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a[0].azimuth_error.median, b[0].azimuth_error.median);
+  EXPECT_DOUBLE_EQ(a[0].elevation_error.whisker_high,
+                   b[0].elevation_error.whisker_high);
+  EXPECT_EQ(a[0].samples, b[0].samples);
+}
+
+TEST(RecordsIo, NonConsecutiveIndicesRejected) {
+  auto csv = records_to_csv(sample_records());
+  csv.rows[0][0] = 5.0;  // first record index must be 0
+  EXPECT_THROW(records_from_csv(csv), ParseError);
+}
+
+TEST(RecordsIo, EmptyTableRejected) {
+  CsvTable csv;
+  csv.header = {"record_index", "pose_index", "physical_azimuth_deg",
+                "physical_elevation_deg", "sector_id", "snr_db", "rssi_dbm"};
+  EXPECT_THROW(records_from_csv(csv), ParseError);
+}
+
+TEST(RecordsIo, MissingColumnRejected) {
+  CsvTable csv = records_to_csv(sample_records());
+  csv.header[0] = "wrong";
+  EXPECT_THROW(records_from_csv(csv), ParseError);
+}
+
+}  // namespace
+}  // namespace talon

@@ -1,0 +1,82 @@
+#include "src/sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace talon {
+namespace {
+
+TEST(Scenario, FactoriesSetDistancesAndNames) {
+  const Scenario anechoic = make_anechoic_scenario(1);
+  EXPECT_EQ(anechoic.name, "anechoic");
+  EXPECT_DOUBLE_EQ(anechoic.distance_m, 3.0);
+  const Scenario lab = make_lab_scenario(1);
+  EXPECT_DOUBLE_EQ(lab.distance_m, 3.0);
+  const Scenario conf = make_conference_scenario(1);
+  EXPECT_DOUBLE_EQ(conf.distance_m, 6.0);
+  EXPECT_EQ(conf.environment->name(), "conference");
+}
+
+TEST(Scenario, NodesFaceEachOther) {
+  const Scenario s = make_lab_scenario(1);
+  EXPECT_DOUBLE_EQ(s.dut->pose().orientation.azimuth_deg(), 0.0);
+  EXPECT_DOUBLE_EQ(s.peer->pose().orientation.azimuth_deg(), 180.0);
+  EXPECT_DOUBLE_EQ(norm(s.peer->pose().position - s.dut->pose().position), 3.0);
+}
+
+TEST(Scenario, SetHeadRotatesDut) {
+  Scenario s = make_lab_scenario(1);
+  s.set_head(25.0, 10.0);
+  EXPECT_DOUBLE_EQ(s.dut->pose().orientation.azimuth_deg(), 25.0);
+  // Positive tilt commands tilt the device down so the peer appears at
+  // positive device-frame elevation.
+  EXPECT_DOUBLE_EQ(s.dut->pose().orientation.tilt_deg(), -10.0);
+}
+
+TEST(Scenario, NominalPeerDirectionMirrorsHead) {
+  Scenario s = make_lab_scenario(1);
+  s.set_head(30.0, 12.0);
+  const Direction d = s.nominal_peer_direction();
+  EXPECT_DOUBLE_EQ(d.azimuth_deg, -30.0);
+  EXPECT_DOUBLE_EQ(d.elevation_deg, 12.0);
+}
+
+TEST(Scenario, NominalDirectionApproximatesTrueDirection) {
+  // The nominal (-head_az, +tilt) coordinates should be close to the exact
+  // device-frame direction of the LOS ray for moderate angles.
+  Scenario s = make_lab_scenario(1);
+  for (double az : {-40.0, 0.0, 40.0}) {
+    for (double tilt : {0.0, 10.0, 20.0}) {
+      s.set_head(az, tilt);
+      const auto rays =
+          s.environment->rays(s.dut->pose().position, s.peer->pose().position);
+      const Direction exact =
+          s.dut->pose().orientation.to_device_frame(rays[0].departure_world);
+      const Direction nominal = s.nominal_peer_direction();
+      EXPECT_LE(azimuth_distance_deg(exact.azimuth_deg, nominal.azimuth_deg), 3.0)
+          << "az " << az << " tilt " << tilt;
+      EXPECT_LE(std::abs(exact.elevation_deg - nominal.elevation_deg), 3.0);
+    }
+  }
+}
+
+TEST(Scenario, DutAndPeerHaveDistinctDevices) {
+  const Scenario s = make_lab_scenario(1);
+  // Different device seeds: realized gains differ for the same sector.
+  bool differs = false;
+  for (double az = -40.0; az <= 40.0; az += 20.0) {
+    if (std::abs(s.dut->front_end().gain_dbi(8, {az, 0.0}) -
+                 s.peer->front_end().gain_dbi(8, {az, 0.0})) > 0.2) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Scenario, NodeIdsDistinct) {
+  const Scenario s = make_conference_scenario(1);
+  EXPECT_NE(s.dut->id(), s.peer->id());
+}
+
+}  // namespace
+}  // namespace talon

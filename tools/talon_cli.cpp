@@ -1,0 +1,287 @@
+// talon-cli: the command-line face of the library, mirroring how the
+// talon-tools release is driven from the shell.
+//
+//   talon-cli measure   [--output patterns.csv] [--full] [--seed N]
+//   talon-cli summary   <patterns.csv>
+//   talon-cli train     [--env lab|conference|anechoic] [--head DEG]
+//                       [--probes M] [--patterns patterns.csv] [--seed N]
+//   talon-cli record    [--env lab|conference] [--output records.csv]
+//                       [--sweeps N] [--az-step DEG] [--seed N]
+//   talon-cli analyze   <error|quality> --records records.csv
+//                       [--patterns patterns.csv] [--probes M]
+//   talon-cli table1
+//   talon-cli timing    [--probes M]
+//
+// `measure` runs the anechoic campaign and writes the pattern CSV;
+// `summary` inspects a pattern file; `train` runs one compressive
+// selection round in a venue (measuring patterns on the fly when no file
+// is given); `record`/`analyze` split data collection from offline
+// analysis like the paper's router-plus-MATLAB workflow; `table1` and
+// `timing` print the protocol constants.
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/args.hpp"
+#include "src/common/error.hpp"
+#include "src/core/css.hpp"
+#include "src/core/ssw.hpp"
+#include "src/core/subset_policy.hpp"
+#include "src/mac/monitor.hpp"
+#include "src/mac/timing.hpp"
+#include "src/measure/campaign.hpp"
+#include "src/sim/records_io.hpp"
+#include "src/sim/scenario.hpp"
+
+namespace {
+
+using namespace talon;
+
+void print_usage() {
+  std::printf(
+      "usage: talon-cli <command> [options]\n"
+      "  measure  [--output patterns.csv] [--full] [--seed N]\n"
+      "  summary  <patterns.csv>\n"
+      "  train    [--env lab|conference|anechoic] [--head DEG] [--probes M]\n"
+      "           [--patterns patterns.csv] [--seed N]\n"
+      "  record   [--env lab|conference] [--output records.csv] [--sweeps N]\n"
+      "           [--az-step DEG] [--seed N]\n"
+      "  analyze  <error|quality> --records records.csv\n"
+      "           [--patterns patterns.csv] [--probes M] [--seed N]\n"
+      "  table1\n"
+      "  timing   [--probes M]\n");
+}
+
+PatternTable measure_patterns(std::uint64_t seed, bool full) {
+  Scenario chamber = make_anechoic_scenario(seed);
+  CampaignConfig config;
+  if (full) {
+    config.azimuth = make_axis(-90.0, 90.0, 1.8);
+    config.elevation = make_axis(0.0, 32.4, 3.6);
+    config.repetitions = 3;
+  } else {
+    config.azimuth = make_axis(-90.0, 90.0, 3.6);
+    config.elevation = make_axis(0.0, 32.4, 5.4);
+    config.repetitions = 2;
+  }
+  return measure_sector_patterns(chamber, config).table;
+}
+
+int cmd_measure(const ArgParser& args) {
+  const std::string output = args.option_or("--output", "patterns.csv");
+  const auto seed = static_cast<std::uint64_t>(args.integer_or("--seed", 42));
+  const PatternTable table = measure_patterns(seed, args.has_flag("--full"));
+  write_csv_file(output, table.to_csv());
+  std::printf("measured %zu sectors on a %zux%zu grid -> %s\n", table.size(),
+              table.grid().azimuth.count, table.grid().elevation.count,
+              output.c_str());
+  return 0;
+}
+
+int cmd_summary(const ArgParser& args) {
+  if (args.positionals().size() < 2) {
+    std::fprintf(stderr, "summary: missing <patterns.csv>\n");
+    return 2;
+  }
+  const PatternTable table =
+      PatternTable::from_csv(read_csv_file(args.positionals()[1]));
+  std::printf("%zu sectors, azimuth %zu x elevation %zu grid\n", table.size(),
+              table.grid().azimuth.count, table.grid().elevation.count);
+  std::printf("sector | peak [dB] | peak az | peak el\n");
+  for (int id : table.ids()) {
+    const auto peak = table.pattern(id).peak();
+    std::printf("%6d |  %6.2f   | %6.1f  | %6.1f\n", id, peak.value,
+                peak.direction.azimuth_deg, peak.direction.elevation_deg);
+  }
+  return 0;
+}
+
+int cmd_train(const ArgParser& args) {
+  const std::string env = args.option_or("--env", "lab");
+  const auto seed = static_cast<std::uint64_t>(args.integer_or("--seed", 42));
+  const double head = args.number_or("--head", 20.0);
+  const auto probes = static_cast<std::size_t>(args.integer_or("--probes", 14));
+
+  Scenario scenario = env == "conference"  ? make_conference_scenario(seed)
+                      : env == "anechoic" ? make_anechoic_scenario(seed)
+                                          : make_lab_scenario(seed);
+  scenario.set_head(head, 0.0);
+
+  PatternTable table;
+  if (const auto path = args.option("--patterns")) {
+    table = PatternTable::from_csv(read_csv_file(*path));
+  } else {
+    std::printf("no --patterns file: measuring (quick campaign)...\n");
+    table = measure_patterns(seed, false);
+  }
+  const CompressiveSectorSelector css(table);
+
+  LinkSimulator link = scenario.make_link(Rng(seed + 1));
+  RandomSubsetPolicy policy;
+  Rng rng(seed + 2);
+  const auto subset = policy.choose(talon_tx_sector_ids(), probes, rng);
+  const SweepOutcome sweep = link.transmit_sweep(*scenario.dut, *scenario.peer,
+                                                 probing_burst_schedule(subset));
+  const CssResult result = css.select(sweep.measurement.readings);
+  const SweepOutcome full = link.transmit_sweep(*scenario.dut, *scenario.peer,
+                                                sweep_burst_schedule());
+  const SswSelection ssw = sweep_select(full.measurement.readings);
+
+  std::printf("venue %s, head %.1f deg, %zu probes (%zu decoded)\n", env.c_str(), head,
+              probes, sweep.measurement.readings.size());
+  if (result.valid && result.estimated_direction) {
+    std::printf("CSS: sector %d, estimated path az %.1f el %.1f (peak %.3f)\n",
+                result.sector_id, result.estimated_direction->azimuth_deg,
+                result.estimated_direction->elevation_deg, result.correlation_peak);
+  } else {
+    std::printf("CSS: no valid selection this round\n");
+  }
+  std::printf("SSW: sector %d at %.2f dB reported\n", ssw.sector_id, ssw.snr_db);
+  const double css_true = link.true_snr_db(*scenario.dut, result.sector_id,
+                                           *scenario.peer, kRxQuasiOmniSectorId);
+  const double ssw_true = link.true_snr_db(*scenario.dut, ssw.sector_id,
+                                           *scenario.peer, kRxQuasiOmniSectorId);
+  std::printf("true SNR: CSS %.2f dB, SSW %.2f dB\n", css_true, ssw_true);
+  return 0;
+}
+
+int cmd_record(const ArgParser& args) {
+  const std::string env = args.option_or("--env", "conference");
+  const std::string output = args.option_or("--output", "records.csv");
+  const auto seed = static_cast<std::uint64_t>(args.integer_or("--seed", 42));
+  Scenario scenario =
+      env == "lab" ? make_lab_scenario(seed) : make_conference_scenario(seed);
+
+  RecordingConfig config;
+  const double az_step = args.number_or("--az-step", 5.0);
+  for (double az = -60.0; az <= 60.0 + 1e-9; az += az_step) {
+    config.head_azimuths_deg.push_back(az);
+  }
+  config.head_tilts_deg = {0.0};
+  config.sweeps_per_pose = static_cast<std::size_t>(args.integer_or("--sweeps", 10));
+  config.seed = seed + 100;
+  const auto records = record_sweeps(scenario, config);
+  write_csv_file(output, records_to_csv(records));
+  std::printf("recorded %zu sweeps over %zu poses in the %s -> %s\n", records.size(),
+              records.size() / config.sweeps_per_pose, env.c_str(), output.c_str());
+  return 0;
+}
+
+int cmd_analyze(const ArgParser& args) {
+  if (args.positionals().size() < 2) {
+    std::fprintf(stderr, "analyze: missing <error|quality>\n");
+    return 2;
+  }
+  const std::string what = args.positionals()[1];
+  const auto records_path = args.option("--records");
+  if (!records_path) {
+    std::fprintf(stderr, "analyze: --records is required\n");
+    return 2;
+  }
+  const auto records = records_from_csv(read_csv_file(*records_path));
+  const auto seed = static_cast<std::uint64_t>(args.integer_or("--seed", 42));
+
+  PatternTable table;
+  if (const auto path = args.option("--patterns")) {
+    table = PatternTable::from_csv(read_csv_file(*path));
+  } else {
+    std::printf("no --patterns file: measuring (quick campaign)...\n");
+    table = measure_patterns(seed, false);
+  }
+  const CompressiveSectorSelector css(table);
+  RandomSubsetPolicy policy;
+  const std::vector<std::size_t> probes{
+      static_cast<std::size_t>(args.integer_or("--probes", 14))};
+
+  if (what == "error") {
+    const auto rows = estimation_error_analysis(records, css, probes, policy, seed);
+    std::printf("probes | az median | az p99.5 | el median | el p99.5 | samples\n");
+    for (const auto& row : rows) {
+      std::printf("%6zu |  %6.2f   |  %6.2f  |  %6.2f   |  %6.2f  | %6zu\n",
+                  row.probes, row.azimuth_error.median,
+                  row.azimuth_error.whisker_high, row.elevation_error.median,
+                  row.elevation_error.whisker_high, row.samples);
+    }
+    return 0;
+  }
+  if (what == "quality") {
+    const auto rows = selection_quality_analysis(records, css, probes, policy, seed);
+    std::printf("probes | CSS stability | SSW stability | CSS loss | SSW loss\n");
+    for (const auto& row : rows) {
+      std::printf("%6zu |     %.3f     |     %.3f     |  %5.2f   |  %5.2f\n",
+                  row.probes, row.css_stability, row.ssw_stability,
+                  row.css_snr_loss_db, row.ssw_snr_loss_db);
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "analyze: unknown analysis '%s'\n", what.c_str());
+  return 2;
+}
+
+int cmd_table1() {
+  Scenario s = make_anechoic_scenario(42);
+  LinkSimulator link = s.make_link(Rng(1));
+  MonitorCapture monitor;
+  link.transmit_beacons(*s.dut, &monitor);
+  link.transmit_sweep(*s.dut, *s.peer, sweep_burst_schedule(), &monitor);
+  for (const FrameType type : {FrameType::kBeacon, FrameType::kSectorSweep}) {
+    std::printf("%-7s", type == FrameType::kBeacon ? "Beacon" : "Sweep");
+    const auto observed = monitor.cdown_to_sectors(type);
+    for (int cdown = 34; cdown >= 0; --cdown) {
+      const auto it = observed.find(cdown);
+      if (it == observed.end()) {
+        std::printf(" %3s", "-");
+      } else {
+        std::printf(" %3d", *it->second.begin());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_timing(const ArgParser& args) {
+  const auto probes = static_cast<int>(args.integer_or("--probes", 14));
+  const TimingModel timing;
+  std::printf("mutual training with %d probes: %.3f ms (full sweep %.3f ms, %.2fx)\n",
+              probes, timing.mutual_training_time_ms(probes),
+              timing.mutual_training_time_ms(kFullSweepProbes),
+              timing.speedup_vs_full_sweep(probes));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  ArgParser args;
+  args.add_option("--output");
+  args.add_option("--seed");
+  args.add_option("--env");
+  args.add_option("--head");
+  args.add_option("--probes");
+  args.add_option("--patterns");
+  args.add_option("--records");
+  args.add_option("--sweeps");
+  args.add_option("--az-step");
+  args.add_flag("--full");
+  try {
+    args.parse(argc - 1, argv + 1);
+    const std::string command = args.positionals().empty() ? "" : args.positionals()[0];
+    if (command == "measure") return cmd_measure(args);
+    if (command == "summary") return cmd_summary(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "record") return cmd_record(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "table1") return cmd_table1();
+    if (command == "timing") return cmd_timing(args);
+    print_usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "talon-cli: %s\n", e.what());
+    return 1;
+  }
+}
