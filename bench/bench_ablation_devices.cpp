@@ -52,10 +52,11 @@ Quality evaluate(std::uint64_t device_seed, const PatternTable& table,
   const auto records = record_sweeps(lab, rec);
 
   const CompressiveSectorSelector css(table);
+  CssSelector selector(css);
   RandomSubsetPolicy policy;
   const std::vector<std::size_t> probes{14};
-  const auto err = estimation_error_analysis(records, css, probes, policy, 9100);
-  const auto qual = selection_quality_analysis(records, css, probes, policy, 9200);
+  const auto err = estimation_error_analysis(records, selector, probes, policy, 9100);
+  const auto qual = selection_quality_analysis(records, selector, probes, policy, 9200);
   return Quality{
       .az_median = err[0].azimuth_error.median,
       .az_p995 = err[0].azimuth_error.whisker_high,

@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
   snr_only_config.use_rssi = false;
   const CompressiveSectorSelector css_product(table, product_config);
   const CompressiveSectorSelector css_snr(table, snr_only_config);
+  CssSelector product_selector(css_product);
+  CssSelector snr_selector(css_snr);
 
   const std::vector<std::size_t> probes{14};
   RandomSubsetPolicy policy;
@@ -52,9 +54,9 @@ int main(int argc, char** argv) {
   for (double rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
     const auto records = record_with_outlier_rate(rate, fidelity);
     const auto rows_product =
-        estimation_error_analysis(records, css_product, probes, policy, 5100);
+        estimation_error_analysis(records, product_selector, probes, policy, 5100);
     const auto rows_snr =
-        estimation_error_analysis(records, css_snr, probes, policy, 5100);
+        estimation_error_analysis(records, snr_selector, probes, policy, 5100);
     std::printf("  %4.2f  |       %5.2f / %6.2f         |      %5.2f / %6.2f\n",
                 rate, rows_product[0].azimuth_error.median,
                 rows_product[0].azimuth_error.whisker_high,

@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
     config.search_grid.azimuth = make_axis(-90.0, 90.0, step);
     config.search_grid.elevation = make_axis(0.0, 32.0, 2.0);
     const CompressiveSectorSelector css(table, config);
-    const auto rows = estimation_error_analysis(records, css, probes, policy, 7100);
+    CssSelector selector(css);
+    const auto rows = estimation_error_analysis(records, selector, probes, policy, 7100);
 
     // Wall time of the selection itself.
     Rng rng(7200);

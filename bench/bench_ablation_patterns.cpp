@@ -81,9 +81,10 @@ int main(int argc, char** argv) {
   };
   for (const Entry& e : entries) {
     const CompressiveSectorSelector css(*e.table);
-    const auto err = estimation_error_analysis(records, css, probe_counts,
+    CssSelector selector(css);
+    const auto err = estimation_error_analysis(records, selector, probe_counts,
                                                policy, 8100);
-    const auto qual = selection_quality_analysis(records, css, probe_counts,
+    const auto qual = selection_quality_analysis(records, selector, probe_counts,
                                                  policy, 8200);
     std::printf("\n--- table: %s ---\n", e.name);
     std::printf("probes | az med / p99.5 [deg] | CSS loss [dB] | stability\n");

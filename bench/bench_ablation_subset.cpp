@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   const PatternTable table = bench::standard_pattern_table(fidelity);
   const CompressiveSectorSelector css(table);
+  CssSelector selector(css);
 
   RecordingConfig rec;
   const double az_step = fidelity == bench::Fidelity::kFull ? 2.5 : 7.5;
@@ -50,9 +51,9 @@ int main(int argc, char** argv) {
     std::printf("probes | az med / p99.5 [deg] | CSS loss [dB] | stability\n");
     std::printf("-------+----------------------+---------------+----------\n");
     const auto err_rows =
-        estimation_error_analysis(records, css, probe_counts, *e.policy, 6100);
+        estimation_error_analysis(records, selector, probe_counts, *e.policy, 6100);
     const auto qual_rows =
-        selection_quality_analysis(records, css, probe_counts, *e.policy, 6200);
+        selection_quality_analysis(records, selector, probe_counts, *e.policy, 6200);
     for (std::size_t i = 0; i < probe_counts.size(); ++i) {
       std::printf("%6zu |   %5.2f / %6.2f     |     %5.2f     |   %.3f\n",
                   probe_counts[i], err_rows[i].azimuth_error.median,

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
 
   const PatternTable table = bench::standard_pattern_table(fidelity);
   const CompressiveSectorSelector css(table);
+  CssSelector selector(css);
   const ThroughputModel model;
 
   ThroughputConfig config;
@@ -54,7 +55,7 @@ int main(int argc, char** argv) {
 
   {
     Scenario conference = make_conference_scenario(bench::kDutSeed);
-    const auto points = throughput_analysis(conference, css, model, config);
+    const auto points = throughput_analysis(conference, selector, model, config);
     std::printf("equal sweep duration (the paper's comparison):\n");
     print_points(points);
     dump_points(points, "bench_fig11_throughput.csv");
@@ -62,7 +63,7 @@ int main(int argc, char** argv) {
   {
     Scenario conference = make_conference_scenario(bench::kDutSeed);
     config.account_training_time = true;
-    const auto points = throughput_analysis(conference, css, model, config);
+    const auto points = throughput_analysis(conference, selector, model, config);
     std::printf("\nwith training airtime credited (Sec. 6.4 future work):\n");
     print_points(points);
   }

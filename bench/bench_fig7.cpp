@@ -45,13 +45,13 @@ RecordingConfig conference_recording(bench::Fidelity fidelity) {
 }
 
 void run_venue(const char* name, Scenario scenario, const RecordingConfig& rec,
-               const CompressiveSectorSelector& css, const std::string& csv_path) {
+               SectorSelector& selector, const std::string& csv_path) {
   const auto records = record_sweeps(scenario, rec);
   const std::vector<std::size_t> probe_counts{4,  6,  8,  10, 12, 14, 16, 18,
                                               20, 22, 24, 26, 28, 30, 32, 34};
   RandomSubsetPolicy policy;
   const auto rows =
-      estimation_error_analysis(records, css, probe_counts, policy, 4242);
+      estimation_error_analysis(records, selector, probe_counts, policy, 4242);
 
   std::printf("\n--- %s (%zu poses x %zu sweeps) ---\n", name,
               records.size() / rec.sweeps_per_pose, rec.sweeps_per_pose);
@@ -84,11 +84,12 @@ int main(int argc, char** argv) {
 
   const PatternTable table = bench::standard_pattern_table(fidelity);
   const CompressiveSectorSelector css(table);
+  CssSelector selector(css);
 
   run_venue("lab environment (3 m)", make_lab_scenario(bench::kDutSeed),
-            lab_recording(fidelity), css, "bench_fig7_lab.csv");
+            lab_recording(fidelity), selector, "bench_fig7_lab.csv");
   run_venue("conference room (6 m)", make_conference_scenario(bench::kDutSeed),
-            conference_recording(fidelity), css, "bench_fig7_conference.csv");
+            conference_recording(fidelity), selector, "bench_fig7_conference.csv");
 
   std::printf(
       "\npaper shape: azimuth medians of ~1-2 deg from ~10 probes on, 99%%\n"

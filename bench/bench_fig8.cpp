@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
 
   const PatternTable table = bench::standard_pattern_table(fidelity);
   const CompressiveSectorSelector css(table);
+  CssSelector selector(css);
 
   RecordingConfig rec;
   const double az_step = fidelity == bench::Fidelity::kFull ? 2.5 : 7.5;
@@ -32,7 +33,7 @@ int main(int argc, char** argv) {
                                               19, 21, 23, 25, 27, 29, 31, 34};
   RandomSubsetPolicy policy;
   const auto rows =
-      selection_quality_analysis(records, css, probe_counts, policy, 2121);
+      selection_quality_analysis(records, selector, probe_counts, policy, 2121);
 
   std::printf("%zu poses x %zu sweeps in the conference room\n\n",
               records.size() / rec.sweeps_per_pose, rec.sweeps_per_pose);

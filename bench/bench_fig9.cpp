@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
 
   const PatternTable table = bench::standard_pattern_table(fidelity);
   const CompressiveSectorSelector css(table);
+  CssSelector selector(css);
 
   RecordingConfig rec;
   const double az_step = fidelity == bench::Fidelity::kFull ? 2.5 : 7.5;
@@ -30,7 +31,7 @@ int main(int argc, char** argv) {
                                               18, 20, 24, 28, 31, 34};
   RandomSubsetPolicy policy;
   const auto rows =
-      selection_quality_analysis(records, css, probe_counts, policy, 3131);
+      selection_quality_analysis(records, selector, probe_counts, policy, 3131);
 
   std::printf("%zu poses x %zu sweeps in the conference room\n\n",
               records.size() / rec.sweeps_per_pose, rec.sweeps_per_pose);

@@ -78,6 +78,20 @@ void BM_CorrelationSurface(benchmark::State& state) {
 }
 BENCHMARK(BM_CorrelationSurface)->Arg(6)->Arg(14)->Arg(34);
 
+void BM_MatchingPursuit(benchmark::State& state) {
+  // Cost per pursuit call; the grid scan dominates, so ns/iteration is
+  // roughly ns/call divided by the number of extracted paths.
+  const CorrelationEngine engine(shared_table(),
+                                 AngularGrid{make_axis(-90.0, 90.0, 1.5),
+                                             make_axis(0.0, 32.0, 2.0)});
+  const auto probes = make_probes(14, 17);
+  const int max_paths = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.matching_pursuit(probes, max_paths, 0.05));
+  }
+}
+BENCHMARK(BM_MatchingPursuit)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_ArrayGainEvaluation(benchmark::State& state) {
   const ArrayGainSource source = make_talon_front_end(1);
   double az = -60.0;

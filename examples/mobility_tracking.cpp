@@ -16,6 +16,7 @@
 
 #include "src/core/adaptive.hpp"
 #include "src/core/css.hpp"
+#include "src/core/selector.hpp"
 #include "src/core/ssw.hpp"
 #include "src/core/subset_policy.hpp"
 #include "src/mac/timing.hpp"
@@ -57,6 +58,7 @@ int main() {
   campaign.repetitions = 2;
   const PatternTable table = measure_sector_patterns(chamber, campaign).table;
   const CompressiveSectorSelector css(table);
+  CssSelector selector(css);
 
   // Motion profile: 80 static steps at -40, swing to +40 in 2-deg steps,
   // 20 static steps there.
@@ -102,7 +104,7 @@ int main() {
     const auto subset14 = policy.choose(talon_tx_sector_ids(), 14, rng);
     const SweepOutcome probe14 =
         link.transmit_sweep(*lab.dut, *lab.peer, probing_burst_schedule(subset14));
-    const CssResult r14 = css.select(probe14.measurement.readings);
+    const CssResult r14 = selector.select(probe14.measurement.readings);
     const int sec14 = r14.valid ? r14.sector_id
                      : fixed_prev >= 0 ? fixed_prev
                                        : ssw.sector_id;
@@ -114,7 +116,7 @@ int main() {
     const auto subset_a = policy.choose(talon_tx_sector_ids(), m, rng);
     const SweepOutcome probe_a =
         link.transmit_sweep(*lab.dut, *lab.peer, probing_burst_schedule(subset_a));
-    const CssResult ra = css.select(probe_a.measurement.readings);
+    const CssResult ra = selector.select(probe_a.measurement.readings);
     const int sec_a = ra.valid ? ra.sector_id
                      : adaptive_prev >= 0 ? adaptive_prev
                                           : ssw.sector_id;

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "src/core/css.hpp"
+#include "src/core/selector.hpp"
 #include "src/core/ssw.hpp"
 #include "src/core/subset_policy.hpp"
 #include "src/mac/timing.hpp"
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
 
   // --- 2. The selector ------------------------------------------------------
   CompressiveSectorSelector css(measured.table);
+  CssSelector selector(css);
 
   // --- 3. One compressive selection in the lab ------------------------------
   std::printf("\n== compressive selection in the lab (head at 20 deg) ==\n");
@@ -57,7 +59,7 @@ int main(int argc, char** argv) {
   std::printf("  probed %d sectors, %zu frames decoded\n",
               probe_sweep.transmitted_frames, probe_sweep.measurement.readings.size());
 
-  const CssResult result = css.select(probe_sweep.measurement.readings);
+  const CssResult result = selector.select(probe_sweep.measurement.readings);
   const Direction truth = lab.nominal_peer_direction();
   if (result.valid && result.estimated_direction) {
     std::printf("  estimated path: az %.1f deg, el %.1f deg (truth: %.1f, %.1f)\n",

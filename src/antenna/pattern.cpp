@@ -47,6 +47,19 @@ double PatternTable::sample_db(int sector_id, const Direction& dir) const {
   return pattern(sector_id).sample(dir);
 }
 
+std::vector<double> PatternTable::sample_grid_db(int sector_id,
+                                                 const AngularGrid& grid) const {
+  const Grid2D& source = pattern(sector_id);
+  std::vector<double> out;
+  out.reserve(grid.size());
+  for (std::size_t ie = 0; ie < grid.elevation.count; ++ie) {
+    for (std::size_t ia = 0; ia < grid.azimuth.count; ++ia) {
+      out.push_back(source.sample(grid.direction(ia, ie)));
+    }
+  }
+  return out;
+}
+
 int PatternTable::best_sector_at(const Direction& dir,
                                  std::span<const int> candidates) const {
   TALON_EXPECTS(!candidates.empty());

@@ -39,6 +39,12 @@ class PatternTable {
   /// Bilinear-interpolated response of a sector toward `dir` [dB].
   double sample_db(int sector_id, const Direction& dir) const;
 
+  /// Dense sampling of one sector onto `grid`, row-major with azimuth
+  /// fastest (AngularGrid::index order). Resolves the sector once instead
+  /// of per-point, so bulk resampling (e.g. building a correlation
+  /// response matrix) avoids the per-call table lookup of sample_db().
+  std::vector<double> sample_grid_db(int sector_id, const AngularGrid& grid) const;
+
   /// Eq. 4: the sector among `candidates` with the strongest measured gain
   /// toward `dir`. Ties resolve to the lowest ID.
   int best_sector_at(const Direction& dir, std::span<const int> candidates) const;

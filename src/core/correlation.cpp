@@ -1,6 +1,7 @@
 #include "src/core/correlation.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "src/common/error.hpp"
@@ -17,28 +18,7 @@ double to_domain(double db_value, CorrelationDomain domain) {
 CorrelationEngine::CorrelationEngine(const PatternTable& patterns,
                                      AngularGrid search_grid,
                                      CorrelationDomain domain)
-    : grid_(search_grid), domain_(domain) {
-  TALON_EXPECTS(!patterns.empty());
-  sector_ids_ = patterns.ids();
-  sector_values_.reserve(sector_ids_.size());
-  for (int id : sector_ids_) {
-    std::vector<double> values;
-    values.reserve(grid_.size());
-    for (std::size_t ie = 0; ie < grid_.elevation.count; ++ie) {
-      for (std::size_t ia = 0; ia < grid_.azimuth.count; ++ia) {
-        values.push_back(
-            to_domain(patterns.sample_db(id, grid_.direction(ia, ie)), domain_));
-      }
-    }
-    sector_values_.push_back(std::move(values));
-  }
-}
-
-int CorrelationEngine::sector_slot(int sector_id) const {
-  const auto it = std::lower_bound(sector_ids_.begin(), sector_ids_.end(), sector_id);
-  if (it == sector_ids_.end() || *it != sector_id) return -1;
-  return static_cast<int>(it - sector_ids_.begin());
-}
+    : matrix_(patterns, search_grid, domain) {}
 
 std::size_t CorrelationEngine::usable_probe_count(
     std::span<const SectorReading> readings) const {
@@ -49,20 +29,27 @@ std::size_t CorrelationEngine::usable_probe_count(
   return n;
 }
 
-Grid2D CorrelationEngine::surface(std::span<const SectorReading> readings,
-                                  SignalValue value) const {
-  // Collect usable probes: (pattern slot, probe value in domain).
-  std::vector<int> slots;
-  std::vector<double> p;
-  slots.reserve(readings.size());
-  p.reserve(readings.size());
+CorrelationEngine::ProbeVectors CorrelationEngine::collect_probes(
+    std::span<const SectorReading> readings, bool need_snr, bool need_rssi) const {
+  ProbeVectors out;
+  out.slots.reserve(readings.size());
+  if (need_snr) out.snr.reserve(readings.size());
+  if (need_rssi) out.rssi.reserve(readings.size());
   for (const SectorReading& r : readings) {
     const int slot = sector_slot(r.sector_id);
     if (slot < 0) continue;
-    const double raw = value == SignalValue::kSnr ? r.snr_db : r.rssi_dbm;
-    slots.push_back(slot);
-    p.push_back(to_domain(raw, domain_));
+    out.slots.push_back(slot);
+    if (need_snr) out.snr.push_back(to_domain(r.snr_db, matrix_.domain()));
+    if (need_rssi) out.rssi.push_back(to_domain(r.rssi_dbm, matrix_.domain()));
   }
+  return out;
+}
+
+Grid2D CorrelationEngine::surface(std::span<const SectorReading> readings,
+                                  SignalValue value) const {
+  const bool use_snr = value == SignalValue::kSnr;
+  const ProbeVectors probes = collect_probes(readings, use_snr, !use_snr);
+  const std::vector<double>& p = use_snr ? probes.snr : probes.rssi;
   TALON_EXPECTS(p.size() >= 2);
 
   double p_norm_sq = 0.0;
@@ -70,17 +57,19 @@ Grid2D CorrelationEngine::surface(std::span<const SectorReading> readings,
   TALON_EXPECTS(p_norm_sq > 0.0);
   const double p_norm = std::sqrt(p_norm_sq);
 
-  Grid2D out(grid_);
-  const std::size_t points = grid_.size();
+  const auto norms = matrix_.norms_sq(probes.slots);
+  const std::size_t points = matrix_.points();
+  const std::size_t m_count = probes.slots.size();
+
+  Grid2D out(matrix_.grid());
   std::vector<double>& w = out.values();
   for (std::size_t g = 0; g < points; ++g) {
+    const std::span<const double> row = matrix_.point(g);
     double dot = 0.0;
-    double x_norm_sq = 0.0;
-    for (std::size_t m = 0; m < slots.size(); ++m) {
-      const double x = sector_values_[static_cast<std::size_t>(slots[m])][g];
-      dot += p[m] * x;
-      x_norm_sq += x * x;
+    for (std::size_t m = 0; m < m_count; ++m) {
+      dot += p[m] * row[static_cast<std::size_t>(probes.slots[m])];
     }
+    const double x_norm_sq = (*norms)[g];
     if (x_norm_sq <= 0.0) {
       w[g] = 0.0;
       continue;
@@ -91,10 +80,56 @@ Grid2D CorrelationEngine::surface(std::span<const SectorReading> readings,
   return out;
 }
 
+Grid2D CorrelationEngine::combined_surface(
+    std::span<const SectorReading> readings) const {
+  // Fused Eq. 5: one matrix walk computes the SNR dot, the RSSI dot and
+  // the surface product. The pattern vector x (and so its norm) is shared
+  // by both channels; only the probe vector differs.
+  const ProbeVectors probes = collect_probes(readings, true, true);
+  TALON_EXPECTS(probes.slots.size() >= 2);
+
+  double snr_norm_sq = 0.0;
+  for (double v : probes.snr) snr_norm_sq += v * v;
+  TALON_EXPECTS(snr_norm_sq > 0.0);
+  const double snr_norm = std::sqrt(snr_norm_sq);
+
+  double rssi_norm_sq = 0.0;
+  for (double v : probes.rssi) rssi_norm_sq += v * v;
+  TALON_EXPECTS(rssi_norm_sq > 0.0);
+  const double rssi_norm = std::sqrt(rssi_norm_sq);
+
+  const auto norms = matrix_.norms_sq(probes.slots);
+  const std::size_t points = matrix_.points();
+  const std::size_t m_count = probes.slots.size();
+
+  Grid2D out(matrix_.grid());
+  std::vector<double>& w = out.values();
+  for (std::size_t g = 0; g < points; ++g) {
+    const std::span<const double> row = matrix_.point(g);
+    double dot_snr = 0.0;
+    double dot_rssi = 0.0;
+    for (std::size_t m = 0; m < m_count; ++m) {
+      const double x = row[static_cast<std::size_t>(probes.slots[m])];
+      dot_snr += probes.snr[m] * x;
+      dot_rssi += probes.rssi[m] * x;
+    }
+    const double x_norm_sq = (*norms)[g];
+    if (x_norm_sq <= 0.0) {
+      w[g] = 0.0;
+      continue;
+    }
+    const double x_norm = std::sqrt(x_norm_sq);
+    const double cs = dot_snr / (snr_norm * x_norm);
+    const double cr = dot_rssi / (rssi_norm * x_norm);
+    w[g] = (cs * cs) * (cr * cr);
+  }
+  return out;
+}
+
 std::vector<CorrelationEngine::Path> CorrelationEngine::matching_pursuit(
     std::span<const SectorReading> readings, int max_paths, double min_score,
     double min_separation_deg, bool separate_in_azimuth) const {
-  TALON_EXPECTS(domain_ == CorrelationDomain::kLinear);
+  TALON_EXPECTS(matrix_.domain() == CorrelationDomain::kLinear);
   TALON_EXPECTS(max_paths >= 1);
   TALON_EXPECTS(min_score > 0.0 && min_score <= 1.0);
   TALON_EXPECTS(min_separation_deg > 0.0);
@@ -102,7 +137,7 @@ std::vector<CorrelationEngine::Path> CorrelationEngine::matching_pursuit(
   // Linear-power probe vector over the usable sectors, with the firmware
   // reporting floor subtracted: clamped-at-floor readings otherwise add a
   // DC component that correlates with all-floor (unmeasurable) directions.
-  const double floor_lin = db_to_linear(-7.0);
+  const double floor_lin = db_to_linear(kSnrReportingFloorDb);
   std::vector<int> slots;
   std::vector<double> residual;
   for (const SectorReading& r : readings) {
@@ -116,47 +151,78 @@ std::vector<CorrelationEngine::Path> CorrelationEngine::matching_pursuit(
   for (double v : residual) initial_power += v;
   TALON_EXPECTS(initial_power > 0.0);
 
+  // The floored dictionary is fixed across iterations. It is materialized
+  // during the first scan (fused with the first dot pass, so a one-path
+  // pursuit never pays a separate precompute) and reused by every later
+  // round instead of re-flooring and renormalizing each point. A one-path
+  // pursuit has no later round, so it skips the stores entirely.
+  const std::size_t points = matrix_.points();
+  const std::size_t m_count = slots.size();
+  const bool keep_dictionary = max_paths > 1;
+  std::vector<double> floored;
+  std::vector<double> floored_norm_sq(points);
+  bool dictionary_ready = false;
+
+  const std::vector<Direction>& directions = matrix_.directions();
+  // Grid points within min_separation of an already extracted path;
+  // extended after each extraction instead of being recomputed per point
+  // per iteration.
+  std::vector<bool> masked(points, false);
+
   std::vector<Path> paths;
-  const std::size_t points = grid_.size();
   for (int k = 0; k < max_paths; ++k) {
-    // Correlate the residual against every grid direction, skipping
-    // directions too close to already extracted paths.
+    // Correlate the residual against every unmasked grid direction.
     double residual_norm_sq = 0.0;
     for (double v : residual) residual_norm_sq += v * v;
     if (residual_norm_sq <= 0.0) break;
     const double residual_norm = std::sqrt(residual_norm_sq);
 
     double best_corr = -1.0;
+    double best_dot = 0.0;
     std::size_t best_g = 0;
-    for (std::size_t g = 0; g < points; ++g) {
-      const std::size_t ie = g / grid_.azimuth.count;
-      const std::size_t ia = g % grid_.azimuth.count;
-      const Direction dir = grid_.direction(ia, ie);
-      bool masked = false;
-      for (const Path& p : paths) {
-        const double separation =
-            separate_in_azimuth
-                ? azimuth_distance_deg(dir.azimuth_deg, p.direction.azimuth_deg)
-                : angular_separation_deg(dir, p.direction);
-        if (separation < min_separation_deg) {
-          masked = true;
-          break;
+    if (!dictionary_ready) {
+      // First round: nothing is masked yet; floor the matrix rows on the
+      // fly, record them when a later round will reuse them, and fold the
+      // dot product into the same pass.
+      if (keep_dictionary) floored.resize(points * m_count);
+      for (std::size_t g = 0; g < points; ++g) {
+        const std::span<const double> row = matrix_.point(g);
+        double* fx = keep_dictionary ? floored.data() + g * m_count : nullptr;
+        double dot = 0.0;
+        double norm_sq = 0.0;
+        for (std::size_t m = 0; m < m_count; ++m) {
+          const double x =
+              std::max(0.0, row[static_cast<std::size_t>(slots[m])] - floor_lin);
+          if (fx) fx[m] = x;
+          dot += residual[m] * x;
+          norm_sq += x * x;
+        }
+        floored_norm_sq[g] = norm_sq;
+        if (norm_sq <= 0.0) continue;
+        const double c = dot / (residual_norm * std::sqrt(norm_sq));
+        if (c > best_corr) {
+          best_corr = c;
+          best_dot = dot;
+          best_g = g;
         }
       }
-      if (masked) continue;
-      double dot = 0.0;
-      double x_norm_sq = 0.0;
-      for (std::size_t m = 0; m < slots.size(); ++m) {
-        const double x = std::max(
-            0.0, sector_values_[static_cast<std::size_t>(slots[m])][g] - floor_lin);
-        dot += residual[m] * x;
-        x_norm_sq += x * x;
-      }
-      if (x_norm_sq <= 0.0) continue;
-      const double c = dot / (residual_norm * std::sqrt(x_norm_sq));
-      if (c > best_corr) {
-        best_corr = c;
-        best_g = g;
+      dictionary_ready = true;
+    } else {
+      for (std::size_t g = 0; g < points; ++g) {
+        if (masked[g]) continue;
+        const double* fx = floored.data() + g * m_count;
+        double dot = 0.0;
+        for (std::size_t m = 0; m < m_count; ++m) {
+          dot += residual[m] * fx[m];
+        }
+        const double x_norm_sq = floored_norm_sq[g];
+        if (x_norm_sq <= 0.0) continue;
+        const double c = dot / (residual_norm * std::sqrt(x_norm_sq));
+        if (c > best_corr) {
+          best_corr = c;
+          best_dot = dot;
+          best_g = g;
+        }
       }
     }
     if (best_corr < min_score) break;
@@ -164,42 +230,49 @@ std::vector<CorrelationEngine::Path> CorrelationEngine::matching_pursuit(
     // Subtract the explained component: residual -= alpha * x, with alpha
     // the least-squares projection (powers are additive, so this is the
     // path's contribution).
-    double dot = 0.0;
-    double x_norm_sq = 0.0;
-    for (std::size_t m = 0; m < slots.size(); ++m) {
-      const double x = std::max(
-          0.0, sector_values_[static_cast<std::size_t>(slots[m])][best_g] - floor_lin);
-      dot += residual[m] * x;
-      x_norm_sq += x * x;
+    std::array<double, 64> row_buf;
+    const double* fx;
+    if (keep_dictionary) {
+      fx = floored.data() + best_g * m_count;
+    } else {
+      // Dictionary was not kept: refloor the single winning row.
+      const std::span<const double> row = matrix_.point(best_g);
+      std::vector<double> heap_buf;
+      double* dst = row_buf.data();
+      if (m_count > row_buf.size()) {
+        heap_buf.resize(m_count);
+        dst = heap_buf.data();
+      }
+      for (std::size_t m = 0; m < m_count; ++m) {
+        dst[m] = std::max(0.0, row[static_cast<std::size_t>(slots[m])] - floor_lin);
+      }
+      fx = dst;
     }
-    const double alpha = dot / x_norm_sq;
+    const double alpha = best_dot / floored_norm_sq[best_g];
     double explained = 0.0;
-    for (std::size_t m = 0; m < slots.size(); ++m) {
-      const double x = std::max(
-          0.0, sector_values_[static_cast<std::size_t>(slots[m])][best_g] - floor_lin);
-      const double removed = std::min(residual[m], alpha * x);
+    for (std::size_t m = 0; m < m_count; ++m) {
+      const double removed = std::min(residual[m], alpha * fx[m]);
       explained += removed;
       residual[m] -= removed;
     }
-    const std::size_t ie = best_g / grid_.azimuth.count;
-    const std::size_t ia = best_g % grid_.azimuth.count;
+    const Direction found = directions[best_g];
+    if (k + 1 < max_paths) {  // the mask only gates future scans
+      for (std::size_t g = 0; g < points; ++g) {
+        if (masked[g]) continue;
+        const double separation =
+            separate_in_azimuth
+                ? azimuth_distance_deg(directions[g].azimuth_deg, found.azimuth_deg)
+                : angular_separation_deg(directions[g], found);
+        if (separation < min_separation_deg) masked[g] = true;
+      }
+    }
     paths.push_back(Path{
-        .direction = grid_.direction(ia, ie),
+        .direction = found,
         .score = best_corr * best_corr,  // report Eq. 2 style squared corr
         .explained_power = explained / initial_power,
     });
   }
   return paths;
-}
-
-Grid2D CorrelationEngine::combined_surface(
-    std::span<const SectorReading> readings) const {
-  Grid2D snr = surface(readings, SignalValue::kSnr);
-  const Grid2D rssi = surface(readings, SignalValue::kRssi);
-  std::vector<double>& out = snr.values();
-  const std::vector<double>& other = rssi.values();
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= other[i];
-  return snr;
 }
 
 }  // namespace talon

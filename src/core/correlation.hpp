@@ -7,8 +7,11 @@
 // missed are excluded from both vectors -- probing a subset anyway is what
 // makes CSS "naturally compensate missing measurements" (Sec. 5).
 //
-// CorrelationEngine precomputes the pattern matrix over the search grid
-// once per table so that per-sweep evaluation is a dense dot product.
+// CorrelationEngine evaluates the correlation on top of a ResponseMatrix
+// (core/response_matrix.hpp): pattern responses resampled onto the search
+// grid once, grid-point-major, with per-subset norms cached across sweeps.
+// Eq. 5 runs as a single fused grid pass computing the SNR dot, the RSSI
+// dot and their product together.
 #pragma once
 
 #include <span>
@@ -16,18 +19,20 @@
 
 #include "src/antenna/pattern.hpp"
 #include "src/common/grid.hpp"
+#include "src/core/response_matrix.hpp"
 #include "src/phy/measurement.hpp"
 
 namespace talon {
 
-/// Domain the correlation vectors live in. The paper correlates received
-/// signal strengths; kLinear converts dB readings/patterns to linear power
-/// first (the physically meaningful choice), kDb correlates raw dB values
-/// (kept as an ablation).
-enum class CorrelationDomain : std::uint8_t { kLinear, kDb };
-
 /// Which reading feeds the probe vector.
 enum class SignalValue : std::uint8_t { kSnr, kRssi };
+
+/// Firmware SNR reporting floor [dB]: readings clamp here (the [-7, 12] dB
+/// report range of Sec. 3.2, MeasurementModel's report_min_db). The
+/// matching pursuit subtracts this floor in linear power so clamped
+/// readings do not add a DC component that correlates with all-floor
+/// (unmeasurable) directions.
+inline constexpr double kSnrReportingFloorDb = -7.0;
 
 class CorrelationEngine {
  public:
@@ -36,15 +41,19 @@ class CorrelationEngine {
   CorrelationEngine(const PatternTable& patterns, AngularGrid search_grid,
                     CorrelationDomain domain = CorrelationDomain::kLinear);
 
-  const AngularGrid& search_grid() const { return grid_; }
-  CorrelationDomain domain() const { return domain_; }
+  const AngularGrid& search_grid() const { return matrix_.grid(); }
+  CorrelationDomain domain() const { return matrix_.domain(); }
+
+  /// The precomputed grid-major response matrix the surfaces run over.
+  const ResponseMatrix& response_matrix() const { return matrix_; }
 
   /// Eq. 2 evaluated on the whole grid for one value type.
   /// Readings of sectors absent from the table are ignored. Requires at
   /// least 2 usable readings.
   Grid2D surface(std::span<const SectorReading> readings, SignalValue value) const;
 
-  /// Eq. 5: element-wise product of the SNR and RSSI surfaces.
+  /// Eq. 5: element-wise product of the SNR and RSSI surfaces, computed in
+  /// one fused grid pass (one matrix walk for both dots and the product).
   Grid2D combined_surface(std::span<const SectorReading> readings) const;
 
   /// Number of readings that map onto table sectors.
@@ -81,15 +90,20 @@ class CorrelationEngine {
                                      bool separate_in_azimuth = false) const;
 
  private:
-  /// Index into sector_values_ for a sector ID, or -1.
-  int sector_slot(int sector_id) const;
+  /// Index into the response matrix for a sector ID, or -1.
+  int sector_slot(int sector_id) const { return matrix_.slot(sector_id); }
 
-  AngularGrid grid_;
-  CorrelationDomain domain_;
-  std::vector<int> sector_ids_;
-  /// sector_values_[slot][grid_index]: pattern response in the chosen
-  /// domain, grid-major within one sector.
-  std::vector<std::vector<double>> sector_values_;
+  /// Usable probes of one sweep: matrix slots plus the probe value(s) in
+  /// the correlation domain, in reading order.
+  struct ProbeVectors {
+    std::vector<int> slots;
+    std::vector<double> snr;
+    std::vector<double> rssi;
+  };
+  ProbeVectors collect_probes(std::span<const SectorReading> readings,
+                              bool need_snr, bool need_rssi) const;
+
+  ResponseMatrix matrix_;
 };
 
 }  // namespace talon

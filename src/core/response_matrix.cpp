@@ -1,0 +1,76 @@
+#include "src/core/response_matrix.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/common/units.hpp"
+
+namespace talon {
+
+ResponseMatrix::ResponseMatrix(const PatternTable& patterns, AngularGrid grid,
+                               CorrelationDomain domain)
+    : grid_(grid), domain_(domain) {
+  TALON_EXPECTS(!patterns.empty());
+  sector_ids_ = patterns.ids();
+  const std::size_t points = grid_.size();
+  const std::size_t slots = sector_ids_.size();
+
+  values_.resize(points * slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::vector<double> sampled = patterns.sample_grid_db(sector_ids_[s], grid_);
+    for (std::size_t g = 0; g < points; ++g) {
+      const double db = sampled[g];
+      values_[g * slots + s] =
+          domain_ == CorrelationDomain::kLinear ? db_to_linear(db) : db;
+    }
+  }
+
+  directions_.reserve(points);
+  for (std::size_t ie = 0; ie < grid_.elevation.count; ++ie) {
+    for (std::size_t ia = 0; ia < grid_.azimuth.count; ++ia) {
+      directions_.push_back(grid_.direction(ia, ie));
+    }
+  }
+}
+
+int ResponseMatrix::slot(int sector_id) const {
+  const auto it = std::lower_bound(sector_ids_.begin(), sector_ids_.end(), sector_id);
+  if (it == sector_ids_.end() || *it != sector_id) return -1;
+  return static_cast<int>(it - sector_ids_.begin());
+}
+
+std::shared_ptr<const std::vector<double>> ResponseMatrix::norms_sq(
+    std::span<const int> slots) const {
+  std::vector<int> key(slots.begin(), slots.end());
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = norm_cache_.find(key);
+    if (it != norm_cache_.end()) return it->second;
+  }
+
+  const std::size_t points = grid_.size();
+  const std::size_t stride = sector_ids_.size();
+  auto norms = std::make_shared<std::vector<double>>(points);
+  for (std::size_t g = 0; g < points; ++g) {
+    const double* row = values_.data() + g * stride;
+    double sum = 0.0;
+    for (const int s : slots) {
+      const double x = row[s];
+      sum += x * x;
+    }
+    (*norms)[g] = sum;
+  }
+
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (norm_cache_.size() < kMaxCachedSubsets) {
+    norm_cache_.emplace(std::move(key), norms);
+  }
+  return norms;
+}
+
+std::size_t ResponseMatrix::cached_subset_count() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return norm_cache_.size();
+}
+
+}  // namespace talon

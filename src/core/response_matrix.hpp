@@ -1,0 +1,93 @@
+// Grid-point-major response matrix: the shared data layer under every
+// dictionary-correlation estimator (Eq. 2/3/5 surfaces, matching pursuit,
+// and the compressive-alignment follow-ups that reduce to the same kernel).
+//
+// The matrix resamples every sector of a PatternTable onto the search grid
+// once, in the chosen correlation domain, and stores it SoA with the grid
+// point as the major axis: all sector responses of one grid point are
+// contiguous. The inner loop of a correlation pass -- "for each grid point,
+// dot the probe vector against the probed sectors' responses" -- then walks
+// one short contiguous row per point instead of striding across whole
+// per-sector pattern vectors, which is what makes the fused Eq. 5 pass
+// cache-linear.
+//
+// Per-subset norms (the denominator ||x(phi,theta)|| of Eq. 2, restricted
+// to the probed slots) are cached keyed on the exact slot sequence:
+// repeated sweeps with the same probe subset -- the common case in the
+// experiment runners, tracking loops and benches -- skip renormalization
+// entirely. The key is the sequence, not the set, so the cached sums
+// accumulate in the same order as a fresh computation and results stay
+// bit-for-bit identical regardless of cache state.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/antenna/pattern.hpp"
+#include "src/common/grid.hpp"
+
+namespace talon {
+
+/// Domain the correlation vectors live in. The paper correlates received
+/// signal strengths; kLinear converts dB readings/patterns to linear power
+/// first (the physically meaningful choice), kDb correlates raw dB values
+/// (kept as an ablation).
+enum class CorrelationDomain : std::uint8_t { kLinear, kDb };
+
+class ResponseMatrix {
+ public:
+  ResponseMatrix(const PatternTable& patterns, AngularGrid grid,
+                 CorrelationDomain domain);
+
+  const AngularGrid& grid() const { return grid_; }
+  CorrelationDomain domain() const { return domain_; }
+
+  /// Grid points (rows) and sectors (columns per row).
+  std::size_t points() const { return grid_.size(); }
+  std::size_t slots() const { return sector_ids_.size(); }
+
+  /// Sector IDs in ascending order; the column index of an ID is its slot.
+  const std::vector<int>& sector_ids() const { return sector_ids_; }
+
+  /// Slot (column) of a sector ID, or -1 when absent from the table.
+  int slot(int sector_id) const;
+
+  /// All sector responses at grid point `g`, contiguous, indexed by slot.
+  std::span<const double> point(std::size_t g) const {
+    return {values_.data() + g * sector_ids_.size(), sector_ids_.size()};
+  }
+
+  /// Precomputed direction of every grid point (AngularGrid::index order).
+  const std::vector<Direction>& directions() const { return directions_; }
+
+  /// Per-grid-point sum of squared responses over `slots`, accumulated in
+  /// sequence order (so a cache hit is bit-identical to a fresh pass).
+  /// Duplicate slots contribute once per occurrence, matching a probe
+  /// vector that contains the same sector twice. Thread-safe.
+  std::shared_ptr<const std::vector<double>> norms_sq(
+      std::span<const int> slots) const;
+
+  /// Cached subsets currently held (diagnostics / tests).
+  std::size_t cached_subset_count() const;
+
+ private:
+  AngularGrid grid_;
+  CorrelationDomain domain_;
+  std::vector<int> sector_ids_;
+  /// values_[g * slots() + s]: response of sector slot s toward grid
+  /// point g, in the chosen domain.
+  std::vector<double> values_;
+  std::vector<Direction> directions_;
+
+  /// Bounds cache growth under adversarial subset churn; beyond the cap,
+  /// norms are computed but not retained.
+  static constexpr std::size_t kMaxCachedSubsets = 512;
+  mutable std::mutex cache_mutex_;
+  mutable std::map<std::vector<int>, std::shared_ptr<const std::vector<double>>>
+      norm_cache_;
+};
+
+}  // namespace talon

@@ -1,0 +1,59 @@
+#include "src/core/selector.hpp"
+
+#include <vector>
+
+#include "src/antenna/codebook.hpp"
+#include "src/core/ssw.hpp"
+
+namespace talon {
+
+std::optional<Direction> SectorSelector::estimate_direction(
+    std::span<const SectorReading> /*probes*/) {
+  return std::nullopt;
+}
+
+CssResult SswArgmaxSelector::select(std::span<const SectorReading> probes,
+                                    std::span<const int> /*candidates*/) {
+  const SswSelection ssw = sweep_select(probes);
+  CssResult result;
+  result.valid = ssw.valid;
+  result.sector_id = ssw.sector_id;
+  return result;
+}
+
+CssResult CssSelector::select(std::span<const SectorReading> probes,
+                              std::span<const int> candidates) {
+  return candidates.empty() ? css_->select(probes) : css_->select(probes, candidates);
+}
+
+std::optional<Direction> CssSelector::estimate_direction(
+    std::span<const SectorReading> probes) {
+  return css_->estimate_direction(probes);
+}
+
+CssResult TrackingCssSelector::select(std::span<const SectorReading> probes,
+                                      std::span<const int> candidates) {
+  CssResult result =
+      candidates.empty() ? css_->select(probes) : css_->select(probes, candidates);
+  if (result.valid && result.estimated_direction) {
+    // Re-run Eq. 4 on the smoothed direction instead of this sweep's raw
+    // estimate.
+    const Direction tracked = tracker_.update(*result.estimated_direction);
+    if (candidates.empty()) {
+      std::vector<int> ids = css_->patterns().ids();
+      std::erase(ids, kRxQuasiOmniSectorId);
+      result.sector_id = css_->patterns().best_sector_at(tracked, ids);
+    } else {
+      result.sector_id = css_->patterns().best_sector_at(tracked, candidates);
+    }
+    result.estimated_direction = tracked;
+  }
+  return result;
+}
+
+std::optional<Direction> TrackingCssSelector::estimate_direction(
+    std::span<const SectorReading> probes) {
+  return css_->estimate_direction(probes);
+}
+
+}  // namespace talon

@@ -1,0 +1,93 @@
+// Strategy interface over the sector-selection algorithms.
+//
+// The experiment runners, benches, examples and the CLI all need "give me
+// a sector for this sweep" without caring whether the answer comes from
+// the stock SSW argmax (Eq. 1), compressive selection (Eqs. 2-5), or CSS
+// smoothed by a path tracker. SectorSelector is that seam: new variants
+// (adaptive, multipath-aware, ...) plug into every driver without
+// per-call-site plumbing.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "src/core/css.hpp"
+#include "src/core/tracking.hpp"
+
+namespace talon {
+
+class SectorSelector {
+ public:
+  virtual ~SectorSelector() = default;
+
+  /// Human-readable strategy name for reports and logs.
+  virtual std::string_view name() const = 0;
+
+  /// Select a sector from one sweep's readings. `candidates` restricts the
+  /// choice to the given sector IDs; empty means the selector's default
+  /// candidate set (all transmit sectors it knows about). Selectors may be
+  /// stateful (tracking, adaptation), hence non-const.
+  virtual CssResult select(std::span<const SectorReading> probes,
+                           std::span<const int> candidates = {}) = 0;
+
+  /// Angle-of-arrival estimate (Eq. 3) for selectors that compute one;
+  /// the default capability is "none" (e.g. the plain argmax).
+  virtual std::optional<Direction> estimate_direction(
+      std::span<const SectorReading> probes);
+};
+
+/// The stock IEEE 802.11ad baseline: argmax over the reported SNRs
+/// (core/ssw.hpp). `candidates` is ignored -- the unmodified firmware can
+/// only pick among the sectors it actually received.
+class SswArgmaxSelector final : public SectorSelector {
+ public:
+  std::string_view name() const override { return "ssw-argmax"; }
+  CssResult select(std::span<const SectorReading> probes,
+                   std::span<const int> candidates = {}) override;
+};
+
+/// Compressive sector selection (Eqs. 2-5). Non-owning adapter over a
+/// CompressiveSectorSelector, which the caller keeps alive.
+class CssSelector final : public SectorSelector {
+ public:
+  explicit CssSelector(const CompressiveSectorSelector& css) : css_(&css) {}
+
+  std::string_view name() const override { return "css"; }
+  CssResult select(std::span<const SectorReading> probes,
+                   std::span<const int> candidates = {}) override;
+  std::optional<Direction> estimate_direction(
+      std::span<const SectorReading> probes) override;
+
+  const CompressiveSectorSelector& css() const { return *css_; }
+
+ private:
+  const CompressiveSectorSelector* css_;
+};
+
+/// CSS with temporal smoothing: each sweep's Eq. 3 estimate feeds a
+/// PathTracker and Eq. 4 re-runs on the *tracked* direction, rejecting
+/// one-off estimate jumps while re-locking on persistent path changes.
+class TrackingCssSelector final : public SectorSelector {
+ public:
+  explicit TrackingCssSelector(const CompressiveSectorSelector& css,
+                               const PathTrackerConfig& tracker_config = {})
+      : css_(&css), tracker_(tracker_config) {}
+
+  std::string_view name() const override { return "css-tracking"; }
+  CssResult select(std::span<const SectorReading> probes,
+                   std::span<const int> candidates = {}) override;
+  std::optional<Direction> estimate_direction(
+      std::span<const SectorReading> probes) override;
+
+  /// The smoothed path direction (empty before the first valid estimate).
+  const std::optional<Direction>& tracked() const { return tracker_.current(); }
+
+  PathTracker& tracker() { return tracker_; }
+
+ private:
+  const CompressiveSectorSelector* css_;
+  PathTracker tracker_;
+};
+
+}  // namespace talon

@@ -7,14 +7,25 @@ namespace talon {
 CssDaemon::CssDaemon(Wil6210Driver& driver, const PatternTable& patterns,
                      const CssDaemonConfig& config, Rng rng)
     : driver_(&driver),
-      selector_(patterns),
+      css_(patterns),
       config_(config),
       controller_(config.adaptive_config),
-      tracker_(config.tracker_config),
       rng_(rng) {
+  if (config_.track_path) {
+    auto tracking = std::make_unique<TrackingCssSelector>(css_, config_.tracker_config);
+    tracking_ = tracking.get();
+    strategy_ = std::move(tracking);
+  } else {
+    strategy_ = std::make_unique<CssSelector>(css_);
+  }
   if (!driver_->research_patches_loaded()) {
     driver_->load_research_patches();
   }
+}
+
+const std::optional<Direction>& CssDaemon::tracked_direction() const {
+  static const std::optional<Direction> kNone;
+  return tracking_ ? tracking_->tracked() : kNone;
 }
 
 std::size_t CssDaemon::current_probes() const {
@@ -29,17 +40,8 @@ std::optional<CssResult> CssDaemon::process_sweep() {
   ++rounds_;
   const std::vector<SectorReading> readings = driver_->read_sweep_readings();
   if (readings.empty()) return std::nullopt;
-  CssResult result = selector_.select(readings);
+  const CssResult result = strategy_->select(readings);
   if (!result.valid) return std::nullopt;
-  if (config_.track_path && result.estimated_direction) {
-    // Re-run Eq. 4 on the smoothed direction instead of this sweep's raw
-    // estimate.
-    const Direction tracked = tracker_.update(*result.estimated_direction);
-    std::vector<int> ids = selector_.patterns().ids();
-    std::erase(ids, kRxQuasiOmniSectorId);
-    result.sector_id = selector_.patterns().best_sector_at(tracked, ids);
-    result.estimated_direction = tracked;
-  }
   driver_->force_sector(result.sector_id);
   if (config_.adaptive) controller_.report_selection(result.sector_id);
   return result;

@@ -6,12 +6,14 @@
 // next round's probe count.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "src/core/adaptive.hpp"
-#include "src/core/tracking.hpp"
 #include "src/core/css.hpp"
+#include "src/core/selector.hpp"
 #include "src/core/subset_policy.hpp"
+#include "src/core/tracking.hpp"
 #include "src/driver/wil6210.hpp"
 
 namespace talon {
@@ -49,17 +51,19 @@ class CssDaemon {
 
   /// The smoothed path direction (empty unless track_path is on and at
   /// least one valid estimate arrived).
-  const std::optional<Direction>& tracked_direction() const {
-    return tracker_.current();
-  }
+  const std::optional<Direction>& tracked_direction() const;
 
  private:
   Wil6210Driver* driver_;
-  CompressiveSectorSelector selector_;
+  CompressiveSectorSelector css_;
   CssDaemonConfig config_;
   RandomSubsetPolicy policy_;
   AdaptiveProbeController controller_;
-  PathTracker tracker_;
+  /// CssSelector, or TrackingCssSelector when track_path is on -- the
+  /// daemon loop only ever talks to the strategy interface.
+  std::unique_ptr<SectorSelector> strategy_;
+  /// Non-null alias of strategy_ in tracking mode (for tracked()).
+  TrackingCssSelector* tracking_{nullptr};
   Rng rng_;
   std::size_t rounds_{0};
 };

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_set>
 
 #include "src/common/error.hpp"
 #include "src/core/metrics.hpp"
-#include "src/core/ssw.hpp"
 
 namespace talon {
 
@@ -14,10 +14,11 @@ namespace {
 /// Keep only the readings whose sector is in `subset`.
 std::vector<SectorReading> filter_readings(const SweepMeasurement& sweep,
                                            std::span<const int> subset) {
+  const std::unordered_set<int> wanted(subset.begin(), subset.end());
   std::vector<SectorReading> out;
   out.reserve(subset.size());
   for (const SectorReading& r : sweep.readings) {
-    if (std::find(subset.begin(), subset.end(), r.sector_id) != subset.end()) {
+    if (wanted.contains(r.sector_id)) {
       out.push_back(r);
     }
   }
@@ -69,7 +70,7 @@ std::vector<SweepRecord> record_sweeps(Scenario& scenario,
 }
 
 std::vector<EstimationErrorRow> estimation_error_analysis(
-    std::span<const SweepRecord> records, const CompressiveSectorSelector& css,
+    std::span<const SweepRecord> records, SectorSelector& selector,
     std::span<const std::size_t> probe_counts, const ProbeSubsetPolicy& policy,
     std::uint64_t seed) {
   TALON_EXPECTS(!records.empty());
@@ -85,7 +86,7 @@ std::vector<EstimationErrorRow> estimation_error_analysis(
     for (const SweepRecord& rec : records) {
       const std::vector<int> subset = policy.choose(all_tx, m, rng);
       const std::vector<SectorReading> probes = filter_readings(rec.measurement, subset);
-      const auto estimated = css.estimate_direction(probes);
+      const auto estimated = selector.estimate_direction(probes);
       if (!estimated) continue;  // too few decoded probes this sweep
       const AngleError err = estimation_error(*estimated, rec.physical);
       az_errors.push_back(err.azimuth_deg);
@@ -104,7 +105,7 @@ std::vector<EstimationErrorRow> estimation_error_analysis(
 }
 
 std::vector<SelectionQualityRow> selection_quality_analysis(
-    std::span<const SweepRecord> records, const CompressiveSectorSelector& css,
+    std::span<const SweepRecord> records, SectorSelector& selector,
     std::span<const std::size_t> probe_counts, const ProbeSubsetPolicy& policy,
     std::uint64_t seed) {
   TALON_EXPECTS(!records.empty());
@@ -121,6 +122,7 @@ std::vector<SelectionQualityRow> selection_quality_analysis(
   // Losses are tracked per pose: "the sector with the highest SNR as
   // reported in the current and previous measurements" only makes sense
   // while the geometry stays fixed.
+  SswArgmaxSelector ssw_baseline;
   double ssw_stability_sum = 0.0;
   std::vector<double> ssw_losses;
   for (const auto& [pose, indices] : poses) {
@@ -128,7 +130,7 @@ std::vector<SelectionQualityRow> selection_quality_analysis(
     SnrLossTracker loss;
     int previous = -1;
     for (std::size_t i : indices) {
-      const SswSelection sel = sweep_select(records[i].measurement.readings);
+      const CssResult sel = ssw_baseline.select(records[i].measurement.readings);
       const int chosen = sel.valid ? sel.sector_id : previous;
       if (chosen < 0) continue;  // nothing decoded yet at this pose
       previous = chosen;
@@ -156,7 +158,7 @@ std::vector<SelectionQualityRow> selection_quality_analysis(
         const std::vector<int> subset = policy.choose(all_tx, m, rng);
         const std::vector<SectorReading> probes =
             filter_readings(records[i].measurement, subset);
-        const CssResult result = css.select(probes, all_tx);
+        const CssResult result = selector.select(probes, all_tx);
         const int chosen = result.valid ? result.sector_id : previous;
         if (chosen < 0) continue;
         previous = chosen;
@@ -178,7 +180,7 @@ std::vector<SelectionQualityRow> selection_quality_analysis(
 }
 
 std::vector<ThroughputPoint> throughput_analysis(Scenario& scenario,
-                                                 const CompressiveSectorSelector& css,
+                                                 SectorSelector& selector,
                                                  const ThroughputModel& model,
                                                  const ThroughputConfig& config) {
   TALON_EXPECTS(config.probes >= 2);
@@ -220,7 +222,7 @@ std::vector<ThroughputPoint> throughput_analysis(Scenario& scenario,
       WmiResponse info = peer_fw.handle_wmi({.type = WmiCommandType::kReadSweepInfo});
       TALON_EXPECTS(info.status == WmiStatus::kOk);
       const auto probes = readings_from_ring(info.entries, peer_fw.sweep_index());
-      const CssResult result = css.select(probes, all_tx);
+      const CssResult result = selector.select(probes, all_tx);
       const int css_sector = result.valid ? result.sector_id
                              : css_previous >= 0 ? css_previous
                                                  : all_tx.front();

@@ -15,6 +15,7 @@
 
 #include "src/common/stats.hpp"
 #include "src/core/css.hpp"
+#include "src/core/selector.hpp"
 #include "src/core/subset_policy.hpp"
 #include "src/phy/throughput.hpp"
 #include "src/sim/scenario.hpp"
@@ -48,8 +49,10 @@ struct EstimationErrorRow {
   std::size_t samples{0};
 };
 
+/// `selector` must provide direction estimates (SectorSelector's optional
+/// capability); sweeps where it returns none are skipped.
 std::vector<EstimationErrorRow> estimation_error_analysis(
-    std::span<const SweepRecord> records, const CompressiveSectorSelector& css,
+    std::span<const SweepRecord> records, SectorSelector& selector,
     std::span<const std::size_t> probe_counts, const ProbeSubsetPolicy& policy,
     std::uint64_t seed);
 
@@ -63,8 +66,10 @@ struct SelectionQualityRow {
   double ssw_snr_loss_db{0.0};
 };
 
+/// `selector` plays the compressive role against the built-in SSW
+/// (full-sweep argmax) baseline.
 std::vector<SelectionQualityRow> selection_quality_analysis(
-    std::span<const SweepRecord> records, const CompressiveSectorSelector& css,
+    std::span<const SweepRecord> records, SectorSelector& selector,
     std::span<const std::size_t> probe_counts, const ProbeSubsetPolicy& policy,
     std::uint64_t seed);
 
@@ -90,7 +95,7 @@ struct ThroughputPoint {
 /// the firmware's WMI sector override (the Sec. 3.4 mechanism), the SSW
 /// baseline uses the stock argmax feedback.
 std::vector<ThroughputPoint> throughput_analysis(Scenario& scenario,
-                                                 const CompressiveSectorSelector& css,
+                                                 SectorSelector& selector,
                                                  const ThroughputModel& model,
                                                  const ThroughputConfig& config);
 

@@ -128,6 +128,75 @@ TEST(Correlation, DbDomainDiffersFromLinear) {
   EXPECT_TRUE(differs);
 }
 
+TEST(Correlation, AllReadingsUnknownThrows) {
+  // Readings exist, but none maps to a pattern slot: the effective probe
+  // vector is empty and the precondition must fire, not a silent surface.
+  const CorrelationEngine engine = make_engine();
+  const std::vector<SectorReading> unknown{
+      SectorReading{.sector_id = 50, .snr_db = 5.0, .rssi_dbm = 5.0},
+      SectorReading{.sector_id = 51, .snr_db = 6.0, .rssi_dbm = 6.0},
+  };
+  EXPECT_EQ(engine.usable_probe_count(unknown), 0u);
+  EXPECT_THROW(engine.surface(unknown, SignalValue::kSnr), PreconditionError);
+  EXPECT_THROW(engine.combined_surface(unknown), PreconditionError);
+}
+
+TEST(Correlation, DuplicateReadingsContributePerOccurrence) {
+  // The firmware can report the same sector twice in one drained sweep;
+  // every occurrence enters the probe vector (and the slot-sequence norm),
+  // exactly as if it were a distinct probe.
+  const CorrelationEngine engine = make_engine();
+  auto once = ideal_probes(synthetic_table(), {2, 4, 6}, {-5.0, 0.0});
+  auto twice = once;
+  twice.push_back(once.back());  // sector 6 reported twice
+  EXPECT_EQ(engine.usable_probe_count(twice), 4u);
+  const Grid2D w_once = engine.surface(once, SignalValue::kSnr);
+  const Grid2D w_twice = engine.surface(twice, SignalValue::kSnr);
+  bool differs = false;
+  for (std::size_t i = 0; i < w_once.values().size(); ++i) {
+    if (w_once.values()[i] != w_twice.values()[i]) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);  // the duplicate re-weights the correlation
+  // Values stay normalized even with the duplicated column.
+  for (double v : w_twice.values()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+TEST(Correlation, FusedCombinedMatchesTwoPassBitForBit) {
+  // The fused Eq. 5 kernel preserves the seed's operation order: the
+  // product surface must equal surface(SNR) * surface(RSSI) exactly --
+  // EXPECT_EQ on doubles, not a tolerance.
+  const CorrelationEngine engine = make_engine();
+  auto probes = ideal_probes(synthetic_table(),
+                             {1, 2, 3, 5, 7, 8, 9}, {10.0, 10.0});
+  probes[2].rssi_dbm += 2.5;  // decorrelate the two channels
+  probes[4].snr_db -= 1.0;
+  const Grid2D snr = engine.surface(probes, SignalValue::kSnr);
+  const Grid2D rssi = engine.surface(probes, SignalValue::kRssi);
+  const Grid2D combined = engine.combined_surface(probes);
+  for (std::size_t i = 0; i < combined.values().size(); ++i) {
+    EXPECT_EQ(combined.values()[i], snr.values()[i] * rssi.values()[i]) << i;
+  }
+}
+
+TEST(Correlation, RepeatedSubsetHitsTheNormCache) {
+  const CorrelationEngine engine = make_engine();
+  const auto probes = ideal_probes(synthetic_table(), {1, 3, 5}, {0.0, 0.0});
+  EXPECT_EQ(engine.response_matrix().cached_subset_count(), 0u);
+  const Grid2D first = engine.surface(probes, SignalValue::kSnr);
+  EXPECT_EQ(engine.response_matrix().cached_subset_count(), 1u);
+  const Grid2D second = engine.surface(probes, SignalValue::kSnr);
+  EXPECT_EQ(engine.response_matrix().cached_subset_count(), 1u);
+  for (std::size_t i = 0; i < first.values().size(); ++i) {
+    EXPECT_EQ(first.values()[i], second.values()[i]);
+  }
+}
+
 TEST(Correlation, EmptyTableRejected) {
   PatternTable empty;
   EXPECT_THROW(CorrelationEngine(empty, synthetic_grid()), PreconditionError);

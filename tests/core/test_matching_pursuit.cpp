@@ -30,13 +30,13 @@ class MatchingPursuitTest : public ::testing::Test {
   std::vector<SectorReading> two_path_probes(const Direction& p1, const Direction& p2,
                                              double gap_db) const {
     std::vector<SectorReading> probes;
-    const double floor = db_to_linear(-7.0);
+    const double floor = db_to_linear(kSnrReportingFloorDb);
     for (int id : talon_tx_sector_ids()) {
       const double a = db_to_linear(table_.sample_db(id, p1));
       const double b =
           db_to_linear(table_.sample_db(id, p2)) * db_to_linear(-gap_db);
       const double mixed = std::max(a, floor) + std::max(b - floor, 0.0);
-      const double rep = std::clamp(linear_to_db(mixed), -7.0, 12.0);
+      const double rep = std::clamp(linear_to_db(mixed), kSnrReportingFloorDb, 12.0);
       probes.push_back(SectorReading{.sector_id = id, .snr_db = rep, .rssi_dbm = rep});
     }
     return probes;

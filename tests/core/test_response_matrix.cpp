@@ -1,0 +1,129 @@
+// ResponseMatrix: the grid-point-major data layer under every correlation
+// pass. Pins down the SoA layout against the pattern table, the direction
+// table's ordering, slot lookup, and the per-subset norm cache semantics
+// (sequence-keyed, duplicate-preserving, bit-identical on hits).
+#include "src/core/response_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/units.hpp"
+#include "tests/core/synthetic_table.hpp"
+
+namespace talon {
+namespace {
+
+using testutil::synthetic_grid;
+using testutil::synthetic_table;
+
+TEST(ResponseMatrix, LayoutMatchesPatternTableSamples) {
+  const PatternTable table = synthetic_table();
+  const AngularGrid grid = synthetic_grid();
+  const ResponseMatrix db(table, grid, CorrelationDomain::kDb);
+  const ResponseMatrix lin(table, grid, CorrelationDomain::kLinear);
+  ASSERT_EQ(db.points(), grid.size());
+  ASSERT_EQ(db.slots(), table.ids().size());
+  for (std::size_t ie = 0; ie < grid.elevation.count; ++ie) {
+    for (std::size_t ia = 0; ia < grid.azimuth.count; ++ia) {
+      const std::size_t g = grid.index(ia, ie);
+      const std::span<const double> db_row = db.point(g);
+      const std::span<const double> lin_row = lin.point(g);
+      ASSERT_EQ(db_row.size(), db.slots());
+      for (std::size_t s = 0; s < db.slots(); ++s) {
+        const double expected =
+            table.sample_db(db.sector_ids()[s], grid.direction(ia, ie));
+        EXPECT_DOUBLE_EQ(db_row[s], expected);
+        EXPECT_DOUBLE_EQ(lin_row[s], db_to_linear(expected));
+      }
+    }
+  }
+}
+
+TEST(ResponseMatrix, DirectionsFollowGridIndexOrder) {
+  const AngularGrid grid = synthetic_grid();
+  const ResponseMatrix matrix(synthetic_table(), grid, CorrelationDomain::kLinear);
+  const std::vector<Direction>& dirs = matrix.directions();
+  ASSERT_EQ(dirs.size(), grid.size());
+  for (std::size_t ie = 0; ie < grid.elevation.count; ++ie) {
+    for (std::size_t ia = 0; ia < grid.azimuth.count; ++ia) {
+      const Direction expected = grid.direction(ia, ie);
+      const Direction actual = dirs[grid.index(ia, ie)];
+      EXPECT_DOUBLE_EQ(actual.azimuth_deg, expected.azimuth_deg);
+      EXPECT_DOUBLE_EQ(actual.elevation_deg, expected.elevation_deg);
+    }
+  }
+}
+
+TEST(ResponseMatrix, SlotLookup) {
+  const ResponseMatrix matrix(synthetic_table(), synthetic_grid(),
+                              CorrelationDomain::kLinear);
+  for (std::size_t s = 0; s < matrix.slots(); ++s) {
+    EXPECT_EQ(matrix.slot(matrix.sector_ids()[s]), static_cast<int>(s));
+  }
+  EXPECT_EQ(matrix.slot(99), -1);
+  EXPECT_EQ(matrix.slot(-1), -1);
+}
+
+TEST(ResponseMatrix, NormCacheHitReturnsSameVector) {
+  const ResponseMatrix matrix(synthetic_table(), synthetic_grid(),
+                              CorrelationDomain::kLinear);
+  EXPECT_EQ(matrix.cached_subset_count(), 0u);
+  const std::vector<int> subset{0, 2, 4};
+  const auto first = matrix.norms_sq(subset);
+  EXPECT_EQ(matrix.cached_subset_count(), 1u);
+  const auto second = matrix.norms_sq(subset);
+  // A hit returns the cached vector itself: bit-identical by construction.
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(matrix.cached_subset_count(), 1u);
+}
+
+TEST(ResponseMatrix, NormCacheKeyIsTheSequenceNotTheSet) {
+  const ResponseMatrix matrix(synthetic_table(), synthetic_grid(),
+                              CorrelationDomain::kLinear);
+  const std::vector<int> forward{0, 2, 4};
+  const std::vector<int> reversed{4, 2, 0};
+  const auto a = matrix.norms_sq(forward);
+  const auto b = matrix.norms_sq(reversed);
+  // Distinct keys (a different reading order accumulates in a different
+  // order), even though the mathematical sums agree.
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(matrix.cached_subset_count(), 2u);
+  for (std::size_t g = 0; g < matrix.points(); ++g) {
+    EXPECT_NEAR((*a)[g], (*b)[g], 1e-12);
+  }
+}
+
+TEST(ResponseMatrix, DuplicateSlotsContributeOncePerOccurrence) {
+  const ResponseMatrix matrix(synthetic_table(), synthetic_grid(),
+                              CorrelationDomain::kLinear);
+  const std::vector<int> once{3};
+  const std::vector<int> twice{3, 3};
+  const auto single = matrix.norms_sq(once);
+  const auto doubled = matrix.norms_sq(twice);
+  for (std::size_t g = 0; g < matrix.points(); ++g) {
+    EXPECT_DOUBLE_EQ((*doubled)[g], 2.0 * (*single)[g]);
+  }
+}
+
+TEST(ResponseMatrix, NormsMatchDirectSum) {
+  const ResponseMatrix matrix(synthetic_table(), synthetic_grid(),
+                              CorrelationDomain::kLinear);
+  const std::vector<int> subset{1, 5, 7};
+  const auto norms = matrix.norms_sq(subset);
+  for (std::size_t g = 0; g < matrix.points(); ++g) {
+    const std::span<const double> row = matrix.point(g);
+    double expected = 0.0;
+    for (int s : subset) expected += row[s] * row[s];
+    EXPECT_DOUBLE_EQ((*norms)[g], expected);
+  }
+}
+
+TEST(ResponseMatrix, EmptyTableRejected) {
+  PatternTable empty;
+  EXPECT_THROW(
+      ResponseMatrix(empty, synthetic_grid(), CorrelationDomain::kLinear),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace talon

@@ -115,9 +115,10 @@ TEST(EndToEnd, CssWith14ProbesMatchesSswQuality) {
   // sweep's selection quality, at 2.3x lower training time.
   const ExperimentWorld& world = ExperimentWorld::instance();
   const CompressiveSectorSelector css(world.table);
+  CssSelector selector(css);
   RandomSubsetPolicy policy;
   const std::vector<std::size_t> probes{14};
-  const auto rows = selection_quality_analysis(world.conference_records, css,
+  const auto rows = selection_quality_analysis(world.conference_records, selector,
                                                probes, policy, 555);
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_LE(rows[0].css_snr_loss_db, rows[0].ssw_snr_loss_db + 0.8);

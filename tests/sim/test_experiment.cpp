@@ -42,12 +42,13 @@ class AnalysisTest : public ::testing::Test {
 
   const ExperimentWorld& world_;
   CompressiveSectorSelector css_;
+  CssSelector selector_{css_};
   RandomSubsetPolicy policy_;
 };
 
 TEST_F(AnalysisTest, EstimationErrorShrinksWithMoreProbes) {
   const std::vector<std::size_t> probes{6, 14, 28};
-  const auto rows = estimation_error_analysis(world_.lab_records, css_, probes,
+  const auto rows = estimation_error_analysis(world_.lab_records, selector_, probes,
                                               policy_, 1234);
   ASSERT_EQ(rows.size(), 3u);
   for (const auto& row : rows) {
@@ -69,7 +70,7 @@ TEST_F(AnalysisTest, ElevationErrorsLargerThanAzimuth) {
   // The paper measures elevation with half the resolution and reports
   // clearly larger elevation errors (Fig. 7).
   const std::vector<std::size_t> probes{14};
-  const auto rows = estimation_error_analysis(world_.lab_records, css_, probes,
+  const auto rows = estimation_error_analysis(world_.lab_records, selector_, probes,
                                               policy_, 99);
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_GE(rows[0].elevation_error.median, rows[0].azimuth_error.median);
@@ -77,7 +78,7 @@ TEST_F(AnalysisTest, ElevationErrorsLargerThanAzimuth) {
 
 TEST_F(AnalysisTest, SelectionQualityReproducesFig8And9Shape) {
   const std::vector<std::size_t> probes{6, 14, 26, 34};
-  const auto rows = selection_quality_analysis(world_.conference_records, css_,
+  const auto rows = selection_quality_analysis(world_.conference_records, selector_,
                                                probes, policy_, 77);
   ASSERT_EQ(rows.size(), 4u);
   // SSW stability is constant across rows and below 1.
@@ -104,7 +105,7 @@ TEST_F(AnalysisTest, ThroughputComparableBetweenAlgorithms) {
   config.sweeps_per_pose = 10;
   config.seed = 5;
   const ThroughputModel model;
-  const auto points = throughput_analysis(conf, css_, model, config);
+  const auto points = throughput_analysis(conf, selector_, model, config);
   ASSERT_EQ(points.size(), 3u);
   for (const auto& p : points) {
     // Fig. 11 regime: both around 1.3-1.55 Gbps, CSS not worse by much.
@@ -128,7 +129,7 @@ TEST_F(AnalysisTest, TrainingTimeAccountingFavoursCss) {
   ThroughputModelConfig model_config;
   model_config.sector_switch_penalty = 0.0;
   const ThroughputModel model(model_config);
-  const auto points = throughput_analysis(conf, css_, model, config);
+  const auto points = throughput_analysis(conf, selector_, model, config);
   ASSERT_EQ(points.size(), 1u);
   EXPECT_GT(points[0].css_mbps, points[0].ssw_mbps);
 }
@@ -137,11 +138,11 @@ TEST_F(AnalysisTest, TrainingTimeAccountingFavoursCss) {
 TEST_F(AnalysisTest, EstimationErrorValidatesProbeCounts) {
   RandomSubsetPolicy policy;
   const std::vector<std::size_t> too_small{1};
-  EXPECT_THROW(estimation_error_analysis(world_.lab_records, css_, too_small,
+  EXPECT_THROW(estimation_error_analysis(world_.lab_records, selector_, too_small,
                                          policy, 1),
                PreconditionError);
   const std::vector<std::size_t> too_big{35};
-  EXPECT_THROW(estimation_error_analysis(world_.lab_records, css_, too_big,
+  EXPECT_THROW(estimation_error_analysis(world_.lab_records, selector_, too_big,
                                          policy, 1),
                PreconditionError);
 }
@@ -150,18 +151,18 @@ TEST_F(AnalysisTest, AnalysesRejectEmptyRecords) {
   RandomSubsetPolicy policy;
   const std::vector<SweepRecord> none;
   const std::vector<std::size_t> probes{14};
-  EXPECT_THROW(estimation_error_analysis(none, css_, probes, policy, 1),
+  EXPECT_THROW(estimation_error_analysis(none, selector_, probes, policy, 1),
                PreconditionError);
-  EXPECT_THROW(selection_quality_analysis(none, css_, probes, policy, 1),
+  EXPECT_THROW(selection_quality_analysis(none, selector_, probes, policy, 1),
                PreconditionError);
 }
 
 TEST_F(AnalysisTest, AnalysesAreDeterministicForFixedSeed) {
   RandomSubsetPolicy policy;
   const std::vector<std::size_t> probes{10, 20};
-  const auto a = estimation_error_analysis(world_.lab_records, css_, probes,
+  const auto a = estimation_error_analysis(world_.lab_records, selector_, probes,
                                            policy, 424);
-  const auto b = estimation_error_analysis(world_.lab_records, css_, probes,
+  const auto b = estimation_error_analysis(world_.lab_records, selector_, probes,
                                            policy, 424);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -175,7 +176,7 @@ TEST_F(AnalysisTest, ThroughputValidatesConfig) {
   ThroughputConfig config;
   config.probes = 1;
   const ThroughputModel model;
-  EXPECT_THROW(throughput_analysis(conf, css_, model, config), PreconditionError);
+  EXPECT_THROW(throughput_analysis(conf, selector_, model, config), PreconditionError);
 }
 
 }  // namespace

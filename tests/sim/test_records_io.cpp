@@ -64,10 +64,11 @@ TEST(RecordsIo, AnalysisOnReloadedRecordsMatches) {
   const auto records = sample_records();
   const auto reloaded = records_from_csv(records_to_csv(records));
   const CompressiveSectorSelector css(testutil::ExperimentWorld::instance().table);
+  CssSelector selector(css);
   RandomSubsetPolicy policy;
   const std::vector<std::size_t> probes{10};
-  const auto a = estimation_error_analysis(records, css, probes, policy, 88);
-  const auto b = estimation_error_analysis(reloaded, css, probes, policy, 88);
+  const auto a = estimation_error_analysis(records, selector, probes, policy, 88);
+  const auto b = estimation_error_analysis(reloaded, selector, probes, policy, 88);
   ASSERT_EQ(a.size(), b.size());
   EXPECT_DOUBLE_EQ(a[0].azimuth_error.median, b[0].azimuth_error.median);
   EXPECT_DOUBLE_EQ(a[0].elevation_error.whisker_high,

@@ -25,6 +25,7 @@
 #include "src/common/args.hpp"
 #include "src/common/error.hpp"
 #include "src/core/css.hpp"
+#include "src/core/selector.hpp"
 #include "src/core/ssw.hpp"
 #include "src/core/subset_policy.hpp"
 #include "src/mac/monitor.hpp"
@@ -115,6 +116,7 @@ int cmd_train(const ArgParser& args) {
     table = measure_patterns(seed, false);
   }
   const CompressiveSectorSelector css(table);
+  CssSelector selector(css);
 
   LinkSimulator link = scenario.make_link(Rng(seed + 1));
   RandomSubsetPolicy policy;
@@ -122,7 +124,7 @@ int cmd_train(const ArgParser& args) {
   const auto subset = policy.choose(talon_tx_sector_ids(), probes, rng);
   const SweepOutcome sweep = link.transmit_sweep(*scenario.dut, *scenario.peer,
                                                  probing_burst_schedule(subset));
-  const CssResult result = css.select(sweep.measurement.readings);
+  const CssResult result = selector.select(sweep.measurement.readings);
   const SweepOutcome full = link.transmit_sweep(*scenario.dut, *scenario.peer,
                                                 sweep_burst_schedule());
   const SswSelection ssw = sweep_select(full.measurement.readings);
@@ -189,12 +191,13 @@ int cmd_analyze(const ArgParser& args) {
     table = measure_patterns(seed, false);
   }
   const CompressiveSectorSelector css(table);
+  CssSelector selector(css);
   RandomSubsetPolicy policy;
   const std::vector<std::size_t> probes{
       static_cast<std::size_t>(args.integer_or("--probes", 14))};
 
   if (what == "error") {
-    const auto rows = estimation_error_analysis(records, css, probes, policy, seed);
+    const auto rows = estimation_error_analysis(records, selector, probes, policy, seed);
     std::printf("probes | az median | az p99.5 | el median | el p99.5 | samples\n");
     for (const auto& row : rows) {
       std::printf("%6zu |  %6.2f   |  %6.2f  |  %6.2f   |  %6.2f  | %6zu\n",
@@ -205,7 +208,7 @@ int cmd_analyze(const ArgParser& args) {
     return 0;
   }
   if (what == "quality") {
-    const auto rows = selection_quality_analysis(records, css, probes, policy, seed);
+    const auto rows = selection_quality_analysis(records, selector, probes, policy, seed);
     std::printf("probes | CSS stability | SSW stability | CSS loss | SSW loss\n");
     for (const auto& row : rows) {
       std::printf("%6zu |     %.3f     |     %.3f     |  %5.2f   |  %5.2f\n",
