@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/common.hpp"
+#include "src/common/parallel.hpp"
 #include "src/core/subset_policy.hpp"
 #include "src/measure/campaign.hpp"
 
@@ -67,27 +68,53 @@ Quality evaluate(std::uint64_t device_seed, const PatternTable& table,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  const auto run = bench::run_options_from_args(argc, argv);
+  const auto fidelity = run.fidelity;
   bench::print_header("Ablation: cross-device pattern tables",
                       "Sec. 4.5 device-variation caveat", fidelity);
 
   const std::uint64_t reference_device = bench::kDutSeed;
-  const PatternTable reference_table = measure_device(reference_device, fidelity);
+  const std::vector<std::uint64_t> devices{reference_device, reference_device + 1,
+                                           reference_device + 2, reference_device + 3};
+
+  // Every campaign and every evaluation is an independent seeded job:
+  // measure all device tables in parallel, then fan out the own-table and
+  // cross-table evaluations, then print in device order.
+  std::vector<PatternTable> own_tables(devices.size());
+  parallel_for(devices.size(), [&](std::size_t d) {
+    own_tables[d] = measure_device(devices[d], fidelity);
+  });
+  const PatternTable& reference_table = own_tables.front();
+
+  struct Job {
+    std::uint64_t device{0};
+    const PatternTable* table{nullptr};
+  };
+  std::vector<Job> jobs;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    jobs.push_back(Job{.device = devices[d], .table = &own_tables[d]});
+    if (devices[d] != reference_device) {
+      jobs.push_back(Job{.device = devices[d], .table = &reference_table});
+    }
+  }
+  std::vector<Quality> results(jobs.size());
+  parallel_for(jobs.size(), [&](std::size_t j) {
+    results[j] = evaluate(jobs[j].device, *jobs[j].table, fidelity);
+  });
 
   std::printf("device | table     | az med / p99.5 [deg] | CSS loss [dB]\n");
   std::printf("-------+-----------+----------------------+--------------\n");
-  for (std::uint64_t device : {reference_device, reference_device + 1,
-                               reference_device + 2, reference_device + 3}) {
-    const Quality own = evaluate(device, measure_device(device, fidelity), fidelity);
-    std::printf("  %3llu  | own       |   %5.2f / %6.2f     |     %5.2f\n",
-                static_cast<unsigned long long>(device), own.az_median, own.az_p995,
-                own.loss_db);
-    if (device != reference_device) {
-      const Quality cross = evaluate(device, reference_table, fidelity);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Quality& q = results[j];
+    if (jobs[j].table == &reference_table && jobs[j].device != reference_device) {
       std::printf("  %3llu  | device %llu |   %5.2f / %6.2f     |     %5.2f\n",
-                  static_cast<unsigned long long>(device),
-                  static_cast<unsigned long long>(reference_device),
-                  cross.az_median, cross.az_p995, cross.loss_db);
+                  static_cast<unsigned long long>(jobs[j].device),
+                  static_cast<unsigned long long>(reference_device), q.az_median,
+                  q.az_p995, q.loss_db);
+    } else {
+      std::printf("  %3llu  | own       |   %5.2f / %6.2f     |     %5.2f\n",
+                  static_cast<unsigned long long>(jobs[j].device), q.az_median,
+                  q.az_p995, q.loss_db);
     }
   }
   std::printf(

@@ -44,7 +44,8 @@ ArrayGainSource make_theoretical_front_end() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  const auto run = bench::run_options_from_args(argc, argv);
+  const auto fidelity = run.fidelity;
   bench::print_header("Ablation: measured vs theoretical pattern tables",
                       "Sec. 1/2.1 motivation", fidelity);
 

@@ -15,7 +15,8 @@
 using namespace talon;
 
 int main(int argc, char** argv) {
-  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  const auto run = bench::run_options_from_args(argc, argv);
+  const auto fidelity = run.fidelity;
   bench::print_header("Ablation: CSS sector selection + beam refinement",
                       "Sec. 7 fine-grained beam control", fidelity);
 

@@ -14,7 +14,8 @@
 using namespace talon;
 
 int main(int argc, char** argv) {
-  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  const auto run = bench::run_options_from_args(argc, argv);
+  const auto fidelity = run.fidelity;
   bench::print_header("Ablation: quasi-omni vs trained receive sector",
                       "Sec. 4.1 'no training ... for receive sectors'", fidelity);
 

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/common.hpp"
+#include "src/common/parallel.hpp"
 #include "src/antenna/synthesis.hpp"
 #include "src/core/css.hpp"
 #include "src/core/ssw.hpp"
@@ -43,7 +44,8 @@ PatternTable quick_table(const ArrayGainSource& source, double offset_db) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  const auto run = bench::run_options_from_args(argc, argv);
+  const auto fidelity = run.fidelity;
   bench::print_header("Ablation: codebook size scaling, CSS(14) vs full sweep",
                       "Sec. 7 'keeping the number of probes as low ...'",
                       fidelity);
@@ -57,14 +59,22 @@ int main(int argc, char** argv) {
   const double report_offset = -15.0;
   const double link_offset = -9.0;  // reported reading ~= gain + link_offset
 
-  MeasurementModelConfig meas_config;
-  Rng rng(15001);
-  MeasurementModel measurement(meas_config, rng.fork());
+  const MeasurementModelConfig meas_config;
 
-  std::printf("N sect | SSW time | CSS time | SSW loss | CSS loss | CSS probes\n");
-  std::printf("-------+----------+----------+----------+----------+-----------\n");
   const int sweeps = fidelity == bench::Fidelity::kFull ? 400 : 120;
-  for (int n : {16, 24, 34, 48, 62}) {
+  // One independent cell per codebook size: its trial stream is seeded by
+  // substream_seed(15001, n), so results do not depend on which sizes run
+  // or in what order, and the sizes fan out on the executor.
+  const std::vector<int> sizes{16, 24, 34, 48, 62};
+  struct SizeRow {
+    double ssw_loss{0.0};
+    double css_loss{0.0};
+  };
+  std::vector<SizeRow> rows(sizes.size());
+  parallel_for(sizes.size(), [&](std::size_t cell) {
+    const int n = sizes[cell];
+    Rng rng(substream_seed(15001, static_cast<std::uint64_t>(n)));
+    MeasurementModel measurement(meas_config, rng.fork());
     const ArrayGainSource source(
         geometry, ElementModel(element_config),
         make_dense_codebook(geometry, n),
@@ -103,9 +113,16 @@ int main(int argc, char** argv) {
         css_loss.add(optimal - source.gain_dbi(result.sector_id, truth));
       }
     }
-    std::printf("%6d | %5.2f ms | %5.2f ms | %5.2f dB | %5.2f dB | %9d\n", n,
-                timing.mutual_training_time_ms(n), timing.mutual_training_time_ms(14),
-                ssw_loss.mean(), css_loss.mean(), 14);
+    rows[cell] = SizeRow{.ssw_loss = ssw_loss.mean(), .css_loss = css_loss.mean()};
+  });
+
+  std::printf("N sect | SSW time | CSS time | SSW loss | CSS loss | CSS probes\n");
+  std::printf("-------+----------+----------+----------+----------+-----------\n");
+  for (std::size_t cell = 0; cell < sizes.size(); ++cell) {
+    std::printf("%6d | %5.2f ms | %5.2f ms | %5.2f dB | %5.2f dB | %9d\n",
+                sizes[cell], timing.mutual_training_time_ms(sizes[cell]),
+                timing.mutual_training_time_ms(14), rows[cell].ssw_loss,
+                rows[cell].css_loss, 14);
   }
   std::printf(
       "\nexpected: SSW training time grows linearly with N (2.28 ms at 62\n"

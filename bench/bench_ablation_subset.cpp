@@ -13,7 +13,8 @@
 using namespace talon;
 
 int main(int argc, char** argv) {
-  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  const auto run = bench::run_options_from_args(argc, argv);
+  const auto fidelity = run.fidelity;
   bench::print_header("Ablation: probing-subset policies",
                       "Sec. 2.2 / Sec. 7 discussion", fidelity);
 

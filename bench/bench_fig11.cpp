@@ -38,7 +38,8 @@ void print_points(const std::vector<ThroughputPoint>& points) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  const auto run = bench::run_options_from_args(argc, argv);
+  const auto fidelity = run.fidelity;
   bench::print_header("Application throughput, CSS(14) vs SSW", "Fig. 11",
                       fidelity);
 
@@ -53,15 +54,14 @@ int main(int argc, char** argv) {
   config.sweeps_per_pose = fidelity == bench::Fidelity::kFull ? 200 : 60;
   config.seed = 4001;
 
+  const auto conference = [] { return make_conference_scenario(bench::kDutSeed); };
   {
-    Scenario conference = make_conference_scenario(bench::kDutSeed);
     const auto points = throughput_analysis(conference, selector, model, config);
     std::printf("equal sweep duration (the paper's comparison):\n");
     print_points(points);
     dump_points(points, "bench_fig11_throughput.csv");
   }
   {
-    Scenario conference = make_conference_scenario(bench::kDutSeed);
     config.account_training_time = true;
     const auto points = throughput_analysis(conference, selector, model, config);
     std::printf("\nwith training airtime credited (Sec. 6.4 future work):\n");

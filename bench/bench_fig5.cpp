@@ -63,7 +63,8 @@ void print_strip(const Grid2D& pattern) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  const auto run = bench::run_options_from_args(argc, argv);
+  const auto fidelity = run.fidelity;
   bench::print_header("Azimuth-plane sector patterns", "Fig. 5", fidelity);
 
   Scenario chamber = make_anechoic_scenario(bench::kDutSeed);

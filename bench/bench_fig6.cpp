@@ -34,7 +34,8 @@ void print_heatmap(const Grid2D& pattern) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  const auto run = bench::run_options_from_args(argc, argv);
+  const auto fidelity = run.fidelity;
   bench::print_header("Spherical sector patterns (az x el)", "Fig. 6", fidelity);
 
   const PatternTable table = bench::standard_pattern_table(fidelity);

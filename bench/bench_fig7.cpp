@@ -78,7 +78,8 @@ void run_venue(const char* name, Scenario scenario, const RecordingConfig& rec,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  const auto run = bench::run_options_from_args(argc, argv);
+  const auto fidelity = run.fidelity;
   bench::print_header("Angular estimation error vs probing sectors", "Fig. 7",
                       fidelity);
 

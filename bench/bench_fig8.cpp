@@ -10,7 +10,8 @@
 using namespace talon;
 
 int main(int argc, char** argv) {
-  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  const auto run = bench::run_options_from_args(argc, argv);
+  const auto fidelity = run.fidelity;
   bench::print_header("Selection stability vs probing sectors", "Fig. 8",
                       fidelity);
 

@@ -9,7 +9,8 @@
 using namespace talon;
 
 int main(int argc, char** argv) {
-  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  const auto run = bench::run_options_from_args(argc, argv);
+  const auto fidelity = run.fidelity;
   bench::print_header("SNR-loss vs probing sectors", "Fig. 9", fidelity);
 
   const PatternTable table = bench::standard_pattern_table(fidelity);

@@ -5,7 +5,12 @@
 // the baseline argmax and the firmware-path primitives.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string_view>
+#include <vector>
+
 #include "bench/common.hpp"
+#include "src/common/parallel.hpp"
 #include "src/antenna/synthesis.hpp"
 #include "src/core/css.hpp"
 #include "src/core/ssw.hpp"
@@ -77,6 +82,33 @@ void BM_CorrelationSurface(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CorrelationSurface)->Arg(6)->Arg(14)->Arg(34);
+
+void BM_CorrelationSurfaceBatch(benchmark::State& state) {
+  // A replay-engine panel: B sweeps over the same probing subset, evaluated
+  // in one blocked pass. items/s is surfaces per second; compare against
+  // BM_CorrelationSurface at the same probe count for the batching gain.
+  const CorrelationEngine engine(shared_table(),
+                                 AngularGrid{make_axis(-90.0, 90.0, 1.5),
+                                             make_axis(0.0, 32.0, 2.0)});
+  Scenario lab = make_lab_scenario(bench::kDutSeed);
+  lab.set_head(20.0, 0.0);
+  RandomSubsetPolicy policy;
+  Rng rng(31);
+  const auto subset = policy.choose(talon_tx_sector_ids(), 14, rng);
+  std::vector<std::vector<SectorReading>> panel;
+  for (std::size_t b = 0; b < static_cast<std::size_t>(state.range(0)); ++b) {
+    LinkSimulator link = lab.make_link(Rng(substream_seed(31, 9, b)));
+    panel.push_back(
+        link.transmit_sweep(*lab.dut, *lab.peer, probing_burst_schedule(subset))
+            .measurement.readings);
+  }
+  const std::vector<std::span<const SectorReading>> spans(panel.begin(), panel.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.combined_surface_batch(spans));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CorrelationSurfaceBatch)->Arg(1)->Arg(8)->Arg(32);
 
 void BM_MatchingPursuit(benchmark::State& state) {
   // Cost per pursuit call; the grid scan dominates, so ns/iteration is
@@ -189,4 +221,32 @@ BENCHMARK(BM_ContentionSimulation)->Arg(10)->Arg(100);
 }  // namespace
 }  // namespace talon
 
-BENCHMARK_MAIN();
+// Not BENCHMARK_MAIN(): google-benchmark rejects flags it does not know,
+// and every talon bench driver must accept --threads. Strip it (installing
+// the executor override) before handing argv to the library.
+int main(int argc, char** argv) {
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<std::size_t>(argc));
+  int threads = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(argv[i] + 10);
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  if (threads > 0) talon::set_thread_count_override(threads);
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, filtered.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

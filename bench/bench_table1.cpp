@@ -28,7 +28,8 @@ void print_row(const char* label, const std::map<int, std::set<int>>& observed) 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto fidelity = bench::fidelity_from_args(argc, argv);
+  const auto run = bench::run_options_from_args(argc, argv);
+  const auto fidelity = run.fidelity;
   bench::print_header("Sector schedules from monitor-mode capture", "Table 1",
                       fidelity);
 

@@ -3,10 +3,23 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/common/args.hpp"
+#include "src/common/parallel.hpp"
 #include "src/measure/campaign.hpp"
 #include "src/sim/scenario.hpp"
 
 namespace talon::bench {
+
+RunOptions run_options_from_args(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("--full");
+  args.add_option("--threads");
+  args.parse(argc - 1, argv + 1);
+  RunOptions run;
+  run.fidelity = args.has_flag("--full") ? Fidelity::kFull : Fidelity::kQuick;
+  run.threads = apply_thread_count_option(args);
+  return run;
+}
 
 Fidelity fidelity_from_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -39,6 +52,8 @@ void print_header(const std::string& experiment, const std::string& paper_ref,
   std::printf("%s  (%s)\n", experiment.c_str(), paper_ref.c_str());
   std::printf("fidelity: %s   (pass --full for the paper's resolutions)\n",
               fidelity == Fidelity::kFull ? "full" : "quick");
+  std::printf("threads: %d   (--threads N or TALON_THREADS to change)\n",
+              default_thread_count());
   std::printf("================================================================\n");
 }
 

@@ -23,7 +23,20 @@ enum class Fidelity {
   kFull,   ///< the paper's resolutions (0.9/1.8 deg steps); slower
 };
 
-/// Parse --full from argv.
+/// Execution options shared by every bench driver.
+struct RunOptions {
+  Fidelity fidelity{Fidelity::kQuick};
+  /// Resolved worker thread count (>= 1). Parsing installs a given
+  /// --threads N as the process-wide executor override, so replay calls
+  /// pick it up without explicit plumbing.
+  int threads{1};
+};
+
+/// Parse --full and --threads N from argv (strict: unknown options throw).
+RunOptions run_options_from_args(int argc, char** argv);
+
+/// Parse --full from argv (tolerant legacy helper; prefer
+/// run_options_from_args).
 Fidelity fidelity_from_args(int argc, char** argv);
 
 /// Run the Sec. 4.5 anechoic campaign for the standard DUT and return the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
 
 namespace talon {
 
@@ -83,6 +84,15 @@ long ArgParser::integer_or(const std::string& name, long fallback) const {
   } catch (const std::exception&) {
     throw ParseError("option " + name + " expects an integer, got '" + *v + "'");
   }
+}
+
+int apply_thread_count_option(const ArgParser& args, const std::string& name) {
+  const long requested = args.integer_or(name, 0);
+  if (requested < 0) {
+    throw ParseError("option " + name + " expects a positive integer");
+  }
+  if (requested > 0) set_thread_count_override(static_cast<int>(requested));
+  return default_thread_count();
 }
 
 }  // namespace talon

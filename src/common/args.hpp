@@ -44,4 +44,12 @@ class ArgParser {
   std::vector<std::string> positionals_;
 };
 
+/// Shared handling of the `--threads N` option every driver exposes: when
+/// present (and positive) the value is installed as the process-wide
+/// executor override (common/parallel.hpp), so all subsequent replay work
+/// uses it without per-call-site plumbing. Returns the resolved effective
+/// thread count. The caller must have declared the option via add_option.
+int apply_thread_count_option(const ArgParser& args,
+                              const std::string& name = "--threads");
+
 }  // namespace talon

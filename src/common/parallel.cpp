@@ -1,0 +1,104 @@
+#include "src/common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace talon {
+
+namespace {
+
+std::atomic<int> g_thread_override{0};
+thread_local bool t_in_parallel_region = false;
+
+int env_thread_count() {
+  const char* raw = std::getenv("TALON_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed <= 0) return 0;
+  return static_cast<int>(std::min<long>(parsed, 1024));
+}
+
+}  // namespace
+
+int hardware_thread_count() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int default_thread_count() {
+  const int override = g_thread_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
+  const int env = env_thread_count();
+  if (env > 0) return env;
+  return hardware_thread_count();
+}
+
+void set_thread_count_override(int threads) {
+  g_thread_override.store(threads > 0 ? threads : 0, std::memory_order_relaxed);
+}
+
+bool in_parallel_region() { return t_in_parallel_region; }
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  ParallelOptions options) {
+  if (count == 0) return;
+  const std::size_t chunk = std::max<std::size_t>(1, options.chunk);
+  const int requested =
+      options.threads > 0 ? options.threads : default_thread_count();
+  const std::size_t chunks = (count + chunk - 1) / chunk;
+  const int threads =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(requested), chunks));
+
+  if (threads <= 1 || t_in_parallel_region) {
+    // Serial (or nested) execution still counts as a parallel region so
+    // callers observe uniform semantics at every thread count.
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    try {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+    } catch (...) {
+      t_in_parallel_region = was_in_region;
+      throw;
+    }
+    t_in_parallel_region = was_in_region;
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    t_in_parallel_region = true;
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t start = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (start >= count) break;
+      const std::size_t stop = std::min(count, start + chunk);
+      try {
+        for (std::size_t i = start; i < stop; ++i) body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    t_in_parallel_region = false;
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads) - 1);
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace talon

@@ -1,0 +1,56 @@
+// Deterministic chunked parallel execution.
+//
+// The paper's evaluation is an offline replay of recorded sweeps across
+// many (pose, probe-count) cells -- embarrassingly parallel work. The
+// executor here is deliberately minimal: a chunked parallel_for over an
+// index range with a shared atomic chunk counter (no work stealing, no
+// persistent pool). Determinism is a *caller* contract the executor is
+// designed around: each index must compute into its own slot from its own
+// RNG substream (common/rng.hpp's substream_seed), so results are
+// bit-identical at any thread count, including 1 -- the threads only
+// decide who computes a slot, never what goes into it.
+//
+// Nested parallel_for calls run serially on the calling thread: the outer
+// loop already owns the hardware, and serial nesting keeps the determinism
+// reasoning local to one level.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace talon {
+
+/// max(1, std::thread::hardware_concurrency()).
+int hardware_thread_count();
+
+/// The thread count parallel_for uses when none is given explicitly:
+/// set_thread_count_override() if set, else the TALON_THREADS environment
+/// variable, else hardware_thread_count().
+int default_thread_count();
+
+/// Process-wide override for default_thread_count(); `threads` <= 0 clears
+/// it. Used by the --threads flag of the CLI and the bench drivers.
+void set_thread_count_override(int threads);
+
+/// True while called from inside a parallel_for worker (nested calls use
+/// this to degrade to a serial loop).
+bool in_parallel_region();
+
+struct ParallelOptions {
+  /// Worker threads; <= 0 means default_thread_count().
+  int threads{0};
+  /// Indices claimed per atomic fetch. Replay cells are coarse, so the
+  /// default of 1 keeps the load balanced; raise it for very fine bodies.
+  std::size_t chunk{1};
+};
+
+/// Invoke `body(i)` for every i in [0, count), distributing chunks of
+/// indices over the worker threads. Runs on the calling thread when the
+/// effective thread count is 1, the range is empty or trivial, or the call
+/// is nested inside another parallel_for. The first exception thrown by
+/// any body is rethrown on the calling thread after all workers stopped;
+/// remaining chunks are abandoned.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  ParallelOptions options = {});
+
+}  // namespace talon

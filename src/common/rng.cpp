@@ -7,6 +7,29 @@
 
 namespace talon {
 
+namespace {
+
+/// SplitMix64 finalizer (Steele et al.); bijective on 64-bit words.
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t s0,
+                             std::uint64_t s1, std::uint64_t s2,
+                             std::uint64_t s3) {
+  std::uint64_t h = splitmix64(seed);
+  h = splitmix64(h ^ splitmix64(s0 + 0x1ULL));
+  h = splitmix64(h ^ splitmix64(s1 + 0x2ULL));
+  h = splitmix64(h ^ splitmix64(s2 + 0x3ULL));
+  h = splitmix64(h ^ splitmix64(s3 + 0x4ULL));
+  return h;
+}
+
 Rng Rng::fork() {
   std::uniform_int_distribution<std::uint64_t> dist;
   return Rng(dist(engine_));

@@ -12,6 +12,18 @@
 
 namespace talon {
 
+/// Counter-based substream derivation: mix a top-level seed with up to
+/// four stream counters (e.g. an analysis tag, pose index, sweep index,
+/// probe count) into an independent seed. Each counter word passes through
+/// a SplitMix64 finalizer before being folded in, so neighbouring
+/// counters land in unrelated parts of the seed space. Trials seeded this
+/// way depend only on their own coordinates -- never on how many trials
+/// ran before them -- which is what makes replay results independent of
+/// iteration order and thread count.
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t s0,
+                             std::uint64_t s1 = 0, std::uint64_t s2 = 0,
+                             std::uint64_t s3 = 0);
+
 class Rng {
  public:
   /// Seeded construction; identical seeds produce identical streams.

@@ -126,6 +126,86 @@ Grid2D CorrelationEngine::combined_surface(
   return out;
 }
 
+std::vector<Grid2D> CorrelationEngine::combined_surface_batch(
+    std::span<const std::span<const SectorReading>> sweeps) const {
+  std::vector<Grid2D> out(sweeps.size());
+  if (sweeps.empty()) return out;
+
+  // Collect every sweep's probe vectors once, then group the sweeps whose
+  // usable probes hit the same slot sequence: those share the row gather,
+  // the subset norms and the per-point sqrt.
+  std::vector<ProbeVectors> probes;
+  probes.reserve(sweeps.size());
+  std::map<std::vector<int>, std::vector<std::size_t>> panels;
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    probes.push_back(collect_probes(sweeps[i], true, true));
+    TALON_EXPECTS(probes[i].slots.size() >= 2);
+    panels[probes[i].slots].push_back(i);
+  }
+
+  const std::size_t points = matrix_.points();
+  std::vector<double> x;          // gathered pattern row, shared by the panel
+  std::vector<const double*> ps;  // per-member probe vectors
+  std::vector<const double*> pr;
+  std::vector<double*> w;         // per-member output surfaces
+  std::vector<double> snr_norms;
+  std::vector<double> rssi_norms;
+  for (const auto& [slots, members] : panels) {
+    const std::size_t m_count = slots.size();
+    const std::size_t batch = members.size();
+    const auto norms = matrix_.norms_sq(slots);
+
+    ps.resize(batch);
+    pr.resize(batch);
+    w.resize(batch);
+    snr_norms.resize(batch);
+    rssi_norms.resize(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const ProbeVectors& p = probes[members[b]];
+      double snr_norm_sq = 0.0;
+      for (double v : p.snr) snr_norm_sq += v * v;
+      TALON_EXPECTS(snr_norm_sq > 0.0);
+      double rssi_norm_sq = 0.0;
+      for (double v : p.rssi) rssi_norm_sq += v * v;
+      TALON_EXPECTS(rssi_norm_sq > 0.0);
+      snr_norms[b] = std::sqrt(snr_norm_sq);
+      rssi_norms[b] = std::sqrt(rssi_norm_sq);
+      ps[b] = p.snr.data();
+      pr[b] = p.rssi.data();
+      out[members[b]] = Grid2D(matrix_.grid());
+      w[b] = out[members[b]].values().data();
+    }
+
+    x.resize(m_count);
+    for (std::size_t g = 0; g < points; ++g) {
+      const std::span<const double> row = matrix_.point(g);
+      for (std::size_t m = 0; m < m_count; ++m) {
+        x[m] = row[static_cast<std::size_t>(slots[m])];
+      }
+      const double x_norm_sq = (*norms)[g];
+      if (x_norm_sq <= 0.0) {
+        for (std::size_t b = 0; b < batch; ++b) w[b][g] = 0.0;
+        continue;
+      }
+      const double x_norm = std::sqrt(x_norm_sq);
+      for (std::size_t b = 0; b < batch; ++b) {
+        double dot_snr = 0.0;
+        double dot_rssi = 0.0;
+        const double* snr = ps[b];
+        const double* rssi = pr[b];
+        for (std::size_t m = 0; m < m_count; ++m) {
+          dot_snr += snr[m] * x[m];
+          dot_rssi += rssi[m] * x[m];
+        }
+        const double cs = dot_snr / (snr_norms[b] * x_norm);
+        const double cr = dot_rssi / (rssi_norms[b] * x_norm);
+        w[b][g] = (cs * cs) * (cr * cr);
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<CorrelationEngine::Path> CorrelationEngine::matching_pursuit(
     std::span<const SectorReading> readings, int max_paths, double min_score,
     double min_separation_deg, bool separate_in_azimuth) const {

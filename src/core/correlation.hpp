@@ -56,6 +56,17 @@ class CorrelationEngine {
   /// one fused grid pass (one matrix walk for both dots and the product).
   Grid2D combined_surface(std::span<const SectorReading> readings) const;
 
+  /// Batched Eq. 5: one surface per input sweep. Sweeps whose usable
+  /// probes map onto the same slot sequence are evaluated together in one
+  /// blocked matrix pass -- the row gather, the subset norm and the
+  /// per-point sqrt are paid once for the whole panel instead of once per
+  /// sweep. Results are bit-for-bit identical to calling combined_surface
+  /// on each element (same accumulation order per sweep), so callers may
+  /// batch opportunistically. Every sweep needs >= 2 usable readings with
+  /// positive probe norms, like the single-sweep path.
+  std::vector<Grid2D> combined_surface_batch(
+      std::span<const std::span<const SectorReading>> sweeps) const;
+
   /// Number of readings that map onto table sectors.
   std::size_t usable_probe_count(std::span<const SectorReading> readings) const;
 

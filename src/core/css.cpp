@@ -64,4 +64,76 @@ CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probe
   return select(probes, ids);
 }
 
+std::vector<CssResult> CompressiveSectorSelector::select_batch(
+    std::span<const std::vector<SectorReading>> sweeps,
+    std::span<const int> candidates) const {
+  TALON_EXPECTS(!candidates.empty());
+  std::vector<CssResult> results(sweeps.size());
+  if (!config_.use_rssi) {
+    // SNR-only ablation: no batched Eq. 2 kernel; scalar path per sweep.
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+      results[i] = select(sweeps[i], candidates);
+    }
+    return results;
+  }
+
+  // Empty and fallback sweeps never touch the grid; route them through the
+  // scalar path (cheap) and batch only the surface-bearing ones.
+  std::vector<std::size_t> batched;
+  std::vector<std::span<const SectorReading>> panel;
+  batched.reserve(sweeps.size());
+  panel.reserve(sweeps.size());
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    if (sweeps[i].empty() ||
+        engine_.usable_probe_count(sweeps[i]) < config_.min_probes) {
+      results[i] = select(sweeps[i], candidates);
+    } else {
+      batched.push_back(i);
+      panel.emplace_back(sweeps[i]);
+    }
+  }
+  const std::vector<Grid2D> surfaces = engine_.combined_surface_batch(panel);
+  for (std::size_t b = 0; b < batched.size(); ++b) {
+    const Grid2D::Peak peak = surfaces[b].peak();
+    CssResult& result = results[batched[b]];
+    result.valid = true;
+    result.estimated_direction = peak.direction;
+    result.correlation_peak = peak.value;
+    result.sector_id = patterns_.best_sector_at(peak.direction, candidates);
+  }
+  return results;
+}
+
+std::vector<CssResult> CompressiveSectorSelector::select_batch(
+    std::span<const std::vector<SectorReading>> sweeps) const {
+  std::vector<int> ids = patterns_.ids();
+  std::erase(ids, kRxQuasiOmniSectorId);
+  return select_batch(sweeps, ids);
+}
+
+std::vector<std::optional<Direction>> CompressiveSectorSelector::estimate_directions(
+    std::span<const std::vector<SectorReading>> sweeps) const {
+  std::vector<std::optional<Direction>> results(sweeps.size());
+  if (!config_.use_rssi) {
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+      results[i] = estimate_direction(sweeps[i]);
+    }
+    return results;
+  }
+  std::vector<std::size_t> batched;
+  std::vector<std::span<const SectorReading>> panel;
+  batched.reserve(sweeps.size());
+  panel.reserve(sweeps.size());
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    if (engine_.usable_probe_count(sweeps[i]) < config_.min_probes) continue;
+    batched.push_back(i);
+    panel.emplace_back(sweeps[i]);
+  }
+  const std::vector<Grid2D> surfaces = engine_.combined_surface_batch(panel);
+  for (std::size_t b = 0; b < batched.size(); ++b) {
+    results[batched[b]] = surfaces[b].peak().direction;
+  }
+  return results;
+}
+
 }  // namespace talon

@@ -62,6 +62,26 @@ class CompressiveSectorSelector {
   /// select() with all pattern-table sectors as candidates.
   CssResult select(std::span<const SectorReading> probes) const;
 
+  /// Batched select(): one result per sweep, bit-for-bit identical to
+  /// calling select() on each element. Sweeps with enough usable probes
+  /// ride the batched Eq. 5 kernel (CorrelationEngine::
+  /// combined_surface_batch) so sweeps sharing a probe subset share one
+  /// grid walk; empty and fallback sweeps take the scalar path. The
+  /// SNR-only ablation (use_rssi == false) has no batched kernel and
+  /// degrades to a per-sweep loop.
+  std::vector<CssResult> select_batch(
+      std::span<const std::vector<SectorReading>> sweeps,
+      std::span<const int> candidates) const;
+
+  /// select_batch() with all pattern-table sectors as candidates.
+  std::vector<CssResult> select_batch(
+      std::span<const std::vector<SectorReading>> sweeps) const;
+
+  /// Batched estimate_direction(), same batching contract as
+  /// select_batch().
+  std::vector<std::optional<Direction>> estimate_directions(
+      std::span<const std::vector<SectorReading>> sweeps) const;
+
   /// Step 1 only (Eq. 3/5): the estimated angle of arrival, or nullopt
   /// when fewer than min_probes probes decoded.
   std::optional<Direction> estimate_direction(

@@ -12,6 +12,27 @@ std::optional<Direction> SectorSelector::estimate_direction(
   return std::nullopt;
 }
 
+std::vector<CssResult> SectorSelector::select_batch(
+    std::span<const std::vector<SectorReading>> sweeps,
+    std::span<const int> candidates) {
+  std::vector<CssResult> results;
+  results.reserve(sweeps.size());
+  for (const std::vector<SectorReading>& sweep : sweeps) {
+    results.push_back(select(sweep, candidates));
+  }
+  return results;
+}
+
+std::vector<std::optional<Direction>> SectorSelector::estimate_directions(
+    std::span<const std::vector<SectorReading>> sweeps) {
+  std::vector<std::optional<Direction>> results;
+  results.reserve(sweeps.size());
+  for (const std::vector<SectorReading>& sweep : sweeps) {
+    results.push_back(estimate_direction(sweep));
+  }
+  return results;
+}
+
 CssResult SswArgmaxSelector::select(std::span<const SectorReading> probes,
                                     std::span<const int> /*candidates*/) {
   const SswSelection ssw = sweep_select(probes);
@@ -29,6 +50,18 @@ CssResult CssSelector::select(std::span<const SectorReading> probes,
 std::optional<Direction> CssSelector::estimate_direction(
     std::span<const SectorReading> probes) {
   return css_->estimate_direction(probes);
+}
+
+std::vector<CssResult> CssSelector::select_batch(
+    std::span<const std::vector<SectorReading>> sweeps,
+    std::span<const int> candidates) {
+  return candidates.empty() ? css_->select_batch(sweeps)
+                            : css_->select_batch(sweeps, candidates);
+}
+
+std::vector<std::optional<Direction>> CssSelector::estimate_directions(
+    std::span<const std::vector<SectorReading>> sweeps) {
+  return css_->estimate_directions(sweeps);
 }
 
 CssResult TrackingCssSelector::select(std::span<const SectorReading> probes,

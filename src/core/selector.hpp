@@ -8,9 +8,11 @@
 // per-call-site plumbing.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "src/core/css.hpp"
 #include "src/core/tracking.hpp"
@@ -35,6 +37,25 @@ class SectorSelector {
   /// the default capability is "none" (e.g. the plain argmax).
   virtual std::optional<Direction> estimate_direction(
       std::span<const SectorReading> probes);
+
+  /// An independent selector with the same configuration and no
+  /// accumulated state. The parallel replay engine forks the selector once
+  /// per trial cell so cells never share mutable state, which keeps
+  /// results identical at any thread count (stateful selectors therefore
+  /// track within a cell, not across cells).
+  virtual std::unique_ptr<SectorSelector> fork() const = 0;
+
+  /// Batched select() over many sweeps sharing one candidate set; results
+  /// must equal calling select() per element, in order. The default does
+  /// exactly that; batching-capable selectors override it to amortize the
+  /// grid walk across sweeps with a common probe subset.
+  virtual std::vector<CssResult> select_batch(
+      std::span<const std::vector<SectorReading>> sweeps,
+      std::span<const int> candidates = {});
+
+  /// Batched estimate_direction(); same contract as select_batch().
+  virtual std::vector<std::optional<Direction>> estimate_directions(
+      std::span<const std::vector<SectorReading>> sweeps);
 };
 
 /// The stock IEEE 802.11ad baseline: argmax over the reported SNRs
@@ -45,6 +66,9 @@ class SswArgmaxSelector final : public SectorSelector {
   std::string_view name() const override { return "ssw-argmax"; }
   CssResult select(std::span<const SectorReading> probes,
                    std::span<const int> candidates = {}) override;
+  std::unique_ptr<SectorSelector> fork() const override {
+    return std::make_unique<SswArgmaxSelector>();
+  }
 };
 
 /// Compressive sector selection (Eqs. 2-5). Non-owning adapter over a
@@ -58,6 +82,14 @@ class CssSelector final : public SectorSelector {
                    std::span<const int> candidates = {}) override;
   std::optional<Direction> estimate_direction(
       std::span<const SectorReading> probes) override;
+  std::unique_ptr<SectorSelector> fork() const override {
+    return std::make_unique<CssSelector>(*css_);
+  }
+  std::vector<CssResult> select_batch(
+      std::span<const std::vector<SectorReading>> sweeps,
+      std::span<const int> candidates = {}) override;
+  std::vector<std::optional<Direction>> estimate_directions(
+      std::span<const std::vector<SectorReading>> sweeps) override;
 
   const CompressiveSectorSelector& css() const { return *css_; }
 
@@ -79,6 +111,11 @@ class TrackingCssSelector final : public SectorSelector {
                    std::span<const int> candidates = {}) override;
   std::optional<Direction> estimate_direction(
       std::span<const SectorReading> probes) override;
+  /// Forks restart with an empty tracker: accumulated path state is the
+  /// kind of cross-cell coupling fork() exists to sever.
+  std::unique_ptr<SectorSelector> fork() const override {
+    return std::make_unique<TrackingCssSelector>(*css_, tracker_.config());
+  }
 
   /// The smoothed path direction (empty before the first valid estimate).
   const std::optional<Direction>& tracked() const { return tracker_.current(); }

@@ -37,6 +37,8 @@ class PathTracker {
   /// The current track, empty before the first update (or after reset).
   const std::optional<Direction>& current() const { return track_; }
 
+  const PathTrackerConfig& config() const { return config_; }
+
   /// Far estimates seen in a row (diagnostics).
   int pending_jumps() const { return jump_run_; }
 

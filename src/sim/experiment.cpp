@@ -5,11 +5,20 @@
 #include <unordered_set>
 
 #include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
 #include "src/core/metrics.hpp"
 
 namespace talon {
 
 namespace {
+
+// Stream tags keep the substream families of the four runners disjoint:
+// substream_seed(seed, tag, ...) collides across runners only if the tags
+// collide.
+constexpr std::uint64_t kRecordingStream = 1;
+constexpr std::uint64_t kErrorStream = 2;
+constexpr std::uint64_t kQualityStream = 3;
+constexpr std::uint64_t kThroughputStream = 4;
 
 /// Keep only the readings whose sector is in `subset`.
 std::vector<SectorReading> filter_readings(const SweepMeasurement& sweep,
@@ -37,6 +46,31 @@ std::vector<SectorReading> readings_from_ring(
   return out;
 }
 
+/// Record indices grouped by pose, ascending pose order (std::map). All
+/// replay aggregation walks poses in this order regardless of which thread
+/// computed which cell.
+std::map<int, std::vector<std::size_t>> group_by_pose(
+    std::span<const SweepRecord> records) {
+  std::map<int, std::vector<std::size_t>> poses;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    poses[records[i].pose_index].push_back(i);
+  }
+  return poses;
+}
+
+/// The filtered per-sweep probe lists of one replay cell: every sweep of
+/// `indices` restricted to the cell's probe subset.
+std::vector<std::vector<SectorReading>> cell_sweeps(
+    std::span<const SweepRecord> records, std::span<const std::size_t> indices,
+    std::span<const int> subset) {
+  std::vector<std::vector<SectorReading>> sweeps;
+  sweeps.reserve(indices.size());
+  for (std::size_t i : indices) {
+    sweeps.push_back(filter_readings(records[i].measurement, subset));
+  }
+  return sweeps;
+}
+
 }  // namespace
 
 std::vector<SweepRecord> record_sweeps(Scenario& scenario,
@@ -44,8 +78,6 @@ std::vector<SweepRecord> record_sweeps(Scenario& scenario,
   TALON_EXPECTS(!config.head_azimuths_deg.empty());
   TALON_EXPECTS(!config.head_tilts_deg.empty());
   TALON_EXPECTS(config.sweeps_per_pose >= 1);
-  Rng rng(config.seed);
-  LinkSimulator link = scenario.make_link(rng.fork());
 
   std::vector<SweepRecord> records;
   records.reserve(config.head_azimuths_deg.size() * config.head_tilts_deg.size() *
@@ -55,6 +87,14 @@ std::vector<SweepRecord> record_sweeps(Scenario& scenario,
     for (double az : config.head_azimuths_deg) {
       scenario.set_head(az, tilt);
       for (std::size_t s = 0; s < config.sweeps_per_pose; ++s) {
+        // Each (pose, sweep) trial gets its own substream-seeded link: a
+        // record's noise depends only on its (pose, sweep) coordinates,
+        // never on how many frames other trials transmitted before it.
+        // Recording fewer sweeps or a pose prefix reproduces the shared
+        // records exactly.
+        LinkSimulator link = scenario.make_link(Rng(substream_seed(
+            config.seed, kRecordingStream,
+            static_cast<std::uint64_t>(pose_index), s)));
         SweepOutcome outcome = link.transmit_sweep(*scenario.dut, *scenario.peer,
                                                    sweep_burst_schedule());
         records.push_back(SweepRecord{
@@ -72,25 +112,77 @@ std::vector<SweepRecord> record_sweeps(Scenario& scenario,
 std::vector<EstimationErrorRow> estimation_error_analysis(
     std::span<const SweepRecord> records, SectorSelector& selector,
     std::span<const std::size_t> probe_counts, const ProbeSubsetPolicy& policy,
-    std::uint64_t seed) {
+    std::uint64_t seed, const ReplayOptions& options) {
   TALON_EXPECTS(!records.empty());
   const std::vector<int>& all_tx = talon_tx_sector_ids();
-  Rng rng(seed);
+  for (std::size_t m : probe_counts) {
+    TALON_EXPECTS(m >= 2 && m <= all_tx.size());
+  }
+
+  const std::map<int, std::vector<std::size_t>> poses = group_by_pose(records);
+
+  // One cell per (probe count, pose), probe-count-major so aggregation can
+  // walk the flat result array in row order.
+  struct Cell {
+    std::size_t m{0};
+    int pose{0};
+    const std::vector<std::size_t>* indices{nullptr};
+  };
+  std::vector<Cell> cells;
+  cells.reserve(probe_counts.size() * poses.size());
+  for (std::size_t m : probe_counts) {
+    for (const auto& [pose, indices] : poses) {
+      cells.push_back(Cell{.m = m, .pose = pose, .indices = &indices});
+    }
+  }
+
+  struct CellErrors {
+    std::vector<double> az;
+    std::vector<double> el;
+  };
+  std::vector<CellErrors> results(cells.size());
+
+  parallel_for(
+      cells.size(),
+      [&](std::size_t c) {
+        const Cell& cell = cells[c];
+        const std::unique_ptr<SectorSelector> worker = selector.fork();
+        Rng rng(substream_seed(seed, kErrorStream, cell.m,
+                               static_cast<std::uint64_t>(cell.pose)));
+        const std::vector<int> subset = policy.choose(all_tx, cell.m, rng);
+        const std::vector<std::vector<SectorReading>> sweeps =
+            cell_sweeps(records, *cell.indices, subset);
+
+        std::vector<std::optional<Direction>> estimates;
+        if (options.batch) {
+          estimates = worker->estimate_directions(sweeps);
+        } else {
+          estimates.reserve(sweeps.size());
+          for (const std::vector<SectorReading>& probes : sweeps) {
+            estimates.push_back(worker->estimate_direction(probes));
+          }
+        }
+
+        CellErrors& out = results[c];
+        for (std::size_t k = 0; k < sweeps.size(); ++k) {
+          if (!estimates[k]) continue;  // too few decoded probes this sweep
+          const AngleError err =
+              estimation_error(*estimates[k], records[(*cell.indices)[k]].physical);
+          out.az.push_back(err.azimuth_deg);
+          out.el.push_back(err.elevation_deg);
+        }
+      },
+      ParallelOptions{.threads = options.threads});
 
   std::vector<EstimationErrorRow> rows;
   rows.reserve(probe_counts.size());
+  std::size_t c = 0;
   for (std::size_t m : probe_counts) {
-    TALON_EXPECTS(m >= 2 && m <= all_tx.size());
     std::vector<double> az_errors;
     std::vector<double> el_errors;
-    for (const SweepRecord& rec : records) {
-      const std::vector<int> subset = policy.choose(all_tx, m, rng);
-      const std::vector<SectorReading> probes = filter_readings(rec.measurement, subset);
-      const auto estimated = selector.estimate_direction(probes);
-      if (!estimated) continue;  // too few decoded probes this sweep
-      const AngleError err = estimation_error(*estimated, rec.physical);
-      az_errors.push_back(err.azimuth_deg);
-      el_errors.push_back(err.elevation_deg);
+    for (std::size_t p = 0; p < poses.size(); ++p, ++c) {
+      az_errors.insert(az_errors.end(), results[c].az.begin(), results[c].az.end());
+      el_errors.insert(el_errors.end(), results[c].el.begin(), results[c].el.end());
     }
     EstimationErrorRow row;
     row.probes = m;
@@ -107,66 +199,127 @@ std::vector<EstimationErrorRow> estimation_error_analysis(
 std::vector<SelectionQualityRow> selection_quality_analysis(
     std::span<const SweepRecord> records, SectorSelector& selector,
     std::span<const std::size_t> probe_counts, const ProbeSubsetPolicy& policy,
-    std::uint64_t seed) {
+    std::uint64_t seed, const ReplayOptions& options) {
   TALON_EXPECTS(!records.empty());
   const std::vector<int>& all_tx = talon_tx_sector_ids();
-  Rng rng(seed);
+  for (std::size_t m : probe_counts) {
+    TALON_EXPECTS(m >= 2 && m <= all_tx.size());
+  }
 
   // Group record indices by pose; stability is a per-pose quantity.
-  std::map<int, std::vector<std::size_t>> poses;
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    poses[records[i].pose_index].push_back(i);
-  }
+  const std::map<int, std::vector<std::size_t>> poses = group_by_pose(records);
+  std::vector<const std::vector<std::size_t>*> pose_cells;
+  pose_cells.reserve(poses.size());
+  for (const auto& [pose, indices] : poses) pose_cells.push_back(&indices);
+
+  // Per-cell replay outcome: sweeps within a cell run in recording order
+  // because stability counts selection *switches* and SnrLossTracker
+  // compares against the previous measurement.
+  struct PoseQuality {
+    bool has_selections{false};
+    double stability{0.0};
+    std::vector<double> losses;
+  };
 
   // --- SSW baseline: probes everything, independent of m -------------------
   // Losses are tracked per pose: "the sector with the highest SNR as
   // reported in the current and previous measurements" only makes sense
   // while the geometry stays fixed.
-  SswArgmaxSelector ssw_baseline;
+  std::vector<PoseQuality> ssw_cells(pose_cells.size());
+  parallel_for(
+      pose_cells.size(),
+      [&](std::size_t p) {
+        SswArgmaxSelector ssw_baseline;
+        std::vector<int> selections;
+        SnrLossTracker loss;
+        int previous = -1;
+        for (std::size_t i : *pose_cells[p]) {
+          const CssResult sel = ssw_baseline.select(records[i].measurement.readings);
+          const int chosen = sel.valid ? sel.sector_id : previous;
+          if (chosen < 0) continue;  // nothing decoded yet at this pose
+          previous = chosen;
+          selections.push_back(chosen);
+          loss.record(records[i].measurement, chosen);
+        }
+        PoseQuality& out = ssw_cells[p];
+        out.has_selections = !selections.empty();
+        if (out.has_selections) out.stability = selection_stability(selections);
+        out.losses = loss.losses();
+      },
+      ParallelOptions{.threads = options.threads});
+
   double ssw_stability_sum = 0.0;
   std::vector<double> ssw_losses;
-  for (const auto& [pose, indices] : poses) {
-    std::vector<int> selections;
-    SnrLossTracker loss;
-    int previous = -1;
-    for (std::size_t i : indices) {
-      const CssResult sel = ssw_baseline.select(records[i].measurement.readings);
-      const int chosen = sel.valid ? sel.sector_id : previous;
-      if (chosen < 0) continue;  // nothing decoded yet at this pose
-      previous = chosen;
-      selections.push_back(chosen);
-      loss.record(records[i].measurement, chosen);
-    }
-    if (!selections.empty()) ssw_stability_sum += selection_stability(selections);
-    ssw_losses.insert(ssw_losses.end(), loss.losses().begin(), loss.losses().end());
+  for (const PoseQuality& cell : ssw_cells) {
+    if (cell.has_selections) ssw_stability_sum += cell.stability;
+    ssw_losses.insert(ssw_losses.end(), cell.losses.begin(), cell.losses.end());
   }
   const double ssw_stability = ssw_stability_sum / static_cast<double>(poses.size());
   const double ssw_loss_db = mean(ssw_losses);
 
-  // --- CSS for each probe count --------------------------------------------
+  // --- CSS for each (probe count, pose) cell -------------------------------
+  struct Cell {
+    std::size_t m{0};
+    int pose{0};
+    const std::vector<std::size_t>* indices{nullptr};
+  };
+  std::vector<Cell> cells;
+  cells.reserve(probe_counts.size() * poses.size());
+  for (std::size_t m : probe_counts) {
+    for (const auto& [pose, indices] : poses) {
+      cells.push_back(Cell{.m = m, .pose = pose, .indices = &indices});
+    }
+  }
+  std::vector<PoseQuality> css_cells(cells.size());
+
+  parallel_for(
+      cells.size(),
+      [&](std::size_t c) {
+        const Cell& cell = cells[c];
+        const std::unique_ptr<SectorSelector> worker = selector.fork();
+        Rng rng(substream_seed(seed, kQualityStream, cell.m,
+                               static_cast<std::uint64_t>(cell.pose)));
+        const std::vector<int> subset = policy.choose(all_tx, cell.m, rng);
+        const std::vector<std::vector<SectorReading>> sweeps =
+            cell_sweeps(records, *cell.indices, subset);
+
+        std::vector<CssResult> selected;
+        if (options.batch) {
+          selected = worker->select_batch(sweeps, all_tx);
+        } else {
+          selected.reserve(sweeps.size());
+          for (const std::vector<SectorReading>& probes : sweeps) {
+            selected.push_back(worker->select(probes, all_tx));
+          }
+        }
+
+        std::vector<int> selections;
+        SnrLossTracker loss;
+        int previous = -1;
+        for (std::size_t k = 0; k < sweeps.size(); ++k) {
+          const int chosen = selected[k].valid ? selected[k].sector_id : previous;
+          if (chosen < 0) continue;
+          previous = chosen;
+          selections.push_back(chosen);
+          loss.record(records[(*cell.indices)[k]].measurement, chosen);
+        }
+        PoseQuality& out = css_cells[c];
+        out.has_selections = !selections.empty();
+        if (out.has_selections) out.stability = selection_stability(selections);
+        out.losses = loss.losses();
+      },
+      ParallelOptions{.threads = options.threads});
+
   std::vector<SelectionQualityRow> rows;
   rows.reserve(probe_counts.size());
+  std::size_t c = 0;
   for (std::size_t m : probe_counts) {
-    TALON_EXPECTS(m >= 2 && m <= all_tx.size());
     double css_stability_sum = 0.0;
     std::vector<double> css_losses;
-    for (const auto& [pose, indices] : poses) {
-      std::vector<int> selections;
-      SnrLossTracker loss;
-      int previous = -1;
-      for (std::size_t i : indices) {
-        const std::vector<int> subset = policy.choose(all_tx, m, rng);
-        const std::vector<SectorReading> probes =
-            filter_readings(records[i].measurement, subset);
-        const CssResult result = selector.select(probes, all_tx);
-        const int chosen = result.valid ? result.sector_id : previous;
-        if (chosen < 0) continue;
-        previous = chosen;
-        selections.push_back(chosen);
-        loss.record(records[i].measurement, chosen);
-      }
-      if (!selections.empty()) css_stability_sum += selection_stability(selections);
-      css_losses.insert(css_losses.end(), loss.losses().begin(), loss.losses().end());
+    for (std::size_t p = 0; p < poses.size(); ++p, ++c) {
+      if (css_cells[c].has_selections) css_stability_sum += css_cells[c].stability;
+      css_losses.insert(css_losses.end(), css_cells[c].losses.begin(),
+                        css_cells[c].losses.end());
     }
     rows.push_back(SelectionQualityRow{
         .probes = m,
@@ -179,19 +332,13 @@ std::vector<SelectionQualityRow> selection_quality_analysis(
   return rows;
 }
 
-std::vector<ThroughputPoint> throughput_analysis(Scenario& scenario,
+std::vector<ThroughputPoint> throughput_analysis(const ScenarioFactory& make_scenario,
                                                  SectorSelector& selector,
                                                  const ThroughputModel& model,
-                                                 const ThroughputConfig& config) {
+                                                 const ThroughputConfig& config,
+                                                 const ReplayOptions& options) {
   TALON_EXPECTS(config.probes >= 2);
   const std::vector<int>& all_tx = talon_tx_sector_ids();
-  Rng rng(config.seed);
-  RandomSubsetPolicy subset_policy;
-
-  // The peer produces the feedback that steers the DUT; it needs the
-  // research patches for the ring buffer and the override switch.
-  FullMacFirmware& peer_fw = scenario.peer->firmware();
-  if (!peer_fw.patcher().is_applied("sweep-info")) peer_fw.apply_research_patches();
 
   const TimingModel timing;
   const double css_training_s =
@@ -203,59 +350,75 @@ std::vector<ThroughputPoint> throughput_analysis(Scenario& scenario,
           ? timing.mutual_training_time_ms(kFullSweepProbes) / 1000.0
           : 0.0;
 
-  std::vector<ThroughputPoint> points;
-  points.reserve(config.head_azimuths_deg.size());
-  for (double az : config.head_azimuths_deg) {
-    scenario.set_head(az, 0.0);
-    LinkSimulator link = scenario.make_link(rng.fork());
+  std::vector<ThroughputPoint> points(config.head_azimuths_deg.size());
+  parallel_for(
+      config.head_azimuths_deg.size(),
+      [&](std::size_t p) {
+        Scenario scenario = make_scenario();
+        scenario.set_head(config.head_azimuths_deg[p], 0.0);
+        const std::unique_ptr<SectorSelector> worker = selector.fork();
+        RandomSubsetPolicy subset_policy;
+        Rng rng(substream_seed(config.seed, kThroughputStream, p));
 
-    RunningStats css_tput;
-    RunningStats ssw_tput;
-    int css_previous = -1;
-    int ssw_previous = -1;
-    for (std::size_t s = 0; s < config.sweeps_per_pose; ++s) {
-      // --- CSS sweep: probing subset, user-space selection, WMI override ---
-      const std::vector<int> subset = subset_policy.choose(all_tx, config.probes, rng);
-      const auto schedule = probing_burst_schedule(subset);
-      link.transmit_sweep(*scenario.dut, *scenario.peer, schedule);
-      // User space drains the ring buffer and runs CSS on this sweep.
-      WmiResponse info = peer_fw.handle_wmi({.type = WmiCommandType::kReadSweepInfo});
-      TALON_EXPECTS(info.status == WmiStatus::kOk);
-      const auto probes = readings_from_ring(info.entries, peer_fw.sweep_index());
-      const CssResult result = selector.select(probes, all_tx);
-      const int css_sector = result.valid ? result.sector_id
-                             : css_previous >= 0 ? css_previous
-                                                 : all_tx.front();
-      const bool css_switched = css_previous >= 0 && css_sector != css_previous;
-      css_previous = css_sector;
-      const WmiResponse set = peer_fw.handle_wmi(
-          {.type = WmiCommandType::kSetSectorOverride, .sector_id = css_sector});
-      TALON_EXPECTS(set.status == WmiStatus::kOk);
-      css_tput.add(model.app_throughput_mbps(
-          link.true_snr_db(*scenario.dut, css_sector, *scenario.peer,
-                           kRxQuasiOmniSectorId),
-          css_training_s, css_switched));
+        // The peer produces the feedback that steers the DUT; it needs the
+        // research patches for the ring buffer and the override switch.
+        FullMacFirmware& peer_fw = scenario.peer->firmware();
+        if (!peer_fw.patcher().is_applied("sweep-info")) {
+          peer_fw.apply_research_patches();
+        }
 
-      // --- SSW sweep: full schedule, stock argmax feedback ------------------
-      peer_fw.handle_wmi({.type = WmiCommandType::kClearSectorOverride});
-      const SweepOutcome full =
-          link.transmit_sweep(*scenario.dut, *scenario.peer, sweep_burst_schedule());
-      const int ssw_sector = full.feedback.selected_sector_id;
-      const bool ssw_switched = ssw_previous >= 0 && ssw_sector != ssw_previous;
-      ssw_previous = ssw_sector;
-      ssw_tput.add(model.app_throughput_mbps(
-          link.true_snr_db(*scenario.dut, ssw_sector, *scenario.peer,
-                           kRxQuasiOmniSectorId),
-          ssw_training_s, ssw_switched));
-      // Drain the ring so the next CSS pass only sees its own sweep.
-      peer_fw.handle_wmi({.type = WmiCommandType::kReadSweepInfo});
-    }
-    points.push_back(ThroughputPoint{
-        .head_azimuth_deg = az,
-        .css_mbps = css_tput.mean(),
-        .ssw_mbps = ssw_tput.mean(),
-    });
-  }
+        LinkSimulator link = scenario.make_link(rng.fork());
+
+        RunningStats css_tput;
+        RunningStats ssw_tput;
+        int css_previous = -1;
+        int ssw_previous = -1;
+        for (std::size_t s = 0; s < config.sweeps_per_pose; ++s) {
+          // --- CSS sweep: probing subset, user-space selection, WMI override ---
+          const std::vector<int> subset =
+              subset_policy.choose(all_tx, config.probes, rng);
+          const auto schedule = probing_burst_schedule(subset);
+          link.transmit_sweep(*scenario.dut, *scenario.peer, schedule);
+          // User space drains the ring buffer and runs CSS on this sweep.
+          WmiResponse info =
+              peer_fw.handle_wmi({.type = WmiCommandType::kReadSweepInfo});
+          TALON_EXPECTS(info.status == WmiStatus::kOk);
+          const auto probes = readings_from_ring(info.entries, peer_fw.sweep_index());
+          const CssResult result = worker->select(probes, all_tx);
+          const int css_sector = result.valid ? result.sector_id
+                                 : css_previous >= 0 ? css_previous
+                                                     : all_tx.front();
+          const bool css_switched = css_previous >= 0 && css_sector != css_previous;
+          css_previous = css_sector;
+          const WmiResponse set = peer_fw.handle_wmi(
+              {.type = WmiCommandType::kSetSectorOverride, .sector_id = css_sector});
+          TALON_EXPECTS(set.status == WmiStatus::kOk);
+          css_tput.add(model.app_throughput_mbps(
+              link.true_snr_db(*scenario.dut, css_sector, *scenario.peer,
+                               kRxQuasiOmniSectorId),
+              css_training_s, css_switched));
+
+          // --- SSW sweep: full schedule, stock argmax feedback ------------------
+          peer_fw.handle_wmi({.type = WmiCommandType::kClearSectorOverride});
+          const SweepOutcome full = link.transmit_sweep(*scenario.dut, *scenario.peer,
+                                                        sweep_burst_schedule());
+          const int ssw_sector = full.feedback.selected_sector_id;
+          const bool ssw_switched = ssw_previous >= 0 && ssw_sector != ssw_previous;
+          ssw_previous = ssw_sector;
+          ssw_tput.add(model.app_throughput_mbps(
+              link.true_snr_db(*scenario.dut, ssw_sector, *scenario.peer,
+                               kRxQuasiOmniSectorId),
+              ssw_training_s, ssw_switched));
+          // Drain the ring so the next CSS pass only sees its own sweep.
+          peer_fw.handle_wmi({.type = WmiCommandType::kReadSweepInfo});
+        }
+        points[p] = ThroughputPoint{
+            .head_azimuth_deg = config.head_azimuths_deg[p],
+            .css_mbps = css_tput.mean(),
+            .ssw_mbps = ssw_tput.mean(),
+        };
+      },
+      ParallelOptions{.threads = options.threads});
   return points;
 }
 

@@ -9,8 +9,17 @@
 // sweep") to produce Figs. 7, 8 and 9. The throughput experiment (Fig. 11)
 // runs live because it needs the true link SNR of whichever sector each
 // algorithm selects -- and it drives the firmware override end-to-end.
+//
+// Determinism contract: every randomized trial draws from a counter-based
+// substream seeded by substream_seed(seed, <stream tag>, <cell coords>)
+// (common/rng.hpp), never from a shared sequential Rng. A trial's draws
+// therefore depend only on its coordinates -- (pose, sweep) for recording,
+// (probe count, pose) for the replay analyses, pose for throughput -- so
+// results are bit-identical for any thread count, including 1, and for any
+// iteration order.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "src/common/stats.hpp"
@@ -21,6 +30,18 @@
 #include "src/sim/scenario.hpp"
 
 namespace talon {
+
+/// Execution knobs of the offline replay engine. Neither knob changes any
+/// result: threads only distribute independent trial cells, and the batched
+/// Eq. 5 kernel is bit-for-bit equal to the scalar path.
+struct ReplayOptions {
+  /// Worker threads; <= 0 means default_thread_count() (the --threads /
+  /// TALON_THREADS override when set, hardware concurrency otherwise).
+  int threads{0};
+  /// Evaluate each cell's sweeps through the batched kernel
+  /// (combined_surface_batch); false forces the scalar per-sweep path.
+  bool batch{true};
+};
 
 /// One recorded full sweep at one rotation-head pose.
 struct SweepRecord {
@@ -36,7 +57,10 @@ struct RecordingConfig {
   std::uint64_t seed{1};
 };
 
-/// Data-collection pass: full sweeps DUT -> peer at every pose.
+/// Data-collection pass: full sweeps DUT -> peer at every pose. Each
+/// (pose, sweep) trial runs on its own substream-seeded link, so a record
+/// depends only on its coordinates: recording fewer sweeps per pose, or a
+/// prefix of the poses, reproduces the shared records bit for bit.
 std::vector<SweepRecord> record_sweeps(Scenario& scenario,
                                        const RecordingConfig& config);
 
@@ -50,11 +74,14 @@ struct EstimationErrorRow {
 };
 
 /// `selector` must provide direction estimates (SectorSelector's optional
-/// capability); sweeps where it returns none are skipped.
+/// capability); sweeps where it returns none are skipped. One probe subset
+/// is drawn per (probe count, pose) cell and replayed against all of that
+/// pose's sweeps -- the cells are independent and run on the parallel
+/// executor.
 std::vector<EstimationErrorRow> estimation_error_analysis(
     std::span<const SweepRecord> records, SectorSelector& selector,
     std::span<const std::size_t> probe_counts, const ProbeSubsetPolicy& policy,
-    std::uint64_t seed);
+    std::uint64_t seed, const ReplayOptions& options = {});
 
 // --- Figs. 8 and 9: selection stability and SNR loss ----------------------
 
@@ -67,11 +94,14 @@ struct SelectionQualityRow {
 };
 
 /// `selector` plays the compressive role against the built-in SSW
-/// (full-sweep argmax) baseline.
+/// (full-sweep argmax) baseline. Cells are (probe count, pose) pairs, each
+/// with its own substream, subset and forked selector; sweeps within a cell
+/// replay in recording order (stability and SNR loss are sequential
+/// quantities).
 std::vector<SelectionQualityRow> selection_quality_analysis(
     std::span<const SweepRecord> records, SectorSelector& selector,
     std::span<const std::size_t> probe_counts, const ProbeSubsetPolicy& policy,
-    std::uint64_t seed);
+    std::uint64_t seed, const ReplayOptions& options = {});
 
 // --- Fig. 11: application throughput --------------------------------------
 
@@ -91,12 +121,20 @@ struct ThroughputPoint {
   double ssw_mbps{0.0};
 };
 
+/// Builds one fresh Scenario per call. Each pose of the Fig. 11 sweep gets
+/// its own scenario instance (head pose, firmware state and link are all
+/// mutable), which is what lets poses run in parallel.
+using ScenarioFactory = std::function<Scenario()>;
+
 /// Live run: CSS selections are installed into the peer-facing feedback via
 /// the firmware's WMI sector override (the Sec. 3.4 mechanism), the SSW
-/// baseline uses the stock argmax feedback.
-std::vector<ThroughputPoint> throughput_analysis(Scenario& scenario,
+/// baseline uses the stock argmax feedback. Poses are independent cells on
+/// the parallel executor, each with a substream-seeded link and subset
+/// stream.
+std::vector<ThroughputPoint> throughput_analysis(const ScenarioFactory& make_scenario,
                                                  SectorSelector& selector,
                                                  const ThroughputModel& model,
-                                                 const ThroughputConfig& config);
+                                                 const ThroughputConfig& config,
+                                                 const ReplayOptions& options = {});
 
 }  // namespace talon

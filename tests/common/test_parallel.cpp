@@ -1,0 +1,140 @@
+#include "src/common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace talon {
+namespace {
+
+TEST(ParallelFor, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  parallel_for(0, [&](std::size_t) { ++calls; }, ParallelOptions{.threads = 8});
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 7}) {
+    constexpr std::size_t kCount = 403;
+    std::vector<std::atomic<int>> visits(kCount);
+    parallel_for(
+        kCount, [&](std::size_t i) { ++visits[i]; },
+        ParallelOptions{.threads = threads});
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, ChunkedVisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 101;
+  std::vector<std::atomic<int>> visits(kCount);
+  parallel_for(
+      kCount, [&](std::size_t i) { ++visits[i]; },
+      ParallelOptions{.threads = 3, .chunk = 8});
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1);
+  }
+}
+
+TEST(ParallelFor, ExceptionsPropagateToCaller) {
+  for (int threads : {1, 4}) {
+    EXPECT_THROW(
+        parallel_for(
+            64,
+            [&](std::size_t i) {
+              if (i == 17) throw std::runtime_error("boom");
+            },
+            ParallelOptions{.threads = threads}),
+        std::runtime_error);
+  }
+}
+
+TEST(ParallelFor, ExceptionStopsRemainingWork) {
+  // After the failure is recorded, unstarted chunks are skipped; the count
+  // of executed bodies must stay well below the full range.
+  std::atomic<int> executed{0};
+  EXPECT_THROW(parallel_for(
+                   1 << 20,
+                   [&](std::size_t) {
+                     ++executed;
+                     throw std::runtime_error("first chunk fails");
+                   },
+                   ParallelOptions{.threads = 2}),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), 1 << 20);
+}
+
+TEST(ParallelFor, NestedCallsRunSerially) {
+  std::atomic<int> inner_calls{0};
+  std::atomic<bool> nested_parallel{false};
+  parallel_for(
+      4,
+      [&](std::size_t) {
+        EXPECT_TRUE(in_parallel_region());
+        parallel_for(
+            8,
+            [&](std::size_t) {
+              ++inner_calls;
+              if (in_parallel_region()) {
+                // still inside the outer region: the inner loop must not
+                // have spawned its own workers (that would deadlock-prone
+                // oversubscribe); it runs inline on this thread.
+              } else {
+                nested_parallel = true;
+              }
+            },
+            ParallelOptions{.threads = 4});
+      },
+      ParallelOptions{.threads = 2});
+  EXPECT_EQ(inner_calls.load(), 4 * 8);
+  EXPECT_FALSE(nested_parallel.load());
+}
+
+TEST(ParallelFor, SerialPathReportsParallelRegion) {
+  EXPECT_FALSE(in_parallel_region());
+  parallel_for(
+      2, [&](std::size_t) { EXPECT_TRUE(in_parallel_region()); },
+      ParallelOptions{.threads = 1});
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  // The determinism pattern the replay engine relies on: each index writes
+  // only its own slot, so any thread count yields the same output.
+  constexpr std::size_t kCount = 257;
+  std::vector<std::vector<double>> outputs;
+  for (int threads : {1, 2, 7}) {
+    std::vector<double> out(kCount);
+    parallel_for(
+        kCount,
+        [&](std::size_t i) {
+          out[i] = static_cast<double>(substream_seed(99, i)) * 1e-19;
+        },
+        ParallelOptions{.threads = threads});
+    outputs.push_back(std::move(out));
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+TEST(ThreadCount, DefaultIsPositive) {
+  EXPECT_GE(hardware_thread_count(), 1);
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+TEST(ThreadCount, OverrideWinsAndClears) {
+  set_thread_count_override(5);
+  EXPECT_EQ(default_thread_count(), 5);
+  set_thread_count_override(0);  // clear
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace talon

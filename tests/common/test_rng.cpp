@@ -135,5 +135,35 @@ TEST(Rng, ForkIsDeterministic) {
   }
 }
 
+TEST(SubstreamSeed, DeterministicAndCoordinateSensitive) {
+  EXPECT_EQ(substream_seed(1, 2, 3, 4, 5), substream_seed(1, 2, 3, 4, 5));
+  // Every coordinate matters, including trailing defaults.
+  EXPECT_NE(substream_seed(1, 2, 3, 4, 5), substream_seed(2, 2, 3, 4, 5));
+  EXPECT_NE(substream_seed(1, 2, 3, 4, 5), substream_seed(1, 3, 3, 4, 5));
+  EXPECT_NE(substream_seed(1, 2, 3, 4, 5), substream_seed(1, 2, 4, 4, 5));
+  EXPECT_NE(substream_seed(1, 2, 3, 4, 5), substream_seed(1, 2, 3, 5, 5));
+  EXPECT_NE(substream_seed(1, 2, 3, 4, 5), substream_seed(1, 2, 3, 4, 6));
+}
+
+TEST(SubstreamSeed, CoordinatesAreNotInterchangeable) {
+  // (s0, s1) = (a, b) and (b, a) are distinct substreams, and defaulted
+  // trailing coordinates do not alias shifted ones.
+  EXPECT_NE(substream_seed(7, 1, 2), substream_seed(7, 2, 1));
+  EXPECT_NE(substream_seed(7, 0, 1), substream_seed(7, 1));
+  EXPECT_NE(substream_seed(7, 1), substream_seed(7, 1, 1));
+}
+
+TEST(SubstreamSeed, SeparatesNeighbouringCells) {
+  // Adjacent replay cells (pose +-1, probe count +-1) must land far apart;
+  // a weak mix would correlate their Rng streams.
+  Rng a(substream_seed(42, 2, 14, 6));
+  Rng b(substream_seed(42, 2, 14, 7));
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
 }  // namespace
 }  // namespace talon

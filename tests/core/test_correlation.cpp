@@ -202,5 +202,87 @@ TEST(Correlation, EmptyTableRejected) {
   EXPECT_THROW(CorrelationEngine(empty, synthetic_grid()), PreconditionError);
 }
 
+// --- combined_surface_batch: bit-for-bit equality with the scalar path ----
+
+/// A panel member: the given sector ids at `truth`, with a deterministic
+/// per-member perturbation so members differ while sharing a slot sequence.
+std::vector<SectorReading> panel_member(std::span<const int> ids,
+                                        const Direction& truth, std::size_t b) {
+  std::vector<SectorReading> probes =
+      ideal_probes(synthetic_table(), std::vector<int>(ids.begin(), ids.end()), truth);
+  for (std::size_t j = 0; j < probes.size(); ++j) {
+    probes[j].snr_db += 0.125 * static_cast<double>(b) + 0.01 * static_cast<double>(j);
+    probes[j].rssi_dbm += 0.25 * static_cast<double>(b);
+  }
+  return probes;
+}
+
+void expect_batch_matches_single(const CorrelationEngine& engine,
+                                 const std::vector<std::vector<SectorReading>>& panel) {
+  const std::vector<std::span<const SectorReading>> spans(panel.begin(), panel.end());
+  const std::vector<Grid2D> batch = engine.combined_surface_batch(spans);
+  ASSERT_EQ(batch.size(), panel.size());
+  for (std::size_t b = 0; b < panel.size(); ++b) {
+    const Grid2D single = engine.combined_surface(panel[b]);
+    ASSERT_EQ(batch[b].values().size(), single.values().size());
+    for (std::size_t i = 0; i < single.values().size(); ++i) {
+      // EXPECT_EQ on doubles: the batched kernel must preserve the scalar
+      // path's accumulation order exactly, not just approximately.
+      EXPECT_EQ(batch[b].values()[i], single.values()[i]) << "member " << b;
+    }
+  }
+}
+
+TEST(CorrelationBatch, SingletonBatchMatchesSingle) {
+  const CorrelationEngine engine = make_engine();
+  expect_batch_matches_single(
+      engine, {panel_member(std::vector<int>{1, 3, 5, 7}, {-10.0, 0.0}, 0)});
+}
+
+TEST(CorrelationBatch, SharedSubsetBatchMatchesSingleBitForBit) {
+  const CorrelationEngine engine = make_engine();
+  const std::vector<int> ids{1, 2, 4, 6, 8};
+  std::vector<std::vector<SectorReading>> panel;
+  for (std::size_t b = 0; b < 3; ++b) {
+    panel.push_back(panel_member(ids, {5.0, 10.0}, b));
+  }
+  expect_batch_matches_single(engine, panel);
+}
+
+TEST(CorrelationBatch, RaggedBatchOf64MatchesSingle) {
+  // 64 members cycling through different subsets (sizes 3..5), some with an
+  // unknown sector appended: the batch splits into per-slot-sequence panels
+  // and must still reproduce the scalar path member by member.
+  const CorrelationEngine engine = make_engine();
+  const std::vector<std::vector<int>> subsets{
+      {1, 3, 5}, {2, 4, 6, 8}, {1, 2, 3, 4, 5}, {7, 8, 9}};
+  std::vector<std::vector<SectorReading>> panel;
+  for (std::size_t b = 0; b < 64; ++b) {
+    const Direction truth{-30.0 + static_cast<double>(b), 0.0};
+    std::vector<SectorReading> probes =
+        panel_member(subsets[b % subsets.size()], truth, b);
+    if (b % 5 == 0) {
+      probes.push_back(
+          SectorReading{.sector_id = 99, .snr_db = 3.0, .rssi_dbm = -55.0});
+    }
+    panel.push_back(std::move(probes));
+  }
+  expect_batch_matches_single(engine, panel);
+}
+
+TEST(CorrelationBatch, EmptyBatchReturnsNoSurfaces) {
+  const CorrelationEngine engine = make_engine();
+  const std::vector<std::span<const SectorReading>> none;
+  EXPECT_TRUE(engine.combined_surface_batch(none).empty());
+}
+
+TEST(CorrelationBatch, MemberWithTooFewProbesThrows) {
+  const CorrelationEngine engine = make_engine();
+  const auto good = panel_member(std::vector<int>{1, 3, 5}, {0.0, 0.0}, 0);
+  const auto bad = ideal_probes(synthetic_table(), {1}, {0.0, 0.0});
+  const std::vector<std::span<const SectorReading>> panel{good, bad};
+  EXPECT_THROW(engine.combined_surface_batch(panel), PreconditionError);
+}
+
 }  // namespace
 }  // namespace talon

@@ -99,13 +99,13 @@ TEST_F(AnalysisTest, SelectionQualityReproducesFig8And9Shape) {
 }
 
 TEST_F(AnalysisTest, ThroughputComparableBetweenAlgorithms) {
-  Scenario conf = make_conference_scenario(42);
   ThroughputConfig config;
   config.head_azimuths_deg = {-45.0, 0.0, 45.0};
   config.sweeps_per_pose = 10;
   config.seed = 5;
   const ThroughputModel model;
-  const auto points = throughput_analysis(conf, selector_, model, config);
+  const auto points = throughput_analysis([] { return make_conference_scenario(42); },
+                                          selector_, model, config);
   ASSERT_EQ(points.size(), 3u);
   for (const auto& p : points) {
     // Fig. 11 regime: both around 1.3-1.55 Gbps, CSS not worse by much.
@@ -117,7 +117,6 @@ TEST_F(AnalysisTest, ThroughputComparableBetweenAlgorithms) {
 }
 
 TEST_F(AnalysisTest, TrainingTimeAccountingFavoursCss) {
-  Scenario conf = make_conference_scenario(42);
   ThroughputConfig config;
   config.head_azimuths_deg = {0.0};
   config.sweeps_per_pose = 8;
@@ -129,7 +128,8 @@ TEST_F(AnalysisTest, TrainingTimeAccountingFavoursCss) {
   ThroughputModelConfig model_config;
   model_config.sector_switch_penalty = 0.0;
   const ThroughputModel model(model_config);
-  const auto points = throughput_analysis(conf, selector_, model, config);
+  const auto points = throughput_analysis([] { return make_conference_scenario(42); },
+                                          selector_, model, config);
   ASSERT_EQ(points.size(), 1u);
   EXPECT_GT(points[0].css_mbps, points[0].ssw_mbps);
 }
@@ -172,11 +172,12 @@ TEST_F(AnalysisTest, AnalysesAreDeterministicForFixedSeed) {
 }
 
 TEST_F(AnalysisTest, ThroughputValidatesConfig) {
-  Scenario conf = make_conference_scenario(42);
   ThroughputConfig config;
   config.probes = 1;
   const ThroughputModel model;
-  EXPECT_THROW(throughput_analysis(conf, selector_, model, config), PreconditionError);
+  EXPECT_THROW(throughput_analysis([] { return make_conference_scenario(42); },
+                                   selector_, model, config),
+               PreconditionError);
 }
 
 }  // namespace

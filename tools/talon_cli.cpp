@@ -50,7 +50,9 @@ void print_usage() {
       "  analyze  <error|quality> --records records.csv\n"
       "           [--patterns patterns.csv] [--probes M] [--seed N]\n"
       "  table1\n"
-      "  timing   [--probes M]\n");
+      "  timing   [--probes M]\n"
+      "all commands accept --threads N (default: hardware concurrency,\n"
+      "TALON_THREADS overrides) for the parallel replay engine\n");
 }
 
 PatternTable measure_patterns(std::uint64_t seed, bool full) {
@@ -270,9 +272,12 @@ int main(int argc, char** argv) {
   args.add_option("--records");
   args.add_option("--sweeps");
   args.add_option("--az-step");
+  args.add_option("--threads");
   args.add_flag("--full");
   try {
     args.parse(argc - 1, argv + 1);
+    const int threads = apply_thread_count_option(args);
+    std::printf("threads: %d\n", threads);
     const std::string command = args.positionals().empty() ? "" : args.positionals()[0];
     if (command == "measure") return cmd_measure(args);
     if (command == "summary") return cmd_summary(args);
