@@ -43,7 +43,7 @@ PatternTable standard_pattern_table(Fidelity fidelity) {
     config.elevation = make_axis(0.0, 32.4, 5.4);
     config.repetitions = 3;
   }
-  return measure_sector_patterns(chamber, config).table;
+  return measure_sector_patterns(chamber, config).take_table();
 }
 
 void print_header(const std::string& experiment, const std::string& paper_ref,

@@ -40,7 +40,8 @@ RunOptions run_options_from_args(int argc, char** argv);
 Fidelity fidelity_from_args(int argc, char** argv);
 
 /// Run the Sec. 4.5 anechoic campaign for the standard DUT and return the
-/// measured 3-D pattern table (az +-90, el 0..32.4).
+/// measured 3-D pattern table (az +-90, el 0..32.4). The table is moved
+/// out of the campaign result -- never copied.
 PatternTable standard_pattern_table(Fidelity fidelity);
 
 /// Banner printed by every bench.

@@ -9,23 +9,32 @@ namespace talon {
 
 CompressiveSectorSelector::CompressiveSectorSelector(PatternTable patterns,
                                                      CssConfig config)
-    : patterns_(std::move(patterns)),
-      config_(config),
-      engine_(patterns_, config.search_grid, config.domain) {
+    : assets_(PatternAssetsRegistry::global().get_or_create(
+          std::move(patterns), config.search_grid, config.domain)),
+      config_(config) {
   TALON_EXPECTS(config_.min_probes >= 2);
+}
+
+CompressiveSectorSelector::CompressiveSectorSelector(
+    std::shared_ptr<const PatternAssets> assets, CssConfig config)
+    : assets_(std::move(assets)), config_(config) {
+  TALON_EXPECTS(assets_ != nullptr);
+  TALON_EXPECTS(config_.min_probes >= 2);
+  config_.search_grid = assets_->grid();
+  config_.domain = assets_->domain();
 }
 
 std::optional<Direction> CompressiveSectorSelector::estimate_direction(
     std::span<const SectorReading> probes) const {
-  if (engine_.usable_probe_count(probes) < config_.min_probes) return std::nullopt;
+  if (engine().usable_probe_count(probes) < config_.min_probes) return std::nullopt;
   return correlation_surface(probes).peak().direction;
 }
 
 Grid2D CompressiveSectorSelector::correlation_surface(
     std::span<const SectorReading> probes) const {
-  TALON_EXPECTS(engine_.usable_probe_count(probes) >= config_.min_probes);
-  return config_.use_rssi ? engine_.combined_surface(probes)
-                          : engine_.surface(probes, SignalValue::kSnr);
+  TALON_EXPECTS(engine().usable_probe_count(probes) >= config_.min_probes);
+  return config_.use_rssi ? engine().combined_surface(probes)
+                          : engine().surface(probes, SignalValue::kSnr);
 }
 
 CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probes,
@@ -34,7 +43,7 @@ CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probe
   CssResult result;
   if (probes.empty()) return result;  // invalid: keep previous selection
 
-  if (engine_.usable_probe_count(probes) < config_.min_probes) {
+  if (engine().usable_probe_count(probes) < config_.min_probes) {
     // Too few decoded probes for a trustworthy correlation: fall back to
     // the plain argmax over what was received (Eq. 1 on the subset).
     const auto best = std::max_element(
@@ -46,22 +55,20 @@ CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probe
     return result;
   }
 
-  const Grid2D surface = config_.use_rssi ? engine_.combined_surface(probes)
-                                          : engine_.surface(probes, SignalValue::kSnr);
+  const Grid2D surface = config_.use_rssi ? engine().combined_surface(probes)
+                                          : engine().surface(probes, SignalValue::kSnr);
   const Grid2D::Peak peak = surface.peak();
   result.valid = true;
   result.estimated_direction = peak.direction;
   result.correlation_peak = peak.value;
-  result.sector_id = patterns_.best_sector_at(peak.direction, candidates);
+  result.sector_id = patterns().best_sector_at(peak.direction, candidates);
   return result;
 }
 
 CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probes) const {
   // All table sectors except the quasi-omni receive pattern: feedback must
   // name one of the peer's *transmit* sectors.
-  std::vector<int> ids = patterns_.ids();
-  std::erase(ids, kRxQuasiOmniSectorId);
-  return select(probes, ids);
+  return select(probes, assets_->tx_candidates());
 }
 
 std::vector<CssResult> CompressiveSectorSelector::select_batch(
@@ -85,30 +92,28 @@ std::vector<CssResult> CompressiveSectorSelector::select_batch(
   panel.reserve(sweeps.size());
   for (std::size_t i = 0; i < sweeps.size(); ++i) {
     if (sweeps[i].empty() ||
-        engine_.usable_probe_count(sweeps[i]) < config_.min_probes) {
+        engine().usable_probe_count(sweeps[i]) < config_.min_probes) {
       results[i] = select(sweeps[i], candidates);
     } else {
       batched.push_back(i);
       panel.emplace_back(sweeps[i]);
     }
   }
-  const std::vector<Grid2D> surfaces = engine_.combined_surface_batch(panel);
+  const std::vector<Grid2D> surfaces = engine().combined_surface_batch(panel);
   for (std::size_t b = 0; b < batched.size(); ++b) {
     const Grid2D::Peak peak = surfaces[b].peak();
     CssResult& result = results[batched[b]];
     result.valid = true;
     result.estimated_direction = peak.direction;
     result.correlation_peak = peak.value;
-    result.sector_id = patterns_.best_sector_at(peak.direction, candidates);
+    result.sector_id = patterns().best_sector_at(peak.direction, candidates);
   }
   return results;
 }
 
 std::vector<CssResult> CompressiveSectorSelector::select_batch(
     std::span<const std::vector<SectorReading>> sweeps) const {
-  std::vector<int> ids = patterns_.ids();
-  std::erase(ids, kRxQuasiOmniSectorId);
-  return select_batch(sweeps, ids);
+  return select_batch(sweeps, assets_->tx_candidates());
 }
 
 std::vector<std::optional<Direction>> CompressiveSectorSelector::estimate_directions(
@@ -125,11 +130,11 @@ std::vector<std::optional<Direction>> CompressiveSectorSelector::estimate_direct
   batched.reserve(sweeps.size());
   panel.reserve(sweeps.size());
   for (std::size_t i = 0; i < sweeps.size(); ++i) {
-    if (engine_.usable_probe_count(sweeps[i]) < config_.min_probes) continue;
+    if (engine().usable_probe_count(sweeps[i]) < config_.min_probes) continue;
     batched.push_back(i);
     panel.emplace_back(sweeps[i]);
   }
-  const std::vector<Grid2D> surfaces = engine_.combined_surface_batch(panel);
+  const std::vector<Grid2D> surfaces = engine().combined_surface_batch(panel);
   for (std::size_t b = 0; b < batched.size(); ++b) {
     results[batched[b]] = surfaces[b].peak().direction;
   }

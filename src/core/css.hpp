@@ -9,11 +9,13 @@
 //      available sectors can far exceed the number of probes.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 
 #include "src/antenna/pattern.hpp"
 #include "src/core/correlation.hpp"
+#include "src/core/pattern_assets.hpp"
 
 namespace talon {
 
@@ -51,8 +53,16 @@ class CompressiveSectorSelector {
  public:
   /// `patterns` is the measured pattern table of the local device
   /// (Sec. 4); it defines both the expected probe responses and the Eq. 4
-  /// candidate gains.
+  /// candidate gains. Resolves the immutable assets (table + response
+  /// matrix) through the PatternAssetsRegistry, so selectors built from
+  /// the same table and grid share one matrix and norm cache.
   CompressiveSectorSelector(PatternTable patterns, CssConfig config = {});
+
+  /// Ride pre-built shared assets directly (the multi-link path: N
+  /// sessions, one matrix). The assets' grid and domain override the
+  /// corresponding CssConfig fields.
+  explicit CompressiveSectorSelector(std::shared_ptr<const PatternAssets> assets,
+                                     CssConfig config = {});
 
   /// Full CSS: estimate the path from `probes`, then select the best of
   /// `candidates` (Eq. 4).
@@ -92,13 +102,17 @@ class CompressiveSectorSelector {
   /// Requires at least min_probes usable probes.
   Grid2D correlation_surface(std::span<const SectorReading> probes) const;
 
-  const PatternTable& patterns() const { return patterns_; }
+  const PatternTable& patterns() const { return assets_->patterns(); }
   const CssConfig& config() const { return config_; }
 
+  /// The immutable shared assets this selector rides (never null).
+  const std::shared_ptr<const PatternAssets>& assets() const { return assets_; }
+
  private:
-  PatternTable patterns_;
+  const CorrelationEngine& engine() const { return assets_->engine(); }
+
+  std::shared_ptr<const PatternAssets> assets_;
   CssConfig config_;
-  CorrelationEngine engine_;
 };
 
 }  // namespace talon

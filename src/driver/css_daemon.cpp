@@ -1,50 +1,81 @@
 #include "src/driver/css_daemon.hpp"
 
-#include "src/antenna/codebook.hpp"
+#include "src/common/error.hpp"
 
 namespace talon {
 
+CssDaemon::CssDaemon(std::shared_ptr<const PatternAssets> assets,
+                     CssDaemonConfig defaults)
+    : assets_(std::move(assets)), defaults_(defaults) {
+  TALON_EXPECTS(assets_ != nullptr);
+}
+
 CssDaemon::CssDaemon(Wil6210Driver& driver, const PatternTable& patterns,
                      const CssDaemonConfig& config, Rng rng)
-    : driver_(&driver),
-      css_(patterns),
-      config_(config),
-      controller_(config.adaptive_config),
-      rng_(rng) {
-  if (config_.track_path) {
-    auto tracking = std::make_unique<TrackingCssSelector>(css_, config_.tracker_config);
-    tracking_ = tracking.get();
-    strategy_ = std::move(tracking);
-  } else {
-    strategy_ = std::make_unique<CssSelector>(css_);
-  }
-  if (!driver_->research_patches_loaded()) {
-    driver_->load_research_patches();
-  }
+    : assets_(PatternAssetsRegistry::global().get_or_create(
+          patterns, CssConfig{}.search_grid, CssConfig{}.domain)),
+      defaults_(config) {
+  add_link(0, driver, rng);
 }
 
-const std::optional<Direction>& CssDaemon::tracked_direction() const {
-  static const std::optional<Direction> kNone;
-  return tracking_ ? tracking_->tracked() : kNone;
+LinkSession& CssDaemon::add_link(int link_id, Wil6210Driver& driver, Rng rng) {
+  return add_link(link_id, driver, rng, defaults_);
 }
 
-std::size_t CssDaemon::current_probes() const {
-  return config_.adaptive ? controller_.current_probes() : config_.probes;
+LinkSession& CssDaemon::add_link(int link_id, Wil6210Driver& driver, Rng rng,
+                                 const CssDaemonConfig& config) {
+  auto [it, inserted] = sessions_.emplace(
+      link_id, std::make_unique<LinkSession>(driver, assets_, config, rng));
+  if (!inserted) {
+    throw StateError("link id already has a session: " + std::to_string(link_id));
+  }
+  return *it->second;
+}
+
+LinkSession& CssDaemon::session(int link_id) {
+  const auto it = sessions_.find(link_id);
+  if (it == sessions_.end()) {
+    throw StateError("no session for link id " + std::to_string(link_id));
+  }
+  return *it->second;
+}
+
+const LinkSession& CssDaemon::session(int link_id) const {
+  const auto it = sessions_.find(link_id);
+  if (it == sessions_.end()) {
+    throw StateError("no session for link id " + std::to_string(link_id));
+  }
+  return *it->second;
+}
+
+bool CssDaemon::has_session(int link_id) const { return sessions_.contains(link_id); }
+
+LinkSession& CssDaemon::first_session() {
+  if (sessions_.empty()) throw StateError("daemon has no link sessions");
+  return *sessions_.begin()->second;
+}
+
+const LinkSession& CssDaemon::first_session() const {
+  if (sessions_.empty()) throw StateError("daemon has no link sessions");
+  return *sessions_.begin()->second;
 }
 
 std::vector<int> CssDaemon::next_probe_subset() {
-  return policy_.choose(talon_tx_sector_ids(), current_probes(), rng_);
+  return first_session().next_probe_subset();
 }
 
 std::optional<CssResult> CssDaemon::process_sweep() {
-  ++rounds_;
-  const std::vector<SectorReading> readings = driver_->read_sweep_readings();
-  if (readings.empty()) return std::nullopt;
-  const CssResult result = strategy_->select(readings);
-  if (!result.valid) return std::nullopt;
-  driver_->force_sector(result.sector_id);
-  if (config_.adaptive) controller_.report_selection(result.sector_id);
-  return result;
+  return first_session().process_sweep();
+}
+
+std::size_t CssDaemon::rounds() const { return first_session().rounds(); }
+
+std::size_t CssDaemon::current_probes() const {
+  return first_session().current_probes();
+}
+
+const std::optional<Direction>& CssDaemon::tracked_direction() const {
+  return first_session().tracked_direction();
 }
 
 }  // namespace talon

@@ -1,40 +1,64 @@
-// The user-space selection loop: what the paper's evaluation scripts do
+// The user-space selection service: what the paper's evaluation scripts do
 // after every probing sweep (Sec. 6.1), packaged as a long-running
-// component. After each training round it drains the sweep info through
-// the driver, runs compressive selection, installs the result via the
-// sector override, and optionally lets the adaptive controller pick the
-// next round's probe count.
+// component. One daemon serves MANY links: it holds the shared immutable
+// PatternAssets once and owns a map of LinkSessions, each bound to one
+// Wil6210Driver (one chip) and carrying only that link's mutable state
+// (subset policy, adaptive controller, tracker, RNG, round counter).
+// After each training round the owning session drains the sweep info
+// through its driver, runs compressive selection on the shared assets,
+// installs the result via the sector override, and optionally lets the
+// adaptive controller pick the next round's probe count.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 
-#include "src/core/adaptive.hpp"
-#include "src/core/css.hpp"
-#include "src/core/selector.hpp"
-#include "src/core/subset_policy.hpp"
-#include "src/core/tracking.hpp"
+#include "src/core/pattern_assets.hpp"
+#include "src/driver/link_session.hpp"
 #include "src/driver/wil6210.hpp"
 
 namespace talon {
 
-struct CssDaemonConfig {
-  /// Fixed probe count when no adaptive controller is enabled.
-  std::size_t probes{14};
-  bool adaptive{false};
-  AdaptiveProbeConfig adaptive_config{};
-  /// Smooth the per-sweep direction estimates with a PathTracker and run
-  /// Eq. 4 on the *tracked* direction (rejects one-off estimate jumps,
-  /// re-locks on persistent path changes such as blockage).
-  bool track_path{false};
-  PathTrackerConfig tracker_config{};
-};
-
 class CssDaemon {
  public:
-  /// The daemon loads the research patches on construction when missing.
+  /// Multi-link daemon over pre-built shared assets; add links with
+  /// add_link(). `defaults` seeds the per-link config of sessions added
+  /// without an explicit one.
+  explicit CssDaemon(std::shared_ptr<const PatternAssets> assets,
+                     CssDaemonConfig defaults = {});
+
+  /// Single-link convenience (the original daemon shape): resolves the
+  /// assets through the global registry -- daemons built from the same
+  /// measured table share one response matrix -- and immediately binds
+  /// `driver` as link 0. The session loads the research patches on
+  /// construction when missing.
   CssDaemon(Wil6210Driver& driver, const PatternTable& patterns,
             const CssDaemonConfig& config, Rng rng);
+
+  // --- session management ---------------------------------------------------
+
+  /// Create and own the session serving `driver` under `link_id` with the
+  /// daemon's default config. Throws StateError when the id is taken.
+  LinkSession& add_link(int link_id, Wil6210Driver& driver, Rng rng);
+
+  /// Same with a per-link config override.
+  LinkSession& add_link(int link_id, Wil6210Driver& driver, Rng rng,
+                        const CssDaemonConfig& config);
+
+  /// The session serving `link_id`; throws StateError when absent.
+  LinkSession& session(int link_id);
+  const LinkSession& session(int link_id) const;
+
+  bool has_session(int link_id) const;
+  std::size_t session_count() const { return sessions_.size(); }
+
+  /// The immutable assets every session shares (never null).
+  const std::shared_ptr<const PatternAssets>& assets() const { return assets_; }
+
+  // --- single-link forwarding (first session by id) -------------------------
+  // The original one-link daemon API, kept for the single-AP tools and
+  // tests; requires at least one session.
 
   /// Probe subset to use for the next training round.
   std::vector<int> next_probe_subset();
@@ -44,8 +68,8 @@ class CssDaemon {
   /// decoded (the previous override stays in place).
   std::optional<CssResult> process_sweep();
 
-  /// Number of sweeps processed.
-  std::size_t rounds() const { return rounds_; }
+  /// Number of sweeps processed (first session).
+  std::size_t rounds() const;
 
   std::size_t current_probes() const;
 
@@ -54,18 +78,14 @@ class CssDaemon {
   const std::optional<Direction>& tracked_direction() const;
 
  private:
-  Wil6210Driver* driver_;
-  CompressiveSectorSelector css_;
-  CssDaemonConfig config_;
-  RandomSubsetPolicy policy_;
-  AdaptiveProbeController controller_;
-  /// CssSelector, or TrackingCssSelector when track_path is on -- the
-  /// daemon loop only ever talks to the strategy interface.
-  std::unique_ptr<SectorSelector> strategy_;
-  /// Non-null alias of strategy_ in tracking mode (for tracked()).
-  TrackingCssSelector* tracking_{nullptr};
-  Rng rng_;
-  std::size_t rounds_{0};
+  LinkSession& first_session();
+  const LinkSession& first_session() const;
+
+  std::shared_ptr<const PatternAssets> assets_;
+  CssDaemonConfig defaults_;
+  /// Keyed by link id; unique_ptr keeps session addresses stable across
+  /// insertions (sessions hand out references).
+  std::map<int, std::unique_ptr<LinkSession>> sessions_;
 };
 
 }  // namespace talon

@@ -1,0 +1,51 @@
+#include "src/driver/link_session.hpp"
+
+#include "src/antenna/codebook.hpp"
+
+namespace talon {
+
+LinkSession::LinkSession(Wil6210Driver& driver,
+                         std::shared_ptr<const PatternAssets> assets,
+                         const CssDaemonConfig& config, Rng rng)
+    : driver_(&driver),
+      css_(std::move(assets)),
+      config_(config),
+      controller_(config.adaptive_config),
+      rng_(rng) {
+  if (config_.track_path) {
+    auto tracking = std::make_unique<TrackingCssSelector>(css_, config_.tracker_config);
+    tracking_ = tracking.get();
+    strategy_ = std::move(tracking);
+  } else {
+    strategy_ = std::make_unique<CssSelector>(css_);
+  }
+  if (!driver_->research_patches_loaded()) {
+    driver_->load_research_patches();
+  }
+}
+
+const std::optional<Direction>& LinkSession::tracked_direction() const {
+  static const std::optional<Direction> kNone;
+  return tracking_ ? tracking_->tracked() : kNone;
+}
+
+std::size_t LinkSession::current_probes() const {
+  return config_.adaptive ? controller_.current_probes() : config_.probes;
+}
+
+std::vector<int> LinkSession::next_probe_subset() {
+  return policy_.choose(talon_tx_sector_ids(), current_probes(), rng_);
+}
+
+std::optional<CssResult> LinkSession::process_sweep() {
+  ++rounds_;
+  const std::vector<SectorReading> readings = driver_->read_sweep_readings();
+  if (readings.empty()) return std::nullopt;
+  const CssResult result = strategy_->select(readings);
+  if (!result.valid) return std::nullopt;
+  driver_->force_sector(result.sector_id);
+  if (config_.adaptive) controller_.report_selection(result.sector_id);
+  return result;
+}
+
+}  // namespace talon

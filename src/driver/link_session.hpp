@@ -1,0 +1,83 @@
+// Per-link mutable selection state.
+//
+// One LinkSession is the user-space side of ONE AP-STA link: the probe
+// subset policy, the adaptive probe-count controller, the optional path
+// tracker, the RNG stream and the round counter -- everything that
+// evolves as that link trains. The immutable heavy data (pattern table,
+// response matrix, norm cache) stays behind the shared PatternAssets the
+// session's selector rides, so a session is cheap enough to keep per user
+// in a dense deployment. CssDaemon owns a map of these and routes each
+// driver's sweeps to its session.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "src/core/adaptive.hpp"
+#include "src/core/css.hpp"
+#include "src/core/pattern_assets.hpp"
+#include "src/core/selector.hpp"
+#include "src/core/subset_policy.hpp"
+#include "src/core/tracking.hpp"
+#include "src/driver/wil6210.hpp"
+
+namespace talon {
+
+struct CssDaemonConfig {
+  /// Fixed probe count when no adaptive controller is enabled.
+  std::size_t probes{14};
+  bool adaptive{false};
+  AdaptiveProbeConfig adaptive_config{};
+  /// Smooth the per-sweep direction estimates with a PathTracker and run
+  /// Eq. 4 on the *tracked* direction (rejects one-off estimate jumps,
+  /// re-locks on persistent path changes such as blockage).
+  bool track_path{false};
+  PathTrackerConfig tracker_config{};
+};
+
+class LinkSession {
+ public:
+  /// Binds to one driver (one chip). Loads the research patches when the
+  /// firmware does not have them yet. `assets` is the shared immutable
+  /// pattern data; the session only ever reads it.
+  LinkSession(Wil6210Driver& driver, std::shared_ptr<const PatternAssets> assets,
+              const CssDaemonConfig& config, Rng rng);
+
+  /// Probe subset to use for this link's next training round.
+  std::vector<int> next_probe_subset();
+
+  /// Consume the just-finished round: read the ring buffer, select, and
+  /// force the sector. Returns the selection, or nullopt when nothing was
+  /// decoded (the previous override stays in place).
+  std::optional<CssResult> process_sweep();
+
+  /// Number of sweeps processed on this link.
+  std::size_t rounds() const { return rounds_; }
+
+  std::size_t current_probes() const;
+
+  /// The smoothed path direction (empty unless track_path is on and at
+  /// least one valid estimate arrived).
+  const std::optional<Direction>& tracked_direction() const;
+
+  /// The shared assets this session's selector rides.
+  const std::shared_ptr<const PatternAssets>& assets() const { return css_.assets(); }
+
+  Wil6210Driver& driver() { return *driver_; }
+
+ private:
+  Wil6210Driver* driver_;
+  CompressiveSectorSelector css_;
+  CssDaemonConfig config_;
+  RandomSubsetPolicy policy_;
+  AdaptiveProbeController controller_;
+  /// CssSelector, or TrackingCssSelector when track_path is on -- the
+  /// session loop only ever talks to the strategy interface.
+  std::unique_ptr<SectorSelector> strategy_;
+  /// Non-null alias of strategy_ in tracking mode (for tracked()).
+  TrackingCssSelector* tracking_{nullptr};
+  Rng rng_;
+  std::size_t rounds_{0};
+};
+
+}  // namespace talon

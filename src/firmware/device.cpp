@@ -15,8 +15,10 @@ FullMacFirmware::FullMacFirmware(FirmwareConfig config)
 }
 
 void FullMacFirmware::apply_research_patches() {
-  patcher_.apply(make_sweep_info_patch());
-  patcher_.apply(make_sector_override_patch());
+  // One shared image per process: every device applies the same read-only
+  // blobs instead of materializing private copies.
+  patcher_.apply(shared_sweep_info_patch());
+  patcher_.apply(shared_sector_override_patch());
 }
 
 void FullMacFirmware::load_codebook_blob(std::span<const std::uint8_t> blob) {

@@ -17,6 +17,12 @@ std::string to_string(FirmwareHook hook) {
 }
 
 void PatchFramework::apply(const FirmwarePatch& patch) {
+  apply(std::make_shared<const FirmwarePatch>(patch));
+}
+
+void PatchFramework::apply(std::shared_ptr<const FirmwarePatch> shared) {
+  TALON_EXPECTS(shared != nullptr);
+  const FirmwarePatch& patch = *shared;
   TALON_EXPECTS(!patch.name.empty());
   TALON_EXPECTS(!patch.sections.empty());
   if (is_applied(patch.name)) {
@@ -42,17 +48,18 @@ void PatchFramework::apply(const FirmwarePatch& patch) {
     occupied_.push_back(
         {s.host_addr, static_cast<std::uint32_t>(s.bytes.size())});
   }
-  applied_.push_back(patch);
+  applied_.push_back(std::move(shared));
 }
 
 bool PatchFramework::is_applied(const std::string& name) const {
-  return std::any_of(applied_.begin(), applied_.end(),
-                     [&name](const FirmwarePatch& p) { return p.name == name; });
+  return std::any_of(
+      applied_.begin(), applied_.end(),
+      [&name](const std::shared_ptr<const FirmwarePatch>& p) { return p->name == name; });
 }
 
 bool PatchFramework::hook_enabled(FirmwareHook hook) const {
-  for (const FirmwarePatch& p : applied_) {
-    if (std::find(p.hooks.begin(), p.hooks.end(), hook) != p.hooks.end()) return true;
+  for (const std::shared_ptr<const FirmwarePatch>& p : applied_) {
+    if (std::find(p->hooks.begin(), p->hooks.end(), hook) != p->hooks.end()) return true;
   }
   return false;
 }
@@ -60,7 +67,7 @@ bool PatchFramework::hook_enabled(FirmwareHook hook) const {
 std::vector<std::string> PatchFramework::applied_patches() const {
   std::vector<std::string> names;
   names.reserve(applied_.size());
-  for (const FirmwarePatch& p : applied_) names.push_back(p.name);
+  for (const std::shared_ptr<const FirmwarePatch>& p : applied_) names.push_back(p->name);
   return names;
 }
 
@@ -103,6 +110,18 @@ FirmwarePatch make_sector_override_patch() {
           },
       .hooks = {FirmwareHook::kSectorOverride},
   };
+}
+
+const std::shared_ptr<const FirmwarePatch>& shared_sweep_info_patch() {
+  static const std::shared_ptr<const FirmwarePatch> patch =
+      std::make_shared<const FirmwarePatch>(make_sweep_info_patch());
+  return patch;
+}
+
+const std::shared_ptr<const FirmwarePatch>& shared_sector_override_patch() {
+  static const std::shared_ptr<const FirmwarePatch> patch =
+      std::make_shared<const FirmwarePatch>(make_sector_override_patch());
+  return patch;
 }
 
 }  // namespace talon

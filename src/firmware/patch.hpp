@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,8 +42,14 @@ class PatchFramework {
  public:
   explicit PatchFramework(ChipMemory& memory) : memory_(&memory) {}
 
-  /// Apply a patch. Throws StateError when a section misses the mapped
-  /// high ranges, overlaps an applied patch, or the name is already used.
+  /// Apply a shared read-only patch image. The framework keeps only the
+  /// shared_ptr, so N devices applying the same image hold one copy of
+  /// the section bytes between them. Throws StateError when a section
+  /// misses the mapped high ranges, overlaps an applied patch, or the
+  /// name is already used.
+  void apply(std::shared_ptr<const FirmwarePatch> patch);
+
+  /// Convenience for one-off / test patches: copies into a private image.
   void apply(const FirmwarePatch& patch);
 
   bool is_applied(const std::string& name) const;
@@ -56,7 +63,7 @@ class PatchFramework {
   };
 
   ChipMemory* memory_;
-  std::vector<FirmwarePatch> applied_;
+  std::vector<std::shared_ptr<const FirmwarePatch>> applied_;
   std::vector<AppliedSection> occupied_;
 };
 
@@ -65,5 +72,11 @@ class PatchFramework {
 /// fw code mirror, ucode patch near the end of the ucode code mirror).
 FirmwarePatch make_sweep_info_patch();
 FirmwarePatch make_sector_override_patch();
+
+/// Process-wide shared images of the two research patches: built once,
+/// then applied read-only by every FullMacFirmware instance instead of
+/// each device materializing a private copy of the blobs.
+const std::shared_ptr<const FirmwarePatch>& shared_sweep_info_patch();
+const std::shared_ptr<const FirmwarePatch>& shared_sector_override_patch();
 
 }  // namespace talon

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "src/antenna/pattern.hpp"
 #include "src/measure/rotation.hpp"
@@ -39,11 +40,17 @@ struct CampaignConfig {
 
 struct CampaignResult {
   /// One pattern per TX sector, plus kRxQuasiOmniSectorId when requested.
+  /// `measure_sector_patterns(...).table` moves (member of a prvalue);
+  /// use take_table() to move out of a *named* result without copying.
   PatternTable table;
   std::size_t poses_visited{0};
   std::size_t frames_decoded{0};
   /// Grid cells that required gap interpolation (per sector, summed).
   std::size_t interpolated_cells{0};
+
+  /// Move the measured table out of the result (the campaign handoff:
+  /// the table is the payload, the counters are diagnostics).
+  PatternTable take_table() { return std::move(table); }
 };
 
 /// Run the campaign in (normally) the anechoic scenario.

@@ -7,6 +7,27 @@
 
 namespace talon {
 
+TrainingSerialization serialize_trainings(std::span<const double> sorted_requests,
+                                          std::span<const double> durations_s,
+                                          double channel_free_s) {
+  TALON_EXPECTS(sorted_requests.size() == durations_s.size());
+  TrainingSerialization out;
+  out.start_times_s.reserve(sorted_requests.size());
+  out.channel_free_s = channel_free_s;
+  for (std::size_t i = 0; i < sorted_requests.size(); ++i) {
+    const double request = sorted_requests[i];
+    const double start = std::max(request, out.channel_free_s);
+    if (start > request) {
+      ++out.deferred;
+      out.worst_defer_ms = std::max(out.worst_defer_ms, (start - request) * 1000.0);
+    }
+    out.start_times_s.push_back(start);
+    out.channel_free_s = start + durations_s[i];
+    out.busy_time_s += durations_s[i];
+  }
+  return out;
+}
+
 ContentionResult simulate_channel_contention(const ContentionConfig& config,
                                              const ThroughputModel& throughput) {
   TALON_EXPECTS(config.pairs >= 1);
@@ -35,20 +56,12 @@ ContentionResult simulate_channel_contention(const ContentionConfig& config,
   // max(request, channel_free) and occupies training_s.
   ContentionResult result;
   result.total_trainings = static_cast<int>(requests.size());
-  double channel_free = 0.0;
-  double busy_time = 0.0;
-  for (double request : requests) {
-    const double start = std::max(request, channel_free);
-    if (start > request) {
-      ++result.deferred_trainings;
-      result.worst_defer_ms =
-          std::max(result.worst_defer_ms, (start - request) * 1000.0);
-    }
-    channel_free = start + training_s;
-    busy_time += training_s;
-  }
+  const std::vector<double> durations(requests.size(), training_s);
+  const TrainingSerialization serialized = serialize_trainings(requests, durations);
+  result.deferred_trainings = serialized.deferred;
+  result.worst_defer_ms = serialized.worst_defer_ms;
   // Trainings pushed past the horizon still count as busy time up to it.
-  busy_time = std::min(busy_time, config.simulated_seconds);
+  const double busy_time = std::min(serialized.busy_time_s, config.simulated_seconds);
   result.training_airtime_share = busy_time / config.simulated_seconds;
 
   // Whatever airtime remains is data time, shared round-robin by the pairs.

@@ -11,12 +11,36 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/mac/timing.hpp"
 #include "src/phy/throughput.hpp"
 
 namespace talon {
+
+/// Outcome of serializing a batch of training requests on the one channel.
+struct TrainingSerialization {
+  /// Actual start time of each request (same order as the input).
+  std::vector<double> start_times_s;
+  /// Channel time the batch occupied (sum of the durations).
+  double busy_time_s{0.0};
+  /// When the channel frees after the last training; feed it back in as
+  /// `channel_free_s` to chain successive batches (e.g. training rounds).
+  double channel_free_s{0.0};
+  int deferred{0};
+  double worst_defer_ms{0.0};
+};
+
+/// Serialize trainings on the single shared channel: request i wants to
+/// start at `sorted_requests[i]` (ascending) and occupies `durations_s[i]`;
+/// it actually starts at max(request, channel free time). The channel is
+/// initially free at `channel_free_s`. This is the core of the contention
+/// model, exposed so the round-based NetworkSimulator can stagger each
+/// round's trainings with the exact same arithmetic.
+TrainingSerialization serialize_trainings(std::span<const double> sorted_requests,
+                                          std::span<const double> durations_s,
+                                          double channel_free_s = 0.0);
 
 struct ContentionConfig {
   int pairs{10};

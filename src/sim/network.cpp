@@ -1,0 +1,203 @@
+#include "src/sim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/antenna/codebook.hpp"
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/rng.hpp"
+#include "src/mac/timing.hpp"
+#include "src/sim/contention.hpp"
+
+namespace talon {
+
+namespace {
+
+// Substream stream tags of the network simulator. sim/experiment.cpp owns
+// tags 1-4 (recording/error/quality/throughput); these continue the family
+// so no two runners ever share a substream. Every coordinate tuple
+// includes the link id, which is what makes per-link randomness
+// independent of K, of iteration order, and of the thread count.
+constexpr std::uint64_t kDeviceStream = 5;   ///< (link, side) device seeds
+constexpr std::uint64_t kChannelStream = 6;  ///< (link, round) channel noise
+constexpr std::uint64_t kSessionStream = 7;  ///< (link, salt) probe subsets
+constexpr std::uint64_t kPhaseStream = 8;    ///< (link) schedule jitter
+
+std::uint64_t link_salt(const NetworkConfig& config, std::size_t link) {
+  return link < config.link_seed_salts.size() ? config.link_seed_salts[link] : 0;
+}
+
+}  // namespace
+
+NetworkSimulator::NetworkSimulator(NetworkConfig config,
+                                   const Environment& environment,
+                                   std::shared_ptr<const PatternAssets> assets)
+    : config_(std::move(config)),
+      environment_(&environment),
+      daemon_(std::move(assets), config_.session) {
+  TALON_EXPECTS(config_.links >= 1);
+  TALON_EXPECTS(config_.rounds >= 1);
+  TALON_EXPECTS(config_.trainings_per_second > 0.0);
+  TALON_EXPECTS(config_.link_distance_m > 0.0);
+
+  const double period_s = 1.0 / config_.trainings_per_second;
+  // Pairs sit on a grid; the x pitch leaves pair_spacing_m of clearance
+  // between one pair's STA and the next pair's AP.
+  const int cols = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(config_.links))));
+  const double pitch_x = config_.link_distance_m + config_.pair_spacing_m;
+
+  links_.reserve(static_cast<std::size_t>(config_.links));
+  for (int l = 0; l < config_.links; ++l) {
+    const double ap_x = (l % cols) * pitch_x;
+    const double ap_y = (l / cols) * config_.pair_spacing_m;
+
+    Link link;
+    NodeConfig ap;
+    ap.id = 2 * l + 1;
+    ap.device_seed = substream_seed(config_.seed, kDeviceStream,
+                                    static_cast<std::uint64_t>(l), 0);
+    ap.pose = EndpointPose{
+        .position = {ap_x, ap_y, 1.0},
+        .orientation = DeviceOrientation(0.0, 0.0),  // facing its STA (+x)
+    };
+    link.initiator = std::make_unique<Node>(ap);
+
+    NodeConfig sta;
+    sta.id = 2 * l + 2;
+    sta.device_seed = substream_seed(config_.seed, kDeviceStream,
+                                     static_cast<std::uint64_t>(l), 1);
+    sta.pose = EndpointPose{
+        .position = {ap_x + config_.link_distance_m, ap_y, 1.0},
+        .orientation = DeviceOrientation(180.0, 0.0),  // facing back at the AP
+    };
+    link.responder = std::make_unique<Node>(sta);
+
+    link.driver = std::make_unique<Wil6210Driver>(link.responder->firmware());
+    link.phase_s = Rng(substream_seed(config_.seed, kPhaseStream,
+                                      static_cast<std::uint64_t>(l)))
+                       .uniform(0.0, period_s);
+
+    // The session loads the research patches into the responder firmware
+    // (shared read-only images) and carries all of this link's mutable
+    // selection state.
+    daemon_.add_link(l, *link.driver,
+                     Rng(substream_seed(config_.seed, kSessionStream,
+                                        static_cast<std::uint64_t>(l),
+                                        link_salt(config_, l))));
+    links_.push_back(std::move(link));
+  }
+}
+
+NetworkRunResult NetworkSimulator::run(const ThroughputModel& throughput) {
+  const TimingModel timing;
+  const double period_s = 1.0 / config_.trainings_per_second;
+  const std::size_t k = links_.size();
+
+  NetworkRunResult result;
+  result.rounds.reserve(config_.rounds);
+  double channel_free_s = 0.0;
+
+  for (std::size_t r = 0; r < config_.rounds; ++r) {
+    NetworkRound round;
+    round.links.resize(k);
+
+    // Physical phase: every pair trains once. One link per index; each
+    // worker touches only its own link's nodes, firmware and session, so
+    // the fan-out is bit-identical at any thread count.
+    parallel_for(
+        k,
+        [&](std::size_t l) {
+          LinkRoundOutcome& out = round.links[l];
+          LinkSession& session = daemon_.session(static_cast<int>(l));
+          const std::vector<int> subset = session.next_probe_subset();
+          out.probes = subset.size();
+
+          LinkSimulator link(*environment_, config_.radio, config_.measurement,
+                             Rng(substream_seed(config_.seed, kChannelStream,
+                                                static_cast<std::uint64_t>(l), r)));
+          const MutualTrainingResult training =
+              link.mutual_training(*links_[l].initiator, *links_[l].responder,
+                                   probing_burst_schedule(subset));
+          out.training_success = training.success;
+
+          // User space: drain the responder's ring, select, install the
+          // override that shapes the next round's feedback.
+          const std::optional<CssResult> selection = session.process_sweep();
+          if (selection) {
+            out.selected = true;
+            out.sector_id = selection->sector_id;
+            out.snr_db = link.true_snr_db(*links_[l].initiator, selection->sector_id,
+                                          *links_[l].responder, kRxQuasiOmniSectorId);
+          }
+        },
+        ParallelOptions{.threads = config_.threads});
+
+    // Channel phase: serialize this round's K trainings on the one shared
+    // channel (quasi-omni reception means a sweep occupies it for
+    // everyone). The channel-free time carries across rounds, so a
+    // saturated channel staggers later rounds.
+    std::vector<std::size_t> order(k);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::vector<double> desired(k);
+    for (std::size_t l = 0; l < k; ++l) {
+      desired[l] = static_cast<double>(r) * period_s + links_[l].phase_s;
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return desired[a] != desired[b] ? desired[a] < desired[b] : a < b;
+    });
+    std::vector<double> requests(k);
+    std::vector<double> durations(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      requests[i] = desired[order[i]];
+      durations[i] = timing.mutual_training_time_ms(
+                         static_cast<int>(round.links[order[i]].probes)) /
+                     1000.0;
+    }
+    const TrainingSerialization serialized =
+        serialize_trainings(requests, durations, channel_free_s);
+    channel_free_s = serialized.channel_free_s;
+    for (std::size_t i = 0; i < k; ++i) {
+      round.links[order[i]].desired_start_s = requests[i];
+      round.links[order[i]].actual_start_s = serialized.start_times_s[i];
+    }
+    round.busy_time_s = serialized.busy_time_s;
+    round.deferred = serialized.deferred;
+    round.worst_defer_ms = serialized.worst_defer_ms;
+
+    result.total_trainings += static_cast<int>(k);
+    result.deferred_trainings += serialized.deferred;
+    result.worst_defer_ms = std::max(result.worst_defer_ms, serialized.worst_defer_ms);
+    result.rounds.push_back(std::move(round));
+  }
+
+  // Airtime accounting over the simulated horizon (contention model
+  // convention: trainings pushed past it still count up to the horizon).
+  const double horizon_s = static_cast<double>(config_.rounds) * period_s;
+  double busy_total_s = 0.0;
+  for (const NetworkRound& round : result.rounds) busy_total_s += round.busy_time_s;
+  result.training_airtime_share = std::min(busy_total_s, horizon_s) / horizon_s;
+
+  double snr_sum = 0.0;
+  double tput_sum = 0.0;
+  std::size_t selections = 0;
+  for (const NetworkRound& round : result.rounds) {
+    for (const LinkRoundOutcome& out : round.links) {
+      if (!out.selected) continue;
+      snr_sum += out.snr_db;
+      tput_sum += throughput.app_throughput_mbps(out.snr_db);
+      ++selections;
+    }
+  }
+  if (selections > 0) {
+    result.mean_selected_snr_db = snr_sum / static_cast<double>(selections);
+    result.goodput_per_link_mbps = (tput_sum / static_cast<double>(selections)) *
+                                   (1.0 - result.training_airtime_share) /
+                                   static_cast<double>(k);
+  }
+  return result;
+}
+
+}  // namespace talon

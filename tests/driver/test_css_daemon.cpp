@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/error.hpp"
 #include "src/core/metrics.hpp"
 #include "src/sim/scenario.hpp"
 #include "tests/sim/experiment_fixture.hpp"
@@ -99,6 +100,53 @@ TEST_F(CssDaemonTest, RunsWithPrePatchedFirmware) {
   EXPECT_TRUE(driver_.research_patches_loaded());
 }
 
+
+TEST_F(CssDaemonTest, TwoSessionsShareOnePatternAssetsInstance) {
+  const CssConfig defaults;
+  const auto assets = PatternAssetsRegistry::global().get_or_create(
+      ExperimentWorld::instance().table, defaults.search_grid, defaults.domain);
+
+  // A second, independent link in the same room.
+  Scenario second = make_lab_scenario(42);
+  second.set_head(-10.0, 0.0);
+  Wil6210Driver second_driver(second.peer->firmware());
+
+  CssDaemon daemon(assets, CssDaemonConfig{});
+  daemon.add_link(0, driver_, Rng(21));
+  daemon.add_link(1, second_driver, Rng(22));
+  ASSERT_EQ(daemon.session_count(), 2u);
+
+  // Both sessions ride the exact same immutable assets: one pattern
+  // table, one response matrix, one norm cache.
+  EXPECT_EQ(daemon.session(0).assets().get(), assets.get());
+  EXPECT_EQ(daemon.session(1).assets().get(), assets.get());
+
+  // ...and both still select independently through their own drivers.
+  LinkSimulator second_link = second.make_link(Rng(52));
+  link_.transmit_sweep(*lab_.dut, *lab_.peer,
+                       probing_burst_schedule(daemon.session(0).next_probe_subset()));
+  second_link.transmit_sweep(
+      *second.dut, *second.peer,
+      probing_burst_schedule(daemon.session(1).next_probe_subset()));
+  const auto first = daemon.session(0).process_sweep();
+  const auto other = daemon.session(1).process_sweep();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(other.has_value());
+  EXPECT_TRUE(driver_.sector_forced());
+  EXPECT_TRUE(second_driver.sector_forced());
+  EXPECT_EQ(daemon.session(0).rounds(), 1u);
+  EXPECT_EQ(daemon.session(1).rounds(), 1u);
+}
+
+TEST_F(CssDaemonTest, DuplicateLinkIdThrows) {
+  CssDaemon daemon(driver_, ExperimentWorld::instance().table, CssDaemonConfig{},
+                   Rng(8));
+  Scenario second = make_lab_scenario(42);
+  Wil6210Driver second_driver(second.peer->firmware());
+  EXPECT_THROW(daemon.add_link(0, second_driver, Rng(9)), StateError);
+  EXPECT_NO_THROW(daemon.add_link(1, second_driver, Rng(9)));
+  EXPECT_THROW(daemon.session(7), StateError);
+}
 
 TEST_F(CssDaemonTest, PathTrackingStabilizesSelections) {
   CssDaemonConfig tracked_config;

@@ -1,0 +1,149 @@
+#include "src/sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/css.hpp"
+#include "tests/sim/experiment_fixture.hpp"
+
+namespace talon {
+namespace {
+
+using testutil::ExperimentWorld;
+
+std::shared_ptr<const PatternAssets> shared_assets() {
+  const CssConfig defaults;
+  return PatternAssetsRegistry::global().get_or_create(
+      ExperimentWorld::instance().table, defaults.search_grid, defaults.domain);
+}
+
+NetworkConfig small_config(int threads) {
+  NetworkConfig config;
+  config.links = 3;
+  config.rounds = 4;
+  config.seed = 9;
+  config.threads = threads;
+  return config;
+}
+
+const Environment& shared_room() {
+  static const std::unique_ptr<Environment> room = make_conference_room();
+  return *room;
+}
+
+/// Everything a selection decision produced, for exact comparison.
+struct Decision {
+  bool selected;
+  int sector;
+  double snr;
+  std::size_t probes;
+
+  bool operator==(const Decision&) const = default;
+};
+
+std::vector<Decision> decisions(const NetworkRunResult& result) {
+  std::vector<Decision> out;
+  for (const NetworkRound& round : result.rounds) {
+    for (const LinkRoundOutcome& link : round.links) {
+      out.push_back(Decision{.selected = link.selected,
+                             .sector = link.sector_id,
+                             .snr = link.snr_db,
+                             .probes = link.probes});
+    }
+  }
+  return out;
+}
+
+TEST(NetworkSimulatorTest, RunsKPairsUnderContention) {
+  NetworkSimulator sim(small_config(1), shared_room(), shared_assets());
+  const NetworkRunResult result = sim.run();
+
+  ASSERT_EQ(result.rounds.size(), 4u);
+  EXPECT_EQ(result.total_trainings, 12);
+  EXPECT_GT(result.training_airtime_share, 0.0);
+  EXPECT_LE(result.training_airtime_share, 1.0);
+  // A static short link selects successfully in (nearly) every round.
+  std::size_t selected = 0;
+  for (const Decision& d : decisions(result)) selected += d.selected ? 1 : 0;
+  EXPECT_GE(selected, 10u);
+  EXPECT_GT(result.mean_selected_snr_db, 0.0);
+  EXPECT_GT(result.goodput_per_link_mbps, 0.0);
+}
+
+TEST(NetworkSimulatorTest, AllSessionsShareOnePatternAssetsInstance) {
+  const auto assets = shared_assets();
+  NetworkSimulator sim(small_config(1), shared_room(), assets);
+  ASSERT_EQ(sim.link_count(), 3);
+  for (int l = 0; l < sim.link_count(); ++l) {
+    EXPECT_EQ(sim.daemon().session(l).assets().get(), assets.get());
+  }
+  EXPECT_EQ(sim.assets().get(), assets.get());
+}
+
+TEST(NetworkSimulatorTest, BitIdenticalAcrossThreadCounts) {
+  // The acceptance bar: the K-link run is bit-identical at any thread
+  // count, because every random draw is substream-addressed by
+  // (stream, link, round) and each worker only touches its own link.
+  NetworkSimulator serial(small_config(1), shared_room(), shared_assets());
+  const NetworkRunResult baseline = serial.run();
+  const std::vector<Decision> expected = decisions(baseline);
+
+  for (int threads : {2, 7}) {
+    NetworkSimulator sim(small_config(threads), shared_room(), shared_assets());
+    const NetworkRunResult result = sim.run();
+    EXPECT_EQ(decisions(result), expected) << "threads=" << threads;
+    EXPECT_EQ(result.training_airtime_share, baseline.training_airtime_share)
+        << "threads=" << threads;
+    EXPECT_EQ(result.deferred_trainings, baseline.deferred_trainings)
+        << "threads=" << threads;
+    EXPECT_EQ(result.worst_defer_ms, baseline.worst_defer_ms)
+        << "threads=" << threads;
+  }
+}
+
+TEST(NetworkSimulatorTest, PerturbingOneLinkNeverChangesTheOthers) {
+  NetworkConfig base = small_config(2);
+  NetworkSimulator baseline_sim(base, shared_room(), shared_assets());
+  const NetworkRunResult baseline = baseline_sim.run();
+
+  NetworkConfig perturbed = base;
+  perturbed.link_seed_salts = {0, 77, 0};  // perturb link 1's RNG only
+  NetworkSimulator perturbed_sim(perturbed, shared_room(), shared_assets());
+  const NetworkRunResult result = perturbed_sim.run();
+
+  // The salt really moved link 1 onto a different substream: its next
+  // probe subset diverges from the baseline's.
+  EXPECT_NE(perturbed_sim.daemon().session(1).next_probe_subset(),
+            baseline_sim.daemon().session(1).next_probe_subset());
+
+  // ...but links 0 and 2 are untouched, bit for bit.
+  ASSERT_EQ(result.rounds.size(), baseline.rounds.size());
+  for (std::size_t r = 0; r < result.rounds.size(); ++r) {
+    for (int l : {0, 2}) {
+      const LinkRoundOutcome& got = result.rounds[r].links[l];
+      const LinkRoundOutcome& want = baseline.rounds[r].links[l];
+      EXPECT_EQ(got.selected, want.selected) << "round " << r << " link " << l;
+      EXPECT_EQ(got.sector_id, want.sector_id) << "round " << r << " link " << l;
+      EXPECT_EQ(got.snr_db, want.snr_db) << "round " << r << " link " << l;
+      EXPECT_EQ(got.probes, want.probes) << "round " << r << " link " << l;
+    }
+  }
+}
+
+TEST(NetworkSimulatorTest, SaturatedChannelDefersTrainings) {
+  NetworkConfig config = small_config(1);
+  config.links = 6;
+  config.rounds = 3;
+  // Mobility so high the K trainings cannot all fit in one period.
+  config.trainings_per_second = 400.0;
+  NetworkSimulator sim(config, shared_room(), shared_assets());
+  const NetworkRunResult result = sim.run();
+  EXPECT_GT(result.deferred_trainings, 0);
+  EXPECT_GT(result.worst_defer_ms, 0.0);
+  EXPECT_EQ(result.training_airtime_share, 1.0);
+}
+
+}  // namespace
+}  // namespace talon

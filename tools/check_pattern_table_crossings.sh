@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Audit: PatternTable must not cross API boundaries by value.
+#
+# A measured table is ~100k doubles; a by-value parameter copies all of it
+# at every call. The only allowed by-value sinks are the two that MOVE
+# their parameter into the shared immutable assets:
+#   - PatternAssets::PatternAssets        (src/core/pattern_assets.hpp)
+#   - CompressiveSectorSelector legacy ctor (src/core/css.hpp) -- moves
+#     into PatternAssetsRegistry::get_or_create(PatternTable&&)
+# Everything else must take const PatternTable& (copy only on a registry
+# miss) or PatternTable&&.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+violations=$(grep -rnE --include='*.hpp' --include='*.cpp' \
+  '(\(|, ?)PatternTable [A-Za-z_]' src tools examples bench tests \
+  | grep -vE 'const PatternTable' \
+  | grep -vE 'src/core/pattern_assets\.(hpp|cpp)' \
+  | grep -vE 'src/core/css\.(hpp|cpp)' || true)
+
+if [ -n "${violations}" ]; then
+  echo "by-value PatternTable crossing(s) found (take const PatternTable& or move):"
+  echo "${violations}"
+  exit 1
+fi
+echo "OK: no by-value PatternTable crossings outside the whitelisted move sinks."

@@ -9,6 +9,8 @@
 //                       [--sweeps N] [--az-step DEG] [--seed N]
 //   talon-cli analyze   <error|quality> --records records.csv
 //                       [--patterns patterns.csv] [--probes M]
+//   talon-cli dense     [--links K] [--rounds N] [--rate TRAININGS_PER_S]
+//                       [--probes M] [--patterns patterns.csv] [--seed N]
 //   talon-cli table1
 //   talon-cli timing    [--probes M]
 //
@@ -16,8 +18,9 @@
 // `summary` inspects a pattern file; `train` runs one compressive
 // selection round in a venue (measuring patterns on the fly when no file
 // is given); `record`/`analyze` split data collection from offline
-// analysis like the paper's router-plus-MATLAB workflow; `table1` and
-// `timing` print the protocol constants.
+// analysis like the paper's router-plus-MATLAB workflow; `dense` runs the
+// multi-link NetworkSimulator (K pairs training under contention on one
+// shared channel); `table1` and `timing` print the protocol constants.
 
 #include <cstdio>
 #include <string>
@@ -31,6 +34,7 @@
 #include "src/mac/monitor.hpp"
 #include "src/mac/timing.hpp"
 #include "src/measure/campaign.hpp"
+#include "src/sim/network.hpp"
 #include "src/sim/records_io.hpp"
 #include "src/sim/scenario.hpp"
 
@@ -49,6 +53,8 @@ void print_usage() {
       "           [--az-step DEG] [--seed N]\n"
       "  analyze  <error|quality> --records records.csv\n"
       "           [--patterns patterns.csv] [--probes M] [--seed N]\n"
+      "  dense    [--links K] [--rounds N] [--rate TRAININGS_PER_S]\n"
+      "           [--probes M] [--patterns patterns.csv] [--seed N]\n"
       "  table1\n"
       "  timing   [--probes M]\n"
       "all commands accept --threads N (default: hardware concurrency,\n"
@@ -223,6 +229,55 @@ int cmd_analyze(const ArgParser& args) {
   return 2;
 }
 
+int cmd_dense(const ArgParser& args) {
+  const auto seed = static_cast<std::uint64_t>(args.integer_or("--seed", 42));
+  const int links = static_cast<int>(args.integer_or("--links", 4));
+  const auto rounds = static_cast<std::size_t>(args.integer_or("--rounds", 10));
+  const double rate = args.number_or("--rate", 10.0);
+  const auto probes = static_cast<std::size_t>(args.integer_or("--probes", 14));
+
+  PatternTable table;
+  if (const auto path = args.option("--patterns")) {
+    table = PatternTable::from_csv(read_csv_file(*path));
+  } else {
+    std::printf("no --patterns file: measuring (quick campaign)...\n");
+    table = measure_patterns(seed, false);
+  }
+  const CssConfig defaults;
+  const auto assets = PatternAssetsRegistry::global().get_or_create(
+      std::move(table), defaults.search_grid, defaults.domain);
+
+  NetworkConfig config;
+  config.links = links;
+  config.rounds = rounds;
+  config.trainings_per_second = rate;
+  config.session.probes = probes;
+  config.seed = seed;
+  const auto room = make_conference_room();
+  NetworkSimulator sim(config, *room, assets);
+  const NetworkRunResult result = sim.run();
+
+  std::printf("%d pairs, %zu rounds, %.1f trainings/s per pair, %zu probes\n\n",
+              links, rounds, rate, probes);
+  std::printf("round | busy [ms] | deferred | worst defer [ms] | selections\n");
+  std::printf("------+-----------+----------+------------------+-----------\n");
+  for (std::size_t r = 0; r < result.rounds.size(); ++r) {
+    const NetworkRound& round = result.rounds[r];
+    int selections = 0;
+    for (const LinkRoundOutcome& link : round.links) selections += link.selected;
+    std::printf("%5zu | %9.3f | %8d | %16.3f | %6d/%zu\n", r,
+                round.busy_time_s * 1000.0, round.deferred, round.worst_defer_ms,
+                selections, round.links.size());
+  }
+  std::printf("\ntraining airtime %.2f%% of the channel, %d/%d trainings deferred "
+              "(worst %.2f ms)\n",
+              result.training_airtime_share * 100.0, result.deferred_trainings,
+              result.total_trainings, result.worst_defer_ms);
+  std::printf("mean selected true SNR %.2f dB -> %.1f Mbps goodput per link\n",
+              result.mean_selected_snr_db, result.goodput_per_link_mbps);
+  return 0;
+}
+
 int cmd_table1() {
   Scenario s = make_anechoic_scenario(42);
   LinkSimulator link = s.make_link(Rng(1));
@@ -272,6 +327,9 @@ int main(int argc, char** argv) {
   args.add_option("--records");
   args.add_option("--sweeps");
   args.add_option("--az-step");
+  args.add_option("--links");
+  args.add_option("--rounds");
+  args.add_option("--rate");
   args.add_option("--threads");
   args.add_flag("--full");
   try {
@@ -284,6 +342,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "record") return cmd_record(args);
     if (command == "analyze") return cmd_analyze(args);
+    if (command == "dense") return cmd_dense(args);
     if (command == "table1") return cmd_table1();
     if (command == "timing") return cmd_timing(args);
     print_usage();
