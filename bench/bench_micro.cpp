@@ -64,6 +64,38 @@ void BM_CssSelectGridResolution(benchmark::State& state) {
 }
 BENCHMARK(BM_CssSelectGridResolution)->Arg(5)->Arg(15)->Arg(30)->Arg(60);
 
+void BM_CombinedArgmax(benchmark::State& state) {
+  // The selection hot path: branch-and-bound Eq. 5 peak with a warm
+  // caller-owned workspace (the LinkSession steady state). Compare against
+  // BM_CorrelationSurface at the same probe count for the pruning gain --
+  // both return the identical peak.
+  const CorrelationEngine engine(shared_table(),
+                                 AngularGrid{make_axis(-90.0, 90.0, 1.5),
+                                             make_axis(0.0, 32.0, 2.0)});
+  const auto probes = make_probes(static_cast<std::size_t>(state.range(0)), 17);
+  CorrelationWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.combined_argmax(probes, ws));
+  }
+}
+BENCHMARK(BM_CombinedArgmax)->Arg(6)->Arg(10)->Arg(14)->Arg(20)->Arg(34);
+
+void BM_CombinedArgmaxGridResolution(benchmark::State& state) {
+  // Pruning gain vs grid density (azimuth step in tenths of a degree):
+  // denser grids mean more points per tile below the bound, so the argmax
+  // advantage over the full surface grows with resolution.
+  const double step = static_cast<double>(state.range(0)) / 10.0;
+  const CorrelationEngine engine(shared_table(),
+                                 AngularGrid{make_axis(-90.0, 90.0, step),
+                                             make_axis(0.0, 32.0, 2.0)});
+  const auto probes = make_probes(14, 11);
+  CorrelationWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.combined_argmax(probes, ws));
+  }
+}
+BENCHMARK(BM_CombinedArgmaxGridResolution)->Arg(5)->Arg(15)->Arg(30)->Arg(60);
+
 void BM_SswArgmax(benchmark::State& state) {
   const auto probes = make_probes(34, 13);
   for (auto _ : state) {
@@ -81,7 +113,7 @@ void BM_CorrelationSurface(benchmark::State& state) {
     benchmark::DoNotOptimize(engine.combined_surface(probes));
   }
 }
-BENCHMARK(BM_CorrelationSurface)->Arg(6)->Arg(14)->Arg(34);
+BENCHMARK(BM_CorrelationSurface)->Arg(6)->Arg(10)->Arg(14)->Arg(20)->Arg(34);
 
 void BM_CorrelationSurfaceBatch(benchmark::State& state) {
   // A replay-engine panel: B sweeps over the same probing subset, evaluated

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "src/common/error.hpp"
 #include "src/common/units.hpp"
@@ -10,9 +12,108 @@
 namespace talon {
 
 namespace {
+
+constexpr std::size_t kTile = SubsetPanel::kTilePoints;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 double to_domain(double db_value, CorrelationDomain domain) {
   return domain == CorrelationDomain::kLinear ? db_to_linear(db_value) : db_value;
 }
+
+/// Outward slack applied to every pruning bound so it rigorously
+/// dominates the kernel's finite-precision result without having to
+/// mirror its operation order. The bound's real value already dominates
+/// the real W everywhere in a tile (Cauchy-Schwarz on the normalized
+/// dictionary columns, no cancellation: every accumulated term is
+/// non-negative); kernel and bound then each differ from their real
+/// values by a relative error below ~(6M + 40) machine epsilons -- under
+/// 1e-12 even at M in the thousands -- so inflating by 1e-10 leaves the
+/// domination intact with orders of magnitude to spare. The absolute
+/// slack covers the one regime where relative-error reasoning fails,
+/// results underflowing toward subnormals, where every quantity involved
+/// is below it anyway. Skipping is therefore exact: a pruned tile
+/// provably cannot contain the argmax (debug builds assert this against
+/// the full surface).
+constexpr double kBoundInflate = 1.0 + 1e-10;
+constexpr double kBoundAbsSlack = 1e-290;
+
+/// One tile's pruning data, from screen_tile().
+struct TileScreen {
+  /// Upper bound on the kernel-FP W anywhere in the tile.
+  double bound{0.0};
+  /// Upper bound (same slack argument) on the reciprocal of every
+  /// positive-norm point's SNR denominator snr_norm * ||x(g)||.
+  double rs{0.0};
+  /// Upper bound on cr^2 anywhere in the tile, inflation included.
+  double cr2{0.0};
+};
+
+/// Bound one tile from its per-slot normalized-response maxima `u`
+/// (|x_m(g)| / ||x(g)|| maximized over the tile, see SubsetPanel):
+/// |cs(g)| = |<p, x(g)/||x(g)||>| / p_norm <= dot(|p|, u) / p_norm for
+/// every g in the tile, and likewise for cr.
+TileScreen screen_tile(const double* ps, const double* pr, const double* u,
+                       double sqrt_min_norm, std::size_t m, double inv_snr_norm,
+                       double inv_rssi_norm) {
+  double as = 0.0;
+  double ar = 0.0;
+  for (std::size_t mm = 0; mm < m; ++mm) {
+    const double um = u[mm];
+    as += std::abs(ps[mm]) * um;
+    ar += std::abs(pr[mm]) * um;
+  }
+  const double cs_ub = as * inv_snr_norm;
+  const double cr_ub = ar * inv_rssi_norm;
+  const double cr2 = (cr_ub * cr_ub) * kBoundInflate;
+  const double bound = (cs_ub * cs_ub) * cr2 + kBoundAbsSlack;
+  const double rs =
+      sqrt_min_norm < kInf ? inv_snr_norm / sqrt_min_norm : 0.0;
+  return {bound, rs, cr2};
+}
+
+/// Dense per-tile dot products: out_s[gi] = sum_m ps[m] * block[m * kTile
+/// + gi], accumulated in ascending m for every gi -- the exact order (and
+/// so the exact rounding) of the scalar per-point loop. The RSSI channel
+/// rides the same pass when pr != nullptr. Register-blocked: a full
+/// kTile-wide accumulator array would spill out of the 16 XMM registers,
+/// which costs more than the arithmetic.
+void tile_dots(const double* block, const double* ps, const double* pr,
+               std::size_t m_count, double* out_s, double* out_r) {
+  constexpr std::size_t kBlock = 8;
+  static_assert(kTile % kBlock == 0);
+  for (std::size_t g0 = 0; g0 < kTile; g0 += kBlock) {
+    double as[kBlock] = {};
+    double ar[kBlock] = {};
+    const double* base = block + g0;
+    if (pr != nullptr) {
+      for (std::size_t m = 0; m < m_count; ++m) {
+        const double pvs = ps[m];
+        const double pvr = pr[m];
+        const double* row = base + m * kTile;
+        for (std::size_t j = 0; j < kBlock; ++j) {
+          as[j] += pvs * row[j];
+          ar[j] += pvr * row[j];
+        }
+      }
+      for (std::size_t j = 0; j < kBlock; ++j) {
+        out_s[g0 + j] = as[j];
+        out_r[g0 + j] = ar[j];
+      }
+    } else {
+      for (std::size_t m = 0; m < m_count; ++m) {
+        const double pvs = ps[m];
+        const double* row = base + m * kTile;
+        for (std::size_t j = 0; j < kBlock; ++j) {
+          as[j] += pvs * row[j];
+        }
+      }
+      for (std::size_t j = 0; j < kBlock; ++j) {
+        out_s[g0 + j] = as[j];
+      }
+    }
+  }
+}
+
 }  // namespace
 
 CorrelationEngine::CorrelationEngine(const PatternTable& patterns,
@@ -29,19 +130,32 @@ std::size_t CorrelationEngine::usable_probe_count(
   return n;
 }
 
-CorrelationEngine::ProbeVectors CorrelationEngine::collect_probes(
-    std::span<const SectorReading> readings, bool need_snr, bool need_rssi) const {
-  ProbeVectors out;
+void CorrelationEngine::collect_probes_into(std::span<const SectorReading> readings,
+                                            bool need_snr, bool need_rssi,
+                                            ProbeVectors& out) const {
+  out.slots.clear();
+  out.snr.clear();
+  out.rssi.clear();
+  out.dropped = 0;
   out.slots.reserve(readings.size());
   if (need_snr) out.snr.reserve(readings.size());
   if (need_rssi) out.rssi.reserve(readings.size());
   for (const SectorReading& r : readings) {
     const int slot = sector_slot(r.sector_id);
-    if (slot < 0) continue;
+    if (slot < 0) {
+      ++out.dropped;
+      continue;
+    }
     out.slots.push_back(slot);
     if (need_snr) out.snr.push_back(to_domain(r.snr_db, matrix_.domain()));
     if (need_rssi) out.rssi.push_back(to_domain(r.rssi_dbm, matrix_.domain()));
   }
+}
+
+ProbeVectors CorrelationEngine::collect_probes(
+    std::span<const SectorReading> readings, bool need_snr, bool need_rssi) const {
+  ProbeVectors out;
+  collect_probes_into(readings, need_snr, need_rssi, out);
   return out;
 }
 
@@ -57,32 +171,35 @@ Grid2D CorrelationEngine::surface(std::span<const SectorReading> readings,
   TALON_EXPECTS(p_norm_sq > 0.0);
   const double p_norm = std::sqrt(p_norm_sq);
 
-  const auto norms = matrix_.norms_sq(probes.slots);
-  const std::size_t points = matrix_.points();
-  const std::size_t m_count = probes.slots.size();
+  const std::shared_ptr<const SubsetPanel> panel = matrix_.panel(probes.slots);
+  const SubsetPanel& pan = *panel;
+  const std::size_t m_count = pan.m();
 
   Grid2D out(matrix_.grid());
   std::vector<double>& w = out.values();
-  for (std::size_t g = 0; g < points; ++g) {
-    const std::span<const double> row = matrix_.point(g);
-    double dot = 0.0;
-    for (std::size_t m = 0; m < m_count; ++m) {
-      dot += p[m] * row[static_cast<std::size_t>(probes.slots[m])];
+  double dot[kTile];
+  for (std::size_t t = 0; t < pan.fine_tiles; ++t) {
+    const std::size_t g0 = t * kTile;
+    const std::size_t count = std::min(kTile, pan.points - g0);
+    const double* block = pan.tile_values(t);
+    tile_dots(block, p.data(), nullptr, m_count, dot, nullptr);
+    for (std::size_t gi = 0; gi < count; ++gi) {
+      const std::size_t g = g0 + gi;
+      const double x_norm_sq = pan.norms_sq[g];
+      if (x_norm_sq <= 0.0) {
+        w[g] = 0.0;
+        continue;
+      }
+      const double c = dot[gi] / (p_norm * std::sqrt(x_norm_sq));
+      w[g] = c * c;
     }
-    const double x_norm_sq = (*norms)[g];
-    if (x_norm_sq <= 0.0) {
-      w[g] = 0.0;
-      continue;
-    }
-    const double c = dot / (p_norm * std::sqrt(x_norm_sq));
-    w[g] = c * c;
   }
   return out;
 }
 
 Grid2D CorrelationEngine::combined_surface(
     std::span<const SectorReading> readings) const {
-  // Fused Eq. 5: one matrix walk computes the SNR dot, the RSSI dot and
+  // Fused Eq. 5: one panel walk computes the SNR dot, the RSSI dot and
   // the surface product. The pattern vector x (and so its norm) is shared
   // by both channels; only the probe vector differs.
   const ProbeVectors probes = collect_probes(readings, true, true);
@@ -98,32 +215,194 @@ Grid2D CorrelationEngine::combined_surface(
   TALON_EXPECTS(rssi_norm_sq > 0.0);
   const double rssi_norm = std::sqrt(rssi_norm_sq);
 
-  const auto norms = matrix_.norms_sq(probes.slots);
-  const std::size_t points = matrix_.points();
-  const std::size_t m_count = probes.slots.size();
+  const std::shared_ptr<const SubsetPanel> panel = matrix_.panel(probes.slots);
+  const SubsetPanel& pan = *panel;
+  const std::size_t m_count = pan.m();
 
   Grid2D out(matrix_.grid());
   std::vector<double>& w = out.values();
-  for (std::size_t g = 0; g < points; ++g) {
-    const std::span<const double> row = matrix_.point(g);
-    double dot_snr = 0.0;
-    double dot_rssi = 0.0;
-    for (std::size_t m = 0; m < m_count; ++m) {
-      const double x = row[static_cast<std::size_t>(probes.slots[m])];
-      dot_snr += probes.snr[m] * x;
-      dot_rssi += probes.rssi[m] * x;
+  double dot_snr[kTile];
+  double dot_rssi[kTile];
+  for (std::size_t t = 0; t < pan.fine_tiles; ++t) {
+    const std::size_t g0 = t * kTile;
+    const std::size_t count = std::min(kTile, pan.points - g0);
+    const double* block = pan.tile_values(t);
+    tile_dots(block, probes.snr.data(), probes.rssi.data(), m_count, dot_snr,
+              dot_rssi);
+    for (std::size_t gi = 0; gi < count; ++gi) {
+      const std::size_t g = g0 + gi;
+      const double x_norm_sq = pan.norms_sq[g];
+      if (x_norm_sq <= 0.0) {
+        w[g] = 0.0;
+        continue;
+      }
+      const double x_norm = std::sqrt(x_norm_sq);
+      const double cs = dot_snr[gi] / (snr_norm * x_norm);
+      const double cr = dot_rssi[gi] / (rssi_norm * x_norm);
+      w[g] = (cs * cs) * (cr * cr);
     }
-    const double x_norm_sq = (*norms)[g];
-    if (x_norm_sq <= 0.0) {
-      w[g] = 0.0;
-      continue;
-    }
-    const double x_norm = std::sqrt(x_norm_sq);
-    const double cs = dot_snr / (snr_norm * x_norm);
-    const double cr = dot_rssi / (rssi_norm * x_norm);
-    w[g] = (cs * cs) * (cr * cr);
   }
   return out;
+}
+
+const SubsetPanel& CorrelationEngine::resolve_panel(CorrelationWorkspace& ws) const {
+  if (!ws.panel_ || ws.panel_->slots != ws.probes_.slots) {
+    ws.panel_ = matrix_.panel(ws.probes_.slots);
+    ++ws.growth_events_;  // subset switch: cold path by definition
+  }
+  return *ws.panel_;
+}
+
+CorrelationEngine::ArgmaxResult CorrelationEngine::combined_argmax(
+    std::span<const SectorReading> readings, CorrelationWorkspace& ws) const {
+  const std::size_t caps_before = ws.probes_.slots.capacity() +
+                                  ws.probes_.snr.capacity() +
+                                  ws.probes_.rssi.capacity();
+  collect_probes_into(readings, true, true, ws.probes_);
+  if (ws.probes_.slots.capacity() + ws.probes_.snr.capacity() +
+          ws.probes_.rssi.capacity() !=
+      caps_before) {
+    ++ws.growth_events_;
+  }
+  TALON_EXPECTS(ws.probes_.slots.size() >= 2);
+
+  double snr_norm_sq = 0.0;
+  for (double v : ws.probes_.snr) snr_norm_sq += v * v;
+  TALON_EXPECTS(snr_norm_sq > 0.0);
+  const double snr_norm = std::sqrt(snr_norm_sq);
+
+  double rssi_norm_sq = 0.0;
+  for (double v : ws.probes_.rssi) rssi_norm_sq += v * v;
+  TALON_EXPECTS(rssi_norm_sq > 0.0);
+  const double rssi_norm = std::sqrt(rssi_norm_sq);
+
+  const SubsetPanel& pan = resolve_panel(ws);
+  const std::size_t m_count = pan.m();
+  const double* ps = ws.probes_.snr.data();
+  const double* pr = ws.probes_.rssi.data();
+  const double* norms = pan.norms_sq.data();
+  const double inv_snr_norm = 1.0 / snr_norm;
+  const double inv_rssi_norm = 1.0 / rssi_norm;
+
+  // Level 1: bound every coarse tile and order them best-bound-first, so
+  // the running best is (almost always) the true peak after the first
+  // tile and everything else prunes.
+  const std::size_t nc = pan.coarse_tiles;
+  ws.ensure_size(ws.coarse_bound_, nc);
+  ws.ensure_size(ws.coarse_order_, nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    ws.coarse_bound_[c] =
+        screen_tile(ps, pr, pan.coarse_abs_norm_max.data() + c * m_count,
+                    pan.coarse_sqrt_min_norm[c], m_count, inv_snr_norm,
+                    inv_rssi_norm)
+            .bound;
+    ws.coarse_order_[c] = static_cast<std::uint32_t>(c);
+  }
+  std::sort(ws.coarse_order_.begin(), ws.coarse_order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (ws.coarse_bound_[a] != ws.coarse_bound_[b]) {
+                return ws.coarse_bound_[a] > ws.coarse_bound_[b];
+              }
+              return a < b;
+            });
+
+  // The skip rules below are exact, not heuristic: a tile is skipped only
+  // when its bound proves no point in it can beat `best` -- including the
+  // lowest-index tie rule Grid2D::peak applies -- so the result matches
+  // the full-surface argmax bit for bit.
+  double best = -1.0;  // below any W; the first visited tile always evaluates
+  std::size_t best_g = 0;
+  double dsg[kTile];
+
+  for (const std::uint32_t c : ws.coarse_order_) {
+    const double cb = ws.coarse_bound_[c];
+    if (cb < best) break;  // ordered: every later coarse bound is lower
+    const std::size_t t0 = c * SubsetPanel::kFinePerCoarse;
+    if (cb == best && t0 * kTile > best_g) continue;  // could only tie at higher g
+    const std::size_t t1 = std::min(t0 + SubsetPanel::kFinePerCoarse, pan.fine_tiles);
+    const std::size_t nf = t1 - t0;
+
+    // Level 2: rebound the coarse tile's fine tiles and visit those
+    // best-first too.
+    TileScreen screens[SubsetPanel::kFinePerCoarse];
+    std::size_t order[SubsetPanel::kFinePerCoarse];
+    for (std::size_t k = 0; k < nf; ++k) {
+      const std::size_t t = t0 + k;
+      screens[k] =
+          screen_tile(ps, pr, pan.fine_abs_norm_max.data() + t * m_count,
+                      pan.fine_sqrt_min_norm[t], m_count, inv_snr_norm,
+                      inv_rssi_norm);
+      order[k] = k;
+    }
+    for (std::size_t k = 1; k < nf; ++k) {  // insertion sort: nf <= 8
+      const std::size_t v = order[k];
+      std::size_t j = k;
+      while (j > 0 && screens[order[j - 1]].bound < screens[v].bound) {
+        order[j] = order[j - 1];
+        --j;
+      }
+      order[j] = v;
+    }
+
+    for (std::size_t k = 0; k < nf; ++k) {
+      const TileScreen& s = screens[order[k]];
+      if (s.bound < best) break;
+      const std::size_t t = t0 + order[k];
+      const std::size_t g0 = t * kTile;
+      if (s.bound == best && g0 > best_g) continue;
+      const std::size_t count = std::min(kTile, pan.points - g0);
+      const double* block = pan.tile_values(t);
+
+      // Dense SNR dots for the whole tile (the padded tail just computes
+      // zeros that `count` discards).
+      tile_dots(block, ps, nullptr, m_count, dsg, nullptr);
+
+      for (std::size_t gi = 0; gi < count; ++gi) {
+        const std::size_t g = g0 + gi;
+        const double n = norms[g];
+        double w = 0.0;
+        if (n > 0.0) {
+          // Multiply-only per-point screen (same slack argument as the
+          // tile bound): only survivors pay the RSSI dot, the sqrt and
+          // the divisions.
+          const double cs_scr = dsg[gi] * s.rs;
+          const double scr = (cs_scr * cs_scr) * s.cr2 + kBoundAbsSlack;
+          if (scr < best || (scr == best && g > best_g)) continue;
+          double dr = 0.0;
+          const double* col = block + gi;
+          for (std::size_t m = 0; m < m_count; ++m) dr += pr[m] * col[m * kTile];
+          const double x_norm = std::sqrt(n);
+          const double cs = dsg[gi] / (snr_norm * x_norm);
+          const double cr = dr / (rssi_norm * x_norm);
+          w = (cs * cs) * (cr * cr);
+        }
+        if (w > best || (w == best && g < best_g)) {
+          best = w;
+          best_g = g;
+        }
+      }
+    }
+  }
+
+  ArgmaxResult result{best_g, best, matrix_.directions()[best_g]};
+#ifndef NDEBUG
+  {
+    // The whole point of the bound algebra above is that pruning changes
+    // nothing; verify against the reference surface when asserts are on.
+    const Grid2D reference = combined_surface(readings);
+    const std::vector<double>& rv = reference.values();
+    const auto it = std::max_element(rv.begin(), rv.end());
+    assert(static_cast<std::size_t>(it - rv.begin()) == result.index);
+    assert(*it == result.value);
+  }
+#endif
+  return result;
+}
+
+CorrelationEngine::ArgmaxResult CorrelationEngine::combined_argmax(
+    std::span<const SectorReading> readings) const {
+  CorrelationWorkspace ws;
+  return combined_argmax(readings, ws);
 }
 
 std::vector<Grid2D> CorrelationEngine::combined_surface_batch(
@@ -132,8 +411,8 @@ std::vector<Grid2D> CorrelationEngine::combined_surface_batch(
   if (sweeps.empty()) return out;
 
   // Collect every sweep's probe vectors once, then group the sweeps whose
-  // usable probes hit the same slot sequence: those share the row gather,
-  // the subset norms and the per-point sqrt.
+  // usable probes hit the same slot sequence: those share the panel
+  // resolution and the per-point sqrt.
   std::vector<ProbeVectors> probes;
   probes.reserve(sweeps.size());
   std::map<std::vector<int>, std::vector<std::size_t>> panels;
@@ -143,17 +422,16 @@ std::vector<Grid2D> CorrelationEngine::combined_surface_batch(
     panels[probes[i].slots].push_back(i);
   }
 
-  const std::size_t points = matrix_.points();
-  std::vector<double> x;          // gathered pattern row, shared by the panel
   std::vector<const double*> ps;  // per-member probe vectors
   std::vector<const double*> pr;
-  std::vector<double*> w;         // per-member output surfaces
+  std::vector<double*> w;  // per-member output surfaces
   std::vector<double> snr_norms;
   std::vector<double> rssi_norms;
   for (const auto& [slots, members] : panels) {
-    const std::size_t m_count = slots.size();
     const std::size_t batch = members.size();
-    const auto norms = matrix_.norms_sq(slots);
+    const std::shared_ptr<const SubsetPanel> panel = matrix_.panel(slots);
+    const SubsetPanel& pan = *panel;
+    const std::size_t m_count = pan.m();
 
     ps.resize(batch);
     pr.resize(batch);
@@ -176,30 +454,30 @@ std::vector<Grid2D> CorrelationEngine::combined_surface_batch(
       w[b] = out[members[b]].values().data();
     }
 
-    x.resize(m_count);
-    for (std::size_t g = 0; g < points; ++g) {
-      const std::span<const double> row = matrix_.point(g);
-      for (std::size_t m = 0; m < m_count; ++m) {
-        x[m] = row[static_cast<std::size_t>(slots[m])];
+    double dot_snr[kTile];
+    double dot_rssi[kTile];
+    double x_norm[kTile];  // < 0 marks a zero-norm point
+    for (std::size_t t = 0; t < pan.fine_tiles; ++t) {
+      const std::size_t g0 = t * kTile;
+      const std::size_t count = std::min(kTile, pan.points - g0);
+      const double* block = pan.tile_values(t);
+      for (std::size_t gi = 0; gi < count; ++gi) {
+        const double n = pan.norms_sq[g0 + gi];
+        x_norm[gi] = n > 0.0 ? std::sqrt(n) : -1.0;
       }
-      const double x_norm_sq = (*norms)[g];
-      if (x_norm_sq <= 0.0) {
-        for (std::size_t b = 0; b < batch; ++b) w[b][g] = 0.0;
-        continue;
-      }
-      const double x_norm = std::sqrt(x_norm_sq);
       for (std::size_t b = 0; b < batch; ++b) {
-        double dot_snr = 0.0;
-        double dot_rssi = 0.0;
-        const double* snr = ps[b];
-        const double* rssi = pr[b];
-        for (std::size_t m = 0; m < m_count; ++m) {
-          dot_snr += snr[m] * x[m];
-          dot_rssi += rssi[m] * x[m];
+        tile_dots(block, ps[b], pr[b], m_count, dot_snr, dot_rssi);
+        double* wb = w[b];
+        for (std::size_t gi = 0; gi < count; ++gi) {
+          const std::size_t g = g0 + gi;
+          if (x_norm[gi] < 0.0) {
+            wb[g] = 0.0;
+            continue;
+          }
+          const double cs = dot_snr[gi] / (snr_norms[b] * x_norm[gi]);
+          const double cr = dot_rssi[gi] / (rssi_norms[b] * x_norm[gi]);
+          wb[g] = (cs * cs) * (cr * cr);
         }
-        const double cs = dot_snr / (snr_norms[b] * x_norm);
-        const double cr = dot_rssi / (rssi_norms[b] * x_norm);
-        w[b][g] = (cs * cs) * (cr * cr);
       }
     }
   }

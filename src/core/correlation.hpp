@@ -9,11 +9,17 @@
 //
 // CorrelationEngine evaluates the correlation on top of a ResponseMatrix
 // (core/response_matrix.hpp): pattern responses resampled onto the search
-// grid once, grid-point-major, with per-subset norms cached across sweeps.
-// Eq. 5 runs as a single fused grid pass computing the SNR dot, the RSSI
-// dot and their product together.
+// grid once, compacted per probe subset into cached tile-blocked panels.
+// Eq. 5 runs as dense contiguous dot products with no per-element slot
+// indexing, either over the whole grid (combined_surface) or -- the
+// selection hot path -- as an exact branch-and-bound argmax
+// (combined_argmax) that prunes grid tiles with a Cauchy-Schwarz upper
+// bound and returns the bit-identical peak of the full surface without
+// materializing it.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -34,6 +40,52 @@ enum class SignalValue : std::uint8_t { kSnr, kRssi };
 /// (unmeasurable) directions.
 inline constexpr double kSnrReportingFloorDb = -7.0;
 
+/// Usable probes of one sweep: matrix slots plus the probe value(s) in
+/// the correlation domain, in reading order. `dropped` counts the
+/// readings whose sector ID has no matrix slot (unknown to the pattern
+/// table) and was therefore excluded from the vectors.
+struct ProbeVectors {
+  std::vector<int> slots;
+  std::vector<double> snr;
+  std::vector<double> rssi;
+  std::size_t dropped{0};
+};
+
+/// Caller-owned scratch for the selection hot path (one per LinkSession /
+/// replay cell). Holds the collected probe vectors, the resolved subset
+/// panel and the branch-and-bound tile scratch, so that once warmed up --
+/// a few sweeps with the session's largest probe count -- repeated
+/// combined_argmax calls perform zero heap allocations. Not thread-safe;
+/// give each concurrent caller its own workspace (panels themselves are
+/// shared and immutable).
+class CorrelationWorkspace {
+ public:
+  /// Times any internal buffer had to grow (or a new panel had to be
+  /// resolved through the matrix cache) since construction. Steady state
+  /// on a fixed probe subset holds this constant -- the zero-allocation
+  /// tests pin their loop on it.
+  std::size_t growth_events() const { return growth_events_; }
+
+ private:
+  friend class CorrelationEngine;
+
+  /// resize() that charges capacity growth to the growth counter.
+  template <typename T>
+  void ensure_size(std::vector<T>& v, std::size_t n) {
+    if (n > v.capacity()) ++growth_events_;
+    v.resize(n);
+  }
+
+  ProbeVectors probes_;
+  /// Panel of the last subset seen; keyed by its exact slot sequence, so
+  /// the steady-state path skips the matrix cache (and its lock) entirely.
+  std::shared_ptr<const SubsetPanel> panel_;
+  /// Per-coarse-tile upper bounds and the best-first visiting order.
+  std::vector<double> coarse_bound_;
+  std::vector<std::uint32_t> coarse_order_;
+  std::size_t growth_events_{0};
+};
+
 class CorrelationEngine {
  public:
   /// `patterns` must contain every sector that may ever be probed.
@@ -53,22 +105,51 @@ class CorrelationEngine {
   Grid2D surface(std::span<const SectorReading> readings, SignalValue value) const;
 
   /// Eq. 5: element-wise product of the SNR and RSSI surfaces, computed in
-  /// one fused grid pass (one matrix walk for both dots and the product).
+  /// one fused grid pass (one panel walk for both dots and the product).
   Grid2D combined_surface(std::span<const SectorReading> readings) const;
 
+  /// The peak of combined_surface without materializing it.
+  struct ArgmaxResult {
+    /// Flat grid index of the peak (ties resolve to the lowest index,
+    /// exactly like Grid2D::peak on the full surface).
+    std::size_t index{0};
+    /// W at the peak -- bit-identical to the surface value there.
+    double value{0.0};
+    Direction direction{};
+  };
+
+  /// Eq. 3 over the Eq. 5 surface as an exact branch-and-bound search:
+  /// grid tiles are visited best-bound-first and skipped when a rigorous
+  /// floating-point upper bound (per-tile response extrema + minimum
+  /// subset norm, Cauchy-Schwarz on both correlation factors) cannot beat
+  /// the running best; surviving points are evaluated with the exact
+  /// combined_surface arithmetic. Index and value are therefore
+  /// bit-identical to combined_surface(readings).peak() -- asserted in
+  /// debug builds -- at a fraction of its cost, with zero steady-state
+  /// allocations when `ws` is reused. Same preconditions as
+  /// combined_surface.
+  ArgmaxResult combined_argmax(std::span<const SectorReading> readings,
+                               CorrelationWorkspace& ws) const;
+
+  /// combined_argmax with a throwaway workspace (cold path / tests).
+  ArgmaxResult combined_argmax(std::span<const SectorReading> readings) const;
+
   /// Batched Eq. 5: one surface per input sweep. Sweeps whose usable
-  /// probes map onto the same slot sequence are evaluated together in one
-  /// blocked matrix pass -- the row gather, the subset norm and the
-  /// per-point sqrt are paid once for the whole panel instead of once per
-  /// sweep. Results are bit-for-bit identical to calling combined_surface
-  /// on each element (same accumulation order per sweep), so callers may
-  /// batch opportunistically. Every sweep needs >= 2 usable readings with
-  /// positive probe norms, like the single-sweep path.
+  /// probes map onto the same slot sequence share one panel resolution and
+  /// one per-point sqrt pass. Results are bit-for-bit identical to calling
+  /// combined_surface on each element (same accumulation order per sweep),
+  /// so callers may batch opportunistically. Every sweep needs >= 2 usable
+  /// readings with positive probe norms, like the single-sweep path.
   std::vector<Grid2D> combined_surface_batch(
       std::span<const std::span<const SectorReading>> sweeps) const;
 
   /// Number of readings that map onto table sectors.
   std::size_t usable_probe_count(std::span<const SectorReading> readings) const;
+
+  /// Usable probes of one sweep in reading order, with readings of
+  /// unknown sectors dropped (and counted).
+  ProbeVectors collect_probes(std::span<const SectorReading> readings,
+                              bool need_snr, bool need_rssi) const;
 
   /// One extracted propagation path (see matching_pursuit).
   struct Path {
@@ -104,15 +185,13 @@ class CorrelationEngine {
   /// Index into the response matrix for a sector ID, or -1.
   int sector_slot(int sector_id) const { return matrix_.slot(sector_id); }
 
-  /// Usable probes of one sweep: matrix slots plus the probe value(s) in
-  /// the correlation domain, in reading order.
-  struct ProbeVectors {
-    std::vector<int> slots;
-    std::vector<double> snr;
-    std::vector<double> rssi;
-  };
-  ProbeVectors collect_probes(std::span<const SectorReading> readings,
-                              bool need_snr, bool need_rssi) const;
+  /// collect_probes into caller-owned vectors (the zero-allocation path).
+  void collect_probes_into(std::span<const SectorReading> readings, bool need_snr,
+                           bool need_rssi, ProbeVectors& out) const;
+
+  /// Resolve the subset panel for ws.probes_.slots, reusing ws.panel_ when
+  /// the sequence matches (no lock, no allocation).
+  const SubsetPanel& resolve_panel(CorrelationWorkspace& ws) const;
 
   ResponseMatrix matrix_;
 };

@@ -25,9 +25,16 @@ CompressiveSectorSelector::CompressiveSectorSelector(
 }
 
 std::optional<Direction> CompressiveSectorSelector::estimate_direction(
-    std::span<const SectorReading> probes) const {
+    std::span<const SectorReading> probes, CorrelationWorkspace& ws) const {
   if (engine().usable_probe_count(probes) < config_.min_probes) return std::nullopt;
-  return correlation_surface(probes).peak().direction;
+  if (config_.use_rssi) return engine().combined_argmax(probes, ws).direction;
+  return engine().surface(probes, SignalValue::kSnr).peak().direction;
+}
+
+std::optional<Direction> CompressiveSectorSelector::estimate_direction(
+    std::span<const SectorReading> probes) const {
+  CorrelationWorkspace ws;
+  return estimate_direction(probes, ws);
 }
 
 Grid2D CompressiveSectorSelector::correlation_surface(
@@ -38,7 +45,8 @@ Grid2D CompressiveSectorSelector::correlation_surface(
 }
 
 CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probes,
-                                            std::span<const int> candidates) const {
+                                            std::span<const int> candidates,
+                                            CorrelationWorkspace& ws) const {
   TALON_EXPECTS(!candidates.empty());
   CssResult result;
   if (probes.empty()) return result;  // invalid: keep previous selection
@@ -55,8 +63,19 @@ CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probe
     return result;
   }
 
-  const Grid2D surface = config_.use_rssi ? engine().combined_surface(probes)
-                                          : engine().surface(probes, SignalValue::kSnr);
+  if (config_.use_rssi) {
+    // Eq. 3/5 without the surface: the pruned argmax lands on the same
+    // (bit-identical) peak.
+    const CorrelationEngine::ArgmaxResult peak = engine().combined_argmax(probes, ws);
+    result.valid = true;
+    result.estimated_direction = peak.direction;
+    result.correlation_peak = peak.value;
+    result.sector_id = patterns().best_sector_at(peak.direction, candidates);
+    return result;
+  }
+
+  // SNR-only ablation (Eq. 2): keeps the full-surface path.
+  const Grid2D surface = engine().surface(probes, SignalValue::kSnr);
   const Grid2D::Peak peak = surface.peak();
   result.valid = true;
   result.estimated_direction = peak.direction;
@@ -65,80 +84,65 @@ CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probe
   return result;
 }
 
-CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probes) const {
+CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probes,
+                                            std::span<const int> candidates) const {
+  CorrelationWorkspace ws;
+  return select(probes, candidates, ws);
+}
+
+CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probes,
+                                            CorrelationWorkspace& ws) const {
   // All table sectors except the quasi-omni receive pattern: feedback must
   // name one of the peer's *transmit* sectors.
-  return select(probes, assets_->tx_candidates());
+  return select(probes, assets_->tx_candidates(), ws);
+}
+
+CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probes) const {
+  CorrelationWorkspace ws;
+  return select(probes, assets_->tx_candidates(), ws);
+}
+
+std::vector<CssResult> CompressiveSectorSelector::select_batch(
+    std::span<const std::vector<SectorReading>> sweeps,
+    std::span<const int> candidates, CorrelationWorkspace& ws) const {
+  TALON_EXPECTS(!candidates.empty());
+  // One pruned argmax per sweep; sweeps sharing a slot sequence reuse the
+  // workspace's warm panel, so there is nothing left for a dedicated
+  // batched kernel to amortize. Trivially equal to select() per element.
+  std::vector<CssResult> results(sweeps.size());
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    results[i] = select(sweeps[i], candidates, ws);
+  }
+  return results;
 }
 
 std::vector<CssResult> CompressiveSectorSelector::select_batch(
     std::span<const std::vector<SectorReading>> sweeps,
     std::span<const int> candidates) const {
-  TALON_EXPECTS(!candidates.empty());
-  std::vector<CssResult> results(sweeps.size());
-  if (!config_.use_rssi) {
-    // SNR-only ablation: no batched Eq. 2 kernel; scalar path per sweep.
-    for (std::size_t i = 0; i < sweeps.size(); ++i) {
-      results[i] = select(sweeps[i], candidates);
-    }
-    return results;
-  }
-
-  // Empty and fallback sweeps never touch the grid; route them through the
-  // scalar path (cheap) and batch only the surface-bearing ones.
-  std::vector<std::size_t> batched;
-  std::vector<std::span<const SectorReading>> panel;
-  batched.reserve(sweeps.size());
-  panel.reserve(sweeps.size());
-  for (std::size_t i = 0; i < sweeps.size(); ++i) {
-    if (sweeps[i].empty() ||
-        engine().usable_probe_count(sweeps[i]) < config_.min_probes) {
-      results[i] = select(sweeps[i], candidates);
-    } else {
-      batched.push_back(i);
-      panel.emplace_back(sweeps[i]);
-    }
-  }
-  const std::vector<Grid2D> surfaces = engine().combined_surface_batch(panel);
-  for (std::size_t b = 0; b < batched.size(); ++b) {
-    const Grid2D::Peak peak = surfaces[b].peak();
-    CssResult& result = results[batched[b]];
-    result.valid = true;
-    result.estimated_direction = peak.direction;
-    result.correlation_peak = peak.value;
-    result.sector_id = patterns().best_sector_at(peak.direction, candidates);
-  }
-  return results;
+  CorrelationWorkspace ws;
+  return select_batch(sweeps, candidates, ws);
 }
 
 std::vector<CssResult> CompressiveSectorSelector::select_batch(
     std::span<const std::vector<SectorReading>> sweeps) const {
-  return select_batch(sweeps, assets_->tx_candidates());
+  CorrelationWorkspace ws;
+  return select_batch(sweeps, assets_->tx_candidates(), ws);
+}
+
+std::vector<std::optional<Direction>> CompressiveSectorSelector::estimate_directions(
+    std::span<const std::vector<SectorReading>> sweeps,
+    CorrelationWorkspace& ws) const {
+  std::vector<std::optional<Direction>> results(sweeps.size());
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    results[i] = estimate_direction(sweeps[i], ws);
+  }
+  return results;
 }
 
 std::vector<std::optional<Direction>> CompressiveSectorSelector::estimate_directions(
     std::span<const std::vector<SectorReading>> sweeps) const {
-  std::vector<std::optional<Direction>> results(sweeps.size());
-  if (!config_.use_rssi) {
-    for (std::size_t i = 0; i < sweeps.size(); ++i) {
-      results[i] = estimate_direction(sweeps[i]);
-    }
-    return results;
-  }
-  std::vector<std::size_t> batched;
-  std::vector<std::span<const SectorReading>> panel;
-  batched.reserve(sweeps.size());
-  panel.reserve(sweeps.size());
-  for (std::size_t i = 0; i < sweeps.size(); ++i) {
-    if (engine().usable_probe_count(sweeps[i]) < config_.min_probes) continue;
-    batched.push_back(i);
-    panel.emplace_back(sweeps[i]);
-  }
-  const std::vector<Grid2D> surfaces = engine().combined_surface_batch(panel);
-  for (std::size_t b = 0; b < batched.size(); ++b) {
-    results[batched[b]] = surfaces[b].peak().direction;
-  }
-  return results;
+  CorrelationWorkspace ws;
+  return estimate_directions(sweeps, ws);
 }
 
 }  // namespace talon

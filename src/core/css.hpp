@@ -65,20 +65,29 @@ class CompressiveSectorSelector {
                                      CssConfig config = {});
 
   /// Full CSS: estimate the path from `probes`, then select the best of
-  /// `candidates` (Eq. 4).
+  /// `candidates` (Eq. 4). The workspace-taking overload is the selection
+  /// hot path -- Eq. 3/5 runs as the allocation-free branch-and-bound
+  /// argmax (CorrelationEngine::combined_argmax) over `ws`; the others
+  /// spin up a throwaway workspace per call. All overloads return
+  /// bit-identical results.
+  CssResult select(std::span<const SectorReading> probes,
+                   std::span<const int> candidates,
+                   CorrelationWorkspace& ws) const;
   CssResult select(std::span<const SectorReading> probes,
                    std::span<const int> candidates) const;
 
   /// select() with all pattern-table sectors as candidates.
+  CssResult select(std::span<const SectorReading> probes,
+                   CorrelationWorkspace& ws) const;
   CssResult select(std::span<const SectorReading> probes) const;
 
   /// Batched select(): one result per sweep, bit-for-bit identical to
-  /// calling select() on each element. Sweeps with enough usable probes
-  /// ride the batched Eq. 5 kernel (CorrelationEngine::
-  /// combined_surface_batch) so sweeps sharing a probe subset share one
-  /// grid walk; empty and fallback sweeps take the scalar path. The
-  /// SNR-only ablation (use_rssi == false) has no batched kernel and
-  /// degrades to a per-sweep loop.
+  /// calling select() on each element. Sweeps sharing a probe subset share
+  /// one cached response panel (and the workspace's warm scratch), so the
+  /// batch costs one argmax per sweep with no per-sweep setup.
+  std::vector<CssResult> select_batch(
+      std::span<const std::vector<SectorReading>> sweeps,
+      std::span<const int> candidates, CorrelationWorkspace& ws) const;
   std::vector<CssResult> select_batch(
       std::span<const std::vector<SectorReading>> sweeps,
       std::span<const int> candidates) const;
@@ -87,13 +96,17 @@ class CompressiveSectorSelector {
   std::vector<CssResult> select_batch(
       std::span<const std::vector<SectorReading>> sweeps) const;
 
-  /// Batched estimate_direction(), same batching contract as
-  /// select_batch().
+  /// Batched estimate_direction(), same contract as select_batch().
+  std::vector<std::optional<Direction>> estimate_directions(
+      std::span<const std::vector<SectorReading>> sweeps,
+      CorrelationWorkspace& ws) const;
   std::vector<std::optional<Direction>> estimate_directions(
       std::span<const std::vector<SectorReading>> sweeps) const;
 
   /// Step 1 only (Eq. 3/5): the estimated angle of arrival, or nullopt
   /// when fewer than min_probes probes decoded.
+  std::optional<Direction> estimate_direction(
+      std::span<const SectorReading> probes, CorrelationWorkspace& ws) const;
   std::optional<Direction> estimate_direction(
       std::span<const SectorReading> probes) const;
 

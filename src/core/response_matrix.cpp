@@ -1,6 +1,8 @@
 #include "src/core/response_matrix.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "src/common/error.hpp"
 #include "src/common/units.hpp"
@@ -39,38 +41,114 @@ int ResponseMatrix::slot(int sector_id) const {
   return static_cast<int>(it - sector_ids_.begin());
 }
 
-std::shared_ptr<const std::vector<double>> ResponseMatrix::norms_sq(
+std::shared_ptr<const SubsetPanel> ResponseMatrix::build_panel(
     std::span<const int> slots) const {
-  std::vector<int> key(slots.begin(), slots.end());
-  {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
-    const auto it = norm_cache_.find(key);
-    if (it != norm_cache_.end()) return it->second;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr std::size_t kTile = SubsetPanel::kTilePoints;
+  const std::size_t m = slots.size();
+  TALON_EXPECTS(m >= 1);
+  for (const int s : slots) {
+    TALON_EXPECTS(s >= 0 && static_cast<std::size_t>(s) < sector_ids_.size());
   }
 
+  auto panel = std::make_shared<SubsetPanel>();
+  panel->slots.assign(slots.begin(), slots.end());
   const std::size_t points = grid_.size();
+  panel->points = points;
+  const std::size_t fine = (points + kTile - 1) / kTile;
+  panel->fine_tiles = fine;
+  panel->coarse_tiles =
+      (fine + SubsetPanel::kFinePerCoarse - 1) / SubsetPanel::kFinePerCoarse;
+
+  panel->values.assign(fine * kTile * m, 0.0);
+  panel->norms_sq.resize(points);
   const std::size_t stride = sector_ids_.size();
-  auto norms = std::make_shared<std::vector<double>>(points);
   for (std::size_t g = 0; g < points; ++g) {
     const double* row = values_.data() + g * stride;
+    double* block = panel->values.data() + (g / kTile) * m * kTile + g % kTile;
     double sum = 0.0;
-    for (const int s : slots) {
-      const double x = row[s];
+    for (std::size_t mm = 0; mm < m; ++mm) {
+      const double x = row[static_cast<std::size_t>(slots[mm])];
+      block[mm * kTile] = x;
       sum += x * x;
     }
-    (*norms)[g] = sum;
+    panel->norms_sq[g] = sum;
   }
 
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  if (norm_cache_.size() < kMaxCachedSubsets) {
-    norm_cache_.emplace(std::move(key), norms);
+  panel->fine_abs_norm_max.assign(fine * m, 0.0);
+  panel->fine_sqrt_min_norm.resize(fine);
+  for (std::size_t t = 0; t < fine; ++t) {
+    const std::size_t g0 = t * kTile;
+    const std::size_t count = std::min(kTile, points - g0);
+    const double* block = panel->tile_values(t);
+    double* u = panel->fine_abs_norm_max.data() + t * m;
+    double min_pos = kInf;
+    for (std::size_t gi = 0; gi < count; ++gi) {
+      const double n = panel->norms_sq[g0 + gi];
+      if (n <= 0.0) continue;  // zero-norm points score exactly 0
+      if (n < min_pos) min_pos = n;
+      const double inv_norm = 1.0 / std::sqrt(n);
+      for (std::size_t mm = 0; mm < m; ++mm) {
+        const double share = std::abs(block[mm * kTile + gi]) * inv_norm;
+        if (share > u[mm]) u[mm] = share;
+      }
+    }
+    panel->fine_sqrt_min_norm[t] = min_pos == kInf ? kInf : std::sqrt(min_pos);
   }
-  return norms;
+
+  panel->coarse_abs_norm_max.resize(panel->coarse_tiles * m);
+  panel->coarse_sqrt_min_norm.resize(panel->coarse_tiles);
+  for (std::size_t c = 0; c < panel->coarse_tiles; ++c) {
+    const std::size_t t0 = c * SubsetPanel::kFinePerCoarse;
+    const std::size_t t1 = std::min(t0 + SubsetPanel::kFinePerCoarse, fine);
+    for (std::size_t mm = 0; mm < m; ++mm) {
+      double hi = 0.0;
+      for (std::size_t t = t0; t < t1; ++t) {
+        hi = std::max(hi, panel->fine_abs_norm_max[t * m + mm]);
+      }
+      panel->coarse_abs_norm_max[c * m + mm] = hi;
+    }
+    double root = kInf;
+    for (std::size_t t = t0; t < t1; ++t) {
+      root = std::min(root, panel->fine_sqrt_min_norm[t]);
+    }
+    panel->coarse_sqrt_min_norm[c] = root;
+  }
+  return panel;
+}
+
+std::shared_ptr<const SubsetPanel> ResponseMatrix::panel(
+    std::span<const int> slots) const {
+  {
+    const std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    const auto it = panel_cache_.find(slots);
+    if (it != panel_cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const SubsetPanel> built = build_panel(slots);
+
+  const std::lock_guard<std::shared_mutex> lock(cache_mutex_);
+  const auto it = panel_cache_.find(slots);
+  if (it != panel_cache_.end()) return it->second;  // lost the insert race
+  if (panel_cache_.size() < kMaxCachedSubsets) {
+    panel_cache_.emplace(built->slots, built);
+  }
+  return built;
+}
+
+std::shared_ptr<const std::vector<double>> ResponseMatrix::norms_sq(
+    std::span<const int> slots) const {
+  std::shared_ptr<const SubsetPanel> p = panel(slots);
+  const std::vector<double>* norms = &p->norms_sq;
+  return {std::move(p), norms};
 }
 
 std::size_t ResponseMatrix::cached_subset_count() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  return norm_cache_.size();
+  const std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+  return panel_cache_.size();
 }
 
 }  // namespace talon

@@ -11,18 +11,27 @@
 // per-sector pattern vectors, which is what makes the fused Eq. 5 pass
 // cache-linear.
 //
-// Per-subset norms (the denominator ||x(phi,theta)|| of Eq. 2, restricted
-// to the probed slots) are cached keyed on the exact slot sequence:
-// repeated sweeps with the same probe subset -- the common case in the
-// experiment runners, tracking loops and benches -- skip renormalization
-// entirely. The key is the sequence, not the set, so the cached sums
-// accumulate in the same order as a fresh computation and results stay
-// bit-for-bit identical regardless of cache state.
+// On top of the full matrix sits the subset-panel cache: for one probe
+// slot-sequence, a SubsetPanel compacts the probed columns into a dense
+// tile-blocked `points x M` array (no per-element slot indexing in the hot
+// loop), carries the per-point subset norms (the Eq. 2 denominator,
+// accumulated in sequence order so cache hits stay bit-identical to a
+// fresh pass), and precomputes per-tile response extrema plus the minimum
+// positive subset norm -- the ingredients of the Cauchy-Schwarz upper
+// bound the branch-and-bound argmax (core/correlation.hpp) prunes with.
+// Panels are keyed on the exact slot sequence (not the set) and shared
+// across every reader of the matrix: repeated sweeps with the same probe
+// subset -- the common case in the experiment runners, tracking loops and
+// benches -- skip the compaction entirely. The cache takes a shared lock
+// on hits and an exclusive lock only to insert, so K concurrent links
+// replaying the same codebook do not serialize on it; hit/miss counters
+// are exposed for diagnostics.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -36,6 +45,64 @@ namespace talon {
 /// first (the physically meaningful choice), kDb correlates raw dB values
 /// (kept as an ablation).
 enum class CorrelationDomain : std::uint8_t { kLinear, kDb };
+
+/// One probe subset's compacted view of the response matrix, immutable
+/// once built and shared behind shared_ptr<const>.
+///
+/// Grid points are blocked into fine tiles of kTilePoints consecutive flat
+/// indices, and fine tiles into coarse tiles of kFinePerCoarse; inside a
+/// tile the responses are stored sequence-position-major, so the Eq. 5 dot
+/// product runs as M contiguous multiply-accumulate rows over the tile's
+/// points (vectorizable without reassociating any per-point sum: point g's
+/// accumulation order over m is unchanged). The ragged tail tile is padded
+/// with zeros; all statistics cover valid points only.
+struct SubsetPanel {
+  /// Grid points per fine tile (one pruning granule, flat-index order).
+  static constexpr std::size_t kTilePoints = 32;
+  /// Fine tiles per coarse tile (the second pyramid level).
+  static constexpr std::size_t kFinePerCoarse = 8;
+
+  /// The exact probe slot sequence this panel compacts (the cache key).
+  std::vector<int> slots;
+  /// Valid grid points (== ResponseMatrix::points()).
+  std::size_t points{0};
+  std::size_t fine_tiles{0};
+  std::size_t coarse_tiles{0};
+
+  /// Tile-blocked responses: the response of sequence position m at grid
+  /// point g lives at values[(tile(g) * M + m) * kTilePoints + g % kTilePoints]
+  /// with tile(g) = g / kTilePoints; tail entries beyond `points` are 0.
+  std::vector<double> values;
+  /// ||x(g)||^2 restricted to `slots`, accumulated in sequence order
+  /// (duplicate slots contribute once per occurrence), indexed by g.
+  std::vector<double> norms_sq;
+
+  /// Per fine tile, per sequence position: max over the tile's
+  /// positive-norm points of |x_m(g)| / ||x(g)|| -- the largest share
+  /// this probe slot can contribute to a *normalized* dictionary column
+  /// anywhere in the tile (0 when no such point). Indexed [t * M + m].
+  /// Dotting |p| against these dominates |<p, x_hat(g)>| for every g in
+  /// the tile, which is the Cauchy-Schwarz tile bound the argmax prunes
+  /// with; normalizing per point first is what keeps the bound tight when
+  /// raw responses span orders of magnitude across a tile.
+  std::vector<double> fine_abs_norm_max;
+  /// sqrt(min positive norms_sq) over the tile's valid points, or
+  /// +infinity when the tile has no positive-norm point (then every point
+  /// in it scores exactly 0). Stored pre-rooted so the bound evaluation
+  /// never pays a sqrt.
+  std::vector<double> fine_sqrt_min_norm;
+
+  /// Coarse aggregates of the fine statistics, indexed [c * M + m] / [c].
+  std::vector<double> coarse_abs_norm_max;
+  std::vector<double> coarse_sqrt_min_norm;
+
+  std::size_t m() const { return slots.size(); }
+
+  /// First value of fine tile t (the m = 0 row; row m is at + m * kTilePoints).
+  const double* tile_values(std::size_t t) const {
+    return values.data() + t * slots.size() * kTilePoints;
+  }
+};
 
 class ResponseMatrix {
  public:
@@ -63,17 +130,55 @@ class ResponseMatrix {
   /// Precomputed direction of every grid point (AngularGrid::index order).
   const std::vector<Direction>& directions() const { return directions_; }
 
+  /// The compacted panel for this exact slot sequence (>= 1 valid slots),
+  /// built on first use and cached. Thread-safe: readers take a shared
+  /// lock, only the builder that inserts takes an exclusive one.
+  std::shared_ptr<const SubsetPanel> panel(std::span<const int> slots) const;
+
   /// Per-grid-point sum of squared responses over `slots`, accumulated in
   /// sequence order (so a cache hit is bit-identical to a fresh pass).
   /// Duplicate slots contribute once per occurrence, matching a probe
-  /// vector that contains the same sector twice. Thread-safe.
+  /// vector that contains the same sector twice. Thread-safe. The result
+  /// aliases the subset's cached panel.
   std::shared_ptr<const std::vector<double>> norms_sq(
       std::span<const int> slots) const;
 
-  /// Cached subsets currently held (diagnostics / tests).
+  /// Cached subsets (panels) currently held (diagnostics / tests).
   std::size_t cached_subset_count() const;
 
+  /// Panel-cache traffic since construction. `hits` counts lookups served
+  /// under the shared lock; `misses` counts panel builds (a lost insert
+  /// race still counts as the build it performed).
+  struct CacheStats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+  };
+  CacheStats cache_stats() const {
+    return {cache_hits_.load(std::memory_order_relaxed),
+            cache_misses_.load(std::memory_order_relaxed)};
+  }
+
  private:
+  std::shared_ptr<const SubsetPanel> build_panel(std::span<const int> slots) const;
+
+  /// Heterogeneous (span vs vector) lexicographic key order, so lookups
+  /// never materialize a key vector.
+  struct SlotSequenceLess {
+    using is_transparent = void;
+    static bool lt(std::span<const int> a, std::span<const int> b) {
+      return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+    }
+    bool operator()(const std::vector<int>& a, const std::vector<int>& b) const {
+      return lt(a, b);
+    }
+    bool operator()(const std::vector<int>& a, std::span<const int> b) const {
+      return lt(a, b);
+    }
+    bool operator()(std::span<const int> a, const std::vector<int>& b) const {
+      return lt(a, b);
+    }
+  };
+
   AngularGrid grid_;
   CorrelationDomain domain_;
   std::vector<int> sector_ids_;
@@ -83,11 +188,14 @@ class ResponseMatrix {
   std::vector<Direction> directions_;
 
   /// Bounds cache growth under adversarial subset churn; beyond the cap,
-  /// norms are computed but not retained.
+  /// panels are computed but not retained.
   static constexpr std::size_t kMaxCachedSubsets = 512;
-  mutable std::mutex cache_mutex_;
-  mutable std::map<std::vector<int>, std::shared_ptr<const std::vector<double>>>
-      norm_cache_;
+  mutable std::shared_mutex cache_mutex_;
+  mutable std::map<std::vector<int>, std::shared_ptr<const SubsetPanel>,
+                   SlotSequenceLess>
+      panel_cache_;
+  mutable std::atomic<std::uint64_t> cache_hits_{0};
+  mutable std::atomic<std::uint64_t> cache_misses_{0};
 };
 
 }  // namespace talon

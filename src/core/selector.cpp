@@ -44,30 +44,31 @@ CssResult SswArgmaxSelector::select(std::span<const SectorReading> probes,
 
 CssResult CssSelector::select(std::span<const SectorReading> probes,
                               std::span<const int> candidates) {
-  return candidates.empty() ? css_->select(probes) : css_->select(probes, candidates);
+  return candidates.empty() ? css_->select(probes, ws_)
+                            : css_->select(probes, candidates, ws_);
 }
 
 std::optional<Direction> CssSelector::estimate_direction(
     std::span<const SectorReading> probes) {
-  return css_->estimate_direction(probes);
+  return css_->estimate_direction(probes, ws_);
 }
 
 std::vector<CssResult> CssSelector::select_batch(
     std::span<const std::vector<SectorReading>> sweeps,
     std::span<const int> candidates) {
-  return candidates.empty() ? css_->select_batch(sweeps)
-                            : css_->select_batch(sweeps, candidates);
+  return candidates.empty() ? css_->select_batch(sweeps, css_->assets()->tx_candidates(), ws_)
+                            : css_->select_batch(sweeps, candidates, ws_);
 }
 
 std::vector<std::optional<Direction>> CssSelector::estimate_directions(
     std::span<const std::vector<SectorReading>> sweeps) {
-  return css_->estimate_directions(sweeps);
+  return css_->estimate_directions(sweeps, ws_);
 }
 
 CssResult TrackingCssSelector::select(std::span<const SectorReading> probes,
                                       std::span<const int> candidates) {
-  CssResult result =
-      candidates.empty() ? css_->select(probes) : css_->select(probes, candidates);
+  CssResult result = candidates.empty() ? css_->select(probes, ws_)
+                                        : css_->select(probes, candidates, ws_);
   if (result.valid && result.estimated_direction) {
     // Re-run Eq. 4 on the smoothed direction instead of this sweep's raw
     // estimate.
@@ -86,7 +87,7 @@ CssResult TrackingCssSelector::select(std::span<const SectorReading> probes,
 
 std::optional<Direction> TrackingCssSelector::estimate_direction(
     std::span<const SectorReading> probes) {
-  return css_->estimate_direction(probes);
+  return css_->estimate_direction(probes, ws_);
 }
 
 }  // namespace talon

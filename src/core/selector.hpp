@@ -72,7 +72,10 @@ class SswArgmaxSelector final : public SectorSelector {
 };
 
 /// Compressive sector selection (Eqs. 2-5). Non-owning adapter over a
-/// CompressiveSectorSelector, which the caller keeps alive.
+/// CompressiveSectorSelector, which the caller keeps alive. Owns the
+/// CorrelationWorkspace its sweeps run in, so a long-lived selector (a
+/// LinkSession, a replay cell's fork) reaches the zero-allocation
+/// steady state of the argmax kernel.
 class CssSelector final : public SectorSelector {
  public:
   explicit CssSelector(const CompressiveSectorSelector& css) : css_(&css) {}
@@ -93,8 +96,12 @@ class CssSelector final : public SectorSelector {
 
   const CompressiveSectorSelector& css() const { return *css_; }
 
+  /// The selector's private kernel scratch (diagnostics / tests).
+  const CorrelationWorkspace& workspace() const { return ws_; }
+
  private:
   const CompressiveSectorSelector* css_;
+  CorrelationWorkspace ws_;
 };
 
 /// CSS with temporal smoothing: each sweep's Eq. 3 estimate feeds a
@@ -125,6 +132,7 @@ class TrackingCssSelector final : public SectorSelector {
  private:
   const CompressiveSectorSelector* css_;
   PathTracker tracker_;
+  CorrelationWorkspace ws_;
 };
 
 }  // namespace talon

@@ -1,5 +1,7 @@
 #include "src/driver/link_session.hpp"
 
+#include <iostream>
+
 #include "src/antenna/codebook.hpp"
 
 namespace talon {
@@ -37,10 +39,24 @@ std::vector<int> LinkSession::next_probe_subset() {
   return policy_.choose(talon_tx_sector_ids(), current_probes(), rng_);
 }
 
+void LinkSession::note_unknown_sectors(std::span<const SectorReading> readings) {
+  const ResponseMatrix& matrix = css_.assets()->engine().response_matrix();
+  for (const SectorReading& r : readings) {
+    if (matrix.slot(r.sector_id) >= 0) continue;
+    ++dropped_probes_;
+    if (warned_unknown_.insert(r.sector_id).second) {
+      std::cerr << "talon: link session: sweep reported sector "
+                << r.sector_id
+                << " with no measured pattern; its readings are dropped\n";
+    }
+  }
+}
+
 std::optional<CssResult> LinkSession::process_sweep() {
   ++rounds_;
   const std::vector<SectorReading> readings = driver_->read_sweep_readings();
   if (readings.empty()) return std::nullopt;
+  note_unknown_sectors(readings);
   const CssResult result = strategy_->select(readings);
   if (!result.valid) return std::nullopt;
   driver_->force_sector(result.sector_id);

@@ -12,6 +12,8 @@
 
 #include <memory>
 #include <optional>
+#include <set>
+#include <span>
 
 #include "src/core/adaptive.hpp"
 #include "src/core/css.hpp"
@@ -54,6 +56,13 @@ class LinkSession {
   /// Number of sweeps processed on this link.
   std::size_t rounds() const { return rounds_; }
 
+  /// Cumulative readings dropped because their sector ID has no slot in
+  /// the shared pattern table (firmware reported a sector the codebook
+  /// was never measured for). Each distinct unknown ID is additionally
+  /// warned about once on stderr, so a misconfigured codebook is visible
+  /// without flooding the log at sweep rate.
+  std::size_t dropped_probes() const { return dropped_probes_; }
+
   std::size_t current_probes() const;
 
   /// The smoothed path direction (empty unless track_path is on and at
@@ -66,6 +75,8 @@ class LinkSession {
   Wil6210Driver& driver() { return *driver_; }
 
  private:
+  void note_unknown_sectors(std::span<const SectorReading> readings);
+
   Wil6210Driver* driver_;
   CompressiveSectorSelector css_;
   CssDaemonConfig config_;
@@ -78,6 +89,9 @@ class LinkSession {
   TrackingCssSelector* tracking_{nullptr};
   Rng rng_;
   std::size_t rounds_{0};
+  std::size_t dropped_probes_{0};
+  /// Unknown sector IDs already warned about (warn once per ID).
+  std::set<int> warned_unknown_;
 };
 
 }  // namespace talon

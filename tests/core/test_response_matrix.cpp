@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <thread>
+
 #include "src/common/error.hpp"
 #include "src/common/units.hpp"
 #include "tests/core/synthetic_table.hpp"
@@ -116,6 +120,149 @@ TEST(ResponseMatrix, NormsMatchDirectSum) {
     for (int s : subset) expected += row[s] * row[s];
     EXPECT_DOUBLE_EQ((*norms)[g], expected);
   }
+}
+
+// --- subset panels: the compacted tile-blocked view -----------------------
+
+TEST(ResponseMatrix, PanelValuesMatchPointRows) {
+  const ResponseMatrix matrix(synthetic_table(), synthetic_grid(),
+                              CorrelationDomain::kLinear);
+  const std::vector<int> subset{1, 4, 4, 7};  // duplicate kept per occurrence
+  const auto panel = matrix.panel(subset);
+  ASSERT_EQ(panel->points, matrix.points());
+  ASSERT_EQ(panel->m(), subset.size());
+  constexpr std::size_t kTile = SubsetPanel::kTilePoints;
+  ASSERT_EQ(panel->fine_tiles, (matrix.points() + kTile - 1) / kTile);
+  ASSERT_EQ(panel->coarse_tiles,
+            (panel->fine_tiles + SubsetPanel::kFinePerCoarse - 1) /
+                SubsetPanel::kFinePerCoarse);
+  for (std::size_t g = 0; g < matrix.points(); ++g) {
+    const std::span<const double> row = matrix.point(g);
+    const double* block = panel->tile_values(g / kTile);
+    for (std::size_t mm = 0; mm < subset.size(); ++mm) {
+      EXPECT_EQ(block[mm * kTile + g % kTile],
+                row[static_cast<std::size_t>(subset[mm])])
+          << "g=" << g << " m=" << mm;
+    }
+  }
+  // The ragged tail tile is zero-padded past `points`.
+  const std::size_t tail = panel->fine_tiles - 1;
+  const double* tail_block = panel->tile_values(tail);
+  for (std::size_t gi = matrix.points() - tail * kTile; gi < kTile; ++gi) {
+    for (std::size_t mm = 0; mm < subset.size(); ++mm) {
+      EXPECT_EQ(tail_block[mm * kTile + gi], 0.0);
+    }
+  }
+}
+
+TEST(ResponseMatrix, PanelTileStatisticsBoundTheTile) {
+  // fine_abs_norm_max must be the exact per-slot max of |x_m(g)|/||x(g)||
+  // over the tile's positive-norm points, and fine_sqrt_min_norm the exact
+  // sqrt of the minimum positive norm -- the argmax's pruning bound is only
+  // rigorous if these dominate every point they summarize.
+  const ResponseMatrix matrix(synthetic_table(), synthetic_grid(),
+                              CorrelationDomain::kLinear);
+  const std::vector<int> subset{0, 2, 5};
+  const auto panel = matrix.panel(subset);
+  constexpr std::size_t kTile = SubsetPanel::kTilePoints;
+  const std::size_t m = subset.size();
+  for (std::size_t t = 0; t < panel->fine_tiles; ++t) {
+    const std::size_t g0 = t * kTile;
+    const std::size_t count = std::min(kTile, matrix.points() - g0);
+    std::vector<double> u(m, 0.0);
+    double min_norm = std::numeric_limits<double>::infinity();
+    for (std::size_t gi = 0; gi < count; ++gi) {
+      const double n = panel->norms_sq[g0 + gi];
+      if (n <= 0.0) continue;
+      min_norm = std::min(min_norm, n);
+      const double inv_norm = 1.0 / std::sqrt(n);
+      for (std::size_t mm = 0; mm < m; ++mm) {
+        const double x = matrix.point(g0 + gi)[static_cast<std::size_t>(subset[mm])];
+        u[mm] = std::max(u[mm], std::abs(x) * inv_norm);
+      }
+    }
+    for (std::size_t mm = 0; mm < m; ++mm) {
+      EXPECT_EQ(panel->fine_abs_norm_max[t * m + mm], u[mm]) << "tile " << t;
+    }
+    EXPECT_EQ(panel->fine_sqrt_min_norm[t], std::sqrt(min_norm)) << "tile " << t;
+  }
+  // Coarse aggregates dominate their fine tiles.
+  for (std::size_t c = 0; c < panel->coarse_tiles; ++c) {
+    const std::size_t t0 = c * SubsetPanel::kFinePerCoarse;
+    const std::size_t t1 = std::min(t0 + SubsetPanel::kFinePerCoarse,
+                                    panel->fine_tiles);
+    for (std::size_t t = t0; t < t1; ++t) {
+      for (std::size_t mm = 0; mm < m; ++mm) {
+        EXPECT_GE(panel->coarse_abs_norm_max[c * m + mm],
+                  panel->fine_abs_norm_max[t * m + mm]);
+      }
+      EXPECT_LE(panel->coarse_sqrt_min_norm[c], panel->fine_sqrt_min_norm[t]);
+    }
+  }
+}
+
+TEST(ResponseMatrix, NormsAliasTheCachedPanel) {
+  const ResponseMatrix matrix(synthetic_table(), synthetic_grid(),
+                              CorrelationDomain::kLinear);
+  const std::vector<int> subset{1, 3, 5};
+  const auto panel = matrix.panel(subset);
+  const auto norms = matrix.norms_sq(subset);
+  // One cache entry serves both views: norms_sq aliases the panel's array.
+  EXPECT_EQ(norms.get(), &panel->norms_sq);
+  EXPECT_EQ(matrix.cached_subset_count(), 1u);
+}
+
+TEST(ResponseMatrix, CacheStatsCountHitsAndMisses) {
+  const ResponseMatrix matrix(synthetic_table(), synthetic_grid(),
+                              CorrelationDomain::kLinear);
+  EXPECT_EQ(matrix.cache_stats().hits, 0u);
+  EXPECT_EQ(matrix.cache_stats().misses, 0u);
+  const std::vector<int> a{0, 1, 2};
+  const std::vector<int> b{2, 1, 0};
+  matrix.panel(a);  // miss
+  matrix.panel(a);  // hit
+  matrix.panel(b);  // miss (sequence-keyed)
+  matrix.norms_sq(a);  // hit through the norms view
+  const ResponseMatrix::CacheStats stats = matrix.cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST(ResponseMatrix, PanelSlotOutOfRangeThrows) {
+  const ResponseMatrix matrix(synthetic_table(), synthetic_grid(),
+                              CorrelationDomain::kLinear);
+  EXPECT_THROW(matrix.panel(std::vector<int>{0, 99}), PreconditionError);
+  EXPECT_THROW(matrix.panel(std::vector<int>{-1}), PreconditionError);
+  EXPECT_THROW(matrix.panel(std::vector<int>{}), PreconditionError);
+}
+
+TEST(ResponseMatrixPanelCache, ConcurrentReadersShareOneBuild) {
+  // K threads hammer the same subset plus a per-thread one: the shared
+  // cache must serve every reader the same panel object without tearing
+  // (TSan covers the lock discipline; this pins the sharing semantics).
+  const ResponseMatrix matrix(synthetic_table(), synthetic_grid(),
+                              CorrelationDomain::kLinear);
+  const std::vector<int> shared_subset{1, 2, 3, 4};
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const SubsetPanel>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      const std::vector<int> own{i, (i + 1) % 9};
+      for (int round = 0; round < 50; ++round) {
+        seen[i] = matrix.panel(shared_subset);
+        matrix.panel(own);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(seen[i].get(), seen[0].get());
+  const ResponseMatrix::CacheStats stats = matrix.cache_stats();
+  // 8 distinct per-thread subsets + the shared one were built at least
+  // once each; everything else hit.
+  EXPECT_GE(stats.hits, 8u * 50u);
+  EXPECT_EQ(matrix.cached_subset_count(), 9u);
 }
 
 TEST(ResponseMatrix, EmptyTableRejected) {

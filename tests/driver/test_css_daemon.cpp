@@ -148,6 +148,73 @@ TEST_F(CssDaemonTest, DuplicateLinkIdThrows) {
   EXPECT_THROW(daemon.session(7), StateError);
 }
 
+TEST_F(CssDaemonTest, UnknownSectorsAreDroppedCountedAndWarnedOnce) {
+  // The firmware can export readings for sectors the measured pattern
+  // table never covered (e.g. a codebook/campaign mismatch). The session
+  // must drop them from selection, count them, and warn exactly once per
+  // distinct unknown ID -- not once per sweep.
+  CssDaemon daemon(driver_, ExperimentWorld::instance().table, CssDaemonConfig{},
+                   Rng(11));
+  auto inject_unknown = [&](int id) {
+    FullMacFirmware& fw = lab_.peer->firmware();
+    fw.begin_peer_sweep();
+    fw.on_ssw_frame(
+        SswField{.cdown = 0, .sector_id = id, .is_initiator = true},
+        SectorReading{.sector_id = id, .snr_db = 3.0, .rssi_dbm = -60.0});
+    fw.end_peer_sweep();
+  };
+
+  ::testing::internal::CaptureStderr();
+  // Round 1: a real sweep plus two readings of unknown sector 40.
+  link_.transmit_sweep(*lab_.dut, *lab_.peer,
+                       probing_burst_schedule(daemon.next_probe_subset()));
+  inject_unknown(40);
+  inject_unknown(40);
+  const auto first = daemon.process_sweep();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->valid);  // the known readings still select
+  EXPECT_EQ(daemon.session(0).dropped_probes(), 2u);
+
+  // Round 2: sector 40 again (already warned) plus new unknown sector 41.
+  link_.transmit_sweep(*lab_.dut, *lab_.peer,
+                       probing_burst_schedule(daemon.next_probe_subset()));
+  inject_unknown(40);
+  inject_unknown(41);
+  ASSERT_TRUE(daemon.process_sweep().has_value());
+  EXPECT_EQ(daemon.session(0).dropped_probes(), 4u);
+
+  const std::string log = ::testing::internal::GetCapturedStderr();
+  auto occurrences = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = log.find(needle); pos != std::string::npos;
+         pos = log.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(occurrences("sector 40"), 1u);
+  EXPECT_EQ(occurrences("sector 41"), 1u);
+}
+
+TEST_F(CssDaemonTest, SteadySubsetsHitThePanelCache) {
+  // Repeated rounds resolve at most one panel build per distinct probe
+  // subset; with the default random policy the cache still amortizes --
+  // every sweep is one miss at most, and the selection path adds no
+  // lookup traffic beyond it.
+  CssDaemon daemon(driver_, ExperimentWorld::instance().table, CssDaemonConfig{},
+                   Rng(12));
+  const ResponseMatrix& matrix =
+      daemon.assets()->engine().response_matrix();
+  const auto before = matrix.cache_stats();
+  for (int round = 0; round < 10; ++round) {
+    link_.transmit_sweep(*lab_.dut, *lab_.peer,
+                         probing_burst_schedule(daemon.next_probe_subset()));
+    ASSERT_TRUE(daemon.process_sweep().has_value());
+  }
+  const auto after = matrix.cache_stats();
+  EXPECT_LE(after.misses - before.misses, 10u);
+}
+
 TEST_F(CssDaemonTest, PathTrackingStabilizesSelections) {
   CssDaemonConfig tracked_config;
   tracked_config.track_path = true;
