@@ -1,11 +1,48 @@
 #include "src/core/css.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/antenna/codebook.hpp"
+#include "src/common/angles.hpp"
 #include "src/common/error.hpp"
 
 namespace talon {
+
+namespace {
+
+/// Largest surface value at least `exclusion_deg` of azimuth away from the
+/// main peak -- the best rival direction hypothesis. 0 when the exclusion
+/// zone swallows the whole grid.
+double runner_up_value(const Grid2D& surface, double peak_azimuth_deg,
+                       double exclusion_deg) {
+  const AngularGrid& grid = surface.grid();
+  double best = 0.0;
+  for (std::size_t ia = 0; ia < grid.azimuth.count; ++ia) {
+    if (azimuth_distance_deg(grid.azimuth.value(ia), peak_azimuth_deg) <
+        exclusion_deg) {
+      continue;
+    }
+    for (std::size_t ie = 0; ie < grid.elevation.count; ++ie) {
+      best = std::max(best, surface.at(ia, ie));
+    }
+  }
+  return best;
+}
+
+/// Peak-to-second-peak ratio; infinity when no rival hypothesis has any
+/// correlation at all.
+double peak_confidence(const Grid2D& surface, const Grid2D::Peak& peak,
+                       double exclusion_deg) {
+  const double runner =
+      runner_up_value(surface, peak.direction.azimuth_deg, exclusion_deg);
+  if (runner <= 0.0) {
+    return peak.value > 0.0 ? std::numeric_limits<double>::infinity() : 1.0;
+  }
+  return peak.value / runner;
+}
+
+}  // namespace
 
 CompressiveSectorSelector::CompressiveSectorSelector(PatternTable patterns,
                                                      CssConfig config)
@@ -63,7 +100,7 @@ CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probe
     return result;
   }
 
-  if (config_.use_rssi) {
+  if (config_.use_rssi && !config_.compute_confidence) {
     // Eq. 3/5 without the surface: the pruned argmax lands on the same
     // (bit-identical) peak.
     const CorrelationEngine::ArgmaxResult peak = engine().combined_argmax(probes, ws);
@@ -74,13 +111,21 @@ CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probe
     return result;
   }
 
-  // SNR-only ablation (Eq. 2): keeps the full-surface path.
-  const Grid2D surface = engine().surface(probes, SignalValue::kSnr);
+  // Full-surface path: the SNR-only ablation (Eq. 2), and the confidence
+  // mode, which needs the whole surface to rank the second peak. The peak
+  // -- and therefore the selection -- is bit-identical to the argmax path.
+  const Grid2D surface = config_.use_rssi
+                             ? engine().combined_surface(probes)
+                             : engine().surface(probes, SignalValue::kSnr);
   const Grid2D::Peak peak = surface.peak();
   result.valid = true;
   result.estimated_direction = peak.direction;
   result.correlation_peak = peak.value;
   result.sector_id = patterns().best_sector_at(peak.direction, candidates);
+  if (config_.compute_confidence) {
+    result.confidence =
+        peak_confidence(surface, peak, config_.confidence_exclusion_deg);
+  }
   return result;
 }
 

@@ -33,6 +33,16 @@ struct CssConfig {
   /// Below this many decoded probes the estimate is not trustworthy and
   /// select() falls back to the plain argmax over what was received.
   std::size_t min_probes{3};
+  /// Compute CssResult::confidence (the peak-to-second-peak ratio of the
+  /// correlation surface over the probed subset). Costs one full surface
+  /// evaluation per select() instead of the pruned argmax, so it is off on
+  /// the figure/replay paths and enabled by the graceful-degradation layer
+  /// (driver/link_session.hpp). Selections are bit-identical either way.
+  bool compute_confidence{false};
+  /// Azimuth exclusion radius around the main peak when searching for the
+  /// second peak (same idea as the matching pursuit's twin suppression:
+  /// nearer points belong to the main lobe, not a rival hypothesis).
+  double confidence_exclusion_deg{10.0};
 };
 
 struct CssResult {
@@ -47,6 +57,11 @@ struct CssResult {
   double correlation_peak{0.0};
   /// True when too few probes decoded and the argmax fallback was used.
   bool fallback_used{false};
+  /// Peak-to-second-peak ratio of the correlation surface (>= 1), the
+  /// selection's trustworthiness: a sharp single hypothesis scores high, a
+  /// flat or multi-modal surface (outliers, heavy loss) approaches 1.
+  /// Only computed when CssConfig::compute_confidence is set; 0 otherwise.
+  double confidence{0.0};
 };
 
 class CompressiveSectorSelector {

@@ -25,7 +25,8 @@ LinkSession& CssDaemon::add_link(int link_id, Wil6210Driver& driver, Rng rng) {
 LinkSession& CssDaemon::add_link(int link_id, Wil6210Driver& driver, Rng rng,
                                  const CssDaemonConfig& config) {
   auto [it, inserted] = sessions_.emplace(
-      link_id, std::make_unique<LinkSession>(driver, assets_, config, rng));
+      link_id,
+      std::make_unique<LinkSession>(driver, assets_, config, rng, link_id));
   if (!inserted) {
     throw StateError("link id already has a session: " + std::to_string(link_id));
   }
@@ -76,6 +77,20 @@ std::size_t CssDaemon::current_probes() const {
 
 const std::optional<Direction>& CssDaemon::tracked_direction() const {
   return first_session().tracked_direction();
+}
+
+FaultStats CssDaemon::total_fault_stats() const {
+  FaultStats total;
+  for (const auto& [id, session] : sessions_) total += session->fault_stats();
+  return total;
+}
+
+DegradationStats CssDaemon::total_degradation_stats() const {
+  DegradationStats total;
+  for (const auto& [id, session] : sessions_) {
+    total += session->degradation_stats();
+  }
+  return total;
 }
 
 }  // namespace talon

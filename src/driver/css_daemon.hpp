@@ -77,6 +77,15 @@ class CssDaemon {
   /// least one valid estimate arrived).
   const std::optional<Direction>& tracked_direction() const;
 
+  // --- robustness observability ---------------------------------------------
+
+  /// Sum of all sessions' fault counters (robustness campaign); all zero
+  /// when no session carries a fault plan.
+  FaultStats total_fault_stats() const;
+
+  /// Sum of all sessions' degradation counters.
+  DegradationStats total_degradation_stats() const;
+
  private:
   LinkSession& first_session();
   const LinkSession& first_session() const;

@@ -1,25 +1,56 @@
 #include "src/driver/link_session.hpp"
 
+#include <algorithm>
 #include <iostream>
+#include <utility>
 
 #include "src/antenna/codebook.hpp"
 
 namespace talon {
 
+namespace {
+
+CssConfig session_css_config(const CssDaemonConfig& config) {
+  CssConfig css;
+  // Confidence gating needs the full-surface peak-to-second-peak ratio;
+  // without degradation the selector keeps the pruned argmax fast path.
+  css.compute_confidence = config.degradation.enabled;
+  return css;
+}
+
+}  // namespace
+
+DegradationStats& DegradationStats::operator+=(const DegradationStats& other) {
+  css_rounds += other.css_rounds;
+  failed_rounds += other.failed_rounds;
+  low_confidence_events += other.low_confidence_events;
+  underfilled_rounds += other.underfilled_rounds;
+  fallback_entries += other.fallback_entries;
+  full_sweep_rounds += other.full_sweep_rounds;
+  return *this;
+}
+
 LinkSession::LinkSession(Wil6210Driver& driver,
                          std::shared_ptr<const PatternAssets> assets,
-                         const CssDaemonConfig& config, Rng rng)
+                         const CssDaemonConfig& config, Rng rng, int link_id)
     : driver_(&driver),
-      css_(std::move(assets)),
+      css_(std::move(assets), session_css_config(config)),
       config_(config),
       controller_(config.adaptive_config),
-      rng_(rng) {
+      rng_(rng),
+      link_id_(link_id) {
   if (config_.track_path) {
     auto tracking = std::make_unique<TrackingCssSelector>(css_, config_.tracker_config);
     tracking_ = tracking.get();
     strategy_ = std::move(tracking);
   } else {
     strategy_ = std::make_unique<CssSelector>(css_);
+  }
+  if (config_.faults && config_.faults->any_enabled()) {
+    injector_ = std::make_shared<LinkFaultInjector>(config_.faults, link_id_);
+    // The firmware draws the ring-buffer faults from the same injector, so
+    // one (plan, link) pair fully determines the link's fault sequence.
+    driver_->install_fault_injector(injector_);
   }
   if (!driver_->research_patches_loaded()) {
     driver_->load_research_patches();
@@ -36,6 +67,11 @@ std::size_t LinkSession::current_probes() const {
 }
 
 std::vector<int> LinkSession::next_probe_subset() {
+  if (in_fallback()) {
+    // Degraded: probe every transmit sector, like a stock SSW sweep. No
+    // policy draw, so the CSS subset stream stays aligned for recovery.
+    return talon_tx_sector_ids();
+  }
   return policy_.choose(talon_tx_sector_ids(), current_probes(), rng_);
 }
 
@@ -44,23 +80,131 @@ void LinkSession::note_unknown_sectors(std::span<const SectorReading> readings) 
   for (const SectorReading& r : readings) {
     if (matrix.slot(r.sector_id) >= 0) continue;
     ++dropped_probes_;
-    if (warned_unknown_.insert(r.sector_id).second) {
-      std::cerr << "talon: link session: sweep reported sector "
-                << r.sector_id
-                << " with no measured pattern; its readings are dropped\n";
+    if (warned_unknown_.contains(r.sector_id)) continue;
+    if (warned_unknown_.size() >= kMaxWarnedUnknownIds) {
+      if (!warn_cap_announced_) {
+        warn_cap_announced_ = true;
+        std::cerr << "talon: link session: over " << kMaxWarnedUnknownIds
+                  << " distinct unknown sector IDs; suppressing further "
+                     "warnings (dropped_probes() keeps counting)\n";
+      }
+      continue;
     }
+    warned_unknown_.insert(r.sector_id);
+    std::cerr << "talon: link session: sweep reported sector " << r.sector_id
+              << " with no measured pattern; its readings are dropped\n";
+  }
+}
+
+void LinkSession::apply_reading_faults(std::vector<SectorReading>& readings) {
+  const FaultPlan& plan = injector_->plan();
+  if (plan.loss.probability > 0.0 || plan.burst.enabled) {
+    // In-order compaction: the Gilbert-Elliott chain must see the frames
+    // in sweep order for bursts to mean consecutive probes.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < readings.size(); ++i) {
+      if (!injector_->drop_probe()) readings[out++] = readings[i];
+    }
+    readings.resize(out);
+  }
+  const SignalCorruptionConfig& c = plan.corruption;
+  if (c.snr_outlier_probability > 0.0 || c.rssi_outlier_probability > 0.0 ||
+      c.floor_clamp_probability > 0.0) {
+    for (SectorReading& r : readings) {
+      injector_->corrupt_reading(r.snr_db, r.rssi_dbm);
+    }
+  }
+}
+
+bool LinkSession::install_selection(int sector_id) {
+  if (!injector_ || !injector_->plan().feedback.any()) {
+    driver_->force_sector(sector_id);
+    return true;
+  }
+  const FeedbackFaultConfig& fb = injector_->plan().feedback;
+  for (int attempt = 0; attempt <= fb.max_retries; ++attempt) {
+    if (attempt > 0) {
+      injector_->note_feedback_retry(
+          fb.backoff_base_us * static_cast<double>(1u << (attempt - 1)));
+    }
+    if (!injector_->drop_feedback_attempt()) {
+      injector_->feedback_delay_us();
+      driver_->force_sector(sector_id);
+      return true;
+    }
+  }
+  injector_->note_feedback_failure();
+  return false;  // every attempt lost; the previous override stays
+}
+
+void LinkSession::finish_round(bool healthy, bool full_sweep_round) {
+  if (injector_) injector_->next_round();
+  if (!config_.degradation.enabled) return;
+  if (full_sweep_round) {
+    ++degradation_stats_.full_sweep_rounds;
+    if (--fallback_rounds_left_ == 0) consecutive_failures_ = 0;
+    return;
+  }
+  if (healthy) {
+    ++degradation_stats_.css_rounds;
+    consecutive_failures_ = 0;
+    recovery_backoff_ = 1;
+    return;
+  }
+  ++degradation_stats_.failed_rounds;
+  if (++consecutive_failures_ >= config_.degradation.max_consecutive_failures) {
+    ++degradation_stats_.fallback_entries;
+    fallback_rounds_left_ =
+        config_.degradation.recovery_rounds * recovery_backoff_;
+    recovery_backoff_ = std::min(recovery_backoff_ * 2,
+                                 config_.degradation.max_recovery_backoff);
+    consecutive_failures_ = 0;
   }
 }
 
 std::optional<CssResult> LinkSession::process_sweep() {
   ++rounds_;
-  const std::vector<SectorReading> readings = driver_->read_sweep_readings();
-  if (readings.empty()) return std::nullopt;
+  const bool full_sweep_round = in_fallback();
+  std::vector<SectorReading> readings = driver_->read_sweep_readings();
+  if (injector_) apply_reading_faults(readings);
+  if (readings.empty()) {
+    finish_round(/*healthy=*/false, full_sweep_round);
+    return std::nullopt;
+  }
   note_unknown_sectors(readings);
-  const CssResult result = strategy_->select(readings);
-  if (!result.valid) return std::nullopt;
-  driver_->force_sector(result.sector_id);
+  CssResult result = full_sweep_round ? ssw_fallback_.select(readings)
+                                      : strategy_->select(readings);
+  bool healthy = result.valid && !result.fallback_used;
+  bool withhold = false;
+  if (!full_sweep_round && config_.degradation.enabled && result.valid) {
+    // Distrusted estimates are reported but NOT installed: the link keeps
+    // its current beam -- the standing override, or the firmware's own
+    // argmax when none was installed yet -- instead of being steered by a
+    // guess. Repeats of this trip the full-sweep fallback. Two triggers:
+    // a sweep that lost too many probes under-determines Eq. 5 (a sparse
+    // surface can look confidently peaked while pointing anywhere -- and
+    // the css-internal argmax over 1-2 survivors is no better, so this
+    // guard applies to fallback_used results too), and a flat or
+    // multi-modal surface fails the peak-to-second-peak bar.
+    if (static_cast<double>(readings.size()) <
+        config_.degradation.min_probe_fraction *
+            static_cast<double>(current_probes())) {
+      ++degradation_stats_.underfilled_rounds;
+      healthy = false;
+      withhold = true;
+    } else if (healthy && result.confidence < config_.degradation.min_confidence) {
+      ++degradation_stats_.low_confidence_events;
+      healthy = false;
+      withhold = true;
+    }
+  }
+  if (!result.valid) {
+    finish_round(/*healthy=*/false, full_sweep_round);
+    return std::nullopt;
+  }
+  if (!withhold && !install_selection(result.sector_id)) healthy = false;
   if (config_.adaptive) controller_.report_selection(result.sector_id);
+  finish_round(healthy, full_sweep_round);
   return result;
 }
 

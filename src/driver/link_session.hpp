@@ -8,6 +8,26 @@
 // session's selector rides, so a session is cheap enough to keep per user
 // in a dense deployment. CssDaemon owns a map of these and routes each
 // driver's sweeps to its session.
+//
+// Robustness extensions (the fault-injection campaign, common/fault.hpp):
+// when the config carries a FaultPlan the session owns a LinkFaultInjector
+// shared with its driver's firmware -- probe loss and reading corruption
+// are applied to the drained sweep, and the sector-override installation
+// can be dropped, retried with exponential backoff, and ultimately fail.
+// When graceful degradation is enabled, every compressive selection is
+// confidence-gated (CssResult::confidence, the peak-to-second-peak ratio
+// of the Eq. 5 surface) and repeated failures trip a fall back to full
+// SSW sweeps until the link recovers:
+//
+//        healthy            confidence < min_confidence (estimate
+//   +-> [CSS mode] ------------ withheld, current beam kept), css-internal
+//   |        |                  argmax fallback, empty sweep, or lost
+//   |        v                  override: ++consecutive_failures
+//   |   failures >= max_consecutive_failures
+//   |        |
+//   |        v
+//   +-- [full-sweep mode] -- probe all sectors, select with the stock SSW
+//        (recovery_rounds)    argmax, then retry CSS with a clean slate
 #pragma once
 
 #include <memory>
@@ -15,6 +35,7 @@
 #include <set>
 #include <span>
 
+#include "src/common/fault.hpp"
 #include "src/core/adaptive.hpp"
 #include "src/core/css.hpp"
 #include "src/core/pattern_assets.hpp"
@@ -24,6 +45,53 @@
 #include "src/driver/wil6210.hpp"
 
 namespace talon {
+
+/// Confidence-gated CSS -> SSW degradation (see the state machine above).
+struct DegradationConfig {
+  bool enabled{false};
+  /// Peak-to-second-peak ratio below which a compressive selection is
+  /// distrusted: the estimate is reported but NOT installed -- the link
+  /// keeps its current beam -- and the round counts toward the failure
+  /// trip wire. Tuned on the conference-room campaign (bench_fault):
+  /// genuine multipath keeps healthy ratios near 1.0, so the bar sits
+  /// just above it; higher bars freeze the beam on rounds where the
+  /// compressive pick was actually fine.
+  double min_confidence{1.01};
+  /// A sweep that returned fewer than this fraction of the requested
+  /// probes under-determines Eq. 5 no matter how peaked the surface looks
+  /// (cf. Fig. 9's collapse below ~8 probes): such rounds are withheld
+  /// like low-confidence ones. This is what stops confidently-wrong
+  /// selections from 1-2 surviving readings at extreme loss rates.
+  double min_probe_fraction{0.5};
+  /// Consecutive unhealthy rounds before the session abandons compressive
+  /// probing and schedules full SSW sweeps.
+  int max_consecutive_failures{2};
+  /// Full-sweep rounds to run before giving CSS another chance. The
+  /// window is long relative to the trip threshold so a persistently
+  /// faulty link spends most rounds on the full sweep (bench_fault shows
+  /// this is what converges to SSW quality at extreme loss).
+  std::size_t recovery_rounds{6};
+  /// Each fallback re-entry without an intervening healthy CSS round
+  /// doubles the recovery window, up to recovery_rounds x this factor:
+  /// under persistent faults the CSS retry duty-cycle decays towards
+  /// zero and the link converges to full-sweep behaviour. A healthy
+  /// round resets the window.
+  std::size_t max_recovery_backoff{8};
+};
+
+/// Cumulative per-link degradation counters (bit-comparable across runs,
+/// like FaultStats).
+struct DegradationStats {
+  std::uint64_t css_rounds{0};         ///< healthy compressive selections
+  std::uint64_t failed_rounds{0};      ///< unhealthy CSS-mode rounds, any cause
+  std::uint64_t low_confidence_events{0};
+  std::uint64_t underfilled_rounds{0};  ///< sweeps below min_probe_fraction
+  std::uint64_t fallback_entries{0};   ///< CSS -> full-sweep transitions
+  std::uint64_t full_sweep_rounds{0};  ///< rounds served by the SSW fallback
+
+  DegradationStats& operator+=(const DegradationStats& other);
+  friend bool operator==(const DegradationStats&, const DegradationStats&) = default;
+};
 
 struct CssDaemonConfig {
   /// Fixed probe count when no adaptive controller is enabled.
@@ -35,22 +103,33 @@ struct CssDaemonConfig {
   /// re-locks on persistent path changes such as blockage).
   bool track_path{false};
   PathTrackerConfig tracker_config{};
+  /// Fault plan for the robustness campaign; null (the default) injects
+  /// nothing and leaves every hot path untouched.
+  std::shared_ptr<const FaultPlan> faults{};
+  /// Graceful CSS -> SSW degradation; disabled by default.
+  DegradationConfig degradation{};
 };
 
 class LinkSession {
  public:
   /// Binds to one driver (one chip). Loads the research patches when the
   /// firmware does not have them yet. `assets` is the shared immutable
-  /// pattern data; the session only ever reads it.
+  /// pattern data; the session only ever reads it. `link_id` keys this
+  /// link's fault substreams (and diagnostics); the daemon passes the id
+  /// it registered the session under.
   LinkSession(Wil6210Driver& driver, std::shared_ptr<const PatternAssets> assets,
-              const CssDaemonConfig& config, Rng rng);
+              const CssDaemonConfig& config, Rng rng, int link_id = 0);
 
-  /// Probe subset to use for this link's next training round.
+  /// Probe subset to use for this link's next training round: a policy
+  /// draw of current_probes() sectors, or every transmit sector while the
+  /// session is degraded to full-sweep mode.
   std::vector<int> next_probe_subset();
 
-  /// Consume the just-finished round: read the ring buffer, select, and
-  /// force the sector. Returns the selection, or nullopt when nothing was
-  /// decoded (the previous override stays in place).
+  /// Consume the just-finished round: read the ring buffer, apply the
+  /// fault plan (if any), select -- compressively, or with the stock SSW
+  /// argmax while degraded -- and install the sector override (with
+  /// bounded retry under feedback faults). Returns the selection, or
+  /// nullopt when nothing was decoded (the previous override stays).
   std::optional<CssResult> process_sweep();
 
   /// Number of sweeps processed on this link.
@@ -58,10 +137,16 @@ class LinkSession {
 
   /// Cumulative readings dropped because their sector ID has no slot in
   /// the shared pattern table (firmware reported a sector the codebook
-  /// was never measured for). Each distinct unknown ID is additionally
-  /// warned about once on stderr, so a misconfigured codebook is visible
-  /// without flooding the log at sweep rate.
+  /// was never measured for). The counter is the source of truth; stderr
+  /// warnings are capped at kMaxWarnedUnknownIds distinct IDs so a
+  /// misconfigured codebook cannot flood the log from the sweep path.
   std::size_t dropped_probes() const { return dropped_probes_; }
+
+  /// Distinct unknown sector IDs warned about so far (<= the cap).
+  std::size_t warned_unknown_count() const { return warned_unknown_.size(); }
+
+  /// Warn-once cap on distinct unknown sector IDs.
+  static constexpr std::size_t kMaxWarnedUnknownIds = 16;
 
   std::size_t current_probes() const;
 
@@ -74,8 +159,34 @@ class LinkSession {
 
   Wil6210Driver& driver() { return *driver_; }
 
+  int link_id() const { return link_id_; }
+
+  // --- robustness observability ---------------------------------------------
+
+  /// True while the session is degraded to full SSW sweeps.
+  bool in_fallback() const { return fallback_rounds_left_ > 0; }
+
+  /// This link's fault counters (all zero when no plan is installed).
+  FaultStats fault_stats() const {
+    return injector_ ? injector_->stats() : FaultStats{};
+  }
+
+  const DegradationStats& degradation_stats() const { return degradation_stats_; }
+
+  /// The injector shared with this link's firmware; null without a plan.
+  const std::shared_ptr<LinkFaultInjector>& fault_injector() const {
+    return injector_;
+  }
+
  private:
   void note_unknown_sectors(std::span<const SectorReading> readings);
+  /// Probe loss + reading corruption on the drained sweep, in order.
+  void apply_reading_faults(std::vector<SectorReading>& readings);
+  /// Install the override; bounded retry with exponential backoff under
+  /// feedback faults. False when every attempt was lost.
+  bool install_selection(int sector_id);
+  /// Advance the fault substreams and the degradation state machine.
+  void finish_round(bool healthy, bool full_sweep_round);
 
   Wil6210Driver* driver_;
   CompressiveSectorSelector css_;
@@ -87,11 +198,22 @@ class LinkSession {
   std::unique_ptr<SectorSelector> strategy_;
   /// Non-null alias of strategy_ in tracking mode (for tracked()).
   TrackingCssSelector* tracking_{nullptr};
+  /// The degradation target: the stock argmax over whatever was received.
+  SswArgmaxSelector ssw_fallback_;
   Rng rng_;
+  int link_id_{0};
   std::size_t rounds_{0};
   std::size_t dropped_probes_{0};
-  /// Unknown sector IDs already warned about (warn once per ID).
+  /// Unknown sector IDs already warned about (warn once per ID, capped).
   std::set<int> warned_unknown_;
+  bool warn_cap_announced_{false};
+  std::shared_ptr<LinkFaultInjector> injector_;
+  int consecutive_failures_{0};
+  std::size_t fallback_rounds_left_{0};
+  /// Recovery-window multiplier: doubles on every fallback re-entry (up
+  /// to max_recovery_backoff), resets on a healthy CSS round.
+  std::size_t recovery_backoff_{1};
+  DegradationStats degradation_stats_;
 };
 
 }  // namespace talon

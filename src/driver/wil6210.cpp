@@ -96,4 +96,9 @@ bool Wil6210Driver::sector_forced() const {
   return firmware_->sector_override().has_value();
 }
 
+void Wil6210Driver::install_fault_injector(
+    std::shared_ptr<LinkFaultInjector> injector) {
+  firmware_->set_fault_injector(std::move(injector));
+}
+
 }  // namespace talon

@@ -7,10 +7,12 @@
 // loudly when the firmware lacks the research patches.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/antenna/codebook_io.hpp"
+#include "src/common/fault.hpp"
 #include "src/firmware/device.hpp"
 #include "src/phy/measurement.hpp"
 
@@ -59,6 +61,12 @@ class Wil6210Driver {
   void force_sector(int sector_id);
   void clear_forced_sector();
   bool sector_forced() const;
+
+  // --- fault injection (robustness campaign) ---------------------------------
+  /// Attach a per-link fault injector to the chip this driver fronts (ring
+  /// buffer glitches are drawn firmware-side; the user-space faults are
+  /// applied by the LinkSession that owns the same injector). Null detaches.
+  void install_fault_injector(std::shared_ptr<LinkFaultInjector> injector);
 
  private:
   WmiResponse must_ok(const WmiCommand& command, const char* what);

@@ -65,12 +65,22 @@ void FullMacFirmware::on_ssw_frame(const SswField& field, const SectorReading& r
     best_reading_ = reading;
   }
   if (patcher_.hook_enabled(FirmwareHook::kSweepInfoRingBuffer)) {
-    ring_.push(SweepInfoEntry{
+    const SweepInfoEntry entry{
         .sweep_index = sweep_index_,
         .sector_id = reading.sector_id,
         .snr_db = reading.snr_db,
         .rssi_dbm = reading.rssi_dbm,
-    });
+    };
+    ring_.push(entry);
+    last_entry_ = entry;
+    if (fault_injector_) {
+      if (fault_injector_->inject_duplicate()) ring_.push(entry);
+      // Stale pollution needs material from a previous sweep; the draw
+      // (and its counter) only happens when an injection can occur.
+      if (stale_candidate_ && fault_injector_->inject_stale()) {
+        ring_.push(*stale_candidate_);
+      }
+    }
   }
 }
 
@@ -79,6 +89,17 @@ SswFeedbackField FullMacFirmware::end_peer_sweep() {
     throw StateError("end_peer_sweep without begin_peer_sweep");
   }
   sweep_active_ = false;
+  if (fault_injector_ && last_entry_ &&
+      patcher_.hook_enabled(FirmwareHook::kSweepInfoRingBuffer)) {
+    // Overflow burst: flood the ring with copies of the last entry so the
+    // oldest real readings of this sweep are overwritten before user space
+    // drains them (the "user space read too slowly" failure, forced).
+    const std::size_t burst = fault_injector_->overflow_burst();
+    for (std::size_t i = 0; i < burst; ++i) ring_.push(*last_entry_);
+  }
+  // The previous sweep's last entry becomes stale-injection material.
+  stale_candidate_ = last_entry_;
+  last_entry_.reset();
   // Stock behaviour: argmax over this sweep's readings; keep the previous
   // selection when the firmware reported nothing at all.
   if (best_reading_) selected_sector_ = best_reading_->sector_id;

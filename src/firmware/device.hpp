@@ -13,11 +13,13 @@
 // stock firmware's black-box behaviour.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "src/common/fault.hpp"
 #include "src/firmware/memory.hpp"
 #include "src/firmware/patch.hpp"
 #include "src/firmware/ringbuffer.hpp"
@@ -90,6 +92,21 @@ class FullMacFirmware {
 
   std::optional<int> sector_override() const { return sector_override_; }
 
+  // --- fault injection (robustness campaign) --------------------------------
+
+  /// Attach a fault injector: subsequent ring-buffer writes may be
+  /// duplicated, polluted with stale entries from the previous sweep, or
+  /// flooded past capacity at sweep end (the injector draws which). Null
+  /// detaches. The injector models ucode-level glitches, so it only acts
+  /// when the sweep-info patch is active -- the stock firmware has no ring
+  /// to corrupt.
+  void set_fault_injector(std::shared_ptr<LinkFaultInjector> injector) {
+    fault_injector_ = std::move(injector);
+  }
+  const std::shared_ptr<LinkFaultInjector>& fault_injector() const {
+    return fault_injector_;
+  }
+
  private:
   FirmwareConfig config_;
   ChipMemory memory_;
@@ -99,6 +116,12 @@ class FullMacFirmware {
   std::uint32_t sweep_index_{0};
   bool sweep_active_{false};
   std::optional<SectorReading> best_reading_;  // current sweep's argmax
+  std::shared_ptr<LinkFaultInjector> fault_injector_;
+  /// Ring-fault material: the last entry pushed this sweep (overflow
+  /// floods repeat it) and a leftover from the previous sweep (stale
+  /// injection re-pushes it with its old sweep_index).
+  std::optional<SweepInfoEntry> last_entry_;
+  std::optional<SweepInfoEntry> stale_candidate_;
   int selected_sector_;
   int own_tx_sector_{63};
   std::optional<int> sector_override_;

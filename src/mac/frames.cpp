@@ -1,6 +1,100 @@
 #include "src/mac/frames.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
 namespace talon {
+
+namespace {
+
+// SSW field bit offsets (24-bit field, bit 0 first on air).
+constexpr std::uint32_t kSswDirectionBit = 0;
+constexpr std::uint32_t kSswCdownShift = 1;    // 9 bits
+constexpr std::uint32_t kSswSectorShift = 10;  // 6 bits
+constexpr std::uint32_t kSswAntennaShift = 16; // 2 bits
+constexpr std::uint32_t kSswRxssShift = 18;    // 6 bits
+
+// SSW feedback field bit offsets (ISS form).
+constexpr std::uint32_t kFbSectorShift = 0;    // 6 bits
+constexpr std::uint32_t kFbAntennaShift = 6;   // 2 bits
+constexpr std::uint32_t kFbSnrShift = 8;       // 8 bits
+constexpr std::uint32_t kFbPollBit = 16;
+// bits 17..23 reserved
+
+// SNR report quantization (802.11ad Table 8-183g): 0.25 dB steps from
+// -8 dB, so code 0 = -8 dB and code 255 = 55.75 dB.
+constexpr double kSnrReportStepDb = 0.25;
+constexpr double kSnrReportOffsetDb = -8.0;
+
+std::uint32_t quantize_snr_report(double snr_db) {
+  const double code = std::round((snr_db - kSnrReportOffsetDb) / kSnrReportStepDb);
+  return static_cast<std::uint32_t>(std::clamp(code, 0.0, 255.0));
+}
+
+}  // namespace
+
+std::uint32_t encode_ssw_field(const SswField& field) {
+  TALON_EXPECTS(field.cdown >= 0 && field.cdown < (1 << 9));
+  TALON_EXPECTS(field.sector_id >= 0 && field.sector_id < (1 << 6));
+  std::uint32_t bits = 0;
+  // Direction: 0 = initiator (beamforming initiator transmitted the frame).
+  if (!field.is_initiator) bits |= 1u << kSswDirectionBit;
+  bits |= static_cast<std::uint32_t>(field.cdown) << kSswCdownShift;
+  bits |= static_cast<std::uint32_t>(field.sector_id) << kSswSectorShift;
+  return bits;
+}
+
+SswField decode_ssw_field(std::uint32_t bits) {
+  if (bits >> 24 != 0) {
+    throw ParseError("SSW field: more than 24 bits set");
+  }
+  if ((bits >> kSswAntennaShift & 0x3u) != 0) {
+    throw ParseError("SSW field: non-zero DMG antenna ID on a single-antenna device");
+  }
+  if ((bits >> kSswRxssShift & 0x3Fu) != 0) {
+    throw ParseError("SSW field: non-zero RXSS length (receive sweeps not modeled)");
+  }
+  SswField field;
+  field.is_initiator = (bits >> kSswDirectionBit & 0x1u) == 0;
+  field.cdown = static_cast<int>(bits >> kSswCdownShift & 0x1FFu);
+  field.sector_id = static_cast<int>(bits >> kSswSectorShift & 0x3Fu);
+  return field;
+}
+
+std::uint32_t encode_ssw_feedback_field(const SswFeedbackField& field) {
+  TALON_EXPECTS(field.selected_sector_id >= 0 && field.selected_sector_id < (1 << 6));
+  std::uint32_t bits =
+      static_cast<std::uint32_t>(field.selected_sector_id) << kFbSectorShift;
+  if (field.snr_report_db) {
+    bits |= quantize_snr_report(*field.snr_report_db) << kFbSnrShift;
+  } else {
+    bits |= 1u << kFbPollBit;  // no measurement to report: ask to be polled
+  }
+  return bits;
+}
+
+SswFeedbackField decode_ssw_feedback_field(std::uint32_t bits) {
+  if (bits >> 24 != 0) {
+    throw ParseError("SSW feedback field: more than 24 bits set");
+  }
+  if ((bits >> 17) != 0) {
+    throw ParseError("SSW feedback field: reserved bits set");
+  }
+  if ((bits >> kFbAntennaShift & 0x3u) != 0) {
+    throw ParseError(
+        "SSW feedback field: non-zero DMG antenna select on a single-antenna device");
+  }
+  SswFeedbackField field;
+  field.selected_sector_id = static_cast<int>(bits >> kFbSectorShift & 0x3Fu);
+  const bool poll = (bits >> kFbPollBit & 0x1u) != 0;
+  if (!poll) {
+    const auto code = static_cast<double>(bits >> kFbSnrShift & 0xFFu);
+    field.snr_report_db = kSnrReportOffsetDb + code * kSnrReportStepDb;
+  }
+  return field;
+}
 
 std::string to_string(FrameType type) {
   switch (type) {

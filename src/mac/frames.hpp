@@ -41,6 +41,36 @@ struct SswFeedbackField {
   std::optional<double> snr_report_db;
 };
 
+// --- on-air (de)serialization ----------------------------------------------
+// The 802.11ad bit layouts of the two fields the patches rewrite, so tests
+// (and a future packet-capture import) can check what actually crosses the
+// air instead of trusting the in-memory structs.
+
+/// Pack an SSW field into its 24-bit on-air layout (IEEE 802.11ad
+/// Fig. 8-402a): Direction (1) | CDOWN (9) | Sector ID (6) |
+/// DMG Antenna ID (2, always 0 here) | RXSS Length (6, always 0 here).
+/// Bit 0 is Direction; the top byte of the result is zero. Throws
+/// PreconditionError when cdown or sector_id exceed their field widths.
+std::uint32_t encode_ssw_field(const SswField& field);
+
+/// Inverse of encode_ssw_field(). Throws ParseError when the top byte is
+/// non-zero or the frame carries a DMG antenna / RXSS length this model
+/// does not represent (single-antenna devices, Sec. 4).
+SswField decode_ssw_field(std::uint32_t bits);
+
+/// Pack an SSW feedback field into its 24-bit layout (Fig. 8-402d, ISS
+/// form): Sector Select (6) | DMG Antenna Select (2, always 0) |
+/// SNR Report (8) | Poll Required (1) | reserved (7). The SNR report uses
+/// the standard's quantization: 0.25 dB steps offset from -8 dB, saturated
+/// to [0, 255]; an absent report encodes as 0 with the poll bit set (the
+/// receiver must ask again), which decode maps back to nullopt.
+std::uint32_t encode_ssw_feedback_field(const SswFeedbackField& field);
+
+/// Inverse of encode_ssw_feedback_field(), up to SNR quantization (0.25 dB
+/// steps, [-8, 55.75] dB range). Throws ParseError on a non-zero top byte,
+/// reserved bits, or an antenna select this model does not represent.
+SswFeedbackField decode_ssw_feedback_field(std::uint32_t bits);
+
 /// One over-the-air management frame.
 struct Frame {
   FrameType type{FrameType::kBeacon};

@@ -197,6 +197,8 @@ NetworkRunResult NetworkSimulator::run(const ThroughputModel& throughput) {
                                    (1.0 - result.training_airtime_share) /
                                    static_cast<double>(k);
   }
+  result.fault_totals = daemon_.total_fault_stats();
+  result.degradation_totals = daemon_.total_degradation_stats();
   return result;
 }
 

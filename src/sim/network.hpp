@@ -94,6 +94,12 @@ struct NetworkRunResult {
   /// selected sectors, scaled by the data airtime left after training and
   /// shared round-robin by the K pairs (the contention model's convention).
   double goodput_per_link_mbps{0.0};
+  /// Sum of all links' fault counters (all zero when the session config
+  /// carries no fault plan).
+  FaultStats fault_totals{};
+  /// Sum of all links' degradation counters (all zero when degradation is
+  /// disabled).
+  DegradationStats degradation_totals{};
 };
 
 class NetworkSimulator {

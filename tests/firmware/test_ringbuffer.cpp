@@ -85,5 +85,80 @@ TEST(RingBuffer, ZeroCapacityRejected) {
   EXPECT_THROW(SweepInfoRingBuffer(0), PreconditionError);
 }
 
+// --- overflow semantics (the robustness campaign's failure mode) -----------
+
+TEST(RingBuffer, DroppedAccumulatesAcrossMultipleWraps) {
+  // dropped() is a lifetime counter, not a per-drain one: user space uses
+  // it to detect how much history it lost since boot.
+  SweepInfoRingBuffer ring(4);
+  for (int i = 0; i < 10; ++i) ring.push(entry(i));
+  EXPECT_EQ(ring.dropped(), 6u);
+  ring.drain();
+  EXPECT_EQ(ring.dropped(), 6u);  // draining does not reset the loss record
+  for (int i = 0; i < 5; ++i) ring.push(entry(i));
+  EXPECT_EQ(ring.dropped(), 7u);
+}
+
+TEST(RingBuffer, EvictionIsStrictlyOldestFirst) {
+  SweepInfoRingBuffer ring(3);
+  for (int i = 1; i <= 7; ++i) ring.push(entry(i));
+  // 7 pushes into 3 slots: entries 1-4 evicted in age order, 5-7 survive.
+  EXPECT_EQ(ring.dropped(), 4u);
+  const auto out = ring.drain();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].sector_id, 5);
+  EXPECT_EQ(out[1].sector_id, 6);
+  EXPECT_EQ(out[2].sector_id, 7);
+}
+
+TEST(RingBuffer, ReadAfterOverwriteSeesOnlySurvivors) {
+  // Overflow in the middle of a sweep: the drain returns a coherent
+  // oldest-first window with no gap markers -- detecting the loss is the
+  // caller's job, via dropped().
+  SweepInfoRingBuffer ring(4);
+  for (int i = 1; i <= 4; ++i) ring.push(entry(i));
+  ring.push(entry(5));  // evicts 1
+  ring.push(entry(6));  // evicts 2
+  const std::uint64_t before = ring.dropped();
+  const auto out = ring.drain();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.front().sector_id, 3);
+  EXPECT_EQ(out.back().sector_id, 6);
+  // A fresh fill after the wrapped drain starts clean.
+  ring.push(entry(9));
+  const auto again = ring.drain();
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].sector_id, 9);
+  EXPECT_EQ(ring.dropped(), before);
+}
+
+TEST(RingBuffer, WrapAroundPreservesPayloadIntegrity) {
+  // The slots are reused in place; a wrapped entry must carry its own
+  // payload, not a stale field from the entry it overwrote.
+  SweepInfoRingBuffer ring(2);
+  ring.push(SweepInfoEntry{.sweep_index = 1, .sector_id = 1, .snr_db = 1.0,
+                           .rssi_dbm = -41.0});
+  ring.push(SweepInfoEntry{.sweep_index = 1, .sector_id = 2, .snr_db = 2.0,
+                           .rssi_dbm = -42.0});
+  ring.push(SweepInfoEntry{.sweep_index = 2, .sector_id = 3, .snr_db = 3.0,
+                           .rssi_dbm = -43.0});
+  const auto out = ring.drain();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].sweep_index, 1u);
+  EXPECT_EQ(out[0].sector_id, 2);
+  EXPECT_DOUBLE_EQ(out[0].snr_db, 2.0);
+  EXPECT_EQ(out[1].sweep_index, 2u);
+  EXPECT_EQ(out[1].sector_id, 3);
+  EXPECT_DOUBLE_EQ(out[1].rssi_dbm, -43.0);
+}
+
+TEST(RingBuffer, ExactCapacityFillDoesNotDrop) {
+  SweepInfoRingBuffer ring(5);
+  for (int i = 0; i < 5; ++i) ring.push(entry(i));
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.drain().size(), 5u);
+}
+
 }  // namespace
 }  // namespace talon

@@ -1,0 +1,125 @@
+#include "src/mac/frames.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(FrameTypeTest, NamesEveryType) {
+  EXPECT_EQ(to_string(FrameType::kBeacon), "beacon");
+  EXPECT_EQ(to_string(FrameType::kSectorSweep), "ssw");
+  EXPECT_EQ(to_string(FrameType::kSswFeedback), "ssw-feedback");
+  EXPECT_EQ(to_string(FrameType::kSswAck), "ssw-ack");
+}
+
+TEST(SswFieldCodec, RoundTripsEveryFieldCombination) {
+  for (const int cdown : {0, 1, 13, 510, 511}) {
+    for (const int sector : {0, 1, 31, 62, 63}) {
+      for (const bool initiator : {true, false}) {
+        const SswField field{.cdown = cdown, .sector_id = sector,
+                             .is_initiator = initiator};
+        const SswField back = decode_ssw_field(encode_ssw_field(field));
+        EXPECT_EQ(back.cdown, cdown);
+        EXPECT_EQ(back.sector_id, sector);
+        EXPECT_EQ(back.is_initiator, initiator);
+      }
+    }
+  }
+}
+
+TEST(SswFieldCodec, FitsTwentyFourBits) {
+  const std::uint32_t bits = encode_ssw_field(
+      SswField{.cdown = 511, .sector_id = 63, .is_initiator = false});
+  EXPECT_EQ(bits >> 16, 0u);  // antenna + RXSS bits stay zero
+  EXPECT_EQ(bits, 0xFFFFu);   // direction 1, CDOWN 0x1FF, sector 0x3F
+}
+
+TEST(SswFieldCodec, RejectsOutOfRangeFields) {
+  EXPECT_THROW(encode_ssw_field(SswField{.cdown = 512, .sector_id = 0}),
+               PreconditionError);
+  EXPECT_THROW(encode_ssw_field(SswField{.cdown = -1, .sector_id = 0}),
+               PreconditionError);
+  EXPECT_THROW(encode_ssw_field(SswField{.cdown = 0, .sector_id = 64}),
+               PreconditionError);
+  EXPECT_THROW(encode_ssw_field(SswField{.cdown = 0, .sector_id = -1}),
+               PreconditionError);
+}
+
+TEST(SswFieldCodec, RejectsMalformedOnAirBits) {
+  // A 25th bit can only be a framing error.
+  EXPECT_THROW(decode_ssw_field(1u << 24), ParseError);
+  // Non-zero DMG antenna ID: the modeled device has one antenna.
+  EXPECT_THROW(decode_ssw_field(1u << 16), ParseError);
+  // Non-zero RXSS length: receive sweeps are not modeled.
+  EXPECT_THROW(decode_ssw_field(1u << 18), ParseError);
+  // All-zero is a valid (initiator, CDOWN 0, sector 0) field.
+  EXPECT_NO_THROW(decode_ssw_field(0));
+}
+
+TEST(SswFeedbackCodec, RoundTripsTheSelection) {
+  for (const int sector : {0, 5, 31, 63}) {
+    const SswFeedbackField field{.selected_sector_id = sector};
+    const SswFeedbackField back =
+        decode_ssw_feedback_field(encode_ssw_feedback_field(field));
+    EXPECT_EQ(back.selected_sector_id, sector);
+    EXPECT_FALSE(back.snr_report_db.has_value());
+  }
+}
+
+TEST(SswFeedbackCodec, SnrReportQuantizesToQuarterDecibels) {
+  for (const double snr : {-8.0, -3.25, 0.0, 7.6, 25.5, 55.75}) {
+    SswFeedbackField field{.selected_sector_id = 12};
+    field.snr_report_db = snr;
+    const SswFeedbackField back =
+        decode_ssw_feedback_field(encode_ssw_feedback_field(field));
+    ASSERT_TRUE(back.snr_report_db.has_value()) << "snr " << snr;
+    EXPECT_NEAR(*back.snr_report_db, snr, 0.125 + 1e-12) << "snr " << snr;
+  }
+}
+
+TEST(SswFeedbackCodec, SnrReportSaturatesAtTheCodeRange) {
+  SswFeedbackField low{.selected_sector_id = 1};
+  low.snr_report_db = -40.0;  // below code 0 (-8 dB)
+  EXPECT_DOUBLE_EQ(
+      *decode_ssw_feedback_field(encode_ssw_feedback_field(low)).snr_report_db,
+      -8.0);
+
+  SswFeedbackField high{.selected_sector_id = 1};
+  high.snr_report_db = 90.0;  // above code 255 (55.75 dB)
+  EXPECT_DOUBLE_EQ(
+      *decode_ssw_feedback_field(encode_ssw_feedback_field(high)).snr_report_db,
+      55.75);
+}
+
+TEST(SswFeedbackCodec, AbsentReportSetsThePollBit) {
+  const std::uint32_t bits =
+      encode_ssw_feedback_field(SswFeedbackField{.selected_sector_id = 9});
+  EXPECT_NE(bits & (1u << 16), 0u);  // poll required
+  EXPECT_EQ(bits & 0x3Fu, 9u);
+}
+
+TEST(SswFeedbackCodec, RejectsMalformedOnAirBits) {
+  EXPECT_THROW(decode_ssw_feedback_field(1u << 24), ParseError);
+  EXPECT_THROW(decode_ssw_feedback_field(1u << 17), ParseError);  // reserved
+  EXPECT_THROW(decode_ssw_feedback_field(1u << 23), ParseError);  // reserved
+  EXPECT_THROW(decode_ssw_feedback_field(1u << 6), ParseError);   // antenna
+  EXPECT_THROW(encode_ssw_feedback_field(SswFeedbackField{.selected_sector_id = 64}),
+               PreconditionError);
+}
+
+TEST(SswFeedbackCodec, FirmwareFeedbackSurvivesTheAirInterface) {
+  // What the patched firmware emits must survive encode -> decode intact
+  // (up to SNR quantization): the override sector is the payload the whole
+  // system exists to deliver.
+  SswFeedbackField from_firmware{.selected_sector_id = 27};
+  from_firmware.snr_report_db = 18.3;
+  const SswFeedbackField delivered =
+      decode_ssw_feedback_field(encode_ssw_feedback_field(from_firmware));
+  EXPECT_EQ(delivered.selected_sector_id, 27);
+  EXPECT_NEAR(*delivered.snr_report_db, 18.3, 0.125 + 1e-12);
+}
+
+}  // namespace
+}  // namespace talon

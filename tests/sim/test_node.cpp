@@ -1,0 +1,85 @@
+#include "src/sim/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/antenna/codebook.hpp"
+
+namespace talon {
+namespace {
+
+NodeConfig config_with(int id, std::uint64_t device_seed) {
+  NodeConfig config;
+  config.id = id;
+  config.device_seed = device_seed;
+  config.pose = EndpointPose{.position = {1.0, 2.0, 1.5},
+                             .orientation = DeviceOrientation(30.0, 0.0)};
+  return config;
+}
+
+TEST(NodeTest, CarriesItsIdentityAndPose) {
+  const Node node(config_with(7, 42));
+  EXPECT_EQ(node.id(), 7);
+  EXPECT_EQ(node.pose().position.x, 1.0);
+  EXPECT_EQ(node.pose().position.y, 2.0);
+  EXPECT_EQ(node.pose().position.z, 1.5);
+}
+
+TEST(NodeTest, PoseIsMutableForMobilityScenarios) {
+  Node node(config_with(1, 42));
+  node.pose().position = {5.0, 0.0, 1.0};
+  EXPECT_EQ(node.pose().position.x, 5.0);
+}
+
+TEST(NodeTest, FrontEndExposesTheTalonCodebook) {
+  const Node node(config_with(1, 42));
+  // Every standard transmit sector (and the quasi-omni RX sector) must be
+  // resolvable on the front end.
+  for (int id : talon_tx_sector_ids()) {
+    EXPECT_TRUE(node.codebook().contains(id)) << "sector " << id;
+  }
+  EXPECT_TRUE(node.codebook().contains(kRxQuasiOmniSectorId));
+}
+
+TEST(NodeTest, DeviceSeedIndividualizesTheHardware) {
+  // Two chips with different seeds realize measurably different gains
+  // (chassis ripple + calibration errors)...
+  const Node a(config_with(1, 42));
+  const Node b(config_with(2, 43));
+  const Direction boresight{0.0, 0.0};
+  bool any_difference = false;
+  for (int id : {1, 8, 16, 24, 31}) {
+    if (a.front_end().gain_dbi(id, boresight) !=
+        b.front_end().gain_dbi(id, boresight)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+
+  // ...while the same seed reproduces the exact same device.
+  const Node c(config_with(3, 42));
+  for (int id : {1, 8, 16, 24, 31}) {
+    EXPECT_EQ(a.front_end().gain_dbi(id, boresight),
+              c.front_end().gain_dbi(id, boresight))
+        << "sector " << id;
+  }
+}
+
+TEST(NodeTest, FirmwareStartsStockAndPatchable) {
+  Node node(config_with(1, 42));
+  EXPECT_FALSE(node.firmware().patcher().is_applied("sweep-info"));
+  node.firmware().apply_research_patches();
+  EXPECT_TRUE(node.firmware().patcher().is_applied("sweep-info"));
+  EXPECT_TRUE(node.firmware().patcher().is_applied("sector-override"));
+}
+
+TEST(NodeTest, FirmwareConfigPassesThrough) {
+  NodeConfig config = config_with(1, 42);
+  config.firmware.version = "9.9.9.1";
+  config.firmware.initial_selected_sector = 5;
+  const Node node(config);
+  EXPECT_EQ(node.firmware().version(), "9.9.9.1");
+  EXPECT_EQ(node.firmware().selected_sector(), 5);
+}
+
+}  // namespace
+}  // namespace talon
