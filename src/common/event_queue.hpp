@@ -1,0 +1,109 @@
+// Deterministic ordered event queue.
+//
+// The discrete-event simulators (sim/event_engine.hpp) need one property
+// above all: the order events come out must be a pure function of what was
+// pushed, never of heap internals or memory layout. Entries are therefore
+// ordered by a total key -- (timestamp, priority, entity, insertion
+// sequence) -- in which the final sequence word breaks every remaining
+// tie, so two entries never compare equal and repeated pop() yields one
+// canonical, strictly increasing order.
+//
+// pop_batch() drains the run of entries sharing the top entry's
+// (timestamp, priority) prefix: exactly the candidates a discrete-event
+// engine may consider executing as one (possibly parallel) batch.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace talon {
+
+/// Total ordering key of one queue entry. `seq` is assigned by the queue
+/// at push time and makes the order strict.
+struct EventKey {
+  double time_s{0.0};
+  /// Lower priorities run earlier at equal timestamps (phases of a slot).
+  int priority{0};
+  /// Stable entity tie-break: at equal (time, priority) the owning
+  /// entity's id orders execution, so runs replay bit-for-bit no matter
+  /// how entities were interleaved at schedule time.
+  std::uint64_t entity{0};
+  /// Insertion sequence number; the final, always-distinct tie-break.
+  std::uint64_t seq{0};
+
+  friend constexpr bool operator==(const EventKey&, const EventKey&) = default;
+};
+
+/// Strict total order over keys: time, then priority, then entity, then
+/// insertion sequence.
+constexpr bool event_key_less(const EventKey& a, const EventKey& b) {
+  if (a.time_s != b.time_s) return a.time_s < b.time_s;
+  if (a.priority != b.priority) return a.priority < b.priority;
+  if (a.entity != b.entity) return a.entity < b.entity;
+  return a.seq < b.seq;
+}
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Entry {
+    EventKey key;
+    Payload payload;
+  };
+
+  /// Insert an entry; the queue assigns the key's sequence number. Returns
+  /// the full key (useful for diagnostics and tests).
+  EventKey push(double time_s, int priority, std::uint64_t entity,
+                Payload payload) {
+    const EventKey key{time_s, priority, entity, next_seq_++};
+    heap_.push_back(Entry{key, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return key;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Key of the next entry pop() would return. Requires !empty().
+  const EventKey& top_key() const { return heap_.front().key; }
+
+  /// Remove and return the least entry (canonical order).
+  Entry pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    return entry;
+  }
+
+  /// Remove and return every entry sharing the top entry's (time_s,
+  /// priority), sorted by full key -- i.e. by (entity, seq) within the
+  /// batch. Empty result only on an empty queue.
+  std::vector<Entry> pop_batch() {
+    std::vector<Entry> batch;
+    if (heap_.empty()) return batch;
+    const double time_s = heap_.front().key.time_s;
+    const int priority = heap_.front().key.priority;
+    while (!heap_.empty() && heap_.front().key.time_s == time_s &&
+           heap_.front().key.priority == priority) {
+      batch.push_back(pop());
+    }
+    return batch;  // successive pops already yield ascending key order
+  }
+
+ private:
+  /// Heap comparator: "a runs later than b" makes the vector a min-heap
+  /// on event_key_less.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return event_key_less(b.key, a.key);
+    }
+  };
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace talon

@@ -8,13 +8,12 @@ namespace talon {
 
 namespace {
 
-// Substream stream tags of the fault layer. sim/experiment.cpp owns 1-4,
-// sim/network.cpp owns 5-8; these continue the family so no two
-// subsystems ever share a substream (see the tag map in fault.hpp).
-constexpr std::uint64_t kLossStream = 9;
-constexpr std::uint64_t kCorruptionStream = 10;
-constexpr std::uint64_t kRingStream = 11;
-constexpr std::uint64_t kFeedbackStream = 12;
+// Substream stream tags of the fault layer, from the uniqueness-checked
+// registry in common/rng.hpp (see the tag map in fault.hpp).
+constexpr std::uint64_t kLossStream = streams::kFaultLoss;
+constexpr std::uint64_t kCorruptionStream = streams::kFaultCorruption;
+constexpr std::uint64_t kRingStream = streams::kFaultRing;
+constexpr std::uint64_t kFeedbackStream = streams::kFaultFeedback;
 
 Rng category_rng(const FaultPlan& plan, std::uint64_t tag, int link_id,
                  std::uint64_t round) {

@@ -10,7 +10,8 @@
 // Determinism contract (the same one the replay and network layers obey):
 // every draw comes from a counter-based substream seeded by
 // substream_seed(plan.seed, <stream tag>, link id, round). Stream tags 9-12
-// continue the family after the network layer's 5-8:
+// (streams::kFault* in common/rng.hpp's registry) continue the family
+// after the network layer's 5-8:
 //   9  probe-frame loss (Bernoulli draw, then the Gilbert-Elliott chain)
 //   10 SNR/RSSI corruption (per reading: snr outlier, rssi outlier, clamp)
 //   11 ring-buffer faults (per entry: duplicate, stale; per sweep: overflow)

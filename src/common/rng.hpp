@@ -6,11 +6,79 @@
 // own Rng (or a fork of one) instead of sharing a global generator.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <random>
 #include <vector>
 
 namespace talon {
+
+/// Substream stream tags (the s0 coordinate of substream_seed). Every
+/// runner that derives per-entity randomness owns a named tag here, so no
+/// two subsystems can ever collide on a substream family. The remaining
+/// coordinates are runner-specific (typically link/cell id, round/slot,
+/// and an optional per-link salt) -- see each owner's header.
+namespace streams {
+
+// sim/experiment.cpp -- the replay runners.
+inline constexpr std::uint64_t kRecording = 1;
+inline constexpr std::uint64_t kError = 2;
+inline constexpr std::uint64_t kQuality = 3;
+inline constexpr std::uint64_t kThroughput = 4;
+
+// sim/network.cpp -- the dense-deployment simulator.
+inline constexpr std::uint64_t kNetworkDevice = 5;   ///< (link, side)
+inline constexpr std::uint64_t kNetworkChannel = 6;  ///< (link, round)
+inline constexpr std::uint64_t kNetworkSession = 7;  ///< (link, salt)
+inline constexpr std::uint64_t kNetworkPhase = 8;    ///< (link)
+
+// common/fault.cpp -- the fault-injection layer.
+inline constexpr std::uint64_t kFaultLoss = 9;        ///< (link, round)
+inline constexpr std::uint64_t kFaultCorruption = 10; ///< (link, round)
+inline constexpr std::uint64_t kFaultRing = 11;       ///< (link, round)
+inline constexpr std::uint64_t kFaultFeedback = 12;   ///< (link, round)
+
+// sim/mesh.cpp -- the controller/minion mesh simulator.
+inline constexpr std::uint64_t kMeshPlacement = 13;  ///< (link, 0, salt)
+inline constexpr std::uint64_t kMeshJitter = 14;     ///< (link, slot, salt)
+inline constexpr std::uint64_t kMeshChurn = 15;      ///< (link, slot, salt)
+
+/// Reserved for event-engine entities: an entity e of a discrete-event
+/// simulation may draw from tag kEventEntityFirst + (e mod the range
+/// width) without registering a name above. New *named* tags must stay
+/// below kEventEntityFirst.
+inline constexpr std::uint64_t kEventEntityFirst = 32;
+inline constexpr std::uint64_t kEventEntityLast = 255;
+
+namespace detail {
+/// Compile-time pairwise-distinctness check for the named tags.
+template <std::size_t N>
+constexpr bool all_unique(const std::uint64_t (&tags)[N]) {
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = i + 1; j < N; ++j) {
+      if (tags[i] == tags[j]) return false;
+    }
+  }
+  return true;
+}
+
+inline constexpr std::uint64_t kNamedTags[] = {
+    kRecording,     kError,          kQuality,        kThroughput,
+    kNetworkDevice, kNetworkChannel, kNetworkSession, kNetworkPhase,
+    kFaultLoss,     kFaultCorruption, kFaultRing,     kFaultFeedback,
+    kMeshPlacement, kMeshJitter,     kMeshChurn};
+
+static_assert(all_unique(kNamedTags), "substream stream tags must be unique");
+static_assert([] {
+  for (const std::uint64_t tag : kNamedTags) {
+    if (tag >= kEventEntityFirst) return false;
+  }
+  return true;
+}(), "named stream tags must stay below the event-engine entity range");
+static_assert(kEventEntityFirst <= kEventEntityLast);
+}  // namespace detail
+
+}  // namespace streams
 
 /// Counter-based substream derivation: mix a top-level seed with up to
 /// four stream counters (e.g. an analysis tag, pose index, sweep index,

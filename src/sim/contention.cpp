@@ -28,6 +28,41 @@ TrainingSerialization serialize_trainings(std::span<const double> sorted_request
   return out;
 }
 
+void ChannelArbiter::submit(std::uint64_t key, double desired_s,
+                            double duration_s) {
+  TALON_EXPECTS(duration_s >= 0.0);
+  pending_.push_back(Request{key, desired_s, duration_s});
+}
+
+ChannelArbiter::Outcome ChannelArbiter::arbitrate() {
+  std::sort(pending_.begin(), pending_.end(),
+            [](const Request& a, const Request& b) {
+              return a.desired_s != b.desired_s ? a.desired_s < b.desired_s
+                                                : a.key < b.key;
+            });
+  std::vector<double> requests(pending_.size());
+  std::vector<double> durations(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    requests[i] = pending_[i].desired_s;
+    durations[i] = pending_[i].duration_s;
+  }
+  const TrainingSerialization serialized =
+      serialize_trainings(requests, durations, channel_free_s_);
+  channel_free_s_ = serialized.channel_free_s;
+
+  Outcome outcome;
+  outcome.busy_time_s = serialized.busy_time_s;
+  outcome.deferred = serialized.deferred;
+  outcome.worst_defer_ms = serialized.worst_defer_ms;
+  outcome.grants.reserve(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    outcome.grants.push_back(Grant{pending_[i].key, pending_[i].desired_s,
+                                   serialized.start_times_s[i]});
+  }
+  pending_.clear();
+  return outcome;
+}
+
 ContentionResult simulate_channel_contention(const ContentionConfig& config,
                                              const ThroughputModel& throughput) {
   TALON_EXPECTS(config.pairs >= 1);

@@ -42,6 +42,55 @@ TrainingSerialization serialize_trainings(std::span<const double> sorted_request
                                           std::span<const double> durations_s,
                                           double channel_free_s = 0.0);
 
+/// The shared channel as a discrete-event entity. Submitting from a
+/// slot's commuting link fan-out is NOT allowed -- submission happens
+/// inside the arbiter entity's own event (the engine's contention phase),
+/// which is the only code that may touch this state. arbitrate() drains
+/// the pending requests through serialize_trainings, carrying the
+/// channel-free time across slots exactly like the round-based simulator
+/// carried it across rounds, so a saturated channel staggers later slots.
+class ChannelArbiter {
+ public:
+  struct Request {
+    /// Stable tie-break at equal desired times (typically the link id).
+    std::uint64_t key{0};
+    double desired_s{0.0};
+    double duration_s{0.0};
+  };
+
+  struct Grant {
+    std::uint64_t key{0};
+    double desired_s{0.0};
+    double actual_s{0.0};
+  };
+
+  struct Outcome {
+    /// One grant per request, in (desired_s, key) order.
+    std::vector<Grant> grants;
+    double busy_time_s{0.0};
+    int deferred{0};
+    double worst_defer_ms{0.0};
+  };
+
+  /// Queue one training request for the next arbitrate() call.
+  void submit(std::uint64_t key, double desired_s, double duration_s);
+
+  /// Serialize every pending request on the channel (later arrivals
+  /// defer) and clear the pending set. The serialization order is
+  /// (desired_s, key) -- identical to the round-based simulator's
+  /// (desired time, link index) sort.
+  Outcome arbitrate();
+
+  /// When the channel frees after everything granted so far.
+  double channel_free_s() const { return channel_free_s_; }
+
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  std::vector<Request> pending_;
+  double channel_free_s_{0.0};
+};
+
 struct ContentionConfig {
   int pairs{10};
   /// Trainings per second each pair schedules (mobility -> higher).

@@ -1,0 +1,115 @@
+#include "src/sim/event_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/common/parallel.hpp"
+
+namespace talon {
+
+EventEngine::EventEngine(EventEngineConfig config) : config_(config) {}
+
+EntityId EventEngine::add_entity(std::string name) {
+  TALON_EXPECTS(!running_);
+  entity_names_.push_back(std::move(name));
+  return static_cast<EntityId>(entity_names_.size() - 1);
+}
+
+const std::string& EventEngine::entity_name(EntityId entity) const {
+  TALON_EXPECTS(entity < entity_names_.size());
+  return entity_names_[entity];
+}
+
+void EventEngine::validate_spec(const EventSpec& spec, bool from_handler) const {
+  TALON_EXPECTS(spec.entity < entity_names_.size());
+  if (from_handler) {
+    // Strictly after the executing batch, or the event could never be
+    // merged into the canonical order (its batch is already draining).
+    TALON_EXPECTS(spec.time_s > now_s_ ||
+                  (spec.time_s == now_s_ && spec.priority > current_priority_));
+  }
+}
+
+void EventEngine::schedule(const EventSpec& spec, EventFn fn) {
+  TALON_EXPECTS(!running_);
+  validate_spec(spec, /*from_handler=*/false);
+  queue_.push(spec.time_s, spec.priority, spec.entity,
+              Ev{std::move(fn), spec.commuting});
+}
+
+void EventContext::schedule(const EventSpec& spec, EventFn fn) {
+  engine_->validate_spec(spec, /*from_handler=*/true);
+  deferred_.push_back(Deferred{spec, std::move(fn)});
+}
+
+std::size_t EventEngine::run(double until_s) {
+  TALON_EXPECTS(!running_);
+  running_ = true;
+  std::size_t executed = 0;
+
+  while (!queue_.empty() && queue_.top_key().time_s <= until_s) {
+    stats_.peak_queue = std::max(stats_.peak_queue, queue_.size());
+    auto batch = queue_.pop_batch();
+    now_s_ = batch.front().key.time_s;
+    current_priority_ = batch.front().key.priority;
+
+    // Group the batch by entity; pop_batch already sorted it by
+    // (entity, seq), so groups are contiguous runs and one entity's
+    // events stay in insertion order.
+    std::vector<std::pair<std::size_t, std::size_t>> groups;
+    for (std::size_t begin = 0; begin < batch.size();) {
+      std::size_t end = begin + 1;
+      while (end < batch.size() &&
+             batch[end].key.entity == batch[begin].key.entity) {
+        ++end;
+      }
+      groups.emplace_back(begin, end);
+      begin = end;
+    }
+
+    std::vector<EventContext> contexts;
+    contexts.reserve(groups.size());
+    for (const auto& [begin, end] : groups) {
+      contexts.emplace_back(this, batch[begin].key.entity);
+    }
+
+    const bool all_commuting =
+        std::all_of(batch.begin(), batch.end(),
+                    [](const auto& entry) { return entry.payload.commuting; });
+    const auto run_group = [&](std::size_t g) {
+      for (std::size_t i = groups[g].first; i < groups[g].second; ++i) {
+        batch[i].payload.fn(contexts[g]);
+      }
+    };
+    if (all_commuting && groups.size() > 1) {
+      // One entity's state per worker: provably commuting fan-out.
+      ++stats_.parallel_batches;
+      parallel_for(groups.size(), run_group,
+                   ParallelOptions{.threads = config_.threads});
+    } else {
+      for (std::size_t g = 0; g < groups.size(); ++g) run_group(g);
+    }
+
+    // Merge the buffered follow-ups in batch order: the sequence numbers
+    // they receive depend only on the canonical order, never on which
+    // worker ran which group first.
+    for (EventContext& context : contexts) {
+      for (EventContext::Deferred& deferred : context.deferred_) {
+        queue_.push(deferred.spec.time_s, deferred.spec.priority,
+                    deferred.spec.entity,
+                    Ev{std::move(deferred.fn), deferred.spec.commuting});
+      }
+    }
+
+    executed += batch.size();
+    ++stats_.batches;
+    stats_.executed += batch.size();
+  }
+
+  running_ = false;
+  current_priority_ = std::numeric_limits<int>::min();
+  return executed;
+}
+
+}  // namespace talon

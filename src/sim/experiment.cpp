@@ -14,11 +14,12 @@ namespace {
 
 // Stream tags keep the substream families of the four runners disjoint:
 // substream_seed(seed, tag, ...) collides across runners only if the tags
-// collide.
-constexpr std::uint64_t kRecordingStream = 1;
-constexpr std::uint64_t kErrorStream = 2;
-constexpr std::uint64_t kQualityStream = 3;
-constexpr std::uint64_t kThroughputStream = 4;
+// collide. The values live in common/rng.hpp's registry (streams::) so
+// every runner in the codebase shares one uniqueness-checked namespace.
+constexpr std::uint64_t kRecordingStream = streams::kRecording;
+constexpr std::uint64_t kErrorStream = streams::kError;
+constexpr std::uint64_t kQualityStream = streams::kQuality;
+constexpr std::uint64_t kThroughputStream = streams::kThroughput;
 
 /// Keep only the readings whose sector is in `subset`.
 std::vector<SectorReading> filter_readings(const SweepMeasurement& sweep,

@@ -1,0 +1,364 @@
+#include "src/sim/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/channel/pathloss.hpp"
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/mac/timing.hpp"
+#include "src/phy/throughput.hpp"
+#include "src/sim/contention.hpp"
+#include "src/sim/event_engine.hpp"
+
+namespace talon {
+
+namespace {
+
+// Priority phases of one scan slot. The controller dispatch is the only
+// non-commuting phase; everything after it fans out over workers.
+constexpr int kDispatchPhase = 0;  ///< controller: ignition + scan orders
+constexpr int kPreparePhase = 1;   ///< minions: churn, jitter, requests
+constexpr int kArbitratePhase = 2; ///< channel arbiters: serialization
+constexpr int kApplyPhase = 3;     ///< minions: grants -> link states
+
+/// Mutable per-link state (controller-side record + minion scratch). A
+/// link's record is written only by its owning AP's minion events and its
+/// channel's arbiter event, which run in different priority phases --
+/// never concurrently.
+struct LinkRec {
+  int ap{-1};
+  int channel{-1};
+  MeshLinkState state{MeshLinkState::kDown};
+  double distance_m{0.0};
+  double snr_db{0.0};
+  // Slot scratch, valid between dispatch and apply of one slot.
+  bool due{false};
+  bool requested{false};
+  bool granted{false};
+  double desired_s{0.0};
+  double duration_s{0.0};
+  double actual_s{0.0};
+  // Cumulative outcome.
+  double ignition_time_s{-1.0};
+  std::uint64_t trainings{0};
+  std::uint64_t deferrals{0};
+  std::uint64_t reassociations{0};
+  std::uint64_t churn_drops{0};
+  double worst_defer_ms{0.0};
+};
+
+struct ChannelTotals {
+  double busy_time_s{0.0};
+  int trainings{0};
+  int deferred{0};
+  double worst_defer_ms{0.0};
+};
+
+std::uint64_t link_salt(const MeshConfig& config, std::size_t link) {
+  return link < config.link_seed_salts.size() ? config.link_seed_salts[link] : 0;
+}
+
+}  // namespace
+
+MeshSimulator::MeshSimulator(MeshConfig config) : config_(std::move(config)) {
+  TALON_EXPECTS(config_.aps >= 1);
+  TALON_EXPECTS(config_.stas_per_ap >= 1);
+  TALON_EXPECTS(config_.channels >= 1);
+  TALON_EXPECTS(config_.trainings_per_second > 0.0);
+  TALON_EXPECTS(config_.simulated_seconds > 0.0);
+  TALON_EXPECTS(config_.ignition_batch >= 1);
+  TALON_EXPECTS(config_.probes >= 1);
+  TALON_EXPECTS(config_.min_sta_distance_m > 0.0);
+  TALON_EXPECTS(config_.max_sta_distance_m >= config_.min_sta_distance_m);
+  TALON_EXPECTS(config_.churn_probability >= 0.0 && config_.churn_probability <= 1.0);
+
+  // Topology store: APs on a square grid, channels assigned round-robin
+  // (neighbouring APs land on different channels -- frequency reuse).
+  const int cols = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(config_.aps))));
+  aps_.reserve(static_cast<std::size_t>(config_.aps));
+  for (int a = 0; a < config_.aps; ++a) {
+    aps_.push_back(MeshAp{
+        .id = a,
+        .x_m = (a % cols) * config_.ap_spacing_m,
+        .y_m = (a / cols) * config_.ap_spacing_m,
+        .channel = a % config_.channels,
+    });
+  }
+}
+
+MeshRunResult MeshSimulator::run() {
+  const TimingModel timing;
+  const ThroughputModel throughput;
+  const double period_s = 1.0 / config_.trainings_per_second;
+  const std::size_t total_links = static_cast<std::size_t>(link_count());
+  const std::size_t slots = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.simulated_seconds / period_s));
+
+  // --- controller-side stores -----------------------------------------------
+  std::vector<LinkRec> links(total_links);
+  std::vector<std::vector<std::size_t>> ap_links(
+      static_cast<std::size_t>(config_.aps));
+  std::vector<std::vector<std::size_t>> channel_links(
+      static_cast<std::size_t>(config_.channels));
+  for (std::size_t l = 0; l < total_links; ++l) {
+    LinkRec& rec = links[l];
+    rec.ap = static_cast<int>(l) / config_.stas_per_ap;
+    rec.channel = aps_[static_cast<std::size_t>(rec.ap)].channel;
+    // Placement: distance and shadowing are the link's own substream, so
+    // topology randomness never couples links.
+    Rng placement(substream_seed(config_.seed, streams::kMeshPlacement,
+                                 static_cast<std::uint64_t>(l), 0,
+                                 link_salt(config_, l)));
+    rec.distance_m =
+        placement.uniform(config_.min_sta_distance_m, config_.max_sta_distance_m);
+    rec.snr_db = config_.snr_at_1m_db +
+                 (line_of_sight_gain_db(rec.distance_m) -
+                  line_of_sight_gain_db(1.0)) +
+                 placement.normal(config_.shadowing_db);
+    ap_links[static_cast<std::size_t>(rec.ap)].push_back(l);
+    channel_links[static_cast<std::size_t>(rec.channel)].push_back(l);
+  }
+  std::vector<ChannelArbiter> arbiters(static_cast<std::size_t>(config_.channels));
+  std::vector<ChannelTotals> channel_totals(
+      static_cast<std::size_t>(config_.channels));
+
+  // --- entities --------------------------------------------------------------
+  EventEngine engine(EventEngineConfig{.threads = config_.threads});
+  const EntityId controller = engine.add_entity("controller");
+  std::vector<EntityId> minions;
+  minions.reserve(static_cast<std::size_t>(config_.aps));
+  for (int a = 0; a < config_.aps; ++a) {
+    minions.push_back(engine.add_entity("minion-ap-" + std::to_string(a)));
+  }
+  std::vector<EntityId> arbiter_entities;
+  arbiter_entities.reserve(static_cast<std::size_t>(config_.channels));
+  for (int c = 0; c < config_.channels; ++c) {
+    arbiter_entities.push_back(engine.add_entity("channel-" + std::to_string(c)));
+  }
+
+  const double training_duration_s =
+      timing.mutual_training_time_ms(static_cast<int>(config_.probes)) / 1000.0;
+  const double association_duration_s =
+      timing.mutual_training_time_ms(kFullSweepProbes) / 1000.0;
+
+  // --- one scan slot ---------------------------------------------------------
+  // dispatch (controller, serial): ignition waves + scan orders. Marks the
+  // due set, then fans the slot out: prepare (minions, commuting) ->
+  // arbitrate (channel arbiters, commuting across channels) -> apply
+  // (minions, commuting). The controller self-schedules the next slot.
+  std::function<void(EventContext&, std::size_t)> dispatch =
+      [&](EventContext& ctx, std::size_t slot) {
+        const double slot_start_s = ctx.now();
+        int budget = config_.ignition_batch;
+        std::vector<bool> ap_due(static_cast<std::size_t>(config_.aps), false);
+        std::vector<bool> channel_due(static_cast<std::size_t>(config_.channels),
+                                      false);
+        for (std::size_t l = 0; l < total_links; ++l) {
+          LinkRec& rec = links[l];
+          if (rec.state == MeshLinkState::kDown && budget > 0) {
+            rec.state = MeshLinkState::kAcquiring;  // (re-)ignition order
+            --budget;
+          }
+          if (rec.state != MeshLinkState::kDown) {
+            rec.due = true;
+            ap_due[static_cast<std::size_t>(rec.ap)] = true;
+            channel_due[static_cast<std::size_t>(rec.channel)] = true;
+          }
+        }
+
+        for (int a = 0; a < config_.aps; ++a) {
+          if (!ap_due[static_cast<std::size_t>(a)]) continue;
+          ctx.schedule(
+              EventSpec{.time_s = slot_start_s,
+                        .entity = minions[static_cast<std::size_t>(a)],
+                        .priority = kPreparePhase,
+                        .commuting = true},
+              [&, a, slot](EventContext&) {
+                for (const std::size_t l : ap_links[static_cast<std::size_t>(a)]) {
+                  LinkRec& rec = links[l];
+                  if (!rec.due) continue;
+                  if (rec.state == MeshLinkState::kUp &&
+                      config_.churn_probability > 0.0 &&
+                      Rng(substream_seed(config_.seed, streams::kMeshChurn,
+                                         static_cast<std::uint64_t>(l), slot,
+                                         link_salt(config_, l)))
+                          .bernoulli(config_.churn_probability)) {
+                    rec.state = MeshLinkState::kDown;  // transient blockage
+                    rec.due = false;
+                    ++rec.churn_drops;
+                    continue;
+                  }
+                  const double jitter =
+                      Rng(substream_seed(config_.seed, streams::kMeshJitter,
+                                         static_cast<std::uint64_t>(l), slot,
+                                         link_salt(config_, l)))
+                          .uniform(0.0, period_s);
+                  rec.desired_s = static_cast<double>(slot) * period_s + jitter;
+                  rec.duration_s = rec.state == MeshLinkState::kAcquiring
+                                       ? association_duration_s
+                                       : training_duration_s;
+                  rec.requested = true;
+                }
+              });
+          ctx.schedule(
+              EventSpec{.time_s = slot_start_s,
+                        .entity = minions[static_cast<std::size_t>(a)],
+                        .priority = kApplyPhase,
+                        .commuting = true},
+              [&, a](EventContext&) {
+                for (const std::size_t l : ap_links[static_cast<std::size_t>(a)]) {
+                  LinkRec& rec = links[l];
+                  if (!rec.due) continue;
+                  if (rec.requested && rec.granted) {
+                    if (rec.state == MeshLinkState::kAcquiring) {
+                      rec.state = MeshLinkState::kUp;
+                      const double done_s = rec.actual_s + rec.duration_s;
+                      if (rec.ignition_time_s < 0.0) {
+                        rec.ignition_time_s = done_s;
+                      } else {
+                        ++rec.reassociations;
+                      }
+                    } else {
+                      ++rec.trainings;
+                    }
+                  }
+                  rec.due = rec.requested = rec.granted = false;
+                }
+              });
+        }
+
+        for (int c = 0; c < config_.channels; ++c) {
+          if (!channel_due[static_cast<std::size_t>(c)]) continue;
+          ctx.schedule(
+              EventSpec{.time_s = slot_start_s,
+                        .entity = arbiter_entities[static_cast<std::size_t>(c)],
+                        .priority = kArbitratePhase,
+                        .commuting = true},
+              [&, c](EventContext&) {
+                ChannelArbiter& arbiter = arbiters[static_cast<std::size_t>(c)];
+                for (const std::size_t l :
+                     channel_links[static_cast<std::size_t>(c)]) {
+                  const LinkRec& rec = links[l];
+                  if (rec.due && rec.requested) {
+                    arbiter.submit(static_cast<std::uint64_t>(l), rec.desired_s,
+                                   rec.duration_s);
+                  }
+                }
+                const ChannelArbiter::Outcome outcome = arbiter.arbitrate();
+                for (const ChannelArbiter::Grant& grant : outcome.grants) {
+                  LinkRec& rec = links[grant.key];
+                  rec.actual_s = grant.actual_s;
+                  rec.granted = true;
+                  if (grant.actual_s > grant.desired_s) {
+                    ++rec.deferrals;
+                    rec.worst_defer_ms =
+                        std::max(rec.worst_defer_ms,
+                                 (grant.actual_s - grant.desired_s) * 1000.0);
+                  }
+                }
+                ChannelTotals& totals = channel_totals[static_cast<std::size_t>(c)];
+                totals.busy_time_s += outcome.busy_time_s;
+                totals.trainings += static_cast<int>(outcome.grants.size());
+                totals.deferred += outcome.deferred;
+                totals.worst_defer_ms =
+                    std::max(totals.worst_defer_ms, outcome.worst_defer_ms);
+              });
+        }
+
+        if (slot + 1 < slots) {
+          ctx.schedule(
+              EventSpec{.time_s = static_cast<double>(slot + 1) * period_s,
+                        .entity = controller,
+                        .priority = kDispatchPhase,
+                        .commuting = false},
+              [&, slot](EventContext& next) { dispatch(next, slot + 1); });
+        }
+      };
+
+  engine.schedule(EventSpec{.time_s = 0.0,
+                            .entity = controller,
+                            .priority = kDispatchPhase,
+                            .commuting = false},
+                  [&](EventContext& ctx) { dispatch(ctx, 0); });
+  engine.run();
+
+  // --- network-wide accounting ----------------------------------------------
+  MeshRunResult result;
+  result.simulated_s = static_cast<double>(slots) * period_s;
+  result.events_executed = engine.stats().executed;
+  result.parallel_batches = engine.stats().parallel_batches;
+
+  result.channels.resize(static_cast<std::size_t>(config_.channels));
+  for (int c = 0; c < config_.channels; ++c) {
+    const ChannelTotals& totals = channel_totals[static_cast<std::size_t>(c)];
+    MeshChannelReport& report = result.channels[static_cast<std::size_t>(c)];
+    report.links = static_cast<int>(channel_links[static_cast<std::size_t>(c)].size());
+    report.busy_time_s = totals.busy_time_s;
+    report.training_airtime_share =
+        std::min(totals.busy_time_s, result.simulated_s) / result.simulated_s;
+    report.trainings = totals.trainings;
+    report.deferred = totals.deferred;
+    report.worst_defer_ms = totals.worst_defer_ms;
+    result.total_trainings += static_cast<std::uint64_t>(totals.trainings);
+    result.deferred_trainings += static_cast<std::uint64_t>(totals.deferred);
+    result.worst_defer_ms = std::max(result.worst_defer_ms, totals.worst_defer_ms);
+  }
+
+  result.links.reserve(total_links);
+  double ignition_sum = 0.0;
+  double snr_sum = 0.0;
+  for (const LinkRec& rec : links) {
+    result.links.push_back(MeshLinkReport{
+        .ap = rec.ap,
+        .channel = rec.channel,
+        .state = rec.state,
+        .distance_m = rec.distance_m,
+        .snr_db = rec.snr_db,
+        .ignition_time_s = rec.ignition_time_s,
+        .trainings = rec.trainings,
+        .deferrals = rec.deferrals,
+        .reassociations = rec.reassociations,
+        .churn_drops = rec.churn_drops,
+        .worst_defer_ms = rec.worst_defer_ms,
+    });
+    if (rec.ignition_time_s >= 0.0) {
+      ++result.ignited;
+      ignition_sum += rec.ignition_time_s;
+      result.max_ignition_s = std::max(result.max_ignition_s, rec.ignition_time_s);
+      snr_sum += rec.snr_db;
+    }
+    result.reassociations += rec.reassociations;
+  }
+  if (result.ignited > 0) {
+    result.mean_ignition_s = ignition_sum / static_cast<double>(result.ignited);
+    result.mean_snr_db = snr_sum / static_cast<double>(result.ignited);
+  }
+
+  // Aggregated user traffic: each AP's Up links serve its offered load
+  // from the data airtime their channel has left, shared round-robin by
+  // the co-channel links (the dense simulator's convention).
+  result.aps.resize(static_cast<std::size_t>(config_.aps));
+  for (int a = 0; a < config_.aps; ++a) {
+    MeshApReport& report = result.aps[static_cast<std::size_t>(a)];
+    report.offered_mbps = config_.offered_load_per_ap_mbps;
+    double capacity = 0.0;
+    for (const std::size_t l : ap_links[static_cast<std::size_t>(a)]) {
+      const LinkRec& rec = links[l];
+      if (rec.state != MeshLinkState::kUp) continue;
+      ++report.up_links;
+      const MeshChannelReport& channel =
+          result.channels[static_cast<std::size_t>(rec.channel)];
+      capacity += throughput.app_throughput_mbps(rec.snr_db) *
+                  (1.0 - channel.training_airtime_share) /
+                  static_cast<double>(channel.links);
+    }
+    report.served_mbps = std::min(report.offered_mbps, capacity);
+    result.aggregate_goodput_mbps += report.served_mbps;
+  }
+  return result;
+}
+
+}  // namespace talon

@@ -1,0 +1,185 @@
+// City-scale 60 GHz mesh on the discrete-event core: a controller/minion
+// split modeled on Terragraph's E2E architecture (SNIPPETS.md Snippet 1).
+//
+// The controller is the single network-wide brain: it owns the topology
+// store (hundreds of APs on a grid, thousands of STA links hanging off
+// them, a frequency-reuse channel assignment), orders association
+// ignition in bounded waves (at most ignition_batch links start
+// associating per scan slot, like Terragraph's ignition app bringing up a
+// figure-of-merit-ordered link list), and schedules the network-wide
+// training scans. The minions are the per-AP agents: each scan slot the
+// controller dispatches one commuting event per AP whose minion advances
+// only its own links (association churn draws, schedule jitter, training
+// requests), then per-channel arbiter entities serialize the requests on
+// their shared medium (sim/contention's ChannelArbiter -- quasi-omni
+// reception means a training occupies its channel for every co-channel
+// link), and a second commuting minion phase applies the grants to the
+// link state machines (Down -> Acquiring -> Up, re-association after
+// churn).
+//
+// Millions of users never appear individually: they arrive as aggregated
+// per-AP offered load, served from the data airtime the training scans
+// leave on each channel.
+//
+// Scale envelope: per-link state is a few dozen bytes (no nodes, no
+// firmware, no sessions -- the link-accurate path stays in
+// NetworkSimulator), so thousands of links simulate faster than real time
+// on one core. Every draw is substream-keyed by (stream tag, link, slot,
+// salt) -- streams::kMesh* in common/rng.hpp -- so runs are bit-identical
+// at any --threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace talon {
+
+struct MeshConfig {
+  /// APs in the topology store, laid out on a square grid.
+  int aps{64};
+  /// STA links per AP (total links = aps * stas_per_ap).
+  int stas_per_ap{4};
+  /// Co-channel arbiter domains; APs are assigned round-robin
+  /// (frequency reuse across the deployment).
+  int channels{4};
+  /// Training scans per second the controller schedules for every Up
+  /// link; one scan slot spans one period.
+  double trainings_per_second{10.0};
+  double simulated_seconds{5.0};
+  /// Links the controller ignites (starts associating) per scan slot --
+  /// the association/ignition ordering knob.
+  int ignition_batch{32};
+  /// Probes per steady-state CSS training; association runs the full
+  /// 34-sector sweep.
+  std::size_t probes{14};
+  /// Per-slot probability an Up link loses association (transient
+  /// blockage churn) and must re-ignite through the controller.
+  double churn_probability{0.0};
+  /// Aggregated offered traffic per AP [Mbps] -- the stand-in for that
+  /// AP's share of millions of users.
+  double offered_load_per_ap_mbps{400.0};
+  /// AP grid spacing [m].
+  double ap_spacing_m{20.0};
+  /// STA link distance range [m] (drawn per link).
+  double min_sta_distance_m{2.0};
+  double max_sta_distance_m{12.0};
+  /// Log-normal shadowing stddev on the per-link SNR [dB].
+  double shadowing_db{2.0};
+  /// Link SNR at 1 m before pathloss and shadowing [dB].
+  double snr_at_1m_db{38.0};
+  std::uint64_t seed{1};
+  /// Worker threads for the commuting event batches; <= 0 uses the
+  /// executor default.
+  int threads{0};
+  /// Optional per-link RNG salt (index = link id, missing = 0), folded
+  /// into that link's substream coordinates only -- the stream-isolation
+  /// tests perturb one link and expect other channels untouched.
+  std::vector<std::uint64_t> link_seed_salts{};
+};
+
+/// One AP row of the controller's topology store.
+struct MeshAp {
+  int id{-1};
+  double x_m{0.0};
+  double y_m{0.0};
+  int channel{-1};
+
+  friend bool operator==(const MeshAp&, const MeshAp&) = default;
+};
+
+enum class MeshLinkState : std::uint8_t {
+  kDown = 0,
+  kAcquiring = 1,
+  kUp = 2,
+};
+
+/// Final per-link record of a run (bit-comparable across runs; the
+/// determinism tests assert full equality at every thread count).
+struct MeshLinkReport {
+  int ap{-1};
+  int channel{-1};
+  MeshLinkState state{MeshLinkState::kDown};
+  double distance_m{0.0};
+  double snr_db{0.0};
+  /// Completion time of the first successful association [s]; negative
+  /// if the link never ignited within the horizon.
+  double ignition_time_s{-1.0};
+  /// Steady-state CSS trainings completed.
+  std::uint64_t trainings{0};
+  /// Trainings that found the channel busy and started late.
+  std::uint64_t deferrals{0};
+  /// Successful re-associations after churn drops.
+  std::uint64_t reassociations{0};
+  /// Times the link lost association to churn.
+  std::uint64_t churn_drops{0};
+  double worst_defer_ms{0.0};
+
+  friend bool operator==(const MeshLinkReport&, const MeshLinkReport&) = default;
+};
+
+struct MeshChannelReport {
+  int links{0};
+  /// Channel time occupied by trainings [s].
+  double busy_time_s{0.0};
+  /// min(busy, horizon) / horizon.
+  double training_airtime_share{0.0};
+  int trainings{0};
+  int deferred{0};
+  double worst_defer_ms{0.0};
+
+  friend bool operator==(const MeshChannelReport&, const MeshChannelReport&) = default;
+};
+
+struct MeshApReport {
+  double offered_mbps{0.0};
+  /// Aggregated goodput actually served to this AP's users [Mbps]:
+  /// its Up links' throughput scaled by the channel's remaining data
+  /// airtime and co-channel sharing, capped by the offered load.
+  double served_mbps{0.0};
+  int up_links{0};
+
+  friend bool operator==(const MeshApReport&, const MeshApReport&) = default;
+};
+
+struct MeshRunResult {
+  std::vector<MeshLinkReport> links;
+  std::vector<MeshChannelReport> channels;
+  std::vector<MeshApReport> aps;
+  double simulated_s{0.0};
+  std::uint64_t events_executed{0};
+  std::uint64_t parallel_batches{0};
+  /// Links that completed association at least once.
+  std::size_t ignited{0};
+  double mean_ignition_s{0.0};
+  double max_ignition_s{0.0};
+  std::uint64_t total_trainings{0};
+  std::uint64_t deferred_trainings{0};
+  double worst_defer_ms{0.0};
+  std::uint64_t reassociations{0};
+  /// Mean per-link SNR over links that ever ignited [dB].
+  double mean_snr_db{0.0};
+  /// Sum of every AP's served load [Mbps].
+  double aggregate_goodput_mbps{0.0};
+
+  friend bool operator==(const MeshRunResult&, const MeshRunResult&) = default;
+};
+
+class MeshSimulator {
+ public:
+  explicit MeshSimulator(MeshConfig config);
+
+  /// Simulate the configured horizon and return the network-wide record.
+  MeshRunResult run();
+
+  int link_count() const { return config_.aps * config_.stas_per_ap; }
+
+  /// The controller's topology store.
+  const std::vector<MeshAp>& topology() const { return aps_; }
+
+ private:
+  MeshConfig config_;
+  std::vector<MeshAp> aps_;
+};
+
+}  // namespace talon

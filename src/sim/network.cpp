@@ -2,28 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 #include "src/antenna/codebook.hpp"
 #include "src/common/error.hpp"
-#include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
 #include "src/mac/timing.hpp"
 #include "src/sim/contention.hpp"
+#include "src/sim/event_engine.hpp"
 
 namespace talon {
 
 namespace {
 
-// Substream stream tags of the network simulator. sim/experiment.cpp owns
-// tags 1-4 (recording/error/quality/throughput); these continue the family
-// so no two runners ever share a substream. Every coordinate tuple
+// Substream stream tags of the network simulator, from the
+// uniqueness-checked registry in common/rng.hpp. Every coordinate tuple
 // includes the link id, which is what makes per-link randomness
 // independent of K, of iteration order, and of the thread count.
-constexpr std::uint64_t kDeviceStream = 5;   ///< (link, side) device seeds
-constexpr std::uint64_t kChannelStream = 6;  ///< (link, round) channel noise
-constexpr std::uint64_t kSessionStream = 7;  ///< (link, salt) probe subsets
-constexpr std::uint64_t kPhaseStream = 8;    ///< (link) schedule jitter
+constexpr std::uint64_t kDeviceStream = streams::kNetworkDevice;
+constexpr std::uint64_t kChannelStream = streams::kNetworkChannel;
+constexpr std::uint64_t kSessionStream = streams::kNetworkSession;
+constexpr std::uint64_t kPhaseStream = streams::kNetworkPhase;
+
+// Priority phases of one training round on the event engine: the
+// commuting per-link physical phase first, then the serial channel
+// arbitration that consumes its outputs.
+constexpr int kPhysicalPhase = 0;
+constexpr int kContentionPhase = 1;
 
 std::uint64_t link_salt(const NetworkConfig& config, std::size_t link) {
   return link < config.link_seed_salts.size() ? config.link_seed_salts[link] : 0;
@@ -91,87 +95,106 @@ NetworkSimulator::NetworkSimulator(NetworkConfig config,
   }
 }
 
+void NetworkSimulator::train_link(std::size_t l, std::size_t round,
+                                  LinkRoundOutcome& out) {
+  LinkSession& session = daemon_.session(static_cast<int>(l));
+  const std::vector<int> subset = session.next_probe_subset();
+  out.probes = subset.size();
+
+  LinkSimulator link(*environment_, config_.radio, config_.measurement,
+                     Rng(substream_seed(config_.seed, kChannelStream,
+                                        static_cast<std::uint64_t>(l), round)));
+  const MutualTrainingResult training =
+      link.mutual_training(*links_[l].initiator, *links_[l].responder,
+                           probing_burst_schedule(subset));
+  out.training_success = training.success;
+
+  // User space: drain the responder's ring, select, install the
+  // override that shapes the next round's feedback.
+  const std::optional<CssResult> selection = session.process_sweep();
+  if (selection) {
+    out.selected = true;
+    out.sector_id = selection->sector_id;
+    out.snr_db = link.true_snr_db(*links_[l].initiator, selection->sector_id,
+                                  *links_[l].responder, kRxQuasiOmniSectorId);
+  }
+}
+
 NetworkRunResult NetworkSimulator::run(const ThroughputModel& throughput) {
   const TimingModel timing;
   const double period_s = 1.0 / config_.trainings_per_second;
   const std::size_t k = links_.size();
 
   NetworkRunResult result;
-  result.rounds.reserve(config_.rounds);
-  double channel_free_s = 0.0;
+  result.rounds.resize(config_.rounds);
+  for (NetworkRound& round : result.rounds) round.links.resize(k);
+
+  // The compatibility facade over the discrete-event core: round r is one
+  // engine timestamp r * period. The physical phase is K commuting
+  // per-link events (each worker touches only its own link's nodes,
+  // firmware and session -- the same ownership rule the old parallel_for
+  // obeyed), and the contention phase is one event of the channel-arbiter
+  // entity, which serializes the round's trainings with the exact
+  // arithmetic of the round-based loop. Selections, deferrals and airtime
+  // are bit-identical to the pre-engine simulator at any thread count.
+  EventEngine engine(EventEngineConfig{.threads = config_.threads});
+  std::vector<EntityId> link_entities;
+  link_entities.reserve(k);
+  for (std::size_t l = 0; l < k; ++l) {
+    link_entities.push_back(engine.add_entity("link-" + std::to_string(l)));
+  }
+  const EntityId arbiter_entity = engine.add_entity("channel-arbiter");
+  ChannelArbiter arbiter;
 
   for (std::size_t r = 0; r < config_.rounds; ++r) {
-    NetworkRound round;
-    round.links.resize(k);
-
-    // Physical phase: every pair trains once. One link per index; each
-    // worker touches only its own link's nodes, firmware and session, so
-    // the fan-out is bit-identical at any thread count.
-    parallel_for(
-        k,
-        [&](std::size_t l) {
-          LinkRoundOutcome& out = round.links[l];
-          LinkSession& session = daemon_.session(static_cast<int>(l));
-          const std::vector<int> subset = session.next_probe_subset();
-          out.probes = subset.size();
-
-          LinkSimulator link(*environment_, config_.radio, config_.measurement,
-                             Rng(substream_seed(config_.seed, kChannelStream,
-                                                static_cast<std::uint64_t>(l), r)));
-          const MutualTrainingResult training =
-              link.mutual_training(*links_[l].initiator, *links_[l].responder,
-                                   probing_burst_schedule(subset));
-          out.training_success = training.success;
-
-          // User space: drain the responder's ring, select, install the
-          // override that shapes the next round's feedback.
-          const std::optional<CssResult> selection = session.process_sweep();
-          if (selection) {
-            out.selected = true;
-            out.sector_id = selection->sector_id;
-            out.snr_db = link.true_snr_db(*links_[l].initiator, selection->sector_id,
-                                          *links_[l].responder, kRxQuasiOmniSectorId);
-          }
-        },
-        ParallelOptions{.threads = config_.threads});
-
-    // Channel phase: serialize this round's K trainings on the one shared
-    // channel (quasi-omni reception means a sweep occupies it for
-    // everyone). The channel-free time carries across rounds, so a
-    // saturated channel staggers later rounds.
-    std::vector<std::size_t> order(k);
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::vector<double> desired(k);
+    const double round_start_s = static_cast<double>(r) * period_s;
+    NetworkRound& round = result.rounds[r];
     for (std::size_t l = 0; l < k; ++l) {
-      desired[l] = static_cast<double>(r) * period_s + links_[l].phase_s;
+      engine.schedule(
+          EventSpec{.time_s = round_start_s,
+                    .entity = link_entities[l],
+                    .priority = kPhysicalPhase,
+                    .commuting = true},
+          [this, l, r, &round](EventContext&) { train_link(l, r, round.links[l]); });
     }
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return desired[a] != desired[b] ? desired[a] < desired[b] : a < b;
-    });
-    std::vector<double> requests(k);
-    std::vector<double> durations(k);
-    for (std::size_t i = 0; i < k; ++i) {
-      requests[i] = desired[order[i]];
-      durations[i] = timing.mutual_training_time_ms(
-                         static_cast<int>(round.links[order[i]].probes)) /
-                     1000.0;
-    }
-    const TrainingSerialization serialized =
-        serialize_trainings(requests, durations, channel_free_s);
-    channel_free_s = serialized.channel_free_s;
-    for (std::size_t i = 0; i < k; ++i) {
-      round.links[order[i]].desired_start_s = requests[i];
-      round.links[order[i]].actual_start_s = serialized.start_times_s[i];
-    }
-    round.busy_time_s = serialized.busy_time_s;
-    round.deferred = serialized.deferred;
-    round.worst_defer_ms = serialized.worst_defer_ms;
+    engine.schedule(
+        EventSpec{.time_s = round_start_s,
+                  .entity = arbiter_entity,
+                  .priority = kContentionPhase,
+                  .commuting = false},
+        [this, r, k, period_s, &timing, &round, &arbiter,
+         &result](EventContext&) {
+          // Channel phase: serialize this round's K trainings on the one
+          // shared channel (quasi-omni reception means a sweep occupies
+          // it for everyone). The arbiter entity carries the channel-free
+          // time across rounds, so a saturated channel staggers later
+          // rounds.
+          for (std::size_t l = 0; l < k; ++l) {
+            const double desired_s =
+                static_cast<double>(r) * period_s + links_[l].phase_s;
+            const double duration_s =
+                timing.mutual_training_time_ms(
+                    static_cast<int>(round.links[l].probes)) /
+                1000.0;
+            arbiter.submit(static_cast<std::uint64_t>(l), desired_s, duration_s);
+          }
+          const ChannelArbiter::Outcome outcome = arbiter.arbitrate();
+          for (const ChannelArbiter::Grant& grant : outcome.grants) {
+            LinkRoundOutcome& out = round.links[grant.key];
+            out.desired_start_s = grant.desired_s;
+            out.actual_start_s = grant.actual_s;
+          }
+          round.busy_time_s = outcome.busy_time_s;
+          round.deferred = outcome.deferred;
+          round.worst_defer_ms = outcome.worst_defer_ms;
 
-    result.total_trainings += static_cast<int>(k);
-    result.deferred_trainings += serialized.deferred;
-    result.worst_defer_ms = std::max(result.worst_defer_ms, serialized.worst_defer_ms);
-    result.rounds.push_back(std::move(round));
+          result.total_trainings += static_cast<int>(k);
+          result.deferred_trainings += outcome.deferred;
+          result.worst_defer_ms =
+              std::max(result.worst_defer_ms, outcome.worst_defer_ms);
+        });
   }
+  engine.run();
 
   // Airtime accounting over the simulated horizon (contention model
   // convention: trainings pushed past it still count up to the horizon).
@@ -191,6 +214,9 @@ NetworkRunResult NetworkSimulator::run(const ThroughputModel& throughput) {
       ++selections;
     }
   }
+  // A run can end with no valid selection at all (e.g. a fault plan that
+  // drops every probe); the means stay at their zero defaults instead of
+  // dividing by zero.
   if (selections > 0) {
     result.mean_selected_snr_db = snr_sum / static_cast<double>(selections);
     result.goodput_per_link_mbps = (tput_sum / static_cast<double>(selections)) *

@@ -10,12 +10,19 @@
 // channel with sim/contention's arithmetic -- deferrals and airtime fall
 // out of the same model the closed-form estimate uses.
 //
-// Determinism contract (the common/parallel caller contract): all
-// randomness is drawn from substream_seed families whose coordinates are
-// (stream tag, link id, round). Per-round physical work fans out over
-// parallel_for with one link per index; a link's state (nodes, firmware,
-// session RNG, adaptive controller) is touched only by the worker that
-// owns that index, so results are bit-identical at any thread count.
+// Since the discrete-event refactor this class is a thin compatibility
+// facade over sim/event_engine: round r is one engine timestamp, the
+// per-link physical work is a commuting event batch (one link entity per
+// worker), and the contention phase is a channel-arbiter entity event
+// (sim/contention's ChannelArbiter). The facade's selections, deferrals
+// and airtime are bit-identical to the pre-engine round-based loop at any
+// thread count (pinned by tests/sim/test_network.cpp's golden sequence).
+//
+// Determinism contract: all randomness is drawn from substream_seed
+// families whose coordinates are (stream tag, link id, round); a link's
+// state (nodes, firmware, session RNG, adaptive controller) is touched
+// only by the worker that owns its entity's events, so results are
+// bit-identical at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -134,6 +141,10 @@ class NetworkSimulator {
     /// Schedule jitter within the training period (fixed per link).
     double phase_s{0.0};
   };
+
+  /// The physical phase of one link in one round (the commuting event
+  /// body): sweep, drain the ring, select, install the override.
+  void train_link(std::size_t link, std::size_t round, LinkRoundOutcome& out);
 
   NetworkConfig config_;
   const Environment* environment_;

@@ -1,0 +1,93 @@
+#include "src/common/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace talon {
+namespace {
+
+TEST(EventKeyTest, OrdersByTimeThenPriorityThenEntityThenSeq) {
+  const EventKey base{1.0, 0, 5, 9};
+  EXPECT_FALSE(event_key_less(base, base));
+
+  // Each field dominates everything after it.
+  EXPECT_TRUE(event_key_less(base, EventKey{2.0, -9, 0, 0}));
+  EXPECT_TRUE(event_key_less(base, EventKey{1.0, 1, 0, 0}));
+  EXPECT_TRUE(event_key_less(base, EventKey{1.0, 0, 6, 0}));
+  EXPECT_TRUE(event_key_less(base, EventKey{1.0, 0, 5, 10}));
+  EXPECT_FALSE(event_key_less(EventKey{1.0, 0, 5, 10}, base));
+}
+
+TEST(EventQueueTest, PopYieldsCanonicalOrderRegardlessOfPushOrder) {
+  EventQueue<int> queue;
+  // Push in deliberately scrambled order.
+  queue.push(2.0, 0, 0, 100);  // seq 0
+  queue.push(1.0, 1, 3, 101);  // seq 1
+  queue.push(1.0, 0, 7, 102);  // seq 2
+  queue.push(1.0, 1, 2, 103);  // seq 3
+  queue.push(1.0, 0, 1, 104);  // seq 4
+
+  std::vector<int> order;
+  while (!queue.empty()) order.push_back(queue.pop().payload);
+  // (1.0,p0,e1) (1.0,p0,e7) (1.0,p1,e2) (1.0,p1,e3) (2.0,p0,e0)
+  EXPECT_EQ(order, (std::vector<int>{104, 102, 103, 101, 100}));
+}
+
+TEST(EventQueueTest, EqualPrefixFallsBackToInsertionSequence) {
+  EventQueue<int> queue;
+  // Same (time, priority, entity): FIFO by insertion sequence.
+  queue.push(1.0, 0, 4, 1);
+  queue.push(1.0, 0, 4, 2);
+  queue.push(1.0, 0, 4, 3);
+  EXPECT_EQ(queue.pop().payload, 1);
+  EXPECT_EQ(queue.pop().payload, 2);
+  EXPECT_EQ(queue.pop().payload, 3);
+}
+
+TEST(EventQueueTest, PushReturnsTheAssignedKey) {
+  EventQueue<int> queue;
+  const EventKey a = queue.push(3.0, 1, 8, 0);
+  const EventKey b = queue.push(3.0, 1, 8, 0);
+  EXPECT_EQ(a.time_s, 3.0);
+  EXPECT_EQ(a.priority, 1);
+  EXPECT_EQ(a.entity, 8u);
+  EXPECT_EQ(b.seq, a.seq + 1);
+  EXPECT_TRUE(event_key_less(a, b));
+}
+
+TEST(EventQueueTest, PopBatchDrainsExactlyTheTopTimePriorityRun) {
+  EventQueue<int> queue;
+  queue.push(1.0, 0, 2, 10);
+  queue.push(1.0, 0, 0, 11);
+  queue.push(1.0, 1, 0, 12);  // same time, later phase
+  queue.push(2.0, 0, 0, 13);  // later time
+
+  const auto batch = queue.pop_batch();
+  ASSERT_EQ(batch.size(), 2u);
+  // Sorted by full key within the batch: entity 0 before entity 2.
+  EXPECT_EQ(batch[0].payload, 11);
+  EXPECT_EQ(batch[1].payload, 10);
+
+  const auto phase = queue.pop_batch();
+  ASSERT_EQ(phase.size(), 1u);
+  EXPECT_EQ(phase[0].payload, 12);
+
+  const auto later = queue.pop_batch();
+  ASSERT_EQ(later.size(), 1u);
+  EXPECT_EQ(later[0].payload, 13);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_TRUE(queue.pop_batch().empty());
+}
+
+TEST(EventQueueTest, TopKeyTracksTheLeastEntry) {
+  EventQueue<int> queue;
+  queue.push(5.0, 0, 0, 0);
+  EXPECT_EQ(queue.top_key().time_s, 5.0);
+  queue.push(4.0, 9, 9, 0);
+  EXPECT_EQ(queue.top_key().time_s, 4.0);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+}  // namespace
+}  // namespace talon

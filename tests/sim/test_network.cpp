@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -130,6 +133,81 @@ TEST(NetworkSimulatorTest, PerturbingOneLinkNeverChangesTheOthers) {
       EXPECT_EQ(got.probes, want.probes) << "round " << r << " link " << l;
     }
   }
+}
+
+TEST(NetworkSimulatorTest, FacadeReproducesRoundBasedGoldenSequence) {
+  // Golden decisions captured from the pre-refactor round-based
+  // NetworkSimulator (K=4, 4 rounds, seed 20260807) before it was
+  // rerouted over the discrete-event engine. SNR values are pinned as
+  // exact bit patterns: the facade must reproduce the old engine bit for
+  // bit, at every thread count.
+  struct Golden {
+    bool selected;
+    int sector;
+    std::uint64_t snr_bits;
+    std::size_t probes;
+  };
+  constexpr Golden kGolden[] = {
+      {true, 63, 0x403b2ca068667c3cULL, 14}, {true, 63, 0x403b3542e51f0184ULL, 14},
+      {true, 12, 0x403b5f01472385c8ULL, 14}, {true, 63, 0x403b542679aea04eULL, 14},
+      {true, 63, 0x403b2ca068667c3cULL, 14}, {true, 12, 0x403b3542e51f0184ULL, 14},
+      {true, 63, 0x403b5f01472385c8ULL, 14}, {true, 63, 0x403b542679aea04eULL, 14},
+      {true, 63, 0x403b2ca068667c3cULL, 14}, {true, 12, 0x403b3542e51f0184ULL, 14},
+      {true, 63, 0x403b5f01472385c8ULL, 14}, {true, 12, 0x403b542679aea04eULL, 14},
+      {true, 12, 0x403b2ca068667c3cULL, 14}, {true, 63, 0x403b3542e51f0184ULL, 14},
+      {true, 63, 0x403b5f01472385c8ULL, 14}, {true, 63, 0x403b542679aea04eULL, 14},
+  };
+  constexpr std::uint64_t kGoldenAirtimeBits = 0x3f621fbd34a954f9ULL;
+
+  for (int threads : {1, 2, 4, 7}) {
+    NetworkConfig config;
+    config.links = 4;
+    config.rounds = 4;
+    config.seed = 20260807;
+    config.threads = threads;
+    NetworkSimulator sim(config, shared_room(), shared_assets());
+    const NetworkRunResult result = sim.run();
+
+    const std::vector<Decision> got = decisions(result);
+    ASSERT_EQ(got.size(), std::size(kGolden)) << "threads=" << threads;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].selected, kGolden[i].selected) << "entry " << i;
+      EXPECT_EQ(got[i].sector, kGolden[i].sector) << "entry " << i;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i].snr),
+                kGolden[i].snr_bits) << "entry " << i;
+      EXPECT_EQ(got[i].probes, kGolden[i].probes) << "entry " << i;
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(result.training_airtime_share),
+              kGoldenAirtimeBits) << "threads=" << threads;
+    EXPECT_EQ(result.deferred_trainings, 0) << "threads=" << threads;
+    EXPECT_EQ(result.worst_defer_ms, 0.0) << "threads=" << threads;
+  }
+}
+
+TEST(NetworkSimulatorTest, ZeroValidSelectionsKeepAggregatesFinite) {
+  // A fault plan that drops every probe: no sweep ever decodes, so the
+  // run ends with zero valid selections. The aggregate means must stay at
+  // their (finite) zero defaults instead of dividing by the selection
+  // count.
+  NetworkConfig config = small_config(1);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->seed = 77;
+  plan->loss.probability = 1.0;
+  config.session.faults = plan;
+
+  NetworkSimulator sim(config, shared_room(), shared_assets());
+  const NetworkRunResult result = sim.run();
+
+  for (const Decision& d : decisions(result)) EXPECT_FALSE(d.selected);
+  EXPECT_EQ(result.mean_selected_snr_db, 0.0);
+  EXPECT_EQ(result.goodput_per_link_mbps, 0.0);
+  EXPECT_TRUE(std::isfinite(result.mean_selected_snr_db));
+  EXPECT_TRUE(std::isfinite(result.goodput_per_link_mbps));
+  // The trainings still happened and burned airtime...
+  EXPECT_EQ(result.total_trainings, 12);
+  EXPECT_GT(result.training_airtime_share, 0.0);
+  // ...and the injector accounted every dropped reading.
+  EXPECT_GT(result.fault_totals.probes_lost, 0u);
 }
 
 TEST(NetworkSimulatorTest, SaturatedChannelDefersTrainings) {

@@ -231,10 +231,33 @@ int cmd_analyze(const ArgParser& args) {
 
 int cmd_dense(const ArgParser& args) {
   const auto seed = static_cast<std::uint64_t>(args.integer_or("--seed", 42));
-  const int links = static_cast<int>(args.integer_or("--links", 4));
-  const auto rounds = static_cast<std::size_t>(args.integer_or("--rounds", 10));
+  const long links_arg = args.integer_or("--links", 4);
+  const long rounds_arg = args.integer_or("--rounds", 10);
   const double rate = args.number_or("--rate", 10.0);
   const auto probes = static_cast<std::size_t>(args.integer_or("--probes", 14));
+
+  // Validate before the (slow) pattern campaign, so a typo'd flag fails
+  // in milliseconds with a message instead of a precondition abort later
+  // (and a negative --rounds never wraps through the size_t cast).
+  if (links_arg <= 0) {
+    std::fprintf(stderr, "dense: --links must be positive (got %ld)\n",
+                 links_arg);
+    return 2;
+  }
+  if (rounds_arg <= 0) {
+    std::fprintf(stderr, "dense: --rounds must be positive (got %ld)\n",
+                 rounds_arg);
+    return 2;
+  }
+  if (rate <= 0.0) {
+    std::fprintf(stderr,
+                 "dense: --rate (trainings per second) must be positive "
+                 "(got %g)\n",
+                 rate);
+    return 2;
+  }
+  const int links = static_cast<int>(links_arg);
+  const auto rounds = static_cast<std::size_t>(rounds_arg);
 
   PatternTable table;
   if (const auto path = args.option("--patterns")) {
