@@ -38,11 +38,22 @@ RayTracedEnvironment::RayTracedEnvironment(std::string name,
                                            bool line_of_sight)
     : name_(std::move(name)),
       reflectors_(std::move(reflectors)),
+      reflector_enabled_(reflectors_.size(), 1),
       line_of_sight_(line_of_sight) {}
 
 void RayTracedEnvironment::set_los_blockage_db(double db) {
   TALON_EXPECTS(db >= 0.0);
   los_blockage_db_ = db;
+}
+
+void RayTracedEnvironment::set_reflector_enabled(std::size_t index, bool enabled) {
+  TALON_EXPECTS(index < reflectors_.size());
+  reflector_enabled_[index] = enabled ? 1 : 0;
+}
+
+bool RayTracedEnvironment::reflector_enabled(std::size_t index) const {
+  TALON_EXPECTS(index < reflectors_.size());
+  return reflector_enabled_[index] != 0;
 }
 
 std::vector<Ray> RayTracedEnvironment::rays(const Vec3& tx, const Vec3& rx) const {
@@ -56,7 +67,9 @@ std::vector<Ray> RayTracedEnvironment::rays(const Vec3& tx, const Vec3& rx) cons
         .gain_db = line_of_sight_gain_db(los_distance) - los_blockage_db_,
     });
   }
-  for (const Reflector& r : reflectors_) {
+  for (std::size_t i = 0; i < reflectors_.size(); ++i) {
+    if (!reflector_enabled_[i]) continue;
+    const Reflector& r = reflectors_[i];
     // Both endpoints must lie on the same side of the plane for a valid
     // single-bounce specular path.
     const double side_tx = plane_coordinate(r, tx) - r.coordinate;

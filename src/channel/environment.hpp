@@ -10,6 +10,7 @@
 //    degrades the correlation accuracy in Fig. 7.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -68,9 +69,18 @@ class RayTracedEnvironment final : public Environment {
   void set_los_blockage_db(double db);
   double los_blockage_db() const { return los_blockage_db_; }
 
+  /// Remove / restore one reflector's specular path without rebuilding
+  /// the environment (reflector churn: furniture moved, a door opened, a
+  /// whiteboard wheeled away). Disabled reflectors contribute no ray but
+  /// keep their index, so churn entities can toggle by stable id.
+  void set_reflector_enabled(std::size_t index, bool enabled);
+  bool reflector_enabled(std::size_t index) const;
+
  private:
   std::string name_;
   std::vector<Reflector> reflectors_;
+  /// Parallel to reflectors_; char avoids vector<bool> proxy weirdness.
+  std::vector<char> reflector_enabled_;
   bool line_of_sight_;
   double los_blockage_db_{0.0};
 };

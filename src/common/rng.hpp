@@ -50,6 +50,14 @@ inline constexpr std::uint64_t kMeshChurn = 15;      ///< (link, slot, salt)
 inline constexpr std::uint64_t kEventEntityFirst = 32;
 inline constexpr std::uint64_t kEventEntityLast = 255;
 
+/// The tag an event-engine entity draws from: its id folded into the
+/// reserved range. Two entities of the same engine never collide unless
+/// more than the range width are registered (the engines here register a
+/// handful), and entity substreams can never collide with named tags.
+inline constexpr std::uint64_t event_entity_tag(std::uint64_t entity) {
+  return kEventEntityFirst + entity % (kEventEntityLast - kEventEntityFirst + 1);
+}
+
 namespace detail {
 /// Compile-time pairwise-distinctness check for the named tags.
 template <std::size_t N>

@@ -9,13 +9,22 @@
 
 namespace talon {
 
+// Empty-input contract: none of these aggregates has a meaningful value
+// for zero samples, so every function below that says "Requires a
+// non-empty input" throws PreconditionError (TALON_EXPECTS) on an empty
+// span rather than returning a fabricated number. Callers that can
+// legitimately see zero samples must branch and report a sentinel
+// instead (see sim/mobility.hpp's kNoRealignSentinel for the pattern).
+
 /// Arithmetic mean. Requires a non-empty input.
 double mean(std::span<const double> values);
 
 /// Sample standard deviation (n-1 denominator). Requires >= 2 values.
 double sample_stddev(std::span<const double> values);
 
-/// Linear-interpolated quantile, q in [0, 1]. Requires a non-empty input.
+/// Linear-interpolated quantile, q in [0, 1]. Requires a non-empty input
+/// (throws PreconditionError on an empty span -- there is no sample to
+/// interpolate between).
 double quantile(std::span<const double> values, double q);
 
 /// Median (0.5 quantile).
@@ -35,7 +44,9 @@ struct BoxStats {
   double whisker_high{0.0};  // 99.5% quantile
 };
 
-/// Compute the Fig. 7 box summary. Requires a non-empty input.
+/// Compute the Fig. 7 box summary. Requires a non-empty input (throws
+/// PreconditionError on an empty span, like the quantiles it is built
+/// from).
 BoxStats box_stats(std::span<const double> values);
 
 /// Fraction of samples equal to the most frequent value ("selection

@@ -1,0 +1,158 @@
+#include "src/core/link_state.hpp"
+
+#include <algorithm>
+
+namespace talon {
+
+const char* to_string(LinkState state) {
+  switch (state) {
+    case LinkState::kDown: return "down";
+    case LinkState::kAcquisition: return "acquisition";
+    case LinkState::kUp: return "up";
+    case LinkState::kUnstable: return "unstable";
+  }
+  return "?";
+}
+
+const char* to_string(LinkEvent event) {
+  switch (event) {
+    case LinkEvent::kIgnite: return "ignite";
+    case LinkEvent::kAcquireRound: return "acquire_round";
+    case LinkEvent::kHealthy: return "healthy";
+    case LinkEvent::kFailure: return "failure";
+    case LinkEvent::kDrop: return "drop";
+  }
+  return "?";
+}
+
+LifecycleStats& LifecycleStats::operator+=(const LifecycleStats& other) {
+  ignitions += other.ignitions;
+  acquisitions += other.acquisitions;
+  destabilizations += other.destabilizations;
+  recoveries += other.recoveries;
+  trips += other.trips;
+  drops += other.drops;
+  healthy_events += other.healthy_events;
+  failure_events += other.failure_events;
+  rejected_events += other.rejected_events;
+  up_time += other.up_time;
+  unstable_time += other.unstable_time;
+  acquisition_time += other.acquisition_time;
+  down_time += other.down_time;
+  return *this;
+}
+
+LinkLifecycle::LinkLifecycle(LinkLifecycleConfig config, LinkState initial)
+    : config_(config), state_(initial) {}
+
+bool LinkLifecycle::permitted(LinkState state, LinkEvent event) {
+  switch (state) {
+    case LinkState::kDown:
+      // A dead link can only be re-ignited by the controller; health
+      // events without an association are stale and must be refused.
+      return event == LinkEvent::kIgnite;
+    case LinkState::kAcquisition:
+      // While a full-SSW window is being served the only legal stimuli
+      // are serving one of its rounds or losing the association.
+      return event == LinkEvent::kAcquireRound || event == LinkEvent::kDrop;
+    case LinkState::kUp:
+    case LinkState::kUnstable:
+      return event == LinkEvent::kHealthy || event == LinkEvent::kFailure ||
+             event == LinkEvent::kDrop;
+  }
+  return false;
+}
+
+TransitionOutcome LinkLifecycle::apply(LinkEvent event) {
+  if (!permitted(state_, event)) {
+    ++stats_.rejected_events;
+    return TransitionOutcome::kRejected;
+  }
+  switch (event) {
+    case LinkEvent::kIgnite: {
+      ++stats_.ignitions;
+      consecutive_failures_ = 0;
+      window_left_ = config_.ignition_rounds;
+      if (window_left_ == 0) {
+        // Degenerate zero-round ignition: association is instantaneous.
+        ++stats_.acquisitions;
+        move_to(LinkState::kUp);
+      } else {
+        move_to(LinkState::kAcquisition);
+      }
+      return TransitionOutcome::kMoved;
+    }
+    case LinkEvent::kAcquireRound: {
+      if (--window_left_ == 0) {
+        ++stats_.acquisitions;
+        consecutive_failures_ = 0;
+        move_to(LinkState::kUp);
+        return TransitionOutcome::kMoved;
+      }
+      return TransitionOutcome::kHeld;
+    }
+    case LinkEvent::kHealthy: {
+      ++stats_.healthy_events;
+      consecutive_failures_ = 0;
+      backoff_ = 1;
+      if (state_ == LinkState::kUnstable) {
+        ++stats_.recoveries;
+        move_to(LinkState::kUp);
+        return TransitionOutcome::kMoved;
+      }
+      return TransitionOutcome::kHeld;
+    }
+    case LinkEvent::kFailure: {
+      ++stats_.failure_events;
+      if (++consecutive_failures_ >= config_.max_consecutive_failures) {
+        // Trip: install a full-SSW window scaled by the backoff, then
+        // double the backoff for the next trip (kHealthy resets it).
+        ++stats_.trips;
+        window_left_ = config_.recovery_rounds * backoff_;
+        backoff_ = std::min(backoff_ * 2, config_.max_recovery_backoff);
+        consecutive_failures_ = 0;
+        if (window_left_ > 0) {
+          move_to(LinkState::kAcquisition);
+          return TransitionOutcome::kMoved;
+        }
+        // Zero-length window: nothing to serve, bounce straight back to
+        // steady state (the legacy encoding never entered fallback).
+        if (state_ == LinkState::kUnstable) {
+          move_to(LinkState::kUp);
+          return TransitionOutcome::kMoved;
+        }
+        return TransitionOutcome::kHeld;
+      }
+      if (state_ == LinkState::kUp) {
+        ++stats_.destabilizations;
+        move_to(LinkState::kUnstable);
+        return TransitionOutcome::kMoved;
+      }
+      return TransitionOutcome::kHeld;
+    }
+    case LinkEvent::kDrop: {
+      // Outage wipes the failure streak and any pending window but keeps
+      // the backoff: a link that was flapping before the drop should not
+      // get a fresh short window right after re-ignition.
+      ++stats_.drops;
+      consecutive_failures_ = 0;
+      window_left_ = 0;
+      move_to(LinkState::kDown);
+      return TransitionOutcome::kMoved;
+    }
+  }
+  return TransitionOutcome::kRejected;
+}
+
+void LinkLifecycle::advance(double dt) {
+  switch (state_) {
+    case LinkState::kDown: stats_.down_time += dt; return;
+    case LinkState::kAcquisition: stats_.acquisition_time += dt; return;
+    case LinkState::kUp: stats_.up_time += dt; return;
+    case LinkState::kUnstable: stats_.unstable_time += dt; return;
+  }
+}
+
+void LinkLifecycle::move_to(LinkState next) { state_ = next; }
+
+}  // namespace talon

@@ -93,4 +93,12 @@ DegradationStats CssDaemon::total_degradation_stats() const {
   return total;
 }
 
+LifecycleStats CssDaemon::total_lifecycle_stats() const {
+  LifecycleStats total;
+  for (const auto& [id, session] : sessions_) {
+    total += session->lifecycle_stats();
+  }
+  return total;
+}
+
 }  // namespace talon

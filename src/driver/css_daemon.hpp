@@ -86,6 +86,10 @@ class CssDaemon {
   /// Sum of all sessions' degradation counters.
   DegradationStats total_degradation_stats() const;
 
+  /// Sum of all sessions' lifecycle transition counters and time-in-state
+  /// aggregates (unit: rounds); zero unless degradation is enabled.
+  LifecycleStats total_lifecycle_stats() const;
+
  private:
   LinkSession& first_session();
   const LinkSession& first_session() const;

@@ -1,6 +1,5 @@
 #include "src/driver/link_session.hpp"
 
-#include <algorithm>
 #include <iostream>
 #include <utility>
 
@@ -16,6 +15,14 @@ CssConfig session_css_config(const CssDaemonConfig& config) {
   // without degradation the selector keeps the pruned argmax fast path.
   css.compute_confidence = config.degradation.enabled;
   return css;
+}
+
+LinkLifecycleConfig session_lifecycle_config(const DegradationConfig& d) {
+  LinkLifecycleConfig lifecycle;
+  lifecycle.max_consecutive_failures = d.max_consecutive_failures;
+  lifecycle.recovery_rounds = d.recovery_rounds;
+  lifecycle.max_recovery_backoff = d.max_recovery_backoff;
+  return lifecycle;
 }
 
 }  // namespace
@@ -38,7 +45,8 @@ LinkSession::LinkSession(Wil6210Driver& driver,
       config_(config),
       controller_(config.adaptive_config),
       rng_(rng),
-      link_id_(link_id) {
+      link_id_(link_id),
+      lifecycle_(session_lifecycle_config(config.degradation), LinkState::kUp) {
   if (config_.track_path) {
     auto tracking = std::make_unique<TrackingCssSelector>(css_, config_.tracker_config);
     tracking_ = tracking.get();
@@ -140,25 +148,25 @@ bool LinkSession::install_selection(int sector_id) {
 void LinkSession::finish_round(bool healthy, bool full_sweep_round) {
   if (injector_) injector_->next_round();
   if (!config_.degradation.enabled) return;
+  // The round just served accrues in the state it was served IN (a
+  // fallback round counts as Acquisition time even when it is the one
+  // that drains the window).
+  lifecycle_.advance(1.0);
   if (full_sweep_round) {
     ++degradation_stats_.full_sweep_rounds;
-    if (--fallback_rounds_left_ == 0) consecutive_failures_ = 0;
+    lifecycle_.apply(LinkEvent::kAcquireRound);
     return;
   }
   if (healthy) {
     ++degradation_stats_.css_rounds;
-    consecutive_failures_ = 0;
-    recovery_backoff_ = 1;
+    lifecycle_.apply(LinkEvent::kHealthy);
     return;
   }
   ++degradation_stats_.failed_rounds;
-  if (++consecutive_failures_ >= config_.degradation.max_consecutive_failures) {
+  const std::uint64_t trips_before = lifecycle_.stats().trips;
+  lifecycle_.apply(LinkEvent::kFailure);
+  if (lifecycle_.stats().trips != trips_before) {
     ++degradation_stats_.fallback_entries;
-    fallback_rounds_left_ =
-        config_.degradation.recovery_rounds * recovery_backoff_;
-    recovery_backoff_ = std::min(recovery_backoff_ * 2,
-                                 config_.degradation.max_recovery_backoff);
-    consecutive_failures_ = 0;
   }
 }
 

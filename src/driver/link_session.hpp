@@ -16,18 +16,15 @@
 // can be dropped, retried with exponential backoff, and ultimately fail.
 // When graceful degradation is enabled, every compressive selection is
 // confidence-gated (CssResult::confidence, the peak-to-second-peak ratio
-// of the Eq. 5 surface) and repeated failures trip a fall back to full
-// SSW sweeps until the link recovers:
-//
-//        healthy            confidence < min_confidence (estimate
-//   +-> [CSS mode] ------------ withheld, current beam kept), css-internal
-//   |        |                  argmax fallback, empty sweep, or lost
-//   |        v                  override: ++consecutive_failures
-//   |   failures >= max_consecutive_failures
-//   |        |
-//   |        v
-//   +-- [full-sweep mode] -- probe all sectors, select with the stock SSW
-//        (recovery_rounds)    argmax, then retry CSS with a clean slate
+// of the Eq. 5 surface) and link health is tracked by the shared
+// LinkLifecycle machine (core/link_state.hpp): unhealthy rounds -- a
+// withheld low-confidence or underfilled estimate, a css-internal argmax
+// fallback, an empty sweep, or a lost override install -- feed kFailure;
+// repeated failures trip the machine into Acquisition, which the session
+// serves as full SSW sweeps (one kAcquireRound per round) until the
+// window drains and CSS is retried with a clean slate. Healthy rounds
+// feed kHealthy, resetting the streak and the exponential re-entry
+// backoff. in_fallback() is simply state() == kAcquisition.
 #pragma once
 
 #include <memory>
@@ -38,6 +35,7 @@
 #include "src/common/fault.hpp"
 #include "src/core/adaptive.hpp"
 #include "src/core/css.hpp"
+#include "src/core/link_state.hpp"
 #include "src/core/pattern_assets.hpp"
 #include "src/core/selector.hpp"
 #include "src/core/subset_policy.hpp"
@@ -163,8 +161,18 @@ class LinkSession {
 
   // --- robustness observability ---------------------------------------------
 
-  /// True while the session is degraded to full SSW sweeps.
-  bool in_fallback() const { return fallback_rounds_left_ > 0; }
+  /// True while the session is degraded to full SSW sweeps (the shared
+  /// lifecycle machine is serving an Acquisition window).
+  bool in_fallback() const {
+    return lifecycle_.state() == LinkState::kAcquisition;
+  }
+
+  /// The lifecycle machine behind in_fallback(): state, transition
+  /// counters and time-in-state aggregates (unit: rounds). Inert -- stays
+  /// kUp with zero counters -- unless degradation is enabled.
+  const LinkLifecycle& lifecycle() const { return lifecycle_; }
+
+  const LifecycleStats& lifecycle_stats() const { return lifecycle_.stats(); }
 
   /// This link's fault counters (all zero when no plan is installed).
   FaultStats fault_stats() const {
@@ -208,11 +216,11 @@ class LinkSession {
   std::set<int> warned_unknown_;
   bool warn_cap_announced_{false};
   std::shared_ptr<LinkFaultInjector> injector_;
-  int consecutive_failures_{0};
-  std::size_t fallback_rounds_left_{0};
-  /// Recovery-window multiplier: doubles on every fallback re-entry (up
-  /// to max_recovery_backoff), resets on a healthy CSS round.
-  std::size_t recovery_backoff_{1};
+  /// The Up/Unstable/Acquisition/Down machine replacing the old ad-hoc
+  /// failure-streak/recovery-window/backoff counters. Sessions start Up
+  /// (an associated link) and never see kIgnite/kDrop -- those belong to
+  /// the mesh controller layer.
+  LinkLifecycle lifecycle_;
   DegradationStats degradation_stats_;
 };
 

@@ -30,7 +30,9 @@ constexpr int kApplyPhase = 3;     ///< minions: grants -> link states
 struct LinkRec {
   int ap{-1};
   int channel{-1};
-  MeshLinkState state{MeshLinkState::kDown};
+  /// The shared Up/Unstable/Acquisition/Down machine; mesh links are born
+  /// Down and wait for controller ignition.
+  LinkLifecycle lifecycle{LinkLifecycleConfig{}, LinkState::kDown};
   double distance_m{0.0};
   double snr_db{0.0};
   // Slot scratch, valid between dispatch and apply of one slot.
@@ -158,11 +160,17 @@ MeshRunResult MeshSimulator::run() {
                                       false);
         for (std::size_t l = 0; l < total_links; ++l) {
           LinkRec& rec = links[l];
-          if (rec.state == MeshLinkState::kDown && budget > 0) {
-            rec.state = MeshLinkState::kAcquiring;  // (re-)ignition order
+          if (rec.lifecycle.state() == LinkState::kDown && budget > 0) {
+            rec.lifecycle.apply(LinkEvent::kIgnite);  // (re-)ignition order
             --budget;
           }
-          if (rec.state != MeshLinkState::kDown) {
+          // Time-in-state accrues once per slot, here in the serial
+          // controller phase so Down links are covered too. The slot
+          // counts toward the state the link holds after ignition orders;
+          // transitions later in the slot (drop, association completion)
+          // show up from the next slot on.
+          rec.lifecycle.advance(period_s);
+          if (rec.lifecycle.state() != LinkState::kDown) {
             rec.due = true;
             ap_due[static_cast<std::size_t>(rec.ap)] = true;
             channel_due[static_cast<std::size_t>(rec.channel)] = true;
@@ -180,13 +188,13 @@ MeshRunResult MeshSimulator::run() {
                 for (const std::size_t l : ap_links[static_cast<std::size_t>(a)]) {
                   LinkRec& rec = links[l];
                   if (!rec.due) continue;
-                  if (rec.state == MeshLinkState::kUp &&
+                  if (rec.lifecycle.state() == LinkState::kUp &&
                       config_.churn_probability > 0.0 &&
                       Rng(substream_seed(config_.seed, streams::kMeshChurn,
                                          static_cast<std::uint64_t>(l), slot,
                                          link_salt(config_, l)))
                           .bernoulli(config_.churn_probability)) {
-                    rec.state = MeshLinkState::kDown;  // transient blockage
+                    rec.lifecycle.apply(LinkEvent::kDrop);  // transient blockage
                     rec.due = false;
                     ++rec.churn_drops;
                     continue;
@@ -197,7 +205,7 @@ MeshRunResult MeshSimulator::run() {
                                          link_salt(config_, l)))
                           .uniform(0.0, period_s);
                   rec.desired_s = static_cast<double>(slot) * period_s + jitter;
-                  rec.duration_s = rec.state == MeshLinkState::kAcquiring
+                  rec.duration_s = rec.lifecycle.state() == LinkState::kAcquisition
                                        ? association_duration_s
                                        : training_duration_s;
                   rec.requested = true;
@@ -213,8 +221,10 @@ MeshRunResult MeshSimulator::run() {
                   LinkRec& rec = links[l];
                   if (!rec.due) continue;
                   if (rec.requested && rec.granted) {
-                    if (rec.state == MeshLinkState::kAcquiring) {
-                      rec.state = MeshLinkState::kUp;
+                    if (rec.lifecycle.state() == LinkState::kAcquisition) {
+                      // The granted association sweep serves the whole
+                      // ignition window (ignition_rounds = 1): -> Up.
+                      rec.lifecycle.apply(LinkEvent::kAcquireRound);
                       const double done_s = rec.actual_s + rec.duration_s;
                       if (rec.ignition_time_s < 0.0) {
                         rec.ignition_time_s = done_s;
@@ -222,6 +232,7 @@ MeshRunResult MeshSimulator::run() {
                         ++rec.reassociations;
                       }
                     } else {
+                      rec.lifecycle.apply(LinkEvent::kHealthy);
                       ++rec.trainings;
                     }
                   }
@@ -314,7 +325,7 @@ MeshRunResult MeshSimulator::run() {
     result.links.push_back(MeshLinkReport{
         .ap = rec.ap,
         .channel = rec.channel,
-        .state = rec.state,
+        .state = rec.lifecycle.state(),
         .distance_m = rec.distance_m,
         .snr_db = rec.snr_db,
         .ignition_time_s = rec.ignition_time_s,
@@ -323,7 +334,9 @@ MeshRunResult MeshSimulator::run() {
         .reassociations = rec.reassociations,
         .churn_drops = rec.churn_drops,
         .worst_defer_ms = rec.worst_defer_ms,
+        .lifecycle = rec.lifecycle.stats(),
     });
+    result.lifecycle_totals += rec.lifecycle.stats();
     if (rec.ignition_time_s >= 0.0) {
       ++result.ignited;
       ignition_sum += rec.ignition_time_s;
@@ -347,7 +360,7 @@ MeshRunResult MeshSimulator::run() {
     double capacity = 0.0;
     for (const std::size_t l : ap_links[static_cast<std::size_t>(a)]) {
       const LinkRec& rec = links[l];
-      if (rec.state != MeshLinkState::kUp) continue;
+      if (rec.lifecycle.state() != LinkState::kUp) continue;
       ++report.up_links;
       const MeshChannelReport& channel =
           result.channels[static_cast<std::size_t>(rec.channel)];

@@ -14,8 +14,12 @@
 // their shared medium (sim/contention's ChannelArbiter -- quasi-omni
 // reception means a training occupies its channel for every co-channel
 // link), and a second commuting minion phase applies the grants to the
-// link state machines (Down -> Acquiring -> Up, re-association after
-// churn).
+// link state machines -- the shared LinkLifecycle (core/link_state.hpp):
+// controller ignition is kIgnite (Down -> Acquisition), the granted
+// association sweep is kAcquireRound (-> Up), churn is kDrop, and every
+// granted steady-state training feeds kHealthy. Driver-layer recovery
+// (LinkSession) runs the very same machine, so controller ignition and
+// session fallback are one model.
 //
 // Millions of users never appear individually: they arrive as aggregated
 // per-AP offered load, served from the data airtime the training scans
@@ -32,6 +36,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "src/core/link_state.hpp"
 
 namespace talon {
 
@@ -88,18 +94,12 @@ struct MeshAp {
   friend bool operator==(const MeshAp&, const MeshAp&) = default;
 };
 
-enum class MeshLinkState : std::uint8_t {
-  kDown = 0,
-  kAcquiring = 1,
-  kUp = 2,
-};
-
 /// Final per-link record of a run (bit-comparable across runs; the
 /// determinism tests assert full equality at every thread count).
 struct MeshLinkReport {
   int ap{-1};
   int channel{-1};
-  MeshLinkState state{MeshLinkState::kDown};
+  LinkState state{LinkState::kDown};
   double distance_m{0.0};
   double snr_db{0.0};
   /// Completion time of the first successful association [s]; negative
@@ -114,6 +114,10 @@ struct MeshLinkReport {
   /// Times the link lost association to churn.
   std::uint64_t churn_drops{0};
   double worst_defer_ms{0.0};
+  /// This link's lifecycle transition counters and time-in-state
+  /// aggregates (unit: seconds), bit-comparable like the rest of the
+  /// record.
+  LifecycleStats lifecycle{};
 
   friend bool operator==(const MeshLinkReport&, const MeshLinkReport&) = default;
 };
@@ -161,6 +165,9 @@ struct MeshRunResult {
   double mean_snr_db{0.0};
   /// Sum of every AP's served load [Mbps].
   double aggregate_goodput_mbps{0.0};
+  /// Network-wide sum of every link's lifecycle record, accumulated in
+  /// link order after the run (thread-count independent).
+  LifecycleStats lifecycle_totals{};
 
   friend bool operator==(const MeshRunResult&, const MeshRunResult&) = default;
 };

@@ -1,0 +1,181 @@
+// Mobility & blockage scenario engine: the dynamic-world campaign the
+// static rig cannot express. The paper trains at fixed rotation-head
+// poses; InferBeam-style evaluations ask the opposite question -- when
+// the user WALKS, ROTATES the device, steps into the LOS, or the room
+// itself changes, how fast does each selection strategy re-align the
+// beam, and what fraction of the time is the link in outage?
+//
+// The engine runs on the deterministic discrete-event core
+// (sim/event_engine). World dynamics and selection arms are separate
+// entities in separate priority phases of each training slot:
+//
+//   priority 0 (world):  walker    -- evaluates the waypoint trajectory
+//                                     and device rotation at the event
+//                                     timestamp and publishes the STA pose
+//                        blockage  -- self-scheduling two-state process:
+//                                     exponential clear->blocked->clear
+//                                     flips of the LOS torso attenuation
+//                        churn     -- self-scheduling reflector toggles
+//                                     (furniture moved, a door opened)
+//   priority 1 (arms):   one commuting entity per selection strategy
+//                        (SswArgmax / Css / TrackingCss), each owning its
+//                        OWN nodes, environment copy, driver and daemon.
+//                        An arm round copies the published world into its
+//                        environment, runs one training, and scores the
+//                        installed beam against the instantaneous optimum.
+//
+// Randomness: the stochastic world entities draw one substream per event
+// from the reserved streams:: event-entity range
+// (streams::event_entity_tag), so enabling churn cannot perturb the
+// blockage timeline and vice versa -- the stream-isolation tests pin
+// this. Arms consume their own per-entity channel/daemon substreams.
+// Every cross-arm interaction goes through the phase-0 world snapshot,
+// so runs are bit-identical at any --threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/antenna/pattern.hpp"
+#include "src/common/vec3.hpp"
+#include "src/core/link_state.hpp"
+
+namespace talon {
+
+/// Sentinel reported by aggregates whose sample set is empty (e.g.
+/// re-alignment latency when no outage ever occurred): quantile()/
+/// box_stats() require non-empty input, so empty spans report this
+/// instead of being aggregated.
+inline constexpr double kNoRealignSentinel = -1.0;
+
+/// Piecewise-linear waypoint loop walked at constant speed, plus a
+/// triangle-wave device-rotation offset around the DUT-facing yaw.
+struct WaypointWalkConfig {
+  /// Visited in order, then back to the first (a loop). Defaults (set by
+  /// MobilitySimulator when empty) stay inside the conference-room
+  /// reflector box.
+  std::vector<Vec3> waypoints{};
+  double speed_mps{1.2};
+  /// Device-rotation triangle wave: the STA yaw swings +-amplitude around
+  /// facing-the-AP at this angular rate. 0 disables rotation.
+  double rotation_deg_per_s{30.0};
+  double rotation_amplitude_deg{45.0};
+};
+
+/// Transient two-state body blockage: clear -> blocked onsets arrive at
+/// `rate_hz` (exponential gaps) and each blockage clears after an
+/// exponential dwell of mean `mean_duration_s`.
+struct BlockageProcessConfig {
+  double rate_hz{0.0};
+  double mean_duration_s{0.6};
+  /// LOS attenuation while blocked (a torso costs 20-30 dB at 60 GHz).
+  double attenuation_db{25.0};
+};
+
+/// Reflector churn: at `rate_hz` (exponential gaps) one uniformly chosen
+/// reflector of the room toggles enabled <-> disabled.
+struct ReflectorChurnConfig {
+  double rate_hz{0.0};
+};
+
+struct MobilityConfig {
+  double duration_s{6.0};
+  /// One training round per arm every interval (20 Hz default -- the
+  /// Talon's practical re-training cadence).
+  double training_interval_s{0.05};
+  /// Probe budget of the compressive arms (the SSW arm always sweeps all
+  /// sectors once primed).
+  std::size_t probes{14};
+  std::uint64_t seed{1};
+  /// Device seed of the fixed AP; must match the device the pattern
+  /// table handed to MobilitySimulator was measured for.
+  std::uint64_t dut_seed{42};
+  /// Worker threads for the commuting arm fan-out; <= 0 uses the
+  /// executor default.
+  int threads{0};
+  WaypointWalkConfig walk{};
+  BlockageProcessConfig blockage{};
+  ReflectorChurnConfig churn{};
+  /// A round whose installed beam loses more than this against the
+  /// instantaneous optimum counts as outage and opens a re-alignment
+  /// episode.
+  double outage_loss_db{10.0};
+  /// The episode closes (latency recorded) when the loss re-enters this
+  /// bound.
+  double realign_loss_db{3.0};
+};
+
+/// The three selection strategies raced through identical worlds.
+enum class MobilityArm : std::uint8_t {
+  kSswArgmax = 0,    ///< full 34-sector sweep + stock argmax
+  kCss = 1,          ///< compressive selection, degradation enabled
+  kTrackingCss = 2,  ///< CSS + path tracker (re-locks after blockage)
+};
+inline constexpr std::size_t kMobilityArmCount = 3;
+
+const char* to_string(MobilityArm arm);
+
+/// Per-arm campaign record (bit-comparable; the determinism tests assert
+/// full equality at every thread count).
+struct MobilityArmResult {
+  MobilityArm arm{MobilityArm::kSswArgmax};
+  std::uint64_t rounds{0};
+  /// Rounds whose beam loss exceeded outage_loss_db.
+  std::uint64_t outage_rounds{0};
+  double outage_fraction{0.0};
+  double mean_loss_db{0.0};
+  double worst_loss_db{0.0};
+  /// Closed re-alignment episodes (outage -> back within realign bound).
+  std::uint64_t realign_episodes{0};
+  /// Episodes still open when the horizon ended (never re-aligned).
+  std::uint64_t unrecovered_episodes{0};
+  /// Re-alignment latency quantiles [s]; kNoRealignSentinel when no
+  /// episode ever closed.
+  double median_realign_s{kNoRealignSentinel};
+  double p90_realign_s{kNoRealignSentinel};
+  double worst_realign_s{kNoRealignSentinel};
+  /// The arm's daemon-side lifecycle record (unit: rounds).
+  LifecycleStats lifecycle{};
+
+  friend bool operator==(const MobilityArmResult&, const MobilityArmResult&) = default;
+};
+
+struct MobilityRunResult {
+  /// Indexed by MobilityArm value.
+  std::vector<MobilityArmResult> arms;
+  double simulated_s{0.0};
+  std::uint64_t events_executed{0};
+  std::uint64_t parallel_batches{0};
+  /// World-process activity (stream-isolation observables).
+  std::uint64_t blockage_events{0};
+  std::uint64_t reflector_toggles{0};
+
+  friend bool operator==(const MobilityRunResult&, const MobilityRunResult&) = default;
+};
+
+class MobilitySimulator {
+ public:
+  /// `table` is the DUT's measured pattern table (the AP keeps the
+  /// bench::kDutSeed device identity; the walking STA is its scenario
+  /// peer).
+  MobilitySimulator(MobilityConfig config, const PatternTable& table);
+
+  MobilityRunResult run();
+
+  /// The deterministic walker trajectory: STA position and yaw offset at
+  /// time t (exposed for tests; this is exactly what the walker entity
+  /// publishes at each event timestamp).
+  Vec3 position_at(double t_s) const;
+  double rotation_offset_deg_at(double t_s) const;
+
+ private:
+  MobilityConfig config_;
+  const PatternTable* table_;
+  /// Waypoint loop scratch: cumulative arc lengths of the closed loop.
+  std::vector<double> cumulative_m_;
+  double loop_length_m_{0.0};
+};
+
+}  // namespace talon

@@ -225,6 +225,7 @@ NetworkRunResult NetworkSimulator::run(const ThroughputModel& throughput) {
   }
   result.fault_totals = daemon_.total_fault_stats();
   result.degradation_totals = daemon_.total_degradation_stats();
+  result.lifecycle_totals = daemon_.total_lifecycle_stats();
   return result;
 }
 

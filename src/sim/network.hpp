@@ -107,6 +107,10 @@ struct NetworkRunResult {
   /// Sum of all links' degradation counters (all zero when degradation is
   /// disabled).
   DegradationStats degradation_totals{};
+  /// Sum of all links' lifecycle transition counters and time-in-state
+  /// aggregates (unit: rounds); zero unless degradation is enabled.
+  /// Bit-comparable across thread counts like fault_totals.
+  LifecycleStats lifecycle_totals{};
 };
 
 class NetworkSimulator {

@@ -40,6 +40,32 @@ TEST(Stats, QuantileRejectsBadQ) {
   EXPECT_THROW(quantile(v, 1.1), PreconditionError);
 }
 
+TEST(Stats, EmptyInputThrowsAcrossTheAggregates) {
+  // The documented contract: no aggregate fabricates a value for zero
+  // samples -- callers with a legitimately empty sample set must branch
+  // and report a sentinel (sim/mobility's kNoRealignSentinel pattern).
+  const std::vector<double> empty;
+  EXPECT_THROW(quantile(empty, 0.5), PreconditionError);
+  EXPECT_THROW(median(empty), PreconditionError);
+  EXPECT_THROW(box_stats(empty), PreconditionError);
+  EXPECT_THROW(median_abs_deviation(empty), PreconditionError);
+  const std::vector<int> empty_ints;
+  EXPECT_THROW(mode_fraction(empty_ints), PreconditionError);
+  EXPECT_THROW(mode_value(empty_ints), PreconditionError);
+}
+
+TEST(Stats, SingleSampleIsTheSmallestLegalInput) {
+  // One sample is legal everywhere the contract says "non-empty": every
+  // quantile collapses onto it.
+  const std::vector<double> one{7.5};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(quantile(one, 0.9), 7.5);
+  const BoxStats box = box_stats(one);
+  EXPECT_DOUBLE_EQ(box.median, 7.5);
+  EXPECT_DOUBLE_EQ(box.whisker_low, 7.5);
+  EXPECT_DOUBLE_EQ(box.whisker_high, 7.5);
+}
+
 TEST(Stats, MedianAbsDeviation) {
   const std::vector<double> v{1.0, 1.0, 2.0, 2.0, 100.0};
   // median = 2, deviations {1,1,0,0,98}, MAD = 1.

@@ -1,0 +1,228 @@
+#include "src/core/link_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace talon {
+namespace {
+
+constexpr LinkState kAllStates[] = {LinkState::kDown, LinkState::kAcquisition,
+                                    LinkState::kUp, LinkState::kUnstable};
+constexpr LinkEvent kAllEvents[] = {LinkEvent::kIgnite, LinkEvent::kAcquireRound,
+                                    LinkEvent::kHealthy, LinkEvent::kFailure,
+                                    LinkEvent::kDrop};
+
+TEST(LinkLifecycleTest, ExhaustiveTransitionTable) {
+  // Every (state, event) pair either transitions (possibly a self-hold)
+  // or is explicitly rejected -- and apply() agrees with permitted() in
+  // all 4 x 5 = 20 cells. The expected table, one row per state:
+  //
+  //             Ignite  AcquireRound  Healthy  Failure  Drop
+  //  Down       yes     no            no       no       no
+  //  Acquisition no     yes           no       no       yes
+  //  Up          no     no            yes      yes      yes
+  //  Unstable    no     no            yes      yes      yes
+  const bool expected[kLinkStateCount][kLinkEventCount] = {
+      /* Down        */ {true, false, false, false, false},
+      /* Acquisition */ {false, true, false, false, true},
+      /* Up          */ {false, false, true, true, true},
+      /* Unstable    */ {false, false, true, true, true},
+  };
+
+  std::size_t cells = 0;
+  for (LinkState state : kAllStates) {
+    for (LinkEvent event : kAllEvents) {
+      ++cells;
+      const bool want =
+          expected[static_cast<std::size_t>(state)][static_cast<std::size_t>(event)];
+      EXPECT_EQ(LinkLifecycle::permitted(state, event), want)
+          << to_string(state) << " + " << to_string(event);
+
+      // apply() on a machine forced into `state` must match the table:
+      // rejected cells leave the state untouched and count the refusal;
+      // accepted cells land in a legal state.
+      LinkLifecycleConfig config;
+      config.max_consecutive_failures = 2;
+      LinkLifecycle machine(config, state);
+      // Acquisition needs a live window for kAcquireRound to be served.
+      if (state == LinkState::kAcquisition) {
+        LinkLifecycle seeded(config, LinkState::kDown);
+        seeded.apply(LinkEvent::kIgnite);
+        machine = seeded;
+      }
+      const TransitionOutcome outcome = machine.apply(event);
+      if (!want) {
+        EXPECT_EQ(outcome, TransitionOutcome::kRejected)
+            << to_string(state) << " + " << to_string(event);
+        EXPECT_EQ(machine.state(), state);
+        EXPECT_EQ(machine.stats().rejected_events, 1u);
+      } else {
+        EXPECT_NE(outcome, TransitionOutcome::kRejected)
+            << to_string(state) << " + " << to_string(event);
+        EXPECT_EQ(machine.stats().rejected_events, 0u);
+      }
+    }
+  }
+  EXPECT_EQ(cells, kLinkStateCount * kLinkEventCount);
+}
+
+TEST(LinkLifecycleTest, IgnitionLadderMatchesMeshSemantics) {
+  // Down --ignite--> Acquisition --one association sweep--> Up.
+  LinkLifecycle link({}, LinkState::kDown);
+  EXPECT_EQ(link.apply(LinkEvent::kIgnite), TransitionOutcome::kMoved);
+  EXPECT_EQ(link.state(), LinkState::kAcquisition);
+  EXPECT_EQ(link.acquisition_rounds_left(), 1u);
+  EXPECT_EQ(link.apply(LinkEvent::kAcquireRound), TransitionOutcome::kMoved);
+  EXPECT_EQ(link.state(), LinkState::kUp);
+  EXPECT_EQ(link.stats().ignitions, 1u);
+  EXPECT_EQ(link.stats().acquisitions, 1u);
+
+  // Churn drop and re-ignition round-trips.
+  EXPECT_EQ(link.apply(LinkEvent::kDrop), TransitionOutcome::kMoved);
+  EXPECT_EQ(link.state(), LinkState::kDown);
+  EXPECT_EQ(link.apply(LinkEvent::kIgnite), TransitionOutcome::kMoved);
+  EXPECT_EQ(link.apply(LinkEvent::kAcquireRound), TransitionOutcome::kMoved);
+  EXPECT_EQ(link.state(), LinkState::kUp);
+  EXPECT_EQ(link.stats().drops, 1u);
+  EXPECT_EQ(link.stats().ignitions, 2u);
+}
+
+TEST(LinkLifecycleTest, FailureBelowThresholdDestabilizesAndHealthyRecovers) {
+  LinkLifecycleConfig config;
+  config.max_consecutive_failures = 3;
+  LinkLifecycle link(config, LinkState::kUp);
+
+  EXPECT_EQ(link.apply(LinkEvent::kFailure), TransitionOutcome::kMoved);
+  EXPECT_EQ(link.state(), LinkState::kUnstable);
+  EXPECT_EQ(link.consecutive_failures(), 1);
+  EXPECT_EQ(link.apply(LinkEvent::kFailure), TransitionOutcome::kHeld);
+  EXPECT_EQ(link.state(), LinkState::kUnstable);
+  EXPECT_EQ(link.consecutive_failures(), 2);
+
+  EXPECT_EQ(link.apply(LinkEvent::kHealthy), TransitionOutcome::kMoved);
+  EXPECT_EQ(link.state(), LinkState::kUp);
+  EXPECT_EQ(link.consecutive_failures(), 0);
+  EXPECT_EQ(link.stats().destabilizations, 1u);
+  EXPECT_EQ(link.stats().recoveries, 1u);
+  EXPECT_EQ(link.stats().trips, 0u);
+}
+
+TEST(LinkLifecycleTest, TripArithmeticIsTheLegacyFallbackBitForBit) {
+  // The exact PR5 LinkSession sequence with max_fail=1, recovery=1,
+  // max_backoff=4: each trip's window is recovery * backoff with the
+  // backoff doubling afterwards, clamped at 4 -- windows 1, 2, 4, 4.
+  LinkLifecycleConfig config;
+  config.max_consecutive_failures = 1;
+  config.recovery_rounds = 1;
+  config.max_recovery_backoff = 4;
+  LinkLifecycle link(config, LinkState::kUp);
+
+  const std::size_t expected_windows[] = {1, 2, 4, 4};
+  std::uint64_t acquire_rounds = 0;
+  for (std::size_t window : expected_windows) {
+    EXPECT_EQ(link.apply(LinkEvent::kFailure), TransitionOutcome::kMoved);
+    EXPECT_EQ(link.state(), LinkState::kAcquisition);
+    EXPECT_EQ(link.acquisition_rounds_left(), window);
+    while (link.state() == LinkState::kAcquisition) {
+      link.apply(LinkEvent::kAcquireRound);
+      ++acquire_rounds;
+    }
+    EXPECT_EQ(link.state(), LinkState::kUp);
+  }
+  // 1 + 2 + 4 + 4 full-sweep rounds, matching the legacy campaign.
+  EXPECT_EQ(acquire_rounds, 11u);
+  EXPECT_EQ(link.stats().trips, 4u);
+  EXPECT_EQ(link.stats().failure_events, 4u);
+
+  // A single healthy round resets the backoff: the next trip's window is
+  // minimal again.
+  link.apply(LinkEvent::kHealthy);
+  EXPECT_EQ(link.recovery_backoff(), 1u);
+  link.apply(LinkEvent::kFailure);
+  EXPECT_EQ(link.acquisition_rounds_left(), 1u);
+}
+
+TEST(LinkLifecycleTest, ZeroWindowTripBouncesStraightBackToSteadyState) {
+  // recovery_rounds = 0 reproduces the legacy edge where the fallback
+  // window was empty and the session never left CSS.
+  LinkLifecycleConfig config;
+  config.max_consecutive_failures = 2;
+  config.recovery_rounds = 0;
+  LinkLifecycle link(config, LinkState::kUp);
+  link.apply(LinkEvent::kFailure);
+  ASSERT_EQ(link.state(), LinkState::kUnstable);
+  EXPECT_EQ(link.apply(LinkEvent::kFailure), TransitionOutcome::kMoved);
+  EXPECT_EQ(link.state(), LinkState::kUp);
+  EXPECT_EQ(link.stats().trips, 1u);
+  EXPECT_EQ(link.acquisition_rounds_left(), 0u);
+}
+
+TEST(LinkLifecycleTest, DropKeepsBackoffButClearsStreakAndWindow) {
+  LinkLifecycleConfig config;
+  config.max_consecutive_failures = 1;
+  config.recovery_rounds = 2;
+  LinkLifecycle link(config, LinkState::kUp);
+  link.apply(LinkEvent::kFailure);  // trip: window 2, backoff doubles to 2
+  ASSERT_EQ(link.state(), LinkState::kAcquisition);
+  EXPECT_EQ(link.recovery_backoff(), 2u);
+
+  link.apply(LinkEvent::kDrop);
+  EXPECT_EQ(link.state(), LinkState::kDown);
+  EXPECT_EQ(link.acquisition_rounds_left(), 0u);
+  EXPECT_EQ(link.consecutive_failures(), 0);
+  // A flapping link keeps its scaled-up window across the outage.
+  EXPECT_EQ(link.recovery_backoff(), 2u);
+  link.apply(LinkEvent::kIgnite);
+  while (link.state() == LinkState::kAcquisition) link.apply(LinkEvent::kAcquireRound);
+  link.apply(LinkEvent::kFailure);
+  EXPECT_EQ(link.acquisition_rounds_left(), 4u);  // recovery 2 x backoff 2
+}
+
+TEST(LinkLifecycleTest, AdvanceAccruesTimeInTheCurrentStateBucket) {
+  LinkLifecycle link({}, LinkState::kDown);
+  link.advance(0.5);
+  link.apply(LinkEvent::kIgnite);
+  link.advance(0.25);
+  link.apply(LinkEvent::kAcquireRound);
+  link.advance(2.0);
+  link.apply(LinkEvent::kFailure);
+  link.advance(0.125);
+
+  const LifecycleStats& stats = link.stats();
+  EXPECT_DOUBLE_EQ(stats.down_time, 0.5);
+  EXPECT_DOUBLE_EQ(stats.acquisition_time, 0.25);
+  EXPECT_DOUBLE_EQ(stats.up_time, 2.0);
+  EXPECT_DOUBLE_EQ(stats.unstable_time, 0.125);
+}
+
+TEST(LinkLifecycleTest, StatsAccumulateAndCompareExactly) {
+  LinkLifecycleConfig config;
+  config.max_consecutive_failures = 1;
+  auto run = [&config] {
+    LinkLifecycle link(config, LinkState::kDown);
+    link.apply(LinkEvent::kIgnite);
+    link.apply(LinkEvent::kAcquireRound);
+    link.apply(LinkEvent::kHealthy);
+    link.apply(LinkEvent::kFailure);
+    link.apply(LinkEvent::kIgnite);  // rejected: not Down
+    link.advance(1.5);
+    return link.stats();
+  };
+  const LifecycleStats a = run();
+  const LifecycleStats b = run();
+  EXPECT_TRUE(a == b);
+
+  LifecycleStats total = a;
+  total += b;
+  EXPECT_EQ(total.ignitions, 2u);
+  EXPECT_EQ(total.trips, 2u);
+  EXPECT_EQ(total.rejected_events, 2u);
+  EXPECT_DOUBLE_EQ(total.acquisition_time, 3.0);
+  EXPECT_FALSE(total == a);
+}
+
+}  // namespace
+}  // namespace talon

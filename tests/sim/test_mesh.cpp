@@ -49,7 +49,7 @@ TEST(MeshSimulatorTest, IgnitionWavesBringEveryLinkUp) {
   std::size_t up = 0;
   for (const MeshLinkReport& link : result.links) {
     EXPECT_GE(link.ignition_time_s, 0.0);
-    up += link.state == MeshLinkState::kUp ? 1 : 0;
+    up += link.state == LinkState::kUp ? 1 : 0;
     EXPECT_GT(link.snr_db, 0.0);
   }
   EXPECT_EQ(up, 8u);

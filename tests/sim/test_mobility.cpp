@@ -1,0 +1,162 @@
+#include "src/sim/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "tests/sim/experiment_fixture.hpp"
+
+namespace talon {
+namespace {
+
+using testutil::ExperimentWorld;
+
+MobilityConfig tiny_config() {
+  MobilityConfig config;
+  config.duration_s = 1.0;
+  config.training_interval_s = 0.1;  // 10 rounds per arm
+  config.seed = 77;
+  config.blockage.rate_hz = 1.5;
+  config.blockage.mean_duration_s = 0.3;
+  config.churn.rate_hz = 1.0;
+  return config;
+}
+
+TEST(MobilitySimulatorTest, TrajectoryLoopsThroughWaypointsAndStaysBounded) {
+  MobilityConfig config = tiny_config();
+  config.walk.speed_mps = 1.2;
+  MobilitySimulator sim(config, ExperimentWorld::instance().table);
+
+  // t = 0 sits on the first default waypoint.
+  EXPECT_EQ(sim.position_at(0.0), (Vec3{3.0, 0.0, 1.0}));
+  // The walk stays inside the conference-room reflector box for a long
+  // horizon (y strictly between the side wall and the whiteboard).
+  for (double t = 0.0; t < 60.0; t += 0.37) {
+    const Vec3 p = sim.position_at(t);
+    EXPECT_GT(p.y, -2.8);
+    EXPECT_LT(p.y, 2.2);
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_LT(p.z, 2.8);
+  }
+  // The rotation offset is a triangle wave: zero at t = 0, bounded by the
+  // amplitude, and actually reaching away from zero.
+  EXPECT_DOUBLE_EQ(sim.rotation_offset_deg_at(0.0), 0.0);
+  double extreme = 0.0;
+  for (double t = 0.0; t < 30.0; t += 0.11) {
+    const double o = sim.rotation_offset_deg_at(t);
+    EXPECT_LE(std::abs(o), config.walk.rotation_amplitude_deg + 1e-12);
+    extreme = std::max(extreme, std::abs(o));
+  }
+  EXPECT_GT(extreme, 0.5 * config.walk.rotation_amplitude_deg);
+}
+
+TEST(MobilitySimulatorTest, RunsAllArmsForEverySlot) {
+  MobilitySimulator sim(tiny_config(), ExperimentWorld::instance().table);
+  const MobilityRunResult result = sim.run();
+
+  ASSERT_EQ(result.arms.size(), kMobilityArmCount);
+  EXPECT_EQ(result.arms[0].arm, MobilityArm::kSswArgmax);
+  EXPECT_EQ(result.arms[1].arm, MobilityArm::kCss);
+  EXPECT_EQ(result.arms[2].arm, MobilityArm::kTrackingCss);
+  for (const MobilityArmResult& arm : result.arms) {
+    EXPECT_EQ(arm.rounds, 10u) << to_string(arm.arm);
+    EXPECT_GE(arm.outage_fraction, 0.0);
+    EXPECT_LE(arm.outage_fraction, 1.0);
+  }
+  EXPECT_GT(result.events_executed, 30u);
+  EXPECT_DOUBLE_EQ(result.simulated_s, 1.0);
+  // The blockage process was active (rate 1.5/s over 1 s).
+  EXPECT_GT(result.blockage_events + result.reflector_toggles, 0u);
+
+  // Lifecycle wiring: the compressive arms track health through the
+  // shared machine; the pinned SSW arm burned one trip and lives in
+  // Acquisition (full-sweep rounds).
+  EXPECT_EQ(result.arms[0].lifecycle.trips, 1u);
+  EXPECT_GT(result.arms[0].lifecycle.acquisition_time, 0.0);
+  EXPECT_GT(result.arms[1].lifecycle.healthy_events +
+                result.arms[1].lifecycle.failure_events,
+            0u);
+}
+
+TEST(MobilitySimulatorTest, BitIdenticalAcrossThreadCounts) {
+  // The acceptance bar: the FULL campaign record -- every per-arm double,
+  // the world-process counters -- compares equal at any thread count.
+  MobilityConfig config = tiny_config();
+  config.threads = 1;
+  const MobilityRunResult baseline =
+      MobilitySimulator(config, ExperimentWorld::instance().table).run();
+
+  for (int threads : {2, 7}) {
+    config.threads = threads;
+    const MobilityRunResult result =
+        MobilitySimulator(config, ExperimentWorld::instance().table).run();
+    EXPECT_TRUE(result == baseline) << "threads=" << threads;
+  }
+}
+
+TEST(MobilitySimulatorTest, EntityStreamsAreIsolated) {
+  // Per-entity substream isolation: the blockage timeline draws only from
+  // the blockage entity's indexed substream, so turning reflector churn
+  // on or off cannot move a single flip -- and vice versa.
+  MobilityConfig config = tiny_config();
+  config.churn.rate_hz = 0.0;
+  const MobilityRunResult no_churn =
+      MobilitySimulator(config, ExperimentWorld::instance().table).run();
+
+  config.churn.rate_hz = 2.0;
+  const MobilityRunResult with_churn =
+      MobilitySimulator(config, ExperimentWorld::instance().table).run();
+  EXPECT_GT(with_churn.reflector_toggles, 0u);
+  EXPECT_EQ(with_churn.blockage_events, no_churn.blockage_events);
+
+  // Symmetric: disabling blockage must not move the churn toggles.
+  MobilityConfig churn_only = tiny_config();
+  churn_only.churn.rate_hz = 2.0;
+  churn_only.blockage.rate_hz = 0.0;
+  const MobilityRunResult no_blockage =
+      MobilitySimulator(churn_only, ExperimentWorld::instance().table).run();
+  EXPECT_EQ(no_blockage.blockage_events, 0u);
+  EXPECT_EQ(no_blockage.reflector_toggles, with_churn.reflector_toggles);
+}
+
+TEST(MobilitySimulatorTest, QuietWorldReportsTheNoRealignSentinel) {
+  // No blockage, no churn, stationary user: nothing ever degrades the
+  // beam enough to open an episode, and the empty latency span reports
+  // the sentinel instead of being aggregated (quantile() would throw).
+  MobilityConfig config = tiny_config();
+  config.blockage.rate_hz = 0.0;
+  config.churn.rate_hz = 0.0;
+  config.walk.speed_mps = 0.0;
+  config.walk.rotation_deg_per_s = 0.0;
+  const MobilityRunResult result =
+      MobilitySimulator(config, ExperimentWorld::instance().table).run();
+
+  for (const MobilityArmResult& arm : result.arms) {
+    EXPECT_EQ(arm.realign_episodes, 0u) << to_string(arm.arm);
+    EXPECT_EQ(arm.median_realign_s, kNoRealignSentinel) << to_string(arm.arm);
+    EXPECT_EQ(arm.p90_realign_s, kNoRealignSentinel) << to_string(arm.arm);
+    EXPECT_EQ(arm.worst_realign_s, kNoRealignSentinel) << to_string(arm.arm);
+  }
+}
+
+TEST(MobilitySimulatorTest, RejectsNonsenseConfigs) {
+  for (auto mutate : std::vector<void (*)(MobilityConfig&)>{
+           [](MobilityConfig& c) { c.duration_s = 0.0; },
+           [](MobilityConfig& c) { c.training_interval_s = -0.1; },
+           [](MobilityConfig& c) { c.probes = 0; },
+           [](MobilityConfig& c) { c.walk.speed_mps = -1.0; },
+           [](MobilityConfig& c) { c.blockage.rate_hz = -0.5; },
+           [](MobilityConfig& c) { c.blockage.mean_duration_s = 0.0; },
+           [](MobilityConfig& c) { c.churn.rate_hz = -1.0; },
+           [](MobilityConfig& c) { c.outage_loss_db = 2.0; },  // <= realign bound
+       }) {
+    MobilityConfig config = tiny_config();
+    mutate(config);
+    EXPECT_THROW(MobilitySimulator(config, ExperimentWorld::instance().table),
+                 PreconditionError);
+  }
+}
+
+}  // namespace
+}  // namespace talon

@@ -11,6 +11,8 @@
 //                       [--patterns patterns.csv] [--probes M]
 //   talon-cli dense     [--links K] [--rounds N] [--rate TRAININGS_PER_S]
 //                       [--probes M] [--patterns patterns.csv] [--seed N]
+//   talon-cli mesh      [--aps K] [--stas N] [--channels C] [--seconds S]
+//                       [--rate TRAININGS_PER_S] [--churn P] [--seed N]
 //   talon-cli table1
 //   talon-cli timing    [--probes M]
 //
@@ -20,7 +22,9 @@
 // is given); `record`/`analyze` split data collection from offline
 // analysis like the paper's router-plus-MATLAB workflow; `dense` runs the
 // multi-link NetworkSimulator (K pairs training under contention on one
-// shared channel); `table1` and `timing` print the protocol constants.
+// shared channel); `mesh` runs the city-scale controller/minion
+// MeshSimulator and prints the network-wide lifecycle ledger; `table1`
+// and `timing` print the protocol constants.
 
 #include <cstdio>
 #include <string>
@@ -34,6 +38,7 @@
 #include "src/mac/monitor.hpp"
 #include "src/mac/timing.hpp"
 #include "src/measure/campaign.hpp"
+#include "src/sim/mesh.hpp"
 #include "src/sim/network.hpp"
 #include "src/sim/records_io.hpp"
 #include "src/sim/scenario.hpp"
@@ -55,6 +60,8 @@ void print_usage() {
       "           [--patterns patterns.csv] [--probes M] [--seed N]\n"
       "  dense    [--links K] [--rounds N] [--rate TRAININGS_PER_S]\n"
       "           [--probes M] [--patterns patterns.csv] [--seed N]\n"
+      "  mesh     [--aps K] [--stas N] [--channels C] [--seconds S]\n"
+      "           [--rate TRAININGS_PER_S] [--churn P] [--seed N]\n"
       "  table1\n"
       "  timing   [--probes M]\n"
       "all commands accept --threads N (default: hardware concurrency,\n"
@@ -301,6 +308,99 @@ int cmd_dense(const ArgParser& args) {
   return 0;
 }
 
+int cmd_mesh(const ArgParser& args) {
+  const auto seed = static_cast<std::uint64_t>(args.integer_or("--seed", 42));
+  const long aps_arg = args.integer_or("--aps", 64);
+  const long stas_arg = args.integer_or("--stas", 4);
+  const long channels_arg = args.integer_or("--channels", 8);
+  const double seconds = args.number_or("--seconds", 5.0);
+  const double rate = args.number_or("--rate", 10.0);
+  const double churn = args.number_or("--churn", 0.002);
+  const auto probes = static_cast<std::size_t>(args.integer_or("--probes", 14));
+
+  // Validate like `dense`: fail in milliseconds on stderr instead of a
+  // precondition abort from deep inside the simulator (and never wrap a
+  // negative count through a cast).
+  if (aps_arg <= 0) {
+    std::fprintf(stderr, "mesh: --aps must be positive (got %ld)\n", aps_arg);
+    return 2;
+  }
+  if (stas_arg <= 0) {
+    std::fprintf(stderr, "mesh: --stas (links per AP) must be positive (got %ld)\n",
+                 stas_arg);
+    return 2;
+  }
+  if (channels_arg <= 0) {
+    std::fprintf(stderr, "mesh: --channels must be positive (got %ld)\n",
+                 channels_arg);
+    return 2;
+  }
+  if (seconds <= 0.0) {
+    std::fprintf(stderr, "mesh: --seconds must be positive (got %g)\n", seconds);
+    return 2;
+  }
+  if (rate <= 0.0) {
+    std::fprintf(stderr,
+                 "mesh: --rate (trainings per second) must be positive (got %g)\n",
+                 rate);
+    return 2;
+  }
+  if (churn < 0.0 || churn > 1.0) {
+    std::fprintf(stderr,
+                 "mesh: --churn must be a probability in [0, 1] (got %g)\n",
+                 churn);
+    return 2;
+  }
+
+  MeshConfig config;
+  config.aps = static_cast<int>(aps_arg);
+  config.stas_per_ap = static_cast<int>(stas_arg);
+  config.channels = static_cast<int>(channels_arg);
+  config.simulated_seconds = seconds;
+  config.trainings_per_second = rate;
+  config.churn_probability = churn;
+  config.probes = probes;
+  config.seed = seed;
+  MeshSimulator sim(config);
+  const MeshRunResult result = sim.run();
+
+  std::printf("%d APs x %d STAs = %d links on %d channels, %.1f s simulated\n\n",
+              config.aps, config.stas_per_ap, sim.link_count(), config.channels,
+              result.simulated_s);
+  std::printf("ignition: %zu/%d links up (mean %.3f s, worst %.3f s), "
+              "%llu re-associations\n",
+              result.ignited, sim.link_count(), result.mean_ignition_s,
+              result.max_ignition_s,
+              static_cast<unsigned long long>(result.reassociations));
+  std::printf("training: %llu total, %llu deferred (worst %.2f ms)\n",
+              static_cast<unsigned long long>(result.total_trainings),
+              static_cast<unsigned long long>(result.deferred_trainings),
+              result.worst_defer_ms);
+  std::printf("mean link SNR %.2f dB -> aggregate goodput %.2f Gbps\n\n",
+              result.mean_snr_db, result.aggregate_goodput_mbps / 1000.0);
+
+  const LifecycleStats& lc = result.lifecycle_totals;
+  std::printf("lifecycle ledger (all links):\n");
+  std::printf("  transitions: %llu ignitions, %llu acquisitions, %llu drops, "
+              "%llu trips, %llu recoveries\n",
+              static_cast<unsigned long long>(lc.ignitions),
+              static_cast<unsigned long long>(lc.acquisitions),
+              static_cast<unsigned long long>(lc.drops),
+              static_cast<unsigned long long>(lc.trips),
+              static_cast<unsigned long long>(lc.recoveries));
+  const double total_time = lc.up_time + lc.unstable_time +
+                            lc.acquisition_time + lc.down_time;
+  if (total_time > 0.0) {
+    std::printf("  time in state: up %.1f%%, unstable %.1f%%, "
+                "acquisition %.1f%%, down %.1f%%\n",
+                100.0 * lc.up_time / total_time,
+                100.0 * lc.unstable_time / total_time,
+                100.0 * lc.acquisition_time / total_time,
+                100.0 * lc.down_time / total_time);
+  }
+  return 0;
+}
+
 int cmd_table1() {
   Scenario s = make_anechoic_scenario(42);
   LinkSimulator link = s.make_link(Rng(1));
@@ -353,6 +453,11 @@ int main(int argc, char** argv) {
   args.add_option("--links");
   args.add_option("--rounds");
   args.add_option("--rate");
+  args.add_option("--aps");
+  args.add_option("--stas");
+  args.add_option("--channels");
+  args.add_option("--seconds");
+  args.add_option("--churn");
   args.add_option("--threads");
   args.add_flag("--full");
   try {
@@ -366,6 +471,7 @@ int main(int argc, char** argv) {
     if (command == "record") return cmd_record(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "dense") return cmd_dense(args);
+    if (command == "mesh") return cmd_mesh(args);
     if (command == "table1") return cmd_table1();
     if (command == "timing") return cmd_timing(args);
     print_usage();
