@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "src/common/cpufeatures.hpp"
 #include "src/common/parallel.hpp"
 #include "src/antenna/synthesis.hpp"
 #include "src/core/css.hpp"
@@ -95,6 +96,51 @@ void BM_CombinedArgmaxGridResolution(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CombinedArgmaxGridResolution)->Arg(5)->Arg(15)->Arg(30)->Arg(60);
+
+void BM_CombinedArgmaxBatch(benchmark::State& state) {
+  // K links sharing one probing subset, resolved in ONE batched pyramid
+  // walk (the dense-deployment daemon path). items/s is argmaxes per
+  // second; compare the per-item time against BM_CombinedArgmax/14 for
+  // the batching gain -- the results are bit-identical either way.
+  const CorrelationEngine engine(shared_table(),
+                                 AngularGrid{make_axis(-90.0, 90.0, 1.5),
+                                             make_axis(0.0, 32.0, 2.0)});
+  std::vector<std::vector<SectorReading>> sweeps;
+  for (std::size_t b = 0; b < static_cast<std::size_t>(state.range(0)); ++b) {
+    sweeps.push_back(make_probes(14, 17));  // same seed: same slot sequence
+    for (SectorReading& r : sweeps.back()) {
+      r.snr_db += 0.01 * static_cast<double>(b);
+      r.rssi_dbm += 0.01 * static_cast<double>(b);
+    }
+  }
+  const std::vector<std::span<const SectorReading>> views(sweeps.begin(),
+                                                          sweeps.end());
+  std::vector<CorrelationEngine::ArgmaxResult> out(views.size());
+  CorrelationWorkspace ws;
+  for (auto _ : state) {
+    engine.combined_argmax_batch(views, out, ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CombinedArgmaxBatch)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_CombinedArgmaxScalarDispatch(benchmark::State& state) {
+  // BM_CombinedArgmax/14 with the scalar tile kernel pinned: the spread
+  // against the default-dispatch run is the SIMD speedup on this host
+  // (zero on machines whose detected level is already scalar).
+  set_simd_level_override(SimdLevel::kScalar);
+  const CorrelationEngine engine(shared_table(),
+                                 AngularGrid{make_axis(-90.0, 90.0, 1.5),
+                                             make_axis(0.0, 32.0, 2.0)});
+  const auto probes = make_probes(14, 17);
+  CorrelationWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.combined_argmax(probes, ws));
+  }
+  clear_simd_level_override();
+}
+BENCHMARK(BM_CombinedArgmaxScalarDispatch);
 
 void BM_SswArgmax(benchmark::State& state) {
   const auto probes = make_probes(34, 13);

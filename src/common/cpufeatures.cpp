@@ -1,0 +1,84 @@
+#include "src/common/cpufeatures.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace talon {
+
+namespace {
+
+/// Override slot: -1 = unset, else a SimdLevel value. Atomic so the
+/// forced-dispatch tests can flip it while worker threads resolve kernels.
+std::atomic<int> g_override{-1};
+
+SimdLevel probe_host() {
+#if defined(__aarch64__) || defined(_M_ARM64)
+  return SimdLevel::kNeon;  // NEON (ASIMD) is architecturally baseline
+#elif defined(__x86_64__) || defined(_M_X64)
+  // __builtin_cpu_supports covers CPUID *and* the OS XSAVE state needed
+  // for the ymm registers to be usable.
+  return __builtin_cpu_supports("avx2") ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+/// Clamp a requested level to what the host can actually run: kScalar is
+/// universal, anything else must match the detected level exactly (AVX2
+/// and NEON never coexist on one architecture).
+SimdLevel clamp_to_host(SimdLevel requested, SimdLevel detected) {
+  if (requested == SimdLevel::kScalar) return SimdLevel::kScalar;
+  return requested == detected ? requested : detected;
+}
+
+/// TALON_SIMD environment request, parsed once. Unknown values are
+/// ignored (detected level wins) rather than erroring: the variable is a
+/// diagnostic/CI knob, not configuration.
+SimdLevel env_request(SimdLevel detected) {
+  const char* env = std::getenv("TALON_SIMD");
+  if (env == nullptr) return detected;
+  const std::string_view v(env);
+  if (v == "scalar") return SimdLevel::kScalar;
+  if (v == "avx2") return clamp_to_host(SimdLevel::kAvx2, detected);
+  if (v == "neon") return clamp_to_host(SimdLevel::kNeon, detected);
+  return detected;
+}
+
+}  // namespace
+
+std::string_view simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+SimdLevel detected_simd_level() {
+  static const SimdLevel detected = probe_host();
+  return detected;
+}
+
+SimdLevel active_simd_level() {
+  const SimdLevel detected = detected_simd_level();
+  static const SimdLevel from_env = env_request(detected);
+  const int forced = g_override.load(std::memory_order_acquire);
+  if (forced >= 0) {
+    return clamp_to_host(static_cast<SimdLevel>(forced), detected);
+  }
+  return from_env;
+}
+
+void set_simd_level_override(SimdLevel level) {
+  g_override.store(static_cast<int>(level), std::memory_order_release);
+}
+
+void clear_simd_level_override() {
+  g_override.store(-1, std::memory_order_release);
+}
+
+}  // namespace talon

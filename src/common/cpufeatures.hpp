@@ -1,0 +1,47 @@
+// Runtime CPU-feature probe behind the SIMD kernel dispatch.
+//
+// The correlation kernels (core/tile_dots.hpp) carry explicitly vectorized
+// AVX2 / NEON variants next to the portable scalar one; all variants are
+// bit-identical by construction (lane-ordered reductions, no FMA
+// contraction), so which one runs is purely a speed decision. That
+// decision is made from here: detected_simd_level() probes the host once
+// at startup, and active_simd_level() folds in two downgrades-only
+// overrides -- the TALON_SIMD environment variable (read once) and the
+// programmatic set_simd_level_override() the forced-dispatch tests use to
+// run the whole argmax suite on the scalar fallback regardless of the
+// host CPU. Overrides never raise the level above what the host supports.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace talon {
+
+/// SIMD tiers the kernels dispatch over, in ascending capability order on
+/// their respective architectures. kScalar is always available.
+enum class SimdLevel : std::uint8_t { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// Human-readable tier name ("scalar", "avx2", "neon").
+std::string_view simd_level_name(SimdLevel level);
+
+/// What the host CPU supports, probed once (cached). x86-64 reports kAvx2
+/// when the CPU (and OS state) support AVX2, aarch64 always reports kNeon
+/// (NEON is baseline there), everything else kScalar.
+SimdLevel detected_simd_level();
+
+/// The level the kernels should dispatch to right now: the programmatic
+/// override if set, else the TALON_SIMD environment request (parsed once
+/// at first use), else the detected level. Requests above the detected
+/// level clamp down to it; "scalar" always wins. Thread-safe (atomic
+/// reads), cheap enough to consult per dispatch resolution.
+SimdLevel active_simd_level();
+
+/// Force a dispatch level (clamped to the detected one). Intended for
+/// tests and benchmarks that pin the scalar fallback; takes effect for
+/// every subsequent kernel resolution process-wide.
+void set_simd_level_override(SimdLevel level);
+
+/// Drop the programmatic override, returning to environment/detected.
+void clear_simd_level_override();
+
+}  // namespace talon

@@ -8,6 +8,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/units.hpp"
+#include "src/core/tile_dots.hpp"
 
 namespace talon {
 
@@ -15,6 +16,14 @@ namespace {
 
 constexpr std::size_t kTile = SubsetPanel::kTilePoints;
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Probe counts at or below this are eligible for combined_surface's
+/// non-tiled direct walk through the full response matrix -- taken only
+/// while the subset looks one-shot (no cached panel yet, see
+/// ResponseMatrix::panel_if_warm): at tiny M a panel build costs more
+/// than the single walk it would replace, but once a subset repeats the
+/// compacted panel's streaming reads win, so it gets built then.
+constexpr std::size_t kDirectSurfaceMaxM = 8;
 
 double to_domain(double db_value, CorrelationDomain domain) {
   return domain == CorrelationDomain::kLinear ? db_to_linear(db_value) : db_value;
@@ -37,30 +46,25 @@ double to_domain(double db_value, CorrelationDomain domain) {
 constexpr double kBoundInflate = 1.0 + 1e-10;
 constexpr double kBoundAbsSlack = 1e-290;
 
-/// One tile's pruning data, from screen_tile().
-struct TileScreen {
-  /// Upper bound on the kernel-FP W anywhere in the tile.
-  double bound{0.0};
-  /// Upper bound (same slack argument) on the reciprocal of every
-  /// positive-norm point's SNR denominator snr_norm * ||x(g)||.
-  double rs{0.0};
-  /// Upper bound on cr^2 anywhere in the tile, inflation included.
-  double cr2{0.0};
-};
+}  // namespace
+
+namespace detail {
 
 /// Bound one tile from its per-slot normalized-response maxima `u`
 /// (|x_m(g)| / ||x(g)|| maximized over the tile, see SubsetPanel):
 /// |cs(g)| = |<p, x(g)/||x(g)||>| / p_norm <= dot(|p|, u) / p_norm for
-/// every g in the tile, and likewise for cr.
-TileScreen screen_tile(const double* ps, const double* pr, const double* u,
-                       double sqrt_min_norm, std::size_t m, double inv_snr_norm,
-                       double inv_rssi_norm) {
+/// every g in the tile, and likewise for cr. Callers pass the probe
+/// magnitudes |p| precomputed.
+TileScreen screen_tile_float(const double* abs_ps, const double* abs_pr,
+                             const double* u, double sqrt_min_norm,
+                             std::size_t m, double inv_snr_norm,
+                             double inv_rssi_norm) {
   double as = 0.0;
   double ar = 0.0;
   for (std::size_t mm = 0; mm < m; ++mm) {
     const double um = u[mm];
-    as += std::abs(ps[mm]) * um;
-    ar += std::abs(pr[mm]) * um;
+    as += abs_ps[mm] * um;
+    ar += abs_pr[mm] * um;
   }
   const double cs_ub = as * inv_snr_norm;
   const double cr_ub = ar * inv_rssi_norm;
@@ -71,50 +75,42 @@ TileScreen screen_tile(const double* ps, const double* pr, const double* u,
   return {bound, rs, cr2};
 }
 
-/// Dense per-tile dot products: out_s[gi] = sum_m ps[m] * block[m * kTile
-/// + gi], accumulated in ascending m for every gi -- the exact order (and
-/// so the exact rounding) of the scalar per-point loop. The RSSI channel
-/// rides the same pass when pr != nullptr. Register-blocked: a full
-/// kTile-wide accumulator array would spill out of the 16 XMM registers,
-/// which costs more than the arithmetic.
-void tile_dots(const double* block, const double* ps, const double* pr,
-               std::size_t m_count, double* out_s, double* out_r) {
-  constexpr std::size_t kBlock = 8;
-  static_assert(kTile % kBlock == 0);
-  for (std::size_t g0 = 0; g0 < kTile; g0 += kBlock) {
-    double as[kBlock] = {};
-    double ar[kBlock] = {};
-    const double* base = block + g0;
-    if (pr != nullptr) {
-      for (std::size_t m = 0; m < m_count; ++m) {
-        const double pvs = ps[m];
-        const double pvr = pr[m];
-        const double* row = base + m * kTile;
-        for (std::size_t j = 0; j < kBlock; ++j) {
-          as[j] += pvs * row[j];
-          ar[j] += pvr * row[j];
-        }
-      }
-      for (std::size_t j = 0; j < kBlock; ++j) {
-        out_s[g0 + j] = as[j];
-        out_r[g0 + j] = ar[j];
-      }
-    } else {
-      for (std::size_t m = 0; m < m_count; ++m) {
-        const double pvs = ps[m];
-        const double* row = base + m * kTile;
-        for (std::size_t j = 0; j < kBlock; ++j) {
-          as[j] += pvs * row[j];
-        }
-      }
-      for (std::size_t j = 0; j < kBlock; ++j) {
-        out_s[g0 + j] = as[j];
-      }
-    }
+/// The same bound from the int16 sidecar, reading 2 bytes of tile
+/// statistics per slot instead of 8 (the pyramid screens are what the
+/// traversal's memory traffic is made of at small M).
+///
+/// Soundness: the dequantized statistic q[mm] * scale is EXACT in double
+/// (a <= 15-bit integer times a power of two) and >= u[mm] by
+/// construction (round-up, see ResponseMatrix::build_panel). Every
+/// operation below matches screen_tile_float's sequence on inputs that
+/// are element-wise >= its inputs, all terms are non-negative, and IEEE
+/// rounding is monotone -- so every field of the result dominates the
+/// float screen's field, which already rigorously dominates the kernel
+/// result (slack argument above). Pruning on the quantized bound can
+/// therefore never cut a tile or point the float bound would keep, and
+/// since a valid bound set yields the exact argmax under ANY traversal
+/// order, the selection stays bit-identical to the full surface peak.
+TileScreen screen_tile_q(const double* abs_ps, const double* abs_pr,
+                         const std::uint16_t* q, double scale,
+                         double sqrt_min_norm, std::size_t m,
+                         double inv_snr_norm, double inv_rssi_norm) {
+  double as = 0.0;
+  double ar = 0.0;
+  for (std::size_t mm = 0; mm < m; ++mm) {
+    const double um = static_cast<double>(q[mm]) * scale;
+    as += abs_ps[mm] * um;
+    ar += abs_pr[mm] * um;
   }
+  const double cs_ub = as * inv_snr_norm;
+  const double cr_ub = ar * inv_rssi_norm;
+  const double cr2 = (cr_ub * cr_ub) * kBoundInflate;
+  const double bound = (cs_ub * cs_ub) * cr2 + kBoundAbsSlack;
+  const double rs =
+      sqrt_min_norm < kInf ? inv_snr_norm / sqrt_min_norm : 0.0;
+  return {bound, rs, cr2};
 }
 
-}  // namespace
+}  // namespace detail
 
 CorrelationEngine::CorrelationEngine(const PatternTable& patterns,
                                      AngularGrid search_grid,
@@ -215,12 +211,56 @@ Grid2D CorrelationEngine::combined_surface(
   TALON_EXPECTS(rssi_norm_sq > 0.0);
   const double rssi_norm = std::sqrt(rssi_norm_sq);
 
-  const std::shared_ptr<const SubsetPanel> panel = matrix_.panel(probes.slots);
+  Grid2D out(matrix_.grid());
+  std::vector<double>& w = out.values();
+
+  // Small-M one-shot fast path: on the first sighting of a subset,
+  // walking the full response matrix rows directly beats building a
+  // panel this call might use once (the build itself walks the whole
+  // matrix). Once the subset repeats -- panel_if_warm promotes it on the
+  // second sighting -- the compacted tile walk below wins: it streams
+  // M*8 bytes per point through the SIMD kernel instead of gathering
+  // from the full sector row. Both paths are bit-identical: per point,
+  // the dots, the norm and the epilogue all accumulate in the same
+  // ascending sequence order (the panel's values and norms are built in
+  // exactly this order).
+  std::shared_ptr<const SubsetPanel> panel =
+      probes.slots.size() <= kDirectSurfaceMaxM
+          ? matrix_.panel_if_warm(probes.slots)
+          : matrix_.panel(probes.slots);
+  if (panel == nullptr && probes.slots.size() <= kDirectSurfaceMaxM) {
+    const std::size_t m_count = probes.slots.size();
+    const int* slots = probes.slots.data();
+    const double* ps = probes.snr.data();
+    const double* pr = probes.rssi.data();
+    const std::size_t points = matrix_.points();
+    for (std::size_t g = 0; g < points; ++g) {
+      const std::span<const double> row = matrix_.point(g);
+      double ds = 0.0;
+      double dr = 0.0;
+      double x_norm_sq = 0.0;
+      for (std::size_t m = 0; m < m_count; ++m) {
+        const double x = row[static_cast<std::size_t>(slots[m])];
+        ds += ps[m] * x;
+        dr += pr[m] * x;
+        x_norm_sq += x * x;
+      }
+      if (x_norm_sq <= 0.0) {
+        w[g] = 0.0;
+        continue;
+      }
+      const double x_norm = std::sqrt(x_norm_sq);
+      const double cs = ds / (snr_norm * x_norm);
+      const double cr = dr / (rssi_norm * x_norm);
+      w[g] = (cs * cs) * (cr * cr);
+    }
+    return out;
+  }
+
+  if (panel == nullptr) panel = matrix_.panel(probes.slots);
   const SubsetPanel& pan = *panel;
   const std::size_t m_count = pan.m();
 
-  Grid2D out(matrix_.grid());
-  std::vector<double>& w = out.values();
   double dot_snr[kTile];
   double dot_rssi[kTile];
   for (std::size_t t = 0; t < pan.fine_tiles; ++t) {
@@ -284,6 +324,17 @@ CorrelationEngine::ArgmaxResult CorrelationEngine::combined_argmax(
   const double inv_snr_norm = 1.0 / snr_norm;
   const double inv_rssi_norm = 1.0 / rssi_norm;
 
+  // Probe magnitudes once per call; every screen below dots them against
+  // the panel's int16 screening sidecar.
+  ws.ensure_size(ws.abs_snr_, m_count);
+  ws.ensure_size(ws.abs_rssi_, m_count);
+  for (std::size_t m = 0; m < m_count; ++m) {
+    ws.abs_snr_[m] = std::abs(ps[m]);
+    ws.abs_rssi_[m] = std::abs(pr[m]);
+  }
+  const double* abs_ps = ws.abs_snr_.data();
+  const double* abs_pr = ws.abs_rssi_.data();
+
   // Level 1: bound every coarse tile and order them best-bound-first, so
   // the running best is (almost always) the true peak after the first
   // tile and everything else prunes.
@@ -292,9 +343,9 @@ CorrelationEngine::ArgmaxResult CorrelationEngine::combined_argmax(
   ws.ensure_size(ws.coarse_order_, nc);
   for (std::size_t c = 0; c < nc; ++c) {
     ws.coarse_bound_[c] =
-        screen_tile(ps, pr, pan.coarse_abs_norm_max.data() + c * m_count,
-                    pan.coarse_sqrt_min_norm[c], m_count, inv_snr_norm,
-                    inv_rssi_norm)
+        detail::screen_tile_q(abs_ps, abs_pr, pan.coarse_q.data() + c * m_count,
+                              pan.coarse_q_scale[c], pan.coarse_sqrt_min_norm[c],
+                              m_count, inv_snr_norm, inv_rssi_norm)
             .bound;
     ws.coarse_order_[c] = static_cast<std::uint32_t>(c);
   }
@@ -324,14 +375,13 @@ CorrelationEngine::ArgmaxResult CorrelationEngine::combined_argmax(
 
     // Level 2: rebound the coarse tile's fine tiles and visit those
     // best-first too.
-    TileScreen screens[SubsetPanel::kFinePerCoarse];
+    detail::TileScreen screens[SubsetPanel::kFinePerCoarse];
     std::size_t order[SubsetPanel::kFinePerCoarse];
     for (std::size_t k = 0; k < nf; ++k) {
       const std::size_t t = t0 + k;
-      screens[k] =
-          screen_tile(ps, pr, pan.fine_abs_norm_max.data() + t * m_count,
-                      pan.fine_sqrt_min_norm[t], m_count, inv_snr_norm,
-                      inv_rssi_norm);
+      screens[k] = detail::screen_tile_q(
+          abs_ps, abs_pr, pan.fine_q.data() + t * m_count, pan.fine_q_scale[t],
+          pan.fine_sqrt_min_norm[t], m_count, inv_snr_norm, inv_rssi_norm);
       order[k] = k;
     }
     for (std::size_t k = 1; k < nf; ++k) {  // insertion sort: nf <= 8
@@ -345,7 +395,7 @@ CorrelationEngine::ArgmaxResult CorrelationEngine::combined_argmax(
     }
 
     for (std::size_t k = 0; k < nf; ++k) {
-      const TileScreen& s = screens[order[k]];
+      const detail::TileScreen& s = screens[order[k]];
       if (s.bound < best) break;
       const std::size_t t = t0 + order[k];
       const std::size_t g0 = t * kTile;
@@ -403,6 +453,299 @@ CorrelationEngine::ArgmaxResult CorrelationEngine::combined_argmax(
     std::span<const SectorReading> readings) const {
   CorrelationWorkspace ws;
   return combined_argmax(readings, ws);
+}
+
+void CorrelationEngine::argmax_group(
+    std::span<const std::uint32_t> members,
+    std::span<const std::span<const SectorReading>> sweeps,
+    std::span<ArgmaxResult> out, CorrelationWorkspace& ws) const {
+  (void)sweeps;  // only the debug-build cross-check below reads them
+  const std::size_t k_members = members.size();
+  const ProbeVectors& first = ws.batch_probes_[members[0]];
+
+  // Resolve the group's shared panel. Reuse the workspace-cached panel
+  // when it matches; otherwise go through the matrix cache WITHOUT
+  // displacing ws.panel_ -- a multi-group batch would ping-pong it every
+  // call and turn the growth counter into noise. A cache hit under the
+  // shared lock allocates nothing, so the steady-state batch stays
+  // allocation-free either way.
+  std::shared_ptr<const SubsetPanel> local_panel;
+  const SubsetPanel* pan_ptr;
+  if (ws.panel_ && ws.panel_->slots == first.slots) {
+    pan_ptr = ws.panel_.get();
+  } else {
+    local_panel = matrix_.panel(first.slots);
+    pan_ptr = local_panel.get();
+  }
+  const SubsetPanel& pan = *pan_ptr;
+  const std::size_t m_count = pan.m();
+
+  // Per-member norms, probe magnitudes and running-best state.
+  ws.ensure_size(ws.batch_snr_norm_, k_members);
+  ws.ensure_size(ws.batch_rssi_norm_, k_members);
+  ws.ensure_size(ws.batch_inv_snr_, k_members);
+  ws.ensure_size(ws.batch_inv_rssi_, k_members);
+  ws.ensure_size(ws.batch_best_, k_members);
+  ws.ensure_size(ws.batch_best_g_, k_members);
+  ws.ensure_size(ws.batch_ps_, k_members);
+  ws.ensure_size(ws.batch_pr_, k_members);
+  ws.ensure_size(ws.batch_coarse_active_, k_members);
+  ws.ensure_size(ws.batch_tile_active_, k_members);
+  ws.ensure_size(ws.batch_abs_, k_members * 2 * m_count);
+  for (std::size_t b = 0; b < k_members; ++b) {
+    const ProbeVectors& p = ws.batch_probes_[members[b]];
+    double snr_norm_sq = 0.0;
+    for (double v : p.snr) snr_norm_sq += v * v;
+    TALON_EXPECTS(snr_norm_sq > 0.0);
+    double rssi_norm_sq = 0.0;
+    for (double v : p.rssi) rssi_norm_sq += v * v;
+    TALON_EXPECTS(rssi_norm_sq > 0.0);
+    ws.batch_snr_norm_[b] = std::sqrt(snr_norm_sq);
+    ws.batch_rssi_norm_[b] = std::sqrt(rssi_norm_sq);
+    ws.batch_inv_snr_[b] = 1.0 / ws.batch_snr_norm_[b];
+    ws.batch_inv_rssi_[b] = 1.0 / ws.batch_rssi_norm_[b];
+    ws.batch_ps_[b] = p.snr.data();
+    ws.batch_pr_[b] = p.rssi.data();
+    double* abs_row = ws.batch_abs_.data() + b * 2 * m_count;
+    for (std::size_t m = 0; m < m_count; ++m) {
+      abs_row[m] = std::abs(p.snr[m]);
+      abs_row[m_count + m] = std::abs(p.rssi[m]);
+    }
+    ws.batch_best_[b] = -1.0;  // below any W: first visited tile evaluates
+    ws.batch_best_g_[b] = 0;
+  }
+
+  // Level 1: every coarse tile bounded for every member; tiles are walked
+  // in order of their best member bound, each member pruning by its own
+  // bound exactly as the single-sweep path does.
+  const std::size_t nc = pan.coarse_tiles;
+  ws.ensure_size(ws.coarse_bound_, nc);
+  ws.ensure_size(ws.coarse_order_, nc);
+  ws.ensure_size(ws.batch_member_bound_, nc * k_members);
+  for (std::size_t c = 0; c < nc; ++c) {
+    double group_bound = 0.0;
+    for (std::size_t b = 0; b < k_members; ++b) {
+      const double* abs_row = ws.batch_abs_.data() + b * 2 * m_count;
+      const double bound =
+          detail::screen_tile_q(abs_row, abs_row + m_count,
+                                pan.coarse_q.data() + c * m_count,
+                                pan.coarse_q_scale[c], pan.coarse_sqrt_min_norm[c],
+                                m_count, ws.batch_inv_snr_[b],
+                                ws.batch_inv_rssi_[b])
+              .bound;
+      ws.batch_member_bound_[c * k_members + b] = bound;
+      group_bound = std::max(group_bound, bound);
+    }
+    ws.coarse_bound_[c] = group_bound;
+    ws.coarse_order_[c] = static_cast<std::uint32_t>(c);
+  }
+  std::sort(ws.coarse_order_.begin(), ws.coarse_order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (ws.coarse_bound_[a] != ws.coarse_bound_[b]) {
+                return ws.coarse_bound_[a] > ws.coarse_bound_[b];
+              }
+              return a < b;
+            });
+
+  ws.ensure_size(ws.batch_screens_, SubsetPanel::kFinePerCoarse * k_members);
+  double dsg[kTile];
+
+  for (const std::uint32_t c : ws.coarse_order_) {
+    // The group bound is the max member bound, so once it drops below the
+    // weakest member's running best, no later tile can help anyone.
+    double min_best = kInf;
+    for (std::size_t b = 0; b < k_members; ++b) {
+      min_best = std::min(min_best, ws.batch_best_[b]);
+    }
+    if (ws.coarse_bound_[c] < min_best) break;
+    const std::size_t t0 = c * SubsetPanel::kFinePerCoarse;
+    bool any_active = false;
+    for (std::size_t b = 0; b < k_members; ++b) {
+      const double mb = ws.batch_member_bound_[c * k_members + b];
+      // The single-sweep visit rule, per member: the tile can beat this
+      // member's best, or tie it at a lower grid index.
+      const bool active =
+          mb > ws.batch_best_[b] ||
+          (mb == ws.batch_best_[b] && t0 * kTile <= ws.batch_best_g_[b]);
+      ws.batch_coarse_active_[b] = active ? 1 : 0;
+      any_active |= active;
+    }
+    if (!any_active) continue;
+    const std::size_t t1 = std::min(t0 + SubsetPanel::kFinePerCoarse, pan.fine_tiles);
+    const std::size_t nf = t1 - t0;
+
+    // Level 2: fine screens for the members still in play, visited in
+    // order of the best member fine bound.
+    double fine_max[SubsetPanel::kFinePerCoarse];
+    std::size_t order[SubsetPanel::kFinePerCoarse];
+    for (std::size_t k = 0; k < nf; ++k) {
+      const std::size_t t = t0 + k;
+      double group_bound = 0.0;
+      for (std::size_t b = 0; b < k_members; ++b) {
+        if (!ws.batch_coarse_active_[b]) continue;
+        const double* abs_row = ws.batch_abs_.data() + b * 2 * m_count;
+        ws.batch_screens_[k * k_members + b] = detail::screen_tile_q(
+            abs_row, abs_row + m_count, pan.fine_q.data() + t * m_count,
+            pan.fine_q_scale[t], pan.fine_sqrt_min_norm[t], m_count,
+            ws.batch_inv_snr_[b], ws.batch_inv_rssi_[b]);
+        group_bound =
+            std::max(group_bound, ws.batch_screens_[k * k_members + b].bound);
+      }
+      fine_max[k] = group_bound;
+      order[k] = k;
+    }
+    for (std::size_t k = 1; k < nf; ++k) {  // insertion sort: nf <= 8
+      const std::size_t v = order[k];
+      std::size_t j = k;
+      while (j > 0 && fine_max[order[j - 1]] < fine_max[v]) {
+        order[j] = order[j - 1];
+        --j;
+      }
+      order[j] = v;
+    }
+
+    for (std::size_t k = 0; k < nf; ++k) {
+      double min_active_best = kInf;
+      for (std::size_t b = 0; b < k_members; ++b) {
+        if (!ws.batch_coarse_active_[b]) continue;
+        min_active_best = std::min(min_active_best, ws.batch_best_[b]);
+      }
+      if (fine_max[order[k]] < min_active_best) break;
+      const std::size_t t = t0 + order[k];
+      const std::size_t g0 = t * kTile;
+      bool tile_any = false;
+      for (std::size_t b = 0; b < k_members; ++b) {
+        bool active = false;
+        if (ws.batch_coarse_active_[b]) {
+          const detail::TileScreen& s = ws.batch_screens_[order[k] * k_members + b];
+          active = s.bound > ws.batch_best_[b] ||
+                   (s.bound == ws.batch_best_[b] && g0 <= ws.batch_best_g_[b]);
+        }
+        ws.batch_tile_active_[b] = active ? 1 : 0;
+        tile_any |= active;
+      }
+      if (!tile_any) continue;
+      const std::size_t count = std::min(kTile, pan.points - g0);
+      const double* block = pan.tile_values(t);
+      const double* norms = pan.norms_sq.data();
+
+      // The tile's values are walked back to back for every surviving
+      // member while they are cache-hot -- this locality is the batch
+      // win; the per-member arithmetic is exactly the single-sweep path.
+      for (std::size_t b = 0; b < k_members; ++b) {
+        if (!ws.batch_tile_active_[b]) continue;
+        const detail::TileScreen& s = ws.batch_screens_[order[k] * k_members + b];
+        const double* ps = ws.batch_ps_[b];
+        const double* pr = ws.batch_pr_[b];
+        const double snr_norm = ws.batch_snr_norm_[b];
+        const double rssi_norm = ws.batch_rssi_norm_[b];
+        double best = ws.batch_best_[b];
+        std::size_t best_g = ws.batch_best_g_[b];
+        tile_dots(block, ps, nullptr, m_count, dsg, nullptr);
+        for (std::size_t gi = 0; gi < count; ++gi) {
+          const std::size_t g = g0 + gi;
+          const double n = norms[g];
+          double w = 0.0;
+          if (n > 0.0) {
+            const double cs_scr = dsg[gi] * s.rs;
+            const double scr = (cs_scr * cs_scr) * s.cr2 + kBoundAbsSlack;
+            if (scr < best || (scr == best && g > best_g)) continue;
+            double dr = 0.0;
+            const double* col = block + gi;
+            for (std::size_t m = 0; m < m_count; ++m) dr += pr[m] * col[m * kTile];
+            const double x_norm = std::sqrt(n);
+            const double cs = dsg[gi] / (snr_norm * x_norm);
+            const double cr = dr / (rssi_norm * x_norm);
+            w = (cs * cs) * (cr * cr);
+          }
+          if (w > best || (w == best && g < best_g)) {
+            best = w;
+            best_g = g;
+          }
+        }
+        ws.batch_best_[b] = best;
+        ws.batch_best_g_[b] = best_g;
+      }
+    }
+  }
+
+  for (std::size_t b = 0; b < k_members; ++b) {
+    const std::size_t g = ws.batch_best_g_[b];
+    out[members[b]] =
+        ArgmaxResult{g, ws.batch_best_[b], matrix_.directions()[g]};
+#ifndef NDEBUG
+    {
+      // Same exactness contract as the single-sweep path, member by
+      // member: batching and quantized screening must change nothing.
+      const Grid2D reference = combined_surface(sweeps[members[b]]);
+      const std::vector<double>& rv = reference.values();
+      const auto it = std::max_element(rv.begin(), rv.end());
+      assert(static_cast<std::size_t>(it - rv.begin()) == out[members[b]].index);
+      assert(*it == out[members[b]].value);
+    }
+#endif
+  }
+}
+
+void CorrelationEngine::combined_argmax_batch(
+    std::span<const std::span<const SectorReading>> sweeps,
+    std::span<ArgmaxResult> out, CorrelationWorkspace& ws) const {
+  TALON_EXPECTS(out.size() == sweeps.size());
+  const std::size_t n = sweeps.size();
+  if (n == 0) return;
+
+  // Per-sweep probe vectors into reusable slots (only ever grown).
+  if (ws.batch_probes_.size() < n) {
+    ws.batch_probes_.resize(n);
+    ++ws.growth_events_;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ProbeVectors& p = ws.batch_probes_[i];
+    const std::size_t caps_before =
+        p.slots.capacity() + p.snr.capacity() + p.rssi.capacity();
+    collect_probes_into(sweeps[i], true, true, p);
+    if (p.slots.capacity() + p.snr.capacity() + p.rssi.capacity() != caps_before) {
+      ++ws.growth_events_;
+    }
+    TALON_EXPECTS(p.slots.size() >= 2);
+  }
+
+  // Group sweeps that probed the same slot sequence: sort the indices
+  // lexicographically by sequence (ties by index, for determinism) and
+  // take runs. No per-call key materialization, no allocation.
+  ws.ensure_size(ws.batch_order_, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.batch_order_[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(ws.batch_order_.begin(), ws.batch_order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const std::vector<int>& sa = ws.batch_probes_[a].slots;
+              const std::vector<int>& sb = ws.batch_probes_[b].slots;
+              if (sa == sb) return a < b;
+              return std::lexicographical_compare(sa.begin(), sa.end(),
+                                                  sb.begin(), sb.end());
+            });
+  std::size_t i0 = 0;
+  while (i0 < n) {
+    std::size_t i1 = i0 + 1;
+    while (i1 < n && ws.batch_probes_[ws.batch_order_[i1]].slots ==
+                         ws.batch_probes_[ws.batch_order_[i0]].slots) {
+      ++i1;
+    }
+    argmax_group(std::span<const std::uint32_t>(ws.batch_order_.data() + i0,
+                                                i1 - i0),
+                 sweeps, out, ws);
+    i0 = i1;
+  }
+}
+
+std::vector<CorrelationEngine::ArgmaxResult>
+CorrelationEngine::combined_argmax_batch(
+    std::span<const std::span<const SectorReading>> sweeps) const {
+  std::vector<ArgmaxResult> out(sweeps.size());
+  CorrelationWorkspace ws;
+  combined_argmax_batch(sweeps, std::span<ArgmaxResult>(out), ws);
+  return out;
 }
 
 std::vector<Grid2D> CorrelationEngine::combined_surface_batch(

@@ -33,6 +33,41 @@ namespace talon {
 /// Which reading feeds the probe vector.
 enum class SignalValue : std::uint8_t { kSnr, kRssi };
 
+namespace detail {
+
+/// One tile's pruning data, produced by the screening kernels in
+/// correlation.cpp and scratch-stored per (tile, batch member) by the
+/// batched argmax. Exposed (with the two screening kernels below) so the
+/// quantized-screening property tests can compare the bounds directly.
+struct TileScreen {
+  /// Upper bound on the kernel-FP W anywhere in the tile.
+  double bound{0.0};
+  /// Upper bound on the reciprocal of every positive-norm point's SNR
+  /// denominator snr_norm * ||x(g)||.
+  double rs{0.0};
+  /// Upper bound on cr^2 anywhere in the tile, inflation included.
+  double cr2{0.0};
+};
+
+/// Float-statistics screening bound (the reference): dots |p| rows
+/// against the tile's abs_norm_max statistics.
+TileScreen screen_tile_float(const double* abs_ps, const double* abs_pr,
+                             const double* u, double sqrt_min_norm,
+                             std::size_t m, double inv_snr_norm,
+                             double inv_rssi_norm);
+
+/// int16-sidecar screening bound: identical operation order, but every
+/// statistic is the dequantized round-up q[mm] * scale >= u[mm]. By
+/// floating-point monotonicity the result dominates screen_tile_float's
+/// field for field, so pruning on it never cuts a tile the float screen
+/// would keep (see correlation.cpp's soundness note).
+TileScreen screen_tile_q(const double* abs_ps, const double* abs_pr,
+                         const std::uint16_t* q, double scale,
+                         double sqrt_min_norm, std::size_t m,
+                         double inv_snr_norm, double inv_rssi_norm);
+
+}  // namespace detail
+
 /// Firmware SNR reporting floor [dB]: readings clamp here (the [-7, 12] dB
 /// report range of Sec. 3.2, MeasurementModel's report_min_db). The
 /// matching pursuit subtracts this floor in linear power so clamped
@@ -80,9 +115,36 @@ class CorrelationWorkspace {
   /// Panel of the last subset seen; keyed by its exact slot sequence, so
   /// the steady-state path skips the matrix cache (and its lock) entirely.
   std::shared_ptr<const SubsetPanel> panel_;
-  /// Per-coarse-tile upper bounds and the best-first visiting order.
+  /// Per-coarse-tile upper bounds and the best-first visiting order. The
+  /// batched argmax reuses bound_ for the max-over-members bound.
   std::vector<double> coarse_bound_;
   std::vector<std::uint32_t> coarse_order_;
+  /// |probe| vectors for the screening kernels (computed once per call
+  /// instead of per tile).
+  std::vector<double> abs_snr_;
+  std::vector<double> abs_rssi_;
+
+  // Batched-argmax scratch (combined_argmax_batch): per-sweep probe
+  // vectors, the slot-sequence grouping order, and the per-member walk
+  // state. All sized to the largest batch seen, then reused.
+  std::vector<ProbeVectors> batch_probes_;
+  std::vector<std::uint32_t> batch_order_;
+  /// Per (coarse tile, member) bounds of the current group, [c * K + b].
+  std::vector<double> batch_member_bound_;
+  /// Per (fine tile in coarse, member) screens, [k * K + b].
+  std::vector<detail::TileScreen> batch_screens_;
+  /// Per-member |probe| rows, [b * 2 * M]: SNR row then RSSI row.
+  std::vector<double> batch_abs_;
+  std::vector<double> batch_snr_norm_;
+  std::vector<double> batch_rssi_norm_;
+  std::vector<double> batch_inv_snr_;
+  std::vector<double> batch_inv_rssi_;
+  std::vector<double> batch_best_;
+  std::vector<std::size_t> batch_best_g_;
+  std::vector<const double*> batch_ps_;
+  std::vector<const double*> batch_pr_;
+  std::vector<std::uint8_t> batch_coarse_active_;
+  std::vector<std::uint8_t> batch_tile_active_;
   std::size_t growth_events_{0};
 };
 
@@ -133,6 +195,28 @@ class CorrelationEngine {
 
   /// combined_argmax with a throwaway workspace (cold path / tests).
   ArgmaxResult combined_argmax(std::span<const SectorReading> readings) const;
+
+  /// Batched branch-and-bound: the peak of combined_surface for K sweeps
+  /// in one call, writing out[i] for sweeps[i] (out.size() must equal
+  /// sweeps.size()). Sweeps whose usable probes map onto the same slot
+  /// sequence form a group that walks the tile pyramid ONCE: coarse and
+  /// fine tiles are screened for every member at each visit (ordered by
+  /// the best member bound), so the panel's tile values and statistics
+  /// are touched while cache-hot for all K links instead of K times cold.
+  /// Every member's pruning rules are exactly the single-sweep ones, so
+  /// each result is bit-identical to combined_argmax(sweeps[i]) -- and
+  /// therefore to combined_surface(sweeps[i]).peak() -- regardless of
+  /// grouping (asserted in debug builds). Steady state on stable sweep
+  /// shapes performs zero heap allocations; `ws` holds all scratch. Same
+  /// per-sweep preconditions as combined_argmax.
+  void combined_argmax_batch(std::span<const std::span<const SectorReading>> sweeps,
+                             std::span<ArgmaxResult> out,
+                             CorrelationWorkspace& ws) const;
+
+  /// combined_argmax_batch with a throwaway workspace, returning the
+  /// results by value (cold path / tests).
+  std::vector<ArgmaxResult> combined_argmax_batch(
+      std::span<const std::span<const SectorReading>> sweeps) const;
 
   /// Batched Eq. 5: one surface per input sweep. Sweeps whose usable
   /// probes map onto the same slot sequence share one panel resolution and
@@ -192,6 +276,12 @@ class CorrelationEngine {
   /// Resolve the subset panel for ws.probes_.slots, reusing ws.panel_ when
   /// the sequence matches (no lock, no allocation).
   const SubsetPanel& resolve_panel(CorrelationWorkspace& ws) const;
+
+  /// One slot-sequence group of the batched argmax: members are indices
+  /// into ws.batch_probes_ sharing one panel; writes out[members[b]].
+  void argmax_group(std::span<const std::uint32_t> members,
+                    std::span<const std::span<const SectorReading>> sweeps,
+                    std::span<ArgmaxResult> out, CorrelationWorkspace& ws) const;
 
   ResponseMatrix matrix_;
 };

@@ -150,15 +150,53 @@ CssResult CompressiveSectorSelector::select(std::span<const SectorReading> probe
 std::vector<CssResult> CompressiveSectorSelector::select_batch(
     std::span<const std::vector<SectorReading>> sweeps,
     std::span<const int> candidates, CorrelationWorkspace& ws) const {
-  TALON_EXPECTS(!candidates.empty());
-  // One pruned argmax per sweep; sweeps sharing a slot sequence reuse the
-  // workspace's warm panel, so there is nothing left for a dedicated
-  // batched kernel to amortize. Trivially equal to select() per element.
   std::vector<CssResult> results(sweeps.size());
-  for (std::size_t i = 0; i < sweeps.size(); ++i) {
-    results[i] = select(sweeps[i], candidates, ws);
-  }
+  std::vector<std::span<const SectorReading>> views(sweeps.begin(), sweeps.end());
+  select_batch(views, candidates, results, ws);
   return results;
+}
+
+void CompressiveSectorSelector::select_batch(
+    std::span<const std::span<const SectorReading>> sweeps,
+    std::span<const int> candidates, std::span<CssResult> out,
+    CorrelationWorkspace& ws) const {
+  TALON_EXPECTS(!candidates.empty());
+  TALON_EXPECTS(out.size() == sweeps.size());
+  // Route every sweep that would take select()'s pruned-argmax fast path
+  // through ONE batched branch-and-bound walk: sweeps sharing a probe
+  // subset then traverse the tile pyramid together
+  // (CorrelationEngine::combined_argmax_batch), touching the panel's
+  // tiles once while cache-hot instead of once per sweep. Empty,
+  // under-probed, SNR-only and confidence-mode sweeps take the same code
+  // select() runs for them. Each result is bit-identical to select() per
+  // element -- the batched argmax is bit-identical to the single one.
+  const bool argmax_path = config_.use_rssi && !config_.compute_confidence;
+  std::vector<std::span<const SectorReading>> argmax_sweeps;
+  std::vector<std::size_t> argmax_index;
+  if (argmax_path) {
+    argmax_sweeps.reserve(sweeps.size());
+    argmax_index.reserve(sweeps.size());
+  }
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    if (argmax_path && !sweeps[i].empty() &&
+        engine().usable_probe_count(sweeps[i]) >= config_.min_probes) {
+      argmax_sweeps.emplace_back(sweeps[i]);
+      argmax_index.push_back(i);
+      continue;
+    }
+    out[i] = select(sweeps[i], candidates, ws);
+  }
+  if (!argmax_sweeps.empty()) {
+    std::vector<CorrelationEngine::ArgmaxResult> peaks(argmax_sweeps.size());
+    engine().combined_argmax_batch(argmax_sweeps, peaks, ws);
+    for (std::size_t j = 0; j < peaks.size(); ++j) {
+      CssResult& result = out[argmax_index[j]];
+      result.valid = true;
+      result.estimated_direction = peaks[j].direction;
+      result.correlation_peak = peaks[j].value;
+      result.sector_id = patterns().best_sector_at(peaks[j].direction, candidates);
+    }
+  }
 }
 
 std::vector<CssResult> CompressiveSectorSelector::select_batch(
@@ -178,8 +216,31 @@ std::vector<std::optional<Direction>> CompressiveSectorSelector::estimate_direct
     std::span<const std::vector<SectorReading>> sweeps,
     CorrelationWorkspace& ws) const {
   std::vector<std::optional<Direction>> results(sweeps.size());
+  if (!config_.use_rssi) {
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+      results[i] = estimate_direction(sweeps[i], ws);
+    }
+    return results;
+  }
+  // Same batching as select_batch: every sweep with enough usable probes
+  // rides one batched argmax walk; the rest stay nullopt, exactly like
+  // the per-element path.
+  std::vector<std::span<const SectorReading>> argmax_sweeps;
+  std::vector<std::size_t> argmax_index;
+  argmax_sweeps.reserve(sweeps.size());
+  argmax_index.reserve(sweeps.size());
   for (std::size_t i = 0; i < sweeps.size(); ++i) {
-    results[i] = estimate_direction(sweeps[i], ws);
+    if (engine().usable_probe_count(sweeps[i]) >= config_.min_probes) {
+      argmax_sweeps.emplace_back(sweeps[i]);
+      argmax_index.push_back(i);
+    }
+  }
+  if (!argmax_sweeps.empty()) {
+    std::vector<CorrelationEngine::ArgmaxResult> peaks(argmax_sweeps.size());
+    engine().combined_argmax_batch(argmax_sweeps, peaks, ws);
+    for (std::size_t j = 0; j < peaks.size(); ++j) {
+      results[argmax_index[j]] = peaks[j].direction;
+    }
   }
   return results;
 }

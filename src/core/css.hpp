@@ -111,6 +111,18 @@ class CompressiveSectorSelector {
   std::vector<CssResult> select_batch(
       std::span<const std::vector<SectorReading>> sweeps) const;
 
+  /// The zero-copy batched select the multi-link daemon drives: sweeps
+  /// arrive as spans (no per-sweep vector materialization) and results
+  /// land in caller-owned storage (out.size() == sweeps.size()). All
+  /// other select_batch overloads delegate here. Results are
+  /// bit-identical to select() per element; every sweep that would take
+  /// select()'s pruned-argmax fast path instead rides ONE batched
+  /// branch-and-bound walk (CorrelationEngine::combined_argmax_batch), so
+  /// sweeps sharing a probe subset traverse each tile while it is hot.
+  void select_batch(std::span<const std::span<const SectorReading>> sweeps,
+                    std::span<const int> candidates, std::span<CssResult> out,
+                    CorrelationWorkspace& ws) const;
+
   /// Batched estimate_direction(), same contract as select_batch().
   std::vector<std::optional<Direction>> estimate_directions(
       std::span<const std::vector<SectorReading>> sweeps,

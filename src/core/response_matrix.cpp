@@ -1,13 +1,48 @@
 #include "src/core/response_matrix.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "src/common/error.hpp"
 #include "src/common/units.hpp"
 
 namespace talon {
+
+namespace {
+
+/// Quantize one tile's abs_norm_max row to the int16 screening sidecar:
+/// pick the largest power-of-two scale that still resolves the row's
+/// maximum in <= 15 bits, then round every level UP. The round-up plus
+/// the exactness of (small integer) x (power of two) gives
+/// q[m] * scale >= u[m] exactly, the over-estimation the screening bound's
+/// soundness rests on. An all-zero row quantizes to scale 0 / levels 0.
+double quantize_screen_row(const double* u, std::size_t m, std::uint16_t* q) {
+  double u_max = 0.0;
+  for (std::size_t mm = 0; mm < m; ++mm) u_max = std::max(u_max, u[mm]);
+  if (u_max <= 0.0) {
+    std::fill(q, q + m, std::uint16_t{0});
+    return 0.0;
+  }
+  // u_max = f * 2^exp with f in [0.5, 1): scale = 2^(exp - 15) makes
+  // ceil(u_max / scale) = ceil(f * 2^15) <= 2^15, comfortably in uint16.
+  int exp = 0;
+  (void)std::frexp(u_max, &exp);
+  const double scale = std::ldexp(1.0, exp - 15);
+  const double inv_scale = std::ldexp(1.0, 15 - exp);  // power of two: exact
+  for (std::size_t mm = 0; mm < m; ++mm) {
+    const double level = std::ceil(u[mm] * inv_scale);
+    q[mm] = static_cast<std::uint16_t>(level);
+    // The sidecar over-estimates by construction; keep the contract loud
+    // in debug builds (the quantized-screening property test pins it too).
+    assert(static_cast<double>(q[mm]) * scale >= u[mm]);
+  }
+  return scale;
+}
+
+}  // namespace
 
 ResponseMatrix::ResponseMatrix(const PatternTable& patterns, AngularGrid grid,
                                CorrelationDomain domain)
@@ -61,6 +96,11 @@ std::shared_ptr<const SubsetPanel> ResponseMatrix::build_panel(
       (fine + SubsetPanel::kFinePerCoarse - 1) / SubsetPanel::kFinePerCoarse;
 
   panel->values.assign(fine * kTile * m, 0.0);
+  // The allocator promises the base pointer; the static_assert in the
+  // header promises every row offset is a multiple of the alignment.
+  assert(reinterpret_cast<std::uintptr_t>(panel->values.data()) %
+             SubsetPanel::kValuesAlignment ==
+         0);
   panel->norms_sq.resize(points);
   const std::size_t stride = sector_ids_.size();
   for (std::size_t g = 0; g < points; ++g) {
@@ -114,6 +154,20 @@ std::shared_ptr<const SubsetPanel> ResponseMatrix::build_panel(
     }
     panel->coarse_sqrt_min_norm[c] = root;
   }
+
+  panel->fine_q.resize(fine * m);
+  panel->fine_q_scale.resize(fine);
+  for (std::size_t t = 0; t < fine; ++t) {
+    panel->fine_q_scale[t] = quantize_screen_row(
+        panel->fine_abs_norm_max.data() + t * m, m, panel->fine_q.data() + t * m);
+  }
+  panel->coarse_q.resize(panel->coarse_tiles * m);
+  panel->coarse_q_scale.resize(panel->coarse_tiles);
+  for (std::size_t c = 0; c < panel->coarse_tiles; ++c) {
+    panel->coarse_q_scale[c] =
+        quantize_screen_row(panel->coarse_abs_norm_max.data() + c * m, m,
+                            panel->coarse_q.data() + c * m);
+  }
   return panel;
 }
 
@@ -137,6 +191,40 @@ std::shared_ptr<const SubsetPanel> ResponseMatrix::panel(
     panel_cache_.emplace(built->slots, built);
   }
   return built;
+}
+
+std::shared_ptr<const SubsetPanel> ResponseMatrix::cached_panel(
+    std::span<const int> slots) const {
+  const std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+  const auto it = panel_cache_.find(slots);
+  if (it == panel_cache_.end()) return nullptr;
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+std::shared_ptr<const SubsetPanel> ResponseMatrix::panel_if_warm(
+    std::span<const int> slots) const {
+  if (std::shared_ptr<const SubsetPanel> hit = cached_panel(slots)) return hit;
+  {
+    const std::lock_guard<std::shared_mutex> lock(cache_mutex_);
+    const auto seen =
+        std::find_if(recent_direct_.begin(), recent_direct_.end(),
+                     [&](const std::vector<int>& s) {
+                       return std::equal(s.begin(), s.end(), slots.begin(),
+                                         slots.end());
+                     });
+    if (seen == recent_direct_.end()) {
+      // First sighting: remember it and let the caller walk directly.
+      if (recent_direct_.size() >= kRecentDirectSlots) {
+        recent_direct_.erase(recent_direct_.begin());
+      }
+      recent_direct_.emplace_back(slots.begin(), slots.end());
+      return nullptr;
+    }
+    recent_direct_.erase(seen);
+  }
+  // Second sighting: this subset repeats, so the build amortizes.
+  return panel(slots);
 }
 
 std::shared_ptr<const std::vector<double>> ResponseMatrix::norms_sq(

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "src/antenna/pattern.hpp"
+#include "src/common/aligned.hpp"
 #include "src/common/grid.hpp"
 
 namespace talon {
@@ -62,6 +64,17 @@ struct SubsetPanel {
   /// Fine tiles per coarse tile (the second pyramid level).
   static constexpr std::size_t kFinePerCoarse = 8;
 
+  /// Alignment guarantee of `values`: the base pointer is kValuesAlignment
+  /// aligned, and because every per-slot row spans kTilePoints doubles
+  /// (kTilePoints * sizeof(double) = 256 bytes, a multiple of the
+  /// alignment) EVERY row of every tile -- tile_values(t) + m * kTilePoints
+  /// for any t, m, including the zero-padded ragged tail tile -- is also
+  /// kValuesAlignment aligned. The vectorized tile kernels
+  /// (core/tile_dots.hpp) rely on this to use aligned SIMD loads.
+  static constexpr std::size_t kValuesAlignment = 64;
+  static_assert(kTilePoints * sizeof(double) % kValuesAlignment == 0,
+                "every tile row must start on the SIMD alignment boundary");
+
   /// The exact probe slot sequence this panel compacts (the cache key).
   std::vector<int> slots;
   /// Valid grid points (== ResponseMatrix::points()).
@@ -72,7 +85,8 @@ struct SubsetPanel {
   /// Tile-blocked responses: the response of sequence position m at grid
   /// point g lives at values[(tile(g) * M + m) * kTilePoints + g % kTilePoints]
   /// with tile(g) = g / kTilePoints; tail entries beyond `points` are 0.
-  std::vector<double> values;
+  /// Over-aligned per the kValuesAlignment contract above.
+  std::vector<double, AlignedAllocator<double, kValuesAlignment>> values;
   /// ||x(g)||^2 restricted to `slots`, accumulated in sequence order
   /// (duplicate slots contribute once per occurrence), indexed by g.
   std::vector<double> norms_sq;
@@ -95,6 +109,26 @@ struct SubsetPanel {
   /// Coarse aggregates of the fine statistics, indexed [c * M + m] / [c].
   std::vector<double> coarse_abs_norm_max;
   std::vector<double> coarse_sqrt_min_norm;
+
+  /// int16 fixed-point screening sidecar: per-tile quantization of the
+  /// abs_norm_max statistics, used by the branch-and-bound argmax for the
+  /// *screening* bound only (the exact float epilogue never touches it).
+  /// Per tile t, fine_q_scale[t] is a power of two and
+  ///   fine_q[t * M + m] * fine_q_scale[t] >= fine_abs_norm_max[t * M + m]
+  /// holds EXACTLY (the quantized level is a round-up, the product of a
+  /// <= 15-bit integer with a power of two is exact in double). Because
+  /// float rounding is monotone, a bound accumulated from the dequantized
+  /// levels in the same order as the float bound can only come out >= it
+  /// -- the quantized screen provably never prunes a tile the float
+  /// screen would keep, so the argmax stays exact (see
+  /// core/correlation.cpp's soundness note). A tile with all-zero
+  /// statistics stores scale 0 and all-zero levels. Reading 2 bytes per
+  /// (tile, slot) instead of 8 halves the memory traffic of the pyramid
+  /// traversal, which is what the screen is bound by at small M.
+  std::vector<std::uint16_t> fine_q;
+  std::vector<double> fine_q_scale;
+  std::vector<std::uint16_t> coarse_q;
+  std::vector<double> coarse_q_scale;
 
   std::size_t m() const { return slots.size(); }
 
@@ -134,6 +168,23 @@ class ResponseMatrix {
   /// built on first use and cached. Thread-safe: readers take a shared
   /// lock, only the builder that inserts takes an exclusive one.
   std::shared_ptr<const SubsetPanel> panel(std::span<const int> slots) const;
+
+  /// Lookup-only variant: the cached panel for this slot sequence, or
+  /// nullptr without building one. Lets one-shot small-M surfaces choose
+  /// the direct matrix walk instead of paying a panel build they would
+  /// use once (counts as a hit when found; a miss counts nothing).
+  std::shared_ptr<const SubsetPanel> cached_panel(
+      std::span<const int> slots) const;
+
+  /// cached_panel with one-shot detection: the first sighting of a slot
+  /// sequence returns nullptr (the caller should walk the matrix
+  /// directly -- a panel build would cost more than the walk it
+  /// replaces); a repeat sighting builds and caches the panel, so
+  /// repeated callers converge onto the compacted tile path after two
+  /// calls. Thread-safe; the sighting ring holds the last
+  /// kRecentDirectSlots sequences.
+  std::shared_ptr<const SubsetPanel> panel_if_warm(
+      std::span<const int> slots) const;
 
   /// Per-grid-point sum of squared responses over `slots`, accumulated in
   /// sequence order (so a cache hit is bit-identical to a fresh pass).
@@ -196,6 +247,12 @@ class ResponseMatrix {
       panel_cache_;
   mutable std::atomic<std::uint64_t> cache_hits_{0};
   mutable std::atomic<std::uint64_t> cache_misses_{0};
+
+  /// One-shot detector for panel_if_warm: slot sequences direct-walked
+  /// once but not yet promoted to a cached panel (FIFO ring, guarded by
+  /// cache_mutex_'s exclusive lock).
+  static constexpr std::size_t kRecentDirectSlots = 8;
+  mutable std::vector<std::vector<int>> recent_direct_;
 };
 
 }  // namespace talon

@@ -1,0 +1,90 @@
+// AVX2 variant of tile_dots. Compiled with -mavx2 -mno-fma (plus the
+// project-wide -ffp-contract=off) in its own TU so the rest of the build
+// stays baseline-ISA; only the runtime dispatcher calls in here, and only
+// after the host probe confirmed AVX2.
+//
+// Bit-identity: each ymm lane carries one grid point's accumulator, the m
+// loop broadcasts ps[m]/pr[m] and performs a distinct _mm256_mul_pd then
+// _mm256_add_pd -- the same multiply-round-add-round sequence, in the same
+// ascending-m order, as the scalar kernel applies to that point. Lane
+// arithmetic under AVX2 is IEEE-754 binary64, so every lane matches the
+// scalar result bit for bit (the randomized equality test pins this
+// across tail lengths and duplicate slots).
+#include "src/core/tile_dots.hpp"
+
+#if defined(TALON_HAVE_AVX2_KERNEL)
+
+#include <immintrin.h>
+
+#include "src/core/response_matrix.hpp"
+
+namespace talon {
+
+namespace {
+constexpr std::size_t kTile = SubsetPanel::kTilePoints;
+constexpr std::size_t kHalf = 16;  // points in flight per pass
+static_assert(kTile % kHalf == 0);
+}  // namespace
+
+void tile_dots_avx2(const double* block, const double* ps, const double* pr,
+                    std::size_t m_count, double* out_s, double* out_r) {
+  // 16 points per pass: 4 ymm accumulators per channel leaves enough
+  // registers for the row loads and broadcasts even in the dual-channel
+  // case (12 of 16 ymm live).
+  for (std::size_t g0 = 0; g0 < kTile; g0 += kHalf) {
+    const double* base = block + g0;
+    __m256d as0 = _mm256_setzero_pd();
+    __m256d as1 = _mm256_setzero_pd();
+    __m256d as2 = _mm256_setzero_pd();
+    __m256d as3 = _mm256_setzero_pd();
+    if (pr != nullptr) {
+      __m256d ar0 = _mm256_setzero_pd();
+      __m256d ar1 = _mm256_setzero_pd();
+      __m256d ar2 = _mm256_setzero_pd();
+      __m256d ar3 = _mm256_setzero_pd();
+      for (std::size_t m = 0; m < m_count; ++m) {
+        // Rows are 64-byte aligned (SubsetPanel::kValuesAlignment) and g0
+        // offsets by a multiple of 32 points, so every load here is
+        // 32-byte aligned.
+        const double* row = base + m * kTile;
+        const __m256d pvs = _mm256_set1_pd(ps[m]);
+        const __m256d pvr = _mm256_set1_pd(pr[m]);
+        const __m256d r0 = _mm256_load_pd(row);
+        const __m256d r1 = _mm256_load_pd(row + 4);
+        const __m256d r2 = _mm256_load_pd(row + 8);
+        const __m256d r3 = _mm256_load_pd(row + 12);
+        as0 = _mm256_add_pd(as0, _mm256_mul_pd(pvs, r0));
+        as1 = _mm256_add_pd(as1, _mm256_mul_pd(pvs, r1));
+        as2 = _mm256_add_pd(as2, _mm256_mul_pd(pvs, r2));
+        as3 = _mm256_add_pd(as3, _mm256_mul_pd(pvs, r3));
+        ar0 = _mm256_add_pd(ar0, _mm256_mul_pd(pvr, r0));
+        ar1 = _mm256_add_pd(ar1, _mm256_mul_pd(pvr, r1));
+        ar2 = _mm256_add_pd(ar2, _mm256_mul_pd(pvr, r2));
+        ar3 = _mm256_add_pd(ar3, _mm256_mul_pd(pvr, r3));
+      }
+      _mm256_storeu_pd(out_r + g0, ar0);
+      _mm256_storeu_pd(out_r + g0 + 4, ar1);
+      _mm256_storeu_pd(out_r + g0 + 8, ar2);
+      _mm256_storeu_pd(out_r + g0 + 12, ar3);
+    } else {
+      for (std::size_t m = 0; m < m_count; ++m) {
+        const double* row = base + m * kTile;
+        const __m256d pvs = _mm256_set1_pd(ps[m]);
+        as0 = _mm256_add_pd(as0, _mm256_mul_pd(pvs, _mm256_load_pd(row)));
+        as1 = _mm256_add_pd(as1, _mm256_mul_pd(pvs, _mm256_load_pd(row + 4)));
+        as2 = _mm256_add_pd(as2, _mm256_mul_pd(pvs, _mm256_load_pd(row + 8)));
+        as3 = _mm256_add_pd(as3, _mm256_mul_pd(pvs, _mm256_load_pd(row + 12)));
+      }
+    }
+    // The out arrays are ordinary stack scratch in the callers; no
+    // alignment promise, so store unaligned.
+    _mm256_storeu_pd(out_s + g0, as0);
+    _mm256_storeu_pd(out_s + g0 + 4, as1);
+    _mm256_storeu_pd(out_s + g0 + 8, as2);
+    _mm256_storeu_pd(out_s + g0 + 12, as3);
+  }
+}
+
+}  // namespace talon
+
+#endif  // TALON_HAVE_AVX2_KERNEL

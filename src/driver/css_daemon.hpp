@@ -68,6 +68,27 @@ class CssDaemon {
   /// decoded (the previous override stays in place).
   std::optional<CssResult> process_sweep();
 
+  // --- multi-link batched round ---------------------------------------------
+
+  /// Finish a round for every session with a parked sweep (see
+  /// LinkSession::prepare_sweep): the batchable sessions' selections run
+  /// as ONE CorrelationEngine::combined_argmax_batch walk over the shared
+  /// assets -- links probing the same subset traverse each response tile
+  /// while it is cache-hot -- and the rest (tracking, degradation,
+  /// fallback rounds, empty sweeps) complete with their own selectors.
+  /// Results land in `out[link_id]` (entries for links without a parked
+  /// sweep are untouched). Bit-identical to calling complete_sweep() on
+  /// each session in isolation. Scratch lives on the daemon, so repeated
+  /// rounds are allocation-free once warm.
+  void complete_prepared(
+      std::map<int, std::optional<CssResult>>* out = nullptr);
+
+  /// prepare_sweep() on every session, then complete_prepared(): the
+  /// whole-fleet analogue of per-session process_sweep(), one batched
+  /// selection walk per round. Returns one result per session, keyed by
+  /// link id.
+  std::map<int, std::optional<CssResult>> process_sweeps();
+
   /// Number of sweeps processed (first session).
   std::size_t rounds() const;
 
@@ -99,6 +120,11 @@ class CssDaemon {
   /// Keyed by link id; unique_ptr keeps session addresses stable across
   /// insertions (sessions hand out references).
   std::map<int, std::unique_ptr<LinkSession>> sessions_;
+  /// Batched-selection scratch (complete_prepared), reused across rounds.
+  CorrelationWorkspace batch_ws_;
+  std::vector<LinkSession*> batch_links_;
+  std::vector<std::span<const SectorReading>> batch_sweeps_;
+  std::vector<CssResult> batch_results_;
 };
 
 }  // namespace talon

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/antenna/codebook.hpp"
+#include "src/common/error.hpp"
 
 namespace talon {
 
@@ -171,17 +172,42 @@ void LinkSession::finish_round(bool healthy, bool full_sweep_round) {
 }
 
 std::optional<CssResult> LinkSession::process_sweep() {
+  prepare_sweep();
+  return complete_sweep();
+}
+
+bool LinkSession::prepare_sweep() {
+  TALON_EXPECTS(!sweep_pending_);
   ++rounds_;
-  const bool full_sweep_round = in_fallback();
-  std::vector<SectorReading> readings = driver_->read_sweep_readings();
-  if (injector_) apply_reading_faults(readings);
+  pending_full_sweep_ = in_fallback();
+  pending_readings_ = driver_->read_sweep_readings();
+  if (injector_) apply_reading_faults(pending_readings_);
+  sweep_pending_ = true;
+  // Batchable iff complete_sweep() would run the plain stateless CSS
+  // select: a tracked or degradation-gated selection depends on per-link
+  // selector state the batched walk does not carry, a full-sweep round
+  // uses the SSW argmax, and an empty sweep short-circuits before
+  // selecting at all.
+  pending_batchable_ = !pending_full_sweep_ && tracking_ == nullptr &&
+                       !config_.degradation.enabled &&
+                       !pending_readings_.empty();
+  return pending_batchable_;
+}
+
+std::optional<CssResult> LinkSession::complete_sweep(const CssResult* batched) {
+  TALON_EXPECTS(sweep_pending_);
+  sweep_pending_ = false;
+  const bool full_sweep_round = pending_full_sweep_;
+  std::vector<SectorReading>& readings = pending_readings_;
   if (readings.empty()) {
     finish_round(/*healthy=*/false, full_sweep_round);
     return std::nullopt;
   }
   note_unknown_sectors(readings);
-  CssResult result = full_sweep_round ? ssw_fallback_.select(readings)
-                                      : strategy_->select(readings);
+  TALON_EXPECTS(batched == nullptr || pending_batchable_);
+  CssResult result = batched != nullptr ? *batched
+                     : full_sweep_round ? ssw_fallback_.select(readings)
+                                        : strategy_->select(readings);
   bool healthy = result.valid && !result.fallback_used;
   bool withhold = false;
   if (!full_sweep_round && config_.degradation.enabled && result.valid) {

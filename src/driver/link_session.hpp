@@ -128,7 +128,50 @@ class LinkSession {
   /// argmax while degraded -- and install the sector override (with
   /// bounded retry under feedback faults). Returns the selection, or
   /// nullopt when nothing was decoded (the previous override stays).
+  /// Exactly prepare_sweep() followed by complete_sweep().
   std::optional<CssResult> process_sweep();
+
+  // --- split-phase sweep processing (multi-link batched selection) ----------
+  //
+  // The daemon's batched path runs each round in two phases so that the
+  // per-link work (ring-buffer drain, fault injection) can happen per
+  // link while the selection itself is batched across links into ONE
+  // CorrelationEngine::combined_argmax_batch walk. The sequence
+  //   prepare_sweep(); complete_sweep(&batched_result_for_this_link);
+  // is bit-identical to process_sweep() when the batched result equals
+  // what this session's selector would have computed -- which
+  // CssDaemon::process_sweeps() guarantees by batching only sessions
+  // whose selection is the plain stateless CSS fast path.
+
+  /// Phase 1: count the round, drain the ring buffer and apply reading
+  /// faults; the sweep is parked until complete_sweep(). Returns true
+  /// when the parked selection is BATCHABLE -- a plain compressive
+  /// select with no per-link selector state (no tracking, no
+  /// degradation gating, not a full-sweep fallback round, sweep
+  /// non-empty) -- so the caller may compute it externally via
+  /// css().select_batch() and hand it to complete_sweep().
+  bool prepare_sweep();
+
+  /// Phase 2: select -- from `batched` when given, else with this
+  /// session's own selector -- then gate, install and account exactly
+  /// like process_sweep(). Callers must pass `batched` only when
+  /// prepare_sweep() returned true, and it must hold the CSS result for
+  /// pending_readings().
+  std::optional<CssResult> complete_sweep(const CssResult* batched = nullptr);
+
+  /// The sweep parked by prepare_sweep() (valid until complete_sweep()).
+  std::span<const SectorReading> pending_readings() const {
+    return pending_readings_;
+  }
+
+  /// True between prepare_sweep() and complete_sweep().
+  bool sweep_pending() const { return sweep_pending_; }
+
+  /// Last prepare_sweep() verdict: may this round's selection be batched?
+  bool pending_batchable() const { return pending_batchable_; }
+
+  /// The stateless selector core (for the daemon's batched select).
+  const CompressiveSectorSelector& css() const { return css_; }
 
   /// Number of sweeps processed on this link.
   std::size_t rounds() const { return rounds_; }
@@ -211,6 +254,13 @@ class LinkSession {
   Rng rng_;
   int link_id_{0};
   std::size_t rounds_{0};
+  /// Sweep parked between prepare_sweep() and complete_sweep(). Member
+  /// (not per-call) storage so the split-phase path stays allocation-free
+  /// once warm, like the single-call path's local reuse.
+  std::vector<SectorReading> pending_readings_;
+  bool pending_full_sweep_{false};
+  bool sweep_pending_{false};
+  bool pending_batchable_{false};
   std::size_t dropped_probes_{0};
   /// Unknown sector IDs already warned about (warn once per ID, capped).
   std::set<int> warned_unknown_;

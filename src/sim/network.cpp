@@ -24,10 +24,16 @@ constexpr std::uint64_t kSessionStream = streams::kNetworkSession;
 constexpr std::uint64_t kPhaseStream = streams::kNetworkPhase;
 
 // Priority phases of one training round on the event engine: the
-// commuting per-link physical phase first, then the serial channel
-// arbitration that consumes its outputs.
+// commuting per-link physical phase first, then the serial batched
+// selection phase on the daemon entity (one
+// CssDaemon::complete_prepared walk for all K parked sweeps), then the
+// serial channel arbitration that consumes the round's outputs.
+// Priorities are barriers, so every sweep is parked before the batch
+// runs and every selection is installed before contention accounts the
+// round.
 constexpr int kPhysicalPhase = 0;
-constexpr int kContentionPhase = 1;
+constexpr int kSelectionPhase = 1;
+constexpr int kContentionPhase = 2;
 
 std::uint64_t link_salt(const NetworkConfig& config, std::size_t link) {
   return link < config.link_seed_salts.size() ? config.link_seed_salts[link] : 0;
@@ -109,15 +115,15 @@ void NetworkSimulator::train_link(std::size_t l, std::size_t round,
                            probing_burst_schedule(subset));
   out.training_success = training.success;
 
-  // User space: drain the responder's ring, select, install the
-  // override that shapes the next round's feedback.
-  const std::optional<CssResult> selection = session.process_sweep();
-  if (selection) {
-    out.selected = true;
-    out.sector_id = selection->sector_id;
-    out.snr_db = link.true_snr_db(*links_[l].initiator, selection->sector_id,
-                                  *links_[l].responder, kRxQuasiOmniSectorId);
-  }
+  // User space, phase 1: drain the responder's ring and park the sweep.
+  // The selection itself -- and the override install that shapes the
+  // next round's feedback -- happens in the serial kSelectionPhase
+  // event, where the daemon batches all K links' argmaxes into one
+  // cache-hot walk over the shared response matrix. Bit-identical to
+  // the old per-link process_sweep() (the batched argmax is
+  // bit-identical to the single one, and no cross-link state is read
+  // between the phases).
+  session.prepare_sweep();
 }
 
 NetworkRunResult NetworkSimulator::run(const ThroughputModel& throughput) {
@@ -144,7 +150,10 @@ NetworkRunResult NetworkSimulator::run(const ThroughputModel& throughput) {
     link_entities.push_back(engine.add_entity("link-" + std::to_string(l)));
   }
   const EntityId arbiter_entity = engine.add_entity("channel-arbiter");
+  const EntityId daemon_entity = engine.add_entity("css-daemon");
   ChannelArbiter arbiter;
+  // Reused across rounds by the selection phase (serial, so no races).
+  std::map<int, std::optional<CssResult>> round_selections;
 
   for (std::size_t r = 0; r < config_.rounds; ++r) {
     const double round_start_s = static_cast<double>(r) * period_s;
@@ -157,6 +166,36 @@ NetworkRunResult NetworkSimulator::run(const ThroughputModel& throughput) {
                     .commuting = true},
           [this, l, r, &round](EventContext&) { train_link(l, r, round.links[l]); });
     }
+    engine.schedule(
+        EventSpec{.time_s = round_start_s,
+                  .entity = daemon_entity,
+                  .priority = kSelectionPhase,
+                  .commuting = false},
+        [this, r, k, &round, &round_selections](EventContext&) {
+          // Selection phase: one batched branch-and-bound walk computes
+          // every parked sweep's argmax (per-link completion installs
+          // the overrides in link order). The true-SNR probe of each
+          // selection rebuilds the link's channel view from the same
+          // substream the physical phase used -- true_snr_db draws no
+          // randomness, so the outcome is bit-identical to evaluating
+          // it inside train_link.
+          round_selections.clear();
+          daemon_.complete_prepared(&round_selections);
+          for (std::size_t l = 0; l < k; ++l) {
+            const auto it = round_selections.find(static_cast<int>(l));
+            if (it == round_selections.end() || !it->second.has_value()) continue;
+            LinkRoundOutcome& out = round.links[l];
+            out.selected = true;
+            out.sector_id = it->second->sector_id;
+            LinkSimulator link(
+                *environment_, config_.radio, config_.measurement,
+                Rng(substream_seed(config_.seed, kChannelStream,
+                                   static_cast<std::uint64_t>(l), r)));
+            out.snr_db =
+                link.true_snr_db(*links_[l].initiator, out.sector_id,
+                                 *links_[l].responder, kRxQuasiOmniSectorId);
+          }
+        });
     engine.schedule(
         EventSpec{.time_s = round_start_s,
                   .entity = arbiter_entity,

@@ -13,7 +13,10 @@
 // Since the discrete-event refactor this class is a thin compatibility
 // facade over sim/event_engine: round r is one engine timestamp, the
 // per-link physical work is a commuting event batch (one link entity per
-// worker), and the contention phase is a channel-arbiter entity event
+// worker), then a serial daemon event runs the round's selections as ONE
+// batched argmax walk (CssDaemon::complete_prepared -- links probing the
+// same subset traverse each response tile while cache-hot), and finally
+// the contention phase is a channel-arbiter entity event
 // (sim/contention's ChannelArbiter). The facade's selections, deferrals
 // and airtime are bit-identical to the pre-engine round-based loop at any
 // thread count (pinned by tests/sim/test_network.cpp's golden sequence).
@@ -147,7 +150,8 @@ class NetworkSimulator {
   };
 
   /// The physical phase of one link in one round (the commuting event
-  /// body): sweep, drain the ring, select, install the override.
+  /// body): sweep, drain the ring, and park the sweep for the serial
+  /// selection phase (the daemon's batched complete_prepared event).
   void train_link(std::size_t link, std::size_t round, LinkRoundOutcome& out);
 
   NetworkConfig config_;

@@ -215,6 +215,115 @@ TEST_F(CssDaemonTest, SteadySubsetsHitThePanelCache) {
   EXPECT_LE(after.misses - before.misses, 10u);
 }
 
+TEST(CssDaemonBatch, ProcessSweepsBitIdenticalToPerSessionProcessing) {
+  // Two mirrored three-link worlds, identical seeds: world A completes
+  // each round with per-session process_sweep(), world B with the
+  // daemon's batched process_sweeps() (one combined_argmax_batch walk
+  // for the batchable sessions, own-selector completion for the
+  // tracking one). Every selection -- including the installed overrides
+  // -- must match bit for bit, round after round.
+  const CssConfig defaults;
+  const auto assets = PatternAssetsRegistry::global().get_or_create(
+      ExperimentWorld::instance().table, defaults.search_grid, defaults.domain);
+
+  Scenario a0 = make_lab_scenario(42);
+  Scenario a1 = make_lab_scenario(42);
+  Scenario a2 = make_lab_scenario(42);
+  Scenario b0 = make_lab_scenario(42);
+  Scenario b1 = make_lab_scenario(42);
+  Scenario b2 = make_lab_scenario(42);
+  a0.set_head(25.0, 0.0);
+  b0.set_head(25.0, 0.0);
+  a1.set_head(-10.0, 0.0);
+  b1.set_head(-10.0, 0.0);
+  a2.set_head(5.0, 0.0);
+  b2.set_head(5.0, 0.0);
+  Wil6210Driver da0(a0.peer->firmware()), da1(a1.peer->firmware()),
+      da2(a2.peer->firmware());
+  Wil6210Driver db0(b0.peer->firmware()), db1(b1.peer->firmware()),
+      db2(b2.peer->firmware());
+  LinkSimulator la0 = a0.make_link(Rng(101));
+  LinkSimulator la1 = a1.make_link(Rng(102));
+  LinkSimulator la2 = a2.make_link(Rng(103));
+  LinkSimulator lb0 = b0.make_link(Rng(101));
+  LinkSimulator lb1 = b1.make_link(Rng(102));
+  LinkSimulator lb2 = b2.make_link(Rng(103));
+
+  CssDaemonConfig tracked;
+  tracked.track_path = true;  // link 2 is NOT batchable (stateful selector)
+  CssDaemon daemon_a(assets, CssDaemonConfig{});
+  daemon_a.add_link(0, da0, Rng(21));
+  daemon_a.add_link(1, da1, Rng(22));
+  daemon_a.add_link(2, da2, Rng(23), tracked);
+  CssDaemon daemon_b(assets, CssDaemonConfig{});
+  daemon_b.add_link(0, db0, Rng(21));
+  daemon_b.add_link(1, db1, Rng(22));
+  daemon_b.add_link(2, db2, Rng(23), tracked);
+
+  Scenario* const sa[3] = {&a0, &a1, &a2};
+  Scenario* const sb[3] = {&b0, &b1, &b2};
+  LinkSimulator* const la[3] = {&la0, &la1, &la2};
+  LinkSimulator* const lb[3] = {&lb0, &lb1, &lb2};
+  Wil6210Driver* const dvb[3] = {&db0, &db1, &db2};
+
+  auto expect_equal = [](const std::optional<CssResult>& x,
+                         const std::optional<CssResult>& y) {
+    ASSERT_EQ(x.has_value(), y.has_value());
+    if (!x) return;
+    EXPECT_EQ(x->valid, y->valid);
+    EXPECT_EQ(x->sector_id, y->sector_id);
+    EXPECT_EQ(x->correlation_peak, y->correlation_peak);  // bit-identical
+    EXPECT_EQ(x->fallback_used, y->fallback_used);
+    EXPECT_EQ(x->confidence, y->confidence);
+    ASSERT_EQ(x->estimated_direction.has_value(),
+              y->estimated_direction.has_value());
+    if (x->estimated_direction) {
+      EXPECT_EQ(x->estimated_direction->azimuth_deg,
+                y->estimated_direction->azimuth_deg);
+      EXPECT_EQ(x->estimated_direction->elevation_deg,
+                y->estimated_direction->elevation_deg);
+    }
+  };
+
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      const auto sub_a = daemon_a.session(i).next_probe_subset();
+      const auto sub_b = daemon_b.session(i).next_probe_subset();
+      ASSERT_EQ(sub_a, sub_b);
+      la[i]->transmit_sweep(*sa[i]->dut, *sa[i]->peer,
+                            probing_burst_schedule(sub_a));
+      lb[i]->transmit_sweep(*sb[i]->dut, *sb[i]->peer,
+                            probing_burst_schedule(sub_b));
+    }
+    std::map<int, std::optional<CssResult>> reference;
+    for (int i = 0; i < 3; ++i) {
+      reference[i] = daemon_a.session(i).process_sweep();
+    }
+    const auto batched = daemon_b.process_sweeps();
+    ASSERT_EQ(batched.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+      SCOPED_TRACE("round " + std::to_string(round) + " link " +
+                   std::to_string(i));
+      expect_equal(reference.at(i), batched.at(i));
+      if (reference.at(i).has_value()) {
+        EXPECT_EQ(dvb[i]->sector_forced(), true);
+        EXPECT_EQ(sb[i]->peer->firmware().sector_override(),
+                  sa[i]->peer->firmware().sector_override());
+      }
+    }
+  }
+
+  // An all-empty round (nothing transmitted): every entry is nullopt on
+  // both paths and no override moves.
+  std::map<int, std::optional<CssResult>> reference;
+  for (int i = 0; i < 3; ++i) reference[i] = daemon_a.session(i).process_sweep();
+  const auto batched = daemon_b.process_sweeps();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(reference.at(i).has_value());
+    EXPECT_FALSE(batched.at(i).has_value());
+  }
+}
+
 TEST_F(CssDaemonTest, PathTrackingStabilizesSelections) {
   CssDaemonConfig tracked_config;
   tracked_config.track_path = true;
