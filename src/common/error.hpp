@@ -28,6 +28,15 @@ class ParseError : public std::runtime_error {
   explicit ParseError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a serialized state snapshot cannot be decoded: truncated
+/// payload, bad magic, unsupported version, or an internal length field
+/// that contradicts the data. Distinct from ParseError so callers can
+/// separate "bad snapshot file" from "bad configuration input".
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void fail_expects(const char* cond, const char* file, int line) {
   throw PreconditionError(std::string("precondition failed: ") + cond + " at " +

@@ -175,6 +175,25 @@ class LinkFaultInjector {
 
   const FaultStats& stats() const { return stats_; }
 
+  /// Mutable cross-round state: the current round, the Gilbert-Elliott
+  /// chain position and the cumulative stats. The four category Rngs are
+  /// NOT part of the state -- they are a pure function of (plan seed,
+  /// link, round) and import_state() reseeds them -- so a snapshot taken
+  /// at a round boundary (right after next_round()) restores the exact
+  /// fault streams the exporter would have drawn.
+  struct State {
+    std::uint64_t round{0};
+    bool ge_bad{false};
+    FaultStats stats;
+  };
+  State export_state() const { return State{round_, ge_bad_, stats_}; }
+  void import_state(const State& state) {
+    round_ = state.round;
+    ge_bad_ = state.ge_bad;
+    stats_ = state.stats;
+    reseed();
+  }
+
  private:
   void reseed();
 

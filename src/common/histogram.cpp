@@ -1,0 +1,25 @@
+#include "src/common/histogram.hpp"
+
+namespace talon {
+
+std::uint64_t LatencyHistogram::quantile_bound_us(double q, bool* saturated) const {
+  if (saturated != nullptr) *saturated = false;
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile observation (1-based, ceil), so q = 1 is the
+  // maximum and q = 0 the minimum.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    cumulative += bucket_count(k);
+    if (cumulative >= rank) return bucket_bound_us(k);
+  }
+  if (saturated != nullptr) *saturated = true;
+  return bucket_bound_us(kBuckets - 1);
+}
+
+}  // namespace talon

@@ -1,0 +1,124 @@
+// Lock-free bounded multi-producer / single-consumer ring queue.
+//
+// The serving layer's ingest path (driver/serve.hpp): many station
+// threads push sweep reports, one consumer drains them into the worker
+// pool. The queue is a bounded ring of cells with per-cell sequence
+// numbers (Vyukov's bounded queue, restricted to one consumer): a
+// producer claims a slot with one fetch_add + CAS-free sequence
+// handshake, the consumer advances a plain tail it alone owns. No
+// allocation after construction, no locks anywhere, and a full queue
+// REJECTS the push (try_push returns false) instead of blocking or
+// overwriting -- backpressure is the caller's policy, which is what lets
+// the serving layer guarantee zero silent drops.
+//
+// Contract:
+//  * any number of producers may call try_push concurrently;
+//  * exactly ONE thread at a time may call try_pop (the consumer); the
+//    caller serializes consumer handoffs (e.g. stop the serve thread
+//    before draining inline);
+//  * elements leave in the producers' claim order, which for a single
+//    producer -- or per producer under concurrency -- is FIFO;
+//  * capacity is rounded up to a power of two.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+template <typename T>
+class MpscQueue {
+ public:
+  /// `capacity` > 0; rounded up to the next power of two.
+  explicit MpscQueue(std::size_t capacity) {
+    TALON_EXPECTS(capacity > 0);
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Power-of-two slot count.
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Enqueue by move; false when the queue is full (the element is left
+  /// untouched so the caller can retry). Safe from any number of threads.
+  bool try_push(T& value) {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        // Slot is free at this ticket; claim it.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded pos; retry with the fresh ticket.
+      } else if (diff < 0) {
+        // The slot has not been released for this lap: the consumer is a
+        // full ring behind our ticket, i.e. the queue is full.
+        return false;
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool try_push(T&& value) { return try_push(value); }
+
+  /// Dequeue into `out`; false when empty. Single consumer only.
+  bool try_pop(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[tail & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(tail + 1) < 0) {
+      return false;  // producer has not published this slot yet
+    }
+    out = std::move(cell.value);
+    cell.seq.store(tail + capacity(), std::memory_order_release);
+    tail_.store(tail + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Instantaneous element count; exact when quiescent, a snapshot
+  /// otherwise (diagnostics / telemetry / backpressure heuristics).
+  std::size_t approx_size() const {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    return head > tail ? static_cast<std::size_t>(head - tail) : 0;
+  }
+
+  bool approx_empty() const { return approx_size() == 0; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_{0};
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // producers' ticket
+  /// Consumer-owned; atomic only so producers may read a stale snapshot
+  /// in approx_size() without a data race (relaxed everywhere).
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace talon

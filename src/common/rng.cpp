@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 
 #include "src/common/error.hpp"
 
@@ -58,6 +59,25 @@ bool Rng::bernoulli(double p) {
   const double clamped = std::clamp(p, 0.0, 1.0);
   std::bernoulli_distribution dist(clamped);
   return dist(engine_);
+}
+
+std::string Rng::save_state() const {
+  // The standard requires operator<< to emit the full engine state as
+  // decimal integers separated by spaces; the text round-trips exactly
+  // on any conforming implementation.
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+void Rng::restore_state(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 engine;
+  in >> engine;
+  if (in.fail()) {
+    throw SnapshotError("rng state text does not parse as an mt19937_64 state");
+  }
+  engine_ = engine;
 }
 
 std::vector<int> Rng::sample_without_replacement(int n, int k) {

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace talon {
@@ -43,6 +44,11 @@ inline constexpr std::uint64_t kMeshPlacement = 13;  ///< (link, 0, salt)
 inline constexpr std::uint64_t kMeshJitter = 14;     ///< (link, slot, salt)
 inline constexpr std::uint64_t kMeshChurn = 15;      ///< (link, slot, salt)
 
+// bench/bench_serve.cpp + driver/serve.cpp -- serving-layer report
+// synthesis (per-link, per-report streams, independent of submission
+// order and thread count).
+inline constexpr std::uint64_t kServeReport = 16;  ///< (link, report)
+
 /// Reserved for event-engine entities: an entity e of a discrete-event
 /// simulation may draw from tag kEventEntityFirst + (e mod the range
 /// width) without registering a name above. New *named* tags must stay
@@ -74,7 +80,7 @@ inline constexpr std::uint64_t kNamedTags[] = {
     kRecording,     kError,          kQuality,        kThroughput,
     kNetworkDevice, kNetworkChannel, kNetworkSession, kNetworkPhase,
     kFaultLoss,     kFaultCorruption, kFaultRing,     kFaultFeedback,
-    kMeshPlacement, kMeshJitter,     kMeshChurn};
+    kMeshPlacement, kMeshJitter,     kMeshChurn,     kServeReport};
 
 static_assert(all_unique(kNamedTags), "substream stream tags must be unique");
 static_assert([] {
@@ -128,6 +134,15 @@ class Rng {
 
   /// Access to the underlying engine for std:: distributions.
   std::mt19937_64& engine() { return engine_; }
+
+  /// Exact textual serialization of the engine state (the standard
+  /// operator<< representation of mt19937_64). restore_state() on any
+  /// host resumes the identical stream; used by the snapshot codec.
+  std::string save_state() const;
+
+  /// Restore a stream previously captured with save_state(). Throws
+  /// SnapshotError if the text does not parse as an engine state.
+  void restore_state(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

@@ -43,6 +43,26 @@ class AdaptiveProbeController {
   /// Selections accumulated toward the next decision.
   std::size_t pending() const { return window_.size(); }
 
+  /// Complete mutable state (config excluded -- the owner reconstructs
+  /// with the same config). Snapshot/restore round-trips exactly: after
+  /// import_state() the controller makes the identical sequence of
+  /// decisions it would have made uninterrupted.
+  struct State {
+    std::size_t probes{0};
+    std::vector<int> window;
+    std::vector<int> previous_window_ids;
+    bool has_previous{false};
+  };
+  State export_state() const {
+    return State{probes_, window_, previous_window_ids_, has_previous_};
+  }
+  void import_state(State state) {
+    probes_ = state.probes;
+    window_ = std::move(state.window);
+    previous_window_ids_ = std::move(state.previous_window_ids);
+    has_previous_ = state.has_previous;
+  }
+
  private:
   AdaptiveProbeConfig config_;
   std::size_t probes_;

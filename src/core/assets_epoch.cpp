@@ -1,0 +1,130 @@
+#include "src/core/assets_epoch.hpp"
+
+#include <functional>
+#include <thread>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+
+AssetsEpoch::AssetsEpoch(std::shared_ptr<const PatternAssets> initial)
+    : current_raw_(initial.get()), live_(std::move(initial)) {
+  TALON_EXPECTS(live_ != nullptr);
+}
+
+AssetsEpoch::~AssetsEpoch() {
+  // Guards must not outlive the epoch domain; by then every slot is idle
+  // and dropping live_/retired_ releases the references.
+}
+
+AssetsEpoch::ReadGuard AssetsEpoch::read() const {
+  ReadGuard guard;
+  guard.owner_ = const_cast<AssetsEpoch*>(this);
+  // Claim a pin slot, starting at a thread-affine position so repeat
+  // readers of the same thread do not contend on slot 0.
+  const std::size_t start =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kSlots;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    Slot& slot = slots_[(start + i) % kSlots];
+    std::uint64_t idle = kIdle;
+    // Tentatively claim with the current epoch; the validation loop below
+    // re-pins if a writer races the claim.
+    if (!slot.pinned.compare_exchange_strong(
+            idle, epoch_.load(std::memory_order_seq_cst),
+            std::memory_order_seq_cst)) {
+      continue;
+    }
+    // Validate: once the pinned epoch is visible AND the global epoch
+    // still equals it, any later swap's reclaim scan must observe this
+    // pin (both stores are seq_cst, so the scan -- which follows the
+    // epoch bump in the total order -- sees either our pin or a bump we
+    // would have re-read here).
+    for (;;) {
+      const std::uint64_t seen = epoch_.load(std::memory_order_seq_cst);
+      if (seen == slot.pinned.load(std::memory_order_relaxed)) break;
+      slot.pinned.store(seen, std::memory_order_seq_cst);
+    }
+    guard.slot_ = (start + i) % kSlots;
+    guard.assets_ = current_raw_.load(std::memory_order_seq_cst);
+    return guard;
+  }
+  // Every slot busy: refcounted slow path.
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  guard.fallback_ = live_;
+  guard.assets_ = guard.fallback_.get();
+  return guard;
+}
+
+void AssetsEpoch::ReadGuard::release() {
+  if (owner_ == nullptr) return;
+  AssetsEpoch* owner = owner_;
+  if (slot_ < kSlots) {
+    owner->slots_[slot_].pinned.store(kIdle, std::memory_order_seq_cst);
+  }
+  fallback_.reset();
+  owner_ = nullptr;
+  assets_ = nullptr;
+  // Opportunistic reclaim so a retired generation dies as soon as its
+  // last reader leaves, not only at the next swap. try_lock keeps the
+  // read path non-blocking.
+  if (owner->has_retired_.load(std::memory_order_acquire)) {
+    std::unique_lock<std::mutex> lock(owner->writer_mutex_, std::try_to_lock);
+    if (lock.owns_lock()) owner->reclaim_locked();
+  }
+}
+
+void AssetsEpoch::swap(std::shared_ptr<const PatternAssets> next) {
+  TALON_EXPECTS(next != nullptr);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  std::shared_ptr<const PatternAssets> old = std::move(live_);
+  live_ = std::move(next);
+  current_raw_.store(live_.get(), std::memory_order_seq_cst);
+  const std::uint64_t new_epoch =
+      epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  retired_.push_back(Retired{std::move(old), new_epoch});
+  has_retired_.store(true, std::memory_order_release);
+  reclaim_locked();
+}
+
+std::shared_ptr<const PatternAssets> AssetsEpoch::current() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return live_;
+}
+
+std::size_t AssetsEpoch::retired_count() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return retired_.size();
+}
+
+std::size_t AssetsEpoch::reclaim() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return reclaim_locked();
+}
+
+std::size_t AssetsEpoch::reclaim_locked() {
+  if (retired_.empty()) return 0;
+  // The oldest epoch any active reader pinned; idle slots do not hold
+  // anything back.
+  std::uint64_t oldest_pin = kIdle;
+  for (const Slot& slot : slots_) {
+    const std::uint64_t pin = slot.pinned.load(std::memory_order_seq_cst);
+    if (pin < oldest_pin) oldest_pin = pin;
+  }
+  std::size_t freed = 0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < retired_.size(); ++i) {
+    // A generation retired at unsafe_before may still be held by readers
+    // pinned at any EARLIER epoch.
+    if (oldest_pin >= retired_[i].unsafe_before) {
+      retired_[i].assets.reset();
+      ++freed;
+    } else {
+      retired_[keep++] = std::move(retired_[i]);
+    }
+  }
+  retired_.resize(keep);
+  has_retired_.store(!retired_.empty(), std::memory_order_release);
+  return freed;
+}
+
+}  // namespace talon

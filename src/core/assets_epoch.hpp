@@ -1,0 +1,140 @@
+// Epoch-based RCU-style hot swap of shared PatternAssets.
+//
+// A recalibrated pattern table must replace the one a serving daemon's
+// links ride WITHOUT stalling selection: readers (the workers processing
+// sweep reports) may not block on a writer, and the writer may not free
+// the old assets while any reader still dereferences them. Classic RCU:
+//
+//  * readers PIN the current epoch on entry (one seq_cst store into a
+//    private slot, validated against the global epoch), read the raw
+//    assets pointer, and unpin on exit -- no lock, no shared_ptr
+//    refcount traffic, no writer interaction;
+//  * the writer publishes the next assets pointer, bumps the epoch, and
+//    RETIRES the previous shared_ptr onto a graveyard list;
+//  * retired assets are reclaimed (their shared_ptr reference dropped,
+//    destroying the object when no external owner remains) only once
+//    every pinned slot has advanced past the retire epoch -- so a reader
+//    that entered before the swap keeps a fully consistent, never-torn
+//    table for as long as it stays pinned.
+//
+// swap() never blocks readers and readers never block swap(); the only
+// mutual exclusion is writer-vs-writer (and the reclaim scan), on a
+// mutex no read-side path takes. Readers that cannot claim one of the
+// fixed pin slots (more than kSlots concurrent guards) fall back to a
+// plain shared_ptr copy under the writer mutex -- correctness never
+// depends on the fast path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/core/pattern_assets.hpp"
+
+namespace talon {
+
+class AssetsEpoch {
+ public:
+  /// Number of concurrent fast-path readers; further readers take the
+  /// shared_ptr slow path (still safe, just refcounted).
+  static constexpr std::size_t kSlots = 64;
+
+  explicit AssetsEpoch(std::shared_ptr<const PatternAssets> initial);
+  ~AssetsEpoch();
+
+  AssetsEpoch(const AssetsEpoch&) = delete;
+  AssetsEpoch& operator=(const AssetsEpoch&) = delete;
+
+  /// RAII read pin. While alive, get() stays valid and the pointed-to
+  /// assets are never reclaimed, even across concurrent swap() calls.
+  class ReadGuard {
+   public:
+    ReadGuard(ReadGuard&& other) noexcept { move_from(other); }
+    ReadGuard& operator=(ReadGuard&& other) noexcept {
+      release();
+      move_from(other);
+      return *this;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ~ReadGuard() { release(); }
+
+    const PatternAssets* get() const { return assets_; }
+    const PatternAssets& operator*() const { return *assets_; }
+    const PatternAssets* operator->() const { return assets_; }
+
+   private:
+    friend class AssetsEpoch;
+    ReadGuard() = default;
+    void release();
+    void move_from(ReadGuard& other) {
+      owner_ = other.owner_;
+      slot_ = other.slot_;
+      assets_ = other.assets_;
+      fallback_ = std::move(other.fallback_);
+      other.owner_ = nullptr;
+      other.assets_ = nullptr;
+    }
+
+    AssetsEpoch* owner_{nullptr};
+    std::size_t slot_{kSlots};  // kSlots = slow path (fallback_ holds the ref)
+    const PatternAssets* assets_{nullptr};
+    std::shared_ptr<const PatternAssets> fallback_;
+  };
+
+  /// Pin the current assets for reading. Wait-free against writers.
+  ReadGuard read() const;
+
+  /// Publish `next` as the current assets and retire the previous ones.
+  /// Readers already pinned keep the old table; new readers see `next`
+  /// immediately. The old assets are reclaimed once the last pre-swap
+  /// reader unpins. `next` must be non-null.
+  void swap(std::shared_ptr<const PatternAssets> next);
+
+  /// Snapshot of the current assets as an owning pointer (slow path:
+  /// takes the writer mutex). For callers that need to HOLD the assets
+  /// beyond a guard's scope, e.g. a session rebinding its selector.
+  std::shared_ptr<const PatternAssets> current() const;
+
+  /// Monotonic swap count (0 at construction).
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_seq_cst); }
+
+  /// Retired-but-not-yet-reclaimed asset generations (diagnostics/tests).
+  std::size_t retired_count() const;
+
+  /// Attempt reclamation now (normally driven by swap() and guard
+  /// release); returns the number of generations freed.
+  std::size_t reclaim();
+
+ private:
+  struct alignas(64) Slot {
+    /// Epoch the occupying reader pinned, or kIdle.
+    std::atomic<std::uint64_t> pinned{kIdle};
+  };
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  struct Retired {
+    std::shared_ptr<const PatternAssets> assets;
+    /// First epoch at which this generation was no longer current:
+    /// readers pinned at epochs < unsafe_before may still hold it.
+    std::uint64_t unsafe_before;
+  };
+
+  std::size_t reclaim_locked();
+
+  mutable std::vector<Slot> slots_{kSlots};
+  /// Current generation, raw for the read fast path; `live_` owns it.
+  std::atomic<const PatternAssets*> current_raw_;
+  std::atomic<std::uint64_t> epoch_{0};
+  /// True while `retired_` is non-empty (guards probe this without the
+  /// mutex).
+  std::atomic<bool> has_retired_{false};
+
+  mutable std::mutex writer_mutex_;
+  std::shared_ptr<const PatternAssets> live_;
+  std::vector<Retired> retired_;
+};
+
+}  // namespace talon

@@ -154,6 +154,27 @@ class LinkLifecycle {
 
   const LinkLifecycleConfig& config() const { return config_; }
 
+  /// Complete mutable state (config excluded). A machine restored via
+  /// import_state() accepts and rejects exactly the events the exporter
+  /// would have, including mid-backoff acquisition windows.
+  struct State {
+    LinkState state{LinkState::kUp};
+    int consecutive_failures{0};
+    std::size_t window_left{0};
+    std::size_t backoff{1};
+    LifecycleStats stats;
+  };
+  State export_state() const {
+    return State{state_, consecutive_failures_, window_left_, backoff_, stats_};
+  }
+  void import_state(const State& state) {
+    state_ = state.state;
+    consecutive_failures_ = state.consecutive_failures;
+    window_left_ = state.window_left;
+    backoff_ = state.backoff;
+    stats_ = state.stats;
+  }
+
  private:
   void move_to(LinkState next);
 

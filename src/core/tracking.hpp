@@ -44,6 +44,20 @@ class PathTracker {
 
   void reset();
 
+  /// Complete mutable state (config excluded). import_state() resumes
+  /// the identical track the exporter held.
+  struct State {
+    std::optional<Direction> track;
+    std::optional<Direction> jump_candidate;
+    int jump_run{0};
+  };
+  State export_state() const { return State{track_, jump_candidate_, jump_run_}; }
+  void import_state(const State& state) {
+    track_ = state.track;
+    jump_candidate_ = state.jump_candidate;
+    jump_run_ = state.jump_run;
+  }
+
  private:
   PathTrackerConfig config_;
   std::optional<Direction> track_;

@@ -24,13 +24,41 @@ LinkSession& CssDaemon::add_link(int link_id, Wil6210Driver& driver, Rng rng) {
 
 LinkSession& CssDaemon::add_link(int link_id, Wil6210Driver& driver, Rng rng,
                                  const CssDaemonConfig& config) {
-  auto [it, inserted] = sessions_.emplace(
+  return insert_session(
       link_id,
       std::make_unique<LinkSession>(driver, assets_, config, rng, link_id));
+}
+
+LinkSession& CssDaemon::add_headless_link(int link_id, Rng rng) {
+  return add_headless_link(link_id, rng, defaults_);
+}
+
+LinkSession& CssDaemon::add_headless_link(int link_id, Rng rng,
+                                          const CssDaemonConfig& config) {
+  return add_headless_link(link_id, rng, config, assets_);
+}
+
+LinkSession& CssDaemon::add_headless_link(
+    int link_id, Rng rng, const CssDaemonConfig& config,
+    std::shared_ptr<const PatternAssets> assets) {
+  TALON_EXPECTS(assets != nullptr);
+  return insert_session(link_id,
+                        std::make_unique<LinkSession>(std::move(assets), config,
+                                                      rng, link_id));
+}
+
+LinkSession& CssDaemon::insert_session(int link_id,
+                                       std::unique_ptr<LinkSession> session) {
+  auto [it, inserted] = sessions_.emplace(link_id, std::move(session));
   if (!inserted) {
     throw StateError("link id already has a session: " + std::to_string(link_id));
   }
   return *it->second;
+}
+
+std::optional<CssResult> CssDaemon::process_report(
+    int link_id, std::vector<SectorReading> readings) {
+  return session(link_id).process_report(std::move(readings));
 }
 
 LinkSession& CssDaemon::session(int link_id) {
@@ -51,6 +79,13 @@ const LinkSession& CssDaemon::session(int link_id) const {
 
 bool CssDaemon::has_session(int link_id) const { return sessions_.contains(link_id); }
 
+std::vector<int> CssDaemon::link_ids() const {
+  std::vector<int> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  return ids;
+}
+
 LinkSession& CssDaemon::first_session() {
   if (sessions_.empty()) throw StateError("daemon has no link sessions");
   return *sessions_.begin()->second;
@@ -69,19 +104,24 @@ std::optional<CssResult> CssDaemon::process_sweep() {
   return first_session().process_sweep();
 }
 
+bool CssDaemon::joins_batch(const LinkSession& session) const {
+  return session.pending_batchable() && session.assets().get() == assets_.get();
+}
+
 void CssDaemon::complete_prepared(std::map<int, std::optional<CssResult>>* out) {
   batch_links_.clear();
   batch_sweeps_.clear();
   for (auto& [id, session] : sessions_) {
-    if (!session->sweep_pending() || !session->pending_batchable()) continue;
+    if (!session->sweep_pending() || !joins_batch(*session)) continue;
     batch_links_.push_back(session.get());
     batch_sweeps_.emplace_back(session->pending_readings());
   }
   if (!batch_links_.empty()) {
     // Batchable sessions run the stateless CSS fast path with the shared
     // default CssConfig (prepare_sweep() excludes tracking and
-    // degradation, the only knobs session construction changes), so one
-    // selector -- the first batchable session's -- computes every
+    // degradation, the only knobs session construction changes) over the
+    // daemon's own assets (joins_batch() excludes per-link tables), so
+    // one selector -- the first batchable session's -- computes every
     // member's selection bit-identically to its own.
     batch_results_.resize(batch_links_.size());
     batch_links_.front()->css().select_batch(batch_sweeps_,
@@ -93,8 +133,7 @@ void CssDaemon::complete_prepared(std::map<int, std::optional<CssResult>>* out) 
   std::size_t j = 0;
   for (auto& [id, session] : sessions_) {
     if (!session->sweep_pending()) continue;
-    const CssResult* batched =
-        session->pending_batchable() ? &batch_results_[j++] : nullptr;
+    const CssResult* batched = joins_batch(*session) ? &batch_results_[j++] : nullptr;
     std::optional<CssResult> result = session->complete_sweep(batched);
     if (out != nullptr) (*out)[id] = std::move(result);
   }

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "src/core/pattern_assets.hpp"
 #include "src/driver/link_session.hpp"
@@ -46,12 +47,36 @@ class CssDaemon {
   LinkSession& add_link(int link_id, Wil6210Driver& driver, Rng rng,
                         const CssDaemonConfig& config);
 
+  /// Create and own a HEADLESS session (no chip; report-driven, see
+  /// LinkSession's headless mode) under `link_id`. This is what the
+  /// serving layer registers by the thousands.
+  LinkSession& add_headless_link(int link_id, Rng rng);
+  LinkSession& add_headless_link(int link_id, Rng rng,
+                                 const CssDaemonConfig& config);
+
+  /// Headless with per-link assets: the session rides `assets` instead
+  /// of the daemon's shared table (a link measured against a different
+  /// codebook, or mid-rollout of a recalibration). Such sessions never
+  /// join the shared batched-selection walk -- complete_prepared()
+  /// routes them through their own selector.
+  LinkSession& add_headless_link(int link_id, Rng rng,
+                                 const CssDaemonConfig& config,
+                                 std::shared_ptr<const PatternAssets> assets);
+
+  /// Feed one externally produced sweep report to `link_id`'s session
+  /// (LinkSession::process_report). Throws StateError when absent.
+  std::optional<CssResult> process_report(int link_id,
+                                          std::vector<SectorReading> readings);
+
   /// The session serving `link_id`; throws StateError when absent.
   LinkSession& session(int link_id);
   const LinkSession& session(int link_id) const;
 
   bool has_session(int link_id) const;
   std::size_t session_count() const { return sessions_.size(); }
+
+  /// Registered link ids, ascending (snapshot/serve iteration order).
+  std::vector<int> link_ids() const;
 
   /// The immutable assets every session shares (never null).
   const std::shared_ptr<const PatternAssets>& assets() const { return assets_; }
@@ -114,6 +139,12 @@ class CssDaemon {
  private:
   LinkSession& first_session();
   const LinkSession& first_session() const;
+  LinkSession& insert_session(int link_id, std::unique_ptr<LinkSession> session);
+  /// May this parked sweep join the shared batched walk? Requires the
+  /// session's batchable verdict AND that it rides the daemon's own
+  /// assets -- a per-link or hot-swapped table must go through the
+  /// session's own selector.
+  bool joins_batch(const LinkSession& session) const;
 
   std::shared_ptr<const PatternAssets> assets_;
   CssDaemonConfig defaults_;

@@ -28,6 +28,46 @@ LinkLifecycleConfig session_lifecycle_config(const DegradationConfig& d) {
 
 }  // namespace
 
+bool operator==(const LinkSessionState& a, const LinkSessionState& b) {
+  auto lifecycle_eq = [](const LinkLifecycle::State& x,
+                         const LinkLifecycle::State& y) {
+    return x.state == y.state &&
+           x.consecutive_failures == y.consecutive_failures &&
+           x.window_left == y.window_left && x.backoff == y.backoff &&
+           x.stats == y.stats;
+  };
+  auto controller_eq = [](const AdaptiveProbeController::State& x,
+                          const AdaptiveProbeController::State& y) {
+    return x.probes == y.probes && x.window == y.window &&
+           x.previous_window_ids == y.previous_window_ids &&
+           x.has_previous == y.has_previous;
+  };
+  auto tracker_eq = [](const std::optional<PathTracker::State>& x,
+                       const std::optional<PathTracker::State>& y) {
+    if (x.has_value() != y.has_value()) return false;
+    if (!x) return true;
+    return x->track == y->track && x->jump_candidate == y->jump_candidate &&
+           x->jump_run == y->jump_run;
+  };
+  auto injector_eq = [](const std::optional<LinkFaultInjector::State>& x,
+                        const std::optional<LinkFaultInjector::State>& y) {
+    if (x.has_value() != y.has_value()) return false;
+    if (!x) return true;
+    return x->round == y->round && x->ge_bad == y->ge_bad &&
+           x->stats == y->stats;
+  };
+  return a.link_id == b.link_id && a.rounds == b.rounds &&
+         a.dropped_probes == b.dropped_probes &&
+         a.warned_unknown == b.warned_unknown &&
+         a.warn_cap_announced == b.warn_cap_announced &&
+         a.rng_state == b.rng_state &&
+         controller_eq(a.controller, b.controller) &&
+         lifecycle_eq(a.lifecycle, b.lifecycle) &&
+         a.degradation == b.degradation && tracker_eq(a.tracker, b.tracker) &&
+         injector_eq(a.injector, b.injector) &&
+         a.last_installed_sector == b.last_installed_sector;
+}
+
 DegradationStats& DegradationStats::operator+=(const DegradationStats& other) {
   css_rounds += other.css_rounds;
   failed_rounds += other.failed_rounds;
@@ -41,29 +81,58 @@ DegradationStats& DegradationStats::operator+=(const DegradationStats& other) {
 LinkSession::LinkSession(Wil6210Driver& driver,
                          std::shared_ptr<const PatternAssets> assets,
                          const CssDaemonConfig& config, Rng rng, int link_id)
-    : driver_(&driver),
+    : LinkSession(&driver, std::move(assets), config, rng, link_id) {}
+
+LinkSession::LinkSession(std::shared_ptr<const PatternAssets> assets,
+                         const CssDaemonConfig& config, Rng rng, int link_id)
+    : LinkSession(nullptr, std::move(assets), config, rng, link_id) {}
+
+LinkSession::LinkSession(Wil6210Driver* driver,
+                         std::shared_ptr<const PatternAssets> assets,
+                         const CssDaemonConfig& config, Rng rng, int link_id)
+    : driver_(driver),
       css_(std::move(assets), session_css_config(config)),
       config_(config),
       controller_(config.adaptive_config),
       rng_(rng),
       link_id_(link_id),
       lifecycle_(session_lifecycle_config(config.degradation), LinkState::kUp) {
+  build_strategy();
+  if (config_.faults && config_.faults->any_enabled()) {
+    injector_ = std::make_shared<LinkFaultInjector>(config_.faults, link_id_);
+    // The firmware draws the ring-buffer faults from the same injector, so
+    // one (plan, link) pair fully determines the link's fault sequence.
+    if (driver_ != nullptr) driver_->install_fault_injector(injector_);
+  }
+  if (driver_ != nullptr && !driver_->research_patches_loaded()) {
+    driver_->load_research_patches();
+  }
+}
+
+void LinkSession::build_strategy() {
   if (config_.track_path) {
     auto tracking = std::make_unique<TrackingCssSelector>(css_, config_.tracker_config);
     tracking_ = tracking.get();
     strategy_ = std::move(tracking);
   } else {
+    tracking_ = nullptr;
     strategy_ = std::make_unique<CssSelector>(css_);
   }
-  if (config_.faults && config_.faults->any_enabled()) {
-    injector_ = std::make_shared<LinkFaultInjector>(config_.faults, link_id_);
-    // The firmware draws the ring-buffer faults from the same injector, so
-    // one (plan, link) pair fully determines the link's fault sequence.
-    driver_->install_fault_injector(injector_);
-  }
-  if (!driver_->research_patches_loaded()) {
-    driver_->load_research_patches();
-  }
+}
+
+void LinkSession::rebind_assets(std::shared_ptr<const PatternAssets> next) {
+  TALON_EXPECTS(next != nullptr);
+  TALON_EXPECTS(!sweep_pending_);
+  if (next == css_.assets()) return;
+  css_ = CompressiveSectorSelector(std::move(next), session_css_config(config_));
+  // The strategy must be rebuilt, not repointed: its workspace may cache
+  // a response panel keyed only by the probe-slot sequence, which a new
+  // table with the same slots would silently alias. The tracker's path
+  // state survives the swap.
+  std::optional<PathTracker::State> track;
+  if (tracking_ != nullptr) track = tracking_->tracker().export_state();
+  build_strategy();
+  if (tracking_ != nullptr && track) tracking_->tracker().import_state(*track);
 }
 
 const std::optional<Direction>& LinkSession::tracked_direction() const {
@@ -125,9 +194,14 @@ void LinkSession::apply_reading_faults(std::vector<SectorReading>& readings) {
   }
 }
 
+void LinkSession::deliver_selection(int sector_id) {
+  last_installed_sector_ = sector_id;
+  if (driver_ != nullptr) driver_->force_sector(sector_id);
+}
+
 bool LinkSession::install_selection(int sector_id) {
   if (!injector_ || !injector_->plan().feedback.any()) {
-    driver_->force_sector(sector_id);
+    deliver_selection(sector_id);
     return true;
   }
   const FeedbackFaultConfig& fb = injector_->plan().feedback;
@@ -138,7 +212,7 @@ bool LinkSession::install_selection(int sector_id) {
     }
     if (!injector_->drop_feedback_attempt()) {
       injector_->feedback_delay_us();
-      driver_->force_sector(sector_id);
+      deliver_selection(sector_id);
       return true;
     }
   }
@@ -176,11 +250,22 @@ std::optional<CssResult> LinkSession::process_sweep() {
   return complete_sweep();
 }
 
+std::optional<CssResult> LinkSession::process_report(
+    std::vector<SectorReading> readings) {
+  prepare_report(std::move(readings));
+  return complete_sweep();
+}
+
 bool LinkSession::prepare_sweep() {
+  TALON_EXPECTS(driver_ != nullptr);
+  return prepare_report(driver_->read_sweep_readings());
+}
+
+bool LinkSession::prepare_report(std::vector<SectorReading> readings) {
   TALON_EXPECTS(!sweep_pending_);
   ++rounds_;
   pending_full_sweep_ = in_fallback();
-  pending_readings_ = driver_->read_sweep_readings();
+  pending_readings_ = std::move(readings);
   if (injector_) apply_reading_faults(pending_readings_);
   sweep_pending_ = true;
   // Batchable iff complete_sweep() would run the plain stateless CSS
@@ -240,6 +325,57 @@ std::optional<CssResult> LinkSession::complete_sweep(const CssResult* batched) {
   if (config_.adaptive) controller_.report_selection(result.sector_id);
   finish_round(healthy, full_sweep_round);
   return result;
+}
+
+LinkSessionState LinkSession::export_state() const {
+  TALON_EXPECTS(!sweep_pending_);
+  LinkSessionState state;
+  state.link_id = link_id_;
+  state.rounds = rounds_;
+  state.dropped_probes = dropped_probes_;
+  state.warned_unknown.assign(warned_unknown_.begin(), warned_unknown_.end());
+  state.warn_cap_announced = warn_cap_announced_;
+  state.rng_state = rng_.save_state();
+  state.controller = controller_.export_state();
+  state.lifecycle = lifecycle_.export_state();
+  state.degradation = degradation_stats_;
+  if (tracking_ != nullptr) state.tracker = tracking_->tracker().export_state();
+  if (injector_ != nullptr) state.injector = injector_->export_state();
+  state.last_installed_sector = last_installed_sector_;
+  return state;
+}
+
+void LinkSession::import_state(const LinkSessionState& state) {
+  TALON_EXPECTS(!sweep_pending_);
+  if (state.link_id != link_id_) {
+    throw SnapshotError("snapshot state for link " +
+                        std::to_string(state.link_id) +
+                        " imported into session for link " +
+                        std::to_string(link_id_));
+  }
+  if (state.tracker.has_value() != (tracking_ != nullptr)) {
+    throw SnapshotError(
+        "snapshot tracker state does not match the session's track_path "
+        "configuration");
+  }
+  if (state.injector.has_value() != (injector_ != nullptr)) {
+    throw SnapshotError(
+        "snapshot fault-injector state does not match the session's fault "
+        "plan");
+  }
+  rounds_ = state.rounds;
+  dropped_probes_ = state.dropped_probes;
+  warned_unknown_.clear();
+  warned_unknown_.insert(state.warned_unknown.begin(),
+                         state.warned_unknown.end());
+  warn_cap_announced_ = state.warn_cap_announced;
+  rng_.restore_state(state.rng_state);
+  controller_.import_state(state.controller);
+  lifecycle_.import_state(state.lifecycle);
+  degradation_stats_ = state.degradation;
+  if (tracking_ != nullptr) tracking_->tracker().import_state(*state.tracker);
+  if (injector_ != nullptr) injector_->import_state(*state.injector);
+  last_installed_sector_ = state.last_installed_sector;
 }
 
 }  // namespace talon

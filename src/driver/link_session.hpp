@@ -31,7 +31,9 @@
 #include <optional>
 #include <set>
 #include <span>
+#include <string>
 
+#include "src/common/error.hpp"
 #include "src/common/fault.hpp"
 #include "src/core/adaptive.hpp"
 #include "src/core/css.hpp"
@@ -108,6 +110,36 @@ struct CssDaemonConfig {
   DegradationConfig degradation{};
 };
 
+/// Complete serializable state of one LinkSession, captured between
+/// rounds (never mid-sweep). Everything that influences future
+/// selections is here -- the RNG stream, the adaptive controller, the
+/// lifecycle machine with its mid-backoff acquisition window, the
+/// tracker, the fault injector's cross-round state -- so a session
+/// reconstructed with the same (assets, config, link id) and this state
+/// produces byte-identical subsequent selections. The snapshot codec
+/// (driver/snapshot.hpp) serializes it.
+struct LinkSessionState {
+  int link_id{0};
+  std::uint64_t rounds{0};
+  std::uint64_t dropped_probes{0};
+  std::vector<int> warned_unknown;
+  bool warn_cap_announced{false};
+  std::string rng_state;
+  AdaptiveProbeController::State controller;
+  LinkLifecycle::State lifecycle;
+  DegradationStats degradation;
+  /// Present iff the session tracks a path (config.track_path).
+  std::optional<PathTracker::State> tracker;
+  /// Present iff the session owns a fault injector.
+  std::optional<LinkFaultInjector::State> injector;
+  /// Last sector override delivered (never set when none was yet).
+  std::optional<int> last_installed_sector;
+
+  friend bool operator==(const LinkSessionState&, const LinkSessionState&);
+};
+
+bool operator==(const LinkSessionState& a, const LinkSessionState& b);
+
 class LinkSession {
  public:
   /// Binds to one driver (one chip). Loads the research patches when the
@@ -116,6 +148,17 @@ class LinkSession {
   /// link's fault substreams (and diagnostics); the daemon passes the id
   /// it registered the session under.
   LinkSession(Wil6210Driver& driver, std::shared_ptr<const PatternAssets> assets,
+              const CssDaemonConfig& config, Rng rng, int link_id = 0);
+
+  /// Headless session: no chip behind it. Sweeps arrive as externally
+  /// produced reports (process_report()/prepare_report()) and the
+  /// selected sector is recorded in last_installed_sector() instead of
+  /// being forced into a firmware. This is what lets a serving daemon
+  /// hold tens of thousands of link sessions: a FullMacFirmware carries
+  /// hundreds of kilobytes of chip memory per link, a headless session a
+  /// few hundred bytes. Selection arithmetic is identical to the
+  /// driver-backed mode.
+  LinkSession(std::shared_ptr<const PatternAssets> assets,
               const CssDaemonConfig& config, Rng rng, int link_id = 0);
 
   /// Probe subset to use for this link's next training round: a policy
@@ -128,8 +171,15 @@ class LinkSession {
   /// argmax while degraded -- and install the sector override (with
   /// bounded retry under feedback faults). Returns the selection, or
   /// nullopt when nothing was decoded (the previous override stays).
-  /// Exactly prepare_sweep() followed by complete_sweep().
+  /// Exactly prepare_sweep() followed by complete_sweep(). Requires a
+  /// driver-backed session.
   std::optional<CssResult> process_sweep();
+
+  /// Consume one externally produced sweep report: identical to
+  /// process_sweep() except the readings arrive from the caller instead
+  /// of the driver's ring buffer. Works on headless AND driver-backed
+  /// sessions (the serving daemon feeds both kinds the same way).
+  std::optional<CssResult> process_report(std::vector<SectorReading> readings);
 
   // --- split-phase sweep processing (multi-link batched selection) ----------
   //
@@ -151,6 +201,10 @@ class LinkSession {
   /// non-empty) -- so the caller may compute it externally via
   /// css().select_batch() and hand it to complete_sweep().
   bool prepare_sweep();
+
+  /// prepare_sweep() with caller-supplied readings instead of a ring
+  /// drain (the report-driven ingest path). Same return contract.
+  bool prepare_report(std::vector<SectorReading> readings);
 
   /// Phase 2: select -- from `batched` when given, else with this
   /// session's own selector -- then gate, install and account exactly
@@ -198,9 +252,45 @@ class LinkSession {
   /// The shared assets this session's selector rides.
   const std::shared_ptr<const PatternAssets>& assets() const { return css_.assets(); }
 
-  Wil6210Driver& driver() { return *driver_; }
+  /// Swap this session onto a different (e.g. freshly recalibrated)
+  /// assets generation. The selection strategy is REBUILT -- not merely
+  /// repointed -- because the old strategy's workspace may cache a
+  /// response panel keyed only by the probe-slot sequence, which would
+  /// silently reuse gains from the previous table; tracker state is
+  /// transplanted so the smoothed path survives the swap. Must be called
+  /// between rounds (no sweep pending).
+  void rebind_assets(std::shared_ptr<const PatternAssets> next);
+
+  /// True when no chip sits behind this session (report-driven only).
+  bool headless() const { return driver_ == nullptr; }
+
+  /// The most recent sector override delivered (recorded in both modes;
+  /// empty until the first install).
+  const std::optional<int>& last_installed_sector() const {
+    return last_installed_sector_;
+  }
+
+  Wil6210Driver& driver() {
+    TALON_EXPECTS(driver_ != nullptr);
+    return *driver_;
+  }
 
   int link_id() const { return link_id_; }
+
+  // --- snapshot/restore ------------------------------------------------------
+
+  /// Capture the complete mutable state. Must be called between rounds
+  /// (no sweep pending); with a fault injector attached this coincides
+  /// with a round boundary, where the injector's category streams are a
+  /// pure function of its round counter.
+  LinkSessionState export_state() const;
+
+  /// Restore state captured by export_state() on a session built with
+  /// the same (assets, config). The state's link id must match this
+  /// session's. Subsequent selections are byte-identical to the
+  /// exporter's. Throws SnapshotError on a link-id or shape mismatch
+  /// (e.g. tracker state for a non-tracking session).
+  void import_state(const LinkSessionState& state);
 
   // --- robustness observability ---------------------------------------------
 
@@ -230,12 +320,20 @@ class LinkSession {
   }
 
  private:
+  /// The shared ctor: a null driver makes a headless session.
+  LinkSession(Wil6210Driver* driver, std::shared_ptr<const PatternAssets> assets,
+              const CssDaemonConfig& config, Rng rng, int link_id);
+
+  /// (Re)build strategy_/tracking_ over the current css_.
+  void build_strategy();
   void note_unknown_sectors(std::span<const SectorReading> readings);
   /// Probe loss + reading corruption on the drained sweep, in order.
   void apply_reading_faults(std::vector<SectorReading>& readings);
   /// Install the override; bounded retry with exponential backoff under
   /// feedback faults. False when every attempt was lost.
   bool install_selection(int sector_id);
+  /// Record the override and push it to the chip when one is attached.
+  void deliver_selection(int sector_id);
   /// Advance the fault substreams and the degradation state machine.
   void finish_round(bool healthy, bool full_sweep_round);
 
@@ -272,6 +370,7 @@ class LinkSession {
   /// the mesh controller layer.
   LinkLifecycle lifecycle_;
   DegradationStats degradation_stats_;
+  std::optional<int> last_installed_sector_;
 };
 
 }  // namespace talon

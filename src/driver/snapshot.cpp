@@ -1,0 +1,367 @@
+#include "src/driver/snapshot.hpp"
+
+#include <bit>
+#include <string>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+// --- primitive writers (little-endian, append-only) --------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_int_vector(std::vector<std::uint8_t>& out, const std::vector<int>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (int x : v) put_i32(out, x);
+}
+
+// --- bounds-checked reader ---------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+
+  std::uint32_t u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{b[i]} << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[i]} << (8 * i);
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw SnapshotError("snapshot boolean field holds " + std::to_string(v));
+    return v != 0;
+  }
+
+  std::string string() {
+    const std::uint32_t n = u32();
+    const auto b = take(n);
+    return std::string(b.begin(), b.end());
+  }
+
+  std::vector<int> int_vector() {
+    const std::uint32_t n = u32();
+    if (n > remaining() / 4) {
+      throw SnapshotError("snapshot array length exceeds the payload");
+    }
+    std::vector<int> v(n);
+    for (std::uint32_t i = 0; i < n; ++i) v[i] = i32();
+    return v;
+  }
+
+  /// Sub-reader over the next `n` bytes (a length-prefixed record).
+  Reader slice(std::uint32_t n) { return Reader(take(n)); }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (remaining() < n) {
+      throw SnapshotError("snapshot truncated: need " + std::to_string(n) +
+                          " bytes, have " + std::to_string(remaining()));
+    }
+    auto out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_{0};
+};
+
+// --- per-component codecs ----------------------------------------------------
+
+void encode_lifecycle_stats(std::vector<std::uint8_t>& out,
+                            const LifecycleStats& s) {
+  put_u64(out, s.ignitions);
+  put_u64(out, s.acquisitions);
+  put_u64(out, s.destabilizations);
+  put_u64(out, s.recoveries);
+  put_u64(out, s.trips);
+  put_u64(out, s.drops);
+  put_u64(out, s.healthy_events);
+  put_u64(out, s.failure_events);
+  put_u64(out, s.rejected_events);
+  put_f64(out, s.up_time);
+  put_f64(out, s.unstable_time);
+  put_f64(out, s.acquisition_time);
+  put_f64(out, s.down_time);
+}
+
+LifecycleStats decode_lifecycle_stats(Reader& in) {
+  LifecycleStats s;
+  s.ignitions = in.u64();
+  s.acquisitions = in.u64();
+  s.destabilizations = in.u64();
+  s.recoveries = in.u64();
+  s.trips = in.u64();
+  s.drops = in.u64();
+  s.healthy_events = in.u64();
+  s.failure_events = in.u64();
+  s.rejected_events = in.u64();
+  s.up_time = in.f64();
+  s.unstable_time = in.f64();
+  s.acquisition_time = in.f64();
+  s.down_time = in.f64();
+  return s;
+}
+
+void encode_fault_stats(std::vector<std::uint8_t>& out, const FaultStats& s) {
+  put_u64(out, s.probes_lost);
+  put_u64(out, s.burst_losses);
+  put_u64(out, s.snr_outliers);
+  put_u64(out, s.rssi_outliers);
+  put_u64(out, s.floor_clamps);
+  put_u64(out, s.ring_duplicates);
+  put_u64(out, s.ring_stale);
+  put_u64(out, s.ring_overflows);
+  put_u64(out, s.feedback_drops);
+  put_u64(out, s.feedback_retries);
+  put_u64(out, s.feedback_failures);
+  put_u64(out, s.feedback_delays);
+  put_f64(out, s.feedback_latency_us);
+}
+
+FaultStats decode_fault_stats(Reader& in) {
+  FaultStats s;
+  s.probes_lost = in.u64();
+  s.burst_losses = in.u64();
+  s.snr_outliers = in.u64();
+  s.rssi_outliers = in.u64();
+  s.floor_clamps = in.u64();
+  s.ring_duplicates = in.u64();
+  s.ring_stale = in.u64();
+  s.ring_overflows = in.u64();
+  s.feedback_drops = in.u64();
+  s.feedback_retries = in.u64();
+  s.feedback_failures = in.u64();
+  s.feedback_delays = in.u64();
+  s.feedback_latency_us = in.f64();
+  return s;
+}
+
+void encode_direction(std::vector<std::uint8_t>& out,
+                      const std::optional<Direction>& d) {
+  put_u8(out, d.has_value() ? 1 : 0);
+  if (d) {
+    put_f64(out, d->azimuth_deg);
+    put_f64(out, d->elevation_deg);
+  }
+}
+
+std::optional<Direction> decode_direction(Reader& in) {
+  if (!in.boolean()) return std::nullopt;
+  Direction d;
+  d.azimuth_deg = in.f64();
+  d.elevation_deg = in.f64();
+  return d;
+}
+
+void encode_session(std::vector<std::uint8_t>& out,
+                    const LinkSessionState& s) {
+  put_i32(out, s.link_id);
+  put_u64(out, s.rounds);
+  put_u64(out, s.dropped_probes);
+  put_int_vector(out, s.warned_unknown);
+  put_u8(out, s.warn_cap_announced ? 1 : 0);
+  put_string(out, s.rng_state);
+  // Adaptive controller.
+  put_u64(out, s.controller.probes);
+  put_int_vector(out, s.controller.window);
+  put_int_vector(out, s.controller.previous_window_ids);
+  put_u8(out, s.controller.has_previous ? 1 : 0);
+  // Lifecycle machine.
+  put_u8(out, static_cast<std::uint8_t>(s.lifecycle.state));
+  put_i32(out, s.lifecycle.consecutive_failures);
+  put_u64(out, s.lifecycle.window_left);
+  put_u64(out, s.lifecycle.backoff);
+  encode_lifecycle_stats(out, s.lifecycle.stats);
+  // Degradation counters.
+  put_u64(out, s.degradation.css_rounds);
+  put_u64(out, s.degradation.failed_rounds);
+  put_u64(out, s.degradation.low_confidence_events);
+  put_u64(out, s.degradation.underfilled_rounds);
+  put_u64(out, s.degradation.fallback_entries);
+  put_u64(out, s.degradation.full_sweep_rounds);
+  // Tracker (optional).
+  put_u8(out, s.tracker.has_value() ? 1 : 0);
+  if (s.tracker) {
+    encode_direction(out, s.tracker->track);
+    encode_direction(out, s.tracker->jump_candidate);
+    put_i32(out, s.tracker->jump_run);
+  }
+  // Fault injector (optional).
+  put_u8(out, s.injector.has_value() ? 1 : 0);
+  if (s.injector) {
+    put_u64(out, s.injector->round);
+    put_u8(out, s.injector->ge_bad ? 1 : 0);
+    encode_fault_stats(out, s.injector->stats);
+  }
+  // Last installed override (optional).
+  put_u8(out, s.last_installed_sector.has_value() ? 1 : 0);
+  if (s.last_installed_sector) put_i32(out, *s.last_installed_sector);
+}
+
+LinkSessionState decode_session(Reader& in) {
+  LinkSessionState s;
+  s.link_id = in.i32();
+  s.rounds = in.u64();
+  s.dropped_probes = in.u64();
+  s.warned_unknown = in.int_vector();
+  s.warn_cap_announced = in.boolean();
+  s.rng_state = in.string();
+  s.controller.probes = in.u64();
+  s.controller.window = in.int_vector();
+  s.controller.previous_window_ids = in.int_vector();
+  s.controller.has_previous = in.boolean();
+  const std::uint8_t lifecycle_state = in.u8();
+  if (lifecycle_state >= kLinkStateCount) {
+    throw SnapshotError("snapshot lifecycle state out of range: " +
+                        std::to_string(lifecycle_state));
+  }
+  s.lifecycle.state = static_cast<LinkState>(lifecycle_state);
+  s.lifecycle.consecutive_failures = in.i32();
+  s.lifecycle.window_left = in.u64();
+  s.lifecycle.backoff = in.u64();
+  s.lifecycle.stats = decode_lifecycle_stats(in);
+  s.degradation.css_rounds = in.u64();
+  s.degradation.failed_rounds = in.u64();
+  s.degradation.low_confidence_events = in.u64();
+  s.degradation.underfilled_rounds = in.u64();
+  s.degradation.fallback_entries = in.u64();
+  s.degradation.full_sweep_rounds = in.u64();
+  if (in.boolean()) {
+    PathTracker::State tracker;
+    tracker.track = decode_direction(in);
+    tracker.jump_candidate = decode_direction(in);
+    tracker.jump_run = in.i32();
+    s.tracker = std::move(tracker);
+  }
+  if (in.boolean()) {
+    LinkFaultInjector::State injector;
+    injector.round = in.u64();
+    injector.ge_bad = in.boolean();
+    injector.stats = decode_fault_stats(in);
+    s.injector = injector;
+  }
+  if (in.boolean()) s.last_installed_sector = in.i32();
+  if (in.remaining() != 0) {
+    throw SnapshotError("snapshot session record carries " +
+                        std::to_string(in.remaining()) + " trailing bytes");
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_session_states(
+    std::span<const LinkSessionState> states) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kSnapshotMagic);
+  put_u32(out, kSnapshotVersion);
+  put_u32(out, static_cast<std::uint32_t>(states.size()));
+  std::vector<std::uint8_t> record;
+  for (const LinkSessionState& s : states) {
+    record.clear();
+    encode_session(record, s);
+    put_u32(out, static_cast<std::uint32_t>(record.size()));
+    out.insert(out.end(), record.begin(), record.end());
+  }
+  return out;
+}
+
+std::vector<LinkSessionState> decode_session_states(
+    std::span<const std::uint8_t> bytes) {
+  Reader in(bytes);
+  const std::uint32_t magic = in.u32();
+  if (magic != kSnapshotMagic) {
+    throw SnapshotError("snapshot magic mismatch (not a session snapshot)");
+  }
+  const std::uint32_t version = in.u32();
+  if (version != kSnapshotVersion) {
+    throw SnapshotError("unsupported snapshot version " +
+                        std::to_string(version) + " (this build reads " +
+                        std::to_string(kSnapshotVersion) + ")");
+  }
+  const std::uint32_t count = in.u32();
+  std::vector<LinkSessionState> states;
+  states.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t length = in.u32();
+    Reader record = in.slice(length);
+    states.push_back(decode_session(record));
+  }
+  if (in.remaining() != 0) {
+    throw SnapshotError("snapshot carries " + std::to_string(in.remaining()) +
+                        " trailing bytes after the last record");
+  }
+  return states;
+}
+
+std::vector<std::uint8_t> snapshot_sessions(const CssDaemon& daemon) {
+  std::vector<LinkSessionState> states;
+  for (int id : daemon.link_ids()) {
+    states.push_back(daemon.session(id).export_state());
+  }
+  return encode_session_states(states);
+}
+
+void restore_sessions(CssDaemon& daemon, std::span<const std::uint8_t> bytes) {
+  const std::vector<LinkSessionState> states = decode_session_states(bytes);
+  // Validate the topology before touching any session, so a mismatched
+  // snapshot does not leave the daemon half-restored.
+  if (states.size() != daemon.session_count()) {
+    throw SnapshotError("snapshot holds " + std::to_string(states.size()) +
+                        " sessions, daemon holds " +
+                        std::to_string(daemon.session_count()));
+  }
+  for (const LinkSessionState& s : states) {
+    if (!daemon.has_session(s.link_id)) {
+      throw SnapshotError("snapshot session for link " +
+                          std::to_string(s.link_id) +
+                          " has no session in the daemon");
+    }
+  }
+  for (const LinkSessionState& s : states) {
+    daemon.session(s.link_id).import_state(s);
+  }
+}
+
+}  // namespace talon

@@ -1,0 +1,62 @@
+// Versioned binary snapshot of a daemon's per-link session state.
+//
+// A serving daemon accumulates per-link state that is expensive to lose
+// on restart: the RNG streams (probe-subset draws), the lifecycle
+// machines with their mid-backoff acquisition windows, adaptive
+// controllers, path trackers and fault-injector positions. The codec
+// here captures ALL of it -- LinkSessionState, taken between rounds --
+// into a self-describing byte blob and restores it into a daemon rebuilt
+// with the same topology (same link ids, same per-link configs and
+// assets): subsequent selections are byte-identical to a run that never
+// restarted.
+//
+// Wire format (all integers little-endian, no padding):
+//
+//   magic   u32  'TLSN' (0x4e534c54)
+//   version u32  1
+//   count   u32  number of session records
+//   count x { length u32, blob[length] }   one length-prefixed record
+//                                          per session, ascending link id
+//
+// Records are length-prefixed so a future version can skip fields it
+// does not understand and a truncation is detectable at every level.
+// Doubles travel as the IEEE-754 bit pattern (bit_cast to u64), so the
+// round trip is EXACT -- no text formatting, no rounding. Decoding is
+// strict: bad magic, an unsupported version, a record length that
+// contradicts the payload, or trailing bytes all throw SnapshotError.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/driver/css_daemon.hpp"
+#include "src/driver/link_session.hpp"
+
+namespace talon {
+
+/// Current snapshot wire-format version.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// 'TLSN' tag leading every snapshot.
+inline constexpr std::uint32_t kSnapshotMagic = 0x4e534c54;
+
+/// Serialize session states (ascending link id is the caller's order).
+std::vector<std::uint8_t> encode_session_states(
+    std::span<const LinkSessionState> states);
+
+/// Parse a blob produced by encode_session_states(). Throws
+/// SnapshotError on any malformation (see header note).
+std::vector<LinkSessionState> decode_session_states(
+    std::span<const std::uint8_t> bytes);
+
+/// Capture every session of `daemon` (must be between rounds: no sweep
+/// pending on any session).
+std::vector<std::uint8_t> snapshot_sessions(const CssDaemon& daemon);
+
+/// Restore a snapshot into `daemon`. The daemon must already hold a
+/// session for EXACTLY the snapshot's link ids (rebuilt with the same
+/// configs/assets); a missing or extra link throws SnapshotError and
+/// leaves the daemon unchanged (states are validated before any import).
+void restore_sessions(CssDaemon& daemon, std::span<const std::uint8_t> bytes);
+
+}  // namespace talon

@@ -1,0 +1,166 @@
+#include "src/driver/telemetry.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+const char* kind_name(std::uint8_t kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+/// Deterministic value formatting: integral doubles print without a
+/// fractional part, everything else with %.17g (round-trip exact).
+void append_double(std::string& out, double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+/// `name{labels}` with the label braces omitted for unlabelled series.
+void append_series_name(std::string& out, const std::string& name,
+                        const std::string& labels,
+                        const std::string& extra_label = {}) {
+  out += name;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+}
+
+}  // namespace
+
+TelemetryCounter& TelemetryRegistry::counter(std::string_view name,
+                                             std::string_view labels) {
+  return *find_or_create(name, labels, Kind::kCounter).counter;
+}
+
+TelemetryGauge& TelemetryRegistry::gauge(std::string_view name,
+                                         std::string_view labels) {
+  return *find_or_create(name, labels, Kind::kGauge).gauge;
+}
+
+LatencyHistogram& TelemetryRegistry::histogram(std::string_view name,
+                                               std::string_view labels) {
+  return *find_or_create(name, labels, Kind::kHistogram).histogram;
+}
+
+TelemetryRegistry::Series& TelemetryRegistry::find_or_create(
+    std::string_view name, std::string_view labels, Kind kind) {
+  TALON_EXPECTS(!name.empty());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto key = std::make_pair(std::string(name), std::string(labels));
+  auto it = series_.find(key);
+  if (it != series_.end()) {
+    if (it->second.kind != kind) {
+      throw StateError("telemetry series '" + key.first +
+                       "' re-registered as a different metric kind");
+    }
+    return it->second;
+  }
+  Series series;
+  series.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      series.counter = std::make_unique<TelemetryCounter>();
+      break;
+    case Kind::kGauge:
+      series.gauge = std::make_unique<TelemetryGauge>();
+      break;
+    case Kind::kHistogram:
+      series.histogram = std::make_unique<LatencyHistogram>();
+      break;
+  }
+  return series_.emplace(std::move(key), std::move(series)).first->second;
+}
+
+std::size_t TelemetryRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+std::string TelemetryRegistry::render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  const std::string* prev_family = nullptr;
+  for (const auto& [key, series] : series_) {
+    const std::string& name = key.first;
+    const std::string& labels = key.second;
+    if (prev_family == nullptr || *prev_family != name) {
+      out += "# TYPE ";
+      out += name;
+      out += ' ';
+      out += kind_name(static_cast<std::uint8_t>(series.kind));
+      out += '\n';
+      prev_family = &name;
+    }
+    switch (series.kind) {
+      case Kind::kCounter:
+        append_series_name(out, name, labels);
+        out += ' ';
+        append_u64(out, series.counter->value());
+        out += '\n';
+        break;
+      case Kind::kGauge:
+        append_series_name(out, name, labels);
+        out += ' ';
+        append_double(out, series.gauge->value());
+        out += '\n';
+        break;
+      case Kind::kHistogram: {
+        // Snapshot first so the cumulative buckets, count and sum come
+        // from one consistent read pass.
+        const LatencyHistogram snap = *series.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t k = 0; k < LatencyHistogram::kBuckets; ++k) {
+          cumulative += snap.bucket_count(k);
+          std::string le = "le=\"";
+          append_u64(le, LatencyHistogram::bucket_bound_us(k));
+          le += '"';
+          append_series_name(out, name + "_bucket", labels, le);
+          out += ' ';
+          append_u64(out, cumulative);
+          out += '\n';
+        }
+        append_series_name(out, name + "_bucket", labels, "le=\"+Inf\"");
+        out += ' ';
+        append_u64(out, snap.count());
+        out += '\n';
+        append_series_name(out, name + "_count", labels);
+        out += ' ';
+        append_u64(out, snap.count());
+        out += '\n';
+        append_series_name(out, name + "_sum", labels);
+        out += ' ';
+        append_u64(out, snap.sum_us());
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace talon

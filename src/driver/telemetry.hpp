@@ -1,0 +1,101 @@
+// Scrape-style telemetry registry for the serving layer.
+//
+// The daemon exports per-link and aggregate counters -- reports ingested,
+// selections installed, PR5 fault/degradation counters, PR7 lifecycle
+// time-in-state, PR4/PR8 panel-cache hit rates, and selection-latency
+// histograms -- in the plain `name{labels} value` text exposition format
+// every metrics scraper understands (the shape of Terragraph's stats
+// agent). The registry is the ONLY mutable rendezvous: metric handles are
+// registered once (under a mutex, with stable addresses) and then updated
+// with lone atomic operations, so the serve workers never contend on the
+// registry lock in steady state.
+//
+// Render output is deterministic: families sort by name, series by label
+// string, histogram buckets by bound -- and histogram buckets are the
+// fixed log-spaced integers of common/histogram.hpp -- so two runs that
+// performed the same work produce byte-identical text (latency histograms
+// excepted: wall-clock derived values are exported but carry no
+// determinism contract).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/common/histogram.hpp"
+
+namespace talon {
+
+/// Monotonic integer counter. inc() is a relaxed atomic add.
+class TelemetryCounter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Counters are monotonic by convention; set() exists for mirrors of
+  /// externally accumulated totals (e.g. session stats re-published per
+  /// scrape).
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written floating-point value (cache hit rates, time-in-state).
+class TelemetryGauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class TelemetryRegistry {
+ public:
+  TelemetryRegistry() = default;
+  TelemetryRegistry(const TelemetryRegistry&) = delete;
+  TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
+
+  /// Find-or-register the counter `name{labels}`. `labels` is the
+  /// pre-rendered inner label list, e.g. `link="3"` (sorted by the
+  /// caller; empty for an unlabelled series). The returned reference is
+  /// stable for the registry's lifetime. A name must keep one metric
+  /// kind: re-registering it as a different kind throws StateError.
+  TelemetryCounter& counter(std::string_view name, std::string_view labels = {});
+  TelemetryGauge& gauge(std::string_view name, std::string_view labels = {});
+  LatencyHistogram& histogram(std::string_view name, std::string_view labels = {});
+
+  /// Number of registered series across all kinds.
+  std::size_t series_count() const;
+
+  /// Render every series in the text exposition format:
+  ///   name{labels} value
+  /// histograms expand into `_bucket{...,le="N"}` cumulative series plus
+  /// `_count` and `_sum`. Deterministic ordering (see the header note);
+  /// an empty registry renders to an empty string.
+  std::string render() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    Kind kind;
+    std::unique_ptr<TelemetryCounter> counter;
+    std::unique_ptr<TelemetryGauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Series& find_or_create(std::string_view name, std::string_view labels,
+                         Kind kind);
+
+  mutable std::mutex mutex_;
+  /// (family name, label string) -> series; map iteration order IS the
+  /// render order, which is what makes render() deterministic.
+  std::map<std::pair<std::string, std::string>, Series> series_;
+};
+
+}  // namespace talon

@@ -1,0 +1,140 @@
+#include "src/common/mpsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace talon {
+namespace {
+
+TEST(MpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscQueue<int>(1).capacity(), 1u);
+  EXPECT_EQ(MpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpscQueue<int>(5).capacity(), 8u);
+  EXPECT_EQ(MpscQueue<int>(1000).capacity(), 1024u);
+  EXPECT_THROW(MpscQueue<int>(0), PreconditionError);
+}
+
+TEST(MpscQueue, SingleProducerFifo) {
+  MpscQueue<int> queue(128);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(queue.try_push(i));
+  EXPECT_EQ(queue.approx_size(), 100u);
+  int out = -1;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+  EXPECT_TRUE(queue.approx_empty());
+}
+
+TEST(MpscQueue, FullQueueRejectsPushUntilPopFreesASlot) {
+  MpscQueue<int> queue(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(queue.try_push(i));
+  int spare = 99;
+  // Backpressure: the push is rejected, the element left untouched.
+  EXPECT_FALSE(queue.try_push(spare));
+  EXPECT_EQ(spare, 99);
+  int out = -1;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(queue.try_push(spare));
+  // Order stays FIFO across the reject.
+  for (int expected = 1; expected < 8; ++expected) {
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, expected);
+  }
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 99);
+}
+
+TEST(MpscQueue, WrapAroundKeepsOrderAcrossManyLaps) {
+  MpscQueue<int> queue(4);
+  int next_push = 0;
+  int next_pop = 0;
+  // Staggered push/pop so the ring wraps many times with varying fill.
+  for (int lap = 0; lap < 200; ++lap) {
+    const int burst = 1 + lap % 4;
+    for (int i = 0; i < burst; ++i) {
+      if (queue.try_push(next_push)) ++next_push;
+    }
+    int out = -1;
+    while (queue.try_pop(out)) {
+      ASSERT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_pop, next_push);
+  EXPECT_GT(next_pop, 100);
+}
+
+TEST(MpscQueue, MoveOnlyElementsTransferOwnershipExactlyOnce) {
+  MpscQueue<std::unique_ptr<int>> queue(16);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(queue.try_push(std::make_unique<int>(i)));
+  }
+  std::unique_ptr<int> out;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(queue.try_pop(out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, i);
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(MpscQueue, MultiProducerStressNoLossNoDuplicationPerProducerFifo) {
+  // N producers push (producer, seq) pairs while one consumer drains
+  // concurrently. Every element must arrive exactly once and each
+  // producer's stream must stay in order. Sized for TSan on a small
+  // host: the interleavings matter, not the volume.
+  constexpr int kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 2000;
+  MpscQueue<std::uint64_t> queue(64);  // small: forces constant wrap + rejects
+
+  std::atomic<bool> start{false};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &start, p] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+        std::uint64_t item =
+            (static_cast<std::uint64_t>(p) << 32) | i;
+        while (!queue.try_push(item)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::uint32_t> next_seq(kProducers, 0);
+  std::uint64_t received = 0;
+  start.store(true, std::memory_order_release);
+  while (received < static_cast<std::uint64_t>(kProducers) * kPerProducer) {
+    std::uint64_t item = 0;
+    if (!queue.try_pop(item)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const int p = static_cast<int>(item >> 32);
+    const std::uint32_t seq = static_cast<std::uint32_t>(item);
+    ASSERT_LT(p, kProducers);
+    // Per-producer FIFO: sequences arrive strictly in order, which also
+    // rules out loss and duplication in one check.
+    ASSERT_EQ(seq, next_seq[p]) << "producer " << p;
+    ++next_seq[p];
+    ++received;
+  }
+  for (std::thread& t : producers) t.join();
+  std::uint64_t leftover;
+  EXPECT_FALSE(queue.try_pop(leftover));
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kPerProducer);
+}
+
+}  // namespace
+}  // namespace talon

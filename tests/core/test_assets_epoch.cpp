@@ -1,0 +1,198 @@
+#include "src/core/assets_epoch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/pattern_assets.hpp"
+#include "tests/core/synthetic_table.hpp"
+
+namespace talon {
+namespace {
+
+using testutil::synthetic_grid;
+using testutil::synthetic_table;
+
+std::shared_ptr<const PatternAssets> make_assets() {
+  return std::make_shared<const PatternAssets>(
+      synthetic_table(), synthetic_grid(), CorrelationDomain::kLinear);
+}
+
+/// Assets whose destruction is observable: the deleter bumps `destroyed`.
+std::shared_ptr<const PatternAssets> make_instrumented_assets(
+    std::atomic<int>& destroyed) {
+  return std::shared_ptr<const PatternAssets>(
+      new PatternAssets(synthetic_table(), synthetic_grid(),
+                        CorrelationDomain::kLinear),
+      [&destroyed](const PatternAssets* p) {
+        destroyed.fetch_add(1, std::memory_order_relaxed);
+        delete p;
+      });
+}
+
+TEST(AssetsEpoch, StartsAtEpochZeroWithTheInitialAssets) {
+  auto initial = make_assets();
+  AssetsEpoch epoch(initial);
+  EXPECT_EQ(epoch.epoch(), 0u);
+  EXPECT_EQ(epoch.retired_count(), 0u);
+  EXPECT_EQ(epoch.current().get(), initial.get());
+  AssetsEpoch::ReadGuard guard = epoch.read();
+  EXPECT_EQ(guard.get(), initial.get());
+}
+
+TEST(AssetsEpoch, SwapPublishesToNewReadersImmediately) {
+  AssetsEpoch epoch(make_assets());
+  auto next = make_assets();
+  epoch.swap(next);
+  EXPECT_EQ(epoch.epoch(), 1u);
+  EXPECT_EQ(epoch.current().get(), next.get());
+  EXPECT_EQ(epoch.read().get(), next.get());
+}
+
+TEST(AssetsEpoch, PinnedReaderSurvivesSwapAndBlocksReclaim) {
+  std::atomic<int> destroyed{0};
+  AssetsEpoch epoch(make_instrumented_assets(destroyed));
+  const PatternAssets* old_raw = nullptr;
+  {
+    AssetsEpoch::ReadGuard guard = epoch.read();
+    old_raw = guard.get();
+    epoch.swap(make_assets());
+    // The pre-swap reader still holds a fully valid old generation.
+    EXPECT_EQ(guard.get(), old_raw);
+    EXPECT_EQ(guard->patterns().size(), 9u);
+    EXPECT_EQ(epoch.retired_count(), 1u);
+    EXPECT_EQ(epoch.reclaim(), 0u);  // pinned -> must not reclaim
+    EXPECT_EQ(destroyed.load(), 0);
+  }
+  // Guard released: the retired generation is now reclaimable, and the
+  // epoch held the only reference, so reclaim destroys it.
+  epoch.reclaim();
+  EXPECT_EQ(epoch.retired_count(), 0u);
+  EXPECT_EQ(destroyed.load(), 1);
+}
+
+TEST(AssetsEpoch, RetiredDestroyedOnlyAfterLastOfSeveralReadersLeaves) {
+  std::atomic<int> destroyed{0};
+  AssetsEpoch epoch(make_instrumented_assets(destroyed));
+  auto g1 = std::make_unique<AssetsEpoch::ReadGuard>(epoch.read());
+  auto g2 = std::make_unique<AssetsEpoch::ReadGuard>(epoch.read());
+  epoch.swap(make_assets());
+  g1.reset();
+  epoch.reclaim();
+  EXPECT_EQ(destroyed.load(), 0) << "second reader still pinned";
+  EXPECT_EQ(epoch.retired_count(), 1u);
+  g2.reset();
+  epoch.reclaim();
+  EXPECT_EQ(destroyed.load(), 1);
+  EXPECT_EQ(epoch.retired_count(), 0u);
+}
+
+TEST(AssetsEpoch, ReadersPinnedAfterTheSwapDoNotBlockOlderGenerations) {
+  std::atomic<int> destroyed{0};
+  AssetsEpoch epoch(make_instrumented_assets(destroyed));
+  epoch.swap(make_assets());
+  // This reader pinned epoch 1; generation 0 predates it and must be
+  // reclaimable regardless.
+  AssetsEpoch::ReadGuard guard = epoch.read();
+  epoch.reclaim();
+  EXPECT_EQ(destroyed.load(), 1);
+  EXPECT_EQ(epoch.retired_count(), 0u);
+}
+
+TEST(AssetsEpoch, GuardReleaseTriggersOpportunisticReclaim) {
+  std::atomic<int> destroyed{0};
+  AssetsEpoch epoch(make_instrumented_assets(destroyed));
+  {
+    AssetsEpoch::ReadGuard guard = epoch.read();
+    epoch.swap(make_assets());
+    EXPECT_EQ(destroyed.load(), 0);
+  }
+  // No explicit reclaim(): the guard's release reclaims when it can take
+  // the writer mutex, which is uncontended here.
+  EXPECT_EQ(destroyed.load(), 1);
+  EXPECT_EQ(epoch.retired_count(), 0u);
+}
+
+TEST(AssetsEpoch, ExternalOwnerKeepsRetiredAssetsAliveAfterReclaim) {
+  std::atomic<int> destroyed{0};
+  auto initial = make_instrumented_assets(destroyed);
+  AssetsEpoch epoch(initial);  // `initial` stays an external owner
+  epoch.swap(make_assets());
+  epoch.reclaim();
+  // Reclaim drops the EPOCH's reference; the external shared_ptr still
+  // owns the object.
+  EXPECT_EQ(epoch.retired_count(), 0u);
+  EXPECT_EQ(destroyed.load(), 0);
+  EXPECT_EQ(initial->patterns().size(), 9u);
+  initial.reset();
+  EXPECT_EQ(destroyed.load(), 1);
+}
+
+TEST(AssetsEpoch, MoreReadersThanSlotsFallBackSafely) {
+  auto initial = make_assets();
+  AssetsEpoch epoch(initial);
+  std::vector<AssetsEpoch::ReadGuard> guards;
+  guards.reserve(AssetsEpoch::kSlots + 8);
+  for (std::size_t i = 0; i < AssetsEpoch::kSlots + 8; ++i) {
+    guards.push_back(epoch.read());
+    EXPECT_EQ(guards.back().get(), initial.get());
+  }
+  // Slow-path guards (beyond kSlots) must also keep the old generation
+  // alive across a swap.
+  auto next = make_assets();
+  epoch.swap(next);
+  for (const AssetsEpoch::ReadGuard& g : guards) {
+    EXPECT_EQ(g.get(), initial.get());
+  }
+  guards.clear();
+  epoch.reclaim();
+  EXPECT_EQ(epoch.retired_count(), 0u);
+  EXPECT_EQ(epoch.read().get(), next.get());
+}
+
+TEST(AssetsEpoch, SwapUnderLoadStressNeverTearsAndEventuallyReclaims) {
+  // Reader threads continuously pin/validate/unpin while a writer swaps
+  // between generations. Every guard must observe a structurally valid
+  // table (9 sectors) -- a torn or reclaimed-under-foot pointer would
+  // crash or fail the check. Sized for a small TSan host.
+  std::atomic<int> destroyed{0};
+  AssetsEpoch epoch(make_instrumented_assets(destroyed));
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&epoch, &stop, &reads] {
+      while (!stop.load(std::memory_order_acquire)) {
+        AssetsEpoch::ReadGuard guard = epoch.read();
+        ASSERT_NE(guard.get(), nullptr);
+        ASSERT_EQ(guard->patterns().size(), 9u);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  constexpr int kSwaps = 40;
+  for (int s = 0; s < kSwaps; ++s) {
+    epoch.swap(make_instrumented_assets(destroyed));
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(epoch.epoch(), static_cast<std::uint64_t>(kSwaps));
+  EXPECT_GT(reads.load(), 0u);
+  // All readers gone: everything retired must now reclaim, and only the
+  // live generation survives.
+  epoch.reclaim();
+  EXPECT_EQ(epoch.retired_count(), 0u);
+  EXPECT_EQ(destroyed.load(), kSwaps);
+}
+
+}  // namespace
+}  // namespace talon

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "src/common/error.hpp"
 #include "src/core/metrics.hpp"
 #include "src/sim/scenario.hpp"
+#include "tests/driver/serve_testutil.hpp"
 #include "tests/sim/experiment_fixture.hpp"
 
 namespace talon {
@@ -322,6 +326,102 @@ TEST(CssDaemonBatch, ProcessSweepsBitIdenticalToPerSessionProcessing) {
     EXPECT_FALSE(reference.at(i).has_value());
     EXPECT_FALSE(batched.at(i).has_value());
   }
+}
+
+TEST(CssDaemonCrossAssets, PerLinkAssetsNeverAliasIntoTheSharedBatchWalk) {
+  // Three headless links: 0 and 1 ride the daemon's shared assets (and
+  // stay batchable), 2 is registered with its OWN assets built from a
+  // genuinely different codebook. The batched round must (a) keep links
+  // 0/1 bit-identical to solo processing, (b) route link 2 through its
+  // own table -- never through the shared fingerprint.
+  const AngularGrid grid = testutil::synthetic_grid();
+  const PatternTable shared_table = testutil::synthetic_table();
+  // Per-sector gain tilt: a different codebook whose selections cannot
+  // coincide numerically with the shared one (a uniform shift would --
+  // normalized correlation is scale-invariant).
+  PatternTable warped_table;
+  for (int id : shared_table.ids()) {
+    Grid2D pattern = shared_table.pattern(id);
+    for (std::size_t ie = 0; ie < grid.elevation.count; ++ie) {
+      for (std::size_t ia = 0; ia < grid.azimuth.count; ++ia) {
+        pattern.set(ia, ie, pattern.at(ia, ie) + 0.7 * id);
+      }
+    }
+    warped_table.add(id, std::move(pattern));
+  }
+
+  const auto shared = PatternAssetsRegistry::global().get_or_create(
+      shared_table, grid, CorrelationDomain::kLinear);
+  const auto warped = PatternAssetsRegistry::global().get_or_create(
+      warped_table, grid, CorrelationDomain::kLinear);
+  // The registry deduplicates by content: the same table resolves to the
+  // same instance, different fingerprints never alias.
+  ASSERT_NE(shared.get(), warped.get());
+  ASSERT_NE(shared->fingerprint(), warped->fingerprint());
+  EXPECT_EQ(PatternAssetsRegistry::global()
+                .get_or_create(testutil::synthetic_table(), grid,
+                               CorrelationDomain::kLinear)
+                .get(),
+            shared.get());
+
+  CssDaemonConfig config;
+  config.probes = 6;
+  CssDaemon daemon(shared, config);
+  daemon.add_headless_link(0, Rng(31));
+  daemon.add_headless_link(1, Rng(32));
+  daemon.add_headless_link(2, Rng(33), config, warped);
+  EXPECT_EQ(daemon.session(0).assets().get(), shared.get());
+  EXPECT_EQ(daemon.session(1).assets().get(), shared.get());
+  EXPECT_EQ(daemon.session(2).assets().get(), warped.get());
+
+  // Solo references: links 0/1 over the shared assets, link 2 over its
+  // own, plus an ALIAS DETECTOR -- link 2's exact seed and reports over
+  // the shared assets, which is what a buggy batch walk would compute.
+  CssDaemon solo_shared(shared, config);
+  solo_shared.add_headless_link(0, Rng(31));
+  solo_shared.add_headless_link(1, Rng(32));
+  CssDaemon solo_warped(warped, config);
+  solo_warped.add_headless_link(2, Rng(33));
+  CssDaemon alias_detector(shared, config);
+  alias_detector.add_headless_link(2, Rng(33));
+
+  auto expect_equal = [](const std::optional<CssResult>& x,
+                         const std::optional<CssResult>& y) {
+    ASSERT_EQ(x.has_value(), y.has_value());
+    if (!x) return;
+    EXPECT_EQ(x->valid, y->valid);
+    EXPECT_EQ(x->sector_id, y->sector_id);
+    EXPECT_EQ(x->correlation_peak, y->correlation_peak);
+    EXPECT_EQ(x->confidence, y->confidence);
+  };
+
+  bool alias_would_differ = false;
+  for (std::uint64_t round = 0; round < 5; ++round) {
+    std::vector<std::vector<SectorReading>> reports;
+    for (int i = 0; i < 3; ++i) {
+      const PatternTable& table =
+          i == 2 ? warped->patterns() : shared->patterns();
+      reports.push_back(testutil::make_report(4242, i, round, table));
+      ASSERT_TRUE(daemon.session(i).prepare_report(reports.back()));
+    }
+    std::map<int, std::optional<CssResult>> out;
+    daemon.complete_prepared(&out);
+    ASSERT_EQ(out.size(), 3u);
+
+    SCOPED_TRACE("round " + std::to_string(round));
+    expect_equal(out.at(0), solo_shared.process_report(0, reports[0]));
+    expect_equal(out.at(1), solo_shared.process_report(1, reports[1]));
+    expect_equal(out.at(2), solo_warped.process_report(2, reports[2]));
+    const auto aliased = alias_detector.process_report(2, reports[2]);
+    if (out.at(2) && aliased &&
+        (out.at(2)->correlation_peak != aliased->correlation_peak ||
+         out.at(2)->sector_id != aliased->sector_id)) {
+      alias_would_differ = true;
+    }
+  }
+  // The detector must have disagreed somewhere: otherwise this test
+  // could not tell a correctly routed link 2 from an aliased one.
+  EXPECT_TRUE(alias_would_differ);
 }
 
 TEST_F(CssDaemonTest, PathTrackingStabilizesSelections) {

@@ -1,0 +1,237 @@
+#include "src/driver/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/driver/css_daemon.hpp"
+#include "tests/driver/serve_testutil.hpp"
+
+namespace talon {
+namespace {
+
+using testutil::make_report;
+using testutil::make_serve_assets;
+
+constexpr std::uint64_t kReportSeed = 555;
+constexpr int kLinks = 5;
+constexpr std::uint64_t kRounds = 30;
+
+CssDaemonConfig session_config() {
+  // Exercise the stateful selectors: adaptive probe control, path
+  // tracking and confidence-gated degradation all ride along.
+  CssDaemonConfig config;
+  config.probes = 6;
+  config.adaptive = true;
+  config.track_path = true;
+  config.degradation.enabled = true;
+  return config;
+}
+
+Rng link_rng(int link_id) { return Rng(1000 + static_cast<std::uint64_t>(link_id)); }
+
+/// Drop the panel-cache lines from a scrape. The shared response-matrix
+/// cache is populated concurrently, so the hit/miss SPLIT (not the
+/// selections) may vary with the thread count when two links race on the
+/// same subset key; everything else must be byte-identical.
+std::string without_cache_lines(const std::string& scrape) {
+  std::istringstream in(scrape);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("serve_panel_cache") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(ServeDeterminism, AsyncMatchesSyncBitIdenticallyAtAnyThreadCount) {
+  // Reference: the same per-link report sequences through the SYNCHRONOUS
+  // API, one link at a time.
+  auto sync_assets = make_serve_assets();
+  CssDaemon sync(sync_assets, session_config());
+  for (int id = 0; id < kLinks; ++id) {
+    sync.add_headless_link(id, link_rng(id), session_config());
+  }
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    for (int id = 0; id < kLinks; ++id) {
+      sync.process_report(id,
+                          make_report(kReportSeed, id, r, sync_assets->patterns()));
+    }
+  }
+  std::vector<LinkSessionState> expected;
+  for (int id = 0; id < kLinks; ++id) {
+    expected.push_back(sync.session(id).export_state());
+  }
+
+  std::string reference_scrape;
+  for (const int threads : {1, 2, 7}) {
+    auto assets = make_serve_assets();
+    ServeConfig serve_config;
+    serve_config.threads = threads;
+    serve_config.measure_latency = false;  // scrapes must be deterministic
+    ServeDaemon serve(assets, session_config(), serve_config);
+    for (int id = 0; id < kLinks; ++id) {
+      serve.add_link(id, link_rng(id));
+    }
+    // Interleave submissions round-major (any per-link-order-preserving
+    // interleaving must produce the same result), then drain on this
+    // thread with the configured worker fan-out.
+    for (std::uint64_t r = 0; r < kRounds; ++r) {
+      for (int id = 0; id < kLinks; ++id) {
+        serve.submit(id, make_report(kReportSeed, id, r, assets->patterns()));
+      }
+    }
+    EXPECT_EQ(serve.drain_all(), kLinks * kRounds) << "threads=" << threads;
+    EXPECT_EQ(serve.processed(), serve.submitted());
+    EXPECT_EQ(serve.rejected(), 0u);
+
+    for (int id = 0; id < kLinks; ++id) {
+      EXPECT_EQ(serve.daemon().session(id).export_state(), expected[id])
+          << "threads=" << threads << " link=" << id
+          << ": async selection state diverged from the synchronous run";
+    }
+    const std::string scrape = without_cache_lines(serve.scrape());
+    if (reference_scrape.empty()) {
+      reference_scrape = scrape;
+      EXPECT_NE(scrape.find("serve_reports_processed_total 150"),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(scrape, reference_scrape)
+          << "threads=" << threads << ": telemetry diverged across thread counts";
+    }
+  }
+}
+
+TEST(ServeDeterminism, HotSwapMidStreamDropsNothingAndRebindsEveryLink) {
+  auto assets = make_serve_assets();
+  ServeConfig serve_config;
+  serve_config.queue_capacity = 256;
+  serve_config.threads = 2;
+  ServeDaemon serve(assets, session_config(), serve_config);
+  constexpr int kSwapLinks = 4;
+  for (int id = 0; id < kSwapLinks; ++id) serve.add_link(id, link_rng(id));
+  serve.start();
+  ASSERT_TRUE(serve.running());
+
+  constexpr std::uint64_t kPerPhase = 40;
+  auto submit_phase = [&serve, &assets](std::uint64_t first) {
+    // Two producers, two links each, submitting concurrently with the
+    // consumer (and with the swap below).
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 2; ++p) {
+      producers.emplace_back([&serve, &assets, p, first] {
+        for (std::uint64_t r = first; r < first + kPerPhase; ++r) {
+          for (int id = 2 * p; id < 2 * p + 2; ++id) {
+            serve.submit(id, make_report(kReportSeed, id, r, assets->patterns()));
+          }
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+  };
+
+  submit_phase(0);
+  // Publish a recalibrated table while the consumer is mid-stream; no
+  // reader stalls, and every link lazily rebinds.
+  auto recalibrated = make_serve_assets(0.7);
+  serve.swap_assets(recalibrated);
+  EXPECT_EQ(serve.assets_epoch(), 1u);
+  submit_phase(kPerPhase);
+  serve.stop();
+  ASSERT_FALSE(serve.running());
+  serve.drain_all();  // anything accepted in the stop window
+
+  // Zero drops: everything submitted was processed exactly once.
+  EXPECT_EQ(serve.submitted(), 2 * kPerPhase * kSwapLinks);
+  EXPECT_EQ(serve.processed(), serve.submitted());
+  EXPECT_EQ(serve.rejected(), 0u);
+  std::uint64_t rounds = 0;
+  for (int id = 0; id < kSwapLinks; ++id) {
+    rounds += serve.daemon().session(id).rounds();
+    // Every session processed post-swap reports, so all ride the new
+    // generation now.
+    EXPECT_EQ(serve.daemon().session(id).assets().get(), recalibrated.get());
+  }
+  EXPECT_EQ(rounds, serve.processed());
+  EXPECT_EQ(serve.rebinds(), static_cast<std::uint64_t>(kSwapLinks));
+  EXPECT_EQ(serve.current_assets().get(), recalibrated.get());
+}
+
+TEST(ServeDeterminism, TrySubmitAppliesBackpressureWhenFull) {
+  auto assets = make_serve_assets();
+  ServeConfig serve_config;
+  serve_config.queue_capacity = 8;
+  serve_config.measure_latency = false;
+  ServeDaemon serve(assets, {}, serve_config);
+  serve.add_link(0, link_rng(0));
+
+  const auto report = make_report(kReportSeed, 0, 0, assets->patterns());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(serve.try_submit(0, report));
+  }
+  // Queue full, consumer stopped: the report is rejected, not dropped
+  // silently -- the rejection is the caller's signal to retry or shed.
+  EXPECT_FALSE(serve.try_submit(0, report));
+  EXPECT_EQ(serve.rejected(), 1u);
+  EXPECT_EQ(serve.submitted(), 8u);
+  EXPECT_EQ(serve.drain_all(), 8u);
+  EXPECT_TRUE(serve.try_submit(0, report));
+  EXPECT_EQ(serve.drain_all(), 1u);
+  EXPECT_EQ(serve.daemon().session(0).rounds(), 9u);
+}
+
+TEST(ServeDeterminism, ConcurrentProducersOnOneLinkLoseNothing) {
+  auto assets = make_serve_assets();
+  ServeConfig serve_config;
+  serve_config.queue_capacity = 64;
+  ServeDaemon serve(assets, {}, serve_config);
+  serve.add_link(0, link_rng(0));
+  serve.start();
+
+  // Three producers hammer the SAME link; per-link FIFO means processing
+  // follows ticket-claim order, and nothing is lost or duplicated.
+  constexpr int kProducers = 3;
+  constexpr std::uint64_t kPerProducer = 150;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&serve, &assets, p] {
+      for (std::uint64_t r = 0; r < kPerProducer; ++r) {
+        serve.submit(0, make_report(kReportSeed, p, r, assets->patterns()));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  serve.stop();
+  serve.drain_all();
+
+  EXPECT_EQ(serve.submitted(), kProducers * kPerProducer);
+  EXPECT_EQ(serve.processed(), serve.submitted());
+  EXPECT_EQ(serve.daemon().session(0).rounds(), kProducers * kPerProducer);
+}
+
+TEST(ServeDeterminism, GuardsItsSingleConsumerAndTopologyContracts) {
+  auto assets = make_serve_assets();
+  ServeDaemon serve(assets);
+  serve.add_link(3, link_rng(3));
+  EXPECT_THROW(serve.add_link(3, link_rng(3)), StateError);  // duplicate id
+  EXPECT_THROW(serve.submit(99, {}), StateError);            // unknown link
+  serve.start();
+  EXPECT_THROW(serve.add_link(4, link_rng(4)), StateError);  // frozen while running
+  EXPECT_THROW(serve.drain_all(), StateError);  // consumer owns the queue
+  serve.stop();
+  EXPECT_NO_THROW(serve.add_link(4, link_rng(4)));
+  EXPECT_EQ(serve.daemon().session_count(), 2u);
+}
+
+}  // namespace
+}  // namespace talon

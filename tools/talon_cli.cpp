@@ -13,6 +13,9 @@
 //                       [--probes M] [--patterns patterns.csv] [--seed N]
 //   talon-cli mesh      [--aps K] [--stas N] [--channels C] [--seconds S]
 //                       [--rate TRAININGS_PER_S] [--churn P] [--seed N]
+//   talon-cli serve     [--links K] [--rounds N] [--probes M] [--queue CAP]
+//                       [--patterns patterns.csv] [--swap]
+//                       [--snapshot out.bin] [--restore in.bin] [--seed N]
 //   talon-cli table1
 //   talon-cli timing    [--probes M]
 //
@@ -23,11 +26,16 @@
 // analysis like the paper's router-plus-MATLAB workflow; `dense` runs the
 // multi-link NetworkSimulator (K pairs training under contention on one
 // shared channel); `mesh` runs the city-scale controller/minion
-// MeshSimulator and prints the network-wide lifecycle ledger; `table1`
-// and `timing` print the protocol constants.
+// MeshSimulator and prints the network-wide lifecycle ledger; `serve`
+// runs the asynchronous ServeDaemon (MPSC ingest + worker fan-out) over
+// K headless links, optionally hot-swapping a recalibrated table
+// mid-stream and snapshotting/restoring session state, then prints the
+// telemetry scrape; `table1` and `timing` print the protocol constants.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "src/common/args.hpp"
 #include "src/common/error.hpp"
@@ -35,6 +43,8 @@
 #include "src/core/selector.hpp"
 #include "src/core/ssw.hpp"
 #include "src/core/subset_policy.hpp"
+#include "src/driver/serve.hpp"
+#include "src/driver/snapshot.hpp"
 #include "src/mac/monitor.hpp"
 #include "src/mac/timing.hpp"
 #include "src/measure/campaign.hpp"
@@ -62,6 +72,9 @@ void print_usage() {
       "           [--probes M] [--patterns patterns.csv] [--seed N]\n"
       "  mesh     [--aps K] [--stas N] [--channels C] [--seconds S]\n"
       "           [--rate TRAININGS_PER_S] [--churn P] [--seed N]\n"
+      "  serve    [--links K] [--rounds N] [--probes M] [--queue CAP]\n"
+      "           [--patterns patterns.csv] [--swap] [--snapshot out.bin]\n"
+      "           [--restore in.bin] [--seed N]\n"
       "  table1\n"
       "  timing   [--probes M]\n"
       "all commands accept --threads N (default: hardware concurrency,\n"
@@ -401,6 +414,137 @@ int cmd_mesh(const ArgParser& args) {
   return 0;
 }
 
+int cmd_serve(const ArgParser& args) {
+  const auto seed = static_cast<std::uint64_t>(args.integer_or("--seed", 42));
+  const long links_arg = args.integer_or("--links", 8);
+  const long rounds_arg = args.integer_or("--rounds", 20);
+  const long queue_arg = args.integer_or("--queue", 4096);
+  const auto probes = static_cast<std::size_t>(args.integer_or("--probes", 14));
+
+  // Validate like `dense`/`mesh`: fail on stderr in milliseconds before
+  // the (slow) pattern campaign or a precondition abort deep inside.
+  if (links_arg <= 0) {
+    std::fprintf(stderr, "serve: --links must be positive (got %ld)\n",
+                 links_arg);
+    return 2;
+  }
+  if (rounds_arg <= 0) {
+    std::fprintf(stderr, "serve: --rounds must be positive (got %ld)\n",
+                 rounds_arg);
+    return 2;
+  }
+  if (queue_arg <= 0) {
+    std::fprintf(stderr, "serve: --queue must be positive (got %ld)\n",
+                 queue_arg);
+    return 2;
+  }
+  const int links = static_cast<int>(links_arg);
+  const auto rounds = static_cast<std::uint64_t>(rounds_arg);
+
+  PatternTable table;
+  if (const auto path = args.option("--patterns")) {
+    table = PatternTable::from_csv(read_csv_file(*path));
+  } else {
+    std::printf("no --patterns file: measuring (quick campaign)...\n");
+    table = measure_patterns(seed, false);
+  }
+  if (probes > table.size()) {
+    std::fprintf(stderr, "serve: --probes %zu exceeds the %zu-sector table\n",
+                 probes, table.size());
+    return 2;
+  }
+  const CssConfig defaults;
+  const auto assets = PatternAssetsRegistry::global().get_or_create(
+      std::move(table), defaults.search_grid, defaults.domain);
+
+  CssDaemonConfig session;
+  session.probes = probes;
+  session.degradation.enabled = true;
+  ServeConfig serve_config;
+  serve_config.queue_capacity = static_cast<std::size_t>(queue_arg);
+  ServeDaemon serve(assets, session, serve_config);
+  for (int id = 0; id < links; ++id) {
+    serve.add_link(id, Rng(substream_seed(seed, streams::kNetworkSession,
+                                          static_cast<std::uint64_t>(id))));
+  }
+  if (const auto path = args.option("--restore")) {
+    std::ifstream in(*path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "serve: cannot read snapshot '%s'\n", path->c_str());
+      return 2;
+    }
+    const std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    restore_sessions(serve.daemon(), bytes);
+    std::printf("restored %d sessions from %s\n", links, path->c_str());
+  }
+
+  // Deterministic report stream: the same substreams the serve tests and
+  // bench_serve draw from, so a run is reproducible from its seed.
+  const PatternTable& patterns = assets->patterns();
+  const std::vector<int> ids = patterns.ids();
+  auto make_report = [&](int link, std::uint64_t round) {
+    Rng rng(substream_seed(seed, streams::kServeReport,
+                           static_cast<std::uint64_t>(link), round));
+    const std::vector<int> picks =
+        rng.sample_without_replacement(static_cast<int>(ids.size()),
+                                       static_cast<int>(probes));
+    const Direction truth{rng.uniform(-55.0, 55.0), rng.uniform(0.0, 26.0)};
+    std::vector<SectorReading> readings;
+    readings.reserve(picks.size());
+    for (int i : picks) {
+      const int id = ids[static_cast<std::size_t>(i)];
+      const double v = patterns.sample_db(id, truth) + rng.normal(0.3);
+      readings.push_back(SectorReading{.sector_id = id, .snr_db = v, .rssi_dbm = v});
+    }
+    return readings;
+  };
+
+  serve.start();
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    if (args.has_flag("--swap") && r == rounds / 2) {
+      // Recalibrated codebook (per-sector tilt) published mid-stream;
+      // sessions rebind lazily, nothing drops.
+      PatternTable warped;
+      for (int id : patterns.ids()) {
+        Grid2D pattern = patterns.pattern(id);
+        for (double& v : pattern.values()) v += 0.5 * id / 32.0;
+        warped.add(id, std::move(pattern));
+      }
+      serve.swap_assets(PatternAssetsRegistry::global().get_or_create(
+          std::move(warped), defaults.search_grid, defaults.domain));
+      std::printf("hot-swapped assets at round %llu (epoch %llu)\n",
+                  static_cast<unsigned long long>(r),
+                  static_cast<unsigned long long>(serve.assets_epoch()));
+    }
+    for (int id = 0; id < links; ++id) serve.submit(id, make_report(id, r));
+  }
+  serve.stop();
+  serve.drain_all();
+
+  std::printf("\n%d links x %llu rounds: %llu submitted, %llu processed, "
+              "%llu rejected, %llu rebinds\n\n",
+              links, static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(serve.submitted()),
+              static_cast<unsigned long long>(serve.processed()),
+              static_cast<unsigned long long>(serve.rejected()),
+              static_cast<unsigned long long>(serve.rebinds()));
+  std::printf("%s", serve.scrape().c_str());
+
+  if (const auto path = args.option("--snapshot")) {
+    const std::vector<std::uint8_t> bytes = snapshot_sessions(serve.daemon());
+    std::ofstream out(*path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      std::fprintf(stderr, "serve: cannot write snapshot '%s'\n", path->c_str());
+      return 2;
+    }
+    std::printf("\nsnapshot: %zu bytes -> %s\n", bytes.size(), path->c_str());
+  }
+  return 0;
+}
+
 int cmd_table1() {
   Scenario s = make_anechoic_scenario(42);
   LinkSimulator link = s.make_link(Rng(1));
@@ -458,8 +602,12 @@ int main(int argc, char** argv) {
   args.add_option("--channels");
   args.add_option("--seconds");
   args.add_option("--churn");
+  args.add_option("--queue");
+  args.add_option("--snapshot");
+  args.add_option("--restore");
   args.add_option("--threads");
   args.add_flag("--full");
+  args.add_flag("--swap");
   try {
     args.parse(argc - 1, argv + 1);
     const int threads = apply_thread_count_option(args);
@@ -472,6 +620,7 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(args);
     if (command == "dense") return cmd_dense(args);
     if (command == "mesh") return cmd_mesh(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "table1") return cmd_table1();
     if (command == "timing") return cmd_timing(args);
     print_usage();
